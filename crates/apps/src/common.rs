@@ -1,0 +1,118 @@
+//! Shared harness types for the benchmark applications.
+
+use gflink_core::{FabricConfig, GpuFabric};
+use gflink_flink::{ClusterConfig, JobReport, SharedCluster};
+
+/// Which engine an app ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Baseline: the original (CPU-only) Flink engine.
+    Cpu,
+    /// GFlink: map/reduce phases offloaded to the GPU fabric.
+    Gpu,
+}
+
+impl ExecMode {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Cpu => "Flink",
+            ExecMode::Gpu => "GFlink",
+        }
+    }
+}
+
+/// The outcome of one application run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Engine used.
+    pub mode: ExecMode,
+    /// Job report (total time, Eq. 1 decomposition, phase graph).
+    pub report: JobReport,
+    /// App-specific result digest for CPU/GPU cross-checking.
+    pub digest: f64,
+    /// Per-iteration job times (iterative apps; one entry for batch apps).
+    pub per_iteration: Vec<gflink_sim::SimTime>,
+}
+
+impl AppRun {
+    /// Total simulated job time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.report.total.as_secs_f64()
+    }
+}
+
+/// A freshly provisioned cluster + GPU fabric for one experiment.
+pub struct Setup {
+    /// The shared cluster (CPU slots, network, HDFS).
+    pub cluster: SharedCluster,
+    /// The shared GPU fabric (one GpuManager per worker).
+    pub fabric: GpuFabric,
+}
+
+impl Setup {
+    /// The paper's standard testbed shape: `workers` nodes, 4 slots and two
+    /// C2050s each.
+    pub fn standard(workers: usize) -> Setup {
+        Setup::with_configs(ClusterConfig::standard(workers), FabricConfig::default())
+    }
+
+    /// Fully custom setup.
+    pub fn with_configs(cluster_cfg: ClusterConfig, fabric_cfg: FabricConfig) -> Setup {
+        let workers = cluster_cfg.num_workers;
+        let cluster = SharedCluster::new(cluster_cfg);
+        let fabric = GpuFabric::new(workers, fabric_cfg);
+        Setup { cluster, fabric }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.cluster.config().num_workers
+    }
+
+    /// Default parallelism: total task slots.
+    pub fn default_parallelism(&self) -> usize {
+        self.cluster.config().total_slots()
+    }
+}
+
+/// Relative-tolerance comparison for CPU/GPU digest cross-checks
+/// (accumulation order differs between block-level and partition-level
+/// partials, so exact equality is not expected for floats).
+pub fn digests_match(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let denom = a.abs().max(b.abs()).max(1e-12);
+    ((a - b) / denom).abs() <= rel_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_setup_shape() {
+        let s = Setup::standard(3);
+        assert_eq!(s.workers(), 3);
+        assert_eq!(s.default_parallelism(), 12);
+        s.fabric.with_managers(|ms| {
+            assert_eq!(ms.len(), 3);
+            assert_eq!(ms[0].gpu_count(), 2);
+        });
+    }
+
+    #[test]
+    fn digest_tolerance() {
+        assert!(digests_match(1.0, 1.0, 0.0));
+        assert!(digests_match(1.0, 1.0000001, 1e-5));
+        assert!(!digests_match(1.0, 1.1, 1e-3));
+        assert!(digests_match(0.0, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ExecMode::Cpu.label(), "Flink");
+        assert_eq!(ExecMode::Gpu.label(), "GFlink");
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic workload generators (Table 1).
+//!
+//! Every generator is a pure function of a seed and a logical index, so the
+//! scale-reduced materialization (see DESIGN.md §2) samples the same
+//! distribution the paper-scale dataset would have — any logical index can
+//! be generated without generating its predecessors.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rng_for(seed: u64, index: u64) -> SmallRng {
+    // Index-addressable determinism: hash (seed, index) into a seed.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// A point near one of `k` well-separated cluster centers (KMeans input).
+pub fn clustered_point<const D: usize>(seed: u64, index: u64, k: usize) -> [f32; D] {
+    let mut rng = rng_for(seed, index);
+    let cluster = (index % k as u64) as usize;
+    let mut p = [0.0f32; D];
+    for (d, v) in p.iter_mut().enumerate() {
+        // Center c sits at 10·c along every axis, noise is unit-scale.
+        let center = (cluster as f32) * 10.0 + (d as f32) * 0.1;
+        *v = center + rng.gen_range(-1.0..1.0);
+    }
+    p
+}
+
+/// A labelled regression sample: features uniform in [-1, 1], label from a
+/// fixed ground-truth hyperplane plus noise (LinearRegression input).
+pub fn regression_sample<const D: usize>(seed: u64, index: u64) -> ([f32; D], f32) {
+    let mut rng = rng_for(seed, index);
+    let mut x = [0.0f32; D];
+    let mut y = 0.5; // intercept
+    for (d, v) in x.iter_mut().enumerate() {
+        *v = rng.gen_range(-1.0..1.0);
+        // Ground-truth weight for dimension d: alternating ±(d+1)/D.
+        let w = (d as f32 + 1.0) / D as f32 * if d % 2 == 0 { 1.0 } else { -1.0 };
+        y += w * *v;
+    }
+    y += rng.gen_range(-0.01..0.01);
+    (x, y)
+}
+
+/// One ELLPACK sparse-matrix row: `NNZ` column indices (uniform over
+/// `num_cols`) and values (SpMV input).
+pub fn ell_row<const NNZ: usize>(seed: u64, row: u64, num_cols: u64) -> ([u32; NNZ], [f32; NNZ]) {
+    let mut rng = rng_for(seed, row);
+    let mut cols = [0u32; NNZ];
+    let mut vals = [0.0f32; NNZ];
+    for i in 0..NNZ {
+        cols[i] = rng.gen_range(0..num_cols.max(1)) as u32;
+        vals[i] = rng.gen_range(-1.0..1.0);
+    }
+    (cols, vals)
+}
+
+/// Out-links of page `page` in a synthetic fixed-degree web graph
+/// (PageRank / ConnectedComponents input). Preferential-attachment-ish:
+/// half the links go to low-numbered "hub" pages.
+pub fn page_links<const DEG: usize>(seed: u64, page: u64, num_pages: u64) -> [u32; DEG] {
+    let mut rng = rng_for(seed, page);
+    let n = num_pages.max(1);
+    let hubs = (n / 100).max(1);
+    let mut links = [0u32; DEG];
+    for (i, l) in links.iter_mut().enumerate() {
+        let target = if i % 2 == 0 {
+            rng.gen_range(0..hubs)
+        } else {
+            rng.gen_range(0..n)
+        };
+        *l = target as u32;
+    }
+    links
+}
+
+/// A word id drawn from a Zipf-like distribution over `vocab` words
+/// (WordCount input). Uses the standard inverse-CDF approximation for
+/// Zipf(s=1).
+pub fn zipf_word(seed: u64, index: u64, vocab: u32) -> u32 {
+    let mut rng = rng_for(seed, index);
+    let v = vocab.max(1) as f64;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // Inverse CDF of p(r) ∝ 1/r on [1, v]: r = v^u (harmonic approx).
+    let rank = v.powf(u).floor() as u32;
+    rank.min(vocab.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            clustered_point::<4>(1, 42, 8),
+            clustered_point::<4>(1, 42, 8)
+        );
+        assert_eq!(regression_sample::<4>(1, 42), regression_sample::<4>(1, 42));
+        assert_eq!(ell_row::<8>(1, 42, 100), ell_row::<8>(1, 42, 100));
+        assert_eq!(page_links::<8>(1, 42, 100), page_links::<8>(1, 42, 100));
+        assert_eq!(zipf_word(1, 42, 1000), zipf_word(1, 42, 1000));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        assert_ne!(
+            clustered_point::<4>(1, 1, 8),
+            clustered_point::<4>(1, 2, 8)
+        );
+        assert_ne!(ell_row::<8>(1, 1, 1000), ell_row::<8>(1, 2, 1000));
+    }
+
+    #[test]
+    fn clustered_points_stay_near_their_center() {
+        for i in 0..100u64 {
+            let p = clustered_point::<4>(7, i, 4);
+            let cluster = (i % 4) as f32;
+            for (d, v) in p.iter().enumerate() {
+                let center = cluster * 10.0 + d as f32 * 0.1;
+                assert!((v - center).abs() <= 1.0, "point strayed from center");
+            }
+        }
+    }
+
+    #[test]
+    fn regression_labels_follow_hyperplane() {
+        for i in 0..100u64 {
+            let (x, y) = regression_sample::<4>(7, i);
+            let mut expect = 0.5;
+            for (d, v) in x.iter().enumerate() {
+                let w = (d as f32 + 1.0) / 4.0 * if d % 2 == 0 { 1.0 } else { -1.0 };
+                expect += w * v;
+            }
+            assert!((y - expect).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn ell_rows_in_bounds() {
+        for r in 0..100u64 {
+            let (cols, _) = ell_row::<8>(3, r, 500);
+            assert!(cols.iter().all(|&c| c < 500));
+        }
+    }
+
+    #[test]
+    fn page_links_in_bounds_and_hub_skewed() {
+        let n = 10_000u64;
+        let mut hub_hits = 0;
+        for p in 0..500u64 {
+            let links = page_links::<8>(3, p, n);
+            for &l in &links {
+                assert!((l as u64) < n);
+                if (l as u64) < n / 100 {
+                    hub_hits += 1;
+                }
+            }
+        }
+        // At least ~half the links target the hub range.
+        assert!(hub_hits > 500 * 8 / 3, "hub skew missing: {hub_hits}");
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut low = 0;
+        let n = 10_000;
+        for i in 0..n {
+            if zipf_word(11, i, 10_000) < 10 {
+                low += 1;
+            }
+        }
+        // Rank < 10 out of 10k vocab should still collect a sizable share.
+        assert!(low > n / 20, "zipf not skewed: {low}");
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+#![allow(clippy::needless_range_loop)] // dimension-indexed numeric kernels
+
+//! # gflink-apps
+//!
+//! The paper's benchmark applications (Table 1), each implemented twice:
+//! once on the baseline CPU engine (`run_cpu`) and once on GFlink's GPU
+//! path (`run_gpu`), over identical deterministic workloads.
+//!
+//! | app | Table 1 sizes | kind |
+//! |-----|---------------|------|
+//! | [`kmeans`] | 150–270 M points | iterative, compute-bound |
+//! | [`pagerank`] | 5–25 M pages | iterative, shuffle-heavy |
+//! | [`wordcount`] | 24–56 GB text | one-pass batch, IO-bound |
+//! | [`concomp`] | 5–25 M pages | iterative label propagation |
+//! | [`linreg`] | 150–270 M points | iterative, compute-bound |
+//! | [`spmv`] | 2–32 GB matrix | iterative, memory-bound |
+//!
+//! Plus [`pointadd`], the PointAdd microkernel used by Fig. 8b/8c.
+//!
+//! Every app returns an [`common::AppRun`] with the job report and a result
+//! digest; CPU and GPU runs of the same workload must agree on the digest
+//! (cross-checked in each module's tests and in the integration suite).
+
+pub mod common;
+pub mod concomp;
+pub mod generators;
+pub mod kmeans;
+pub mod linreg;
+pub mod pagerank;
+pub mod pointadd;
+pub mod spmv;
+pub mod wordcount;
+
+pub use common::{AppRun, ExecMode, Setup};

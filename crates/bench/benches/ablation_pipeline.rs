@@ -1,0 +1,140 @@
+//! Ablation: the three-stage pipelining execution model (§5).
+//!
+//! Sweeps the number of CUDA streams per GPU and the device's copy-engine
+//! count over a batch of transfer-heavy blocks:
+//!
+//! * 1 stream = fully synchronous H2D → K → D2H per block (no overlap);
+//! * more streams overlap one block's kernel with the next block's H2D;
+//! * two copy engines (K20) additionally overlap H2D with D2H (full-duplex
+//!   PCIe, §4.1.2).
+//!
+//! Also sweeps the GFlink block size (§5.1): tiny blocks drown in per-call
+//! overhead, huge blocks lose pipeline overlap.
+
+use gflink_bench::{header, row};
+use gflink_core::{FabricConfig, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_flink::ClusterConfig;
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::SimTime;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn registry() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    // Balanced kernel: compute time comparable to its transfer time, the
+    // regime where pipelining matters most (a C2050 moves 8 MB over PCIe in
+    // ~2.7 ms; 2000 flops/element makes the kernel take about as long).
+    reg.register("stage", |args: &mut KernelArgs<'_>| {
+        KernelProfile::new(args.n_logical as f64 * 2000.0, args.n_logical as f64 * 16.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+fn block_work(i: u32, logical_bytes: u64) -> GWork {
+    GWork {
+        name: format!("blk-{i}"),
+        execute_name: "stage".into(),
+        ptx_path: "/stage.ptx".into(),
+        block_size: 256,
+        grid_size: 128,
+        inputs: vec![WorkBuf {
+            data: Arc::new(HBuffer::zeroed(64)),
+            logical_bytes,
+            cache_key: None,
+        }],
+        out_actual_bytes: 64,
+        out_logical_bytes: logical_bytes,
+        out_records: 16,
+        params: vec![],
+        n_actual: 16,
+        n_logical: logical_bytes / 16,
+        coalescing: 1.0,
+        tag: (0, i),
+    }
+}
+
+fn makespan(model: GpuModel, streams: usize, blocks: u32, block_bytes: u64) -> SimTime {
+    let mut mgr = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![model],
+            streams_per_gpu: streams,
+            ..GpuWorkerConfig::default()
+        },
+        registry(),
+    );
+    for i in 0..blocks {
+        mgr.submit(block_work(i, block_bytes), SimTime::ZERO);
+    }
+    mgr.drain()
+        .iter()
+        .map(|d| d.timing.completed)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+fn main() {
+    header(
+        "Ablation: three-stage pipelining",
+        "64 blocks x 8MB, makespan by stream count and copy engines",
+    );
+    row(&[
+        "device".into(),
+        "1 stream (s)".into(),
+        "2 streams (s)".into(),
+        "4 streams (s)".into(),
+        "8 streams (s)".into(),
+        "overlap gain".into(),
+    ]);
+    for model in [GpuModel::TeslaC2050, GpuModel::TeslaK20] {
+        let times: Vec<SimTime> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&s| makespan(model, s, 64, 8 << 20))
+            .collect();
+        row(&[
+            model.name().into(),
+            format!("{:.3}", times[0].as_secs_f64()),
+            format!("{:.3}", times[1].as_secs_f64()),
+            format!("{:.3}", times[2].as_secs_f64()),
+            format!("{:.3}", times[3].as_secs_f64()),
+            format!(
+                "{:.2}x",
+                times[0].as_secs_f64() / times[3].as_secs_f64()
+            ),
+        ]);
+    }
+    println!(
+        "(expect: streams > 1 overlap H2D with kernels; K20's 2nd copy engine \
+         also overlaps D2H, widening the gain)"
+    );
+
+    header(
+        "Ablation: GFlink block size (§5.1)",
+        "512MB of work on one C2050, 4 streams",
+    );
+    row(&["block size".into(), "blocks".into(), "makespan (s)".into()]);
+    let total: u64 = 512 << 20;
+    for shift in [15u32, 18, 20, 22, 24, 26, 28] {
+        let block = 1u64 << shift;
+        let blocks = (total / block) as u32;
+        let t = makespan(GpuModel::TeslaC2050, 4, blocks, block);
+        row(&[
+            format!("{} KiB", block >> 10),
+            format!("{blocks}"),
+            format!("{:.3}", t.as_secs_f64()),
+        ]);
+    }
+    println!(
+        "(expect a sweet spot: 32 KiB pages pay per-call overhead {}x, giant \
+         blocks serialize the pipeline)",
+        (total >> 15)
+    );
+    // Reference: the defaults used by the fabric.
+    let d = FabricConfig::default();
+    println!(
+        "fabric default block = {} KiB on a {}-worker standard cluster config",
+        d.block_bytes >> 10,
+        ClusterConfig::standard(10).num_workers
+    );
+}

@@ -1,0 +1,216 @@
+//! Ablation: the adaptive locality-aware scheduling scheme (§5.3).
+//!
+//! Two experiments:
+//!
+//! 1. **Locality** — iterative cached work (SpMV) under each scheduling
+//!    policy. Locality-aware scheduling routes repeat blocks to the GPU
+//!    that caches them; round-robin/random scatter them, turning cache
+//!    hits into misses and re-paying PCIe transfers.
+//! 2. **Load balance** — a heterogeneous worker (C2050 + P100) fed a batch
+//!    of uncached GWork. Work stealing (Alg. 5.2) lets the fast GPU drain
+//!    the queue; disabling it strands work behind the slow one.
+
+use gflink_apps::{spmv, Setup};
+use gflink_bench::{header, row};
+use gflink_core::{
+    CacheKey, FabricConfig, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf,
+};
+use gflink_flink::ClusterConfig;
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::SimTime;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn policies() -> [SchedulingPolicy; 4] {
+    [
+        SchedulingPolicy::LocalityAware,
+        SchedulingPolicy::LocalityNoSteal,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::Random { seed: 7 },
+    ]
+}
+
+fn main() {
+    header(
+        "Ablation: scheduling x cache locality",
+        "SpMV (1GB, single node, 10 iterations) per policy",
+    );
+    row(&[
+        "policy".into(),
+        "total (s)".into(),
+        "cache hits".into(),
+        "cache misses".into(),
+    ]);
+    for policy in policies() {
+        let mut fabric = FabricConfig::default();
+        fabric.worker.scheduling = policy;
+        let setup = Setup::with_configs(ClusterConfig::single_node(), fabric);
+        let p = spmv::Params::paper(1, &setup);
+        let run = spmv::run_gpu(&setup, &p);
+        let (hits, misses) = setup.fabric.with_managers(|ms| {
+            let mut h = 0;
+            let mut m = 0;
+            for mgr in ms.iter() {
+                for g in 0..mgr.gpu_count() {
+                    let (hh, mm, _) = mgr.cache(g).stats();
+                    h += hh;
+                    m += mm;
+                }
+            }
+            (h, m)
+        });
+        row(&[
+            policy.label().into(),
+            format!("{:.2}", run.total_secs()),
+            format!("{hits}"),
+            format!("{misses}"),
+        ]);
+    }
+
+    header(
+        "Ablation: work stealing on heterogeneous GPUs",
+        "64 uncached GWorks on [C2050 + P100] (§5.3 load balance)",
+    );
+    row(&[
+        "policy".into(),
+        "makespan (ms)".into(),
+        "per-GPU executed".into(),
+        "steals".into(),
+    ]);
+    let registry = {
+        let mut reg = KernelRegistry::new();
+        reg.register("burn", |args: &mut KernelArgs<'_>| {
+            KernelProfile::new(args.n_logical as f64 * 100.0, args.n_logical as f64 * 8.0)
+        });
+        Arc::new(Mutex::new(reg))
+    };
+    for policy in policies() {
+        let mut mgr = GpuManager::new(
+            0,
+            GpuWorkerConfig {
+                models: vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
+                scheduling: policy,
+                ..GpuWorkerConfig::default()
+            },
+            Arc::clone(&registry),
+        );
+        for i in 0..64u32 {
+            mgr.submit(burn_work(i), SimTime::ZERO);
+        }
+        let done = mgr.drain();
+        let makespan = done
+            .iter()
+            .map(|d| d.timing.completed)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        row(&[
+            policy.label().into(),
+            format!("{:.1}", makespan.as_millis_f64()),
+            format!("{:?}", mgr.executed_per_gpu()),
+            format!("{}", mgr.steals()),
+        ]);
+    }
+    affinity_experiment();
+}
+
+/// Third experiment: cache affinity under submission-order jitter. Round 1
+/// warms 16 cached blocks; round 2 submits one uncached work first, which
+/// shifts round-robin's parity so every cached block lands on the wrong
+/// GPU — locality-aware scheduling is immune.
+fn affinity_experiment() {
+    header(
+        "Ablation: cache affinity under submission jitter",
+        "16 cached blocks re-submitted after one interloper work",
+    );
+    row(&[
+        "policy".into(),
+        "round-2 makespan (ms)".into(),
+        "hits".into(),
+        "misses".into(),
+    ]);
+    for policy in policies() {
+        let mut mgr = GpuManager::new(
+            0,
+            GpuWorkerConfig {
+                models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+                streams_per_gpu: 1,
+                scheduling: policy,
+                ..GpuWorkerConfig::default()
+            },
+            {
+                let mut reg = KernelRegistry::new();
+                reg.register("burn", |args: &mut KernelArgs<'_>| {
+                    KernelProfile::new(
+                        args.n_logical as f64 * 100.0,
+                        args.n_logical as f64 * 8.0,
+                    )
+                });
+                Arc::new(Mutex::new(reg))
+            },
+        );
+        // Round 1: warm the caches.
+        for i in 0..16u32 {
+            mgr.submit(cached_work(i), SimTime::ZERO);
+        }
+        let round1_end = mgr
+            .drain()
+            .iter()
+            .map(|d| d.timing.completed)
+            .max()
+            .unwrap();
+        // The interloper shifts round-robin's phase.
+        mgr.submit(burn_work(999), round1_end);
+        // Round 2: the same cached blocks again.
+        for i in 0..16u32 {
+            mgr.submit(cached_work(i), round1_end);
+        }
+        let done = mgr.drain();
+        let end = done.iter().map(|d| d.timing.completed).max().unwrap();
+        let hits: u32 = done.iter().map(|d| d.timing.cache_hits).sum();
+        let misses: u32 = done.iter().map(|d| d.timing.cache_misses).sum();
+        row(&[
+            policy.label().into(),
+            format!("{:.1}", (end - round1_end).as_millis_f64()),
+            format!("{hits}"),
+            format!("{misses}"),
+        ]);
+    }
+    println!("(locality-aware keeps its hits; parity-shifted round-robin re-transfers)");
+}
+
+fn cached_work(i: u32) -> GWork {
+    let mut w = burn_work(i);
+    w.inputs[0].cache_key = Some(CacheKey {
+        dataset: 42,
+        partition: 0,
+        block: i,
+    });
+    w.inputs[0].logical_bytes = 1 << 26; // 64 MB: transfers dominate
+    w
+}
+
+fn burn_work(i: u32) -> GWork {
+    GWork {
+        name: format!("burn-{i}"),
+        execute_name: "burn".into(),
+        ptx_path: "/burn.ptx".into(),
+        block_size: 256,
+        grid_size: 64,
+        inputs: vec![WorkBuf {
+            data: Arc::new(HBuffer::zeroed(64)),
+            logical_bytes: 1 << 24,
+            cache_key: None,
+        }],
+        out_actual_bytes: 64,
+        out_logical_bytes: 1 << 20,
+        out_records: 16,
+        params: vec![],
+        n_actual: 16,
+        n_logical: 1 << 22,
+        coalescing: 1.0,
+        tag: (0, i),
+    }
+}
+
+

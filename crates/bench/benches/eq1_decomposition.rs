@@ -1,0 +1,172 @@
+//! §6.3/§6.4: the Eq. (1)–(4) time decomposition and Observations 1–3.
+//!
+//! Runs each workload once on both engines (mid-range size) and prints the
+//! measured phase ledger, the Eq. (2)/(3) speedups, the Eq. (4) GPU map
+//! breakdown, and checks the paper's three observations against the data.
+
+use gflink_apps::{concomp, kmeans, linreg, pagerank, pointadd, spmv, wordcount, AppRun, Setup};
+use gflink_bench::{header, row};
+use gflink_core::model;
+use gflink_sim::Phase;
+
+const WORKERS: usize = 10;
+
+fn run_pair(app: &str) -> (AppRun, AppRun) {
+    let s1 = Setup::standard(WORKERS);
+    let s2 = Setup::standard(WORKERS);
+    match app {
+        "kmeans" => {
+            let p = kmeans::Params::paper(210, &s1);
+            (kmeans::run_cpu(&s1, &p), kmeans::run_gpu(&s2, &p))
+        }
+        "pagerank" => {
+            let p = pagerank::Params::paper(15, &s1);
+            (pagerank::run_cpu(&s1, &p), pagerank::run_gpu(&s2, &p))
+        }
+        "wordcount" => {
+            let p = wordcount::Params::paper(40, &s1);
+            (wordcount::run_cpu(&s1, &p), wordcount::run_gpu(&s2, &p))
+        }
+        "concomp" => {
+            let p = concomp::Params::paper(15, &s1);
+            (concomp::run_cpu(&s1, &p), concomp::run_gpu(&s2, &p))
+        }
+        "linreg" => {
+            let p = linreg::Params::paper(210, &s1);
+            (linreg::run_cpu(&s1, &p), linreg::run_gpu(&s2, &p))
+        }
+        "spmv" => {
+            let p = spmv::Params::paper(8, &s1);
+            (spmv::run_cpu(&s1, &p), spmv::run_gpu(&s2, &p))
+        }
+        "pointadd" => {
+            let p = pointadd::Params::standard(&s1);
+            (pointadd::run_cpu(&s1, &p), pointadd::run_gpu(&s2, &p))
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let apps = [
+        "kmeans",
+        "pagerank",
+        "wordcount",
+        "concomp",
+        "linreg",
+        "spmv",
+        "pointadd",
+    ];
+    header(
+        "Eq. (1)",
+        "phase decomposition per app (top: Flink, bottom: GFlink; seconds)",
+    );
+    row(&[
+        "app".into(),
+        "engine".into(),
+        "map".into(),
+        "reduce".into(),
+        "shuffle".into(),
+        "submit".into(),
+        "io".into(),
+        "schedule".into(),
+        "total".into(),
+        "| kernel".into(),
+        "h2d".into(),
+        "d2h".into(),
+    ]);
+    let mut pairs = Vec::new();
+    for app in apps {
+        let (cpu, gpu) = run_pair(app);
+        for (engine, run) in [("Flink", &cpu), ("GFlink", &gpu)] {
+            let a = &run.report.acct;
+            let s = |p: Phase| format!("{:.2}", a.get(p).as_secs_f64());
+            row(&[
+                app.to_string(),
+                engine.to_string(),
+                s(Phase::Map),
+                s(Phase::Reduce),
+                s(Phase::Shuffle),
+                s(Phase::Submit),
+                s(Phase::Io),
+                s(Phase::Schedule),
+                format!("{:.2}", run.report.total.as_secs_f64()),
+                s(Phase::Kernel),
+                s(Phase::TransferH2D),
+                s(Phase::TransferD2H),
+            ]);
+        }
+        pairs.push((app, cpu, gpu));
+    }
+
+    header("Eq. (2)/(3)/(4)", "derived speedups and GPU map breakdown");
+    row(&[
+        "app".into(),
+        "speedup_total (Eq.2)".into(),
+        "speedup_map (Eq.3)".into(),
+        "Amdahl bound".into(),
+        "GPU map h2d/kernel/d2h (Eq.4)".into(),
+    ]);
+    for (app, cpu, gpu) in &pairs {
+        let (h, k, d) = model::map_gpu_breakdown(&gpu.report.acct);
+        row(&[
+            app.to_string(),
+            format!("{:.2}x", model::speedup_total(&cpu.report.acct, &gpu.report.acct)),
+            format!("{:.2}x", model::speedup_map(&cpu.report.acct, &gpu.report.acct)),
+            format!("{:.2}x", model::amdahl_bound(&cpu.report.acct)),
+            format!("{:.0}%/{:.0}%/{:.0}%", h * 100.0, k * 100.0, d * 100.0),
+        ]);
+    }
+
+    header("Observations 1-3", "checks against the measured data");
+    // Observation 1: larger shuffle share => smaller speedup. Compare the
+    // shuffle-light (kmeans) and shuffle-heavy (pagerank) apps.
+    let find = |name: &str| pairs.iter().find(|(a, _, _)| *a == name).unwrap();
+    let (_, km_c, km_g) = find("kmeans");
+    let (_, pr_c, pr_g) = find("pagerank");
+    let km_sp = model::speedup_total(&km_c.report.acct, &km_g.report.acct);
+    let pr_sp = model::speedup_total(&pr_c.report.acct, &pr_g.report.acct);
+    println!(
+        "Obs 1: kmeans shuffle share {:.0}% -> {km_sp:.2}x; pagerank shuffle share {:.0}% -> {pr_sp:.2}x  [{}]",
+        km_c.report.acct.fraction(Phase::Shuffle) * 100.0,
+        pr_c.report.acct.fraction(Phase::Shuffle) * 100.0,
+        if km_sp > pr_sp { "HOLDS" } else { "VIOLATED" }
+    );
+    // Observation 2: every total speedup respects its Amdahl bound.
+    let mut ok = true;
+    for (app, cpu, gpu) in &pairs {
+        let sp = model::speedup_total(&cpu.report.acct, &gpu.report.acct);
+        let bound = model::amdahl_bound(&cpu.report.acct);
+        if sp > bound * 1.05 {
+            ok = false;
+            println!("Obs 2 violated by {app}: {sp:.2}x > bound {bound:.2}x");
+        }
+    }
+    println!("Obs 2: all speedups within their Amdahl bounds  [{}]", if ok { "HOLDS" } else { "VIOLATED" });
+    // Observation 3: small inputs are dominated by fixed costs, so the
+    // speedup grows with input size.
+    let s_small = {
+        let s1 = Setup::standard(WORKERS);
+        let p = kmeans::Params {
+            n_logical: 5_000_000,
+            n_actual: 5_000,
+            iterations: 10,
+            parallelism: s1.default_parallelism(),
+            seed: kmeans::KMEANS_SEED,
+        };
+        let c = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let g = kmeans::run_gpu(&s2, &p);
+        (
+            model::fixed_cost_share(&g.report.acct),
+            model::speedup_total(&c.report.acct, &g.report.acct),
+        )
+    };
+    let km_big_sp = km_sp;
+    println!(
+        "Obs 3: 5M points -> GFlink fixed-cost share {:.0}%, speedup {:.2}x; 210M points -> speedup {km_big_sp:.2}x  [{}]",
+        s_small.0 * 100.0,
+        s_small.1,
+        if km_big_sp > s_small.1 { "HOLDS" } else { "VIOLATED" }
+    );
+}

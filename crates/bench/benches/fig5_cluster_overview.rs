@@ -1,0 +1,80 @@
+//! Figure 5: average running time and speedup on the 10-worker cluster.
+//!
+//! * (a) KMeans, 150–270 M points
+//! * (b) PageRank, 5–25 M pages
+//! * (c) WordCount, 24–56 GB
+//!
+//! Every worker has 4 CPU slots and two Tesla C2050s; iterative workloads
+//! run 10 iterations, exactly as §6.5 describes. Paper target bands (at the
+//! largest size): KMeans ≈5x, PageRank ≈3.5x, WordCount ≈1.1x, growing with
+//! input size (Observation 3).
+
+use gflink_apps::{kmeans, pagerank, wordcount, Setup};
+use gflink_bench::{header, row, secs, speedup};
+
+const WORKERS: usize = 10;
+
+fn main() {
+    header("Fig 5a", "KMeans on the cluster (10 workers x [4 CPU + 2 C2050])");
+    row(&[
+        "points".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for millions in [150u64, 180, 210, 240, 270] {
+        let s1 = Setup::standard(WORKERS);
+        let p = kmeans::Params::paper(millions, &s1);
+        let cpu = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = kmeans::run_gpu(&s2, &p);
+        row(&[
+            format!("{millions}M"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+
+    header("Fig 5b", "PageRank on the cluster");
+    row(&[
+        "pages".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for millions in [5u64, 10, 15, 20, 25] {
+        let s1 = Setup::standard(WORKERS);
+        let p = pagerank::Params::paper(millions, &s1);
+        let cpu = pagerank::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = pagerank::run_gpu(&s2, &p);
+        row(&[
+            format!("{millions}M"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+
+    header("Fig 5c", "WordCount on the cluster");
+    row(&[
+        "text".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for gb in [24u64, 32, 40, 48, 56] {
+        let s1 = Setup::standard(WORKERS);
+        let p = wordcount::Params::paper(gb, &s1);
+        let cpu = wordcount::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = wordcount::run_gpu(&s2, &p);
+        row(&[
+            format!("{gb}GB"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+}

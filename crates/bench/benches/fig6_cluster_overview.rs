@@ -1,0 +1,78 @@
+//! Figure 6: average running time and speedup on the 10-worker cluster.
+//!
+//! * (a) SpMV, 2–32 GB matrices
+//! * (b) LinearRegression, 150–270 M samples
+//! * (c) ComponentConnect, 5–25 M pages
+//!
+//! Paper target bands at the largest size: SpMV ≈6.3x, LinearRegression
+//! ≈9.2x (the best case), ComponentConnect ≈4.8x.
+
+use gflink_apps::{concomp, linreg, spmv, Setup};
+use gflink_bench::{header, row, secs, speedup};
+
+const WORKERS: usize = 10;
+
+fn main() {
+    header("Fig 6a", "SpMV on the cluster (10 workers x [4 CPU + 2 C2050])");
+    row(&[
+        "matrix".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for gb in [2u64, 4, 8, 16, 32] {
+        let s1 = Setup::standard(WORKERS);
+        let p = spmv::Params::paper(gb, &s1);
+        let cpu = spmv::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = spmv::run_gpu(&s2, &p);
+        row(&[
+            format!("{gb}GB"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+
+    header("Fig 6b", "LinearRegression on the cluster");
+    row(&[
+        "samples".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for millions in [150u64, 180, 210, 240, 270] {
+        let s1 = Setup::standard(WORKERS);
+        let p = linreg::Params::paper(millions, &s1);
+        let cpu = linreg::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = linreg::run_gpu(&s2, &p);
+        row(&[
+            format!("{millions}M"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+
+    header("Fig 6c", "ComponentConnect on the cluster");
+    row(&[
+        "pages".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for millions in [5u64, 10, 15, 20, 25] {
+        let s1 = Setup::standard(WORKERS);
+        let p = concomp::Params::paper(millions, &s1);
+        let cpu = concomp::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = concomp::run_gpu(&s2, &p);
+        row(&[
+            format!("{millions}M"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!("{:.2}x", speedup(&cpu, &gpu)),
+        ]);
+    }
+}

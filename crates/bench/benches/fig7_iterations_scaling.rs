@@ -1,0 +1,156 @@
+//! Figure 7: per-iteration behaviour and node-count scaling (§6.6.1/§6.6.3).
+//!
+//! * (a) KMeans average running time per iteration (210 M points, 3
+//!   workers): the first iteration pays HDFS read + H2D, later GFlink
+//!   iterations hit the GPU cache.
+//! * (b) SpMV per iteration on a single machine (1.0 GB matrix, 123 MB
+//!   vector): one CPU core vs one GPU vs two GPUs; after iteration 1 the
+//!   GPU runs are kernel-only (matrix and vector cached), and the last
+//!   iteration pays the result write.
+//! * (c) KMeans vs number of slave nodes (210 M points).
+//! * (d) SpMV vs number of slave nodes (10 GB matrix; the cache policy is
+//!   StopWhenFull because small clusters cannot hold the whole matrix
+//!   per GPU — exactly the §4.2.2 scenario that policy exists for).
+
+use gflink_apps::{kmeans, spmv, Setup};
+use gflink_bench::{header, per_iteration_with_io, row, secs};
+use gflink_core::{CachePolicy, FabricConfig, GpuWorkerConfig};
+use gflink_flink::ClusterConfig;
+use gflink_gpu::GpuModel;
+
+fn main() {
+    fig7a();
+    fig7b();
+    fig7c();
+    fig7d();
+}
+
+fn fig7a() {
+    header("Fig 7a", "KMeans per-iteration time, 210M points, 3 workers");
+    let s1 = Setup::standard(3);
+    let mut p = kmeans::Params::paper(210, &s1);
+    p.parallelism = s1.default_parallelism();
+    let cpu = kmeans::run_cpu(&s1, &p);
+    let s2 = Setup::standard(3);
+    let gpu = kmeans::run_gpu(&s2, &p);
+    row(&["iter".into(), "Flink (s)".into(), "GFlink (s)".into()]);
+    let ci = per_iteration_with_io(&cpu);
+    let gi = per_iteration_with_io(&gpu);
+    for (i, (c, g)) in ci.iter().zip(gi.iter()).enumerate() {
+        row(&[format!("{}", i + 1), secs(*c), secs(*g)]);
+    }
+}
+
+/// A single-machine setup with `gpus` C2050s and `cpu_slots` task slots.
+fn single_machine(cpu_slots: usize, gpus: usize) -> Setup {
+    let mut cluster = ClusterConfig::single_node();
+    cluster.slots_per_worker = cpu_slots;
+    let fabric = FabricConfig {
+        worker: GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050; gpus.max(1)],
+            ..GpuWorkerConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    Setup::with_configs(cluster, fabric)
+}
+
+fn fig7b() {
+    header(
+        "Fig 7b",
+        "SpMV per-iteration time, single machine, 1.0GB matrix + 123MB vector",
+    );
+    // One CPU core (the paper's \"one CPU\" baseline).
+    let s_cpu = single_machine(1, 1);
+    let mut p = spmv::Params::paper(1, &s_cpu);
+    p.parallelism = 1;
+    let cpu = spmv::run_cpu(&s_cpu, &p);
+    // One and two GPUs (producers use the 4 CPU slots).
+    let s_g1 = single_machine(4, 1);
+    let mut p1 = spmv::Params::paper(1, &s_g1);
+    p1.parallelism = 4;
+    let gpu1 = spmv::run_gpu(&s_g1, &p1);
+    let s_g2 = single_machine(4, 2);
+    let gpu2 = spmv::run_gpu(&s_g2, &p1);
+    row(&[
+        "iter".into(),
+        "1 CPU (s)".into(),
+        "1 GPU (s)".into(),
+        "2 GPUs (s)".into(),
+    ]);
+    let ci = per_iteration_with_io(&cpu);
+    let g1 = per_iteration_with_io(&gpu1);
+    let g2 = per_iteration_with_io(&gpu2);
+    for i in 0..ci.len() {
+        row(&[
+            format!("{}", i + 1),
+            secs(ci[i]),
+            secs(g1[i]),
+            secs(g2[i]),
+        ]);
+    }
+    println!(
+        "steady-state speedup (iter 5): 1 GPU {:.1}x, 2 GPUs {:.1}x over 1 CPU",
+        ci[4].as_secs_f64() / g1[4].as_secs_f64(),
+        ci[4].as_secs_f64() / g2[4].as_secs_f64()
+    );
+}
+
+fn fig7c() {
+    header("Fig 7c", "KMeans vs number of slave nodes, 210M points");
+    row(&[
+        "workers".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for workers in [2usize, 4, 6, 8, 10] {
+        let s1 = Setup::standard(workers);
+        let p = kmeans::Params::paper(210, &s1);
+        let cpu = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = kmeans::run_gpu(&s2, &p);
+        row(&[
+            format!("{workers}"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!(
+                "{:.2}x",
+                cpu.report.total.as_secs_f64() / gpu.report.total.as_secs_f64()
+            ),
+        ]);
+    }
+}
+
+fn fig7d() {
+    header("Fig 7d", "SpMV vs number of slave nodes, 10GB matrix");
+    row(&[
+        "workers".into(),
+        "Flink (s)".into(),
+        "GFlink (s)".into(),
+        "speedup".into(),
+    ]);
+    for workers in [2usize, 4, 6, 8, 10] {
+        let s1 = Setup::standard(workers);
+        let p = spmv::Params::paper(10, &s1);
+        let cpu = spmv::run_cpu(&s1, &p);
+        // StopWhenFull: on 2 workers each GPU can hold only part of its
+        // 2.5 GB matrix slice.
+        let mut fabric = FabricConfig::default();
+        #[allow(clippy::field_reassign_with_default)]
+        {
+            fabric.worker.cache_policy = CachePolicy::StopWhenFull;
+        }
+        let s2 = Setup::with_configs(ClusterConfig::standard(workers), fabric);
+        let gpu = spmv::run_gpu(&s2, &p);
+        row(&[
+            format!("{workers}"),
+            secs(cpu.report.total),
+            secs(gpu.report.total),
+            format!(
+                "{:.2}x",
+                cpu.report.total.as_secs_f64() / gpu.report.total.as_secs_f64()
+            ),
+        ]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Figure 8: cache effects, per-kernel GMapper/GReducer speedups and
+//! concurrent multi-application execution (§6.6.2 / §6.6.4).
+//!
+//! * (a) SpMV per-iteration with and without the GPU cache scheme;
+//! * (b) GMapper/GReducer speedups for KMeans, SpMV, PointAdd and the
+//!   sum-by-key reducer, on C2050, GTX 750, K20 and P100 — expectation:
+//!   P100 > K20 > (GTX 750 ≈ C2050); KMeans > SpMV > PointAdd; the
+//!   reducer's speedup is the lowest;
+//! * (c) three applications submitted together on one node: the shared
+//!   fabric serves them with a combined time a little over 3× the
+//!   exclusive per-app times;
+//! * (d) the same on 10 workers: per-app speedups when run alone vs
+//!   concurrently.
+
+use gflink_apps::{kmeans, pointadd, spmv, Setup};
+use gflink_bench::{header, per_iteration_with_io, row, secs};
+use gflink_core::{CachePolicy, FabricConfig, GpuWorkerConfig};
+use gflink_flink::ClusterConfig;
+use gflink_gpu::GpuModel;
+use gflink_sim::SimTime;
+
+fn main() {
+    fig8a();
+    fig8b();
+    fig8c();
+    fig8d();
+}
+
+fn fig8a() {
+    header("Fig 8a", "Effect of the GPU cache scheme (SpMV, single node)");
+    let mk = |policy: CachePolicy| {
+        let mut fabric = FabricConfig::default();
+        fabric.worker.cache_policy = policy;
+        Setup::with_configs(ClusterConfig::single_node(), fabric)
+    };
+    let s_on = mk(CachePolicy::Fifo);
+    let p = spmv::Params::paper(1, &s_on);
+    let with_cache = spmv::run_gpu(&s_on, &p);
+    let s_off = mk(CachePolicy::Disabled);
+    let without = spmv::run_gpu(&s_off, &p);
+    row(&[
+        "iter".into(),
+        "cache on (s)".into(),
+        "cache off (s)".into(),
+    ]);
+    let on = per_iteration_with_io(&with_cache);
+    let off = per_iteration_with_io(&without);
+    for i in 0..on.len() {
+        row(&[format!("{}", i + 1), secs(on[i]), secs(off[i])]);
+    }
+    println!(
+        "totals: cache on {} vs cache off {}",
+        with_cache.report.total, without.report.total
+    );
+}
+
+/// Steady-state mapper wall times (median map phase, §6.6.2: first
+/// iterations pay I/O and H2D and are reported separately in Fig. 7) for
+/// one app on one device model, and the matching CPU baseline.
+fn mapper_times(
+    app: &str,
+    model: GpuModel,
+) -> (f64, f64) {
+    use gflink_bench::median_map_wall;
+    let fabric = FabricConfig {
+        worker: GpuWorkerConfig {
+            models: vec![model],
+            ..GpuWorkerConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    let setup = Setup::with_configs(ClusterConfig::single_node(), fabric);
+    let setup_cpu = Setup::standard(1);
+    match app {
+        "kmeans" => {
+            // Sized to fit a single GPU's cache region (§4.2.2): 20M points
+            // of 64B = 1.28 GB.
+            let mut p = kmeans::Params {
+                n_logical: 20_000_000,
+                n_actual: 20_000,
+                iterations: 10,
+                parallelism: 4,
+                seed: kmeans::KMEANS_SEED,
+            };
+            p.parallelism = 4;
+            let cpu = kmeans::run_cpu(&setup_cpu, &p);
+            let gpu = kmeans::run_gpu(&setup, &p);
+            (
+                median_map_wall(&cpu, "kmeans-assign").as_secs_f64(),
+                median_map_wall(&gpu, "kmeans-assign").as_secs_f64(),
+            )
+        }
+        "spmv" => {
+            let mut p = spmv::Params::paper(1, &setup);
+            p.parallelism = 4;
+            let cpu = spmv::run_cpu(&setup_cpu, &p);
+            let gpu = spmv::run_gpu(&setup, &p);
+            (
+                median_map_wall(&cpu, "spmv").as_secs_f64(),
+                median_map_wall(&gpu, "spmv").as_secs_f64(),
+            )
+        }
+        "pointadd" => {
+            let mut p = pointadd::Params::standard(&setup);
+            p.parallelism = 4;
+            let cpu = pointadd::run_cpu(&setup_cpu, &p);
+            let gpu = pointadd::run_gpu(&setup, &p);
+            (
+                median_map_wall(&cpu, "addPoint").as_secs_f64(),
+                median_map_wall(&gpu, "addPoint").as_secs_f64(),
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The GReducer microbenchmark: sum-by-key over pre-partitioned pairs, CPU
+/// `reduce_by_key` vs the GFlink gpuReduce path (shuffle → pack → kernel →
+/// merge). Both sides are measured end-to-end from the pairs being ready to
+/// the reduced result being ready.
+fn reducer_times(model: GpuModel) -> (f64, f64) {
+    use gflink_apps::pagerank;
+    use gflink_core::{GDataSet, GflinkEnv, GpuMapSpec, OutMode};
+    use gflink_flink::{FlinkEnv, KeyedOps, OpCost, SharedCluster};
+    use gflink_memory::DataLayout;
+
+    let n_actual = 20_000usize;
+    let n_logical = 100_000_000u64;
+    let scale = n_logical as f64 / n_actual as f64;
+    let pairs: Vec<(u32, f32)> = (0..n_actual)
+        .map(|i| ((i % 1000) as u32, 1.0f32))
+        .collect();
+
+    // Baseline reduce, end-to-end.
+    let cluster = SharedCluster::new(ClusterConfig::single_node());
+    let env = FlinkEnv::submit(&cluster, "cpu-reduce", SimTime::ZERO);
+    let ds = env.parallelize("pairs", pairs.clone(), 4, scale);
+    let start = env.frontier();
+    let _ = ds.reduce_by_key("sum", pagerank::cpu_reduce_cost(), 12.0, scale, |a, b| a + b);
+    let cpu_wall = (env.frontier() - start).as_secs_f64();
+
+    // gpuReduce path.
+    let fabric_cfg = FabricConfig {
+        worker: GpuWorkerConfig {
+            models: vec![model],
+            ..GpuWorkerConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    let setup = Setup::with_configs(ClusterConfig::single_node(), fabric_cfg);
+    pagerank::register_kernels(&setup.fabric);
+    let genv = GflinkEnv::submit(&setup.cluster, &setup.fabric, "gpu-reduce", SimTime::ZERO);
+    let ds = genv.flink.parallelize("pairs", pairs, 4, scale);
+    let start = genv.flink.frontier();
+    let shuffled = ds.partition_by_key(
+        "shuffle",
+        12.0,
+        scale,
+        OpCost::new(2.0, 12.0).with_overhead_factor(0.1),
+    );
+    let packed = shuffled.map(
+        "pack",
+        OpCost::new(1.0, 8.0).with_overhead_factor(0.2),
+        |(d, v)| pagerank::AggContrib { dst: *d, val: *v },
+    );
+    let gpairs: GDataSet<pagerank::AggContrib> = genv.to_gdst(packed, DataLayout::Aos);
+    let spec = GpuMapSpec::new("cudaSumByKey")
+        .uncached()
+        .with_out_mode(OutMode::Bounded { per_record: 1 })
+        .with_out_scale(scale);
+    let _ = gpairs.gpu_map_partition::<pagerank::AggContrib>("gpu-reduce", &spec);
+    let gpu_wall = (genv.flink.frontier() - start).as_secs_f64();
+    (cpu_wall, gpu_wall)
+}
+
+fn fig8b() {
+    header(
+        "Fig 8b",
+        "GMapper/GReducer speedups per kernel and device (map-phase wall, CPU/GPU)",
+    );
+    row(&[
+        "kernel".into(),
+        "C2050".into(),
+        "GTX 750".into(),
+        "K20".into(),
+        "P100".into(),
+    ]);
+    for app in ["kmeans", "spmv", "pointadd"] {
+        let mut cols = vec![format!("GMapper {app}")];
+        for model in GpuModel::ALL {
+            let (c, g) = mapper_times(app, model);
+            cols.push(format!("{:.1}x", c / g));
+        }
+        row(&cols);
+    }
+    let mut cols = vec!["GReducer sum".to_string()];
+    for model in GpuModel::ALL {
+        let (c, g) = reducer_times(model);
+        cols.push(format!("{:.1}x", c / g));
+    }
+    row(&cols);
+}
+
+/// One exclusive + one concurrent execution of (KMeans, SpMV, PointAdd) on
+/// `workers` workers. Returns ((excl_km, excl_sp, excl_pa),
+/// (conc_km, conc_sp, conc_pa)) GPU-side times in seconds.
+#[allow(clippy::type_complexity)]
+fn multi_app(workers: usize, parallelism: usize) -> ((f64, f64, f64), (f64, f64, f64)) {
+    let km_p = |s: &Setup| {
+        let mut p = kmeans::Params::paper(150, s);
+        // Keep the per-node working set inside the GPU caches.
+        if workers == 1 {
+            p.n_logical = 20_000_000;
+            p.n_actual = 20_000;
+        }
+        p.parallelism = parallelism;
+        p
+    };
+    let sp_p = |s: &Setup| {
+        let mut p = spmv::Params::paper(2, s);
+        p.parallelism = parallelism;
+        p
+    };
+    let pa_p = |s: &Setup| {
+        let mut p = pointadd::Params::standard(s);
+        p.parallelism = parallelism;
+        p
+    };
+    // Exclusive: fresh cluster per app.
+    let e1 = Setup::standard(workers);
+    let excl_km = kmeans::run_gpu(&e1, &km_p(&e1)).total_secs();
+    let e2 = Setup::standard(workers);
+    let excl_sp = spmv::run_gpu(&e2, &sp_p(&e2)).total_secs();
+    let e3 = Setup::standard(workers);
+    let excl_pa = pointadd::run_gpu(&e3, &pa_p(&e3)).total_secs();
+    // Concurrent: one shared cluster + fabric, all submitted at t=0.
+    let shared = Setup::standard(workers);
+    let conc_km = kmeans::run_gpu_at(&shared, &km_p(&shared), SimTime::ZERO).total_secs();
+    let conc_sp = spmv::run_gpu_at(&shared, &sp_p(&shared), SimTime::ZERO).total_secs();
+    let conc_pa = pointadd::run_gpu_at(&shared, &pa_p(&shared), SimTime::ZERO).total_secs();
+    ((excl_km, excl_sp, excl_pa), (conc_km, conc_sp, conc_pa))
+}
+
+fn fig8c() {
+    header(
+        "Fig 8c",
+        "Concurrent multi-application execution on a single node (GFlink times)",
+    );
+    let ((ek, es, ep), (ck, cs, cp)) = multi_app(1, 4);
+    row(&["app".into(), "exclusive (s)".into(), "concurrent (s)".into()]);
+    row(&["kmeans".into(), format!("{ek:.2}"), format!("{ck:.2}")]);
+    row(&["spmv".into(), format!("{es:.2}"), format!("{cs:.2}")]);
+    row(&["pointadd".into(), format!("{ep:.2}"), format!("{cp:.2}")]);
+    let avg_excl = (ek + es + ep) / 3.0;
+    let conc_makespan = ck.max(cs).max(cp);
+    println!(
+        "avg exclusive {avg_excl:.2}s; concurrent makespan {conc_makespan:.2}s = {:.2}x \
+         the average exclusive time (paper: 'slightly more than three times')",
+        conc_makespan / avg_excl
+    );
+}
+
+fn fig8d() {
+    header(
+        "Fig 8d",
+        "Concurrent multi-application execution on the 10-worker cluster (parallelism 10 per app)",
+    );
+    // Speedups alone.
+    let par = 10usize; // the paper sets each application's parallelism to 10
+    let alone: Vec<(&str, f64)> = {
+        let mut v = Vec::new();
+        let s1 = Setup::standard(10);
+        let mut p = kmeans::Params::paper(150, &s1);
+        p.parallelism = par;
+        let c = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(10);
+        let g = kmeans::run_gpu(&s2, &p);
+        v.push(("kmeans", c.total_secs() / g.total_secs()));
+        let s1 = Setup::standard(10);
+        let mut p = spmv::Params::paper(2, &s1);
+        p.parallelism = par;
+        let c = spmv::run_cpu(&s1, &p);
+        let s2 = Setup::standard(10);
+        let g = spmv::run_gpu(&s2, &p);
+        v.push(("spmv", c.total_secs() / g.total_secs()));
+        let s1 = Setup::standard(10);
+        let mut p = pointadd::Params::standard(&s1);
+        p.parallelism = par;
+        let c = pointadd::run_cpu(&s1, &p);
+        let s2 = Setup::standard(10);
+        let g = pointadd::run_gpu(&s2, &p);
+        v.push(("pointadd", c.total_secs() / g.total_secs()));
+        v
+    };
+    // Speedups when all three run concurrently (CPU trio vs GPU trio on
+    // shared clusters).
+    let with_par = |mut p: kmeans::Params| {
+        p.parallelism = par;
+        p
+    };
+    let cpu_shared = Setup::standard(10);
+    let km_c = kmeans::run_cpu_at(
+        &cpu_shared,
+        &with_par(kmeans::Params::paper(150, &cpu_shared)),
+        SimTime::ZERO,
+    )
+    .total_secs();
+    let sp_c = {
+        let mut p = spmv::Params::paper(2, &cpu_shared);
+        p.parallelism = par;
+        spmv::run_cpu_at(&cpu_shared, &p, SimTime::ZERO).total_secs()
+    };
+    let pa_c = {
+        let mut p = pointadd::Params::standard(&cpu_shared);
+        p.parallelism = par;
+        pointadd::run_cpu_at(&cpu_shared, &p, SimTime::ZERO).total_secs()
+    };
+    let gpu_shared = Setup::standard(10);
+    let km_g = kmeans::run_gpu_at(
+        &gpu_shared,
+        &with_par(kmeans::Params::paper(150, &gpu_shared)),
+        SimTime::ZERO,
+    )
+    .total_secs();
+    let sp_g = {
+        let mut p = spmv::Params::paper(2, &gpu_shared);
+        p.parallelism = par;
+        spmv::run_gpu_at(&gpu_shared, &p, SimTime::ZERO).total_secs()
+    };
+    let pa_g = {
+        let mut p = pointadd::Params::standard(&gpu_shared);
+        p.parallelism = par;
+        pointadd::run_gpu_at(&gpu_shared, &p, SimTime::ZERO).total_secs()
+    };
+    row(&["app".into(), "speedup alone".into(), "speedup concurrent".into()]);
+    let concurrent = [km_c / km_g, sp_c / sp_g, pa_c / pa_g];
+    for ((name, a), c) in alone.iter().zip(concurrent.iter()) {
+        row(&[name.to_string(), format!("{a:.2}x"), format!("{c:.2}x")]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 1: the benchmark suite and its input sizes.
+//!
+//! Regenerates the paper's Table 1 and validates each workload generator by
+//! materializing a sample and printing its statistics.
+
+use gflink_apps::{concomp, kmeans, linreg, pagerank, spmv, wordcount, Setup};
+use gflink_bench::{header, row};
+
+fn main() {
+    header("Table 1", "Benchmarks from HiBench (+ Flink examples)");
+    row(&[
+        "benchmark".into(),
+        "data sizes (paper)".into(),
+        "elem bytes".into(),
+        "kind".into(),
+    ]);
+    row(&[
+        "KMeans".into(),
+        "150, 180, 210, 240, 270 (million points)".into(),
+        format!("{}", kmeans::POINT_BYTES),
+        "iterative".into(),
+    ]);
+    row(&[
+        "PageRank".into(),
+        "5, 10, 15, 20, 25 (million pages)".into(),
+        format!("{}", pagerank::ADJ_PAIR_BYTES),
+        "iterative".into(),
+    ]);
+    row(&[
+        "WordCount".into(),
+        "24, 32, 40, 48, 56 (GB)".into(),
+        format!("{}", wordcount::WORD_BYTES),
+        "batch".into(),
+    ]);
+    row(&[
+        "ComponentConnect".into(),
+        "5, 10, 15, 20, 25 (million pages)".into(),
+        format!("{}", concomp::ADJ_PAIR_BYTES),
+        "iterative".into(),
+    ]);
+    row(&[
+        "LinearRegression".into(),
+        "150, 180, 210, 240, 270 (million points)".into(),
+        format!("{}", linreg::SAMPLE_BYTES),
+        "iterative".into(),
+    ]);
+    row(&[
+        "SpMV".into(),
+        "2, 4, 8, 16, 32 (GB)".into(),
+        format!("{} per row (NNZ={})", spmv::ROW_BYTES, spmv::NNZ),
+        "iterative".into(),
+    ]);
+
+    header("Table 1b", "generator sanity (materialized samples)");
+    let setup = Setup::standard(2);
+    let km = kmeans::Params::paper(150, &setup);
+    row(&[
+        "kmeans".into(),
+        format!("logical={} actual={}", km.n_logical, km.n_actual),
+        format!(
+            "input file = {:.1} GB logical",
+            km.n_logical as f64 * kmeans::POINT_BYTES / 1e9
+        ),
+    ]);
+    let pr = pagerank::Params::paper(5, &setup);
+    row(&[
+        "pagerank".into(),
+        format!("logical={} actual={}", pr.n_logical, pr.n_actual),
+        format!(
+            "adjacency = {:.1} GB logical",
+            pr.n_logical as f64 * pagerank::ADJ_PAIR_BYTES / 1e9
+        ),
+    ]);
+    let wc = wordcount::Params::paper(24, &setup);
+    row(&[
+        "wordcount".into(),
+        format!(
+            "logical_words={} actual={}",
+            wc.words_logical(),
+            wc.words_actual
+        ),
+        format!("text = {:.0} GB logical", wc.bytes_logical as f64 / 1e9),
+    ]);
+    let sp = spmv::Params::paper(2, &setup);
+    row(&[
+        "spmv".into(),
+        format!("rows_logical={} actual={}", sp.rows_logical, sp.rows_actual),
+        format!(
+            "matrix = {:.1} GB + vector {:.0} MB logical",
+            sp.matrix_logical_bytes() as f64 / 1e9,
+            sp.vector_logical_bytes() as f64 / 1e6
+        ),
+    ]);
+    let cc = concomp::Params::paper(5, &setup);
+    row(&[
+        "concomp".into(),
+        format!("logical={} actual={}", cc.n_logical, cc.n_actual),
+        "same graph family as pagerank".into(),
+    ]);
+    let lr = linreg::Params::paper(150, &setup);
+    row(&[
+        "linreg".into(),
+        format!("logical={} actual={}", lr.n_logical, lr.n_actual),
+        format!("d = {}", linreg::D),
+    ]);
+}

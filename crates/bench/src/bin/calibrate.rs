@@ -1,0 +1,98 @@
+//! Calibration runner: prints the paper-shape summary for every workload at
+//! representative sizes so the cost-model constants can be tuned against
+//! the target bands (see DESIGN.md §5).
+//!
+//! Run with `cargo run --release -p gflink-bench --bin calibrate`.
+
+use gflink_apps::{concomp, kmeans, linreg, pagerank, pointadd, spmv, wordcount, AppRun, Setup};
+use gflink_sim::Phase;
+
+fn report(app: &str, size: &str, cpu: &AppRun, gpu: &AppRun) {
+    let sp = cpu.total_secs() / gpu.total_secs();
+    println!(
+        "{app:<14} {size:<10} flink {:>8.2}s  gflink {:>8.2}s  speedup {sp:>5.2}x   (cpu: map {:.0}% io {:.0}% shuf {:.0}% red {:.0}%)",
+        cpu.total_secs(),
+        gpu.total_secs(),
+        cpu.report.acct.fraction(Phase::Map) * 100.0,
+        cpu.report.acct.fraction(Phase::Io) * 100.0,
+        cpu.report.acct.fraction(Phase::Shuffle) * 100.0,
+        cpu.report.acct.fraction(Phase::Reduce) * 100.0,
+    );
+    let g = &gpu.report.acct;
+    println!(
+        "{:<25} gpu breakdown: map {:.1}s (k {:.1}s h2d {:.1}s d2h {:.1}s) io {:.1}s shuf {:.1}s red {:.1}s sched {:.1}s sub {:.1}s",
+        "",
+        g.get(Phase::Map).as_secs_f64(),
+        g.get(Phase::Kernel).as_secs_f64(),
+        g.get(Phase::TransferH2D).as_secs_f64(),
+        g.get(Phase::TransferD2H).as_secs_f64(),
+        g.get(Phase::Io).as_secs_f64(),
+        g.get(Phase::Shuffle).as_secs_f64(),
+        g.get(Phase::Reduce).as_secs_f64(),
+        g.get(Phase::Schedule).as_secs_f64(),
+        g.get(Phase::Submit).as_secs_f64(),
+    );
+}
+
+fn main() {
+    let workers = 10;
+    println!("== calibration: {workers} workers, 4 slots + 2x C2050 each ==");
+    println!("target bands: kmeans 5x | pagerank 3.5x | wordcount 1.1x | spmv 6.3x | linreg 9.2x | concomp 4.8x");
+
+    for (label, millions) in [("150M", 150u64), ("270M", 270u64)] {
+        let s1 = Setup::standard(workers);
+        let p = kmeans::Params::paper(millions, &s1);
+        let cpu = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = kmeans::run_gpu(&s2, &p);
+        report("kmeans", label, &cpu, &gpu);
+    }
+    for (label, millions) in [("150M", 150u64), ("270M", 270u64)] {
+        let s1 = Setup::standard(workers);
+        let p = linreg::Params::paper(millions, &s1);
+        let cpu = linreg::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = linreg::run_gpu(&s2, &p);
+        report("linreg", label, &cpu, &gpu);
+    }
+    for (label, gb) in [("2GB", 2u64), ("32GB", 32u64)] {
+        let s1 = Setup::standard(workers);
+        let p = spmv::Params::paper(gb, &s1);
+        let cpu = spmv::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = spmv::run_gpu(&s2, &p);
+        report("spmv", label, &cpu, &gpu);
+    }
+    for (label, m) in [("5M", 5u64), ("25M", 25u64)] {
+        let s1 = Setup::standard(workers);
+        let p = pagerank::Params::paper(m, &s1);
+        let cpu = pagerank::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = pagerank::run_gpu(&s2, &p);
+        report("pagerank", label, &cpu, &gpu);
+    }
+    for (label, m) in [("5M", 5u64), ("25M", 25u64)] {
+        let s1 = Setup::standard(workers);
+        let p = concomp::Params::paper(m, &s1);
+        let cpu = concomp::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = concomp::run_gpu(&s2, &p);
+        report("concomp", label, &cpu, &gpu);
+    }
+    for (label, gb) in [("24GB", 24u64), ("56GB", 56u64)] {
+        let s1 = Setup::standard(workers);
+        let p = wordcount::Params::paper(gb, &s1);
+        let cpu = wordcount::run_cpu(&s1, &p);
+        let s2 = Setup::standard(workers);
+        let gpu = wordcount::run_gpu(&s2, &p);
+        report("wordcount", label, &cpu, &gpu);
+    }
+    {
+        let s1 = Setup::standard(1);
+        let p = pointadd::Params::standard(&s1);
+        let cpu = pointadd::run_cpu(&s1, &p);
+        let s2 = Setup::standard(1);
+        let gpu = pointadd::run_gpu(&s2, &p);
+        report("pointadd", "100M", &cpu, &gpu);
+    }
+}

@@ -1,0 +1,89 @@
+//! # gflink-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation (§6). Each `cargo bench` target prints the same rows/series
+//! the paper reports; `EXPERIMENTS.md` records the paper-vs-measured
+//! comparison. This library holds the shared reporting helpers.
+
+use gflink_apps::AppRun;
+use gflink_sim::SimTime;
+
+/// Print a figure/table header.
+pub fn header(id: &str, caption: &str) {
+    println!();
+    println!("=== {id}: {caption} ===");
+}
+
+/// Format seconds with 2 decimals.
+pub fn secs(t: SimTime) -> String {
+    format!("{:.2}", t.as_secs_f64())
+}
+
+/// Compute speedup (CPU/GPU), guarding zero.
+pub fn speedup(cpu: &AppRun, gpu: &AppRun) -> f64 {
+    let g = gpu.total_secs();
+    if g == 0.0 {
+        f64::INFINITY
+    } else {
+        cpu.total_secs() / g
+    }
+}
+
+/// A TSV row printer: columns joined by tabs.
+pub fn row(cols: &[String]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Median wall time of the named map phases in a run's job graph — the
+/// steady-state per-iteration mapper time (the first occurrence overlaps
+/// the HDFS read and is not representative).
+pub fn median_map_wall(run: &AppRun, name_contains: &str) -> SimTime {
+    let mut walls: Vec<SimTime> = run
+        .report
+        .graph
+        .phases()
+        .iter()
+        .filter(|p| {
+            matches!(p.kind, gflink_flink::graph::PhaseKind::Map)
+                && p.name.contains(name_contains)
+        })
+        .map(|p| p.wall)
+        .collect();
+    walls.sort();
+    walls.get(walls.len() / 2).copied().unwrap_or(SimTime::ZERO)
+}
+
+/// Per-iteration times the way the paper's Fig. 7 plots them: the job
+/// prologue (submit + HDFS read) is folded into the first iteration and the
+/// epilogue (result write) into the last — §6.6.1 explains both effects.
+pub fn per_iteration_with_io(run: &AppRun) -> Vec<SimTime> {
+    let mut iters = run.per_iteration.clone();
+    if iters.is_empty() {
+        return vec![run.report.total];
+    }
+    let in_loop: SimTime = iters.iter().copied().sum();
+    // Everything outside the loop is prologue (submit + HDFS read): the
+    // apps issue their result writes inside or right at the end of the last
+    // iteration, and trailing sink metadata is negligible.
+    let prologue = run.report.total.saturating_sub(in_loop);
+    iters[0] += prologue;
+    iters
+}
+
+/// Convenience: stringify any Display list.
+#[macro_export]
+macro_rules! cols {
+    ($($x:expr),* $(,)?) => {
+        &[$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(SimTime::from_millis(1500)), "1.50");
+    }
+}

@@ -1,0 +1,858 @@
+//! The GFlink programming framework: GPU-based DataSets (§3.5).
+//!
+//! Users of GFlink (1) declare a GStruct-backed record type, (2) provide a
+//! kernel, and (3) call GPU-based operators on a GPU-based DataSet. The
+//! Rust analogues:
+//!
+//! 1. implement [`GRecord`] for the record type (the schema plus store/load
+//!    into a `RecordView` — what the paper's annotation + reflection
+//!    machinery derives);
+//! 2. register a kernel closure in the fabric's registry under its
+//!    `executeName`;
+//! 3. wrap a `DataSet<T>` into a [`GDataSet<T>`] and call
+//!    [`GDataSet::gpu_map_partition`] with a [`GpuMapSpec`].
+//!
+//! `gpu_map_partition` implements the block-processing model of §5.1: each
+//! partition is split into blocks (a GStruct never straddles a block), the
+//! owning task slot *produces* one [`GWork`] per block, and the worker's
+//! [`GpuManager`] consumes them — three-stage pipelining, caching and
+//! locality-aware scheduling all apply. Results are decoded back into
+//! records and the partition's ready time advances to its last block's
+//! completion.
+
+use crate::gwork::{CacheKey, GWork, WorkBuf};
+use crate::manager::{GpuManager, GpuWorkerConfig};
+use gflink_flink::{DataSet, FlinkEnv, JobReport, SharedCluster};
+use gflink_flink::dataset::RawPart;
+use gflink_flink::graph::{PhaseKind, PhaseRecord};
+use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
+use gflink_sim::{Phase, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A record type bindable to a GStruct layout.
+///
+/// This is the paper's `extends GStruct_8` + `@StructField` declaration:
+/// [`GRecord::def`] is the reflected schema, and store/load move a record
+/// between Rust and the raw off-heap bytes.
+pub trait GRecord: Clone + Send + 'static {
+    /// The GStruct schema of this record type.
+    fn def() -> GStructDef;
+    /// Write this record into slot `idx` of a layout view.
+    fn store(&self, view: &mut RecordView<'_>, idx: usize);
+    /// Read the record at slot `idx` of a layout view.
+    fn load(reader: &RecordReader<'_>, idx: usize) -> Self;
+}
+
+/// Output shape of a GPU map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutMode {
+    /// One output record per input record (classic map, e.g. PointAdd).
+    PerRecord,
+    /// A fixed number of output records per block (block-level aggregation,
+    /// e.g. KMeans partial sums: k records per block).
+    PerBlock(usize),
+    /// Up to `per_record` output records per input record; the kernel
+    /// declares the valid count via `KernelProfile::with_emitted` (used by
+    /// block-level combining with data-dependent cardinality, e.g. the
+    /// PageRank contribution aggregation).
+    Bounded {
+        /// Maximum output records per input record.
+        per_record: usize,
+    },
+}
+
+/// An extra input buffer shared by all blocks of a GPU map (broadcast
+/// state like KMeans centers, or SpMV's dense vector).
+#[derive(Clone)]
+pub struct ExtraInput {
+    /// The host bytes.
+    pub data: Arc<HBuffer>,
+    /// Paper-scale size for transfer timing.
+    pub logical_bytes: u64,
+    /// `Some(token)` caches the buffer on the GPU under that token (used by
+    /// SpMV to keep the dense vector resident, Fig. 8a); `None` re-transfers
+    /// it every map (used for per-iteration state like KMeans centers).
+    pub cache_token: Option<u64>,
+}
+
+/// Specification of a GPU-based mapper (what the user assembles in their
+/// `gpuMapBlock` implementation, Algorithm 3.1).
+#[derive(Clone)]
+pub struct GpuMapSpec {
+    /// Kernel `executeName` in the fabric registry.
+    pub kernel: String,
+    /// Cosmetic `.ptx` provenance.
+    pub ptx_path: String,
+    /// Scalar kernel parameters.
+    pub params: Vec<f64>,
+    /// Mark the input blocks `Cache` (§4.2.2) — essential for iterative
+    /// workloads.
+    pub cache_input: bool,
+    /// Output shape.
+    pub out_mode: OutMode,
+    /// Logical elements per actual output element (`None` ⇒ inherit the
+    /// input's scale for `PerRecord`, `1.0` for `PerBlock`).
+    pub out_scale: Option<f64>,
+    /// Optional extra input shared by all blocks — broadcast state such as
+    /// the current KMeans centers or SpMV's dense vector.
+    pub extra_input: Option<ExtraInput>,
+    /// CUDA thread-block size (informational).
+    pub block_size: u32,
+}
+
+impl GpuMapSpec {
+    /// A spec with defaults: cached input, per-record output, 256 threads.
+    pub fn new(kernel: &str) -> Self {
+        GpuMapSpec {
+            kernel: kernel.to_string(),
+            ptx_path: format!("/{kernel}.ptx"),
+            params: Vec::new(),
+            cache_input: true,
+            out_mode: OutMode::PerRecord,
+            out_scale: None,
+            extra_input: None,
+            block_size: 256,
+        }
+    }
+
+    /// Set scalar parameters.
+    pub fn with_params(mut self, params: Vec<f64>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Set the output mode.
+    pub fn with_out_mode(mut self, mode: OutMode) -> Self {
+        self.out_mode = mode;
+        self
+    }
+
+    /// Set the output scale.
+    pub fn with_out_scale(mut self, scale: f64) -> Self {
+        self.out_scale = Some(scale);
+        self
+    }
+
+    /// Disable input caching.
+    pub fn uncached(mut self) -> Self {
+        self.cache_input = false;
+        self
+    }
+
+    /// Attach a broadcast-style extra input, re-transferred on every map.
+    pub fn with_extra_input(mut self, buf: Arc<HBuffer>, logical_bytes: u64) -> Self {
+        self.extra_input = Some(ExtraInput {
+            data: buf,
+            logical_bytes,
+            cache_token: None,
+        });
+        self
+    }
+
+    /// Attach an extra input cached on the GPU under `token` (obtain one
+    /// from [`GpuFabric::new_cache_token`]).
+    pub fn with_cached_extra_input(
+        mut self,
+        buf: Arc<HBuffer>,
+        logical_bytes: u64,
+        token: u64,
+    ) -> Self {
+        self.extra_input = Some(ExtraInput {
+            data: buf,
+            logical_bytes,
+            cache_token: Some(token),
+        });
+        self
+    }
+}
+
+/// Fabric-wide GPU configuration.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Per-worker GPU complement and policies.
+    pub worker: GpuWorkerConfig,
+    /// Logical bytes per GPU block (§5.1's block size; larger than Flink's
+    /// 32 KiB page to amortize per-call overheads — see DESIGN.md).
+    pub block_bytes: u64,
+    /// Producer-side task time to assemble and submit one GWork.
+    pub producer_overhead: SimTime,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            worker: GpuWorkerConfig::default(),
+            block_bytes: 4 * 1024 * 1024,
+            producer_overhead: SimTime::from_micros(30),
+        }
+    }
+}
+
+/// The cluster's GPU fabric: one [`GpuManager`] per worker plus the shared
+/// kernel registry. Shared (like [`SharedCluster`]) so concurrent jobs
+/// contend for the same devices.
+#[derive(Clone)]
+pub struct GpuFabric {
+    managers: Arc<Mutex<Vec<GpuManager>>>,
+    registry: Arc<Mutex<KernelRegistry>>,
+    cfg: FabricConfig,
+    next_dataset: Arc<AtomicU64>,
+}
+
+impl GpuFabric {
+    /// Build the fabric for `num_workers` workers.
+    pub fn new(num_workers: usize, cfg: FabricConfig) -> Self {
+        let registry = Arc::new(Mutex::new(KernelRegistry::new()));
+        let managers = (0..num_workers)
+            .map(|w| GpuManager::new(w, cfg.worker.clone(), Arc::clone(&registry)))
+            .collect();
+        GpuFabric {
+            managers: Arc::new(Mutex::new(managers)),
+            registry,
+            cfg,
+            next_dataset: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Register a kernel under `name` (the analogue of deploying a `.ptx`).
+    pub fn register_kernel<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync + 'static,
+    {
+        self.registry.lock().register(name, f);
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Run `f` with the worker managers locked (reporting, tests).
+    pub fn with_managers<R>(&self, f: impl FnOnce(&mut [GpuManager]) -> R) -> R {
+        f(&mut self.managers.lock())
+    }
+
+    fn fresh_dataset_id(&self) -> u64 {
+        self.next_dataset.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A fresh token for caching an extra input
+    /// ([`GpuMapSpec::with_cached_extra_input`]).
+    pub fn new_cache_token(&self) -> u64 {
+        self.fresh_dataset_id()
+    }
+
+    /// Release all job caches on every worker (job teardown).
+    pub fn release_job_caches(&self) {
+        for m in self.managers.lock().iter_mut() {
+            m.release_job_caches();
+        }
+    }
+}
+
+/// Driver handle for a GFlink job: the Flink environment plus GPU fabric.
+#[derive(Clone)]
+pub struct GflinkEnv {
+    /// The underlying Flink environment (CPU operators remain available —
+    /// GFlink is compatible with the original Flink API).
+    pub flink: FlinkEnv,
+    fabric: GpuFabric,
+}
+
+impl GflinkEnv {
+    /// Submit a GFlink job at simulated instant `at`.
+    pub fn submit(cluster: &SharedCluster, fabric: &GpuFabric, name: &str, at: SimTime) -> Self {
+        GflinkEnv {
+            flink: FlinkEnv::submit(cluster, name, at),
+            fabric: fabric.clone(),
+        }
+    }
+
+    /// The GPU fabric.
+    pub fn fabric(&self) -> &GpuFabric {
+        &self.fabric
+    }
+
+    /// Wrap a CPU dataset into a GPU-based DataSet with the given input
+    /// layout.
+    pub fn to_gdst<T: GRecord>(&self, ds: DataSet<T>, layout: DataLayout) -> GDataSet<T> {
+        GDataSet {
+            ds,
+            id: self.fabric.fresh_dataset_id(),
+            layout,
+            env: self.clone(),
+        }
+    }
+
+    /// Finish the job: releases GPU cache regions (per §4.2.2 the cache
+    /// region lives for the job) and returns the report.
+    pub fn finish(&self) -> JobReport {
+        self.fabric.release_job_caches();
+        self.flink.finish()
+    }
+}
+
+/// Costs of the CPU-side glue around a GPU keyed reduction
+/// ([`GflinkEnv::gpu_reduce_by_key`]): receiving the shuffle into off-heap
+/// pages, packing pair records, and the final boundary merge. All three are
+/// tight raw-buffer loops, not per-object operator hops — which is the
+/// point of the zero-copy design (§3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct GpuReduceCosts {
+    /// Per-record cost of the shuffle receive (raw byte append).
+    pub receive: gflink_flink::OpCost,
+    /// Per-record cost of packing pairs into GStruct blocks.
+    pub pack: gflink_flink::OpCost,
+    /// Per-record cost of the boundary merge after the kernel.
+    pub merge: gflink_flink::OpCost,
+    /// Wire bytes of one pair at paper scale.
+    pub pair_logical_bytes: f64,
+}
+
+impl Default for GpuReduceCosts {
+    fn default() -> Self {
+        use gflink_flink::OpCost;
+        GpuReduceCosts {
+            receive: OpCost::new(2.0, 12.0).with_overhead_factor(0.1),
+            pack: OpCost::new(1.0, 8.0).with_overhead_factor(0.2),
+            merge: OpCost::new(2.0, 8.0).with_overhead_factor(0.2),
+            pair_logical_bytes: 12.0,
+        }
+    }
+}
+
+impl GflinkEnv {
+    /// The paper's **gpuReduce** (§3.5.2) as a first-class operator: a
+    /// keyed reduction whose per-block aggregation runs on the GPU.
+    ///
+    /// Pipeline: hash-shuffle `pairs` by key (network volume identical to
+    /// the CPU baseline) → pack the sorted buckets into GStruct blocks →
+    /// run `kernel` (which must aggregate by key within its block and
+    /// declare its output count via `KernelProfile::with_emitted`) → merge
+    /// duplicate keys across block boundaries in one linear CPU pass.
+    ///
+    /// `pack` converts a pair to its GStruct record, `unpack` inverts it,
+    /// and `fold` combines two values of one key (used only at block
+    /// boundaries; the kernel does the bulk of the combining).
+    #[allow(clippy::too_many_arguments)] // mirrors the operator's knobs
+    pub fn gpu_reduce_by_key<K, V, R, P, U, F>(
+        &self,
+        name: &str,
+        pairs: &DataSet<(K, V)>,
+        kernel: &str,
+        costs: GpuReduceCosts,
+        pack: P,
+        unpack: U,
+        fold: F,
+    ) -> DataSet<(K, V)>
+    where
+        K: Clone + Ord + std::hash::Hash + Send + 'static,
+        V: Clone + Send + 'static,
+        R: GRecord,
+        P: Fn(&(K, V)) -> R,
+        U: Fn(&R) -> (K, V),
+        F: Fn(&V, &V) -> V,
+    {
+        let scale = pairs.scale();
+        let shuffled = pairs.clone().partition_by_key(
+            &format!("{name}/shuffle"),
+            costs.pair_logical_bytes,
+            scale,
+            costs.receive,
+        );
+        let packed = shuffled.map(&format!("{name}/pack"), costs.pack, |kv| pack(kv));
+        let gpairs: GDataSet<R> = self.to_gdst(packed, DataLayout::Aos);
+        let spec = GpuMapSpec::new(kernel)
+            .uncached()
+            .with_out_mode(OutMode::Bounded { per_record: 1 })
+            .with_out_scale(scale);
+        let reduced: GDataSet<R> = gpairs.gpu_map_partition(&format!("{name}/gpu-reduce"), &spec);
+        reduced.inner().map_partition(
+            &format!("{name}/boundary-merge"),
+            costs.merge,
+            scale,
+            |recs| {
+                let mut sorted: Vec<(K, V)> = recs.iter().map(&unpack).collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut out: Vec<(K, V)> = Vec::with_capacity(sorted.len());
+                for (k, v) in sorted {
+                    match out.last_mut() {
+                        Some((lk, lv)) if *lk == k => *lv = fold(lv, &v),
+                        _ => out.push((k, v)),
+                    }
+                }
+                out
+            },
+        )
+    }
+}
+
+/// A GPU-based DataSet (the paper's GDST).
+pub struct GDataSet<T: GRecord> {
+    ds: DataSet<T>,
+    id: u64,
+    layout: DataLayout,
+    env: GflinkEnv,
+}
+
+impl<T: GRecord> GDataSet<T> {
+    /// The wrapped CPU dataset.
+    pub fn inner(&self) -> &DataSet<T> {
+        &self.ds
+    }
+
+    /// Unwrap into the CPU dataset.
+    pub fn into_inner(self) -> DataSet<T> {
+        self.ds
+    }
+
+    /// The dataset's stable identity (GPU cache key scope).
+    pub fn dataset_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The input data layout.
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Barrier helper for iterative drivers: no partition may be consumed
+    /// before `t` (e.g. after a broadcast of fresh state).
+    pub fn set_min_ready(&mut self, t: SimTime) {
+        self.ds.set_min_ready(t);
+    }
+
+    /// The GPU-based `mapPartition` (§3.5.2): split each partition into
+    /// blocks, run `spec.kernel` over every block on the worker's GPUs, and
+    /// rebuild a dataset from the outputs.
+    ///
+    /// Takes `&self` — like a Flink DST, a GDST may be consumed by many
+    /// operators (iterative drivers call this every superstep on the same
+    /// cached input).
+    pub fn gpu_map_partition<U: GRecord>(&self, name: &str, spec: &GpuMapSpec) -> GDataSet<U> {
+        let def = T::def();
+        let out_def = U::def();
+        let flink = &self.env.flink;
+        let fabric_cfg = self.env.fabric.cfg.clone();
+        let sched = flink.schedule_phase();
+        let cluster = flink.cluster();
+        let scale = self.ds.scale();
+        let coalescing = self.layout.coalescing_all_fields(&def);
+
+        let mut wall_start = SimTime::MAX;
+        let mut elements = 0u64;
+
+        // Producer side: each partition's pinned slot assembles one GWork
+        // per block and submits it to the worker's GpuManager.
+        self.env.fabric.with_managers(|managers| {
+            for (p, part) in self.ds.raw_parts().iter().enumerate() {
+                let n_act = part.data.len();
+                let n_log = n_act as f64 * scale;
+                elements += n_log as u64;
+                let logical_bytes = n_log * def.size() as f64;
+                let n_blocks = ((logical_bytes / fabric_cfg.block_bytes as f64).ceil() as usize)
+                    .clamp(1, n_act.max(1));
+                let mut cursor = part.ready + sched;
+                for b in 0..n_blocks {
+                    let lo = n_act * b / n_blocks;
+                    let hi = n_act * (b + 1) / n_blocks;
+                    let rows = hi - lo;
+                    // Build the block's off-heap bytes under the chosen
+                    // layout (zero-copy path: these exact bytes go to the
+                    // device).
+                    let mut buf =
+                        HBuffer::zeroed(RecordView::required_bytes(&def, self.layout, rows));
+                    {
+                        let mut view = RecordView::new(&mut buf, &def, self.layout, rows);
+                        for (i, rec) in part.data[lo..hi].iter().enumerate() {
+                            rec.store(&mut view, i);
+                        }
+                    }
+                    let block_logical_elems =
+                        (n_log * (hi - lo) as f64 / n_act.max(1) as f64).round() as u64;
+                    let block_logical_bytes =
+                        (block_logical_elems as f64 * def.size() as f64) as u64;
+                    // Producer occupies its task slot briefly per block.
+                    let r = {
+                        let mut cl = cluster.lock();
+                        cl.workers[part.worker].slots.reserve_on(
+                            part.slot,
+                            cursor,
+                            fabric_cfg.producer_overhead,
+                        )
+                    };
+                    cursor = r.end;
+                    wall_start = wall_start.min(r.start);
+                    let key = CacheKey {
+                        dataset: self.id,
+                        partition: p as u32,
+                        block: b as u32,
+                    };
+                    let data = Arc::new(buf);
+                    let mut inputs = vec![if spec.cache_input {
+                        WorkBuf::cached(data, block_logical_bytes, key)
+                    } else {
+                        WorkBuf::transient(data, block_logical_bytes)
+                    }];
+                    if let Some(extra) = &spec.extra_input {
+                        inputs.push(match extra.cache_token {
+                            Some(token) => WorkBuf::cached(
+                                Arc::clone(&extra.data),
+                                extra.logical_bytes,
+                                CacheKey {
+                                    dataset: token,
+                                    partition: u32::MAX,
+                                    block: 0,
+                                },
+                            ),
+                            None => {
+                                WorkBuf::transient(Arc::clone(&extra.data), extra.logical_bytes)
+                            }
+                        });
+                    }
+                    let out_rows = match spec.out_mode {
+                        OutMode::PerRecord => rows,
+                        OutMode::PerBlock(n) => n,
+                        OutMode::Bounded { per_record } => rows * per_record,
+                    };
+                    let out_actual_bytes =
+                        RecordView::required_bytes(&out_def, DataLayout::Aos, out_rows);
+                    let out_logical_bytes = match spec.out_mode {
+                        OutMode::PerRecord => {
+                            (block_logical_elems as f64 * out_def.size() as f64) as u64
+                        }
+                        OutMode::PerBlock(n) => (n * out_def.size()) as u64,
+                        OutMode::Bounded { per_record } => {
+                            (block_logical_elems as f64
+                                * per_record as f64
+                                * out_def.size() as f64) as u64
+                        }
+                    };
+                    let work = GWork {
+                        name: name.to_string(),
+                        execute_name: spec.kernel.clone(),
+                        ptx_path: spec.ptx_path.clone(),
+                        block_size: spec.block_size,
+                        grid_size: (block_logical_elems as u32).div_ceil(spec.block_size.max(1)),
+                        inputs,
+                        out_actual_bytes,
+                        out_logical_bytes,
+                        out_records: out_rows,
+                        params: spec.params.clone(),
+                        n_actual: rows,
+                        n_logical: block_logical_elems,
+                        coalescing,
+                        tag: (p as u32, b as u32),
+                    };
+                    managers[part.worker].submit(work, r.end);
+                }
+            }
+        });
+
+        // Consumer side: drain every worker's GpuManager.
+        #[allow(clippy::type_complexity)]
+        let mut per_part_blocks: Vec<Vec<(u32, HBuffer, Option<usize>, SimTime)>> =
+            (0..self.ds.num_partitions()).map(|_| Vec::new()).collect();
+        let mut kernel_sum = SimTime::ZERO;
+        let mut h2d_sum = SimTime::ZERO;
+        let mut d2h_sum = SimTime::ZERO;
+        let mut wall_end = SimTime::ZERO;
+        self.env.fabric.with_managers(|managers| {
+            for m in managers.iter_mut() {
+                for done in m.drain() {
+                    kernel_sum += done.timing.kernel;
+                    h2d_sum += done.timing.h2d;
+                    d2h_sum += done.timing.d2h;
+                    wall_end = wall_end.max(done.timing.completed);
+                    per_part_blocks[done.tag.0 as usize].push((
+                        done.tag.1,
+                        done.output,
+                        done.emitted,
+                        done.timing.completed,
+                    ));
+                }
+            }
+        });
+        // Rebuild partitions from block outputs, in block order.
+        let mut new_parts: Vec<RawPart<U>> = Vec::with_capacity(self.ds.num_partitions());
+        for (p, part) in self.ds.raw_parts().iter().enumerate() {
+            let blocks = &mut per_part_blocks[p];
+            blocks.sort_by_key(|(b, _, _, _)| *b);
+            let mut data: Vec<U> = Vec::new();
+            let mut ready = part.ready;
+            for (_, out_buf, emitted, completed) in blocks.iter() {
+                let capacity = out_buf.len() / out_def.size().max(1);
+                let out_rows = match spec.out_mode {
+                    OutMode::PerRecord => emitted.unwrap_or(capacity),
+                    OutMode::PerBlock(n) => n,
+                    OutMode::Bounded { .. } => {
+                        emitted.expect("Bounded output mode requires with_emitted")
+                    }
+                };
+                let reader = RecordReader::new(out_buf, &out_def, DataLayout::Aos, capacity);
+                for i in 0..out_rows {
+                    data.push(U::load(&reader, i));
+                }
+                ready = ready.max(*completed);
+            }
+            new_parts.push(RawPart {
+                worker: part.worker,
+                slot: part.slot,
+                data,
+                ready,
+            });
+        }
+
+        // Accounting: the GPU map is the job's Map phase; kernel/transfer
+        // components are tracked as Eq. (4) sub-phases.
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        flink.charge(Phase::Map, wall);
+        flink.charge(Phase::Kernel, kernel_sum);
+        flink.charge(Phase::TransferH2D, h2d_sum);
+        flink.charge(Phase::TransferD2H, d2h_sum);
+        flink.bump_frontier(wall_end);
+        flink.record_phase(PhaseRecord {
+            name: format!("gpuMapPartition({name})"),
+            kind: PhaseKind::Map,
+            parallelism: self.ds.num_partitions(),
+            wall,
+            elements,
+        });
+
+        let out_scale = match (spec.out_mode, spec.out_scale) {
+            (_, Some(s)) => s,
+            (OutMode::PerRecord, None) | (OutMode::Bounded { .. }, None) => scale,
+            (OutMode::PerBlock(_), None) => 1.0,
+        };
+        GDataSet {
+            ds: DataSet::from_raw(flink.clone(), new_parts, out_scale),
+            id: self.env.fabric.fresh_dataset_id(),
+            layout: DataLayout::Aos,
+            env: self.env.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachePolicy;
+    
+    use gflink_flink::ClusterConfig;
+    use gflink_memory::{AlignClass, FieldDef, PrimType};
+
+    /// The paper's §3.5.1 example record.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Point {
+        x: f32,
+        y: f32,
+    }
+
+    impl GRecord for Point {
+        fn def() -> GStructDef {
+            GStructDef::new(
+                "Point",
+                AlignClass::Align8,
+                vec![
+                    FieldDef::scalar("x", PrimType::F32),
+                    FieldDef::scalar("y", PrimType::F32),
+                ],
+            )
+        }
+        fn store(&self, view: &mut RecordView<'_>, idx: usize) {
+            view.set_f64(idx, 0, 0, self.x as f64);
+            view.set_f64(idx, 1, 0, self.y as f64);
+        }
+        fn load(reader: &RecordReader<'_>, idx: usize) -> Self {
+            Point {
+                x: reader.get_f64(idx, 0, 0) as f32,
+                y: reader.get_f64(idx, 1, 0) as f32,
+            }
+        }
+    }
+
+    fn add_point_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+        // The paper's addPoint: out.x = in.x + dx, out.y = in.y + dy.
+        let def = Point::def();
+        let n = args.n_actual;
+        let (dx, dy) = (args.params[0], args.params[1]);
+        let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
+        let out = &mut args.outputs[0];
+        let mut view = RecordView::new(out, &def, DataLayout::Aos, n);
+        for i in 0..n {
+            view.set_f64(i, 0, 0, reader.get_f64(i, 0, 0) + dx);
+            view.set_f64(i, 1, 0, reader.get_f64(i, 1, 0) + dy);
+        }
+        KernelProfile::new(
+            args.n_logical as f64 * 2.0,
+            args.n_logical as f64 * 2.0 * def.size() as f64,
+        )
+    }
+
+    fn setup(workers: usize) -> (SharedCluster, GpuFabric) {
+        let cluster = SharedCluster::new(ClusterConfig::standard(workers));
+        let fabric = GpuFabric::new(workers, FabricConfig::default());
+        fabric.register_kernel("cudaAddPoint", add_point_kernel);
+        (cluster, fabric)
+    }
+
+    #[test]
+    fn gpu_map_partition_computes_real_results() {
+        let (cluster, fabric) = setup(2);
+        let env = GflinkEnv::submit(&cluster, &fabric, "addpoint", SimTime::ZERO);
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point {
+                x: i as f32,
+                y: -(i as f32),
+            })
+            .collect();
+        let ds = env.flink.parallelize("pts", pts.clone(), 4, 1000.0);
+        let gdst = env.to_gdst(ds, DataLayout::Aos);
+        let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![1.0, 2.0]);
+        let out = gdst.gpu_map_partition::<Point>("addPoint", &spec);
+        let got = out.inner().collect("get", 8.0);
+        assert_eq!(got.len(), 100);
+        // Partition-ordered collection: verify value correctness setwise.
+        let mut xs: Vec<i64> = got.iter().map(|p| p.x as i64).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, (1..=100).collect::<Vec<i64>>());
+        for p in &got {
+            // out.x = i + 1, out.y = -i + 2 → both recover the same i.
+            assert_eq!(p.x - 1.0, -(p.y - 2.0));
+        }
+        let report = env.finish();
+        assert!(report.acct.get(Phase::Kernel) > SimTime::ZERO);
+        assert!(report.acct.get(Phase::TransferH2D) > SimTime::ZERO);
+        assert!(report.acct.get(Phase::TransferD2H) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn second_iteration_hits_gpu_cache() {
+        let (cluster, fabric) = setup(1);
+        let env = GflinkEnv::submit(&cluster, &fabric, "iter", SimTime::ZERO);
+        let pts: Vec<Point> = (0..64).map(|i| Point { x: i as f32, y: 0.0 }).collect();
+        let ds = env.flink.parallelize("pts", pts, 2, 1.0e6);
+        let gdst = env.to_gdst(ds, DataLayout::Aos);
+        let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![0.0, 0.0]);
+        let t0 = env.flink.frontier();
+        let _o1 = gdst.gpu_map_partition::<Point>("it1", &spec);
+        let t1 = env.flink.frontier();
+        let _o2 = gdst.gpu_map_partition::<Point>("it2", &spec);
+        let t2 = env.flink.frontier();
+        let first = t1 - t0;
+        let second = t2 - t1;
+        assert!(
+            second < first,
+            "cached iteration ({second}) should beat cold ({first})"
+        );
+        // And the caches saw hits.
+        let hits = fabric.with_managers(|ms| {
+            ms.iter()
+                .map(|m| (0..m.gpu_count()).map(|g| m.cache(g).stats().0).sum::<u64>())
+                .sum::<u64>()
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn disabled_cache_transfers_every_iteration() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(1));
+        let mut cfg = FabricConfig::default();
+        cfg.worker.cache_policy = CachePolicy::Disabled;
+        let fabric = GpuFabric::new(1, cfg);
+        fabric.register_kernel("cudaAddPoint", add_point_kernel);
+        let env = GflinkEnv::submit(&cluster, &fabric, "nocache", SimTime::ZERO);
+        let pts: Vec<Point> = (0..64).map(|i| Point { x: i as f32, y: 0.0 }).collect();
+        let ds = env.flink.parallelize("pts", pts, 2, 1.0e6);
+        let gdst = env.to_gdst(ds, DataLayout::Aos);
+        let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![0.0, 0.0]);
+        let t0 = env.flink.frontier();
+        let _o1 = gdst.gpu_map_partition::<Point>("it1", &spec);
+        let t1 = env.flink.frontier();
+        let _o2 = gdst.gpu_map_partition::<Point>("it2", &spec);
+        let t2 = env.flink.frontier();
+        // Without the cache, iteration 2 pays the H2D again: roughly equal.
+        let first = (t1 - t0).as_secs_f64();
+        let second = (t2 - t1).as_secs_f64();
+        assert!(second > first * 0.7, "no-cache iterations stay expensive");
+    }
+
+    #[test]
+    fn per_block_output_mode_aggregates() {
+        let (cluster, fabric) = setup(1);
+        // A kernel producing one summary Point per block.
+        fabric.register_kernel("blocksum", |args: &mut KernelArgs<'_>| {
+            let def = Point::def();
+            let n = args.n_actual;
+            let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
+            let (mut sx, mut sy) = (0.0, 0.0);
+            for i in 0..n {
+                sx += reader.get_f64(i, 0, 0);
+                sy += reader.get_f64(i, 1, 0);
+            }
+            let out = &mut args.outputs[0];
+            let mut view = RecordView::new(out, &def, DataLayout::Aos, 1);
+            view.set_f64(0, 0, 0, sx);
+            view.set_f64(0, 1, 0, sy);
+            KernelProfile::new(args.n_logical as f64 * 2.0, args.n_logical as f64 * 8.0)
+        });
+        let env = GflinkEnv::submit(&cluster, &fabric, "agg", SimTime::ZERO);
+        let pts: Vec<Point> = (0..10).map(|_| Point { x: 1.0, y: 2.0 }).collect();
+        let ds = env.flink.parallelize("pts", pts, 2, 1.0);
+        let gdst = env.to_gdst(ds, DataLayout::Aos);
+        let spec = GpuMapSpec::new("blocksum")
+            .with_out_mode(OutMode::PerBlock(1))
+            .with_out_scale(1.0);
+        let out = gdst.gpu_map_partition::<Point>("sum", &spec);
+        let got = out.inner().collect("get", 8.0);
+        // 2 partitions × 1 block each (tiny data) = 2 partials.
+        assert_eq!(got.len(), 2);
+        let total: f32 = got.iter().map(|p| p.x).sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn soa_layout_roundtrips_through_gpu() {
+        let (cluster, fabric) = setup(1);
+        fabric.register_kernel("soaAdd", |args: &mut KernelArgs<'_>| {
+            let def = Point::def();
+            let n = args.n_actual;
+            let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Soa, n);
+            let out = &mut args.outputs[0];
+            let mut view = RecordView::new(out, &def, DataLayout::Aos, n);
+            for i in 0..n {
+                view.set_f64(i, 0, 0, reader.get_f64(i, 0, 0) * 2.0);
+                view.set_f64(i, 1, 0, reader.get_f64(i, 1, 0) * 2.0);
+            }
+            KernelProfile::new(args.n_logical as f64 * 2.0, args.n_logical as f64 * 16.0)
+        });
+        let env = GflinkEnv::submit(&cluster, &fabric, "soa", SimTime::ZERO);
+        let pts: Vec<Point> = (0..16).map(|i| Point { x: i as f32, y: 1.0 }).collect();
+        let ds = env.flink.parallelize("pts", pts, 1, 1.0);
+        let gdst = env.to_gdst(ds, DataLayout::Soa);
+        let out = gdst.gpu_map_partition::<Point>("soaAdd", &GpuMapSpec::new("soaAdd"));
+        let got = out.inner().collect("get", 8.0);
+        assert_eq!(got[3].x, 6.0);
+        assert_eq!(got[3].y, 2.0);
+    }
+
+    #[test]
+    fn gdst_reusable_across_supersteps() {
+        let (cluster, fabric) = setup(1);
+        let env = GflinkEnv::submit(&cluster, &fabric, "loop", SimTime::ZERO);
+        let pts: Vec<Point> = (0..8).map(|_| Point { x: 0.0, y: 0.0 }).collect();
+        let ds = env.flink.parallelize("pts", pts, 1, 1.0);
+        let mut gdst = env.to_gdst(ds, DataLayout::Aos);
+        for it in 0..3 {
+            let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![it as f64, 0.0]);
+            let out = gdst.gpu_map_partition::<Point>("step", &spec);
+            gdst.set_min_ready(env.flink.frontier());
+            drop(out);
+        }
+        // Three supersteps on the same GDST, no panics, frontier advanced.
+        assert!(env.flink.frontier() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,232 @@
+//! `GWork`: the unit of GPU work.
+//!
+//! Algorithm 3.1 of the paper shows the user assembling a `GWork` inside a
+//! GPU-based mapper: set the PTX path and `executeName`, the input/output
+//! buffers, launch geometry (`blockSize`/`gridSize`), and cache flags, then
+//! submit it to the GStreamManager. [`GWork`] is that descriptor; the
+//! GStreamManager consumes it and returns a [`CompletedWork`] carrying the
+//! output buffer and the per-stage [`WorkTiming`].
+
+use gflink_memory::HBuffer;
+use gflink_sim::SimTime;
+use std::sync::Arc;
+
+/// Identity of a cacheable block: the paper keys the GPU cache hash table
+/// by partition ID and block ID (§4.2.2); the dataset id scopes keys across
+/// datasets sharing the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Identity of the (G)DataSet the block belongs to.
+    pub dataset: u64,
+    /// Partition index.
+    pub partition: u32,
+    /// Block index within the partition.
+    pub block: u32,
+}
+
+/// One input buffer of a `GWork`.
+#[derive(Clone)]
+pub struct WorkBuf {
+    /// Host-side bytes (off-heap direct buffer).
+    pub data: Arc<HBuffer>,
+    /// Size at paper scale, used for transfer timing and cache accounting.
+    pub logical_bytes: u64,
+    /// `Some` ⇒ the buffer is marked `Cache` (§4.2.2) under this key.
+    pub cache_key: Option<CacheKey>,
+}
+
+impl WorkBuf {
+    /// A transient (uncached) input.
+    pub fn transient(data: Arc<HBuffer>, logical_bytes: u64) -> Self {
+        WorkBuf {
+            data,
+            logical_bytes,
+            cache_key: None,
+        }
+    }
+
+    /// A cacheable input under `key`.
+    pub fn cached(data: Arc<HBuffer>, logical_bytes: u64, key: CacheKey) -> Self {
+        WorkBuf {
+            data,
+            logical_bytes,
+            cache_key: Some(key),
+        }
+    }
+}
+
+/// A unit of GPU work (the paper's `GWork`).
+#[derive(Clone)]
+pub struct GWork {
+    /// Human-readable name for reports (e.g. `"kmeans-assign"`).
+    pub name: String,
+    /// Kernel name resolved against the registry (the paper's
+    /// `executeName`, e.g. `"cudaAddPoint"`).
+    pub execute_name: String,
+    /// Cosmetic provenance, mirroring `sWork.ptxPath` in Algorithm 3.1.
+    pub ptx_path: String,
+    /// CUDA launch geometry (informational; the cost model works from the
+    /// kernel's reported profile).
+    pub block_size: u32,
+    /// CUDA grid size.
+    pub grid_size: u32,
+    /// Input buffers, in the order the kernel expects.
+    pub inputs: Vec<WorkBuf>,
+    /// Actual byte size of the output buffer.
+    pub out_actual_bytes: usize,
+    /// Logical byte size of the output at full capacity (D2H timing; scaled
+    /// down when the kernel emits fewer records).
+    pub out_logical_bytes: u64,
+    /// Output capacity in records (denominator for `emitted` scaling).
+    pub out_records: usize,
+    /// Scalar kernel parameters.
+    pub params: Vec<f64>,
+    /// Actual elements in the input block.
+    pub n_actual: usize,
+    /// Logical elements the block represents.
+    pub n_logical: u64,
+    /// Memory-coalescing factor from the block's data layout (§2.1).
+    pub coalescing: f64,
+    /// Caller tag: (partition, block) for reassembly.
+    pub tag: (u32, u32),
+}
+
+impl GWork {
+    /// Total logical input bytes (what must be resident on the device).
+    pub fn input_logical_bytes(&self) -> u64 {
+        self.inputs.iter().map(|b| b.logical_bytes).sum()
+    }
+
+    /// Logical bytes of inputs annotated `Cache`.
+    pub fn cached_input_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .filter(|b| b.cache_key.is_some())
+            .map(|b| b.logical_bytes)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for GWork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GWork({} -> {}, tag {:?}, {} inputs, {} logical elems)",
+            self.name,
+            self.execute_name,
+            self.tag,
+            self.inputs.len(),
+            self.n_logical
+        )
+    }
+}
+
+/// Per-stage timing of one executed `GWork`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkTiming {
+    /// When the work was submitted to the GStreamManager.
+    pub submitted: SimTime,
+    /// When a stream picked it up.
+    pub started: SimTime,
+    /// Host-to-device transfer time (zero on a full cache hit).
+    pub h2d: SimTime,
+    /// Kernel execution time.
+    pub kernel: SimTime,
+    /// Device-to-host transfer time.
+    pub d2h: SimTime,
+    /// Completion instant.
+    pub completed: SimTime,
+    /// Cache hits among the inputs.
+    pub cache_hits: u32,
+    /// Cache misses among cacheable inputs.
+    pub cache_misses: u32,
+}
+
+impl WorkTiming {
+    /// Total time on the GPU fabric (queueing included).
+    pub fn total(&self) -> SimTime {
+        self.completed - self.submitted
+    }
+
+    /// Time spent queued before a stream picked the work up.
+    pub fn queued(&self) -> SimTime {
+        self.started - self.submitted
+    }
+}
+
+/// A finished `GWork`: the output buffer plus where/when it ran.
+pub struct CompletedWork {
+    /// The originating work's name.
+    pub name: String,
+    /// The originating work's tag (partition, block).
+    pub tag: (u32, u32),
+    /// GPU index (within the worker) that executed it.
+    pub gpu: usize,
+    /// Stream index (within the GPU bulk) that carried it.
+    pub stream: usize,
+    /// Output buffer with real results.
+    pub output: HBuffer,
+    /// Valid output records when the kernel declared a data-dependent
+    /// count; `None` means full capacity.
+    pub emitted: Option<usize>,
+    /// Per-stage timing.
+    pub timing: WorkTiming,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u32) -> CacheKey {
+        CacheKey {
+            dataset: 1,
+            partition: 0,
+            block: b,
+        }
+    }
+
+    fn buf(_bytes: u64) -> Arc<HBuffer> {
+        Arc::new(HBuffer::zeroed(16))
+    }
+
+    fn work(inputs: Vec<WorkBuf>) -> GWork {
+        GWork {
+            name: "w".into(),
+            execute_name: "k".into(),
+            ptx_path: "/k.ptx".into(),
+            block_size: 256,
+            grid_size: 1,
+            inputs,
+            out_actual_bytes: 16,
+            out_logical_bytes: 1024,
+            out_records: 4,
+            params: vec![],
+            n_actual: 4,
+            n_logical: 4000,
+            coalescing: 1.0,
+            tag: (0, 0),
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let w = work(vec![
+            WorkBuf::cached(buf(0), 1000, key(0)),
+            WorkBuf::transient(buf(0), 500),
+        ]);
+        assert_eq!(w.input_logical_bytes(), 1500);
+        assert_eq!(w.cached_input_bytes(), 1000);
+    }
+
+    #[test]
+    fn timing_derived_quantities() {
+        let t = WorkTiming {
+            submitted: SimTime::from_micros(10),
+            started: SimTime::from_micros(25),
+            completed: SimTime::from_micros(100),
+            ..WorkTiming::default()
+        };
+        assert_eq!(t.queued(), SimTime::from_micros(15));
+        assert_eq!(t.total(), SimTime::from_micros(90));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # gflink-core
+//!
+//! GFlink itself: the in-memory computing architecture on heterogeneous
+//! CPU–GPU clusters from the paper. This crate layers the GPU side onto the
+//! baseline engine in `gflink-flink`:
+//!
+//! * [`GWork`] — the unit of GPU work the paper's programmers build in
+//!   GPU-based mappers/reducers (§3.5.3): named kernel, input/output
+//!   buffers, launch geometry, cache annotations.
+//! * [`GpuManager`] — the per-worker GPUManager (§3.4): it combines the
+//!   GMemoryManager (automatic device allocation + the GPU cache scheme of
+//!   §4.2) and the GStreamManager (§5: producer/consumer decoupling, stream
+//!   bulks, per-GPU FIFO GWork queues, three-stage H2D/K/D2H pipelining,
+//!   and the adaptive locality-aware scheduling of Algorithms 5.1/5.2).
+//! * [`GflinkEnv`] / [`GDataSet`] — the programming framework (§3.5): a
+//!   GPU-based DataSet built on [`GRecord`] (the GStruct binding), with
+//!   `gpu_map_partition`-style operators that split partitions into blocks
+//!   and drive them through the GPU fabric.
+//! * [`commpath`] — the JVM→GPU communication-strategy comparison: GStruct
+//!   zero-copy vs. the serialize/copy path of prior systems (§4.1).
+//! * [`model`] — the analytical model of §6.3/6.4 (Eqs. 1–4).
+
+pub mod cache;
+pub mod commpath;
+pub mod gdst;
+pub mod gwork;
+pub mod manager;
+pub mod model;
+pub mod scheduling;
+pub mod stream;
+
+pub use cache::{CachePolicy, GpuCache};
+pub use gdst::{ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts, OutMode};
+pub use gwork::{CacheKey, CompletedWork, GWork, WorkBuf, WorkTiming};
+pub use manager::{GpuManager, GpuWorkerConfig};
+pub use scheduling::SchedulingPolicy;
+pub use stream::{run_cpu_stream, run_gpu_stream, StreamReport, StreamSource};

@@ -1,0 +1,865 @@
+//! The per-worker GPUManager: GMemoryManager + GStreamManager.
+//!
+//! This is the execution model of §5 implemented as an event-driven loop
+//! over simulated time:
+//!
+//! * Flink tasks are **producers**: they submit [`GWork`] with a timestamp.
+//! * CUDA streams are **consumers**: each GPU contributes a *bulk* of
+//!   streams; a stream carries one GWork at a time through the three-stage
+//!   H2D → Kernel → D2H pipeline. Overlap is physical: stages reserve the
+//!   device's copy/kernel engine timelines, so concurrent streams pipeline
+//!   exactly as far as the hardware allows (one copy engine = half duplex).
+//! * [`GWork` scheduling][SchedulingPolicy] follows Algorithm 5.1: prefer
+//!   the GPU whose cache already holds the most input bytes; fall back to
+//!   the bulk with the most idle streams; if no stream is idle, park the
+//!   work in a per-GPU FIFO queue (GWork Pool).
+//! * When a stream finishes, it **steals** per Algorithm 5.2: its own GPU's
+//!   queue first, then the longest queue.
+//! * The GMemoryManager half allocates/frees device buffers automatically
+//!   and runs the GPU cache of §4.2.2.
+
+use crate::cache::{CachePolicy, GpuCache};
+use crate::gwork::{CompletedWork, GWork, WorkTiming};
+use crate::scheduling::SchedulingPolicy;
+use gflink_gpu::{DevBufId, GpuModel, KernelRegistry, VirtualGpu};
+use gflink_memory::HBuffer;
+use gflink_sim::{EventQueue, SimRng, SimTime};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Configuration of one worker's GPU complement.
+#[derive(Clone, Debug)]
+pub struct GpuWorkerConfig {
+    /// GPU models installed in the worker (the paper's standard worker has
+    /// two Tesla C2050s).
+    pub models: Vec<GpuModel>,
+    /// CUDA streams per GPU (the stream bulk size).
+    pub streams_per_gpu: usize,
+    /// GPU cache region capacity per GPU, logical bytes (§4.2.2: a
+    /// user-defined parameter).
+    pub cache_capacity: u64,
+    /// Cache policy.
+    pub cache_policy: CachePolicy,
+    /// GWork scheduling policy.
+    pub scheduling: SchedulingPolicy,
+    /// Injected per-launch kernel failure probability (fault-tolerance
+    /// testing; §1 motivates building on Flink precisely because it
+    /// "uses replication and error detection to schedule around
+    /// failures"). A failed launch is detected at kernel completion, its
+    /// buffers are reclaimed, and the GWork is resubmitted — on a
+    /// *different* GPU when the worker has more than one.
+    pub failure_rate: f64,
+    /// Maximum resubmissions per GWork before the job is declared failed.
+    pub max_retries: u32,
+}
+
+impl Default for GpuWorkerConfig {
+    fn default() -> Self {
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+            streams_per_gpu: 4,
+            cache_capacity: 2_000_000_000, // 2 GB of the C2050's 3 GB
+            cache_policy: CachePolicy::Fifo,
+            scheduling: SchedulingPolicy::LocalityAware,
+            failure_rate: 0.0,
+            max_retries: 3,
+        }
+    }
+}
+
+enum Ev {
+    Submit(Box<(SimTime, GWork)>),
+    StreamFree { gpu: usize, stream: usize },
+    /// A work's H2D stage finished; launch its kernel.
+    KernelStage(u64),
+    /// A work's kernel finished; start its D2H transfer.
+    D2hStage(u64),
+}
+
+/// Per-work state carried between pipeline-stage events.
+struct InFlight {
+    work: GWork,
+    retries: u32,
+    timing: WorkTiming,
+    gpu: usize,
+    stream: usize,
+    dev_inputs: Vec<DevBufId>,
+    transient: Vec<DevBufId>,
+    /// Cache keys pinned for the duration of this work.
+    pinned: Vec<crate::gwork::CacheKey>,
+    out_dev: DevBufId,
+    emitted: Option<usize>,
+}
+
+/// The per-worker GPU manager.
+pub struct GpuManager {
+    worker_id: usize,
+    cfg: GpuWorkerConfig,
+    gpus: Vec<VirtualGpu>,
+    caches: Vec<GpuCache>,
+    /// `stream_busy_until[g][s]`
+    stream_busy_until: Vec<Vec<SimTime>>,
+    /// Per-GPU FIFO GWork queues (the GWork Pool), with original submit
+    /// instants (for queueing-delay reporting) and retry counts.
+    queues: Vec<VecDeque<(SimTime, u32, GWork)>>,
+    registry: Arc<Mutex<KernelRegistry>>,
+    pending: Vec<(SimTime, GWork)>,
+    completed: Vec<CompletedWork>,
+    rr_counter: usize,
+    rng: SimRng,
+    steals: u64,
+    failures: u64,
+    executed_per_gpu: Vec<u64>,
+    in_flight: std::collections::HashMap<u64, InFlight>,
+    next_flight: u64,
+}
+
+impl GpuManager {
+    /// Build the manager for worker `worker_id`.
+    pub fn new(
+        worker_id: usize,
+        cfg: GpuWorkerConfig,
+        registry: Arc<Mutex<KernelRegistry>>,
+    ) -> Self {
+        assert!(!cfg.models.is_empty(), "worker needs at least one GPU");
+        assert!(cfg.streams_per_gpu >= 1);
+        let gpus: Vec<VirtualGpu> = cfg
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| VirtualGpu::new(i, m))
+            .collect();
+        let caches = gpus
+            .iter()
+            .map(|g| {
+                let cap = cfg.cache_capacity.min(g.spec().dev_mem_bytes * 3 / 4);
+                GpuCache::new(cap, cfg.cache_policy)
+            })
+            .collect();
+        let n = gpus.len();
+        GpuManager {
+            worker_id,
+            stream_busy_until: vec![vec![SimTime::ZERO; cfg.streams_per_gpu]; n],
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            caches,
+            gpus,
+            registry,
+            pending: Vec::new(),
+            completed: Vec::new(),
+            rr_counter: 0,
+            rng: SimRng::new(0x5EED_0000 + worker_id as u64),
+            steals: 0,
+            failures: 0,
+            executed_per_gpu: vec![0; n],
+            in_flight: std::collections::HashMap::new(),
+            next_flight: 1,
+            cfg,
+        }
+    }
+
+    /// Worker index this manager belongs to.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Number of GPUs managed.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Immutable access to a GPU (tests, reporting).
+    pub fn gpu(&self, i: usize) -> &VirtualGpu {
+        &self.gpus[i]
+    }
+
+    /// Immutable access to a GPU's cache.
+    pub fn cache(&self, i: usize) -> &GpuCache {
+        &self.caches[i]
+    }
+
+    /// Works executed per GPU (load-balance reporting).
+    pub fn executed_per_gpu(&self) -> &[u64] {
+        &self.executed_per_gpu
+    }
+
+    /// Number of Alg. 5.2 steals from foreign queues.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Number of injected kernel failures recovered from.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Enqueue `work` as submitted at simulated instant `at`. The work runs
+    /// when [`GpuManager::drain`] is called.
+    pub fn submit(&mut self, work: GWork, at: SimTime) {
+        self.pending.push((at, work));
+    }
+
+    /// Release every cached device buffer (job end, §4.2.2) and reset cache
+    /// state. Engine timelines are preserved.
+    pub fn release_job_caches(&mut self) {
+        for (g, cache) in self.caches.iter_mut().enumerate() {
+            for dev in cache.clear() {
+                let _ = self.gpus[g].dmem.release(dev);
+            }
+        }
+    }
+
+    /// Run the event loop until all submitted work has completed; returns
+    /// the completions (unordered across GPUs, deterministic overall).
+    pub fn drain(&mut self) -> Vec<CompletedWork> {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        // Wake every stream at its current busy-until so queued work left
+        // from interleaved submissions is always picked up.
+        for g in 0..self.gpus.len() {
+            for s in 0..self.cfg.streams_per_gpu {
+                q.schedule(self.stream_busy_until[g][s], Ev::StreamFree { gpu: g, stream: s });
+            }
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|(t, _)| *t);
+        for (t, w) in pending {
+            q.schedule(t, Ev::Submit(Box::new((t, w))));
+        }
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Ev::Submit(b) => {
+                    let (submitted, w) = *b;
+                    self.on_submit(w, submitted, t, &mut q);
+                }
+                Ev::StreamFree { gpu, stream } => self.on_stream_free(gpu, stream, t, &mut q),
+                Ev::KernelStage(id) => self.on_kernel_stage(id, t, &mut q),
+                Ev::D2hStage(id) => self.on_d2h_stage(id, t, &mut q),
+            }
+        }
+        debug_assert!(self.queues.iter().all(VecDeque::is_empty), "work left queued");
+        debug_assert!(self.in_flight.is_empty(), "work stuck in flight");
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Alg. 5.1, step 1: the GPU whose cache holds the most of this work's
+    /// cached input bytes (`GID`), or `None` when nothing is resident.
+    fn locality_gpu(&self, work: &GWork) -> Option<usize> {
+        let keys: Vec<_> = work.inputs.iter().filter_map(|b| b.cache_key).collect();
+        if keys.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for (g, cache) in self.caches.iter().enumerate() {
+            let bytes = cache.resident_bytes(&keys);
+            if bytes > 0 && best.map(|(_, b)| bytes > b).unwrap_or(true) {
+                best = Some((g, bytes));
+            }
+        }
+        best.map(|(g, _)| g)
+    }
+
+    fn idle_streams(&self, gpu: usize, t: SimTime) -> usize {
+        self.stream_busy_until[gpu]
+            .iter()
+            .filter(|&&b| b <= t)
+            .count()
+    }
+
+    fn first_idle_stream(&self, gpu: usize, t: SimTime) -> Option<usize> {
+        self.stream_busy_until[gpu].iter().position(|&b| b <= t)
+    }
+
+    /// The bulk with the most idle streams (ties → lowest GPU index).
+    fn most_idle_bulk(&self, t: SimTime) -> Option<(usize, usize)> {
+        let (mut best_g, mut best_idle) = (0usize, 0usize);
+        for g in 0..self.gpus.len() {
+            let idle = self.idle_streams(g, t);
+            if idle > best_idle {
+                best_g = g;
+                best_idle = idle;
+            }
+        }
+        if best_idle == 0 {
+            None
+        } else {
+            Some((best_g, self.first_idle_stream(best_g, t).unwrap()))
+        }
+    }
+
+    fn on_submit(&mut self, work: GWork, submitted: SimTime, t: SimTime, q: &mut EventQueue<Ev>) {
+        self.dispatch(work, submitted, 0, t, q)
+    }
+
+    fn dispatch(
+        &mut self,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        match self.cfg.scheduling {
+            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal => {
+                let gid = self.locality_gpu(&work);
+                // Algorithm 5.1.
+                let placed = match gid {
+                    Some(g) => match self.first_idle_stream(g, t) {
+                        Some(s) => Some((g, s)),
+                        None => self.most_idle_bulk(t),
+                    },
+                    None => self.most_idle_bulk(t),
+                };
+                match placed {
+                    Some((g, s)) => self.execute(work, submitted, retries, g, s, t, q),
+                    None => {
+                        // Lines 11–18: park in GID's queue, or the least
+                        // loaded queue when GID is null.
+                        let qi = match gid {
+                            Some(g) => g,
+                            None => self
+                                .queues
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, queue)| queue.len())
+                                .map(|(i, _)| i)
+                                .unwrap(),
+                        };
+                        self.queues[qi].push_back((submitted, retries, work));
+                    }
+                }
+            }
+            SchedulingPolicy::RoundRobin => {
+                let g = self.rr_counter % self.gpus.len();
+                self.rr_counter += 1;
+                match self.first_idle_stream(g, t) {
+                    Some(s) => self.execute(work, submitted, retries, g, s, t, q),
+                    None => self.queues[g].push_back((submitted, retries, work)),
+                }
+            }
+            SchedulingPolicy::Random { .. } => {
+                let g = self.rng.gen_index(self.gpus.len());
+                match self.first_idle_stream(g, t) {
+                    Some(s) => self.execute(work, submitted, retries, g, s, t, q),
+                    None => self.queues[g].push_back((submitted, retries, work)),
+                }
+            }
+        }
+    }
+
+    /// Algorithm 5.2: a freed stream pulls from its own GPU's queue first,
+    /// then from the fullest queue.
+    fn on_stream_free(&mut self, gpu: usize, stream: usize, t: SimTime, q: &mut EventQueue<Ev>) {
+        if self.stream_busy_until[gpu][stream] > t {
+            // Superseded wake-up: the stream picked up new work since this
+            // event was scheduled.
+            return;
+        }
+        let work = if let Some(w) = self.queues[gpu].pop_front() {
+            Some(w)
+        } else if self.cfg.scheduling.steals() {
+            let victim = self
+                .queues
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, queue)| queue.len())
+                .map(|(i, _)| i)
+                .filter(|&i| !self.queues[i].is_empty());
+            victim.map(|i| {
+                self.steals += 1;
+                self.queues[i].pop_front().unwrap()
+            })
+        } else {
+            None
+        };
+        if let Some((submitted, retries, w)) = work {
+            self.execute(w, submitted, retries, gpu, stream, t, q);
+        }
+    }
+
+    /// Allocate device memory, evicting cache entries under pressure.
+    fn alloc_with_pressure(&mut self, gpu: usize, logical: u64, actual: usize) -> DevBufId {
+        loop {
+            match self.gpus[gpu].dmem.alloc(logical, actual) {
+                Ok(id) => return id,
+                Err(_) => match self.caches[gpu].evict_one() {
+                    Some(dev) => {
+                        let _ = self.gpus[gpu].dmem.release(dev);
+                    }
+                    None => panic!(
+                        "device {gpu} out of memory: requested {logical} logical bytes \
+                         with {} free and an empty cache",
+                        self.gpus[gpu].dmem.free_bytes()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// Run one GWork on (gpu, stream) starting no earlier than `t`:
+    /// the three-stage pipeline of §5 over the device's engine timelines.
+    #[allow(clippy::too_many_arguments)]
+    /// Dispatch one GWork onto (gpu, stream): the stream is occupied until
+    /// the work's D2H completes. Pipeline stages are driven by events so a
+    /// stage's engine reservation is made only when its stream dependency
+    /// resolves — exactly how CUDA feeds its copy/compute engines. Eagerly
+    /// reserving all three stages here would block later H2Ds behind
+    /// not-yet-runnable D2H slots on single-copy-engine devices.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        gpu: usize,
+        stream: usize,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let mut timing = WorkTiming {
+            submitted,
+            started: t,
+            ..WorkTiming::default()
+        };
+        let mut dev_inputs = Vec::with_capacity(work.inputs.len());
+        let mut transient: Vec<DevBufId> = Vec::new();
+        let mut pinned: Vec<crate::gwork::CacheKey> = Vec::new();
+        let mut kernel_earliest = t;
+        // Stage 1: H2D (skipped per-buffer on cache hits). Every cached
+        // buffer this work references is pinned until its D2H completes so
+        // concurrent works cannot evict a live kernel argument.
+        for inbuf in &work.inputs {
+            let cached_dev = inbuf.cache_key.and_then(|key| self.caches[gpu].lookup(key));
+            match cached_dev {
+                Some(dev) => {
+                    timing.cache_hits += 1;
+                    self.caches[gpu].pin(inbuf.cache_key.unwrap());
+                    pinned.push(inbuf.cache_key.unwrap());
+                    dev_inputs.push(dev);
+                }
+                None => {
+                    let dev =
+                        self.alloc_with_pressure(gpu, inbuf.logical_bytes, inbuf.data.len());
+                    let r = self.gpus[gpu]
+                        .copy_h2d(t, inbuf.logical_bytes, &inbuf.data, dev)
+                        .expect("h2d failed");
+                    timing.h2d += r.duration();
+                    kernel_earliest = kernel_earliest.max(r.end);
+                    let mut keep = false;
+                    if let Some(key) = inbuf.cache_key {
+                        timing.cache_misses += 1;
+                        let (evicted, may_insert) =
+                            self.caches[gpu].make_room(inbuf.logical_bytes);
+                        for d in evicted {
+                            let _ = self.gpus[gpu].dmem.release(d);
+                        }
+                        if may_insert {
+                            if let Some(old) =
+                                self.caches[gpu].insert(key, dev, inbuf.logical_bytes)
+                            {
+                                let _ = self.gpus[gpu].dmem.release(old);
+                            }
+                            self.caches[gpu].pin(key);
+                            pinned.push(key);
+                            keep = true;
+                        }
+                    }
+                    if !keep {
+                        transient.push(dev);
+                    }
+                    dev_inputs.push(dev);
+                }
+            }
+        }
+        // Output allocation (GMemoryManager, automatic).
+        let out_dev = self.alloc_with_pressure(gpu, work.out_logical_bytes, work.out_actual_bytes);
+        // Occupy the stream until the final stage completes.
+        self.stream_busy_until[gpu][stream] = SimTime::MAX;
+        let id = self.next_flight;
+        self.next_flight += 1;
+        self.in_flight.insert(
+            id,
+            InFlight {
+                work,
+                retries,
+                timing,
+                gpu,
+                stream,
+                dev_inputs,
+                transient,
+                pinned,
+                out_dev,
+                emitted: None,
+            },
+        );
+        q.schedule(kernel_earliest, Ev::KernelStage(id));
+    }
+
+    /// Stage 2: the kernel launches once its inputs are device-resident.
+    fn on_kernel_stage(&mut self, id: u64, t: SimTime, q: &mut EventQueue<Ev>) {
+        let mut fl = self.in_flight.remove(&id).expect("unknown in-flight work");
+        let kernel = self
+            .registry
+            .lock()
+            .get(&fl.work.execute_name)
+            .unwrap_or_else(|| panic!("kernel {:?} not registered", fl.work.execute_name));
+        let (kres, profile) = self.gpus[fl.gpu]
+            .launch(
+                t,
+                &kernel,
+                &fl.dev_inputs,
+                &[fl.out_dev],
+                &fl.work.params,
+                fl.work.n_actual,
+                fl.work.n_logical,
+                fl.work.coalescing,
+            )
+            .expect("kernel launch failed");
+        fl.timing.kernel = kres.duration();
+        fl.emitted = profile.emitted;
+        let end = kres.end;
+        // Fault injection: the launch may fail (ECC error, lost context, a
+        // preempted device). Failure is detected at kernel completion; the
+        // GPUManager reclaims the buffers and reschedules the work.
+        if self.cfg.failure_rate > 0.0 && self.rng.next_f64() < self.cfg.failure_rate {
+            assert!(
+                fl.retries < self.cfg.max_retries,
+                "GWork {:?} exceeded {} retries",
+                fl.work.tag,
+                self.cfg.max_retries
+            );
+            self.failures += 1;
+            for d in fl.transient {
+                let _ = self.gpus[fl.gpu].dmem.release(d);
+            }
+            for key in fl.pinned {
+                self.caches[fl.gpu].unpin(key);
+            }
+            let _ = self.gpus[fl.gpu].dmem.release(fl.out_dev);
+            // The stream frees at the (wasted) kernel end; the work goes
+            // back through Alg. 5.1 for a fresh placement.
+            self.stream_busy_until[fl.gpu][fl.stream] = end;
+            q.schedule(
+                end,
+                Ev::StreamFree {
+                    gpu: fl.gpu,
+                    stream: fl.stream,
+                },
+            );
+            let (work, submitted, retries) = (fl.work, fl.timing.submitted, fl.retries + 1);
+            self.dispatch(work, submitted, retries, end.max(t), q);
+            return;
+        }
+        self.in_flight.insert(id, fl);
+        q.schedule(end, Ev::D2hStage(id));
+    }
+
+    /// Stage 3: results travel back; the stream frees at the copy's end.
+    fn on_d2h_stage(&mut self, id: u64, t: SimTime, q: &mut EventQueue<Ev>) {
+        let mut fl = self.in_flight.remove(&id).expect("unknown in-flight work");
+        // Variable-output kernels transfer only the emitted fraction of the
+        // declared capacity.
+        let d2h_logical = match fl.emitted {
+            Some(e) => {
+                (fl.work.out_logical_bytes as u128 * e as u128
+                    / fl.work.out_records.max(1) as u128) as u64
+            }
+            None => fl.work.out_logical_bytes,
+        };
+        let mut out_host = HBuffer::zeroed(fl.work.out_actual_bytes);
+        let rd2h = self.gpus[fl.gpu]
+            .copy_d2h(t, d2h_logical, fl.out_dev, &mut out_host)
+            .expect("d2h failed");
+        fl.timing.d2h = rd2h.duration();
+        fl.timing.completed = rd2h.end;
+        // Automatic deallocation of transient buffers (§4.2.1) and
+        // unpinning of the cached inputs.
+        for d in fl.transient {
+            let _ = self.gpus[fl.gpu].dmem.release(d);
+        }
+        for key in fl.pinned {
+            self.caches[fl.gpu].unpin(key);
+        }
+        let _ = self.gpus[fl.gpu].dmem.release(fl.out_dev);
+        self.stream_busy_until[fl.gpu][fl.stream] = rd2h.end;
+        self.executed_per_gpu[fl.gpu] += 1;
+        q.schedule(
+            rd2h.end,
+            Ev::StreamFree {
+                gpu: fl.gpu,
+                stream: fl.stream,
+            },
+        );
+        self.completed.push(CompletedWork {
+            name: fl.work.name,
+            tag: fl.work.tag,
+            gpu: fl.gpu,
+            stream: fl.stream,
+            output: out_host,
+            emitted: fl.emitted,
+            timing: fl.timing,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gwork::{CacheKey, WorkBuf};
+    use gflink_gpu::{KernelArgs, KernelProfile};
+
+    fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
+        let mut reg = KernelRegistry::new();
+        reg.register("scale2", |args: &mut KernelArgs<'_>| {
+            let n = args.n_actual;
+            let input = args.inputs[0];
+            let out = &mut args.outputs[0];
+            for i in 0..n {
+                out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
+            }
+            KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+        });
+        Arc::new(Mutex::new(reg))
+    }
+
+    fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
+        let data = Arc::new(HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]));
+        let key = CacheKey {
+            dataset: 1,
+            partition: tag.0,
+            block: tag.1,
+        };
+        GWork {
+            name: format!("w{}-{}", tag.0, tag.1),
+            execute_name: "scale2".into(),
+            ptx_path: "/scale2.ptx".into(),
+            block_size: 256,
+            grid_size: 1,
+            inputs: vec![if cache {
+                WorkBuf::cached(data, logical, key)
+            } else {
+                WorkBuf::transient(data, logical)
+            }],
+            out_actual_bytes: 16,
+            out_logical_bytes: logical,
+            out_records: 4,
+            params: vec![],
+            n_actual: 4,
+            n_logical: logical / 4,
+            coalescing: 1.0,
+            tag,
+        }
+    }
+
+    fn manager(models: Vec<GpuModel>, policy: SchedulingPolicy) -> GpuManager {
+        GpuManager::new(
+            0,
+            GpuWorkerConfig {
+                models,
+                scheduling: policy,
+                ..GpuWorkerConfig::default()
+            },
+            registry_with_scale2(),
+        )
+    }
+
+    #[test]
+    fn executes_work_and_returns_real_results() {
+        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
+        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
+        let done = m.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        assert!(done[0].timing.h2d > SimTime::ZERO);
+        assert!(done[0].timing.kernel > SimTime::ZERO);
+        assert!(done[0].timing.d2h > SimTime::ZERO);
+        assert!(done[0].timing.completed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn cache_hit_skips_h2d_on_second_round() {
+        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
+        m.submit(mk_work((0, 0), 1 << 24, true), SimTime::ZERO);
+        let first = m.drain().pop().unwrap();
+        assert_eq!(first.timing.cache_misses, 1);
+        assert!(first.timing.h2d > SimTime::ZERO);
+        // Same block again (next iteration).
+        m.submit(mk_work((0, 0), 1 << 24, true), first.timing.completed);
+        let second = m.drain().pop().unwrap();
+        assert_eq!(second.timing.cache_hits, 1);
+        assert_eq!(second.timing.h2d, SimTime::ZERO);
+        assert!(second.timing.total() < first.timing.total());
+    }
+
+    #[test]
+    fn locality_routes_to_caching_gpu() {
+        let mut m = manager(
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+            SchedulingPolicy::LocalityAware,
+        );
+        // Warm block (0,0) somewhere.
+        m.submit(mk_work((0, 0), 1 << 20, true), SimTime::ZERO);
+        let first = m.drain().pop().unwrap();
+        let warm_gpu = first.gpu;
+        // Resubmit 8 times; all should land on the warm GPU.
+        for i in 0..8 {
+            m.submit(
+                mk_work((0, 0), 1 << 20, true),
+                first.timing.completed + SimTime::from_millis(i * 10),
+            );
+        }
+        for done in m.drain() {
+            assert_eq!(done.gpu, warm_gpu, "locality-aware must follow the cache");
+            assert_eq!(done.timing.cache_hits, 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_gpus() {
+        let mut m = manager(
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+            SchedulingPolicy::RoundRobin,
+        );
+        for i in 0..6 {
+            m.submit(mk_work((0, i), 1 << 20, false), SimTime::ZERO);
+        }
+        m.drain();
+        assert_eq!(m.executed_per_gpu(), &[3, 3]);
+    }
+
+    #[test]
+    fn heterogeneous_bulk_load_balances_by_stealing() {
+        // One slow C2050 and one fast P100; with far more works than
+        // streams, the P100 must end up executing more of them.
+        let mut m = manager(
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
+            SchedulingPolicy::LocalityAware,
+        );
+        for i in 0..64 {
+            m.submit(mk_work((0, i), 1 << 26, false), SimTime::ZERO);
+        }
+        let done = m.drain();
+        assert_eq!(done.len(), 64);
+        let per = m.executed_per_gpu();
+        assert!(
+            per[1] > per[0],
+            "P100 should execute more work than C2050, got {per:?}"
+        );
+    }
+
+    #[test]
+    fn queue_drains_even_when_all_streams_start_busy() {
+        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
+        // 4 streams; 12 works at the same instant: 8 must queue and still run.
+        for i in 0..12 {
+            m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
+        }
+        let done = m.drain();
+        assert_eq!(done.len(), 12);
+        // Works queue, so some have nonzero queueing delay.
+        assert!(done.iter().any(|d| d.timing.queued() > SimTime::ZERO));
+    }
+
+    #[test]
+    fn no_steal_policy_keeps_foreign_queues() {
+        let mut with = manager(
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
+            SchedulingPolicy::LocalityAware,
+        );
+        let mut without = manager(
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
+            SchedulingPolicy::LocalityNoSteal,
+        );
+        for m in [&mut with, &mut without] {
+            for i in 0..64 {
+                m.submit(mk_work((0, i), 1 << 26, false), SimTime::ZERO);
+            }
+            m.drain();
+        }
+        assert!(with.steals() > 0);
+        assert_eq!(without.steals(), 0);
+    }
+
+    #[test]
+    fn release_job_caches_frees_device_memory() {
+        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
+        m.submit(mk_work((0, 0), 1 << 24, true), SimTime::ZERO);
+        m.drain();
+        assert!(m.cache(0).used() > 0);
+        let used_before = m.gpu(0).dmem.used();
+        assert!(used_before > 0);
+        m.release_job_caches();
+        assert_eq!(m.cache(0).used(), 0);
+        assert_eq!(m.gpu(0).dmem.used(), 0);
+    }
+
+    #[test]
+    fn injected_failures_recover_with_correct_results() {
+        let mut m = GpuManager::new(
+            0,
+            GpuWorkerConfig {
+                models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+                failure_rate: 0.3,
+                max_retries: 20,
+                ..GpuWorkerConfig::default()
+            },
+            registry_with_scale2(),
+        );
+        for i in 0..32 {
+            m.submit(mk_work((0, i), 1 << 20, false), SimTime::ZERO);
+        }
+        let done = m.drain();
+        assert_eq!(done.len(), 32, "every work must complete despite failures");
+        assert!(m.failures() > 0, "failure injection should have fired");
+        for d in &done {
+            assert_eq!(d.output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        }
+        // No leaked device memory or pinned cache entries.
+        for g in 0..m.gpu_count() {
+            assert_eq!(m.gpu(g).dmem.used(), 0);
+        }
+    }
+
+    #[test]
+    fn failures_cost_time_but_not_correctness() {
+        let run = |rate: f64| {
+            let mut m = GpuManager::new(
+                0,
+                GpuWorkerConfig {
+                    models: vec![GpuModel::TeslaC2050],
+                    failure_rate: rate,
+                    max_retries: 50,
+                    ..GpuWorkerConfig::default()
+                },
+                registry_with_scale2(),
+            );
+            for i in 0..16 {
+                m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
+            }
+            m.drain()
+                .iter()
+                .map(|d| d.timing.completed)
+                .max()
+                .unwrap()
+        };
+        assert!(run(0.4) > run(0.0), "failures must lengthen the makespan");
+    }
+
+    #[test]
+    fn drain_is_deterministic() {
+        let run = || {
+            let mut m = manager(
+                vec![GpuModel::TeslaC2050, GpuModel::TeslaK20],
+                SchedulingPolicy::LocalityAware,
+            );
+            for i in 0..32 {
+                m.submit(mk_work((i % 4, i), 1 << 22, i % 2 == 0), SimTime::ZERO);
+            }
+            let mut done = m.drain();
+            done.sort_by_key(|d| d.tag);
+            done.iter()
+                .map(|d| (d.tag, d.gpu, d.timing.completed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,67 @@
+//! Scheduling policies for the GStreamManager.
+//!
+//! The paper's contribution is the **adaptive locality-aware** scheme
+//! (Algorithms 5.1 and 5.2). The alternative policies exist for the
+//! ablation benchmark: round-robin (classic GPU sharing without locality)
+//! and random (the degenerate baseline).
+
+/// How the GWork scheduler picks a GPU/stream for submitted work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Algorithms 5.1 + 5.2: prefer the GPU caching the most input bytes,
+    /// balance across stream bulks by idle-stream count, queue per GPU and
+    /// steal from the fullest queue.
+    LocalityAware,
+    /// Ignore locality: GPUs taken in rotation.
+    RoundRobin,
+    /// Ignore locality: GPUs drawn from a seeded PRNG.
+    Random {
+        /// PRNG seed (determinism).
+        seed: u64,
+    },
+    /// LocalityAware placement but stealing disabled (Alg. 5.2 off) — for
+    /// the work-stealing ablation.
+    LocalityNoSteal,
+}
+
+impl SchedulingPolicy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::LocalityAware => "locality-aware",
+            SchedulingPolicy::RoundRobin => "round-robin",
+            SchedulingPolicy::Random { .. } => "random",
+            SchedulingPolicy::LocalityNoSteal => "locality-no-steal",
+        }
+    }
+
+    /// Whether Alg. 5.2 stealing is active.
+    pub fn steals(self) -> bool {
+        !matches!(self, SchedulingPolicy::LocalityNoSteal)
+    }
+
+    /// Whether cache locality informs placement.
+    pub fn locality_aware(self) -> bool {
+        matches!(
+            self,
+            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(SchedulingPolicy::LocalityAware.label(), "locality-aware");
+        assert!(SchedulingPolicy::LocalityAware.steals());
+        assert!(SchedulingPolicy::LocalityAware.locality_aware());
+        assert!(!SchedulingPolicy::RoundRobin.locality_aware());
+        assert!(SchedulingPolicy::RoundRobin.steals());
+        assert!(!SchedulingPolicy::LocalityNoSteal.steals());
+        assert!(SchedulingPolicy::LocalityNoSteal.locality_aware());
+        assert_eq!(SchedulingPolicy::Random { seed: 1 }.label(), "random");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the GPUManager: completion, conservation,
+//! determinism and fault-tolerance invariants under randomized workloads.
+
+use gflink_core::{
+    CacheKey, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf,
+};
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::SimTime;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn registry() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register("negate", |args: &mut KernelArgs<'_>| {
+        let n = args.n_actual;
+        for i in 0..n {
+            let v = args.inputs[0].read_f32(i * 4);
+            args.outputs[0].write_f32(i * 4, -v);
+        }
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+/// A randomized GWork description.
+#[derive(Clone, Debug)]
+struct WorkSpec {
+    logical: u64,
+    submit_us: u64,
+    cached: bool,
+    partition: u32,
+}
+
+fn arb_work() -> impl Strategy<Value = WorkSpec> {
+    (1u64..50_000_000, 0u64..10_000, any::<bool>(), 0u32..4).prop_map(
+        |(logical, submit_us, cached, partition)| WorkSpec {
+            logical,
+            submit_us,
+            cached,
+            partition,
+        },
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = SchedulingPolicy> {
+    prop_oneof![
+        Just(SchedulingPolicy::LocalityAware),
+        Just(SchedulingPolicy::LocalityNoSteal),
+        Just(SchedulingPolicy::RoundRobin),
+        Just(SchedulingPolicy::Random { seed: 99 }),
+    ]
+}
+
+fn mk_work(i: u32, spec: &WorkSpec) -> GWork {
+    let data = Arc::new(HBuffer::from_f32s(&[1.0, -2.0, 3.0, -4.0]));
+    let key = CacheKey {
+        dataset: 7,
+        partition: spec.partition,
+        block: i,
+    };
+    GWork {
+        name: format!("w{i}"),
+        execute_name: "negate".into(),
+        ptx_path: "/negate.ptx".into(),
+        block_size: 256,
+        grid_size: 1,
+        inputs: vec![if spec.cached {
+            WorkBuf::cached(data, spec.logical, key)
+        } else {
+            WorkBuf::transient(data, spec.logical)
+        }],
+        out_actual_bytes: 16,
+        out_logical_bytes: spec.logical,
+        out_records: 4,
+        params: vec![],
+        n_actual: 4,
+        n_logical: spec.logical / 8,
+        coalescing: 1.0,
+        tag: (spec.partition, i),
+    }
+}
+
+fn run(
+    specs: &[WorkSpec],
+    policy: SchedulingPolicy,
+    models: Vec<GpuModel>,
+    failure_rate: f64,
+) -> (GpuManager, Vec<gflink_core::CompletedWork>) {
+    let mut mgr = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models,
+            scheduling: policy,
+            failure_rate,
+            max_retries: 100,
+            ..GpuWorkerConfig::default()
+        },
+        registry(),
+    );
+    for (i, s) in specs.iter().enumerate() {
+        mgr.submit(mk_work(i as u32, s), SimTime::from_micros(s.submit_us));
+    }
+    let done = mgr.drain();
+    (mgr, done)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submitted work completes exactly once with correct output, for
+    /// every scheduling policy and GPU mix.
+    #[test]
+    fn all_work_completes_exactly_once(
+        specs in prop::collection::vec(arb_work(), 1..40),
+        policy in arb_policy(),
+        dual in any::<bool>(),
+    ) {
+        let models = if dual {
+            vec![GpuModel::TeslaC2050, GpuModel::TeslaK20]
+        } else {
+            vec![GpuModel::TeslaC2050]
+        };
+        let (_, done) = run(&specs, policy, models, 0.0);
+        prop_assert_eq!(done.len(), specs.len());
+        let mut tags: Vec<_> = done.iter().map(|d| d.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), specs.len(), "duplicate completions");
+        for d in &done {
+            prop_assert_eq!(d.output.to_f32_vec(), vec![-1.0, 2.0, -3.0, 4.0]);
+        }
+    }
+
+    /// Timing invariants: started >= submitted, completed >= started, and
+    /// the stage service times fit inside the occupancy window.
+    #[test]
+    fn timing_invariants(specs in prop::collection::vec(arb_work(), 1..32)) {
+        let (_, done) = run(&specs, SchedulingPolicy::LocalityAware,
+                            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050], 0.0);
+        for d in &done {
+            let t = &d.timing;
+            prop_assert!(t.started >= t.submitted);
+            prop_assert!(t.completed >= t.started);
+            let services = t.h2d + t.kernel + t.d2h;
+            prop_assert!(
+                t.started + services <= t.completed,
+                "stages exceed the occupancy window"
+            );
+        }
+    }
+
+    /// No device memory leaks: after drain + cache release, every byte is
+    /// reclaimed on every GPU.
+    #[test]
+    fn device_memory_conserved(
+        specs in prop::collection::vec(arb_work(), 1..40),
+        policy in arb_policy(),
+    ) {
+        let (mut mgr, _) = run(&specs, policy,
+                               vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050], 0.0);
+        for g in 0..mgr.gpu_count() {
+            // Only cached entries may remain resident...
+            prop_assert_eq!(mgr.gpu(g).dmem.used(), mgr.cache(g).used());
+            prop_assert!(mgr.cache(g).used() <= mgr.cache(g).capacity());
+        }
+        // ...and releasing the job caches reclaims those too.
+        mgr.release_job_caches();
+        for g in 0..mgr.gpu_count() {
+            prop_assert_eq!(mgr.gpu(g).dmem.used(), 0);
+        }
+    }
+
+    /// The drain is deterministic: identical submissions produce identical
+    /// placements and completion times.
+    #[test]
+    fn drain_determinism(
+        specs in prop::collection::vec(arb_work(), 1..32),
+        policy in arb_policy(),
+    ) {
+        let digest = |(_, done): (GpuManager, Vec<gflink_core::CompletedWork>)| {
+            let mut v: Vec<_> = done
+                .iter()
+                .map(|d| (d.tag, d.gpu, d.stream, d.timing.completed))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let a = digest(run(&specs, policy, vec![GpuModel::TeslaC2050, GpuModel::TeslaP100], 0.0));
+        let b = digest(run(&specs, policy, vec![GpuModel::TeslaC2050, GpuModel::TeslaP100], 0.0));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fault tolerance: with injected kernel failures, everything still
+    /// completes exactly once with correct results, and no memory leaks.
+    #[test]
+    fn failures_never_lose_or_corrupt_work(
+        specs in prop::collection::vec(arb_work(), 1..24),
+        rate in 0.05f64..0.5,
+    ) {
+        let (mut mgr, done) = run(&specs, SchedulingPolicy::LocalityAware,
+                                  vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050], rate);
+        prop_assert_eq!(done.len(), specs.len());
+        for d in &done {
+            prop_assert_eq!(d.output.to_f32_vec(), vec![-1.0, 2.0, -3.0, 4.0]);
+        }
+        mgr.release_job_caches();
+        for g in 0..mgr.gpu_count() {
+            prop_assert_eq!(mgr.gpu(g).dmem.used(), 0);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! CPU cost model.
+//!
+//! The testbed CPU is an Intel Core i5-4590 (4 cores, 3.3 GHz; §6.1). The
+//! baseline executes user functions inside the JVM through Flink's iterator
+//! model, so the per-element cost has three parts: a fixed dispatch overhead
+//! (iterator `next()` + virtual call + boxing), an arithmetic term and a
+//! memory term. These constants were calibrated so the end-to-end figures
+//! land in the paper's reported bands (see EXPERIMENTS.md).
+
+use gflink_sim::SimTime;
+
+/// Per-core CPU throughput model for JVM-hosted operators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Sustained scalar arithmetic throughput per core, FLOP/s.
+    ///
+    /// Well below the 3.3 GHz × SIMD peak: JIT-compiled, object-traversing
+    /// dataflow code does not vectorize.
+    pub scalar_flops: f64,
+    /// Sustained memory bandwidth per core, bytes/s.
+    pub mem_bps: f64,
+    /// Fixed cost per element through the iterator model, nanoseconds.
+    ///
+    /// This is the dominant term for cheap operators and deliberately large:
+    /// 2016-era Flink deserializes each record out of managed memory,
+    /// dispatches through generic `MapFunction`/`Collector` interfaces and
+    /// re-serializes the output — several hundred nanoseconds per record,
+    /// which is exactly the overhead GFlink's raw off-heap GStruct path
+    /// (§3.1/§4.1) avoids.
+    pub per_elem_overhead_ns: f64,
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        CpuSpec {
+            scalar_flops: 1.0e9,
+            mem_bps: 4.0e9,
+            per_elem_overhead_ns: 250.0,
+        }
+    }
+}
+
+impl CpuSpec {
+    /// Time for one core to process `n_logical` elements of an operator
+    /// with per-element cost `cost`.
+    pub fn time_for(&self, cost: &OpCost, n_logical: f64) -> SimTime {
+        let per_elem_s = self.per_elem_overhead_ns * 1e-9 * cost.overhead_factor
+            + cost.flops_per_elem / self.scalar_flops
+            + cost.bytes_per_elem / self.mem_bps;
+        SimTime::from_secs_f64(per_elem_s * n_logical)
+    }
+}
+
+/// Per-element cost declaration for an operator.
+///
+/// The engine executes the operator's closure for real on the scale-reduced
+/// data; `OpCost` tells the *cost model* what one element costs at paper
+/// scale, in hardware-independent units (flops and bytes). Apps derive these
+/// from their kernels' arithmetic (e.g. KMeans: `3·k·d` flops/point).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpCost {
+    /// Arithmetic operations per element.
+    pub flops_per_elem: f64,
+    /// Memory traffic per element, bytes.
+    pub bytes_per_elem: f64,
+    /// Multiplier on the fixed per-element dispatch overhead (use >1 for
+    /// operators that allocate per element, e.g. string tokenization).
+    pub overhead_factor: f64,
+}
+
+impl OpCost {
+    /// An operator doing `flops` arithmetic over `bytes` of data per
+    /// element.
+    pub const fn new(flops: f64, bytes: f64) -> Self {
+        OpCost {
+            flops_per_elem: flops,
+            bytes_per_elem: bytes,
+            overhead_factor: 1.0,
+        }
+    }
+
+    /// A (nearly) free operator — bookkeeping only.
+    pub const fn trivial() -> Self {
+        OpCost::new(1.0, 8.0)
+    }
+
+    /// Override the dispatch-overhead multiplier.
+    pub const fn with_overhead_factor(mut self, f: f64) -> Self {
+        self.overhead_factor = f;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scales_linearly_with_elements() {
+        let cpu = CpuSpec::default();
+        let cost = OpCost::new(100.0, 32.0);
+        let t1 = cpu.time_for(&cost, 1e6);
+        let t2 = cpu.time_for(&cost, 2e6);
+        // Within one rounding ulp of exactly double.
+        assert!((t2.as_nanos() as i64 - t1.as_nanos() as i64 * 2).abs() <= 1);
+    }
+
+    #[test]
+    fn overhead_floor_applies_to_cheap_ops() {
+        let cpu = CpuSpec::default();
+        // Even a zero-flop op pays the iterator/serialization overhead.
+        let t = cpu.time_for(&OpCost::new(0.0, 0.0), 1e9);
+        assert!(t >= SimTime::from_secs_f64(1e9 * 250.0e-9 * 0.99));
+    }
+
+    #[test]
+    fn overhead_factor_multiplies() {
+        let cpu = CpuSpec::default();
+        let base = cpu.time_for(&OpCost::new(0.0, 0.0), 1e6);
+        let heavy = cpu.time_for(&OpCost::new(0.0, 0.0).with_overhead_factor(3.0), 1e6);
+        assert_eq!(heavy.as_nanos(), base.as_nanos() * 3);
+    }
+
+    #[test]
+    fn flops_term_dominates_compute_heavy_ops() {
+        let cpu = CpuSpec::default();
+        let t = cpu.time_for(&OpCost::new(10_000.0, 0.0), 1e6);
+        // 10k flops at 1 GFLOP/s = 10 us/elem >> overhead.
+        assert!((t.as_secs_f64() - 1e6 * 1e-5).abs() / t.as_secs_f64() < 0.05);
+    }
+}

@@ -1,0 +1,1377 @@
+//! The `DataSet` API and its distributed execution.
+//!
+//! `DataSet<T>` is the engine's analogue of Flink's DST abstraction (§2.3):
+//! a collection partitioned across the cluster's task slots, transformed
+//! through `map` / `flatMap` / `filter` / `mapPartition`, keyed operations
+//! (`reduce_by_key`, `join`) that shuffle over the modelled network, and
+//! actions (`reduce`, `count`, `collect`, `write_hdfs`) that return results
+//! to the driver.
+//!
+//! Execution is eager and real: the closures run over the partition data.
+//! Simulated time is charged per partition to the owning worker's pinned
+//! task slot; shuffles reserve sender/receiver NIC timelines; sources and
+//! sinks reserve datanode disks through `gflink-hdfs`.
+//!
+//! Each dataset carries a `scale` factor — logical (paper-scale) elements
+//! per actual element — so cost models always see paper-scale counts while
+//! closures only touch scale-reduced data (see DESIGN.md §2).
+
+use crate::cost::OpCost;
+use crate::env::FlinkEnv;
+use crate::graph::{PhaseKind, PhaseRecord};
+use gflink_sim::{Phase, SimTime};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// One partition of a dataset, exposed for engine extensions (GFlink's GPU
+/// operators in `gflink-core` consume and rebuild these).
+#[derive(Clone, Debug)]
+pub struct RawPart<T> {
+    /// Worker node that owns the partition.
+    pub worker: usize,
+    /// Task slot (within the worker) the partition is pinned to.
+    pub slot: usize,
+    /// The actual (scale-reduced) records.
+    pub data: Vec<T>,
+    /// Instant at which this partition's data is available.
+    pub ready: SimTime,
+}
+
+/// A distributed dataset.
+pub struct DataSet<T> {
+    env: FlinkEnv,
+    parts: Vec<RawPart<T>>,
+    scale: f64,
+}
+
+impl<T: Clone> Clone for DataSet<T> {
+    /// A shallow engine-level clone: same partitions, same ready times —
+    /// the Flink idiom of consuming one DST from several operators.
+    fn clone(&self) -> Self {
+        DataSet {
+            env: self.env.clone(),
+            parts: self.parts.clone(),
+            scale: self.scale,
+        }
+    }
+}
+
+/// Placement rule: partition `p` of `parallelism` lives on worker
+/// `p % workers`, slot `(p / workers) % slots`.
+pub fn placement(p: usize, workers: usize, slots: usize) -> (usize, usize) {
+    (p % workers, (p / workers) % slots)
+}
+
+fn stable_hash<K: Hash>(k: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl FlinkEnv {
+    /// Create a dataset from driver-local items, round-robin partitioned
+    /// with the given `parallelism`. `scale` is the logical elements each
+    /// actual element represents.
+    pub fn parallelize<T: Clone>(
+        &self,
+        name: &str,
+        items: Vec<T>,
+        parallelism: usize,
+        scale: f64,
+    ) -> DataSet<T> {
+        assert!(parallelism >= 1);
+        let cfg = self.config();
+        let sched = self.schedule_phase();
+        let start = self.frontier() + sched;
+        let mut parts: Vec<RawPart<T>> = (0..parallelism)
+            .map(|p| {
+                let (worker, slot) = placement(p, cfg.num_workers, cfg.slots_per_worker);
+                RawPart {
+                    worker,
+                    slot,
+                    data: Vec::new(),
+                    ready: start,
+                }
+            })
+            .collect();
+        let n = items.len();
+        for (i, item) in items.into_iter().enumerate() {
+            parts[i % parallelism].data.push(item);
+        }
+        self.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Source,
+            parallelism,
+            wall: SimTime::ZERO,
+            elements: (n as f64 * scale) as u64,
+        });
+        DataSet {
+            env: self.clone(),
+            parts,
+            scale,
+        }
+    }
+
+    /// Create a dataset by reading a (synthetic) HDFS file.
+    ///
+    /// `n_logical` elements of `elem_logical_bytes` each are read at paper
+    /// scale; `n_actual` elements are actually materialized by calling
+    /// `gen(logical_index)`. The HDFS file `file` is created on first use.
+    ///
+    /// Input splits are assigned **locality-aware**, as Flink's
+    /// InputFormat/HDFS integration does: each HDFS block goes to a
+    /// partition on a worker that holds a replica (balanced by bytes), so
+    /// reads are node-local wherever the replication factor allows.
+    #[allow(clippy::too_many_arguments)] // mirrors an InputFormat's knobs
+    pub fn read_hdfs<T>(
+        &self,
+        name: &str,
+        file: &str,
+        n_logical: u64,
+        n_actual: usize,
+        elem_logical_bytes: f64,
+        parallelism: usize,
+        gen: impl Fn(u64) -> T,
+    ) -> DataSet<T> {
+        assert!(parallelism >= 1);
+        assert!(n_actual >= 1, "need at least one actual element");
+        let cfg = self.config();
+        let sched = self.schedule_phase();
+        let start = self.frontier() + sched;
+        let total_bytes = (n_logical as f64 * elem_logical_bytes) as u64;
+        let cluster = self.cluster();
+        {
+            let mut cl = cluster.lock();
+            if !cl.hdfs.exists(file) {
+                cl.hdfs.create(file, total_bytes, Vec::new()).expect("create input");
+            }
+        }
+        let scale = n_logical as f64 / n_actual as f64;
+        // Locality-aware split assignment: walk the file block by block and
+        // hand each block to the least-loaded partition among workers that
+        // hold a replica of it.
+        // Split granularity: one HDFS block, but never fewer splits than
+        // partitions (Flink subdivides blocks when parallelism is high).
+        let split_size = cfg
+            .hdfs
+            .block_size
+            .min((total_bytes / parallelism as u64).max(1));
+        let mut split_ranges: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parallelism];
+        let mut split_bytes: Vec<u64> = vec![0; parallelism];
+        let placements: Vec<(usize, usize)> = (0..parallelism)
+            .map(|p| placement(p, cfg.num_workers, cfg.slots_per_worker))
+            .collect();
+        let mut offset = 0u64;
+        while offset < total_bytes {
+            let len = split_size.min(total_bytes - offset);
+            let candidates: Vec<usize> = {
+                let cl = cluster.lock();
+                (0..parallelism)
+                    .filter(|&p| {
+                        cl.hdfs
+                            .is_local(placements[p].0, file, offset, len)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            };
+            let pool: Vec<usize> = if candidates.is_empty() {
+                (0..parallelism).collect()
+            } else {
+                candidates
+            };
+            let chosen = pool
+                .into_iter()
+                .min_by_key(|&p| (split_bytes[p], p))
+                .unwrap();
+            split_ranges[chosen].push((offset, len));
+            split_bytes[chosen] += len;
+            offset += len;
+        }
+        // Issue the reads and materialize scale-reduced elements whose
+        // logical indices fall inside the partition's byte ranges.
+        let mut parts = Vec::with_capacity(parallelism);
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let mut actual_assigned = 0usize;
+        for (p, ranges) in split_ranges.iter().enumerate() {
+            let (worker, slot) = placements[p];
+            let mut ready = start;
+            let mut issued_any = false;
+            for &(lo, len) in ranges {
+                let grant = {
+                    let mut cl = cluster.lock();
+                    cl.hdfs.read(worker, file, lo, len, start).expect("hdfs read")
+                };
+                wall_start = wall_start.min(grant.start);
+                ready = ready.max(grant.end);
+                issued_any = true;
+            }
+            if issued_any {
+                wall_end = wall_end.max(ready);
+            }
+            // Actual elements proportional to the split's byte share.
+            let n_part = if total_bytes == 0 {
+                n_actual / parallelism
+            } else {
+                (n_actual as u128 * split_bytes[p] as u128 / total_bytes as u128) as usize
+            };
+            let mut data = Vec::with_capacity(n_part);
+            let mut emitted = 0usize;
+            for &(lo, len) in ranges {
+                if split_bytes[p] == 0 {
+                    break;
+                }
+                let quota = (n_part as u128 * len as u128 / split_bytes[p] as u128) as usize;
+                let first_logical = (lo as f64 / elem_logical_bytes) as u64;
+                let span = (len as f64 / elem_logical_bytes).max(1.0);
+                for j in 0..quota {
+                    let li = first_logical + (j as f64 * span / quota.max(1) as f64) as u64;
+                    data.push(gen(li.min(n_logical.saturating_sub(1))));
+                    emitted += 1;
+                }
+            }
+            actual_assigned += emitted;
+            parts.push(RawPart {
+                worker,
+                slot,
+                data,
+                ready,
+            });
+        }
+        // Rounding can drop a few actual elements; top up the first parts.
+        let mut deficit = n_actual.saturating_sub(actual_assigned);
+        let mut idx = 0usize;
+        while deficit > 0 && !parts.is_empty() {
+            let li = (deficit as u64).wrapping_mul(2654435761) % n_logical.max(1);
+            parts[idx % parallelism].data.push(gen(li));
+            idx += 1;
+            deficit -= 1;
+        }
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        self.charge(Phase::Io, wall);
+        self.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Source,
+            parallelism,
+            wall,
+            elements: n_logical,
+        });
+        DataSet {
+            env: self.clone(),
+            parts,
+            scale,
+        }
+    }
+
+    /// Broadcast `logical_bytes` of driver state to every worker (e.g.
+    /// KMeans centers at the start of an iteration). Advances the frontier
+    /// past the fan-out and charges it as shuffle time.
+    pub fn broadcast_bytes(&self, logical_bytes: u64) {
+        let cfg = self.config();
+        let cost = cfg.net.cost();
+        let dt = cost.time_for(logical_bytes);
+        // Fan-out is parallel across workers; one send dominates.
+        self.charge(Phase::Shuffle, dt);
+        self.bump_frontier(self.frontier() + dt);
+        self.record_phase(PhaseRecord {
+            name: "broadcast".to_string(),
+            kind: PhaseKind::Broadcast,
+            parallelism: cfg.num_workers,
+            wall: dt,
+            elements: 0,
+        });
+    }
+}
+
+impl<T> DataSet<T> {
+    /// The environment this dataset belongs to.
+    pub fn env(&self) -> &FlinkEnv {
+        &self.env
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Logical elements per actual element.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Actual records across all partitions.
+    pub fn actual_len(&self) -> usize {
+        self.parts.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// Logical record count (actual × scale).
+    pub fn logical_len(&self) -> u64 {
+        (self.actual_len() as f64 * self.scale).round() as u64
+    }
+
+    /// Borrow the raw partitions (engine extensions).
+    pub fn raw_parts(&self) -> &[RawPart<T>] {
+        &self.parts
+    }
+
+    /// Decompose into environment, partitions and scale (engine extensions:
+    /// GFlink's GPU operators take partitions apart and rebuild them).
+    pub fn into_raw(self) -> (FlinkEnv, Vec<RawPart<T>>, f64) {
+        (self.env, self.parts, self.scale)
+    }
+
+    /// Rebuild a dataset from raw parts (engine extensions).
+    pub fn from_raw(env: FlinkEnv, parts: Vec<RawPart<T>>, scale: f64) -> Self {
+        DataSet { env, parts, scale }
+    }
+
+    /// The instant every partition is ready (the dataset's barrier time).
+    pub fn all_ready(&self) -> SimTime {
+        self.parts
+            .iter()
+            .map(|p| p.ready)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn run_elementwise<U>(
+        &self,
+        name: &str,
+        cost: OpCost,
+        out_scale: f64,
+        mut f: impl FnMut(&[T]) -> Vec<U>,
+    ) -> DataSet<U> {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let scale = self.scale;
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let mut elements = 0u64;
+        let parts: Vec<RawPart<U>> = self
+            .parts
+            .iter()
+            .map(|part| {
+                let n_logical = part.data.len() as f64 * scale;
+                elements += n_logical as u64;
+                let dur = cfg.cpu.time_for(&cost, n_logical);
+                let earliest = part.ready + sched;
+                let r = {
+                    let mut cl = cluster.lock();
+                    cl.workers[part.worker]
+                        .slots
+                        .reserve_on(part.slot, earliest, dur)
+                };
+                let out = f(&part.data);
+                wall_start = wall_start.min(r.start);
+                wall_end = wall_end.max(r.end);
+                RawPart {
+                    worker: part.worker,
+                    slot: part.slot,
+                    data: out,
+                    ready: r.end,
+                }
+            })
+            .collect();
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        env.charge(Phase::Map, wall);
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Map,
+            parallelism: parts.len(),
+            wall,
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: out_scale,
+        }
+    }
+
+    /// Set a lower bound on every partition's ready time — the barrier an
+    /// iterative driver needs after broadcasting fresh state (the next
+    /// superstep may not start before the broadcast lands).
+    pub fn set_min_ready(&mut self, t: SimTime) {
+        for p in &mut self.parts {
+            p.ready = p.ready.max(t);
+        }
+    }
+
+    /// Element-wise transformation (Flink `map`).
+    pub fn map<U>(&self, name: &str, cost: OpCost, f: impl Fn(&T) -> U) -> DataSet<U> {
+        let scale = self.scale;
+        self.run_elementwise(name, cost, scale, |data| data.iter().map(&f).collect())
+    }
+
+    /// One-to-many transformation (Flink `flatMap`). `out_scale` is the
+    /// logical elements each *output* element represents (often unchanged).
+    pub fn flat_map<U>(
+        &self,
+        name: &str,
+        cost: OpCost,
+        out_scale: f64,
+        f: impl Fn(&T, &mut Vec<U>),
+    ) -> DataSet<U> {
+        self.run_elementwise(name, cost, out_scale, |data| {
+            let mut out = Vec::new();
+            for x in data {
+                f(x, &mut out);
+            }
+            out
+        })
+    }
+
+    /// Keep elements satisfying `pred` (Flink `filter`).
+    pub fn filter(&self, name: &str, cost: OpCost, pred: impl Fn(&T) -> bool) -> DataSet<T>
+    where
+        T: Clone,
+    {
+        let scale = self.scale;
+        self.run_elementwise(name, cost, scale, |data| {
+            data.iter().filter(|x| pred(x)).cloned().collect()
+        })
+    }
+
+    /// Whole-partition transformation (Flink `mapPartition`) — the operator
+    /// GFlink's block-processing GPU path replaces.
+    pub fn map_partition<U>(
+        &self,
+        name: &str,
+        cost: OpCost,
+        out_scale: f64,
+        f: impl Fn(&[T]) -> Vec<U>,
+    ) -> DataSet<U> {
+        self.run_elementwise(name, cost, out_scale, |data| f(data))
+    }
+
+    /// Concatenate two datasets (Flink `union`). Partition-wise merge: no
+    /// network, no computation — the unioned dataset's partitions are ready
+    /// when both inputs' matching partitions are.
+    pub fn union(&self, name: &str, other: &DataSet<T>) -> DataSet<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "union requires equal parallelism"
+        );
+        assert!(
+            (self.scale - other.scale).abs() <= f64::EPSILON * self.scale.abs().max(1.0),
+            "union requires matching logical scales"
+        );
+        let env = self.env.clone();
+        let elements = self.logical_len() + other.logical_len();
+        let parts: Vec<RawPart<T>> = self
+            .parts
+            .iter()
+            .zip(other.parts.iter())
+            .map(|(a, b)| {
+                debug_assert_eq!(a.worker, b.worker, "union across placements");
+                let mut data = a.data.clone();
+                data.extend(b.data.iter().cloned());
+                RawPart {
+                    worker: a.worker,
+                    slot: a.slot,
+                    data,
+                    ready: a.ready.max(b.ready),
+                }
+            })
+            .collect();
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Map,
+            parallelism: parts.len(),
+            wall: SimTime::ZERO,
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: self.scale,
+        }
+    }
+
+    /// Sort each partition locally (Flink `sortPartition`). Charges the
+    /// comparison-sort cost (`log n` compare+swap passes per element) to the
+    /// partition's slot.
+    pub fn sort_partition<Key, KF>(&self, name: &str, key: KF) -> DataSet<T>
+    where
+        T: Clone,
+        Key: Ord,
+        KF: Fn(&T) -> Key,
+    {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let scale = self.scale;
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let mut elements = 0u64;
+        let parts: Vec<RawPart<T>> = self
+            .parts
+            .iter()
+            .map(|part| {
+                let n_logical = part.data.len() as f64 * scale;
+                elements += n_logical as u64;
+                // log2(n) comparison passes over the logical records.
+                let passes = n_logical.max(2.0).log2();
+                let cost = OpCost::new(4.0 * passes, 16.0 * passes).with_overhead_factor(0.5);
+                let dur = cfg.cpu.time_for(&cost, n_logical);
+                let r = {
+                    let mut cl = cluster.lock();
+                    cl.workers[part.worker]
+                        .slots
+                        .reserve_on(part.slot, part.ready + sched, dur)
+                };
+                let mut data = part.data.clone();
+                data.sort_by_key(|a| key(a));
+                wall_start = wall_start.min(r.start);
+                wall_end = wall_end.max(r.end);
+                RawPart {
+                    worker: part.worker,
+                    slot: part.slot,
+                    data,
+                    ready: r.end,
+                }
+            })
+            .collect();
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        env.charge(Phase::Map, wall);
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Map,
+            parallelism: parts.len(),
+            wall,
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale,
+        }
+    }
+
+    /// Global deduplication (Flink `distinct`): a hash shuffle groups equal
+    /// elements onto one partition, which keeps one copy each.
+    pub fn distinct(&self, name: &str, elem_logical_bytes: f64) -> DataSet<T>
+    where
+        T: Clone + Ord + Hash,
+    {
+        let keyed = self.map(&format!("{name}/key"), OpCost::trivial(), |x| (x.clone(), ()));
+        let uniq = keyed.reduce_by_key(
+            name,
+            OpCost::trivial(),
+            elem_logical_bytes,
+            self.scale,
+            |_, _| (),
+        );
+        uniq.map(&format!("{name}/unkey"), OpCost::trivial(), |(x, ())| x.clone())
+    }
+
+    /// Global reduction to the driver (Flink `reduce` + `collect`).
+    ///
+    /// Each partition folds locally on its slot, partials travel to the
+    /// driver over the senders' NICs, and the driver folds the partials.
+    pub fn reduce(
+        &self,
+        name: &str,
+        cost: OpCost,
+        partial_logical_bytes: f64,
+        f: impl Fn(&T, &T) -> T,
+    ) -> Option<T>
+    where
+        T: Clone,
+    {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let net = cfg.net.cost();
+        let scale = self.scale;
+        let mut partials: Vec<(SimTime, T)> = Vec::new();
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let mut elements = 0u64;
+        for part in &self.parts {
+            let n_logical = part.data.len() as f64 * scale;
+            elements += n_logical as u64;
+            let dur = cfg.cpu.time_for(&cost, n_logical);
+            let r = {
+                let mut cl = cluster.lock();
+                cl.workers[part.worker]
+                    .slots
+                    .reserve_on(part.slot, part.ready + sched, dur)
+            };
+            wall_start = wall_start.min(r.start);
+            wall_end = wall_end.max(r.end);
+            let local = part
+                .data
+                .iter()
+                .cloned()
+                .reduce(|a, b| f(&a, &b));
+            if let Some(v) = local {
+                // Ship the partial to the driver.
+                let send = {
+                    let mut cl = cluster.lock();
+                    cl.workers[part.worker]
+                        .nic_out
+                        .reserve(r.end, net.time_for(partial_logical_bytes as u64))
+                };
+                partials.push((send.end, v));
+                wall_end = wall_end.max(send.end);
+            }
+        }
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        env.charge(Phase::Reduce, wall);
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Reduce,
+            parallelism: self.parts.len(),
+            wall,
+            elements,
+        });
+        partials
+            .into_iter()
+            .map(|(_, v)| v)
+            .reduce(|a, b| f(&a, &b))
+    }
+
+    /// Count action: returns the *logical* element count.
+    pub fn count(&self, name: &str) -> u64 {
+        let env = self.env.clone();
+        let n = self.logical_len();
+        let end = self.all_ready();
+        env.bump_frontier(end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Action,
+            parallelism: self.parts.len(),
+            wall: SimTime::ZERO,
+            elements: n,
+        });
+        n
+    }
+
+    /// Collect all (actual) records to the driver, charging the transfer of
+    /// the *logical* bytes over each worker's NIC. Order is by partition
+    /// then position (deterministic).
+    pub fn collect(&self, name: &str, elem_logical_bytes: f64) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let cluster = env.cluster();
+        let net = cfg.net.cost();
+        let scale = self.scale;
+        let mut out = Vec::new();
+        let mut wall_end = SimTime::ZERO;
+        let elements = self.logical_len();
+        for part in &self.parts {
+            let bytes = (part.data.len() as f64 * scale * elem_logical_bytes) as u64;
+            let send = {
+                let mut cl = cluster.lock();
+                cl.workers[part.worker]
+                    .nic_out
+                    .reserve(part.ready, net.time_for(bytes))
+            };
+            wall_end = wall_end.max(send.end);
+            out.extend(part.data.iter().cloned());
+        }
+        env.charge(Phase::Shuffle, wall_end.saturating_sub(env.frontier().min(wall_end)));
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Action,
+            parallelism: 1,
+            wall: SimTime::ZERO,
+            elements,
+        });
+        out
+    }
+
+    /// Write the dataset to HDFS (sink). Charges each worker's portion of
+    /// the logical bytes through the write pipeline.
+    pub fn write_hdfs(&self, name: &str, file: &str, elem_logical_bytes: f64) {
+        let env = self.env.clone();
+        let cluster = env.cluster();
+        let scale = self.scale;
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let elements = self.logical_len();
+        for (i, part) in self.parts.iter().enumerate() {
+            let bytes = (part.data.len() as f64 * scale * elem_logical_bytes) as u64;
+            let shard = format!("{file}/part-{i:05}");
+            let grant = {
+                let mut cl = cluster.lock();
+                cl.hdfs
+                    .write(part.worker, &shard, bytes, Vec::new(), part.ready)
+                    .expect("hdfs write")
+            };
+            wall_start = wall_start.min(grant.start);
+            wall_end = wall_end.max(grant.end);
+        }
+        let wall = wall_end.saturating_sub(wall_start.min(wall_end));
+        env.charge(Phase::Io, wall);
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Sink,
+            parallelism: self.parts.len(),
+            wall,
+            elements,
+        });
+    }
+}
+
+/// Keyed operations on `(K, V)` datasets: shuffles.
+pub trait KeyedOps<K, V> {
+    /// Hash-shuffle by key with map-side combining, then reduce values per
+    /// key (Flink `groupBy(0).reduce(f)`).
+    ///
+    /// * `pair_logical_bytes` — wire size of one (key, value) pair at paper
+    ///   scale;
+    /// * `shuffle_scale` — logical shuffled records per actual shuffled
+    ///   record. Use `1.0` when the key cardinality is data-size-independent
+    ///   (KMeans centers, WordCount vocabulary) and the dataset's `scale`
+    ///   when keys grow with the data (PageRank vertices).
+    fn reduce_by_key(
+        &self,
+        name: &str,
+        combine_cost: OpCost,
+        pair_logical_bytes: f64,
+        shuffle_scale: f64,
+        f: impl Fn(&V, &V) -> V,
+    ) -> DataSet<(K, V)>;
+
+    /// Hash join with another keyed dataset (inner join on `K`).
+    fn join<W: Clone>(
+        &self,
+        name: &str,
+        other: &DataSet<(K, W)>,
+        pair_logical_bytes: f64,
+        other_pair_logical_bytes: f64,
+        out_scale: f64,
+    ) -> DataSet<(K, (V, W))>;
+}
+
+impl<K, V> DataSet<(K, V)>
+where
+    K: Clone + Ord + Hash,
+    V: Clone,
+{
+    /// Hash-partition by key (one shuffle), yielding a dataset whose
+    /// partitioning property downstream co-partitioned operators
+    /// ([`DataSet::join_local`]) can exploit — Flink's optimizer reuses such
+    /// partitionings instead of re-shuffling every iteration.
+    ///
+    /// `receive_cost` is the per-record CPU cost of ingesting shuffled
+    /// records on the receiver: full deserialization + sort for the
+    /// baseline ([`OpCost::trivial`]), a raw byte append for GFlink's
+    /// off-heap receive path.
+    pub fn partition_by_key(
+        self,
+        name: &str,
+        pair_logical_bytes: f64,
+        shuffle_scale: f64,
+        receive_cost: OpCost,
+    ) -> DataSet<(K, V)> {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let (buckets, arrival, start, end) =
+            Self::hash_shuffle(&self.parts, &env, pair_logical_bytes, shuffle_scale);
+        env.charge(Phase::Shuffle, end.saturating_sub(start));
+        let elements = self.logical_len();
+        let mut wall_end = end;
+        let parts: Vec<RawPart<(K, V)>> = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(dst, mut bucket)| {
+                let (worker, slot) = placement(dst, cfg.num_workers, cfg.slots_per_worker);
+                // Sort for deterministic local order (grouped by key).
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                let dur = cfg
+                    .cpu
+                    .time_for(&receive_cost, bucket.len() as f64 * shuffle_scale);
+                let r = {
+                    let mut cl = cluster.lock();
+                    cl.workers[worker]
+                        .slots
+                        .reserve_on(slot, arrival[dst] + sched, dur)
+                };
+                wall_end = wall_end.max(r.end);
+                RawPart {
+                    worker,
+                    slot,
+                    data: bucket,
+                    ready: r.end,
+                }
+            })
+            .collect();
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Shuffle,
+            parallelism: parts.len(),
+            wall: wall_end.saturating_sub(start),
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: shuffle_scale,
+        }
+    }
+
+    /// Join with a co-partitioned dataset **without** a shuffle.
+    ///
+    /// Both sides must be hash-partitioned by key with equal parallelism
+    /// (i.e. both produced by [`DataSet::partition_by_key`] or
+    /// `reduce_by_key`). Records whose keys hash to the wrong partition are
+    /// a correctness bug, so this is checked in debug builds.
+    pub fn join_local<W: Clone>(
+        &self,
+        name: &str,
+        other: &DataSet<(K, W)>,
+        out_scale: f64,
+    ) -> DataSet<(K, (V, W))> {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "join_local sides must have equal parallelism"
+        );
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let left_scale = self.scale;
+        let right_scale = other.scale;
+        let elements = self.logical_len() + other.logical_len();
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        let parts: Vec<RawPart<(K, (V, W))>> = self
+            .parts
+            .iter()
+            .zip(other.parts.iter())
+            .map(|(lp, rp)| {
+                debug_assert_eq!(lp.worker, rp.worker, "co-partitioning broken");
+                let n_logical =
+                    lp.data.len() as f64 * left_scale + rp.data.len() as f64 * right_scale;
+                let dur = cfg.cpu.time_for(&OpCost::new(8.0, 24.0), n_logical);
+                let earliest = lp.ready.max(rp.ready) + sched;
+                let r = {
+                    let mut cl = cluster.lock();
+                    cl.workers[lp.worker].slots.reserve_on(lp.slot, earliest, dur)
+                };
+                let mut table: BTreeMap<&K, &W> = BTreeMap::new();
+                for (k, w) in &rp.data {
+                    table.insert(k, w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in &lp.data {
+                    if let Some(w) = table.get(k) {
+                        out.push((k.clone(), (v.clone(), (*w).clone())));
+                    }
+                }
+                wall_start = wall_start.min(r.start);
+                wall_end = wall_end.max(r.end);
+                RawPart {
+                    worker: lp.worker,
+                    slot: lp.slot,
+                    data: out,
+                    ready: r.end,
+                }
+            })
+            .collect();
+        env.charge(Phase::Reduce, wall_end.saturating_sub(wall_start.min(wall_end)));
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Join,
+            parallelism: parts.len(),
+            wall: wall_end.saturating_sub(wall_start.min(wall_end)),
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: out_scale,
+        }
+    }
+
+    /// Shuffle records to `self.num_partitions()` destinations by key hash.
+    /// Returns per-destination buckets plus their ready times, charging NIC
+    /// time. Used by both `reduce_by_key` and `join`.
+    #[allow(clippy::type_complexity)]
+    fn hash_shuffle(
+        parts: &[RawPart<(K, V)>],
+        env: &FlinkEnv,
+        pair_logical_bytes: f64,
+        shuffle_scale: f64,
+    ) -> (Vec<Vec<(K, V)>>, Vec<SimTime>, SimTime, SimTime) {
+        let cfg = env.config();
+        let cluster = env.cluster();
+        let net = cfg.net.cost();
+        let p_count = parts.len();
+        let mut buckets: Vec<Vec<(K, V)>> = (0..p_count).map(|_| Vec::new()).collect();
+        let mut arrival: Vec<SimTime> = vec![SimTime::ZERO; p_count];
+        let mut wall_start = SimTime::MAX;
+        let mut wall_end = SimTime::ZERO;
+        for src in parts {
+            wall_start = wall_start.min(src.ready);
+            // Partition the records by destination.
+            let mut outbound: Vec<Vec<(K, V)>> = (0..p_count).map(|_| Vec::new()).collect();
+            for kv in &src.data {
+                let dst = (stable_hash(&kv.0) % p_count as u64) as usize;
+                outbound[dst].push(kv.clone());
+            }
+            for (dst, recs) in outbound.into_iter().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                let bytes = (recs.len() as f64 * shuffle_scale * pair_logical_bytes) as u64;
+                let (dst_worker, _) = placement(dst, cfg.num_workers, cfg.slots_per_worker);
+                let arrive = if dst_worker == src.worker {
+                    // Local exchange: no NIC, a memory copy we fold into the
+                    // downstream merge cost.
+                    src.ready
+                } else {
+                    let mut cl = cluster.lock();
+                    let send = cl.workers[src.worker]
+                        .nic_out
+                        .reserve(src.ready, net.time_for(bytes));
+                    let recv = cl.workers[dst_worker]
+                        .nic_in
+                        .reserve(send.end, net.time_for(bytes) - net.time_for(0));
+                    recv.end
+                };
+                arrival[dst] = arrival[dst].max(arrive);
+                wall_end = wall_end.max(arrive);
+                buckets[dst].extend(recs);
+            }
+        }
+        // Destinations with no inbound data are ready when all senders have
+        // decided (i.e. at the barrier of source readiness).
+        let src_barrier = parts.iter().map(|p| p.ready).max().unwrap_or(SimTime::ZERO);
+        for a in &mut arrival {
+            *a = (*a).max(src_barrier);
+        }
+        wall_end = wall_end.max(src_barrier);
+        (buckets, arrival, wall_start.min(wall_end), wall_end)
+    }
+}
+
+impl<K, V> KeyedOps<K, V> for DataSet<(K, V)>
+where
+    K: Clone + Ord + Hash,
+    V: Clone,
+{
+    fn reduce_by_key(
+        &self,
+        name: &str,
+        combine_cost: OpCost,
+        pair_logical_bytes: f64,
+        shuffle_scale: f64,
+        f: impl Fn(&V, &V) -> V,
+    ) -> DataSet<(K, V)> {
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let scale = self.scale;
+        // 1. Map-side combine on each partition's slot.
+        let mut combined: Vec<RawPart<(K, V)>> = Vec::with_capacity(self.parts.len());
+        let mut reduce_wall_start = SimTime::MAX;
+        let mut reduce_wall_end = SimTime::ZERO;
+        let mut elements = 0u64;
+        for part in &self.parts {
+            let n_logical = part.data.len() as f64 * scale;
+            elements += n_logical as u64;
+            let dur = cfg.cpu.time_for(&combine_cost, n_logical);
+            let r = {
+                let mut cl = cluster.lock();
+                cl.workers[part.worker]
+                    .slots
+                    .reserve_on(part.slot, part.ready + sched, dur)
+            };
+            let mut acc: BTreeMap<K, V> = BTreeMap::new();
+            for (k, v) in &part.data {
+                match acc.get_mut(k) {
+                    Some(cur) => *cur = f(cur, v),
+                    None => {
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            reduce_wall_start = reduce_wall_start.min(r.start);
+            reduce_wall_end = reduce_wall_end.max(r.end);
+            combined.push(RawPart {
+                worker: part.worker,
+                slot: part.slot,
+                data: acc.into_iter().collect(),
+                ready: r.end,
+            });
+        }
+        // 2. Shuffle combined pairs by key hash.
+        let (buckets, arrival, sh_start, sh_end) =
+            Self::hash_shuffle(&combined, &env, pair_logical_bytes, shuffle_scale);
+        env.charge(Phase::Shuffle, sh_end.saturating_sub(sh_start));
+        // 3. Final merge per destination partition.
+        let mut parts: Vec<RawPart<(K, V)>> = Vec::with_capacity(buckets.len());
+        for (dst, bucket) in buckets.into_iter().enumerate() {
+            let (worker, slot) = placement(dst, cfg.num_workers, cfg.slots_per_worker);
+            let n_logical = bucket.len() as f64 * shuffle_scale;
+            let dur = cfg.cpu.time_for(&combine_cost, n_logical);
+            let r = {
+                let mut cl = cluster.lock();
+                cl.workers[worker].slots.reserve_on(slot, arrival[dst], dur)
+            };
+            let mut acc: BTreeMap<K, V> = BTreeMap::new();
+            for (k, v) in bucket {
+                match acc.get_mut(&k) {
+                    Some(cur) => *cur = f(cur, &v),
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            reduce_wall_end = reduce_wall_end.max(r.end);
+            parts.push(RawPart {
+                worker,
+                slot,
+                data: acc.into_iter().collect(),
+                ready: r.end,
+            });
+        }
+        let wall = reduce_wall_end.saturating_sub(reduce_wall_start.min(reduce_wall_end));
+        env.charge(Phase::Reduce, wall.saturating_sub(sh_end.saturating_sub(sh_start)));
+        env.bump_frontier(reduce_wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Reduce,
+            parallelism: parts.len(),
+            wall,
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: shuffle_scale,
+        }
+    }
+
+    fn join<W: Clone>(
+        &self,
+        name: &str,
+        other: &DataSet<(K, W)>,
+        pair_logical_bytes: f64,
+        other_pair_logical_bytes: f64,
+        out_scale: f64,
+    ) -> DataSet<(K, (V, W))> {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "join sides must have equal parallelism"
+        );
+        let env = self.env.clone();
+        let cfg = env.config();
+        let sched = env.schedule_phase();
+        let cluster = env.cluster();
+        let left_scale = self.scale;
+        let right_scale = other.scale;
+        let elements = self.logical_len() + other.logical_len();
+        let (left_buckets, left_arrival, l_start, l_end) =
+            Self::hash_shuffle(&self.parts, &env, pair_logical_bytes, left_scale);
+        let (right_buckets, right_arrival, r_start, r_end) =
+            DataSet::<(K, W)>::hash_shuffle(&other.parts, &env, other_pair_logical_bytes, right_scale);
+        env.charge(
+            Phase::Shuffle,
+            l_end.max(r_end).saturating_sub(l_start.min(r_start)),
+        );
+        let mut parts: Vec<RawPart<(K, (V, W))>> = Vec::with_capacity(left_buckets.len());
+        let mut wall_end = SimTime::ZERO;
+        for (dst, (lbucket, rbucket)) in left_buckets
+            .into_iter()
+            .zip(right_buckets)
+            .enumerate()
+        {
+            let (worker, slot) = placement(dst, cfg.num_workers, cfg.slots_per_worker);
+            let n_logical = lbucket.len() as f64 * left_scale + rbucket.len() as f64 * right_scale;
+            // Hash join: build + probe, ~one hash op per record.
+            let dur = cfg.cpu.time_for(&OpCost::new(8.0, 24.0), n_logical);
+            let earliest = left_arrival[dst].max(right_arrival[dst]) + sched;
+            let r = {
+                let mut cl = cluster.lock();
+                cl.workers[worker].slots.reserve_on(slot, earliest, dur)
+            };
+            let mut table: BTreeMap<K, W> = BTreeMap::new();
+            for (k, w) in rbucket {
+                table.insert(k, w);
+            }
+            let mut out = Vec::new();
+            for (k, v) in lbucket {
+                if let Some(w) = table.get(&k) {
+                    out.push((k, (v, w.clone())));
+                }
+            }
+            wall_end = wall_end.max(r.end);
+            parts.push(RawPart {
+                worker,
+                slot,
+                data: out,
+                ready: r.end,
+            });
+        }
+        env.charge(Phase::Reduce, SimTime::ZERO);
+        env.bump_frontier(wall_end);
+        env.record_phase(PhaseRecord {
+            name: name.to_string(),
+            kind: PhaseKind::Join,
+            parallelism: parts.len(),
+            wall: wall_end.saturating_sub(l_start.min(r_start)),
+            elements,
+        });
+        DataSet {
+            env,
+            parts,
+            scale: out_scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterConfig, SharedCluster};
+
+    fn env_with(workers: usize) -> FlinkEnv {
+        let cluster = SharedCluster::new(ClusterConfig::standard(workers));
+        FlinkEnv::submit(&cluster, "test", SimTime::ZERO)
+    }
+
+    #[test]
+    fn parallelize_distributes_round_robin() {
+        let env = env_with(2);
+        let ds = env.parallelize("src", (0..10).collect(), 4, 1.0);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.actual_len(), 10);
+        assert_eq!(ds.logical_len(), 10);
+        // Partition sizes 3,3,2,2 under round robin.
+        let sizes: Vec<usize> = ds.raw_parts().iter().map(|p| p.data.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Placement: p0/w0, p1/w1, p2/w0 slot1, p3/w1 slot1.
+        assert_eq!(ds.raw_parts()[2].worker, 0);
+        assert_eq!(ds.raw_parts()[2].slot, 1);
+    }
+
+    #[test]
+    fn map_computes_and_advances_time() {
+        let env = env_with(1);
+        let before = env.frontier();
+        let ds = env.parallelize("src", vec![1u64, 2, 3, 4], 2, 1.0e6);
+        let out = ds.map("double", OpCost::new(1.0, 8.0), |x| x * 2);
+        assert!(env.frontier() > before, "map must consume simulated time");
+        let collected = out.collect("get", 8.0);
+        assert_eq!(collected, vec![2, 6, 4, 8]); // partition order: p0 then p1
+    }
+
+    #[test]
+    fn scale_amplifies_simulated_time_not_results() {
+        let env1 = env_with(1);
+        let small = env1
+            .parallelize("s", vec![1u64; 100], 4, 1.0)
+            .map("m", OpCost::new(100.0, 8.0), |x| *x);
+        let t_small = env1.frontier();
+        drop(small);
+        let env2 = env_with(1);
+        let big = env2
+            .parallelize("s", vec![1u64; 100], 4, 1000.0)
+            .map("m", OpCost::new(100.0, 8.0), |x| *x);
+        let t_big = env2.frontier();
+        assert_eq!(big.actual_len(), 100);
+        assert_eq!(big.logical_len(), 100_000);
+        assert!(t_big > t_small, "logical scale drives cost");
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let env = env_with(1);
+        let ds = env.parallelize("src", (0u64..8).collect(), 2, 1.0);
+        let odd = ds.filter("odd", OpCost::trivial(), |x| x % 2 == 1);
+        assert_eq!(odd.actual_len(), 4);
+        let doubled = odd.flat_map("dup", OpCost::trivial(), 1.0, |x, out| {
+            out.push(*x);
+            out.push(*x);
+        });
+        assert_eq!(doubled.actual_len(), 8);
+    }
+
+    #[test]
+    fn reduce_to_driver() {
+        let env = env_with(2);
+        let ds = env.parallelize("src", (1u64..=10).collect(), 4, 1.0);
+        let sum = ds.reduce("sum", OpCost::trivial(), 8.0, |a, b| a + b);
+        assert_eq!(sum, Some(55));
+    }
+
+    #[test]
+    fn reduce_by_key_groups_across_partitions() {
+        let env = env_with(2);
+        let pairs: Vec<(u32, u64)> = (0..20).map(|i| (i % 3, 1u64)).collect();
+        let ds = env.parallelize("src", pairs, 4, 1.0);
+        let counts = ds.reduce_by_key("count", OpCost::trivial(), 12.0, 1.0, |a, b| a + b);
+        let mut got = counts.collect("get", 12.0);
+        got.sort();
+        assert_eq!(got, vec![(0, 7), (1, 7), (2, 6)]);
+    }
+
+    #[test]
+    fn shuffle_costs_network_time() {
+        let env = env_with(4);
+        let pairs: Vec<(u64, u64)> = (0..4000).map(|i| (i, 1)).collect();
+        let before = env.frontier();
+        // High shuffle volume (every key distinct, large pair bytes).
+        let out = pairs_shuffled(&env, pairs);
+        let report = env.finish();
+        assert!(report.acct.get(Phase::Shuffle) > SimTime::ZERO);
+        assert!(env.frontier() > before);
+        drop(out);
+    }
+
+    fn pairs_shuffled(env: &FlinkEnv, pairs: Vec<(u64, u64)>) -> DataSet<(u64, u64)> {
+        env.parallelize("src", pairs, 8, 1000.0).reduce_by_key(
+            "rk",
+            OpCost::trivial(),
+            16.0,
+            1000.0,
+            |a, b| a + b,
+        )
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let env = env_with(2);
+        let left = env.parallelize("l", vec![(1u32, "a"), (2, "b"), (3, "c")], 4, 1.0);
+        let right = env.parallelize("r", vec![(2u32, 20u64), (3, 30), (4, 40)], 4, 1.0);
+        let joined = left.join("j", &right, 16.0, 16.0, 1.0);
+        let mut got = joined.collect("get", 24.0);
+        got.sort();
+        assert_eq!(got, vec![(2, ("b", 20)), (3, ("c", 30))]);
+    }
+
+    #[test]
+    fn read_hdfs_charges_io_and_materializes() {
+        let env = env_with(2);
+        let ds = env.read_hdfs(
+            "points",
+            "/input/points",
+            1_000_000, // logical
+            1_000,     // actual
+            16.0,
+            8,
+            |i| i * 2,
+        );
+        assert_eq!(ds.actual_len(), 1000);
+        assert_eq!(ds.logical_len(), 1_000_000);
+        let report = env.finish();
+        assert!(report.acct.get(Phase::Io) > SimTime::ZERO);
+        // Generator got logical indices (spread by the 1000x scale).
+        assert!(ds.raw_parts()[0].data[1] >= 2000);
+    }
+
+    #[test]
+    fn write_hdfs_charges_io() {
+        let env = env_with(2);
+        let ds = env.parallelize("src", (0u64..100).collect(), 4, 1000.0);
+        let io_before = env.finish().acct.get(Phase::Io);
+        ds.write_hdfs("sink", "/out/result", 64.0);
+        let io_after = env.finish().acct.get(Phase::Io);
+        assert!(io_after > io_before);
+        assert!(env.cluster().lock().hdfs.exists("/out/result/part-00000"));
+    }
+
+    #[test]
+    fn count_is_logical() {
+        let env = env_with(1);
+        let ds = env.parallelize("src", vec![(); 10], 2, 500.0);
+        assert_eq!(ds.count("count"), 5000);
+    }
+
+    #[test]
+    fn broadcast_advances_frontier() {
+        let env = env_with(3);
+        let before = env.frontier();
+        env.broadcast_bytes(1_000_000);
+        assert!(env.frontier() > before);
+    }
+
+    #[test]
+    fn union_concatenates_partitionwise() {
+        let env = env_with(2);
+        let a = env.parallelize("a", vec![1u32, 2, 3], 4, 1.0);
+        let b = env.parallelize("b", vec![10u32, 20], 4, 1.0);
+        let u = a.union("u", &b);
+        assert_eq!(u.actual_len(), 5);
+        let mut got = u.collect("get", 4.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal parallelism")]
+    fn union_rejects_mismatched_parallelism() {
+        let env = env_with(1);
+        let a = env.parallelize("a", vec![1u32], 2, 1.0);
+        let b = env.parallelize("b", vec![2u32], 3, 1.0);
+        let _ = a.union("u", &b);
+    }
+
+    #[test]
+    fn sort_partition_orders_locally_and_costs_time() {
+        let env = env_with(1);
+        let ds = env.parallelize("xs", vec![5u32, 1, 4, 2, 8, 7, 3, 6], 2, 1.0e6);
+        let before = env.frontier();
+        let sorted = ds.sort_partition("sort", |x| *x);
+        assert!(env.frontier() > before, "sorting must take time");
+        for part in sorted.raw_parts() {
+            assert!(part.data.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn distinct_deduplicates_globally() {
+        let env = env_with(2);
+        let xs: Vec<u32> = (0..40).map(|i| i % 7).collect();
+        let ds = env.parallelize("xs", xs, 8, 1.0);
+        let mut got = ds.distinct("d", 4.0).collect("get", 4.0);
+        got.sort_unstable();
+        assert_eq!(got, (0..7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn more_workers_finish_sooner() {
+        // Scalability sanity: the same logical job on more workers has a
+        // smaller makespan (Fig. 7c/d's CPU curve).
+        let run = |workers: usize| {
+            let env = env_with(workers);
+            let par = workers * 4;
+            env.read_hdfs("in", "/in", 10_000_000, 1000, 16.0, par, |i| i)
+                .map("m", OpCost::new(500.0, 16.0), |x| x + 1)
+                .count("c");
+            env.finish().total
+        };
+        let t2 = run(2);
+        let t8 = run(8);
+        assert!(t8 < t2, "8 workers {t8} should beat 2 workers {t2}");
+    }
+}

@@ -1,0 +1,192 @@
+//! The execution environment and job lifecycle.
+//!
+//! A [`FlinkEnv`] is the driver's handle to one submitted job: it owns the
+//! job's phase accounting (Eq. 1), its executed-phase graph, and the job
+//! clock frontier. Several `FlinkEnv`s may share one [`SharedCluster`], in
+//! which case their reservations contend on the same worker timelines —
+//! exactly how the concurrent multi-application experiments (§6.6.4) are
+//! run.
+
+use crate::graph::{JobGraph, PhaseRecord};
+use crate::topology::{ClusterConfig, SharedCluster};
+use gflink_sim::{Accounting, Phase, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+pub(crate) struct EnvInner {
+    pub cluster: SharedCluster,
+    pub acct: Accounting,
+    pub graph: JobGraph,
+    pub name: String,
+    pub submitted_at: SimTime,
+    pub frontier: SimTime,
+}
+
+/// Driver-side handle to a submitted job.
+#[derive(Clone)]
+pub struct FlinkEnv {
+    pub(crate) inner: Arc<Mutex<EnvInner>>,
+}
+
+/// Final report for a finished job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Submission instant (absolute simulated time).
+    pub submitted_at: SimTime,
+    /// Completion instant (absolute simulated time).
+    pub finished_at: SimTime,
+    /// Total job time (completion − submission), the paper's `T_total`.
+    pub total: SimTime,
+    /// Eq. (1) phase decomposition.
+    pub acct: Accounting,
+    /// Executed phases.
+    pub graph: JobGraph,
+}
+
+impl FlinkEnv {
+    /// Submit a job named `name` to `cluster` at simulated instant `at`.
+    ///
+    /// Charges the submission overhead (`T_submit`): client-side packaging,
+    /// JobManager admission and task deployment.
+    pub fn submit(cluster: &SharedCluster, name: &str, at: SimTime) -> FlinkEnv {
+        let submit = cluster.config().submit_overhead;
+        let mut acct = Accounting::new();
+        acct.add(Phase::Submit, submit);
+        FlinkEnv {
+            inner: Arc::new(Mutex::new(EnvInner {
+                cluster: cluster.clone(),
+                acct,
+                graph: JobGraph::new(),
+                name: name.to_string(),
+                submitted_at: at,
+                frontier: at + submit,
+            })),
+        }
+    }
+
+    /// The shared cluster this job runs on.
+    pub fn cluster(&self) -> SharedCluster {
+        self.inner.lock().cluster.clone()
+    }
+
+    /// The cluster configuration (cloned).
+    pub fn config(&self) -> ClusterConfig {
+        self.inner.lock().cluster.config()
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+
+    /// The job's current frontier: the latest completion instant any
+    /// partition or driver action has reached.
+    pub fn frontier(&self) -> SimTime {
+        self.inner.lock().frontier
+    }
+
+    /// Advance the frontier to at least `t`.
+    pub fn bump_frontier(&self, t: SimTime) {
+        let mut inner = self.inner.lock();
+        inner.frontier = inner.frontier.max(t);
+    }
+
+    /// Add `dt` to the accounting ledger under `phase`.
+    pub fn charge(&self, phase: Phase, dt: SimTime) {
+        self.inner.lock().acct.add(phase, dt);
+    }
+
+    /// Record an executed phase in the job graph.
+    pub fn record_phase(&self, rec: PhaseRecord) {
+        self.inner.lock().graph.push(rec);
+    }
+
+    /// Charge the per-phase scheduling overhead and return it.
+    ///
+    /// The JobManager/DAGScheduler spend this much per phase deciding
+    /// placements (`T_schedule` of Eq. 1); every partition of the phase
+    /// starts no earlier than its input plus this delay.
+    pub fn schedule_phase(&self) -> SimTime {
+        let inner = self.inner.lock();
+        let dt = inner.cluster.config().schedule_overhead;
+        drop(inner);
+        self.charge(Phase::Schedule, dt);
+        dt
+    }
+
+    /// Finish the job: returns the report. The job's total is
+    /// `frontier − submitted_at`.
+    pub fn finish(&self) -> JobReport {
+        let inner = self.inner.lock();
+        JobReport {
+            name: inner.name.clone(),
+            submitted_at: inner.submitted_at,
+            finished_at: inner.frontier,
+            total: inner.frontier - inner.submitted_at,
+            acct: inner.acct.clone(),
+            graph: inner.graph.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FlinkEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "FlinkEnv({:?}, frontier {})",
+            inner.name, inner.frontier
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterConfig;
+
+    #[test]
+    fn submit_charges_overhead_and_sets_frontier() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(2));
+        let env = FlinkEnv::submit(&cluster, "job", SimTime::from_secs(5));
+        let report = env.finish();
+        assert_eq!(report.name, "job");
+        assert_eq!(report.submitted_at, SimTime::from_secs(5));
+        assert_eq!(report.total, cluster.config().submit_overhead);
+        assert_eq!(report.acct.get(Phase::Submit), cluster.config().submit_overhead);
+    }
+
+    #[test]
+    fn frontier_only_moves_forward() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(1));
+        let env = FlinkEnv::submit(&cluster, "j", SimTime::ZERO);
+        let f0 = env.frontier();
+        env.bump_frontier(f0 + SimTime::from_secs(1));
+        env.bump_frontier(f0); // no-op backwards
+        assert_eq!(env.frontier(), f0 + SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn schedule_phase_accumulates() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(1));
+        let env = FlinkEnv::submit(&cluster, "j", SimTime::ZERO);
+        let dt = env.schedule_phase();
+        assert_eq!(dt, cluster.config().schedule_overhead);
+        env.schedule_phase();
+        assert_eq!(env.finish().acct.get(Phase::Schedule), dt * 2);
+    }
+
+    #[test]
+    fn concurrent_envs_share_the_cluster() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(1));
+        let a = FlinkEnv::submit(&cluster, "a", SimTime::ZERO);
+        let b = FlinkEnv::submit(&cluster, "b", SimTime::ZERO);
+        // Both see the same worker timelines.
+        a.cluster().lock().workers[0]
+            .nic_out
+            .reserve(SimTime::ZERO, SimTime::from_secs(2));
+        assert_eq!(b.cluster().lock().drained_at(), SimTime::from_secs(2));
+    }
+}

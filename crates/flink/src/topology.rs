@@ -1,0 +1,216 @@
+//! Cluster topology: workers, task slots, NICs, HDFS.
+//!
+//! The testbed is a master plus N workers, each with one i5-4590 (4 cores →
+//! 4 task slots) connected by gigabit Ethernet, with HDFS co-located on the
+//! workers (§6.1). [`Cluster`] holds the per-worker resource timelines; it
+//! is shared behind a mutex ([`SharedCluster`]) so several concurrently
+//! submitted jobs contend for the same hardware (the §6.6.4 experiments).
+
+use crate::cost::CpuSpec;
+use gflink_hdfs::{Hdfs, HdfsConfig};
+use gflink_sim::{BandwidthCost, MultiTimeline, SimTime, Timeline};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Network interconnect model (per-worker full-duplex NIC).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency per message.
+    pub latency: SimTime,
+    /// Payload bandwidth per NIC direction, bytes/s.
+    pub bps: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            latency: SimTime::from_micros(100),
+            // 10 GbE payload rate: the testbed is hosted at a
+            // supercomputing centre (§6.1), not on commodity GbE.
+            bps: 1.17e9,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// The latency+bandwidth cost of one direction.
+    pub fn cost(&self) -> BandwidthCost {
+        BandwidthCost::new(self.latency, self.bps)
+    }
+}
+
+/// Static cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker (slave) nodes.
+    pub num_workers: usize,
+    /// Task slots per worker (default: one per CPU core = 4).
+    pub slots_per_worker: usize,
+    /// CPU model for the workers.
+    pub cpu: CpuSpec,
+    /// Interconnect model.
+    pub net: NetworkModel,
+    /// HDFS configuration (datanodes are co-located with workers).
+    pub hdfs: HdfsConfig,
+    /// One-time job submission overhead (client → JobManager → deploy).
+    pub submit_overhead: SimTime,
+    /// Master-side scheduling overhead charged per execution phase.
+    pub schedule_overhead: SimTime,
+}
+
+impl ClusterConfig {
+    /// The paper's standard cluster: `num_workers` nodes, 4 slots each.
+    pub fn standard(num_workers: usize) -> Self {
+        ClusterConfig {
+            num_workers,
+            slots_per_worker: 4,
+            cpu: CpuSpec::default(),
+            net: NetworkModel::default(),
+            hdfs: HdfsConfig::default(),
+            submit_overhead: SimTime::from_millis(1200),
+            schedule_overhead: SimTime::from_millis(30),
+        }
+    }
+
+    /// A single-machine setup (the §6.6.1/§6.6.2 experiments).
+    pub fn single_node() -> Self {
+        ClusterConfig::standard(1)
+    }
+
+    /// Total task slots in the cluster — the default parallelism.
+    pub fn total_slots(&self) -> usize {
+        self.num_workers * self.slots_per_worker
+    }
+}
+
+/// One worker node's resources.
+#[derive(Debug)]
+pub struct Worker {
+    /// Worker index.
+    pub id: usize,
+    /// CPU task slots (one timeline per core).
+    pub slots: MultiTimeline,
+    /// NIC, outbound direction.
+    pub nic_out: Timeline,
+    /// NIC, inbound direction.
+    pub nic_in: Timeline,
+}
+
+impl Worker {
+    fn new(id: usize, slots: usize) -> Self {
+        Worker {
+            id,
+            slots: MultiTimeline::new(slots),
+            nic_out: Timeline::new(),
+            nic_in: Timeline::new(),
+        }
+    }
+}
+
+/// The simulated cluster: workers + HDFS + master overhead constants.
+pub struct Cluster {
+    /// Configuration this cluster was built from.
+    pub config: ClusterConfig,
+    /// Worker nodes.
+    pub workers: Vec<Worker>,
+    /// The distributed file system (datanode i == worker i).
+    pub hdfs: Hdfs,
+}
+
+impl Cluster {
+    /// Build a cluster from `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.num_workers >= 1);
+        assert!(config.slots_per_worker >= 1);
+        let workers = (0..config.num_workers)
+            .map(|i| Worker::new(i, config.slots_per_worker))
+            .collect();
+        let hdfs = Hdfs::new(config.num_workers, config.hdfs.clone());
+        Cluster {
+            workers,
+            hdfs,
+            config,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The instant every worker resource is idle.
+    pub fn drained_at(&self) -> SimTime {
+        self.workers
+            .iter()
+            .map(|w| {
+                w.slots
+                    .all_free()
+                    .max(w.nic_in.next_free())
+                    .max(w.nic_out.next_free())
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// A cluster shared between jobs (and, in GFlink, with the GPU managers).
+#[derive(Clone)]
+pub struct SharedCluster(pub Arc<Mutex<Cluster>>);
+
+impl SharedCluster {
+    /// Wrap a freshly built cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        SharedCluster(Arc::new(Mutex::new(Cluster::new(config))))
+    }
+
+    /// Lock and access the cluster.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, Cluster> {
+        self.0.lock()
+    }
+
+    /// Convenience: the configuration (cloned).
+    pub fn config(&self) -> ClusterConfig {
+        self.lock().config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cluster_shape() {
+        let c = Cluster::new(ClusterConfig::standard(10));
+        assert_eq!(c.num_workers(), 10);
+        assert_eq!(c.workers[0].slots.len(), 4);
+        assert_eq!(c.config.total_slots(), 40);
+        assert_eq!(c.hdfs.num_nodes(), 10);
+    }
+
+    #[test]
+    fn drained_at_tracks_busy_resources() {
+        let mut c = Cluster::new(ClusterConfig::standard(2));
+        assert_eq!(c.drained_at(), SimTime::ZERO);
+        c.workers[1]
+            .nic_out
+            .reserve(SimTime::ZERO, SimTime::from_secs(3));
+        assert_eq!(c.drained_at(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn shared_cluster_is_cloneable_handle() {
+        let s = SharedCluster::new(ClusterConfig::single_node());
+        let s2 = s.clone();
+        s.lock().workers[0]
+            .nic_in
+            .reserve(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(s2.lock().drained_at(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn network_cost_includes_latency() {
+        let n = NetworkModel::default();
+        let t = n.cost().time_for(0);
+        assert_eq!(t, SimTime::from_micros(100));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the baseline engine: every distributed operator must
+//! agree with a sequential reference implementation, for any data,
+//! parallelism and cluster shape — and the simulation must replay
+//! identically.
+
+use gflink_flink::{ClusterConfig, FlinkEnv, KeyedOps, OpCost, SharedCluster};
+use gflink_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn env(workers: usize) -> FlinkEnv {
+    let cluster = SharedCluster::new(ClusterConfig::standard(workers));
+    FlinkEnv::submit(&cluster, "prop", SimTime::ZERO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// map ≡ sequential map, for any parallelism and worker count.
+    #[test]
+    fn map_matches_reference(
+        xs in prop::collection::vec(any::<i32>(), 0..200),
+        par in 1usize..16,
+        workers in 1usize..5,
+    ) {
+        let e = env(workers);
+        let ds = e.parallelize("xs", xs.clone(), par, 1.0);
+        let out = ds.map("m", OpCost::trivial(), |x| x.wrapping_mul(3) ^ 7);
+        let mut got = out.collect("get", 4.0);
+        let mut expect: Vec<i32> = xs.iter().map(|x| x.wrapping_mul(3) ^ 7).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// filter ≡ sequential filter.
+    #[test]
+    fn filter_matches_reference(
+        xs in prop::collection::vec(any::<i32>(), 0..200),
+        par in 1usize..12,
+    ) {
+        let e = env(3);
+        let ds = e.parallelize("xs", xs.clone(), par, 1.0);
+        let out = ds.filter("f", OpCost::trivial(), |x| x % 3 == 0);
+        let mut got = out.collect("get", 4.0);
+        let mut expect: Vec<i32> = xs.into_iter().filter(|x| x % 3 == 0).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// flat_map ≡ sequential flat_map (with element count growth).
+    #[test]
+    fn flat_map_matches_reference(
+        xs in prop::collection::vec(0u32..1000, 0..100),
+        par in 1usize..8,
+    ) {
+        let e = env(2);
+        let ds = e.parallelize("xs", xs.clone(), par, 1.0);
+        let out = ds.flat_map("fm", OpCost::trivial(), 1.0, |x, sink| {
+            for k in 0..(x % 3) {
+                sink.push(x + k);
+            }
+        });
+        let mut got = out.collect("get", 4.0);
+        let mut expect = Vec::new();
+        for x in xs {
+            for k in 0..(x % 3) {
+                expect.push(x + k);
+            }
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// reduce ≡ sequential fold (for a commutative+associative op).
+    #[test]
+    fn reduce_matches_reference(
+        xs in prop::collection::vec(any::<i64>(), 1..150),
+        par in 1usize..10,
+    ) {
+        let e = env(3);
+        let ds = e.parallelize("xs", xs.clone(), par, 1.0);
+        let got = ds.reduce("sum", OpCost::trivial(), 8.0, |a, b| a.wrapping_add(*b));
+        let expect = xs.into_iter().fold(0i64, |a, b| a.wrapping_add(b));
+        prop_assert_eq!(got, Some(expect));
+    }
+
+    /// reduce_by_key ≡ BTreeMap aggregation.
+    #[test]
+    fn reduce_by_key_matches_reference(
+        pairs in prop::collection::vec((0u32..50, any::<i64>()), 0..200),
+        par in 1usize..12,
+        workers in 1usize..5,
+    ) {
+        let e = env(workers);
+        let ds = e.parallelize("ps", pairs.clone(), par, 1.0);
+        let out = ds.reduce_by_key("rbk", OpCost::trivial(), 12.0, 1.0,
+                                   |a, b| a.wrapping_add(*b));
+        let mut got = out.collect("get", 12.0);
+        got.sort_unstable();
+        let mut acc: BTreeMap<u32, i64> = BTreeMap::new();
+        for (k, v) in pairs {
+            *acc.entry(k).or_insert(0) = acc.get(&k).copied().unwrap_or(0).wrapping_add(v);
+        }
+        let expect: Vec<(u32, i64)> = acc.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// join ≡ reference hash join (unique keys on the right side).
+    #[test]
+    fn join_matches_reference(
+        left in prop::collection::vec((0u32..40, any::<i32>()), 0..100),
+        right_keys in prop::collection::vec(0u32..40, 0..40),
+    ) {
+        let right: Vec<(u32, u64)> = {
+            let mut ks = right_keys;
+            ks.sort_unstable();
+            ks.dedup();
+            ks.into_iter().map(|k| (k, k as u64 * 10)).collect()
+        };
+        let e = env(2);
+        let l = e.parallelize("l", left.clone(), 4, 1.0);
+        let r = e.parallelize("r", right.clone(), 4, 1.0);
+        let out = l.join("j", &r, 12.0, 12.0, 1.0);
+        let mut got = out.collect("get", 24.0);
+        got.sort_by_key(|(k, (v, w))| (*k, *v, *w));
+        let table: BTreeMap<u32, u64> = right.into_iter().collect();
+        let mut expect: Vec<(u32, (i32, u64))> = left
+            .into_iter()
+            .filter_map(|(k, v)| table.get(&k).map(|w| (k, (v, *w))))
+            .collect();
+        expect.sort_by_key(|(k, (v, w))| (*k, *v, *w));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// partition_by_key + join_local ≡ the shuffling join.
+    #[test]
+    fn colocated_join_matches_shuffling_join(
+        left in prop::collection::vec((0u32..30, any::<i16>()), 0..80),
+        right in prop::collection::vec(0u32..30, 0..30),
+    ) {
+        let right: Vec<(u32, u8)> = {
+            let mut ks = right;
+            ks.sort_unstable();
+            ks.dedup();
+            ks.into_iter().map(|k| (k, (k % 250) as u8)).collect()
+        };
+        let e1 = env(2);
+        let l1 = e1.parallelize("l", left.clone(), 6, 1.0)
+            .partition_by_key("pl", 8.0, 1.0, OpCost::trivial());
+        let r1 = e1.parallelize("r", right.clone(), 6, 1.0)
+            .partition_by_key("pr", 8.0, 1.0, OpCost::trivial());
+        let mut a = l1.join_local("jl", &r1, 1.0).collect("get", 16.0);
+        let e2 = env(2);
+        let l2 = e2.parallelize("l", left, 6, 1.0);
+        let r2 = e2.parallelize("r", right, 6, 1.0);
+        let mut b = l2.join("j", &r2, 8.0, 8.0, 1.0).collect("get", 16.0);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Logical element counts: map preserves, filter never grows.
+    #[test]
+    fn logical_counts_consistent(
+        xs in prop::collection::vec(any::<u8>(), 1..100),
+        scale in 1.0f64..10_000.0,
+    ) {
+        let e = env(2);
+        let ds = e.parallelize("xs", xs, 4, scale);
+        let before = ds.logical_len();
+        let mapped = ds.map("m", OpCost::trivial(), |x| *x);
+        prop_assert_eq!(mapped.logical_len(), before);
+        let filtered = mapped.filter("f", OpCost::trivial(), |x| *x > 128);
+        prop_assert!(filtered.logical_len() <= before);
+    }
+
+    /// distinct ≡ sort+dedup; union ≡ concatenation; sort_partition sorts.
+    #[test]
+    fn set_operators_match_reference(
+        xs in prop::collection::vec(0u16..300, 0..150),
+        ys in prop::collection::vec(0u16..300, 0..150),
+    ) {
+        let e = env(2);
+        let a = e.parallelize("a", xs.clone(), 6, 1.0);
+        let b = e.parallelize("b", ys.clone(), 6, 1.0);
+        let mut unioned = a.union("u", &b).collect("get", 2.0);
+        let mut expect_union = xs.clone();
+        expect_union.extend(ys.clone());
+        unioned.sort_unstable();
+        expect_union.sort_unstable();
+        prop_assert_eq!(unioned, expect_union);
+
+        let mut distinct = a.distinct("d", 2.0).collect("get", 2.0);
+        distinct.sort_unstable();
+        let mut expect_distinct = xs.clone();
+        expect_distinct.sort_unstable();
+        expect_distinct.dedup();
+        prop_assert_eq!(distinct, expect_distinct);
+
+        let sorted = a.sort_partition("s", |x| *x);
+        for part in sorted.raw_parts() {
+            prop_assert!(part.data.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// The whole pipeline replays deterministically: identical programs
+    /// produce identical simulated job times.
+    #[test]
+    fn simulated_time_replays(
+        pairs in prop::collection::vec((0u32..20, 0i32..100), 1..100),
+        par in 1usize..8,
+    ) {
+        let run = || {
+            let e = env(3);
+            let ds = e.parallelize("ps", pairs.clone(), par, 500.0);
+            let out = ds.reduce_by_key("rbk", OpCost::new(4.0, 12.0), 12.0, 500.0, |a, b| a + b);
+            let _ = out.collect("get", 12.0);
+            e.finish().total
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

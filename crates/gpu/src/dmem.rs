@@ -1,0 +1,322 @@
+//! Device memory.
+//!
+//! GPU device memory is "directly controlled by individual applications"
+//! (§4.2) — there is no OS to reclaim it. [`DeviceMemory`] models a card's
+//! DRAM: a capacity budget in *logical* bytes (the size the allocation would
+//! have at paper scale) plus real backing storage in *actual* bytes holding
+//! the data kernels compute on. The split is what lets a 3 GB C2050 be
+//! modelled faithfully while the host process only materializes
+//! scale-reduced data (see DESIGN.md §2).
+
+use gflink_memory::HBuffer;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a device allocation (an opaque `CUdeviceptr` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DevBufId(u64);
+
+/// Device-memory errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmemError {
+    /// Not enough free device memory for the requested logical size.
+    OutOfMemory {
+        /// Bytes requested (logical).
+        requested: u64,
+        /// Bytes free (logical).
+        free: u64,
+    },
+    /// Unknown or already-freed buffer handle.
+    BadHandle,
+}
+
+impl fmt::Display for DmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmemError::OutOfMemory { requested, free } => {
+                write!(f, "device OOM: requested {requested} B, {free} B free")
+            }
+            DmemError::BadHandle => write!(f, "invalid device buffer handle"),
+        }
+    }
+}
+
+impl std::error::Error for DmemError {}
+
+struct Allocation {
+    logical_bytes: u64,
+    data: HBuffer,
+}
+
+/// A GPU's DRAM: logical capacity accounting + real backing buffers.
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    next_id: u64,
+    allocs: HashMap<u64, Allocation>,
+    total_allocs: u64,
+    total_frees: u64,
+}
+
+impl DeviceMemory {
+    /// A device with `capacity` logical bytes of DRAM.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            used: 0,
+            peak: 0,
+            next_id: 1,
+            allocs: HashMap::new(),
+            total_allocs: 0,
+            total_frees: 0,
+        }
+    }
+
+    /// Capacity in logical bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Logical bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Logical bytes free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of logical usage.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Lifetime counts of (allocations, frees) — the redundant-allocation
+    /// traffic the GPU cache scheme exists to avoid (§4.2.2).
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        (self.total_allocs, self.total_frees)
+    }
+
+    /// Allocate `logical_bytes` of device memory backed by `actual_bytes`
+    /// of zeroed real storage (`cudaMalloc` analogue).
+    pub fn alloc(&mut self, logical_bytes: u64, actual_bytes: usize) -> Result<DevBufId, DmemError> {
+        if logical_bytes > self.free_bytes() {
+            return Err(DmemError::OutOfMemory {
+                requested: logical_bytes,
+                free: self.free_bytes(),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocs.insert(
+            id,
+            Allocation {
+                logical_bytes,
+                data: HBuffer::zeroed(actual_bytes),
+            },
+        );
+        self.used += logical_bytes;
+        self.peak = self.peak.max(self.used);
+        self.total_allocs += 1;
+        Ok(DevBufId(id))
+    }
+
+    /// Free a device allocation (`cudaFree` analogue).
+    pub fn release(&mut self, id: DevBufId) -> Result<(), DmemError> {
+        let a = self.allocs.remove(&id.0).ok_or(DmemError::BadHandle)?;
+        self.used -= a.logical_bytes;
+        self.total_frees += 1;
+        Ok(())
+    }
+
+    /// Logical size of an allocation.
+    pub fn logical_size(&self, id: DevBufId) -> Result<u64, DmemError> {
+        self.allocs
+            .get(&id.0)
+            .map(|a| a.logical_bytes)
+            .ok_or(DmemError::BadHandle)
+    }
+
+    /// Read access to an allocation's backing data.
+    pub fn data(&self, id: DevBufId) -> Result<&HBuffer, DmemError> {
+        self.allocs.get(&id.0).map(|a| &a.data).ok_or(DmemError::BadHandle)
+    }
+
+    /// Write access to an allocation's backing data.
+    pub fn data_mut(&mut self, id: DevBufId) -> Result<&mut HBuffer, DmemError> {
+        self.allocs
+            .get_mut(&id.0)
+            .map(|a| &mut a.data)
+            .ok_or(DmemError::BadHandle)
+    }
+
+    /// Mutable access to two distinct allocations at once (kernel in/out).
+    ///
+    /// Panics if `a == b`; returns `BadHandle` if either is unknown.
+    pub fn data_pair_mut(
+        &mut self,
+        a: DevBufId,
+        b: DevBufId,
+    ) -> Result<(&mut HBuffer, &mut HBuffer), DmemError> {
+        assert_ne!(a, b, "aliased device buffers");
+        if !self.allocs.contains_key(&a.0) || !self.allocs.contains_key(&b.0) {
+            return Err(DmemError::BadHandle);
+        }
+        // SAFETY: keys verified distinct and present; we hand out disjoint
+        // mutable borrows backed by different map entries.
+        let pa = self.allocs.get_mut(&a.0).unwrap() as *mut Allocation;
+        let pb = self.allocs.get_mut(&b.0).unwrap() as *mut Allocation;
+        unsafe { Ok((&mut (*pa).data, &mut (*pb).data)) }
+    }
+
+    /// Borrow several allocations at once: `inputs` immutably and `outputs`
+    /// mutably, as a kernel launch needs.
+    ///
+    /// Outputs must be pairwise distinct and distinct from every input
+    /// (kernels may read an input twice, but aliasing an output is a bug).
+    pub fn with_buffers<R>(
+        &mut self,
+        inputs: &[DevBufId],
+        outputs: &[DevBufId],
+        f: impl FnOnce(Vec<&HBuffer>, Vec<&mut HBuffer>) -> R,
+    ) -> Result<R, DmemError> {
+        for (i, o) in outputs.iter().enumerate() {
+            assert!(
+                !outputs[..i].contains(o) && !inputs.contains(o),
+                "output buffer {o:?} aliases another kernel argument"
+            );
+        }
+        for id in inputs.iter().chain(outputs) {
+            if !self.allocs.contains_key(&id.0) {
+                return Err(DmemError::BadHandle);
+            }
+        }
+        // Collect raw pointers one at a time (each short-lived borrow ends
+        // before the next begins), then reborrow.
+        let mut out_ptrs: Vec<*mut HBuffer> = Vec::with_capacity(outputs.len());
+        for id in outputs {
+            out_ptrs.push(&mut self.allocs.get_mut(&id.0).unwrap().data as *mut HBuffer);
+        }
+        let in_ptrs: Vec<*const HBuffer> = inputs
+            .iter()
+            .map(|id| &self.allocs.get(&id.0).unwrap().data as *const HBuffer)
+            .collect();
+        // SAFETY: all handles were verified present; outputs are pairwise
+        // distinct and disjoint from inputs, so the mutable reborrows are
+        // unique and do not alias the shared ones. The HashMap is not
+        // mutated while the pointers are live.
+        unsafe {
+            let ins: Vec<&HBuffer> = in_ptrs.iter().map(|&p| &*p).collect();
+            let outs: Vec<&mut HBuffer> = out_ptrs.iter().map(|&p| &mut *p).collect();
+            Ok(f(ins, outs))
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Copy host bytes into a device allocation (the actual-data leg of
+    /// `cudaMemcpyH2D`; timing is charged by the caller).
+    pub fn upload(&mut self, id: DevBufId, host: &HBuffer) -> Result<(), DmemError> {
+        let dst = self.data_mut(id)?;
+        let n = host.len().min(dst.len());
+        dst.copy_from(0, host, 0, n);
+        Ok(())
+    }
+
+    /// Copy a device allocation's bytes back to the host.
+    pub fn download(&self, id: DevBufId, host: &mut HBuffer) -> Result<(), DmemError> {
+        let src = self.data(id)?;
+        let n = host.len().min(src.len());
+        host.copy_from(0, src, 0, n);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DeviceMemory({}/{} logical bytes, {} live allocs)",
+            self.used,
+            self.capacity,
+            self.allocs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(600, 64).unwrap();
+        assert_eq!(m.used(), 600);
+        let err = m.alloc(500, 64).unwrap_err();
+        assert_eq!(
+            err,
+            DmemError::OutOfMemory {
+                requested: 500,
+                free: 400
+            }
+        );
+        m.release(a).unwrap();
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.peak(), 600);
+        assert_eq!(m.alloc_stats(), (1, 1));
+    }
+
+    #[test]
+    fn logical_and_actual_sizes_decouple() {
+        let mut m = DeviceMemory::new(10_000_000_000); // 10 GB logical
+        let a = m.alloc(1_000_000_000, 1024).unwrap(); // 1 GB logical, 1 KiB actual
+        assert_eq!(m.logical_size(a).unwrap(), 1_000_000_000);
+        assert_eq!(m.data(a).unwrap().len(), 1024);
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(512, 16).unwrap();
+        let host = HBuffer::from_bytes(&[7u8; 16]);
+        m.upload(a, &host).unwrap();
+        let mut out = HBuffer::zeroed(16);
+        m.download(a, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[7u8; 16]);
+    }
+
+    #[test]
+    fn bad_handle_rejected() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(10, 8).unwrap();
+        m.release(a).unwrap();
+        assert_eq!(m.release(a), Err(DmemError::BadHandle));
+        assert_eq!(m.logical_size(a), Err(DmemError::BadHandle));
+    }
+
+    #[test]
+    fn data_pair_gives_disjoint_buffers() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(10, 8).unwrap();
+        let b = m.alloc(10, 8).unwrap();
+        let (ba, bb) = m.data_pair_mut(a, b).unwrap();
+        ba.write_u8(0, 1);
+        bb.write_u8(0, 2);
+        assert_eq!(m.data(a).unwrap().read_u8(0), 1);
+        assert_eq!(m.data(b).unwrap().read_u8(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliased")]
+    fn data_pair_rejects_aliases() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(10, 8).unwrap();
+        let _ = m.data_pair_mut(a, a);
+    }
+}

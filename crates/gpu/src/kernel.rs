@@ -1,0 +1,215 @@
+//! Kernel registry.
+//!
+//! In the paper, users provide CUDA kernels compiled to `.ptx` files and
+//! reference them from `GWork` by path and `executeName` (§3.5.3,
+//! Algorithm 3.1: `sWork.ptxPath = "/addPoint.ptx"; sWork.executeName =
+//! "cudaAddPoint"`). The `GPUManager` resolves the function by name and
+//! launches it.
+//!
+//! Here kernels are Rust closures registered by name. They execute for real
+//! over device-resident buffers and return a [`KernelProfile`] describing
+//! the *logical* work performed (flops, memory traffic, coalescing factor),
+//! which the device's roofline model converts to simulated time.
+
+use gflink_memory::HBuffer;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Work metrics a kernel reports after executing, at *logical* scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// Floating-point (or equivalent integer) operations performed.
+    pub flops: f64,
+    /// Device-memory bytes moved (reads + writes).
+    pub bytes: f64,
+    /// Memory-coalescing efficiency in `(0, 1]` — derived from the data
+    /// layout (see `gflink_memory::DataLayout`).
+    pub coalescing: f64,
+    /// For kernels with data-dependent output cardinality (block-level
+    /// aggregation): how many output records are valid. `None` means the
+    /// full declared output was produced.
+    pub emitted: Option<usize>,
+}
+
+impl KernelProfile {
+    /// A profile with full coalescing.
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        KernelProfile {
+            flops,
+            bytes,
+            coalescing: 1.0,
+            emitted: None,
+        }
+    }
+
+    /// Override the coalescing factor.
+    pub fn with_coalescing(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c <= 1.0, "coalescing must be in (0,1], got {c}");
+        self.coalescing = c;
+        self
+    }
+
+    /// Declare a data-dependent output record count.
+    pub fn with_emitted(mut self, n: usize) -> Self {
+        self.emitted = Some(n);
+        self
+    }
+}
+
+/// Arguments handed to a kernel at launch.
+pub struct KernelArgs<'a> {
+    /// Device-resident input buffers, in `GWork` declaration order.
+    pub inputs: Vec<&'a HBuffer>,
+    /// Device-resident output buffers.
+    pub outputs: Vec<&'a mut HBuffer>,
+    /// Scalar launch parameters (k, dimensions, damping factors, …).
+    pub params: &'a [f64],
+    /// Number of elements actually materialized in the buffers.
+    pub n_actual: usize,
+    /// Number of elements at paper scale (drives the cost profile).
+    pub n_logical: u64,
+}
+
+impl KernelArgs<'_> {
+    /// Scale factor between logical and actual element counts.
+    pub fn scale(&self) -> f64 {
+        if self.n_actual == 0 {
+            1.0
+        } else {
+            self.n_logical as f64 / self.n_actual as f64
+        }
+    }
+}
+
+/// A registered kernel function.
+pub type KernelFn = Arc<dyn Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync>;
+
+/// Name → kernel map; the analogue of a directory of loaded `.ptx` modules.
+#[derive(Clone, Default)]
+pub struct KernelRegistry {
+    kernels: HashMap<String, KernelFn>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        KernelRegistry::default()
+    }
+
+    /// Register `f` under `name`, replacing any previous registration.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync + 'static,
+    {
+        self.kernels.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Resolve a kernel by its `executeName`.
+    pub fn get(&self, name: &str) -> Option<KernelFn> {
+        self.kernels.get(name).cloned()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.kernels.contains_key(name)
+    }
+
+    /// Registered kernel names, sorted (for deterministic listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.kernels.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True when no kernels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+impl fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KernelRegistry({} kernels)", self.kernels.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_add() -> impl Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync {
+        |args: &mut KernelArgs<'_>| {
+            let n = args.n_actual;
+            let (a, b) = (args.inputs[0], args.inputs[1]);
+            let out = &mut args.outputs[0];
+            for i in 0..n {
+                let s = a.read_f32(i * 4) + b.read_f32(i * 4);
+                out.write_f32(i * 4, s);
+            }
+            KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 12.0)
+        }
+    }
+
+    #[test]
+    fn register_and_execute() {
+        let mut reg = KernelRegistry::new();
+        reg.register("cudaVecAdd", vector_add());
+        assert!(reg.contains("cudaVecAdd"));
+        assert_eq!(reg.len(), 1);
+
+        let a = HBuffer::from_f32s(&[1.0, 2.0, 3.0]);
+        let b = HBuffer::from_f32s(&[10.0, 20.0, 30.0]);
+        let mut out = HBuffer::zeroed(12);
+        let k = reg.get("cudaVecAdd").unwrap();
+        let profile = k(&mut KernelArgs {
+            inputs: vec![&a, &b],
+            outputs: vec![&mut out],
+            params: &[],
+            n_actual: 3,
+            n_logical: 3000,
+        });
+        assert_eq!(out.to_f32_vec(), vec![11.0, 22.0, 33.0]);
+        // Profile reports logical-scale work.
+        assert_eq!(profile.flops, 3000.0);
+        assert_eq!(profile.bytes, 36000.0);
+    }
+
+    #[test]
+    fn unknown_kernel_is_none() {
+        let reg = KernelRegistry::new();
+        assert!(reg.get("nope").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut reg = KernelRegistry::new();
+        reg.register("b", |_| KernelProfile::new(0.0, 0.0));
+        reg.register("a", |_| KernelProfile::new(0.0, 0.0));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn scale_factor() {
+        let args = KernelArgs {
+            inputs: vec![],
+            outputs: vec![],
+            params: &[],
+            n_actual: 100,
+            n_logical: 100_000,
+        };
+        assert_eq!(args.scale(), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coalescing")]
+    fn invalid_coalescing_rejected() {
+        let _ = KernelProfile::new(1.0, 1.0).with_coalescing(0.0);
+    }
+}

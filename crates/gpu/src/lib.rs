@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # gflink-gpu
+//!
+//! The virtual GPU substrate: everything the paper obtains from CUDA and
+//! physical NVIDIA devices, rebuilt as a deterministic model that *really
+//! executes* kernels.
+//!
+//! A [`VirtualGpu`] owns:
+//! * a [`DeviceMemory`] allocator with the modelled capacity of the real
+//!   card (allocations carry both a *logical* size used for capacity/PCIe
+//!   accounting and an *actual* backing buffer holding real data);
+//! * one kernel engine and one or two copy engines, each a
+//!   [`gflink_sim::Timeline`] — two copy engines give full-duplex PCIe,
+//!   exactly the K20 behaviour §4.1.2 describes;
+//! * a PCIe link model calibrated against the paper's Table 2.
+//!
+//! Kernels are registered by name in a [`KernelRegistry`] (the analogue of
+//! loading a `.ptx` and resolving `executeName`) and run as plain Rust
+//! functions over device-resident buffers, reporting the flop/byte counts
+//! from which the roofline cost model derives simulated kernel time.
+
+pub mod channel;
+pub mod device;
+pub mod event;
+pub mod dmem;
+pub mod kernel;
+pub mod spec;
+
+pub use channel::{TransferPath, GFLINK_CALL_OVERHEAD_NS, NATIVE_CALL_OVERHEAD_NS};
+pub use device::{CopyDirection, VirtualGpu};
+pub use event::CudaEvent;
+pub use dmem::{DevBufId, DeviceMemory, DmemError};
+pub use kernel::{KernelArgs, KernelFn, KernelProfile, KernelRegistry};
+pub use spec::{GpuModel, GpuSpec};

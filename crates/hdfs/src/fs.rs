@@ -1,0 +1,588 @@
+//! The simulated file system.
+
+use gflink_sim::{BandwidthCost, SimTime, Timeline};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// HDFS configuration.
+#[derive(Clone, Debug)]
+pub struct HdfsConfig {
+    /// Block size in bytes (HDFS default: 64 MB in the paper's era).
+    pub block_size: u64,
+    /// Replication factor (HDFS default: 3).
+    pub replication: usize,
+    /// Sequential disk read bandwidth per datanode, bytes/s.
+    pub disk_read_bps: f64,
+    /// Sequential disk write bandwidth per datanode, bytes/s.
+    pub disk_write_bps: f64,
+    /// Network bandwidth for remote block reads / replication, bytes/s.
+    pub net_bps: f64,
+    /// Per-block access overhead (seek + RPC to the namenode).
+    pub block_overhead: SimTime,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig {
+            block_size: 64 * 1024 * 1024,
+            replication: 3,
+            // Datanode sequential read with OS readahead and a partially
+            // warm page cache (16 GB RAM per node); writes flush through.
+            disk_read_bps: 300.0e6,
+            disk_write_bps: 200.0e6,
+            net_bps: 117.0e6, // ~1 GbE payload rate
+            block_overhead: SimTime::from_millis(2),
+        }
+    }
+}
+
+/// Errors from the simulated file system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdfsError {
+    /// File not found in the namenode table.
+    NotFound(String),
+    /// File already exists.
+    AlreadyExists(String),
+    /// A read past the end of the file.
+    OutOfRange {
+        /// File being read.
+        file: String,
+        /// Logical file size.
+        size: u64,
+    },
+    /// Bad node index.
+    BadNode(usize),
+    /// Every replica of a needed block is on a failed datanode.
+    BlockLost {
+        /// File whose block is unreadable.
+        file: String,
+    },
+}
+
+impl fmt::Display for HdfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdfsError::NotFound(n) => write!(f, "hdfs: file not found: {n}"),
+            HdfsError::AlreadyExists(n) => write!(f, "hdfs: file exists: {n}"),
+            HdfsError::OutOfRange { file, size } => {
+                write!(f, "hdfs: read past end of {file} (size {size})")
+            }
+            HdfsError::BadNode(n) => write!(f, "hdfs: unknown datanode {n}"),
+            HdfsError::BlockLost { file } => {
+                write!(f, "hdfs: all replicas of a block of {file} are on failed nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdfsError {}
+
+/// The simulated interval an I/O occupied, and what it touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoGrant {
+    /// Instant the I/O began.
+    pub start: SimTime,
+    /// Instant the I/O completed.
+    pub end: SimTime,
+    /// Bytes that came from node-local replicas.
+    pub local_bytes: u64,
+    /// Bytes that crossed the network.
+    pub remote_bytes: u64,
+}
+
+impl IoGrant {
+    /// Duration of the grant.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Block {
+    /// Logical byte size of this block (last block may be short).
+    size: u64,
+    /// Datanode indices holding replicas, primary first.
+    replicas: Vec<usize>,
+}
+
+struct FileMeta {
+    logical_size: u64,
+    blocks: Vec<Block>,
+    /// Scale-reduced real content (possibly empty for timing-only files).
+    data: Arc<Vec<u8>>,
+}
+
+/// The simulated HDFS instance: one namenode table + per-datanode disks.
+pub struct Hdfs {
+    config: HdfsConfig,
+    num_nodes: usize,
+    files: HashMap<String, FileMeta>,
+    disks: Vec<Timeline>,
+    failed: Vec<bool>,
+    next_block_start: usize,
+}
+
+impl Hdfs {
+    /// A cluster of `num_nodes` datanodes.
+    pub fn new(num_nodes: usize, config: HdfsConfig) -> Self {
+        assert!(num_nodes >= 1, "need at least one datanode");
+        Hdfs {
+            config,
+            num_nodes,
+            files: HashMap::new(),
+            disks: vec![Timeline::new(); num_nodes],
+            failed: vec![false; num_nodes],
+            next_block_start: 0,
+        }
+    }
+
+    /// Number of datanodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HdfsConfig {
+        &self.config
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Logical size of `name`.
+    pub fn file_size(&self, name: &str) -> Result<u64, HdfsError> {
+        self.files
+            .get(name)
+            .map(|f| f.logical_size)
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))
+    }
+
+    /// The actual (scale-reduced) content of `name`.
+    pub fn data(&self, name: &str) -> Result<Arc<Vec<u8>>, HdfsError> {
+        self.files
+            .get(name)
+            .map(|f| Arc::clone(&f.data))
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))
+    }
+
+    /// Register a file of `logical_size` bytes with `actual` content,
+    /// placing block replicas round-robin across datanodes. This is the
+    /// *metadata* operation; charging write time is [`Hdfs::write`]'s job.
+    pub fn create(
+        &mut self,
+        name: &str,
+        logical_size: u64,
+        actual: Vec<u8>,
+    ) -> Result<(), HdfsError> {
+        if self.files.contains_key(name) {
+            return Err(HdfsError::AlreadyExists(name.to_string()));
+        }
+        let mut blocks = Vec::new();
+        let mut remaining = logical_size;
+        while remaining > 0 {
+            let size = remaining.min(self.config.block_size);
+            let primary = self.next_block_start % self.num_nodes;
+            self.next_block_start += 1;
+            let replicas = (0..self.config.replication.min(self.num_nodes))
+                .map(|r| (primary + r) % self.num_nodes)
+                .collect();
+            blocks.push(Block { size, replicas });
+            remaining -= size;
+        }
+        if blocks.is_empty() {
+            // Zero-length files still need a (zero-sized) block entry for
+            // reads to be well defined.
+            blocks.push(Block {
+                size: 0,
+                replicas: vec![0],
+            });
+        }
+        self.files.insert(
+            name.to_string(),
+            FileMeta {
+                logical_size,
+                blocks,
+                data: Arc::new(actual),
+            },
+        );
+        Ok(())
+    }
+
+    /// Delete a file's metadata and content.
+    pub fn delete(&mut self, name: &str) -> Result<(), HdfsError> {
+        self.files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether the byte range `[offset, offset+len)` of `name` has a
+    /// replica local to `node` for all its blocks.
+    pub fn is_local(&self, node: usize, name: &str, offset: u64, len: u64) -> Result<bool, HdfsError> {
+        let meta = self
+            .files
+            .get(name)
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))?;
+        Ok(Self::touched_blocks(meta, offset, len, self.config.block_size)?
+            .iter()
+            .all(|&(b, _)| meta.blocks[b].replicas.contains(&node)))
+    }
+
+    fn touched_blocks(
+        meta: &FileMeta,
+        offset: u64,
+        len: u64,
+        block_size: u64,
+    ) -> Result<Vec<(usize, u64)>, HdfsError> {
+        if len > 0 && offset + len > meta.logical_size {
+            return Err(HdfsError::OutOfRange {
+                file: String::new(),
+                size: meta.logical_size,
+            });
+        }
+        let mut out = Vec::new();
+        if len == 0 {
+            return Ok(out);
+        }
+        let first = (offset / block_size) as usize;
+        let last = ((offset + len - 1) / block_size) as usize;
+        for b in first..=last {
+            let block_start = b as u64 * block_size;
+            let block_end = block_start + meta.blocks[b].size;
+            let lo = offset.max(block_start);
+            let hi = (offset + len).min(block_end);
+            out.push((b, hi - lo));
+        }
+        Ok(out)
+    }
+
+    /// Read `len` logical bytes of `name` starting at `offset`, issued from
+    /// datanode `node` at `earliest`.
+    ///
+    /// Each touched block is served from a node-local replica if one exists
+    /// (disk pass only); otherwise from the primary replica's disk plus the
+    /// network. Disk contention is real: concurrent readers of the same
+    /// disk serialize on its timeline.
+    pub fn read(
+        &mut self,
+        node: usize,
+        name: &str,
+        offset: u64,
+        len: u64,
+        earliest: SimTime,
+    ) -> Result<IoGrant, HdfsError> {
+        if node >= self.num_nodes {
+            return Err(HdfsError::BadNode(node));
+        }
+        let meta = self
+            .files
+            .get(name)
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))?;
+        if len > 0 && offset + len > meta.logical_size {
+            return Err(HdfsError::OutOfRange {
+                file: name.to_string(),
+                size: meta.logical_size,
+            });
+        }
+        let touched = Self::touched_blocks(meta, offset, len, self.config.block_size)?;
+        let disk = BandwidthCost::new(self.config.block_overhead, self.config.disk_read_bps);
+        let net = BandwidthCost::new(SimTime::ZERO, self.config.net_bps);
+        let mut cursor = earliest;
+        let mut local_bytes = 0u64;
+        let mut remote_bytes = 0u64;
+        // Copy out replica info to satisfy the borrow checker (we mutate
+        // disk timelines below).
+        let plan: Vec<(Vec<usize>, u64)> = touched
+            .iter()
+            .map(|&(b, bytes)| (meta.blocks[b].replicas.clone(), bytes))
+            .collect();
+        for (replicas, bytes) in plan {
+            // Serve from a live local replica when one exists (HDFS
+            // short-circuit read); otherwise pick the least-busy *live*
+            // replica disk, as the namenode's read scheduling spreads load
+            // across replicas and routes around failed datanodes.
+            let live: Vec<usize> = replicas
+                .iter()
+                .copied()
+                .filter(|&r| !self.failed[r])
+                .collect();
+            if live.is_empty() {
+                return Err(HdfsError::BlockLost {
+                    file: name.to_string(),
+                });
+            }
+            let (serving, is_local) = if !self.failed[node] && live.contains(&node) {
+                (node, true)
+            } else {
+                let best = live
+                    .iter()
+                    .copied()
+                    .min_by_key(|&r| self.disks[r].next_free())
+                    .expect("no live replica");
+                (best, false)
+            };
+            let disk_time = disk.time_for(bytes);
+            let r = self.disks[serving].reserve(cursor, disk_time);
+            let mut end = r.end;
+            if !is_local {
+                end += net.time_for(bytes) - net.time_for(0);
+                remote_bytes += bytes;
+            } else {
+                local_bytes += bytes;
+            }
+            cursor = end;
+        }
+        Ok(IoGrant {
+            start: earliest,
+            end: cursor,
+            local_bytes,
+            remote_bytes,
+        })
+    }
+
+    /// Write a new file of `logical_size` bytes from `node` at `earliest`,
+    /// with content `actual`. Models the HDFS write pipeline: each block is
+    /// written to `replication` disks; the pipeline streams, so a block
+    /// costs one disk pass on each replica disk (reserved concurrently)
+    /// plus the network hop for non-local replicas.
+    pub fn write(
+        &mut self,
+        node: usize,
+        name: &str,
+        logical_size: u64,
+        actual: Vec<u8>,
+        earliest: SimTime,
+    ) -> Result<IoGrant, HdfsError> {
+        if node >= self.num_nodes {
+            return Err(HdfsError::BadNode(node));
+        }
+        self.create(name, logical_size, actual)?;
+        let meta = &self.files[name];
+        let disk = BandwidthCost::new(self.config.block_overhead, self.config.disk_write_bps);
+        let net = BandwidthCost::new(SimTime::ZERO, self.config.net_bps);
+        let plan: Vec<(Vec<usize>, u64)> = meta
+            .blocks
+            .iter()
+            .map(|b| (b.replicas.clone(), b.size))
+            .collect();
+        let mut cursor = earliest;
+        let mut local_bytes = 0u64;
+        let mut remote_bytes = 0u64;
+        for (replicas, bytes) in plan {
+            // The write pipeline skips failed datanodes (the namenode
+            // re-replicates later; we only charge the live copies).
+            let replicas: Vec<usize> =
+                replicas.into_iter().filter(|&r| !self.failed[r]).collect();
+            let mut block_end = cursor;
+            for &rep in &replicas {
+                let mut t = self.disks[rep].reserve(cursor, disk.time_for(bytes)).end;
+                if rep != node {
+                    t += net.time_for(bytes) - net.time_for(0);
+                    remote_bytes += bytes;
+                } else {
+                    local_bytes += bytes;
+                }
+                block_end = block_end.max(t);
+            }
+            cursor = block_end;
+        }
+        Ok(IoGrant {
+            start: earliest,
+            end: cursor,
+            local_bytes,
+            remote_bytes,
+        })
+    }
+
+    /// Mark a datanode as failed: its disk serves no further I/O; reads
+    /// fail over to surviving replicas (HDFS's standard behaviour).
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed[node] = true;
+    }
+
+    /// Bring a failed datanode back.
+    pub fn recover_node(&mut self, node: usize) {
+        self.failed[node] = false;
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_failed(&self, node: usize) -> bool {
+        self.failed[node]
+    }
+
+    /// Reset all disk timelines (metadata is kept). Used between benchmark
+    /// repetitions.
+    pub fn reset_disks(&mut self) {
+        for d in &mut self.disks {
+            d.reset();
+        }
+    }
+}
+
+impl fmt::Debug for Hdfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Hdfs({} nodes, {} files, block {} B, r={})",
+            self.num_nodes,
+            self.files.len(),
+            self.config.block_size,
+            self.config.replication
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn small_cfg() -> HdfsConfig {
+        HdfsConfig {
+            block_size: 16 * MB,
+            ..HdfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_and_metadata() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        fs.create("a", 40 * MB, vec![1, 2, 3]).unwrap();
+        assert!(fs.exists("a"));
+        assert_eq!(fs.file_size("a").unwrap(), 40 * MB);
+        assert_eq!(*fs.data("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(fs.list(), vec!["a".to_string()]);
+        assert_eq!(
+            fs.create("a", 1, vec![]),
+            Err(HdfsError::AlreadyExists("a".into()))
+        );
+        fs.delete("a").unwrap();
+        assert!(!fs.exists("a"));
+    }
+
+    #[test]
+    fn replicas_spread_across_nodes() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        fs.create("a", 64 * MB, vec![]).unwrap(); // 4 blocks
+        // Block 0 primary on node 0 with replicas 0,1,2; block 1 on 1,2,3...
+        assert!(fs.is_local(0, "a", 0, MB).unwrap());
+        assert!(fs.is_local(1, "a", 0, MB).unwrap());
+        assert!(!fs.is_local(3, "a", 0, MB).unwrap());
+        // A whole-file read is not fully local to any single node here.
+        assert!(!fs.is_local(0, "a", 0, 64 * MB).unwrap());
+    }
+
+    #[test]
+    fn local_read_beats_remote_read() {
+        let cfg = small_cfg();
+        let mut fs = Hdfs::new(8, cfg.clone());
+        fs.create("a", 8 * MB, vec![]).unwrap(); // 1 block on nodes 0,1,2
+        let local = fs.read(0, "a", 0, 8 * MB, SimTime::ZERO).unwrap();
+        fs.reset_disks();
+        let remote = fs.read(7, "a", 0, 8 * MB, SimTime::ZERO).unwrap();
+        assert!(remote.duration() > local.duration());
+        assert_eq!(local.remote_bytes, 0);
+        assert_eq!(remote.local_bytes, 0);
+        assert_eq!(remote.remote_bytes, 8 * MB);
+    }
+
+    #[test]
+    fn read_time_linear_in_bytes() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        fs.create("a", 32 * MB, vec![]).unwrap();
+        let small = fs.read(0, "a", 0, MB, SimTime::ZERO).unwrap();
+        fs.reset_disks();
+        let large = fs.read(0, "a", 0, 8 * MB, SimTime::ZERO).unwrap();
+        assert!(large.duration() > small.duration() * 4);
+    }
+
+    #[test]
+    fn concurrent_readers_contend_on_one_disk() {
+        let mut fs = Hdfs::new(1, small_cfg()); // single datanode
+        fs.create("a", 4 * MB, vec![]).unwrap();
+        let r1 = fs.read(0, "a", 0, 4 * MB, SimTime::ZERO).unwrap();
+        let r2 = fs.read(0, "a", 0, 4 * MB, SimTime::ZERO).unwrap();
+        // Second reader starts after the first finishes with the disk.
+        assert!(r2.end >= r1.end + r1.duration().saturating_sub(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let mut fs = Hdfs::new(2, small_cfg());
+        fs.create("a", MB, vec![]).unwrap();
+        let err = fs.read(0, "a", MB - 10, 100, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, HdfsError::OutOfRange { .. }));
+        assert_eq!(
+            fs.read(5, "a", 0, 1, SimTime::ZERO),
+            Err(HdfsError::BadNode(5))
+        );
+    }
+
+    #[test]
+    fn failed_node_reads_fail_over_to_replicas() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        fs.create("a", 8 * MB, vec![]).unwrap(); // block on nodes 0,1,2
+        // Node 0 dies: a reader on node 0 still succeeds, remotely.
+        fs.fail_node(0);
+        let g = fs.read(0, "a", 0, 8 * MB, SimTime::ZERO).unwrap();
+        assert_eq!(g.local_bytes, 0);
+        assert_eq!(g.remote_bytes, 8 * MB);
+        // All replicas dead: the block is lost.
+        fs.fail_node(1);
+        fs.fail_node(2);
+        let err = fs.read(3, "a", 0, 8 * MB, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, HdfsError::BlockLost { .. }));
+        // Recovery restores service.
+        fs.recover_node(1);
+        assert!(fs.read(3, "a", 0, 8 * MB, SimTime::ZERO).is_ok());
+        assert!(fs.is_failed(0));
+    }
+
+    #[test]
+    fn writes_skip_failed_datanodes() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        fs.fail_node(1);
+        // One block, replicas {0,1,2}: node 1 is down, so only two live
+        // copies are written (and charged).
+        let g = fs.write(0, "out", 16 * MB, vec![], SimTime::ZERO).unwrap();
+        assert_eq!(g.local_bytes + g.remote_bytes, 32 * MB);
+    }
+
+    #[test]
+    fn write_replicates() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        let g = fs.write(0, "out", 16 * MB, vec![9], SimTime::ZERO).unwrap();
+        assert!(fs.exists("out"));
+        // One block, 3 replicas: one local, two remote.
+        assert_eq!(g.local_bytes, 16 * MB);
+        assert_eq!(g.remote_bytes, 32 * MB);
+        assert!(g.duration() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_length_file_readable() {
+        let mut fs = Hdfs::new(2, small_cfg());
+        fs.create("empty", 0, vec![]).unwrap();
+        let g = fs.read(0, "empty", 0, 0, SimTime::ZERO).unwrap();
+        assert_eq!(g.duration(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let mut fs = Hdfs::new(2, small_cfg()); // replication 3 > 2 nodes
+        fs.create("a", MB, vec![]).unwrap();
+        assert!(fs.is_local(0, "a", 0, MB).unwrap());
+        assert!(fs.is_local(1, "a", 0, MB).unwrap());
+    }
+}

@@ -1,0 +1,377 @@
+//! `GStruct`: runtime-reflected C-style struct layouts.
+//!
+//! The paper's programming framework asks the user to declare a Java class
+//! extending `GStruct_8` with `@StructField(order = n)` annotations on
+//! primitive fields (`Unsigned32`, `Float32`, `Double64`, …). At runtime,
+//! reflection recovers the layout and maps it onto a direct buffer so the
+//! raw bytes match the CUDA struct definition (§3.5.1).
+//!
+//! [`GStructDef`] is the Rust equivalent: an ordered list of [`FieldDef`]s
+//! plus an alignment class, from which C offset/padding rules produce the
+//! exact byte layout a `struct` with those members would have on the device.
+
+use std::fmt;
+
+/// Primitive field types, mirroring the paper's `Unsigned32`, `Float32`,
+/// `Double64`, … wrappers (which in turn mirror CUDA primitive types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrimType {
+    /// `unsigned char` / `u8`
+    U8,
+    /// `int` / `i32`
+    I32,
+    /// `unsigned int` / `u32` (the paper's `Unsigned32`)
+    U32,
+    /// `long long` / `i64`
+    I64,
+    /// `unsigned long long` / `u64`
+    U64,
+    /// `float` (the paper's `Float32`)
+    F32,
+    /// `double` (the paper's `Double64`)
+    F64,
+}
+
+impl PrimType {
+    /// Size in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            PrimType::U8 => 1,
+            PrimType::I32 | PrimType::U32 | PrimType::F32 => 4,
+            PrimType::I64 | PrimType::U64 | PrimType::F64 => 8,
+        }
+    }
+
+    /// Natural C alignment (== size for these primitives).
+    pub const fn align(self) -> usize {
+        self.size()
+    }
+
+    /// CUDA C spelling, used when generating kernel-side struct listings.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            PrimType::U8 => "unsigned char",
+            PrimType::I32 => "int",
+            PrimType::U32 => "unsigned int",
+            PrimType::I64 => "long long",
+            PrimType::U64 => "unsigned long long",
+            PrimType::F32 => "float",
+            PrimType::F64 => "double",
+        }
+    }
+}
+
+/// Alignment class of the struct: the paper's `GStruct_4` / `GStruct_8`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlignClass {
+    /// 4-byte struct alignment cap.
+    Align4,
+    /// 8-byte struct alignment cap (the paper's example uses `GStruct_8`).
+    Align8,
+}
+
+impl AlignClass {
+    /// Maximum alignment the class imposes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            AlignClass::Align4 => 4,
+            AlignClass::Align8 => 8,
+        }
+    }
+}
+
+/// One field of a GStruct: a primitive or a fixed-length primitive array.
+///
+/// Scalar fields have `array_len == 1`. Declaring arrays inside the struct
+/// is how the paper expresses SoA sub-regions (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (for diagnostics and kernel-struct generation).
+    pub name: String,
+    /// Element type.
+    pub prim: PrimType,
+    /// Number of elements (1 = scalar).
+    pub array_len: usize,
+}
+
+impl FieldDef {
+    /// A scalar field.
+    pub fn scalar(name: &str, prim: PrimType) -> Self {
+        FieldDef {
+            name: name.to_string(),
+            prim,
+            array_len: 1,
+        }
+    }
+
+    /// A fixed-length array field.
+    pub fn array(name: &str, prim: PrimType, len: usize) -> Self {
+        assert!(len >= 1, "array field needs at least one element");
+        FieldDef {
+            name: name.to_string(),
+            prim,
+            array_len: len,
+        }
+    }
+
+    /// Total unpadded byte size of the field.
+    pub fn byte_size(&self) -> usize {
+        self.prim.size() * self.array_len
+    }
+}
+
+/// A fully resolved struct layout: offsets, padding, total (padded) size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GStructDef {
+    name: String,
+    align_class: AlignClass,
+    fields: Vec<FieldDef>,
+    offsets: Vec<usize>,
+    size: usize,
+    align: usize,
+}
+
+impl GStructDef {
+    /// Resolve the layout of `fields` under C rules capped at `align_class`.
+    ///
+    /// Field order is the declaration order — the paper's
+    /// `@StructField(order = n)` made that order explicit precisely because
+    /// the JVM does not guarantee it; in Rust the `Vec` order is the order.
+    pub fn new(name: &str, align_class: AlignClass, fields: Vec<FieldDef>) -> Self {
+        assert!(!fields.is_empty(), "GStruct needs at least one field");
+        let cap = align_class.bytes();
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut off = 0usize;
+        let mut max_align = 1usize;
+        for f in &fields {
+            let a = f.prim.align().min(cap);
+            max_align = max_align.max(a);
+            off = round_up(off, a);
+            offsets.push(off);
+            off += f.byte_size();
+        }
+        let size = round_up(off, max_align);
+        GStructDef {
+            name: name.to_string(),
+            align_class,
+            fields,
+            offsets,
+            size,
+            align: max_align,
+        }
+    }
+
+    /// Struct name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared alignment class.
+    pub fn align_class(&self) -> AlignClass {
+        self.align_class
+    }
+
+    /// Padded struct size in bytes (the AoS stride).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Struct alignment in bytes.
+    pub fn align(&self) -> usize {
+        self.align
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field definitions in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Byte offset of field `i` within the struct.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Look up a field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Total payload bytes (sum of field sizes, excluding padding).
+    pub fn payload_size(&self) -> usize {
+        self.fields.iter().map(FieldDef::byte_size).sum()
+    }
+
+    /// Bytes of padding per record.
+    pub fn padding(&self) -> usize {
+        self.size - self.payload_size()
+    }
+
+    /// Render the equivalent CUDA C struct declaration — what the user
+    /// writes on the kernel side so layouts match (§3.5.1).
+    pub fn cuda_decl(&self) -> String {
+        let mut s = format!("struct {} {{\n", self.name);
+        for f in &self.fields {
+            if f.array_len == 1 {
+                s.push_str(&format!("    {} {};\n", f.prim.c_name(), f.name));
+            } else {
+                s.push_str(&format!(
+                    "    {} {}[{}];\n",
+                    f.prim.c_name(),
+                    f.name,
+                    f.array_len
+                ));
+            }
+        }
+        s.push_str("};");
+        s
+    }
+}
+
+impl fmt::Display for GStructDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GStruct {} (size={}, align={}, {} fields)",
+            self.name,
+            self.size,
+            self.align,
+            self.fields.len()
+        )
+    }
+}
+
+#[inline]
+fn round_up(x: usize, align: usize) -> usize {
+    x.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (§3.5.1):
+    /// ```java
+    /// public class Point extends GStruct_8 {
+    ///     @StructField(order = 0) public Unsigned32 x;
+    ///     @StructField(order = 1) public Double64  y;
+    ///     @StructField(order = 2) public Float32   z;
+    /// }
+    /// ```
+    fn paper_point() -> GStructDef {
+        GStructDef::new(
+            "Point",
+            AlignClass::Align8,
+            vec![
+                FieldDef::scalar("x", PrimType::U32),
+                FieldDef::scalar("y", PrimType::F64),
+                FieldDef::scalar("z", PrimType::F32),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_layout() {
+        let p = paper_point();
+        // C layout: x at 0 (4B), pad to 8, y at 8 (8B), z at 16 (4B),
+        // pad struct to 24 for 8-byte alignment.
+        assert_eq!(p.offset(0), 0);
+        assert_eq!(p.offset(1), 8);
+        assert_eq!(p.offset(2), 16);
+        assert_eq!(p.size(), 24);
+        assert_eq!(p.align(), 8);
+        assert_eq!(p.payload_size(), 16);
+        assert_eq!(p.padding(), 8);
+    }
+
+    #[test]
+    fn align4_class_packs_doubles_tighter() {
+        // GStruct_4 caps alignment at 4: the double no longer forces 8-byte
+        // padding — matching `#pragma pack(4)` on the device side.
+        let p = GStructDef::new(
+            "P4",
+            AlignClass::Align4,
+            vec![
+                FieldDef::scalar("x", PrimType::U32),
+                FieldDef::scalar("y", PrimType::F64),
+            ],
+        );
+        assert_eq!(p.offset(1), 4);
+        assert_eq!(p.size(), 12);
+        assert_eq!(p.align(), 4);
+    }
+
+    #[test]
+    fn array_fields_for_soa_subregions() {
+        let s = GStructDef::new(
+            "PtSoA",
+            AlignClass::Align8,
+            vec![
+                FieldDef::array("x", PrimType::F32, 256),
+                FieldDef::array("y", PrimType::F32, 256),
+            ],
+        );
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 1024);
+        assert_eq!(s.size(), 2048);
+    }
+
+    #[test]
+    fn u8_fields_and_trailing_padding() {
+        let s = GStructDef::new(
+            "Mixed",
+            AlignClass::Align8,
+            vec![
+                FieldDef::scalar("tag", PrimType::U8),
+                FieldDef::scalar("v", PrimType::I64),
+                FieldDef::scalar("b", PrimType::U8),
+            ],
+        );
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8);
+        assert_eq!(s.offset(2), 16);
+        assert_eq!(s.size(), 24); // trailing pad to align 8
+    }
+
+    #[test]
+    fn field_lookup() {
+        let p = paper_point();
+        assert_eq!(p.field_index("y"), Some(1));
+        assert_eq!(p.field_index("nope"), None);
+        assert_eq!(p.num_fields(), 3);
+        assert_eq!(p.fields()[2].name, "z");
+    }
+
+    #[test]
+    fn cuda_decl_renders_c_struct() {
+        let p = paper_point();
+        let decl = p.cuda_decl();
+        assert!(decl.contains("struct Point {"));
+        assert!(decl.contains("unsigned int x;"));
+        assert!(decl.contains("double y;"));
+        assert!(decl.contains("float z;"));
+    }
+
+    #[test]
+    fn prim_type_properties() {
+        assert_eq!(PrimType::F64.size(), 8);
+        assert_eq!(PrimType::U8.align(), 1);
+        assert_eq!(PrimType::I32.c_name(), "int");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_struct_rejected() {
+        let _ = GStructDef::new("E", AlignClass::Align8, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_len_array_rejected() {
+        let _ = FieldDef::array("a", PrimType::F32, 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # gflink-memory
+//!
+//! Off-heap memory and data-layout substrate for GFlink.
+//!
+//! In the paper, GFlink stores the contents of user-defined `GStruct`s as raw
+//! bytes in *off-heap* memory (Java direct buffers) laid out exactly like the
+//! corresponding CUDA struct, so data can be DMA-transferred to the GPU with
+//! no serialization and no heap→native copy (§3.2, §4.1.2). This crate
+//! provides the Rust equivalents:
+//!
+//! * [`HBuffer`] — an aligned raw byte buffer ("direct buffer"), the unit
+//!   handed to the virtual PCIe engine;
+//! * [`MemoryPool`] — a paged off-heap pool mirroring Flink's memory
+//!   segments; a GStruct never straddles a page (§5.1);
+//! * [`GStructDef`] — a runtime-reflected C-struct layout (field order,
+//!   alignment class, offsets, padding), the analogue of the paper's
+//!   `GStruct_8` + `@StructField(order = n)` annotations;
+//! * [`layout`] — Array-of-Structures / Structure-of-Arrays /
+//!   Array-of-Primitives views over the same logical schema, with
+//!   conversions and a GPU memory-coalescing model (§2.1);
+//! * [`serialize`] — the *baseline* object-serialization path that GFlink
+//!   avoids, implemented so the contrast can be measured.
+
+pub mod gstruct;
+pub mod hbuffer;
+pub mod layout;
+pub mod pool;
+pub mod serialize;
+
+pub use gstruct::{AlignClass, FieldDef, GStructDef, PrimType};
+pub use hbuffer::HBuffer;
+pub use layout::{DataLayout, RecordReader, RecordView};
+pub use pool::{MemoryPool, PageRef, PoolError};
+pub use serialize::{decode_records, encode_records, FieldValue, Record};

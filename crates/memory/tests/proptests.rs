@@ -1,0 +1,235 @@
+//! Property tests for buffers, layouts, the pool and the serializer.
+
+use gflink_memory::{
+    decode_records, encode_records, AlignClass, DataLayout, FieldDef, FieldValue, GStructDef,
+    HBuffer, MemoryPool, PrimType, Record, RecordView,
+};
+use proptest::prelude::*;
+
+fn arb_prim() -> impl Strategy<Value = PrimType> {
+    prop_oneof![
+        Just(PrimType::U8),
+        Just(PrimType::I32),
+        Just(PrimType::U32),
+        Just(PrimType::I64),
+        Just(PrimType::U64),
+        Just(PrimType::F32),
+        Just(PrimType::F64),
+    ]
+}
+
+fn arb_def() -> impl Strategy<Value = GStructDef> {
+    (
+        prop::collection::vec((arb_prim(), 1usize..4), 1..6),
+        prop_oneof![Just(AlignClass::Align4), Just(AlignClass::Align8)],
+    )
+        .prop_map(|(fields, align)| {
+            let defs = fields
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, n))| FieldDef::array(&format!("f{i}"), p, n))
+                .collect();
+            GStructDef::new("T", align, defs)
+        })
+}
+
+fn arb_value(p: PrimType) -> BoxedStrategy<FieldValue> {
+    match p {
+        PrimType::U8 => any::<u8>().prop_map(FieldValue::U8).boxed(),
+        PrimType::I32 => any::<i32>().prop_map(FieldValue::I32).boxed(),
+        PrimType::U32 => any::<u32>().prop_map(FieldValue::U32).boxed(),
+        PrimType::I64 => any::<i64>().prop_map(FieldValue::I64).boxed(),
+        PrimType::U64 => any::<u64>().prop_map(FieldValue::U64).boxed(),
+        // Use bit-pattern floats but avoid NaN so PartialEq comparisons hold.
+        PrimType::F32 => any::<i32>().prop_map(|b| FieldValue::F32(b as f32)).boxed(),
+        PrimType::F64 => any::<i64>().prop_map(|b| FieldValue::F64(b as f64)).boxed(),
+    }
+}
+
+proptest! {
+    /// Struct layout invariants: offsets are aligned, nondecreasing,
+    /// non-overlapping, and the struct size covers all fields.
+    #[test]
+    fn gstruct_layout_invariants(def in arb_def()) {
+        let cap = def.align_class().bytes();
+        let mut prev_end = 0usize;
+        for (i, f) in def.fields().iter().enumerate() {
+            let off = def.offset(i);
+            let align = f.prim.align().min(cap);
+            prop_assert_eq!(off % align, 0, "field {} misaligned", i);
+            prop_assert!(off >= prev_end, "field {} overlaps predecessor", i);
+            prev_end = off + f.byte_size();
+        }
+        prop_assert!(def.size() >= prev_end);
+        prop_assert_eq!(def.size() % def.align(), 0);
+        prop_assert!(def.align() <= cap);
+    }
+
+    /// Every (record, field, element) cell occupies a unique byte range for
+    /// every layout, and ranges stay in bounds.
+    #[test]
+    fn layout_cells_disjoint(def in arb_def(), n in 1usize..16) {
+        for layout in DataLayout::ALL {
+            let bytes = RecordView::required_bytes(&def, layout, n);
+            let mut buf = HBuffer::zeroed(bytes);
+            let view = RecordView::new(&mut buf, &def, layout, n);
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
+            for r in 0..n {
+                for (fi, f) in def.fields().iter().enumerate() {
+                    for e in 0..f.array_len {
+                        let off = view.element_offset(r, fi, e);
+                        let sz = f.prim.size();
+                        prop_assert!(off + sz <= bytes);
+                        ranges.push((off, off + sz));
+                    }
+                }
+            }
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping cells in {layout:?}");
+            }
+        }
+    }
+
+    /// Converting AoS -> SoA -> AoP -> AoS preserves every cell exactly.
+    #[test]
+    fn layout_conversion_chain_roundtrip(def in arb_def(), n in 1usize..12, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut aos_buf = HBuffer::zeroed(RecordView::required_bytes(&def, DataLayout::Aos, n));
+        {
+            let mut aos = RecordView::new(&mut aos_buf, &def, DataLayout::Aos, n);
+            for r in 0..n {
+                for (fi, f) in def.fields().iter().enumerate() {
+                    for e in 0..f.array_len {
+                        match f.prim {
+                            PrimType::F32 | PrimType::F64 => {
+                                aos.set_f64(r, fi, e, (next() % 1000) as f64)
+                            }
+                            _ => aos.set_u64(r, fi, e, next()),
+                        }
+                    }
+                }
+            }
+        }
+        let original = aos_buf.clone();
+        let mut soa_buf = HBuffer::zeroed(RecordView::required_bytes(&def, DataLayout::Soa, n));
+        let mut aop_buf = HBuffer::zeroed(RecordView::required_bytes(&def, DataLayout::Aop, n));
+        let mut back_buf = HBuffer::zeroed(RecordView::required_bytes(&def, DataLayout::Aos, n));
+        {
+            let aos = RecordView::new(&mut aos_buf, &def, DataLayout::Aos, n);
+            let mut soa = RecordView::new(&mut soa_buf, &def, DataLayout::Soa, n);
+            aos.convert_into(&mut soa);
+            let mut aop = RecordView::new(&mut aop_buf, &def, DataLayout::Aop, n);
+            soa.convert_into(&mut aop);
+            let mut back = RecordView::new(&mut back_buf, &def, DataLayout::Aos, n);
+            aop.convert_into(&mut back);
+        }
+        prop_assert_eq!(original, back_buf);
+    }
+
+    /// Coalescing efficiency is a valid fraction and SoA/AoP dominate AoS.
+    #[test]
+    fn coalescing_bounds(def in arb_def()) {
+        for layout in DataLayout::ALL {
+            for fi in 0..def.num_fields() {
+                let e = layout.coalescing_efficiency(&def, fi);
+                prop_assert!((0.0..=1.0).contains(&e));
+                prop_assert!(e >= 1.0 / 32.0);
+                prop_assert!(DataLayout::Soa.coalescing_efficiency(&def, fi) >= e);
+            }
+            let all = layout.coalescing_all_fields(&def);
+            prop_assert!((0.0..=1.0).contains(&all));
+        }
+    }
+
+    /// RecordReader (immutable) and RecordView (mutable) agree on every
+    /// cell offset and value, for every layout.
+    #[test]
+    fn reader_and_view_agree(def in arb_def(), n in 1usize..12, seed in any::<u64>()) {
+        use gflink_memory::RecordReader;
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for layout in DataLayout::ALL {
+            let mut buf = HBuffer::zeroed(RecordView::required_bytes(&def, layout, n));
+            {
+                let mut view = RecordView::new(&mut buf, &def, layout, n);
+                for r in 0..n {
+                    for (fi, f) in def.fields().iter().enumerate() {
+                        for e in 0..f.array_len {
+                            match f.prim {
+                                PrimType::F32 | PrimType::F64 => {
+                                    view.set_f64(r, fi, e, (next() % 4096) as f64)
+                                }
+                                _ => view.set_u64(r, fi, e, next()),
+                            }
+                        }
+                    }
+                }
+            }
+            let reader = RecordReader::new(&buf, &def, layout, n);
+            let mut buf2 = buf.clone();
+            let view = RecordView::new(&mut buf2, &def, layout, n);
+            for r in 0..n {
+                for (fi, f) in def.fields().iter().enumerate() {
+                    for e in 0..f.array_len {
+                        prop_assert_eq!(
+                            reader.element_offset(r, fi, e),
+                            view.element_offset(r, fi, e)
+                        );
+                        match f.prim {
+                            PrimType::F32 | PrimType::F64 => prop_assert_eq!(
+                                reader.get_f64(r, fi, e),
+                                view.get_f64(r, fi, e)
+                            ),
+                            _ => prop_assert_eq!(
+                                reader.get_u64(r, fi, e),
+                                view.get_u64(r, fi, e)
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializer roundtrip over random records.
+    #[test]
+    fn serializer_roundtrip(recs in prop::collection::vec(
+        prop::collection::vec(arb_prim().prop_flat_map(arb_value), 1..6), 0..20)
+    ) {
+        let recs: Vec<Record> = recs;
+        let bytes = encode_records(&recs);
+        prop_assert_eq!(decode_records(&bytes), Some(recs));
+    }
+
+    /// Pool: allocations never exceed capacity, never alias, and free always
+    /// restores availability.
+    #[test]
+    fn pool_invariants(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut pool = MemoryPool::with_page_size(16, 256);
+        let mut live = Vec::new();
+        for alloc in ops {
+            if alloc {
+                match pool.alloc() {
+                    Ok(p) => {
+                        prop_assert!(live.iter().all(|q: &gflink_memory::PageRef| q.index() != p.index()),
+                            "aliased live page");
+                        live.push(p);
+                    }
+                    Err(_) => prop_assert_eq!(live.len(), 16),
+                }
+            } else if let Some(p) = live.pop() {
+                pool.free(p).unwrap();
+            }
+            prop_assert_eq!(pool.allocated(), live.len());
+            prop_assert!(pool.allocated() <= pool.capacity());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Phase accounting for the paper's Eq. (1) decomposition.
+//!
+//! §6.3 of the paper decomposes total job time as
+//!
+//! ```text
+//! T_total = Σ_i (T_map_i + T_reduce_i + T_shuffle_i)
+//!         + T_submit + T_IO + T_schedule                     (Eq. 1)
+//! ```
+//!
+//! The runtime records each contribution into an [`Accounting`] ledger so
+//! benches and tests can report and assert on the decomposition (e.g.
+//! Observation 3: for small inputs, submit/IO/schedule dominate).
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// The phases of Eq. (1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Map-phase execution (CPU or GPU).
+    Map,
+    /// Reduce-phase execution (CPU or GPU).
+    Reduce,
+    /// Shuffle (network repartition) time.
+    Shuffle,
+    /// Job submission overhead.
+    Submit,
+    /// Reading/writing HDFS (or other storage).
+    Io,
+    /// Master-side scheduling time.
+    Schedule,
+    /// PCIe host-to-device transfer time (part of `T_map_gpu`, Eq. 4).
+    TransferH2D,
+    /// PCIe device-to-host transfer time (part of `T_map_gpu`, Eq. 4).
+    TransferD2H,
+    /// GPU kernel execution time (`T_map_ge`, Eq. 4).
+    Kernel,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Map,
+        Phase::Reduce,
+        Phase::Shuffle,
+        Phase::Submit,
+        Phase::Io,
+        Phase::Schedule,
+        Phase::TransferH2D,
+        Phase::TransferD2H,
+        Phase::Kernel,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Map => "map",
+            Phase::Reduce => "reduce",
+            Phase::Shuffle => "shuffle",
+            Phase::Submit => "submit",
+            Phase::Io => "io",
+            Phase::Schedule => "schedule",
+            Phase::TransferH2D => "h2d",
+            Phase::TransferD2H => "d2h",
+            Phase::Kernel => "kernel",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Map => 0,
+            Phase::Reduce => 1,
+            Phase::Shuffle => 2,
+            Phase::Submit => 3,
+            Phase::Io => 4,
+            Phase::Schedule => 5,
+            Phase::TransferH2D => 6,
+            Phase::TransferD2H => 7,
+            Phase::Kernel => 8,
+        }
+    }
+
+    /// Whether this phase contributes to the Eq. (1) top-level sum.
+    ///
+    /// H2D/D2H/Kernel are sub-components of the map/reduce GPU time (Eq. 4)
+    /// and are tracked for reporting but not added again to the total.
+    pub fn top_level(self) -> bool {
+        matches!(
+            self,
+            Phase::Map | Phase::Reduce | Phase::Shuffle | Phase::Submit | Phase::Io | Phase::Schedule
+        )
+    }
+}
+
+/// A ledger of time per phase for one job execution.
+#[derive(Clone, Debug, Default)]
+pub struct Accounting {
+    totals: [SimTime; 9],
+    counts: [u64; 9],
+}
+
+impl Accounting {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Accounting::default()
+    }
+
+    /// Add `dt` to `phase`.
+    pub fn add(&mut self, phase: Phase, dt: SimTime) {
+        let i = phase.index();
+        self.totals[i] += dt;
+        self.counts[i] += 1;
+    }
+
+    /// Total time recorded for `phase`.
+    pub fn get(&self, phase: Phase) -> SimTime {
+        self.totals[phase.index()]
+    }
+
+    /// Number of spans recorded for `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Eq. (1) total: sum of top-level phases.
+    pub fn total(&self) -> SimTime {
+        Phase::ALL
+            .iter()
+            .filter(|p| p.top_level())
+            .map(|&p| self.get(p))
+            .sum()
+    }
+
+    /// Fraction of the Eq. (1) total contributed by `phase` (0 if empty).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.get(phase).as_secs_f64() / total.as_secs_f64()
+    }
+
+    /// Merge another ledger into this one (e.g. across iterations).
+    pub fn merge(&mut self, other: &Accounting) {
+        for i in 0..self.totals.len() {
+            self.totals[i] += other.totals[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for Accounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "phase      total        spans  share")?;
+        for &p in &Phase::ALL {
+            let marker = if p.top_level() { " " } else { "*" };
+            writeln!(
+                f,
+                "{marker}{:<9} {:>12} {:>6} {:>5.1}%",
+                p.label(),
+                format!("{}", self.get(p)),
+                self.count(p),
+                self.fraction(p) * 100.0
+            )?;
+        }
+        write!(f, " total     {:>12}", format!("{}", self.total()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn totals_follow_eq1() {
+        let mut a = Accounting::new();
+        a.add(Phase::Map, ms(100));
+        a.add(Phase::Reduce, ms(50));
+        a.add(Phase::Shuffle, ms(30));
+        a.add(Phase::Submit, ms(5));
+        a.add(Phase::Io, ms(10));
+        a.add(Phase::Schedule, ms(5));
+        // Sub-phase spans must not double count.
+        a.add(Phase::Kernel, ms(70));
+        a.add(Phase::TransferH2D, ms(20));
+        assert_eq!(a.total(), ms(200));
+    }
+
+    #[test]
+    fn fractions_sum_to_one_over_top_level() {
+        let mut a = Accounting::new();
+        a.add(Phase::Map, ms(60));
+        a.add(Phase::Shuffle, ms(40));
+        let sum: f64 = Phase::ALL
+            .iter()
+            .filter(|p| p.top_level())
+            .map(|&p| a.fraction(p))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Accounting::new();
+        a.add(Phase::Map, ms(10));
+        let mut b = Accounting::new();
+        b.add(Phase::Map, ms(15));
+        b.add(Phase::Io, ms(5));
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Map), ms(25));
+        assert_eq!(a.get(Phase::Io), ms(5));
+        assert_eq!(a.count(Phase::Map), 2);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let a = Accounting::new();
+        assert_eq!(a.total(), SimTime::ZERO);
+        assert_eq!(a.fraction(Phase::Map), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_phases() {
+        let mut a = Accounting::new();
+        a.add(Phase::Map, ms(1));
+        let s = format!("{a}");
+        for p in Phase::ALL {
+            assert!(s.contains(p.label()), "missing {}", p.label());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Discrete-event queue.
+//!
+//! A minimal, deterministic event queue: events are popped in nondecreasing
+//! time order, with FIFO order among events scheduled for the same instant
+//! (insertion sequence breaks ties). Used by the `GStreamManager` event loop
+//! to order stream completions, GWork submissions and stealing attempts.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-time event queue.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller: the queue
+    /// clamps such events to `now` (they fire immediately, preserving
+    /// insertion order) rather than rewinding the clock.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the clock to its instant.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "event queue time went backwards");
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Instant of the earliest pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulated instant (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(t(7), i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), ());
+        q.schedule(t(9), ());
+        q.pop();
+        assert_eq!(q.now(), t(5));
+        // An event scheduled "in the past" is clamped to now.
+        q.schedule(t(1), ());
+        let (when, _) = q.pop().unwrap();
+        assert_eq!(when, t(5));
+        q.pop();
+        assert_eq!(q.now(), t(9));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(t(42), ());
+        assert_eq!(q.peek_time(), Some(t(42)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

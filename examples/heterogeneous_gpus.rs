@@ -1,0 +1,73 @@
+//! Heterogeneous GPUs and adaptive scheduling (§5.3).
+//!
+//! Workers with one slow (C2050) and one fast (P100) device process the
+//! same KMeans job under each scheduling policy. The locality-aware scheme
+//! with work stealing (Algorithms 5.1/5.2) load-balances by letting the
+//! fast device drain the GWork queues, and routes iteration-2+ blocks to
+//! whichever device cached them.
+//!
+//! Run with: `cargo run --release --example heterogeneous_gpus`
+
+use gflink::apps::{kmeans, Setup};
+use gflink::core::{FabricConfig, GpuWorkerConfig, SchedulingPolicy};
+use gflink::flink::ClusterConfig;
+use gflink::gpu::GpuModel;
+
+fn main() {
+    let workers = 4;
+    println!("KMeans on {workers} workers, each with [C2050 + P100]\n");
+    println!("{:<18} {:>9} {:>14} {:>10} {:>8}", "policy", "total", "per-GPU works", "steals", "hits");
+    let mut reference = None;
+    for policy in [
+        SchedulingPolicy::LocalityAware,
+        SchedulingPolicy::LocalityNoSteal,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::Random { seed: 17 },
+    ] {
+        let fabric = FabricConfig {
+            worker: GpuWorkerConfig {
+                models: vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
+                scheduling: policy,
+                ..GpuWorkerConfig::default()
+            },
+            ..FabricConfig::default()
+        };
+        let setup = Setup::with_configs(ClusterConfig::standard(workers), fabric);
+        let mut params = kmeans::Params::paper(150, &setup);
+        params.iterations = 8;
+        let run = kmeans::run_gpu(&setup, &params);
+        let (per_gpu, steals, hits) = setup.fabric.with_managers(|ms| {
+            let mut per = [0u64; 2];
+            let mut st = 0;
+            let mut h = 0;
+            for m in ms.iter() {
+                for (g, n) in m.executed_per_gpu().iter().enumerate() {
+                    per[g] += n;
+                }
+                st += m.steals();
+                for g in 0..m.gpu_count() {
+                    h += m.cache(g).stats().0;
+                }
+            }
+            (per, st, h)
+        });
+        println!(
+            "{:<18} {:>8.2}s {:>14} {:>10} {:>8}",
+            policy.label(),
+            run.report.total.as_secs_f64(),
+            format!("{per_gpu:?}"),
+            steals,
+            hits
+        );
+        match reference {
+            None => reference = Some(run.digest),
+            Some(r) => assert!(
+                (run.digest - r).abs() < 1e-9 * r.abs().max(1.0),
+                "policy changed the results!"
+            ),
+        }
+    }
+    println!("\nall policies computed identical centers — only *when* differs.");
+    println!("expect: the P100 executes several times more blocks than the C2050 under");
+    println!("stealing policies, and locality-aware keeps cache hits high across iterations.");
+}

@@ -1,0 +1,44 @@
+//! PageRank over a synthetic hub-skewed web graph (Fig. 5b).
+//!
+//! Shows the full GFlink dataflow for a shuffle-heavy iterative workload:
+//! co-partitioned rank⋈adjacency joins, GPU contribution scatter+combine,
+//! the hash shuffle, GPU sum-by-key reduce and damping. Prints the top
+//! pages and the Eq. (1) decomposition for both engines.
+//!
+//! Run with: `cargo run --release --example pagerank_graph`
+
+use gflink::apps::{pagerank, Setup};
+
+fn main() {
+    let workers = 10;
+    let setup_cpu = Setup::standard(workers);
+    let params = pagerank::Params::paper(10, &setup_cpu);
+    println!(
+        "PageRank: {} logical pages, out-degree {}, {} iterations, {workers} workers",
+        params.n_logical,
+        pagerank::DEG,
+        params.iterations
+    );
+
+    let cpu = pagerank::run_cpu(&setup_cpu, &params);
+    let setup_gpu = Setup::standard(workers);
+    let gpu = pagerank::run_gpu(&setup_gpu, &params);
+
+    println!(
+        "\nFlink {} | GFlink {} | speedup {:.2}x",
+        cpu.report.total,
+        gpu.report.total,
+        cpu.report.total.as_secs_f64() / gpu.report.total.as_secs_f64()
+    );
+    println!(
+        "rank digests agree: {}",
+        (cpu.digest - gpu.digest).abs() / cpu.digest.abs() < 1e-3
+    );
+    println!("\nFlink ledger:\n{}", cpu.report.acct);
+    println!("\nGFlink ledger:\n{}", gpu.report.acct);
+    println!(
+        "\nObservation 1 in action: the shuffle is identical in both engines, so \
+         PageRank's speedup ({:.2}x) is the lowest of the iterative workloads.",
+        cpu.report.total.as_secs_f64() / gpu.report.total.as_secs_f64()
+    );
+}

@@ -1,0 +1,52 @@
+//! Iterative SpMV with and without the GPU cache scheme (§4.2.2, Fig. 8a).
+//!
+//! A 1 GB ELLPACK matrix and its 123 MB dense vector are multiplied ten
+//! times on a single machine with two C2050s. With the cache on, matrix and
+//! vector stay device-resident after iteration 1; with it off, every
+//! iteration re-pays the PCIe transfers.
+//!
+//! Run with: `cargo run --release --example spmv_iterative`
+
+use gflink::apps::{spmv, Setup};
+use gflink::core::{CachePolicy, FabricConfig};
+use gflink::flink::ClusterConfig;
+
+fn run_with(policy: CachePolicy) -> gflink::apps::AppRun {
+    let mut fabric = FabricConfig::default();
+    fabric.worker.cache_policy = policy;
+    let setup = Setup::with_configs(ClusterConfig::single_node(), fabric);
+    let params = spmv::Params::paper(1, &setup);
+    spmv::run_gpu(&setup, &params)
+}
+
+fn main() {
+    println!("SpMV: 1.0 GB matrix (ELL, {} nnz/row) x 123 MB vector, 10 iterations", spmv::NNZ);
+    let cached = run_with(CachePolicy::Fifo);
+    let uncached = run_with(CachePolicy::Disabled);
+
+    println!("\nper-iteration (s):   cache on   cache off");
+    for (i, (c, u)) in cached
+        .per_iteration
+        .iter()
+        .zip(uncached.per_iteration.iter())
+        .enumerate()
+    {
+        println!(
+            "  iteration {:>2}      {:>8.3}   {:>9.3}",
+            i + 1,
+            c.as_secs_f64(),
+            u.as_secs_f64()
+        );
+    }
+    println!(
+        "\ntotals: cache on {} | cache off {} | cache wins {:.1}x",
+        cached.report.total,
+        uncached.report.total,
+        uncached.report.total.as_secs_f64() / cached.report.total.as_secs_f64()
+    );
+    assert!(
+        (cached.digest - uncached.digest).abs() <= 1e-6 * cached.digest.abs().max(1.0),
+        "cache policy must not change results"
+    );
+    println!("results identical across policies: true");
+}

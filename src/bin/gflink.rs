@@ -1,0 +1,293 @@
+//! `gflink` — command-line driver for the reproduction.
+//!
+//! ```text
+//! gflink run <app> [--mode cpu|gpu|both] [--workers N] [--size S]
+//!            [--iterations N] [--gpus MODEL,MODEL] [--cache fifo|stop|off]
+//!            [--sched locality|rr|random|nosteal] [--verbose]
+//! gflink list
+//! ```
+//!
+//! `--size` is the Table 1 axis of the chosen app: millions of points
+//! (kmeans/linreg), millions of pages (pagerank/concomp), or gigabytes
+//! (wordcount/spmv).
+
+use gflink::apps::{concomp, kmeans, linreg, pagerank, pointadd, spmv, wordcount, AppRun, Setup};
+use gflink::core::{CachePolicy, FabricConfig, GpuWorkerConfig, SchedulingPolicy};
+use gflink::flink::ClusterConfig;
+use gflink::gpu::GpuModel;
+use std::process::exit;
+
+const APPS: [&str; 7] = [
+    "kmeans",
+    "pagerank",
+    "wordcount",
+    "concomp",
+    "linreg",
+    "spmv",
+    "pointadd",
+];
+
+struct Opts {
+    app: String,
+    mode: String,
+    workers: usize,
+    size: u64,
+    iterations: Option<usize>,
+    gpus: Vec<GpuModel>,
+    cache: CachePolicy,
+    sched: SchedulingPolicy,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gflink run <app> [--mode cpu|gpu|both] [--workers N] [--size S]\n\
+         \x20            [--iterations N] [--gpus c2050,k20,...] [--cache fifo|stop|off]\n\
+         \x20            [--sched locality|rr|random|nosteal] [--verbose]\n  gflink list\n\n\
+         apps: {}",
+        APPS.join(", ")
+    );
+    exit(2)
+}
+
+fn parse_gpu(name: &str) -> GpuModel {
+    match name.to_ascii_lowercase().as_str() {
+        "c2050" => GpuModel::TeslaC2050,
+        "gtx750" | "750" => GpuModel::Gtx750,
+        "k20" => GpuModel::TeslaK20,
+        "p100" => GpuModel::TeslaP100,
+        other => {
+            eprintln!("unknown GPU model {other:?} (c2050, gtx750, k20, p100)");
+            exit(2)
+        }
+    }
+}
+
+fn parse(mut args: Vec<String>) -> Opts {
+    if args.is_empty() {
+        usage();
+    }
+    match args.remove(0).as_str() {
+        "list" => {
+            println!("available applications:");
+            for a in APPS {
+                println!("  {a}");
+            }
+            exit(0)
+        }
+        "run" => {}
+        _ => usage(),
+    }
+    if args.is_empty() {
+        usage();
+    }
+    let app = args.remove(0);
+    if !APPS.contains(&app.as_str()) {
+        eprintln!("unknown app {app:?}");
+        usage();
+    }
+    let mut opts = Opts {
+        app,
+        mode: "both".into(),
+        workers: 10,
+        size: 0,
+        iterations: None,
+        gpus: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+        cache: CachePolicy::Fifo,
+        sched: SchedulingPolicy::LocalityAware,
+        verbose: false,
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--mode" => opts.mode = val("--mode"),
+            "--workers" => opts.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--size" => opts.size = val("--size").parse().unwrap_or_else(|_| usage()),
+            "--iterations" => {
+                opts.iterations = Some(val("--iterations").parse().unwrap_or_else(|_| usage()))
+            }
+            "--gpus" => opts.gpus = val("--gpus").split(',').map(parse_gpu).collect(),
+            "--cache" => {
+                opts.cache = match val("--cache").as_str() {
+                    "fifo" => CachePolicy::Fifo,
+                    "stop" => CachePolicy::StopWhenFull,
+                    "off" => CachePolicy::Disabled,
+                    _ => usage(),
+                }
+            }
+            "--sched" => {
+                opts.sched = match val("--sched").as_str() {
+                    "locality" => SchedulingPolicy::LocalityAware,
+                    "rr" => SchedulingPolicy::RoundRobin,
+                    "random" => SchedulingPolicy::Random { seed: 7 },
+                    "nosteal" => SchedulingPolicy::LocalityNoSteal,
+                    _ => usage(),
+                }
+            }
+            "--verbose" => opts.verbose = true,
+            _ => usage(),
+        }
+    }
+    if !matches!(opts.mode.as_str(), "cpu" | "gpu" | "both") {
+        usage();
+    }
+    if opts.workers == 0 {
+        eprintln!("--workers must be at least 1");
+        exit(2);
+    }
+    if opts.gpus.is_empty() {
+        eprintln!("--gpus needs at least one model");
+        exit(2);
+    }
+    if opts.size == 0 {
+        // Smallest Table 1 size per app.
+        opts.size = match opts.app.as_str() {
+            "kmeans" | "linreg" => 150,
+            "pagerank" | "concomp" => 5,
+            "wordcount" => 24,
+            "spmv" => 2,
+            "pointadd" => 100,
+            _ => unreachable!(),
+        };
+    }
+    opts
+}
+
+fn setup(opts: &Opts) -> Setup {
+    let fabric = FabricConfig {
+        worker: GpuWorkerConfig {
+            models: opts.gpus.clone(),
+            cache_policy: opts.cache,
+            scheduling: opts.sched,
+            ..GpuWorkerConfig::default()
+        },
+        ..FabricConfig::default()
+    };
+    Setup::with_configs(ClusterConfig::standard(opts.workers), fabric)
+}
+
+fn run_one(opts: &Opts, gpu_mode: bool) -> AppRun {
+    let s = setup(opts);
+    macro_rules! iterate {
+        ($p:expr) => {{
+            let mut p = $p;
+            if let Some(n) = opts.iterations {
+                p.iterations = n;
+            }
+            p
+        }};
+    }
+    match opts.app.as_str() {
+        "kmeans" => {
+            let p = iterate!(kmeans::Params::paper(opts.size, &s));
+            if gpu_mode {
+                kmeans::run_gpu(&s, &p)
+            } else {
+                kmeans::run_cpu(&s, &p)
+            }
+        }
+        "pagerank" => {
+            let p = iterate!(pagerank::Params::paper(opts.size, &s));
+            if gpu_mode {
+                pagerank::run_gpu(&s, &p)
+            } else {
+                pagerank::run_cpu(&s, &p)
+            }
+        }
+        "concomp" => {
+            let p = iterate!(concomp::Params::paper(opts.size, &s));
+            if gpu_mode {
+                concomp::run_gpu(&s, &p)
+            } else {
+                concomp::run_cpu(&s, &p)
+            }
+        }
+        "linreg" => {
+            let p = iterate!(linreg::Params::paper(opts.size, &s));
+            if gpu_mode {
+                linreg::run_gpu(&s, &p)
+            } else {
+                linreg::run_cpu(&s, &p)
+            }
+        }
+        "spmv" => {
+            let p = iterate!(spmv::Params::paper(opts.size, &s));
+            if gpu_mode {
+                spmv::run_gpu(&s, &p)
+            } else {
+                spmv::run_cpu(&s, &p)
+            }
+        }
+        "wordcount" => {
+            let p = wordcount::Params::paper(opts.size, &s);
+            if gpu_mode {
+                wordcount::run_gpu(&s, &p)
+            } else {
+                wordcount::run_cpu(&s, &p)
+            }
+        }
+        "pointadd" => {
+            let mut p = pointadd::Params::standard(&s);
+            p.n_logical = opts.size * 1_000_000;
+            if let Some(n) = opts.iterations {
+                p.iterations = n;
+            }
+            if gpu_mode {
+                pointadd::run_gpu(&s, &p)
+            } else {
+                pointadd::run_cpu(&s, &p)
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn report(label: &str, run: &AppRun, verbose: bool) {
+    println!("{label:<8} total {:>10}   digest {:.6e}", run.report.total, run.digest);
+    if verbose {
+        if run.per_iteration.len() > 1 {
+            print!("         per-iteration:");
+            for t in &run.per_iteration {
+                print!(" {:.2}s", t.as_secs_f64());
+            }
+            println!();
+        }
+        println!("{}", run.report.acct);
+        println!("{}", run.report.graph);
+    }
+}
+
+fn main() {
+    let opts = parse(std::env::args().skip(1).collect());
+    println!(
+        "{} | size {} | {} workers x [4 CPU + {} GPU] | cache {:?} | {}",
+        opts.app,
+        opts.size,
+        opts.workers,
+        opts.gpus.len(),
+        opts.cache,
+        opts.sched.label()
+    );
+    let (mut cpu, mut gpu) = (None, None);
+    if opts.mode != "gpu" {
+        cpu = Some(run_one(&opts, false));
+        report("Flink", cpu.as_ref().unwrap(), opts.verbose);
+    }
+    if opts.mode != "cpu" {
+        gpu = Some(run_one(&opts, true));
+        report("GFlink", gpu.as_ref().unwrap(), opts.verbose);
+    }
+    if let (Some(c), Some(g)) = (cpu, gpu) {
+        println!(
+            "speedup {:.2}x   results agree: {}",
+            c.report.total.as_secs_f64() / g.report.total.as_secs_f64(),
+            gflink::apps::common::digests_match(c.digest, g.digest, 1e-3)
+        );
+    }
+}

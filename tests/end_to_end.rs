@@ -1,0 +1,222 @@
+//! End-to-end integration tests: every workload runs on both engines over
+//! the same cluster substrate and must agree on results, and the paper's
+//! qualitative claims must hold on small instances.
+
+use gflink::apps::{
+    common::digests_match, concomp, kmeans, linreg, pagerank, pointadd, spmv, wordcount, Setup,
+};
+use gflink::sim::Phase;
+
+const WORKERS: usize = 3;
+
+#[test]
+fn kmeans_engines_agree_and_gpu_wins() {
+    let s1 = Setup::standard(WORKERS);
+    let p = kmeans::Params {
+        n_logical: 60_000_000,
+        n_actual: 4_000,
+        iterations: 4,
+        parallelism: s1.default_parallelism(),
+        seed: 1,
+    };
+    let cpu = kmeans::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = kmeans::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-3));
+    assert!(gpu.report.total < cpu.report.total);
+}
+
+#[test]
+fn linreg_engines_agree_and_gpu_wins() {
+    let s1 = Setup::standard(WORKERS);
+    let p = linreg::Params {
+        n_logical: 60_000_000,
+        n_actual: 4_000,
+        iterations: 4,
+        parallelism: s1.default_parallelism(),
+        seed: 2,
+    };
+    let cpu = linreg::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = linreg::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-3));
+    assert!(gpu.report.total < cpu.report.total);
+}
+
+#[test]
+fn spmv_engines_agree_and_gpu_wins() {
+    let s1 = Setup::standard(WORKERS);
+    let p = spmv::Params {
+        rows_logical: 40_000_000,
+        rows_actual: 4_000,
+        iterations: 4,
+        parallelism: s1.default_parallelism(),
+        seed: 3,
+    };
+    let cpu = spmv::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = spmv::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-3));
+    assert!(gpu.report.total < cpu.report.total);
+}
+
+#[test]
+fn pagerank_engines_agree_and_gpu_wins() {
+    let s1 = Setup::standard(WORKERS);
+    let p = pagerank::Params {
+        n_logical: 4_000_000,
+        n_actual: 2_000,
+        iterations: 4,
+        parallelism: s1.default_parallelism(),
+        seed: 4,
+    };
+    let cpu = pagerank::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = pagerank::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-3));
+    assert!(gpu.report.total < cpu.report.total);
+}
+
+#[test]
+fn concomp_engines_agree_and_gpu_wins() {
+    let s1 = Setup::standard(WORKERS);
+    let p = concomp::Params {
+        n_logical: 4_000_000,
+        n_actual: 2_000,
+        iterations: 4,
+        parallelism: s1.default_parallelism(),
+        seed: 5,
+    };
+    let cpu = concomp::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = concomp::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-9));
+    assert!(gpu.report.total < cpu.report.total);
+}
+
+#[test]
+fn wordcount_engines_agree() {
+    let s1 = Setup::standard(WORKERS);
+    let p = wordcount::Params {
+        bytes_logical: 4_000_000_000,
+        words_actual: 4_000,
+        parallelism: s1.default_parallelism(),
+        seed: 6,
+    };
+    let cpu = wordcount::run_cpu(&s1, &p);
+    let s2 = Setup::standard(WORKERS);
+    let gpu = wordcount::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-9));
+}
+
+#[test]
+fn pointadd_engines_agree() {
+    let s1 = Setup::standard(1);
+    let p = pointadd::Params {
+        n_logical: 5_000_000,
+        n_actual: 2_000,
+        iterations: 2,
+        parallelism: 4,
+        delta: (3.0, -1.0),
+    };
+    let cpu = pointadd::run_cpu(&s1, &p);
+    let s2 = Setup::standard(1);
+    let gpu = pointadd::run_gpu(&s2, &p);
+    assert!(digests_match(cpu.digest, gpu.digest, 1e-4));
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let run = || {
+        let s = Setup::standard(2);
+        let p = kmeans::Params {
+            n_logical: 10_000_000,
+            n_actual: 2_000,
+            iterations: 3,
+            parallelism: s.default_parallelism(),
+            seed: 42,
+        };
+        let r = kmeans::run_gpu(&s, &p);
+        (r.report.total, r.digest, r.per_iteration.clone())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "simulated totals must be bit-identical");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn speedup_grows_with_input_size_observation_3() {
+    let speedup_at = |millions: u64| {
+        let s1 = Setup::standard(WORKERS);
+        let p = kmeans::Params {
+            n_logical: millions * 1_000_000,
+            n_actual: 3_000,
+            iterations: 5,
+            parallelism: s1.default_parallelism(),
+            seed: 7,
+        };
+        let cpu = kmeans::run_cpu(&s1, &p);
+        let s2 = Setup::standard(WORKERS);
+        let gpu = kmeans::run_gpu(&s2, &p);
+        cpu.report.total.as_secs_f64() / gpu.report.total.as_secs_f64()
+    };
+    let small = speedup_at(5);
+    let large = speedup_at(100);
+    assert!(
+        large > small,
+        "Observation 3 violated: {small:.2}x at 5M vs {large:.2}x at 100M"
+    );
+}
+
+#[test]
+fn shuffle_heavy_apps_gain_less_observation_1() {
+    // KMeans (no shuffle) must out-speedup PageRank (shuffle-heavy) at
+    // paper-like scale, where fixed costs no longer mask the difference.
+    let s1 = Setup::standard(10);
+    let pk = kmeans::Params {
+        n_logical: 210_000_000,
+        n_actual: 3_000,
+        iterations: 5,
+        parallelism: s1.default_parallelism(),
+        seed: 8,
+    };
+    let km_cpu = kmeans::run_cpu(&s1, &pk);
+    let s2 = Setup::standard(10);
+    let km_gpu = kmeans::run_gpu(&s2, &pk);
+    let km = km_cpu.report.total.as_secs_f64() / km_gpu.report.total.as_secs_f64();
+
+    let s3 = Setup::standard(10);
+    let pp = pagerank::Params {
+        n_logical: 15_000_000,
+        n_actual: 2_000,
+        iterations: 5,
+        parallelism: s3.default_parallelism(),
+        seed: 8,
+    };
+    let pr_cpu = pagerank::run_cpu(&s3, &pp);
+    let s4 = Setup::standard(10);
+    let pr_gpu = pagerank::run_gpu(&s4, &pp);
+    let pr = pr_cpu.report.total.as_secs_f64() / pr_gpu.report.total.as_secs_f64();
+    assert!(
+        pr_cpu.report.acct.fraction(Phase::Shuffle)
+            > km_cpu.report.acct.fraction(Phase::Shuffle)
+    );
+    assert!(km > pr, "Observation 1 violated: kmeans {km:.2}x vs pagerank {pr:.2}x");
+}
+
+#[test]
+fn gpu_iterations_benefit_from_cache() {
+    let s = Setup::standard(1);
+    let p = spmv::Params {
+        rows_logical: 20_000_000,
+        rows_actual: 3_000,
+        iterations: 5,
+        parallelism: 4,
+        seed: 9,
+    };
+    let gpu = spmv::run_gpu(&s, &p);
+    // Steady-state iterations are far cheaper than the first.
+    assert!(gpu.per_iteration[2] < gpu.per_iteration[0] / 5);
+}
