@@ -155,8 +155,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
             }
         }
         let capacity = n * (DEG + 1);
-        let mut view =
-            RecordView::new(args.outputs[0], &out_def, DataLayout::Aos, capacity);
+        let mut view = RecordView::new(args.outputs[0], &out_def, DataLayout::Aos, capacity);
         let emitted = agg.len();
         for (i, (dst, label)) in agg.into_iter().enumerate() {
             AggMsg { dst, label }.store(&mut view, i);
@@ -249,7 +248,12 @@ fn drive(
     mut aggregate: impl FnMut(&DataSet<(u32, (u32, [u32; DEG]))>) -> DataSet<(u32, u32)>,
 ) -> (Vec<(u32, u32)>, Vec<SimTime>) {
     let scale = params.n_logical as f64 / params.n_actual as f64;
-    let adj = read_adjacency(env, params).partition_by_key("partition-adj", ADJ_PAIR_BYTES, scale, OpCost::trivial());
+    let adj = read_adjacency(env, params).partition_by_key(
+        "partition-adj",
+        ADJ_PAIR_BYTES,
+        scale,
+        OpCost::trivial(),
+    );
     let mut labels = adj.map("init-labels", OpCost::trivial(), |(p, _)| (*p, *p));
     let mut per_iteration = Vec::with_capacity(params.iterations);
     let mut last = env.frontier();
@@ -286,9 +290,13 @@ pub fn run_cpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
                     }
                 },
             )
-            .reduce_by_key("min-label", cpu_reduce_cost(), LABEL_PAIR_BYTES, scale, |a, b| {
-                *a.min(b)
-            })
+            .reduce_by_key(
+                "min-label",
+                cpu_reduce_cost(),
+                LABEL_PAIR_BYTES,
+                scale,
+                |a, b| *a.min(b),
+            )
     });
     AppRun {
         mode: ExecMode::Cpu,
@@ -310,13 +318,15 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     let genv2 = genv.clone();
     let (labels, per_iteration) = drive(&genv.flink, params, move |joined| {
         let scale = joined.scale();
-        let packed = joined.map("pack", OpCost::new(2.0, 44.0).with_overhead_factor(0.2), |(page, (label, links))| {
-            LabelledPage {
+        let packed = joined.map(
+            "pack",
+            OpCost::new(2.0, 44.0).with_overhead_factor(0.2),
+            |(page, (label, links))| LabelledPage {
                 page: *page,
                 label: *label,
                 links: *links,
-            }
-        });
+            },
+        );
         let gdst: GDataSet<LabelledPage> = genv2.to_gdst(packed, DataLayout::Aos);
         let spec = GpuMapSpec::new("cudaCcScatter")
             .uncached()

@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn different_indices_differ() {
-        assert_ne!(
-            clustered_point::<4>(1, 1, 8),
-            clustered_point::<4>(1, 2, 8)
-        );
+        assert_ne!(clustered_point::<4>(1, 1, 8), clustered_point::<4>(1, 2, 8));
         assert_ne!(ell_row::<8>(1, 1, 1000), ell_row::<8>(1, 2, 1000));
     }
 

@@ -285,12 +285,9 @@ pub fn run_cpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     let mut last = env.frontier();
     for _ in 0..params.iterations {
         let cs = centers;
-        let partials = points.map_partition(
-            "kmeans-assign",
-            cpu_assign_cost(),
-            1.0,
-            move |pts| cpu_assign(pts, &cs),
-        );
+        let partials = points.map_partition("kmeans-assign", cpu_assign_cost(), 1.0, move |pts| {
+            cpu_assign(pts, &cs)
+        });
         let got = partials.collect("partials", Partial::def().size() as f64);
         update_centers(&got, &mut centers);
         env.broadcast_bytes((K * D * 4) as u64);

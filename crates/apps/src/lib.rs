@@ -1,5 +1,4 @@
 #![warn(missing_docs)]
-
 #![allow(clippy::needless_range_loop)] // dimension-indexed numeric kernels
 
 //! # gflink-apps

@@ -151,8 +151,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
             }
         }
         let capacity = n * DEG;
-        let mut view =
-            RecordView::new(args.outputs[0], &out_def, DataLayout::Aos, capacity);
+        let mut view = RecordView::new(args.outputs[0], &out_def, DataLayout::Aos, capacity);
         let emitted = agg.len();
         for (i, (dst, val)) in agg.into_iter().enumerate() {
             AggContrib {
@@ -181,8 +180,7 @@ fn sum_by_key_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
     let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
     let mut agg: BTreeMap<u32, f64> = BTreeMap::new();
     for i in 0..n {
-        *agg.entry(reader.get_u64(i, 0, 0) as u32).or_insert(0.0) +=
-            reader.get_f64(i, 1, 0);
+        *agg.entry(reader.get_u64(i, 0, 0) as u32).or_insert(0.0) += reader.get_f64(i, 1, 0);
     }
     let mut view = RecordView::new(args.outputs[0], &def, DataLayout::Aos, n);
     let emitted = agg.len();
@@ -254,7 +252,12 @@ fn drive(
     mut aggregate: impl FnMut(&DataSet<(u32, (f32, [u32; DEG]))>) -> DataSet<(u32, f32)>,
 ) -> (Vec<(u32, f32)>, Vec<SimTime>) {
     let scale = params.n_logical as f64 / params.n_actual as f64;
-    let adj = read_adjacency(env, params).partition_by_key("partition-adj", ADJ_PAIR_BYTES, scale, OpCost::trivial());
+    let adj = read_adjacency(env, params).partition_by_key(
+        "partition-adj",
+        ADJ_PAIR_BYTES,
+        scale,
+        OpCost::trivial(),
+    );
     let n_logical = params.n_logical as f64;
     let init = 1.0 / n_logical;
     let mut ranks = adj.map("init-ranks", OpCost::trivial(), move |(p, _)| {
@@ -328,12 +331,14 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     let (ranks, per_iteration) = drive(&genv.flink, params, move |joined| {
         // Pack joined records into GStruct blocks (raw bytes, zero-copy to
         // the device) ...
-        let packed = joined.map("pack", OpCost::new(2.0, 36.0).with_overhead_factor(0.2), |(_, (rank, links))| {
-            RankedPage {
+        let packed = joined.map(
+            "pack",
+            OpCost::new(2.0, 36.0).with_overhead_factor(0.2),
+            |(_, (rank, links))| RankedPage {
                 rank: *rank,
                 links: *links,
-            }
-        });
+            },
+        );
         let gdst: GDataSet<RankedPage> = genv2.to_gdst(packed, DataLayout::Aos);
         // ... scatter + combine on the GPU (input is iteration-fresh: no
         // caching; output cardinality is data dependent) ...
@@ -408,22 +413,26 @@ mod tests {
         let env = FlinkEnv::submit(&s.cluster, "pr", SimTime::ZERO);
         let (ranks, _) = drive(&env, &p, |joined| {
             joined
-                .flat_map("scatter", cpu_scatter_cost(), 500.0, |(_, (r, links)), out| {
-                    let share = *r / DEG as f32;
-                    for &l in links {
-                        out.push((l, share));
-                    }
+                .flat_map(
+                    "scatter",
+                    cpu_scatter_cost(),
+                    500.0,
+                    |(_, (r, links)), out| {
+                        let share = *r / DEG as f32;
+                        for &l in links {
+                            out.push((l, share));
+                        }
+                    },
+                )
+                .reduce_by_key("sum", cpu_reduce_cost(), RANK_PAIR_BYTES, 500.0, |a, b| {
+                    a + b
                 })
-                .reduce_by_key("sum", cpu_reduce_cost(), RANK_PAIR_BYTES, 500.0, |a, b| a + b)
         });
         // Hub pages (ids < n/100) must hold far more rank than average.
         let hub_cut = (p.n_actual / 100).max(1) as u32;
         let hub_avg = avg(ranks.iter().filter(|(p, _)| *p < hub_cut));
         let tail_avg = avg(ranks.iter().filter(|(p, _)| *p >= hub_cut));
-        assert!(
-            hub_avg > tail_avg * 5.0,
-            "hub {hub_avg} vs tail {tail_avg}"
-        );
+        assert!(hub_avg > tail_avg * 5.0, "hub {hub_avg} vs tail {tail_avg}");
     }
 
     fn avg<'a>(it: impl Iterator<Item = &'a (u32, f32)>) -> f64 {

@@ -240,8 +240,12 @@ pub fn run_cpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     let mut result = 0.0;
     for it in 0..params.iterations {
         let xv = Arc::clone(&x);
-        let y = matrix.map_partition("spmv", cpu_spmv_cost(), params.rows_logical as f64
-            / params.rows_actual as f64, move |rows| cpu_spmv(rows, &xv));
+        let y = matrix.map_partition(
+            "spmv",
+            cpu_spmv_cost(),
+            params.rows_logical as f64 / params.rows_actual as f64,
+            move |rows| cpu_spmv(rows, &xv),
+        );
         matrix.set_min_ready(env.frontier());
         if it == params.iterations - 1 {
             let ys = y.collect("y", 4.0);
@@ -285,11 +289,7 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     for it in 0..params.iterations {
         let spec = GpuMapSpec::new("cudaSpmvEll")
             .with_out_scale(out_scale)
-            .with_cached_extra_input(
-                Arc::clone(&xbuf),
-                params.vector_logical_bytes(),
-                x_token,
-            );
+            .with_cached_extra_input(Arc::clone(&xbuf), params.vector_logical_bytes(), x_token);
         let y: GDataSet<YVal> = gmatrix.gpu_map_partition("spmv", &spec);
         // The driver consumes y before relaunching (sequential supersteps).
         gmatrix.set_min_ready(genv.flink.frontier());
@@ -351,7 +351,11 @@ mod tests {
             seed: 3,
         };
         let gpu = run_gpu(&s, &p);
-        assert!(gpu.per_iteration[1] < gpu.per_iteration[0], "{:?}", gpu.per_iteration);
+        assert!(
+            gpu.per_iteration[1] < gpu.per_iteration[0],
+            "{:?}",
+            gpu.per_iteration
+        );
         assert!(
             gpu.per_iteration[4] > gpu.per_iteration[2],
             "last iteration pays the sink write: {:?}",

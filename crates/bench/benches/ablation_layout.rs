@@ -9,7 +9,7 @@
 //!    roofline model into kernel time.
 
 use gflink_bench::{header, row};
-use gflink_core::{GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, FabricConfig};
+use gflink_core::{FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec};
 use gflink_flink::{ClusterConfig, SharedCluster};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, VirtualGpu};
 use gflink_memory::{
@@ -128,7 +128,11 @@ fn main() {
         // locate the record by its key field).
         let got = out.inner().collect("get", 16.0);
         let rec5 = got.iter().find(|r| r.x == 5).expect("record 5 missing");
-        assert!((rec5.y - 10.0).abs() < 1e-9, "layout {} broke data", layout.label());
+        assert!(
+            (rec5.y - 10.0).abs() < 1e-9,
+            "layout {} broke data",
+            layout.label()
+        );
         row(&[layout.label().into(), format!("{:.4}", wall.as_secs_f64())]);
     }
     println!("(expect AoS slowest for the single-field kernel; SoA == AoP)");

@@ -98,10 +98,7 @@ fn main() {
             format!("{:.3}", times[1].as_secs_f64()),
             format!("{:.3}", times[2].as_secs_f64()),
             format!("{:.3}", times[3].as_secs_f64()),
-            format!(
-                "{:.2}x",
-                times[0].as_secs_f64() / times[3].as_secs_f64()
-            ),
+            format!("{:.2}x", times[0].as_secs_f64() / times[3].as_secs_f64()),
         ]);
     }
     println!(

@@ -141,10 +141,7 @@ fn affinity_experiment() {
             {
                 let mut reg = KernelRegistry::new();
                 reg.register("burn", |args: &mut KernelArgs<'_>| {
-                    KernelProfile::new(
-                        args.n_logical as f64 * 100.0,
-                        args.n_logical as f64 * 8.0,
-                    )
+                    KernelProfile::new(args.n_logical as f64 * 100.0, args.n_logical as f64 * 8.0)
                 });
                 Arc::new(Mutex::new(reg))
             },
@@ -212,5 +209,3 @@ fn burn_work(i: u32) -> GWork {
         tag: (0, i),
     }
 }
-
-

@@ -111,8 +111,14 @@ fn main() {
         let (h, k, d) = model::map_gpu_breakdown(&gpu.report.acct);
         row(&[
             app.to_string(),
-            format!("{:.2}x", model::speedup_total(&cpu.report.acct, &gpu.report.acct)),
-            format!("{:.2}x", model::speedup_map(&cpu.report.acct, &gpu.report.acct)),
+            format!(
+                "{:.2}x",
+                model::speedup_total(&cpu.report.acct, &gpu.report.acct)
+            ),
+            format!(
+                "{:.2}x",
+                model::speedup_map(&cpu.report.acct, &gpu.report.acct)
+            ),
             format!("{:.2}x", model::amdahl_bound(&cpu.report.acct)),
             format!("{:.0}%/{:.0}%/{:.0}%", h * 100.0, k * 100.0, d * 100.0),
         ]);
@@ -142,7 +148,10 @@ fn main() {
             println!("Obs 2 violated by {app}: {sp:.2}x > bound {bound:.2}x");
         }
     }
-    println!("Obs 2: all speedups within their Amdahl bounds  [{}]", if ok { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "Obs 2: all speedups within their Amdahl bounds  [{}]",
+        if ok { "HOLDS" } else { "VIOLATED" }
+    );
     // Observation 3: small inputs are dominated by fixed costs, so the
     // speedup grows with input size.
     let s_small = {

@@ -15,7 +15,10 @@ use gflink_bench::{header, row, secs, speedup};
 const WORKERS: usize = 10;
 
 fn main() {
-    header("Fig 5a", "KMeans on the cluster (10 workers x [4 CPU + 2 C2050])");
+    header(
+        "Fig 5a",
+        "KMeans on the cluster (10 workers x [4 CPU + 2 C2050])",
+    );
     row(&[
         "points".into(),
         "Flink (s)".into(),

@@ -26,7 +26,10 @@ fn main() {
 }
 
 fn fig7a() {
-    header("Fig 7a", "KMeans per-iteration time, 210M points, 3 workers");
+    header(
+        "Fig 7a",
+        "KMeans per-iteration time, 210M points, 3 workers",
+    );
     let s1 = Setup::standard(3);
     let mut p = kmeans::Params::paper(210, &s1);
     p.parallelism = s1.default_parallelism();
@@ -82,12 +85,7 @@ fn fig7b() {
     let g1 = per_iteration_with_io(&gpu1);
     let g2 = per_iteration_with_io(&gpu2);
     for i in 0..ci.len() {
-        row(&[
-            format!("{}", i + 1),
-            secs(ci[i]),
-            secs(g1[i]),
-            secs(g2[i]),
-        ]);
+        row(&[format!("{}", i + 1), secs(ci[i]), secs(g1[i]), secs(g2[i])]);
     }
     println!(
         "steady-state speedup (iter 5): 1 GPU {:.1}x, 2 GPUs {:.1}x over 1 CPU",

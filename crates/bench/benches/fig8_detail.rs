@@ -27,7 +27,10 @@ fn main() {
 }
 
 fn fig8a() {
-    header("Fig 8a", "Effect of the GPU cache scheme (SpMV, single node)");
+    header(
+        "Fig 8a",
+        "Effect of the GPU cache scheme (SpMV, single node)",
+    );
     let mk = |policy: CachePolicy| {
         let mut fabric = FabricConfig::default();
         fabric.worker.cache_policy = policy;
@@ -38,11 +41,7 @@ fn fig8a() {
     let with_cache = spmv::run_gpu(&s_on, &p);
     let s_off = mk(CachePolicy::Disabled);
     let without = spmv::run_gpu(&s_off, &p);
-    row(&[
-        "iter".into(),
-        "cache on (s)".into(),
-        "cache off (s)".into(),
-    ]);
+    row(&["iter".into(), "cache on (s)".into(), "cache off (s)".into()]);
     let on = per_iteration_with_io(&with_cache);
     let off = per_iteration_with_io(&without);
     for i in 0..on.len() {
@@ -57,10 +56,7 @@ fn fig8a() {
 /// Steady-state mapper wall times (median map phase, §6.6.2: first
 /// iterations pay I/O and H2D and are reported separately in Fig. 7) for
 /// one app on one device model, and the matching CPU baseline.
-fn mapper_times(
-    app: &str,
-    model: GpuModel,
-) -> (f64, f64) {
+fn mapper_times(app: &str, model: GpuModel) -> (f64, f64) {
     use gflink_bench::median_map_wall;
     let fabric = FabricConfig {
         worker: GpuWorkerConfig {
@@ -127,16 +123,16 @@ fn reducer_times(model: GpuModel) -> (f64, f64) {
     let n_actual = 20_000usize;
     let n_logical = 100_000_000u64;
     let scale = n_logical as f64 / n_actual as f64;
-    let pairs: Vec<(u32, f32)> = (0..n_actual)
-        .map(|i| ((i % 1000) as u32, 1.0f32))
-        .collect();
+    let pairs: Vec<(u32, f32)> = (0..n_actual).map(|i| ((i % 1000) as u32, 1.0f32)).collect();
 
     // Baseline reduce, end-to-end.
     let cluster = SharedCluster::new(ClusterConfig::single_node());
     let env = FlinkEnv::submit(&cluster, "cpu-reduce", SimTime::ZERO);
     let ds = env.parallelize("pairs", pairs.clone(), 4, scale);
     let start = env.frontier();
-    let _ = ds.reduce_by_key("sum", pagerank::cpu_reduce_cost(), 12.0, scale, |a, b| a + b);
+    let _ = ds.reduce_by_key("sum", pagerank::cpu_reduce_cost(), 12.0, scale, |a, b| {
+        a + b
+    });
     let cpu_wall = (env.frontier() - start).as_secs_f64();
 
     // gpuReduce path.
@@ -247,7 +243,11 @@ fn fig8c() {
         "Concurrent multi-application execution on a single node (GFlink times)",
     );
     let ((ek, es, ep), (ck, cs, cp)) = multi_app(1, 4);
-    row(&["app".into(), "exclusive (s)".into(), "concurrent (s)".into()]);
+    row(&[
+        "app".into(),
+        "exclusive (s)".into(),
+        "concurrent (s)".into(),
+    ]);
     row(&["kmeans".into(), format!("{ek:.2}"), format!("{ck:.2}")]);
     row(&["spmv".into(), format!("{es:.2}"), format!("{cs:.2}")]);
     row(&["pointadd".into(), format!("{ep:.2}"), format!("{cp:.2}")]);
@@ -332,7 +332,11 @@ fn fig8d() {
         p.parallelism = par;
         pointadd::run_gpu_at(&gpu_shared, &p, SimTime::ZERO).total_secs()
     };
-    row(&["app".into(), "speedup alone".into(), "speedup concurrent".into()]);
+    row(&[
+        "app".into(),
+        "speedup alone".into(),
+        "speedup concurrent".into(),
+    ]);
     let concurrent = [km_c / km_g, sp_c / sp_g, pa_c / pa_g];
     for ((name, a), c) in alone.iter().zip(concurrent.iter()) {
         row(&[name.to_string(), format!("{a:.2}x"), format!("{c:.2}x")]);

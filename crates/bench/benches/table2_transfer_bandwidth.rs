@@ -56,7 +56,10 @@ fn main() {
 
     // End-to-end check: the same numbers fall out of a real device copy
     // (engine reservation), not just the closed-form path.
-    header("Table 2b", "cross-check via VirtualGpu copy engine reservations");
+    header(
+        "Table 2b",
+        "cross-check via VirtualGpu copy engine reservations",
+    );
     let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
     let mut cursor = SimTime::ZERO;
     for &(bytes, _, _) in &PAPER {

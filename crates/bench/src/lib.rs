@@ -44,8 +44,7 @@ pub fn median_map_wall(run: &AppRun, name_contains: &str) -> SimTime {
         .phases()
         .iter()
         .filter(|p| {
-            matches!(p.kind, gflink_flink::graph::PhaseKind::Map)
-                && p.name.contains(name_contains)
+            matches!(p.kind, gflink_flink::graph::PhaseKind::Map) && p.name.contains(name_contains)
         })
         .map(|p| p.wall)
         .collect();

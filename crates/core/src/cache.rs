@@ -240,6 +240,20 @@ impl GpuCache {
         self.used = 0;
         devs
     }
+
+    /// Forget every entry — pinned or not — without returning device
+    /// buffers. This is the device-loss path: the backing memory is already
+    /// wiped, so the handles are dead, and in-flight works pinning entries
+    /// are themselves being recovered (their later `unpin` calls are
+    /// harmless no-ops). Returns how many entries were invalidated.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        self.fifo.clear();
+        self.pins.clear();
+        self.used = 0;
+        n
+    }
 }
 
 #[cfg(test)]

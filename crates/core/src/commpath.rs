@@ -14,7 +14,7 @@
 
 use gflink_flink::CpuSpec;
 use gflink_gpu::{GpuSpec, TransferPath};
-use gflink_memory::serialize::{records_to_gstruct, gstruct_to_records};
+use gflink_memory::serialize::{gstruct_to_records, records_to_gstruct};
 use gflink_memory::{GStructDef, HBuffer, Record};
 use gflink_sim::SimTime;
 
@@ -94,11 +94,7 @@ pub fn naive_path(
 
 /// GFlink's zero-copy path: the off-heap GStruct bytes go straight to the
 /// DMA engine.
-pub fn gstruct_path(
-    bytes: &HBuffer,
-    logical_bytes: u64,
-    gpu: &GpuSpec,
-) -> (HBuffer, PathCost) {
+pub fn gstruct_path(bytes: &HBuffer, logical_bytes: u64, gpu: &GpuSpec) -> (HBuffer, PathCost) {
     let path = TransferPath::gflink(gpu);
     let h2d = path.time_for(logical_bytes);
     let d2h = path.time_for(logical_bytes);

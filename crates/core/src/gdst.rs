@@ -22,9 +22,9 @@
 
 use crate::gwork::{CacheKey, GWork, WorkBuf};
 use crate::manager::{GpuManager, GpuWorkerConfig};
-use gflink_flink::{DataSet, FlinkEnv, JobReport, SharedCluster};
 use gflink_flink::dataset::RawPart;
 use gflink_flink::graph::{PhaseKind, PhaseRecord};
+use gflink_flink::{DataSet, FlinkEnv, JobReport, SharedCluster};
 use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
 use gflink_sim::{Phase, SimTime};
@@ -526,9 +526,8 @@ impl<T: GRecord> GDataSet<T> {
                         }
                         OutMode::PerBlock(n) => (n * out_def.size()) as u64,
                         OutMode::Bounded { per_record } => {
-                            (block_logical_elems as f64
-                                * per_record as f64
-                                * out_def.size() as f64) as u64
+                            (block_logical_elems as f64 * per_record as f64 * out_def.size() as f64)
+                                as u64
                         }
                     };
                     let work = GWork {
@@ -562,6 +561,7 @@ impl<T: GRecord> GDataSet<T> {
         let mut wall_end = SimTime::ZERO;
         self.env.fabric.with_managers(|managers| {
             for m in managers.iter_mut() {
+                let ledger_before = m.fault_ledger();
                 for done in m.drain() {
                     kernel_sum += done.timing.kernel;
                     h2d_sum += done.timing.h2d;
@@ -573,6 +573,14 @@ impl<T: GRecord> GDataSet<T> {
                         done.emitted,
                         done.timing.completed,
                     ));
+                }
+                // Failure accounting: this drain's fault/recovery delta goes
+                // on the job report. Permanently failed works (retry
+                // exhaustion) also count failure instants toward the phase's
+                // wall clock so a faulted job's makespan stays honest.
+                flink.record_faults(m.fault_ledger().since(&ledger_before));
+                for failed in m.take_failed() {
+                    wall_end = wall_end.max(failed.failed_at);
                 }
             }
         });
@@ -640,7 +648,7 @@ impl<T: GRecord> GDataSet<T> {
 mod tests {
     use super::*;
     use crate::cache::CachePolicy;
-    
+
     use gflink_flink::ClusterConfig;
     use gflink_memory::{AlignClass, FieldDef, PrimType};
 
@@ -730,10 +738,52 @@ mod tests {
     }
 
     #[test]
+    fn device_loss_mid_job_reaches_the_job_report() {
+        use gflink_sim::{FaultKind, FaultPlan};
+        let (cluster, fabric) = setup(1);
+        // Kill GPU 0 of the single worker shortly into the map phase; the
+        // survivor (GPU 1) must absorb the job.
+        fabric.with_managers(|ms| {
+            ms[0].set_fault_plan(
+                FaultPlan::new().with(SimTime::from_millis(1), FaultKind::GpuLost { gpu: 0 }),
+            );
+        });
+        let env = GflinkEnv::submit(&cluster, &fabric, "chaos", SimTime::ZERO);
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point {
+                x: i as f32,
+                y: -(i as f32),
+            })
+            .collect();
+        let ds = env.flink.parallelize("pts", pts, 4, 1000.0);
+        let gdst = env.to_gdst(ds, DataLayout::Aos);
+        let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![1.0, 2.0]);
+        let out = gdst.gpu_map_partition::<Point>("addPoint", &spec);
+        let got = out.inner().collect("get", 8.0);
+        assert_eq!(got.len(), 100, "the loss must not drop records");
+        for p in &got {
+            assert_eq!(p.x - 1.0, -(p.y - 2.0));
+        }
+        let report = env.finish();
+        assert_eq!(report.faults.gpus_lost, 1);
+        assert!(report.faults.faults_injected >= 1);
+        fabric.with_managers(|ms| {
+            assert!(ms[0].gpu(0).health().is_lost());
+            assert!(ms[0].gpu(1).health().is_usable());
+            assert!(ms[0].failed().is_empty());
+        });
+    }
+
+    #[test]
     fn second_iteration_hits_gpu_cache() {
         let (cluster, fabric) = setup(1);
         let env = GflinkEnv::submit(&cluster, &fabric, "iter", SimTime::ZERO);
-        let pts: Vec<Point> = (0..64).map(|i| Point { x: i as f32, y: 0.0 }).collect();
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point {
+                x: i as f32,
+                y: 0.0,
+            })
+            .collect();
         let ds = env.flink.parallelize("pts", pts, 2, 1.0e6);
         let gdst = env.to_gdst(ds, DataLayout::Aos);
         let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![0.0, 0.0]);
@@ -751,7 +801,11 @@ mod tests {
         // And the caches saw hits.
         let hits = fabric.with_managers(|ms| {
             ms.iter()
-                .map(|m| (0..m.gpu_count()).map(|g| m.cache(g).stats().0).sum::<u64>())
+                .map(|m| {
+                    (0..m.gpu_count())
+                        .map(|g| m.cache(g).stats().0)
+                        .sum::<u64>()
+                })
                 .sum::<u64>()
         });
         assert!(hits > 0);
@@ -765,7 +819,12 @@ mod tests {
         let fabric = GpuFabric::new(1, cfg);
         fabric.register_kernel("cudaAddPoint", add_point_kernel);
         let env = GflinkEnv::submit(&cluster, &fabric, "nocache", SimTime::ZERO);
-        let pts: Vec<Point> = (0..64).map(|i| Point { x: i as f32, y: 0.0 }).collect();
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point {
+                x: i as f32,
+                y: 0.0,
+            })
+            .collect();
         let ds = env.flink.parallelize("pts", pts, 2, 1.0e6);
         let gdst = env.to_gdst(ds, DataLayout::Aos);
         let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![0.0, 0.0]);
@@ -830,7 +889,12 @@ mod tests {
             KernelProfile::new(args.n_logical as f64 * 2.0, args.n_logical as f64 * 16.0)
         });
         let env = GflinkEnv::submit(&cluster, &fabric, "soa", SimTime::ZERO);
-        let pts: Vec<Point> = (0..16).map(|i| Point { x: i as f32, y: 1.0 }).collect();
+        let pts: Vec<Point> = (0..16)
+            .map(|i| Point {
+                x: i as f32,
+                y: 1.0,
+            })
+            .collect();
         let ds = env.flink.parallelize("pts", pts, 1, 1.0);
         let gdst = env.to_gdst(ds, DataLayout::Soa);
         let out = gdst.gpu_map_partition::<Point>("soaAdd", &GpuMapSpec::new("soaAdd"));

@@ -32,8 +32,14 @@ pub mod scheduling;
 pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
-pub use gdst::{ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts, OutMode};
+pub use gdst::{
+    ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts,
+    OutMode,
+};
 pub use gwork::{CacheKey, CompletedWork, GWork, WorkBuf, WorkTiming};
-pub use manager::{GpuManager, GpuWorkerConfig};
+pub use manager::{
+    CpuFallback, FailReason, FailedWork, GpuManager, GpuWorkerConfig, ManagerError,
+    CPU_FALLBACK_GPU,
+};
 pub use scheduling::SchedulingPolicy;
 pub use stream::{run_cpu_stream, run_gpu_stream, StreamReport, StreamSource};

@@ -1,0 +1,144 @@
+//! Chaos properties: for any seeded `FaultPlan` that leaves at least one
+//! GPU alive, every submitted GWork completes with byte-identical results
+//! to a fault-free run — and the whole recovery is deterministic: two runs
+//! from the same seed produce identical timelines and ledgers.
+
+use gflink_core::{CacheKey, CompletedWork, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{FaultPlan, RetryPolicy, SimTime};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn registry() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+        let n = args.n_actual;
+        for i in 0..n {
+            let v = args.inputs[0].read_f32(i * 4);
+            args.outputs[0].write_f32(i * 4, v * 2.0);
+        }
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+/// Work `i` carries input data derived from its index, so byte-identity of
+/// outputs across runs is a meaningful per-work check.
+fn mk_work(i: u32, cached: bool) -> GWork {
+    let base = i as f32;
+    let data = Arc::new(HBuffer::from_f32s(&[base, base + 0.5, -base, base * 3.0]));
+    let key = CacheKey {
+        dataset: 9,
+        partition: i % 4,
+        block: i,
+    };
+    let logical = 1u64 << 22;
+    GWork {
+        name: format!("w{i}"),
+        execute_name: "scale2".into(),
+        ptx_path: "/scale2.ptx".into(),
+        block_size: 256,
+        grid_size: 1,
+        inputs: vec![if cached {
+            WorkBuf::cached(data, logical, key)
+        } else {
+            WorkBuf::transient(data, logical)
+        }],
+        out_actual_bytes: 16,
+        out_logical_bytes: logical,
+        out_records: 4,
+        params: vec![],
+        n_actual: 4,
+        n_logical: logical / 4,
+        coalescing: 1.0,
+        tag: (0, i),
+    }
+}
+
+fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, GpuManager) {
+    let mut m = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050; gpus],
+            hang_timeout: SimTime::from_millis(50),
+            retry: RetryPolicy {
+                max_retries: 100,
+                ..RetryPolicy::default()
+            },
+            ..GpuWorkerConfig::default()
+        },
+        registry(),
+    );
+    m.set_fault_plan(plan);
+    for i in 0..n_works {
+        m.submit(mk_work(i, i % 2 == 0), SimTime::from_micros(i as u64 * 40));
+    }
+    let mut done = m.drain();
+    done.sort_by_key(|d| d.tag);
+    (done, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With ≥1 surviving GPU (which `FaultPlan::random` guarantees), every
+    /// work completes and its output bytes equal the fault-free run's.
+    #[test]
+    fn chaos_completes_byte_identical_to_fault_free(
+        seed in any::<u64>(),
+        gpus in 2usize..4,
+        n_events in 1usize..7,
+        n_works in 8u32..28,
+    ) {
+        let plan = FaultPlan::random(seed, gpus, SimTime::from_millis(40), n_events);
+        prop_assert!((plan.gpus_lost() as usize) < gpus, "plan must leave a survivor");
+        let (clean, _) = run_plan(FaultPlan::new(), gpus, n_works);
+        let (chaotic, m) = run_plan(plan, gpus, n_works);
+        prop_assert_eq!(chaotic.len(), n_works as usize);
+        prop_assert_eq!(clean.len(), chaotic.len());
+        for (a, b) in chaotic.iter().zip(&clean) {
+            prop_assert_eq!(a.tag, b.tag);
+            prop_assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+        prop_assert!(m.failed().is_empty());
+        // Recovery leaks nothing: only cache-resident bytes stay allocated.
+        for g in 0..m.gpu_count() {
+            prop_assert_eq!(m.gpu(g).dmem.used(), m.cache(g).used());
+        }
+    }
+
+    /// Determinism under chaos: the same seed yields the same placements,
+    /// the same completion instants and the same ledger, twice.
+    #[test]
+    fn chaos_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n_events in 1usize..7,
+        n_works in 8u32..24,
+    ) {
+        let timeline = |_| {
+            let plan = FaultPlan::random(seed, 2, SimTime::from_millis(40), n_events);
+            let (done, m) = run_plan(plan, 2, n_works);
+            (
+                done.iter()
+                    .map(|d| (d.tag, d.gpu, d.stream, d.timing.completed))
+                    .collect::<Vec<_>>(),
+                m.fault_ledger(),
+            )
+        };
+        prop_assert_eq!(timeline(0), timeline(1));
+    }
+
+    /// A fault-free chaos harness run is also identical to a run with no
+    /// plan at all: fault machinery must cost nothing when quiet.
+    #[test]
+    fn empty_plan_changes_nothing(n_works in 4u32..20) {
+        let (a, ma) = run_plan(FaultPlan::new(), 2, n_works);
+        let (b, mb) = run_plan(FaultPlan::random(1, 2, SimTime::from_millis(40), 0), 2, n_works);
+        let key = |d: &CompletedWork| (d.tag, d.gpu, d.stream, d.timing.completed);
+        prop_assert_eq!(a.iter().map(key).collect::<Vec<_>>(), b.iter().map(key).collect::<Vec<_>>());
+        prop_assert!(ma.fault_ledger().is_quiet());
+        prop_assert!(mb.fault_ledger().is_quiet());
+    }
+}

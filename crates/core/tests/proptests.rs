@@ -1,9 +1,7 @@
 //! Property tests for the GPUManager: completion, conservation,
 //! determinism and fault-tolerance invariants under randomized workloads.
 
-use gflink_core::{
-    CacheKey, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf,
-};
+use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
@@ -94,7 +92,10 @@ fn run(
             models,
             scheduling: policy,
             failure_rate,
-            max_retries: 100,
+            retry: gflink_sim::RetryPolicy {
+                max_retries: 100,
+                ..gflink_sim::RetryPolicy::default()
+            },
             ..GpuWorkerConfig::default()
         },
         registry(),

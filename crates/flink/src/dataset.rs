@@ -144,7 +144,9 @@ impl FlinkEnv {
         {
             let mut cl = cluster.lock();
             if !cl.hdfs.exists(file) {
-                cl.hdfs.create(file, total_bytes, Vec::new()).expect("create input");
+                cl.hdfs
+                    .create(file, total_bytes, Vec::new())
+                    .expect("create input");
             }
         }
         let scale = n_logical as f64 / n_actual as f64;
@@ -201,7 +203,9 @@ impl FlinkEnv {
             for &(lo, len) in ranges {
                 let grant = {
                     let mut cl = cluster.lock();
-                    cl.hdfs.read(worker, file, lo, len, start).expect("hdfs read")
+                    cl.hdfs
+                        .read(worker, file, lo, len, start)
+                        .expect("hdfs read")
                 };
                 wall_start = wall_start.min(grant.start);
                 ready = ready.max(grant.end);
@@ -551,11 +555,7 @@ impl<T> DataSet<T> {
             wall,
             elements,
         });
-        DataSet {
-            env,
-            parts,
-            scale,
-        }
+        DataSet { env, parts, scale }
     }
 
     /// Global deduplication (Flink `distinct`): a hash shuffle groups equal
@@ -564,7 +564,9 @@ impl<T> DataSet<T> {
     where
         T: Clone + Ord + Hash,
     {
-        let keyed = self.map(&format!("{name}/key"), OpCost::trivial(), |x| (x.clone(), ()));
+        let keyed = self.map(&format!("{name}/key"), OpCost::trivial(), |x| {
+            (x.clone(), ())
+        });
         let uniq = keyed.reduce_by_key(
             name,
             OpCost::trivial(),
@@ -572,7 +574,9 @@ impl<T> DataSet<T> {
             self.scale,
             |_, _| (),
         );
-        uniq.map(&format!("{name}/unkey"), OpCost::trivial(), |(x, ())| x.clone())
+        uniq.map(&format!("{name}/unkey"), OpCost::trivial(), |(x, ())| {
+            x.clone()
+        })
     }
 
     /// Global reduction to the driver (Flink `reduce` + `collect`).
@@ -611,11 +615,7 @@ impl<T> DataSet<T> {
             };
             wall_start = wall_start.min(r.start);
             wall_end = wall_end.max(r.end);
-            let local = part
-                .data
-                .iter()
-                .cloned()
-                .reduce(|a, b| f(&a, &b));
+            let local = part.data.iter().cloned().reduce(|a, b| f(&a, &b));
             if let Some(v) = local {
                 // Ship the partial to the driver.
                 let send = {
@@ -686,7 +686,10 @@ impl<T> DataSet<T> {
             wall_end = wall_end.max(send.end);
             out.extend(part.data.iter().cloned());
         }
-        env.charge(Phase::Shuffle, wall_end.saturating_sub(env.frontier().min(wall_end)));
+        env.charge(
+            Phase::Shuffle,
+            wall_end.saturating_sub(env.frontier().min(wall_end)),
+        );
         env.bump_frontier(wall_end);
         env.record_phase(PhaseRecord {
             name: name.to_string(),
@@ -871,7 +874,9 @@ where
                 let earliest = lp.ready.max(rp.ready) + sched;
                 let r = {
                     let mut cl = cluster.lock();
-                    cl.workers[lp.worker].slots.reserve_on(lp.slot, earliest, dur)
+                    cl.workers[lp.worker]
+                        .slots
+                        .reserve_on(lp.slot, earliest, dur)
                 };
                 let mut table: BTreeMap<&K, &W> = BTreeMap::new();
                 for (k, w) in &rp.data {
@@ -893,7 +898,10 @@ where
                 }
             })
             .collect();
-        env.charge(Phase::Reduce, wall_end.saturating_sub(wall_start.min(wall_end)));
+        env.charge(
+            Phase::Reduce,
+            wall_end.saturating_sub(wall_start.min(wall_end)),
+        );
         env.bump_frontier(wall_end);
         env.record_phase(PhaseRecord {
             name: name.to_string(),
@@ -1054,7 +1062,10 @@ where
             });
         }
         let wall = reduce_wall_end.saturating_sub(reduce_wall_start.min(reduce_wall_end));
-        env.charge(Phase::Reduce, wall.saturating_sub(sh_end.saturating_sub(sh_start)));
+        env.charge(
+            Phase::Reduce,
+            wall.saturating_sub(sh_end.saturating_sub(sh_start)),
+        );
         env.bump_frontier(reduce_wall_end);
         env.record_phase(PhaseRecord {
             name: name.to_string(),
@@ -1092,19 +1103,19 @@ where
         let elements = self.logical_len() + other.logical_len();
         let (left_buckets, left_arrival, l_start, l_end) =
             Self::hash_shuffle(&self.parts, &env, pair_logical_bytes, left_scale);
-        let (right_buckets, right_arrival, r_start, r_end) =
-            DataSet::<(K, W)>::hash_shuffle(&other.parts, &env, other_pair_logical_bytes, right_scale);
+        let (right_buckets, right_arrival, r_start, r_end) = DataSet::<(K, W)>::hash_shuffle(
+            &other.parts,
+            &env,
+            other_pair_logical_bytes,
+            right_scale,
+        );
         env.charge(
             Phase::Shuffle,
             l_end.max(r_end).saturating_sub(l_start.min(r_start)),
         );
         let mut parts: Vec<RawPart<(K, (V, W))>> = Vec::with_capacity(left_buckets.len());
         let mut wall_end = SimTime::ZERO;
-        for (dst, (lbucket, rbucket)) in left_buckets
-            .into_iter()
-            .zip(right_buckets)
-            .enumerate()
-        {
+        for (dst, (lbucket, rbucket)) in left_buckets.into_iter().zip(right_buckets).enumerate() {
             let (worker, slot) = placement(dst, cfg.num_workers, cfg.slots_per_worker);
             let n_logical = lbucket.len() as f64 * left_scale + rbucket.len() as f64 * right_scale;
             // Hash join: build + probe, ~one hash op per record.
@@ -1188,15 +1199,17 @@ mod tests {
     #[test]
     fn scale_amplifies_simulated_time_not_results() {
         let env1 = env_with(1);
-        let small = env1
-            .parallelize("s", vec![1u64; 100], 4, 1.0)
-            .map("m", OpCost::new(100.0, 8.0), |x| *x);
+        let small =
+            env1.parallelize("s", vec![1u64; 100], 4, 1.0)
+                .map("m", OpCost::new(100.0, 8.0), |x| *x);
         let t_small = env1.frontier();
         drop(small);
         let env2 = env_with(1);
-        let big = env2
-            .parallelize("s", vec![1u64; 100], 4, 1000.0)
-            .map("m", OpCost::new(100.0, 8.0), |x| *x);
+        let big = env2.parallelize("s", vec![1u64; 100], 4, 1000.0).map(
+            "m",
+            OpCost::new(100.0, 8.0),
+            |x| *x,
+        );
         let t_big = env2.frontier();
         assert_eq!(big.actual_len(), 100);
         assert_eq!(big.logical_len(), 100_000);

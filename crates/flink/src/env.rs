@@ -9,7 +9,7 @@
 
 use crate::graph::{JobGraph, PhaseRecord};
 use crate::topology::{ClusterConfig, SharedCluster};
-use gflink_sim::{Accounting, Phase, SimTime};
+use gflink_sim::{Accounting, FaultLedger, Phase, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -20,6 +20,7 @@ pub(crate) struct EnvInner {
     pub name: String,
     pub submitted_at: SimTime,
     pub frontier: SimTime,
+    pub faults: FaultLedger,
 }
 
 /// Driver-side handle to a submitted job.
@@ -43,6 +44,10 @@ pub struct JobReport {
     pub acct: Accounting,
     /// Executed phases.
     pub graph: JobGraph,
+    /// Failure ledger: faults the job absorbed and the recovery actions
+    /// they triggered (retries, drains, cache invalidations, CPU
+    /// fallbacks). All zeros on an undisturbed run.
+    pub faults: FaultLedger,
 }
 
 impl FlinkEnv {
@@ -62,6 +67,7 @@ impl FlinkEnv {
                 name: name.to_string(),
                 submitted_at: at,
                 frontier: at + submit,
+                faults: FaultLedger::default(),
             })),
         }
     }
@@ -103,6 +109,19 @@ impl FlinkEnv {
         self.inner.lock().graph.push(rec);
     }
 
+    /// Merge a phase's fault/recovery counters into the job's failure
+    /// ledger (deltas, not running totals — callers snapshot a manager's
+    /// ledger around each drain and record the difference).
+    pub fn record_faults(&self, delta: FaultLedger) {
+        let mut inner = self.inner.lock();
+        inner.faults = inner.faults.merge(&delta);
+    }
+
+    /// The job's failure ledger so far.
+    pub fn faults(&self) -> FaultLedger {
+        self.inner.lock().faults
+    }
+
     /// Charge the per-phase scheduling overhead and return it.
     ///
     /// The JobManager/DAGScheduler spend this much per phase deciding
@@ -127,6 +146,7 @@ impl FlinkEnv {
             total: inner.frontier - inner.submitted_at,
             acct: inner.acct.clone(),
             graph: inner.graph.clone(),
+            faults: inner.faults,
         }
     }
 }
@@ -134,11 +154,7 @@ impl FlinkEnv {
 impl std::fmt::Debug for FlinkEnv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock();
-        write!(
-            f,
-            "FlinkEnv({:?}, frontier {})",
-            inner.name, inner.frontier
-        )
+        write!(f, "FlinkEnv({:?}, frontier {})", inner.name, inner.frontier)
     }
 }
 
@@ -155,7 +171,10 @@ mod tests {
         assert_eq!(report.name, "job");
         assert_eq!(report.submitted_at, SimTime::from_secs(5));
         assert_eq!(report.total, cluster.config().submit_overhead);
-        assert_eq!(report.acct.get(Phase::Submit), cluster.config().submit_overhead);
+        assert_eq!(
+            report.acct.get(Phase::Submit),
+            cluster.config().submit_overhead
+        );
     }
 
     #[test]
@@ -176,6 +195,27 @@ mod tests {
         assert_eq!(dt, cluster.config().schedule_overhead);
         env.schedule_phase();
         assert_eq!(env.finish().acct.get(Phase::Schedule), dt * 2);
+    }
+
+    #[test]
+    fn fault_ledger_merges_deltas_into_the_report() {
+        let cluster = SharedCluster::new(ClusterConfig::standard(1));
+        let env = FlinkEnv::submit(&cluster, "j", SimTime::ZERO);
+        assert!(env.faults().is_quiet());
+        env.record_faults(FaultLedger {
+            faults_injected: 2,
+            retries: 3,
+            ..FaultLedger::default()
+        });
+        env.record_faults(FaultLedger {
+            gpus_lost: 1,
+            ..FaultLedger::default()
+        });
+        let report = env.finish();
+        assert_eq!(report.faults.faults_injected, 2);
+        assert_eq!(report.faults.retries, 3);
+        assert_eq!(report.faults.gpus_lost, 1);
+        assert!(!report.faults.is_quiet());
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl JobGraph {
 
 impl fmt::Display for JobGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<4} {:<9} {:<36} {:>5} {:>12} {:>14}", "#", "kind", "name", "par", "wall", "elements")?;
+        writeln!(
+            f,
+            "{:<4} {:<9} {:<36} {:>5} {:>12} {:>14}",
+            "#", "kind", "name", "par", "wall", "elements"
+        )?;
         for (i, p) in self.phases.iter().enumerate() {
             writeln!(
                 f,

@@ -9,7 +9,8 @@
 //! D2H (§4.1.2), one with two can.
 
 use crate::channel::TransferPath;
-use crate::dmem::{DevBufId, DeviceMemory, DmemError};
+use crate::dmem::{DevBufId, DeviceMemory};
+use crate::health::{DeviceError, DeviceHealth};
 use crate::kernel::{KernelArgs, KernelFn, KernelProfile};
 use crate::spec::{GpuModel, GpuSpec};
 use gflink_memory::HBuffer;
@@ -34,6 +35,7 @@ pub struct VirtualGpu {
     kernel_engine: Timeline,
     copy_engines: Vec<Timeline>,
     transfer: TransferPath,
+    health: DeviceHealth,
     kernels_launched: u64,
     bytes_h2d: u64,
     bytes_d2h: u64,
@@ -52,6 +54,7 @@ impl VirtualGpu {
             copy_engines: vec![Timeline::new(); spec.copy_engines as usize],
             transfer,
             spec,
+            health: DeviceHealth::Healthy,
             kernels_launched: 0,
             bytes_h2d: 0,
             bytes_d2h: 0,
@@ -73,6 +76,45 @@ impl VirtualGpu {
         &self.transfer
     }
 
+    /// Current health state.
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// Degrade the device to `throughput` (fraction of nominal, in
+    /// `(0, 1]`). Degradations do not compound: the worst one wins. A lost
+    /// device stays lost.
+    pub fn degrade(&mut self, throughput: f64) {
+        assert!(
+            throughput > 0.0 && throughput <= 1.0,
+            "degraded throughput must be in (0, 1]"
+        );
+        self.health = match self.health {
+            DeviceHealth::Lost => DeviceHealth::Lost,
+            DeviceHealth::Degraded { throughput: old } => DeviceHealth::Degraded {
+                throughput: old.min(throughput),
+            },
+            DeviceHealth::Healthy => DeviceHealth::Degraded { throughput },
+        };
+    }
+
+    /// Take the device off the bus permanently. All device memory contents
+    /// are destroyed (outstanding handles become invalid); every later
+    /// transfer or launch fails with [`DeviceError::Lost`]. Returns how
+    /// many device allocations were destroyed.
+    pub fn mark_lost(&mut self) -> usize {
+        self.health = DeviceHealth::Lost;
+        self.dmem.wipe()
+    }
+
+    fn ensure_usable(&self) -> Result<(), DeviceError> {
+        if self.health.is_lost() {
+            Err(DeviceError::Lost { gpu: self.id })
+        } else {
+            Ok(())
+        }
+    }
+
     fn copy_engine_for(&mut self, dir: CopyDirection) -> &mut Timeline {
         // One engine: both directions share it (half duplex). Two engines:
         // H2D on engine 0, D2H on engine 1 (full duplex).
@@ -84,8 +126,19 @@ impl VirtualGpu {
     }
 
     /// Time this device needs to move `logical_bytes` in one copy call.
+    /// A degraded device's PCIe throughput scales down with its health.
     pub fn copy_time(&self, logical_bytes: u64) -> SimTime {
-        self.transfer.time_for(logical_bytes)
+        self.scale_by_health(self.transfer.time_for(logical_bytes))
+    }
+
+    /// Stretch a nominal duration by the device's health slowdown. The
+    /// healthy path returns the input bit-for-bit (no float round trip),
+    /// keeping fault-free timelines identical to pre-fault-model ones.
+    fn scale_by_health(&self, nominal: SimTime) -> SimTime {
+        match self.health {
+            DeviceHealth::Healthy => nominal,
+            _ => SimTime::from_secs_f64(nominal.as_secs_f64() * self.health.slowdown()),
+        }
     }
 
     /// Copy host bytes to a device buffer, reserving the appropriate copy
@@ -96,11 +149,14 @@ impl VirtualGpu {
         logical_bytes: u64,
         host: &HBuffer,
         dst: DevBufId,
-    ) -> Result<Reservation, DmemError> {
+    ) -> Result<Reservation, DeviceError> {
+        self.ensure_usable()?;
         self.dmem.upload(dst, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_h2d += logical_bytes;
-        Ok(self.copy_engine_for(CopyDirection::H2D).reserve(earliest, dur))
+        Ok(self
+            .copy_engine_for(CopyDirection::H2D)
+            .reserve(earliest, dur))
     }
 
     /// Copy a device buffer back to host memory.
@@ -110,20 +166,24 @@ impl VirtualGpu {
         logical_bytes: u64,
         src: DevBufId,
         host: &mut HBuffer,
-    ) -> Result<Reservation, DmemError> {
+    ) -> Result<Reservation, DeviceError> {
+        self.ensure_usable()?;
         self.dmem.download(src, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_d2h += logical_bytes;
-        Ok(self.copy_engine_for(CopyDirection::D2H).reserve(earliest, dur))
+        Ok(self
+            .copy_engine_for(CopyDirection::D2H)
+            .reserve(earliest, dur))
     }
 
     /// Simulated duration of a kernel with the given profile on this device:
-    /// `launch + max(flops / F_sustained, bytes / (B_sustained · coalescing))`.
+    /// `launch + max(flops / F_sustained, bytes / (B_sustained · coalescing))`,
+    /// stretched by the health slowdown on a degraded device.
     pub fn kernel_time(&self, profile: &KernelProfile) -> SimTime {
         let f = self.spec.sp_gflops * 1e9 * self.spec.compute_efficiency;
         let b = self.spec.mem_bw_gbps * 1e9 * self.spec.mem_efficiency * profile.coalescing;
         let t = (profile.flops / f).max(profile.bytes / b);
-        self.spec.launch_overhead + SimTime::from_secs_f64(t)
+        self.spec.launch_overhead + self.scale_by_health(SimTime::from_secs_f64(t))
     }
 
     /// Execute `kernel` over device buffers, reserving the kernel engine
@@ -144,11 +204,12 @@ impl VirtualGpu {
         n_actual: usize,
         n_logical: u64,
         coalescing_scale: f64,
-    ) -> Result<(Reservation, KernelProfile), DmemError> {
+    ) -> Result<(Reservation, KernelProfile), DeviceError> {
         assert!(
             coalescing_scale > 0.0 && coalescing_scale <= 1.0,
             "coalescing scale must be in (0, 1]"
         );
+        self.ensure_usable()?;
         let mut profile = self.dmem.with_buffers(inputs, outputs, |ins, outs| {
             let mut args = KernelArgs {
                 inputs: ins,
@@ -275,7 +336,9 @@ mod tests {
         let host = HBuffer::zeroed(64);
         let mut host_out = HBuffer::zeroed(64);
         let r1 = gpu.copy_h2d(SimTime::ZERO, 1_000_000, &host, a).unwrap();
-        let r2 = gpu.copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out).unwrap();
+        let r2 = gpu
+            .copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out)
+            .unwrap();
         assert!(r2.start >= r1.end, "half duplex must serialize");
     }
 
@@ -286,9 +349,62 @@ mod tests {
         let host = HBuffer::zeroed(64);
         let mut host_out = HBuffer::zeroed(64);
         let r1 = gpu.copy_h2d(SimTime::ZERO, 1_000_000, &host, a).unwrap();
-        let r2 = gpu.copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out).unwrap();
+        let r2 = gpu
+            .copy_d2h(SimTime::ZERO, 1_000_000, a, &mut host_out)
+            .unwrap();
         assert_eq!(r2.start, SimTime::ZERO, "full duplex overlaps");
         assert!(r1.start == SimTime::ZERO);
+    }
+
+    #[test]
+    fn lost_device_rejects_all_operations_and_wipes_memory() {
+        let mut gpu = VirtualGpu::new(1, GpuModel::TeslaC2050);
+        let a = gpu.dmem.alloc(16, 16).unwrap();
+        let host = HBuffer::zeroed(16);
+        assert_eq!(gpu.health(), crate::health::DeviceHealth::Healthy);
+        let wiped = gpu.mark_lost();
+        assert_eq!(wiped, 1);
+        assert!(gpu.health().is_lost());
+        assert_eq!(gpu.dmem.used(), 0);
+        let err = gpu.copy_h2d(SimTime::ZERO, 16, &host, a).unwrap_err();
+        assert_eq!(err, crate::health::DeviceError::Lost { gpu: 1 });
+        let reg = scale_kernel_registry();
+        let k = reg.get("scale2").unwrap();
+        let err = gpu.launch(SimTime::ZERO, &k, &[a], &[a], &[], 4, 4, 1.0);
+        assert_eq!(
+            err.unwrap_err(),
+            crate::health::DeviceError::Lost { gpu: 1 }
+        );
+    }
+
+    #[test]
+    fn degraded_device_is_slower_but_correct() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let nominal_copy = gpu.copy_time(1_000_000);
+        let nominal_kernel = gpu.kernel_time(&KernelProfile::new(1e9, 1e9));
+        gpu.degrade(0.5);
+        assert!(gpu.copy_time(1_000_000) > nominal_copy);
+        assert!(gpu.kernel_time(&KernelProfile::new(1e9, 1e9)) > nominal_kernel);
+        // Worst degradation wins; weaker ones don't undo it.
+        gpu.degrade(0.25);
+        gpu.degrade(0.9);
+        assert_eq!(
+            gpu.health(),
+            crate::health::DeviceHealth::Degraded { throughput: 0.25 }
+        );
+        // Data still moves correctly.
+        let host_in = HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]);
+        let din = gpu.dmem.alloc(16, 16).unwrap();
+        let dout = gpu.dmem.alloc(16, 16).unwrap();
+        let r1 = gpu.copy_h2d(SimTime::ZERO, 16, &host_in, din).unwrap();
+        let reg = scale_kernel_registry();
+        let k = reg.get("scale2").unwrap();
+        let (r2, _) = gpu
+            .launch(r1.end, &k, &[din], &[dout], &[], 4, 4, 1.0)
+            .unwrap();
+        let mut host_out = HBuffer::zeroed(16);
+        gpu.copy_d2h(r2.end, 16, dout, &mut host_out).unwrap();
+        assert_eq!(host_out.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum DmemError {
     },
     /// Unknown or already-freed buffer handle.
     BadHandle,
+    /// A mutable (output) buffer aliases another kernel argument.
+    Aliased,
 }
 
 impl fmt::Display for DmemError {
@@ -37,6 +39,7 @@ impl fmt::Display for DmemError {
                 write!(f, "device OOM: requested {requested} B, {free} B free")
             }
             DmemError::BadHandle => write!(f, "invalid device buffer handle"),
+            DmemError::Aliased => write!(f, "output buffer aliases another kernel argument"),
         }
     }
 }
@@ -101,7 +104,11 @@ impl DeviceMemory {
 
     /// Allocate `logical_bytes` of device memory backed by `actual_bytes`
     /// of zeroed real storage (`cudaMalloc` analogue).
-    pub fn alloc(&mut self, logical_bytes: u64, actual_bytes: usize) -> Result<DevBufId, DmemError> {
+    pub fn alloc(
+        &mut self,
+        logical_bytes: u64,
+        actual_bytes: usize,
+    ) -> Result<DevBufId, DmemError> {
         if logical_bytes > self.free_bytes() {
             return Err(DmemError::OutOfMemory {
                 requested: logical_bytes,
@@ -141,7 +148,10 @@ impl DeviceMemory {
 
     /// Read access to an allocation's backing data.
     pub fn data(&self, id: DevBufId) -> Result<&HBuffer, DmemError> {
-        self.allocs.get(&id.0).map(|a| &a.data).ok_or(DmemError::BadHandle)
+        self.allocs
+            .get(&id.0)
+            .map(|a| &a.data)
+            .ok_or(DmemError::BadHandle)
     }
 
     /// Write access to an allocation's backing data.
@@ -154,13 +164,16 @@ impl DeviceMemory {
 
     /// Mutable access to two distinct allocations at once (kernel in/out).
     ///
-    /// Panics if `a == b`; returns `BadHandle` if either is unknown.
+    /// Returns [`DmemError::Aliased`] when `a == b` and `BadHandle` if
+    /// either is unknown.
     pub fn data_pair_mut(
         &mut self,
         a: DevBufId,
         b: DevBufId,
     ) -> Result<(&mut HBuffer, &mut HBuffer), DmemError> {
-        assert_ne!(a, b, "aliased device buffers");
+        if a == b {
+            return Err(DmemError::Aliased);
+        }
         if !self.allocs.contains_key(&a.0) || !self.allocs.contains_key(&b.0) {
             return Err(DmemError::BadHandle);
         }
@@ -175,7 +188,8 @@ impl DeviceMemory {
     /// mutably, as a kernel launch needs.
     ///
     /// Outputs must be pairwise distinct and distinct from every input
-    /// (kernels may read an input twice, but aliasing an output is a bug).
+    /// (kernels may read an input twice, but an aliased output is
+    /// [`DmemError::Aliased`]).
     pub fn with_buffers<R>(
         &mut self,
         inputs: &[DevBufId],
@@ -183,10 +197,9 @@ impl DeviceMemory {
         f: impl FnOnce(Vec<&HBuffer>, Vec<&mut HBuffer>) -> R,
     ) -> Result<R, DmemError> {
         for (i, o) in outputs.iter().enumerate() {
-            assert!(
-                !outputs[..i].contains(o) && !inputs.contains(o),
-                "output buffer {o:?} aliases another kernel argument"
-            );
+            if outputs[..i].contains(o) || inputs.contains(o) {
+                return Err(DmemError::Aliased);
+            }
         }
         for id in inputs.iter().chain(outputs) {
             if !self.allocs.contains_key(&id.0) {
@@ -217,6 +230,18 @@ impl DeviceMemory {
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
         self.allocs.len()
+    }
+
+    /// Drop every allocation at once, as device loss does: the contents are
+    /// unrecoverable and all outstanding handles become invalid (further
+    /// `release` calls on them return `BadHandle`). Returns how many
+    /// allocations were destroyed. Not counted as frees in `alloc_stats` —
+    /// nothing was returned to the allocator.
+    pub fn wipe(&mut self) -> usize {
+        let n = self.allocs.len();
+        self.allocs.clear();
+        self.used = 0;
+        n
     }
 
     /// Copy host bytes into a device allocation (the actual-data leg of
@@ -313,10 +338,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "aliased")]
     fn data_pair_rejects_aliases() {
         let mut m = DeviceMemory::new(1024);
         let a = m.alloc(10, 8).unwrap();
-        let _ = m.data_pair_mut(a, a);
+        assert_eq!(m.data_pair_mut(a, a).unwrap_err(), DmemError::Aliased);
+        let b = m.alloc(10, 8).unwrap();
+        let aliased = m.with_buffers(&[a], &[a], |_, _| ()).unwrap_err();
+        assert_eq!(aliased, DmemError::Aliased);
+        assert!(m.with_buffers(&[a], &[b], |_, _| ()).is_ok());
     }
 }

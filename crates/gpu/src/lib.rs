@@ -22,14 +22,16 @@
 
 pub mod channel;
 pub mod device;
-pub mod event;
 pub mod dmem;
+pub mod event;
+pub mod health;
 pub mod kernel;
 pub mod spec;
 
 pub use channel::{TransferPath, GFLINK_CALL_OVERHEAD_NS, NATIVE_CALL_OVERHEAD_NS};
 pub use device::{CopyDirection, VirtualGpu};
-pub use event::CudaEvent;
 pub use dmem::{DevBufId, DeviceMemory, DmemError};
+pub use event::CudaEvent;
+pub use health::{DeviceError, DeviceHealth};
 pub use kernel::{KernelArgs, KernelFn, KernelProfile, KernelRegistry};
 pub use spec::{GpuModel, GpuSpec};

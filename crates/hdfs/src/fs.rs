@@ -70,7 +70,10 @@ impl fmt::Display for HdfsError {
             }
             HdfsError::BadNode(n) => write!(f, "hdfs: unknown datanode {n}"),
             HdfsError::BlockLost { file } => {
-                write!(f, "hdfs: all replicas of a block of {file} are on failed nodes")
+                write!(
+                    f,
+                    "hdfs: all replicas of a block of {file} are on failed nodes"
+                )
             }
         }
     }
@@ -228,14 +231,22 @@ impl Hdfs {
 
     /// Whether the byte range `[offset, offset+len)` of `name` has a
     /// replica local to `node` for all its blocks.
-    pub fn is_local(&self, node: usize, name: &str, offset: u64, len: u64) -> Result<bool, HdfsError> {
+    pub fn is_local(
+        &self,
+        node: usize,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<bool, HdfsError> {
         let meta = self
             .files
             .get(name)
             .ok_or_else(|| HdfsError::NotFound(name.to_string()))?;
-        Ok(Self::touched_blocks(meta, offset, len, self.config.block_size)?
-            .iter()
-            .all(|&(b, _)| meta.blocks[b].replicas.contains(&node)))
+        Ok(
+            Self::touched_blocks(meta, offset, len, self.config.block_size)?
+                .iter()
+                .all(|&(b, _)| meta.blocks[b].replicas.contains(&node)),
+        )
     }
 
     fn touched_blocks(
@@ -381,8 +392,7 @@ impl Hdfs {
         for (replicas, bytes) in plan {
             // The write pipeline skips failed datanodes (the namenode
             // re-replicates later; we only charge the live copies).
-            let replicas: Vec<usize> =
-                replicas.into_iter().filter(|&r| !self.failed[r]).collect();
+            let replicas: Vec<usize> = replicas.into_iter().filter(|&r| !self.failed[r]).collect();
             let mut block_end = cursor;
             for &rep in &replicas {
                 let mut t = self.disks[rep].reserve(cursor, disk.time_for(bytes)).end;
@@ -475,7 +485,7 @@ mod tests {
     fn replicas_spread_across_nodes() {
         let mut fs = Hdfs::new(4, small_cfg());
         fs.create("a", 64 * MB, vec![]).unwrap(); // 4 blocks
-        // Block 0 primary on node 0 with replicas 0,1,2; block 1 on 1,2,3...
+                                                  // Block 0 primary on node 0 with replicas 0,1,2; block 1 on 1,2,3...
         assert!(fs.is_local(0, "a", 0, MB).unwrap());
         assert!(fs.is_local(1, "a", 0, MB).unwrap());
         assert!(!fs.is_local(3, "a", 0, MB).unwrap());
@@ -533,7 +543,7 @@ mod tests {
     fn failed_node_reads_fail_over_to_replicas() {
         let mut fs = Hdfs::new(4, small_cfg());
         fs.create("a", 8 * MB, vec![]).unwrap(); // block on nodes 0,1,2
-        // Node 0 dies: a reader on node 0 still succeeds, remotely.
+                                                 // Node 0 dies: a reader on node 0 still succeeds, remotely.
         fs.fail_node(0);
         let g = fs.read(0, "a", 0, 8 * MB, SimTime::ZERO).unwrap();
         assert_eq!(g.local_bytes, 0);

@@ -64,9 +64,7 @@ impl DataLayout {
     pub fn coalescing_all_fields(self, def: &GStructDef) -> f64 {
         match self {
             DataLayout::Soa | DataLayout::Aop => 1.0,
-            DataLayout::Aos => {
-                (def.payload_size() as f64 / def.size() as f64).max(1.0 / 32.0)
-            }
+            DataLayout::Aos => (def.payload_size() as f64 / def.size() as f64).max(1.0 / 32.0),
         }
     }
 }
@@ -143,7 +141,14 @@ impl<'a> RecordView<'a> {
     /// Byte offset of `(record, field, elem)` under this view's layout.
     pub fn element_offset(&self, record: usize, field: usize, elem: usize) -> usize {
         debug_assert!(record < self.n, "record {record} out of {}", self.n);
-        element_offset_of(self.def, self.layout, &self.field_bases, record, field, elem)
+        element_offset_of(
+            self.def,
+            self.layout,
+            &self.field_bases,
+            record,
+            field,
+            elem,
+        )
     }
 
     /// Read `(record, field, elem)` as `f64` (numeric widening for F32).
@@ -198,7 +203,10 @@ impl<'a> RecordView<'a> {
     /// the hot path; it exists for layout experiments and the conversion
     /// ablation.
     pub fn convert_into(&self, dst: &mut RecordView<'_>) {
-        assert!(std::ptr::eq(self.def, dst.def) || self.def == dst.def, "schema mismatch");
+        assert!(
+            std::ptr::eq(self.def, dst.def) || self.def == dst.def,
+            "schema mismatch"
+        );
         assert_eq!(self.n, dst.n, "record count mismatch");
         for r in 0..self.n {
             for (fi, f) in self.def.fields().iter().enumerate() {
@@ -261,7 +269,14 @@ impl<'a> RecordReader<'a> {
 
     /// Byte offset of `(record, field, elem)` under this reader's layout.
     pub fn element_offset(&self, record: usize, field: usize, elem: usize) -> usize {
-        element_offset_of(self.def, self.layout, &self.field_bases, record, field, elem)
+        element_offset_of(
+            self.def,
+            self.layout,
+            &self.field_bases,
+            record,
+            field,
+            elem,
+        )
     }
 
     /// Read `(record, field, elem)` as `f64` (numeric widening for F32).

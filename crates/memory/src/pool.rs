@@ -6,8 +6,8 @@
 //! be handed to the DMA engine as-is (§5.1). [`MemoryPool`] reproduces this:
 //! fixed-size, recycled, aligned pages with explicit capacity.
 
-use crate::hbuffer::HBuffer;
 use crate::gstruct::GStructDef;
+use crate::hbuffer::HBuffer;
 use std::fmt;
 
 /// Flink's default memory segment size (32 KiB).

@@ -87,7 +87,12 @@ impl Phase {
     pub fn top_level(self) -> bool {
         matches!(
             self,
-            Phase::Map | Phase::Reduce | Phase::Shuffle | Phase::Submit | Phase::Io | Phase::Schedule
+            Phase::Map
+                | Phase::Reduce
+                | Phase::Shuffle
+                | Phase::Submit
+                | Phase::Io
+                | Phase::Schedule
         )
     }
 }

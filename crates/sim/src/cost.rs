@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn roofline_picks_binding_resource() {
         let c = ComputeCost::new(SimTime::ZERO, 1e9, 1e9); // 1 GFLOP/s, 1 GB/s
-        // Compute-bound: many flops, few bytes.
+                                                           // Compute-bound: many flops, few bytes.
         let t = c.time_for(2e9, 1e6, 1.0);
         assert_eq!(t, SimTime::from_secs(2));
         // Memory-bound: few flops, many bytes.

@@ -1,0 +1,418 @@
+//! Scripted fault injection.
+//!
+//! Real GFlink deployments lose GPUs: ECC double-bit errors knock a device
+//! off the bus, thermal throttling halves PCIe and kernel throughput,
+//! transient launch failures need a retry, and wedged kernels never return.
+//! A [`FaultPlan`] scripts such events against the simulated clock so that
+//! the recovery machinery in `gflink-core` can be exercised
+//! deterministically: the same plan against the same workload produces a
+//! bit-identical timeline, and [`FaultPlan::random`] derives a chaos
+//! schedule from a [`SimRng`] seed while guaranteeing at least one
+//! surviving device.
+//!
+//! The [`FaultLedger`] is the bookkeeping half: a counter block recording
+//! every fault injected and every recovery action taken, threaded from the
+//! `GStreamManager` up into the job report so chaos runs are auditable.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// What goes wrong.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The device falls off the bus: all in-flight work on it is lost,
+    /// its device memory contents are gone, and it never comes back.
+    GpuLost {
+        /// Device index within the worker.
+        gpu: usize,
+    },
+    /// The device stays up but its PCIe and kernel throughput drop to
+    /// `throughput` (a factor in `(0, 1]`) of nominal — the thermal
+    /// throttling / ECC-scrubbing regime.
+    GpuDegraded {
+        /// Device index within the worker.
+        gpu: usize,
+        /// Remaining fraction of nominal throughput, in `(0, 1]`.
+        throughput: f64,
+    },
+    /// The next kernel launched on the device fails transiently; the work
+    /// is intact on the host and a retry may succeed.
+    KernelTransient {
+        /// Device index within the worker.
+        gpu: usize,
+    },
+    /// The next kernel launched on the device never completes; only the
+    /// hang detector's timeout gets the work back.
+    KernelHang {
+        /// Device index within the worker.
+        gpu: usize,
+    },
+}
+
+impl FaultKind {
+    /// The device the fault targets.
+    pub fn gpu(&self) -> usize {
+        match *self {
+            FaultKind::GpuLost { gpu }
+            | FaultKind::GpuDegraded { gpu, .. }
+            | FaultKind::KernelTransient { gpu }
+            | FaultKind::KernelHang { gpu } => gpu,
+        }
+    }
+}
+
+/// A fault scheduled at a simulated instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires on the simulated clock.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered script of faults to inject into one worker's devices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the common case).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a fault at `at`; keeps the plan time-ordered. Builder-style.
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Add a fault at `at`; keeps the plan time-ordered (stable for ties,
+    /// so two faults at the same instant fire in insertion order).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+    }
+
+    /// The scripted events, soonest first.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many devices the plan kills outright (distinct `GpuLost` targets).
+    pub fn gpus_lost(&self) -> usize {
+        let mut lost: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::GpuLost { gpu } => Some(gpu),
+                _ => None,
+            })
+            .collect();
+        lost.sort_unstable();
+        lost.dedup();
+        lost.len()
+    }
+
+    /// A seed-reproducible chaos schedule: `n_events` faults spread over
+    /// `[0, horizon)` against `gpus` devices.
+    ///
+    /// At least one device is never the target of a `GpuLost`, so a run
+    /// with ≥ 1 GPU always has a survivor to drain onto — the invariant the
+    /// chaos property tests rely on. Pass a plan that loses every device
+    /// explicitly (via [`FaultPlan::push`]) to exercise the CPU-fallback
+    /// path instead.
+    pub fn random(seed: u64, gpus: usize, horizon: SimTime, n_events: usize) -> Self {
+        assert!(gpus > 0, "fault plan needs at least one device");
+        assert!(!horizon.is_zero(), "fault plan needs a nonzero horizon");
+        let mut rng = SimRng::new(seed ^ 0x6F4A_17B3_9E2D_55C1);
+        let survivor = rng.gen_index(gpus);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_events {
+            let at = SimTime::from_nanos(rng.gen_range(horizon.as_nanos()));
+            let gpu = rng.gen_index(gpus);
+            let kind = match rng.gen_range(4) {
+                0 if gpu != survivor => FaultKind::GpuLost { gpu },
+                1 => FaultKind::GpuDegraded {
+                    gpu,
+                    // Keep throughput in [0.1, 0.9]: low enough to matter,
+                    // never zero (which would stall rather than degrade).
+                    throughput: 0.1 + 0.8 * rng.next_f64(),
+                },
+                2 => FaultKind::KernelTransient { gpu },
+                _ => FaultKind::KernelHang { gpu },
+            };
+            plan.push(at, kind);
+        }
+        plan
+    }
+}
+
+/// Counters for faults injected and recovery actions taken.
+///
+/// Recorded by the `GStreamManager` as it reacts to a [`FaultPlan`] and
+/// surfaced on the job report. All counts are cumulative; use
+/// [`FaultLedger::since`] to compute per-job deltas from a shared manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultLedger {
+    /// Total scripted faults that fired.
+    pub faults_injected: u64,
+    /// Devices permanently lost.
+    pub gpus_lost: u64,
+    /// Degradation events applied.
+    pub gpus_degraded: u64,
+    /// Transient kernel failures observed.
+    pub transient_faults: u64,
+    /// Kernels declared hung by the timeout detector.
+    pub hangs_detected: u64,
+    /// Work resubmissions (for any reason: transient fault, hang, loss).
+    pub retries: u64,
+    /// Queued works moved off a dead device onto survivors.
+    pub steals_on_drain: u64,
+    /// Cached device buffers invalidated by device loss.
+    pub cache_invalidations: u64,
+    /// Works executed on the host CPU because no GPU was left.
+    pub cpu_fallbacks: u64,
+    /// Works abandoned after retry exhaustion.
+    pub works_failed: u64,
+}
+
+impl FaultLedger {
+    /// Elementwise sum of two ledgers (merging managers into a job report).
+    pub fn merge(&self, other: &FaultLedger) -> FaultLedger {
+        FaultLedger {
+            faults_injected: self.faults_injected + other.faults_injected,
+            gpus_lost: self.gpus_lost + other.gpus_lost,
+            gpus_degraded: self.gpus_degraded + other.gpus_degraded,
+            transient_faults: self.transient_faults + other.transient_faults,
+            hangs_detected: self.hangs_detected + other.hangs_detected,
+            retries: self.retries + other.retries,
+            steals_on_drain: self.steals_on_drain + other.steals_on_drain,
+            cache_invalidations: self.cache_invalidations + other.cache_invalidations,
+            cpu_fallbacks: self.cpu_fallbacks + other.cpu_fallbacks,
+            works_failed: self.works_failed + other.works_failed,
+        }
+    }
+
+    /// Elementwise delta `self - earlier` (what happened since a snapshot).
+    ///
+    /// Panics if `earlier` is not a prefix of `self` (counts only grow).
+    pub fn since(&self, earlier: &FaultLedger) -> FaultLedger {
+        let sub = |a: u64, b: u64, what: &str| {
+            a.checked_sub(b)
+                .unwrap_or_else(|| panic!("ledger went backwards on {what}: {a} < {b}"))
+        };
+        FaultLedger {
+            faults_injected: sub(
+                self.faults_injected,
+                earlier.faults_injected,
+                "faults_injected",
+            ),
+            gpus_lost: sub(self.gpus_lost, earlier.gpus_lost, "gpus_lost"),
+            gpus_degraded: sub(self.gpus_degraded, earlier.gpus_degraded, "gpus_degraded"),
+            transient_faults: sub(
+                self.transient_faults,
+                earlier.transient_faults,
+                "transient_faults",
+            ),
+            hangs_detected: sub(
+                self.hangs_detected,
+                earlier.hangs_detected,
+                "hangs_detected",
+            ),
+            retries: sub(self.retries, earlier.retries, "retries"),
+            steals_on_drain: sub(
+                self.steals_on_drain,
+                earlier.steals_on_drain,
+                "steals_on_drain",
+            ),
+            cache_invalidations: sub(
+                self.cache_invalidations,
+                earlier.cache_invalidations,
+                "cache_invalidations",
+            ),
+            cpu_fallbacks: sub(self.cpu_fallbacks, earlier.cpu_fallbacks, "cpu_fallbacks"),
+            works_failed: sub(self.works_failed, earlier.works_failed, "works_failed"),
+        }
+    }
+
+    /// True if nothing was injected and nothing recovered.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultLedger::default()
+    }
+}
+
+/// Retry policy with exponential backoff and a hard deadline.
+///
+/// Attempt `k` (zero-based) that fails is retried after
+/// `base · factor^k`, so with `base = 1 ms` and `factor = 2` the waits run
+/// 1, 2, 4, 8 … ms. `max_retries` bounds the attempt count;
+/// `deadline`, if not `SimTime::MAX`, additionally abandons work whose
+/// next retry would start after that simulated duration of retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Wait before the first retry.
+    pub base: SimTime,
+    /// Multiplier applied per subsequent attempt (≥ 1).
+    pub factor: u32,
+    /// Maximum number of retries before the work is declared failed.
+    pub max_retries: u32,
+    /// Give up once the cumulative backoff would exceed this duration.
+    pub deadline: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimTime::from_micros(100),
+            factor: 2,
+            max_retries: 8,
+            deadline: SimTime::MAX,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (zero-based), saturating at
+    /// `SimTime::MAX` rather than overflowing for absurd attempt counts.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let mult = (self.factor as u64).checked_pow(attempt.min(63));
+        match mult.and_then(|m| self.base.as_nanos().checked_mul(m)) {
+            Some(ns) => SimTime::from_nanos(ns),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// Whether a work item that has already been retried `attempt` times
+    /// may try again, given it has been retrying for `spent` so far.
+    pub fn allows(&self, attempt: u32, spent: SimTime) -> bool {
+        attempt < self.max_retries && spent <= self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_stays_time_ordered() {
+        let plan = FaultPlan::new()
+            .with(SimTime::from_millis(5), FaultKind::GpuLost { gpu: 1 })
+            .with(
+                SimTime::from_millis(1),
+                FaultKind::KernelTransient { gpu: 0 },
+            )
+            .with(SimTime::from_millis(3), FaultKind::KernelHang { gpu: 0 });
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(at, vec![1_000_000, 3_000_000, 5_000_000]);
+        assert_eq!(plan.gpus_lost(), 1);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let t = SimTime::from_millis(2);
+        let plan = FaultPlan::new()
+            .with(t, FaultKind::KernelTransient { gpu: 0 })
+            .with(t, FaultKind::KernelHang { gpu: 1 });
+        assert_eq!(plan.events()[0].kind, FaultKind::KernelTransient { gpu: 0 });
+        assert_eq!(plan.events()[1].kind, FaultKind::KernelHang { gpu: 1 });
+    }
+
+    #[test]
+    fn random_plans_are_seed_reproducible() {
+        let h = SimTime::from_secs(1);
+        assert_eq!(
+            FaultPlan::random(7, 4, h, 16),
+            FaultPlan::random(7, 4, h, 16)
+        );
+        assert_ne!(
+            FaultPlan::random(7, 4, h, 16),
+            FaultPlan::random(8, 4, h, 16)
+        );
+    }
+
+    #[test]
+    fn random_plans_always_leave_a_survivor() {
+        for seed in 0..64 {
+            for gpus in 1..=4 {
+                let plan = FaultPlan::random(seed, gpus, SimTime::from_secs(1), 32);
+                assert!(
+                    plan.gpus_lost() < gpus,
+                    "seed {seed}: all {gpus} devices lost"
+                );
+                for e in plan.events() {
+                    assert!(e.kind.gpu() < gpus);
+                    assert!(e.at < SimTime::from_secs(1));
+                    if let FaultKind::GpuDegraded { throughput, .. } = e.kind {
+                        assert!(throughput > 0.0 && throughput <= 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_merge_and_since() {
+        let a = FaultLedger {
+            retries: 3,
+            gpus_lost: 1,
+            ..Default::default()
+        };
+        let b = FaultLedger {
+            retries: 2,
+            cpu_fallbacks: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.retries, 5);
+        assert_eq!(m.gpus_lost, 1);
+        assert_eq!(m.cpu_fallbacks, 4);
+        assert_eq!(m.since(&a), b);
+        assert!(FaultLedger::default().is_quiet());
+        assert!(!m.is_quiet());
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn ledger_since_rejects_regression() {
+        let a = FaultLedger {
+            retries: 1,
+            ..Default::default()
+        };
+        let _ = FaultLedger::default().since(&a);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy {
+            base: SimTime::from_millis(1),
+            factor: 2,
+            max_retries: 5,
+            deadline: SimTime::MAX,
+        };
+        assert_eq!(p.backoff(0), SimTime::from_millis(1));
+        assert_eq!(p.backoff(1), SimTime::from_millis(2));
+        assert_eq!(p.backoff(3), SimTime::from_millis(8));
+        assert_eq!(p.backoff(200), SimTime::MAX);
+    }
+
+    #[test]
+    fn retry_policy_limits() {
+        let p = RetryPolicy {
+            base: SimTime::from_millis(1),
+            factor: 2,
+            max_retries: 3,
+            deadline: SimTime::from_secs(1),
+        };
+        assert!(p.allows(0, SimTime::ZERO));
+        assert!(p.allows(2, SimTime::from_millis(500)));
+        assert!(!p.allows(3, SimTime::ZERO), "retry count exhausted");
+        assert!(!p.allows(1, SimTime::from_secs(2)), "deadline exceeded");
+    }
+}

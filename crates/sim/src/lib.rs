@@ -25,6 +25,7 @@
 pub mod accounting;
 pub mod cost;
 pub mod events;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -33,6 +34,7 @@ pub mod timeline;
 pub use accounting::{Accounting, Phase};
 pub use cost::{BandwidthCost, ComputeCost, LatencyBandwidth};
 pub use events::EventQueue;
+pub use faults::{FaultEvent, FaultKind, FaultLedger, FaultPlan, RetryPolicy};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;

@@ -16,7 +16,10 @@ use gflink::gpu::GpuModel;
 fn main() {
     let workers = 4;
     println!("KMeans on {workers} workers, each with [C2050 + P100]\n");
-    println!("{:<18} {:>9} {:>14} {:>10} {:>8}", "policy", "total", "per-GPU works", "steals", "hits");
+    println!(
+        "{:<18} {:>9} {:>14} {:>10} {:>8}",
+        "policy", "total", "per-GPU works", "steals", "hits"
+    );
     let mut reference = None;
     for policy in [
         SchedulingPolicy::LocalityAware,

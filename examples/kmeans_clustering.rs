@@ -12,7 +12,11 @@ use gflink::sim::Phase;
 
 fn main() {
     let workers = 10;
-    println!("KMeans: k={}, d={}, 10 iterations, {workers} workers", kmeans::K, kmeans::D);
+    println!(
+        "KMeans: k={}, d={}, 10 iterations, {workers} workers",
+        kmeans::K,
+        kmeans::D
+    );
 
     let setup_cpu = Setup::standard(workers);
     let params = kmeans::Params::paper(210, &setup_cpu);

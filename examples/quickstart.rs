@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gflink::core::{GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, FabricConfig};
+use gflink::core::{FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec};
 use gflink::flink::{ClusterConfig, FlinkEnv, OpCost, SharedCluster};
 use gflink::gpu::{KernelArgs, KernelProfile};
 use gflink::memory::{
@@ -86,18 +86,12 @@ fn main() {
     // ---- the same program on the original (CPU) Flink ----
     let cluster2 = SharedCluster::new(ClusterConfig::standard(2));
     let env = FlinkEnv::submit(&cluster2, "quickstart-cpu", SimTime::ZERO);
-    let points = env.read_hdfs(
-        "points",
-        "/input/points",
-        50_000_000,
-        10_000,
-        8.0,
-        8,
-        |i| Point {
+    let points = env.read_hdfs("points", "/input/points", 50_000_000, 10_000, 8.0, 8, |i| {
+        Point {
             x: (i % 97) as f32,
             y: 0.0,
-        },
-    );
+        }
+    });
     let moved_cpu = points.map("addPoint", OpCost::new(2.0, 16.0), |p| Point {
         x: p.x + 1.0,
         y: p.y + 2.0,
@@ -107,10 +101,7 @@ fn main() {
 
     assert_eq!(sample, sample_cpu, "engines disagree!");
     println!("first five results: {:?}", &sample[..5]);
-    println!(
-        "Flink:  {}   (simulated, 2 workers)",
-        cpu_report.total
-    );
+    println!("Flink:  {}   (simulated, 2 workers)", cpu_report.total);
     println!(
         "GFlink: {}   (simulated, 2 workers x 2 C2050)",
         gpu_report.total

@@ -20,7 +20,10 @@ fn run_with(policy: CachePolicy) -> gflink::apps::AppRun {
 }
 
 fn main() {
-    println!("SpMV: 1.0 GB matrix (ELL, {} nnz/row) x 123 MB vector, 10 iterations", spmv::NNZ);
+    println!(
+        "SpMV: 1.0 GB matrix (ELL, {} nnz/row) x 123 MB vector, 10 iterations",
+        spmv::NNZ
+    );
     let cached = run_with(CachePolicy::Fifo);
     let uncached = run_with(CachePolicy::Disabled);
 

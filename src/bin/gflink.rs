@@ -249,7 +249,10 @@ fn run_one(opts: &Opts, gpu_mode: bool) -> AppRun {
 }
 
 fn report(label: &str, run: &AppRun, verbose: bool) {
-    println!("{label:<8} total {:>10}   digest {:.6e}", run.report.total, run.digest);
+    println!(
+        "{label:<8} total {:>10}   digest {:.6e}",
+        run.report.total, run.digest
+    );
     if verbose {
         if run.per_iteration.len() > 1 {
             print!("         per-iteration:");

@@ -200,10 +200,12 @@ fn shuffle_heavy_apps_gain_less_observation_1() {
     let pr_gpu = pagerank::run_gpu(&s4, &pp);
     let pr = pr_cpu.report.total.as_secs_f64() / pr_gpu.report.total.as_secs_f64();
     assert!(
-        pr_cpu.report.acct.fraction(Phase::Shuffle)
-            > km_cpu.report.acct.fraction(Phase::Shuffle)
+        pr_cpu.report.acct.fraction(Phase::Shuffle) > km_cpu.report.acct.fraction(Phase::Shuffle)
     );
-    assert!(km > pr, "Observation 1 violated: kmeans {km:.2}x vs pagerank {pr:.2}x");
+    assert!(
+        km > pr,
+        "Observation 1 violated: kmeans {km:.2}x vs pagerank {pr:.2}x"
+    );
 }
 
 #[test]

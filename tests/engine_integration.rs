@@ -118,7 +118,11 @@ fn results_are_identical_across_scheduling_policies() {
         SchedulingPolicy::Random { seed: 3 },
         SchedulingPolicy::LocalityNoSteal,
     ] {
-        assert_eq!(digest_under(policy), reference, "{policy:?} changed results");
+        assert_eq!(
+            digest_under(policy),
+            reference,
+            "{policy:?} changed results"
+        );
     }
 }
 
@@ -178,7 +182,10 @@ fn caching_makes_repeat_maps_faster_but_disabled_does_not() {
         iters
     };
     let cached = repeat_cost(CachePolicy::Fifo);
-    assert!(cached[1] < cached[0] * 0.6, "cache should cut repeats: {cached:?}");
+    assert!(
+        cached[1] < cached[0] * 0.6,
+        "cache should cut repeats: {cached:?}"
+    );
     let disabled = repeat_cost(CachePolicy::Disabled);
     assert!(
         disabled[1] > disabled[0] * 0.6,
@@ -230,12 +237,7 @@ fn bounded_output_mode_roundtrips_variable_cardinality() {
         KernelProfile::new(n as f64, n as f64 * 8.0).with_emitted(emitted)
     });
     let env = GflinkEnv::submit(&cluster, &fabric, "dedup", SimTime::ZERO);
-    let cells: Vec<Cell> = (0..400)
-        .map(|i| Cell {
-            id: i % 10,
-            v: 1.0,
-        })
-        .collect();
+    let cells: Vec<Cell> = (0..400).map(|i| Cell { id: i % 10, v: 1.0 }).collect();
     let ds = env.flink.parallelize("cells", cells, 1, 1.0);
     let gdst: GDataSet<Cell> = env.to_gdst(ds, DataLayout::Aos);
     let spec = GpuMapSpec::new("dedup")
@@ -267,7 +269,10 @@ fn keyed_dataflow_composes_with_gpu_maps() {
     let pairs: Vec<(u32, f32)> = (0..120).map(|i| (i % 6, 0.5f32)).collect();
     let ds = env.flink.parallelize("pairs", pairs, 4, 1.0);
     let sums = ds.reduce_by_key("sum", OpCost::trivial(), 12.0, 1.0, |a, b| a + b);
-    let cells = sums.map("to-cell", OpCost::trivial(), |(k, v)| Cell { id: *k, v: *v });
+    let cells = sums.map("to-cell", OpCost::trivial(), |(k, v)| Cell {
+        id: *k,
+        v: *v,
+    });
     let gdst: GDataSet<Cell> = env.to_gdst(cells, DataLayout::Aos);
     let out = gdst.gpu_map_partition::<Cell>("square", &GpuMapSpec::new("square"));
     let mut got = out.inner().collect("get", 8.0);

@@ -1,0 +1,155 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`Bencher::iter`] and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a fixed warm-up followed by timed
+//! batches, reporting mean time per iteration — with none of upstream's
+//! statistical analysis. It is enough to compare runs by eye and to keep
+//! `cargo bench` compiling and running offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<40} {:>12} time/iter  ({} iters)",
+            name,
+            format_ns(per_iter),
+            b.iters
+        );
+        self
+    }
+}
+
+/// Timing harness handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Repeatedly time `routine`, accumulating the measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up (untimed) and size the batch so clock reads stay cheap.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let batch = (warm_iters / 10).max(1);
+
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench binaries with --test; nothing to do.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_counts_iters() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(4_500.0), "4.50 µs");
+        assert_eq!(format_ns(7_800_000.0), "7.80 ms");
+    }
+}
