@@ -1,0 +1,85 @@
+//! Cross-job isolation regression (the multi-tenant drift bug).
+//!
+//! A job's results must not depend on what ran before it on the same
+//! cluster + GPU fabric. Historically they did: a cluster-global HDFS
+//! placement cursor leaked prior tenants' create history into block
+//! content generation, drifting digests by ~1e5. With per-job sessions
+//! (cache regions, ledgers) and per-job HDFS cursors, every app must
+//! produce a *bit-identical* digest whether it runs solo on a fresh
+//! fabric or after any other app on a shared one — and a healthy fabric
+//! must report zero-delta (quiet) fault ledgers either way.
+
+use gflink_apps::{kmeans, pointadd, spmv, AppRun, Setup};
+
+const WORKERS: usize = 4;
+
+type App = fn(&Setup) -> AppRun;
+
+fn apps() -> Vec<(&'static str, App)> {
+    vec![
+        ("kmeans", |s: &Setup| {
+            kmeans::run_gpu(s, &kmeans::Params::paper(4, s))
+        }),
+        ("spmv", |s: &Setup| {
+            spmv::run_gpu(s, &spmv::Params::paper(1, s))
+        }),
+        ("pointadd", |s: &Setup| {
+            pointadd::run_gpu(s, &pointadd::Params::standard(s))
+        }),
+    ]
+}
+
+fn assert_quiet(name: &str, run: &AppRun, setup: &Setup) {
+    assert!(
+        run.report.faults.is_quiet(),
+        "{name}: healthy run must report a zero-delta ledger, got {:?}",
+        run.report.faults
+    );
+    setup.fabric.with_managers(|ms| {
+        for m in ms.iter() {
+            assert!(
+                m.fault_ledger().is_quiet(),
+                "{name}: worker {} ledger not quiet: {:?}",
+                m.worker_id(),
+                m.fault_ledger()
+            );
+        }
+    });
+}
+
+#[test]
+fn every_app_is_digest_identical_solo_and_after_every_other_app() {
+    // Solo baselines, each on a fresh cluster + fabric.
+    let mut solo = Vec::new();
+    for (name, run) in apps() {
+        let s = Setup::standard(WORKERS);
+        let r = run(&s);
+        assert_quiet(name, &r, &s);
+        solo.push((name, r.digest));
+    }
+
+    // Every ordered pair (first, second), sequential on one shared fabric:
+    // the second tenant's digest must be bit-identical to its solo run.
+    for (i, (first_name, first)) in apps().iter().enumerate() {
+        for (j, (second_name, second)) in apps().iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let s = Setup::standard(WORKERS);
+            let r1 = first(&s);
+            let r2 = second(&s);
+            assert_quiet(first_name, &r1, &s);
+            assert_quiet(second_name, &r2, &s);
+            assert_eq!(
+                r1.digest.to_bits(),
+                solo[i].1.to_bits(),
+                "{first_name} (fresh fabric, first tenant) drifted from solo"
+            );
+            assert_eq!(
+                r2.digest.to_bits(),
+                solo[j].1.to_bits(),
+                "{second_name} after {first_name} drifted from its solo digest"
+            );
+        }
+    }
+}

@@ -53,7 +53,7 @@ fn main() {
             let mut m = 0;
             for mgr in ms.iter() {
                 for g in 0..mgr.gpu_count() {
-                    let (hh, mm, _) = mgr.cache(g).stats();
+                    let (hh, mm, _) = mgr.cache_stats(g);
                     h += hh;
                     m += mm;
                 }

@@ -22,6 +22,7 @@
 
 use crate::gwork::{CacheKey, GWork, WorkBuf};
 use crate::manager::{GpuManager, GpuWorkerConfig};
+use crate::session::JobId;
 use gflink_flink::dataset::RawPart;
 use gflink_flink::graph::{PhaseKind, PhaseRecord};
 use gflink_flink::{DataSet, FlinkEnv, JobReport, SharedCluster};
@@ -200,6 +201,7 @@ pub struct GpuFabric {
     registry: Arc<Mutex<KernelRegistry>>,
     cfg: FabricConfig,
     next_dataset: Arc<AtomicU64>,
+    next_job: Arc<AtomicU64>,
 }
 
 impl GpuFabric {
@@ -214,6 +216,7 @@ impl GpuFabric {
             registry,
             cfg,
             next_dataset: Arc::new(AtomicU64::new(1)),
+            next_job: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -251,6 +254,24 @@ impl GpuFabric {
             m.release_job_caches();
         }
     }
+
+    /// Open a fresh [`JobId`] and its per-worker sessions (§4.2.2: a cache
+    /// region is created when a job starts).
+    pub fn begin_job(&self) -> JobId {
+        let job = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        for m in self.managers.lock().iter_mut() {
+            m.begin_job(job);
+        }
+        job
+    }
+
+    /// Tear down `job`'s sessions on every worker, releasing exactly its
+    /// cache regions (§4.2.2: released when the job finishes).
+    pub fn end_job(&self, job: JobId) {
+        for m in self.managers.lock().iter_mut() {
+            m.end_job(job);
+        }
+    }
 }
 
 /// Driver handle for a GFlink job: the Flink environment plus GPU fabric.
@@ -260,20 +281,29 @@ pub struct GflinkEnv {
     /// GFlink is compatible with the original Flink API).
     pub flink: FlinkEnv,
     fabric: GpuFabric,
+    job: JobId,
 }
 
 impl GflinkEnv {
-    /// Submit a GFlink job at simulated instant `at`.
+    /// Submit a GFlink job at simulated instant `at`: opens a [`JobId`] on
+    /// the fabric, creating this job's cache regions on every worker.
     pub fn submit(cluster: &SharedCluster, fabric: &GpuFabric, name: &str, at: SimTime) -> Self {
+        let job = fabric.begin_job();
         GflinkEnv {
             flink: FlinkEnv::submit(cluster, name, at),
             fabric: fabric.clone(),
+            job,
         }
     }
 
     /// The GPU fabric.
     pub fn fabric(&self) -> &GpuFabric {
         &self.fabric
+    }
+
+    /// This job's identity on the GPU fabric.
+    pub fn job_id(&self) -> JobId {
+        self.job
     }
 
     /// Wrap a CPU dataset into a GPU-based DataSet with the given input
@@ -287,10 +317,11 @@ impl GflinkEnv {
         }
     }
 
-    /// Finish the job: releases GPU cache regions (per §4.2.2 the cache
-    /// region lives for the job) and returns the report.
+    /// Finish the job: tears down this job's sessions — releasing exactly
+    /// its GPU cache regions (per §4.2.2 the cache region lives for the
+    /// job) — and returns the report.
     pub fn finish(&self) -> JobReport {
-        self.fabric.release_job_caches();
+        self.fabric.end_job(self.job);
         self.flink.finish()
     }
 }
@@ -439,6 +470,7 @@ impl<T: GRecord> GDataSet<T> {
         let fabric_cfg = self.env.fabric.cfg.clone();
         let sched = flink.schedule_phase();
         let cluster = flink.cluster();
+        let job = self.env.job;
         let scale = self.ds.scale();
         let coalescing = self.layout.coalescing_all_fields(&def);
 
@@ -546,7 +578,7 @@ impl<T: GRecord> GDataSet<T> {
                         coalescing,
                         tag: (p as u32, b as u32),
                     };
-                    managers[part.worker].submit(work, r.end);
+                    managers[part.worker].submit_for(job, work, r.end);
                 }
             }
         });
@@ -561,8 +593,7 @@ impl<T: GRecord> GDataSet<T> {
         let mut wall_end = SimTime::ZERO;
         self.env.fabric.with_managers(|managers| {
             for m in managers.iter_mut() {
-                let ledger_before = m.fault_ledger();
-                for done in m.drain() {
+                for done in m.drain_job(job) {
                     kernel_sum += done.timing.kernel;
                     h2d_sum += done.timing.h2d;
                     d2h_sum += done.timing.d2h;
@@ -574,12 +605,14 @@ impl<T: GRecord> GDataSet<T> {
                         done.timing.completed,
                     ));
                 }
-                // Failure accounting: this drain's fault/recovery delta goes
-                // on the job report. Permanently failed works (retry
-                // exhaustion) also count failure instants toward the phase's
-                // wall clock so a faulted job's makespan stays honest.
-                flink.record_faults(m.fault_ledger().since(&ledger_before));
-                for failed in m.take_failed() {
+                // Failure accounting: this drain's fault/recovery delta for
+                // THIS job (the session ledger window, not the cluster-wide
+                // ledger) goes on the job report. Permanently failed works
+                // (retry exhaustion) also count failure instants toward the
+                // phase's wall clock so a faulted job's makespan stays
+                // honest.
+                flink.record_faults(m.take_job_fault_delta(job));
+                for failed in m.take_job_failed(job) {
                     wall_end = wall_end.max(failed.failed_at);
                 }
             }
@@ -801,11 +834,7 @@ mod tests {
         // And the caches saw hits.
         let hits = fabric.with_managers(|ms| {
             ms.iter()
-                .map(|m| {
-                    (0..m.gpu_count())
-                        .map(|g| m.cache(g).stats().0)
-                        .sum::<u64>()
-                })
+                .map(|m| (0..m.gpu_count()).map(|g| m.cache_stats(g).0).sum::<u64>())
                 .sum::<u64>()
         });
         assert!(hits > 0);

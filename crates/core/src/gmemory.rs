@@ -1,0 +1,283 @@
+#![warn(clippy::too_many_lines)]
+
+//! GMemoryManager (§4.2): the device-memory half of the GPUManager.
+//!
+//! Owns the worker's [`VirtualGpu`]s and everything that touches device
+//! memory: buffer allocation with cache-eviction pressure, the H2D staging
+//! of a work's inputs (including the §4.2.2 cache insert/pin protocol), and
+//! the reclamation of a finished or recovered work's buffers. Device memory
+//! is driven exclusively through the narrow [`DeviceMemoryOps`] trait — the
+//! explicit surface the memory layer needs from a device.
+//!
+//! Cache *regions* are per job (owned by each
+//! [`JobSession`](crate::session::JobSession)); this type mints them at job
+//! start, frees their device buffers at job end, and preserves the
+//! hit/miss/eviction statistics of retired regions so whole-worker cache
+//! accounting survives session teardown.
+
+use crate::cache::{CachePolicy, GpuCache};
+use crate::gwork::{CacheKey, GWork, WorkTiming};
+use crate::recovery::ManagerError;
+use gflink_gpu::{DevBufId, DeviceError, DeviceMemoryOps, DmemError, GpuModel, VirtualGpu};
+use gflink_sim::SimTime;
+
+/// Result of staging one work's inputs onto a device (stage 1, H2D).
+pub(crate) struct StagedInputs {
+    /// Device buffers, one per work input, in input order.
+    pub dev_inputs: Vec<DevBufId>,
+    /// Buffers to free once the work leaves the device.
+    pub transient: Vec<DevBufId>,
+    /// Cache keys pinned for the duration of the work.
+    pub pinned: Vec<CacheKey>,
+    /// When the last H2D copy lands (the kernel's earliest launch instant).
+    pub kernel_earliest: SimTime,
+    /// Set when staging failed; partial placement is in the fields above
+    /// and must be reclaimed by the caller.
+    pub failure: Option<ManagerError>,
+}
+
+/// The device-memory half of the per-worker GPU manager.
+pub struct GMemoryManager {
+    gpus: Vec<VirtualGpu>,
+    cache_capacity: u64,
+    cache_policy: CachePolicy,
+    /// (hits, misses, evictions) carried over from retired job regions,
+    /// per GPU, so worker-level cache stats survive session teardown.
+    retired_stats: Vec<(u64, u64, u64)>,
+}
+
+impl GMemoryManager {
+    /// Build the memory manager over `models`, with per-GPU cache regions
+    /// of `cache_capacity` logical bytes (clamped to 3/4 of device memory)
+    /// under `cache_policy`.
+    pub fn new(models: &[GpuModel], cache_capacity: u64, cache_policy: CachePolicy) -> Self {
+        let gpus: Vec<VirtualGpu> = models
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| VirtualGpu::new(i, m))
+            .collect();
+        let n = gpus.len();
+        GMemoryManager {
+            gpus,
+            cache_capacity,
+            cache_policy,
+            retired_stats: vec![(0, 0, 0); n],
+        }
+    }
+
+    /// Number of GPUs managed.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Immutable access to a GPU.
+    pub fn gpu(&self, i: usize) -> &VirtualGpu {
+        &self.gpus[i]
+    }
+
+    pub(crate) fn gpu_mut(&mut self, i: usize) -> &mut VirtualGpu {
+        &mut self.gpus[i]
+    }
+
+    /// Whether device `gpu` is still usable (healthy or degraded).
+    pub fn usable(&self, gpu: usize) -> bool {
+        self.gpus[gpu].health().is_usable()
+    }
+
+    /// Number of devices still usable.
+    pub fn usable_gpus(&self) -> usize {
+        (0..self.gpus.len()).filter(|&g| self.usable(g)).count()
+    }
+
+    /// The device-memory surface of GPU `gpu`, as the explicit trait the
+    /// memory layer is written against.
+    fn dmem(&mut self, gpu: usize) -> &mut dyn DeviceMemoryOps {
+        &mut self.gpus[gpu].dmem
+    }
+
+    /// Mint a fresh set of per-GPU cache regions for a starting job
+    /// (§4.2.2: "a cache region is created when a job starts").
+    pub(crate) fn new_regions(&self) -> Vec<GpuCache> {
+        self.gpus
+            .iter()
+            .map(|g| {
+                let cap = self.cache_capacity.min(g.spec().dev_mem_bytes * 3 / 4);
+                GpuCache::new(cap, self.cache_policy)
+            })
+            .collect()
+    }
+
+    /// Free the device buffers behind a job's cache regions (job end,
+    /// §4.2.2). The regions stay alive (emptied); statistics are preserved
+    /// in them, not retired.
+    pub(crate) fn release_regions(&mut self, regions: &mut [GpuCache]) {
+        for (g, region) in regions.iter_mut().enumerate() {
+            for dev in region.clear() {
+                let _ = self.dmem(g).release(dev);
+            }
+        }
+    }
+
+    /// Fold a departing job's per-region cache statistics into the
+    /// worker-level retired totals. Call once, just before dropping the
+    /// regions — never on regions that stay alive, or stats double-count.
+    pub(crate) fn retire_regions(&mut self, regions: &[GpuCache]) {
+        for (g, region) in regions.iter().enumerate() {
+            let (h, m, e) = region.stats();
+            let acc = &mut self.retired_stats[g];
+            acc.0 += h;
+            acc.1 += m;
+            acc.2 += e;
+        }
+    }
+
+    /// (hits, misses, evictions) carried over from retired job regions on
+    /// GPU `gpu`.
+    pub(crate) fn retired_stats(&self, gpu: usize) -> (u64, u64, u64) {
+        self.retired_stats[gpu]
+    }
+
+    /// Allocate device memory, evicting entries of the job's own cache
+    /// region under pressure. Exhausting both free memory and the evictable
+    /// region is a typed error, not a panic: the caller sends the work
+    /// through the retry path (a later attempt may find memory released by
+    /// finished works). Eviction pressure never touches another job's
+    /// region.
+    pub(crate) fn alloc_with_pressure(
+        &mut self,
+        region: &mut GpuCache,
+        gpu: usize,
+        logical: u64,
+        actual: usize,
+    ) -> Result<DevBufId, ManagerError> {
+        loop {
+            match self.dmem(gpu).alloc(logical, actual) {
+                Ok(id) => return Ok(id),
+                Err(DmemError::OutOfMemory { .. }) => match region.evict_one() {
+                    Some(dev) => {
+                        let _ = self.dmem(gpu).release(dev);
+                    }
+                    None => {
+                        return Err(ManagerError::OutOfMemory {
+                            gpu,
+                            requested: logical,
+                            free: self.dmem(gpu).free_bytes(),
+                        })
+                    }
+                },
+                Err(e) => return Err(ManagerError::Device(DeviceError::Mem(e))),
+            }
+        }
+    }
+
+    /// Stage 1: bring a work's inputs onto device `gpu` (H2D copies,
+    /// skipped per-buffer on cache hits against the job's region). Every
+    /// cached buffer the work references is pinned until its D2H completes
+    /// so concurrent works cannot evict a live kernel argument.
+    pub(crate) fn stage_inputs(
+        &mut self,
+        region: &mut GpuCache,
+        gpu: usize,
+        work: &GWork,
+        t: SimTime,
+        timing: &mut WorkTiming,
+    ) -> StagedInputs {
+        let mut staged = StagedInputs {
+            dev_inputs: Vec::with_capacity(work.inputs.len()),
+            transient: Vec::new(),
+            pinned: Vec::new(),
+            kernel_earliest: t,
+            failure: None,
+        };
+        for inbuf in &work.inputs {
+            let cached_dev = inbuf.cache_key.and_then(|key| region.lookup(key));
+            match cached_dev {
+                Some(dev) => {
+                    timing.cache_hits += 1;
+                    region.pin(inbuf.cache_key.unwrap());
+                    staged.pinned.push(inbuf.cache_key.unwrap());
+                    staged.dev_inputs.push(dev);
+                }
+                None => {
+                    let dev = match self.alloc_with_pressure(
+                        region,
+                        gpu,
+                        inbuf.logical_bytes,
+                        inbuf.data.len(),
+                    ) {
+                        Ok(dev) => dev,
+                        Err(e) => {
+                            staged.failure = Some(e);
+                            break;
+                        }
+                    };
+                    let r = match self.gpus[gpu].copy_h2d(t, inbuf.logical_bytes, &inbuf.data, dev)
+                    {
+                        Ok(r) => r,
+                        Err(e) => {
+                            staged.transient.push(dev);
+                            staged.failure = Some(ManagerError::Device(e));
+                            break;
+                        }
+                    };
+                    timing.h2d += r.duration();
+                    staged.kernel_earliest = staged.kernel_earliest.max(r.end);
+                    let mut keep = false;
+                    if let Some(key) = inbuf.cache_key {
+                        timing.cache_misses += 1;
+                        let (evicted, may_insert) = region.make_room(inbuf.logical_bytes);
+                        for d in evicted {
+                            let _ = self.dmem(gpu).release(d);
+                        }
+                        if may_insert {
+                            if let Some(old) = region.insert(key, dev, inbuf.logical_bytes) {
+                                let _ = self.dmem(gpu).release(old);
+                            }
+                            region.pin(key);
+                            staged.pinned.push(key);
+                            keep = true;
+                        }
+                    }
+                    if !keep {
+                        staged.transient.push(dev);
+                    }
+                    staged.dev_inputs.push(dev);
+                }
+            }
+        }
+        staged
+    }
+
+    /// Allocate a work's output buffer under cache pressure.
+    pub(crate) fn alloc_output(
+        &mut self,
+        region: &mut GpuCache,
+        gpu: usize,
+        work: &GWork,
+    ) -> Result<DevBufId, ManagerError> {
+        self.alloc_with_pressure(region, gpu, work.out_logical_bytes, work.out_actual_bytes)
+    }
+
+    /// Release a recovered or finished flight's device buffers and cache
+    /// pins (automatic deallocation, §4.2.1). A `None` `out_dev` means the
+    /// output was never allocated. No-ops harmlessly after device loss
+    /// (handles are dead, pins were cleared).
+    pub(crate) fn reclaim(
+        &mut self,
+        region: &mut GpuCache,
+        gpu: usize,
+        transient: Vec<DevBufId>,
+        pinned: Vec<CacheKey>,
+        out_dev: Option<DevBufId>,
+    ) {
+        for d in transient {
+            let _ = self.dmem(gpu).release(d);
+        }
+        for key in pinned {
+            region.unpin(key);
+        }
+        if let Some(dev) = out_dev {
+            let _ = self.dmem(gpu).release(dev);
+        }
+    }
+}

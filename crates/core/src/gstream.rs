@@ -1,0 +1,720 @@
+#![warn(clippy::too_many_lines)]
+
+//! GStreamManager (§5): the stream-scheduling half of the GPUManager.
+//!
+//! Owns the stream bulks (`stream_busy_until`), the per-GPU FIFO GWork
+//! queues (the GWork Pool), and the in-flight table, and drives the
+//! three-stage H2D → Kernel → D2H pipeline through the event loop:
+//!
+//! * [`GWork` scheduling](crate::scheduling::SchedulingPolicy) follows
+//!   Algorithm 5.1: prefer the GPU whose cache region already holds the
+//!   most of this job's input bytes; fall back to the bulk with the most
+//!   idle streams; if no stream is idle, park the work in a per-GPU queue.
+//! * When a stream frees, it **steals** per Algorithm 5.2: its own GPU's
+//!   queue first, then the longest queue.
+//! * Memory work (staging, allocation, reclaim) is delegated to the
+//!   [`GMemoryManager`]; fault bookkeeping and retry routing to the
+//!   [`RecoveryManager`].
+//!
+//! Handlers act on an [`Engine`] — the borrow-split view of the
+//! coordinator's other halves — so each event can touch the memory
+//! manager, the recovery manager, and the owning job's session at once.
+
+use crate::gmemory::{GMemoryManager, StagedInputs};
+use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
+use crate::recovery::{FailReason, ManagerError, RecoveryManager};
+use crate::scheduling::SchedulingPolicy;
+use crate::session::{JobId, JobSession};
+use gflink_gpu::{DevBufId, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// The event vocabulary of one drain.
+pub(crate) enum Ev {
+    /// (owning job, original submit instant, retry count, work).
+    Submit(Box<(JobId, SimTime, u32, GWork)>),
+    /// A stream came free; run Alg. 5.2.
+    StreamFree {
+        /// Device index.
+        gpu: usize,
+        /// Stream index within the device's bulk.
+        stream: usize,
+    },
+    /// A work's H2D stage finished; launch its kernel.
+    KernelStage(u64),
+    /// A work's kernel finished; start its D2H transfer.
+    D2hStage(u64),
+    /// A scripted fault fires.
+    Fault(FaultKind),
+    /// Watchdog: check whether flight `id` is still wedged in its kernel.
+    HangCheck(u64),
+}
+
+/// A parked work in a GPU's FIFO queue, with its owning job, original
+/// submit instant (for queueing-delay reporting) and retry count.
+struct QueuedWork {
+    job: JobId,
+    submitted: SimTime,
+    retries: u32,
+    work: GWork,
+}
+
+/// Per-work state carried between pipeline-stage events.
+struct InFlight {
+    job: JobId,
+    work: GWork,
+    retries: u32,
+    timing: WorkTiming,
+    gpu: usize,
+    stream: usize,
+    dev_inputs: Vec<DevBufId>,
+    transient: Vec<DevBufId>,
+    /// Cache keys pinned for the duration of this work.
+    pinned: Vec<CacheKey>,
+    out_dev: DevBufId,
+    emitted: Option<usize>,
+    /// An injected hang wedged this flight's kernel; only the watchdog
+    /// recovers it.
+    hung: bool,
+}
+
+/// Borrow-split view of the coordinator handed to every event handler:
+/// the two sibling managers, the open sessions, the kernel registry and
+/// the worker's RNG — everything an event may need besides the stream
+/// state the [`GStreamManager`] itself owns.
+pub(crate) struct Engine<'a> {
+    pub gmem: &'a mut GMemoryManager,
+    pub recovery: &'a mut RecoveryManager,
+    pub sessions: &'a mut BTreeMap<JobId, JobSession>,
+    pub registry: &'a Arc<Mutex<KernelRegistry>>,
+    pub rng: &'a mut SimRng,
+}
+
+/// The stream-scheduling half of the per-worker GPU manager.
+pub struct GStreamManager {
+    streams_per_gpu: usize,
+    policy: SchedulingPolicy,
+    /// `stream_busy_until[g][s]`
+    stream_busy_until: Vec<Vec<SimTime>>,
+    /// Per-GPU FIFO GWork queues (the GWork Pool).
+    queues: Vec<VecDeque<QueuedWork>>,
+    rr_counter: usize,
+    steals: u64,
+    executed_per_gpu: Vec<u64>,
+    in_flight: std::collections::HashMap<u64, InFlight>,
+    next_flight: u64,
+}
+
+impl GStreamManager {
+    pub(crate) fn new(n_gpus: usize, streams_per_gpu: usize, policy: SchedulingPolicy) -> Self {
+        GStreamManager {
+            streams_per_gpu,
+            policy,
+            stream_busy_until: vec![vec![SimTime::ZERO; streams_per_gpu]; n_gpus],
+            queues: (0..n_gpus).map(|_| VecDeque::new()).collect(),
+            rr_counter: 0,
+            steals: 0,
+            executed_per_gpu: vec![0; n_gpus],
+            in_flight: std::collections::HashMap::new(),
+            next_flight: 1,
+        }
+    }
+
+    /// Streams per GPU (the stream bulk size).
+    pub fn streams_per_gpu(&self) -> usize {
+        self.streams_per_gpu
+    }
+
+    /// Number of Alg. 5.2 steals from foreign queues.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Works executed per GPU (load-balance reporting). CPU-fallback works
+    /// are not attributed to any GPU.
+    pub fn executed_per_gpu(&self) -> &[u64] {
+        &self.executed_per_gpu
+    }
+
+    pub(crate) fn busy_until(&self, gpu: usize, stream: usize) -> SimTime {
+        self.stream_busy_until[gpu][stream]
+    }
+
+    /// True when no work is queued or in flight (end-of-drain invariant).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty) && self.in_flight.is_empty()
+    }
+
+    /// Alg. 5.1, step 1: the GPU whose cache region holds the most of this
+    /// work's cached input bytes (`GID`), or `None` when nothing is
+    /// resident. Only the owning job's regions are consulted — another
+    /// tenant caching the same key must not attract this job's work. Lost
+    /// devices never win: their regions were invalidated at loss.
+    fn locality_gpu(gmem: &GMemoryManager, session: &JobSession, work: &GWork) -> Option<usize> {
+        let keys: Vec<_> = work.inputs.iter().filter_map(|b| b.cache_key).collect();
+        if keys.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for (g, region) in session.regions.iter().enumerate() {
+            if !gmem.usable(g) {
+                continue;
+            }
+            let bytes = region.resident_bytes(&keys);
+            if bytes > 0 && best.map(|(_, b)| bytes > b).unwrap_or(true) {
+                best = Some((g, bytes));
+            }
+        }
+        best.map(|(g, _)| g)
+    }
+
+    fn idle_streams(&self, gpu: usize, t: SimTime) -> usize {
+        self.stream_busy_until[gpu]
+            .iter()
+            .filter(|&&b| b <= t)
+            .count()
+    }
+
+    fn first_idle_stream(&self, gpu: usize, t: SimTime) -> Option<usize> {
+        self.stream_busy_until[gpu].iter().position(|&b| b <= t)
+    }
+
+    /// The bulk with the most idle streams (ties → lowest GPU index). A
+    /// lost device's streams are pinned busy forever, so it never appears.
+    fn most_idle_bulk(&self, t: SimTime) -> Option<(usize, usize)> {
+        let (mut best_g, mut best_idle) = (0usize, 0usize);
+        for g in 0..self.stream_busy_until.len() {
+            let idle = self.idle_streams(g, t);
+            if idle > best_idle {
+                best_g = g;
+                best_idle = idle;
+            }
+        }
+        if best_idle == 0 {
+            None
+        } else {
+            Some((best_g, self.first_idle_stream(best_g, t).unwrap()))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn dispatch(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if eng.gmem.usable_gpus() == 0 {
+            let session = eng.sessions.get_mut(&job).expect("session open");
+            eng.recovery
+                .run_on_cpu_or_fail(session, eng.registry, work, submitted, retries, t);
+            return;
+        }
+        match self.policy {
+            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal => {
+                let gid = {
+                    let session = eng.sessions.get(&job).expect("session open");
+                    Self::locality_gpu(eng.gmem, session, &work)
+                };
+                // Algorithm 5.1.
+                let placed = match gid {
+                    Some(g) => match self.first_idle_stream(g, t) {
+                        Some(s) => Some((g, s)),
+                        None => self.most_idle_bulk(t),
+                    },
+                    None => self.most_idle_bulk(t),
+                };
+                match placed {
+                    Some((g, s)) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
+                    None => {
+                        // Lines 11–18: park in GID's queue, or the least
+                        // loaded usable queue when GID is null.
+                        let qi = match gid.filter(|&g| eng.gmem.usable(g)) {
+                            Some(g) => g,
+                            None => self
+                                .queues
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| eng.gmem.usable(i))
+                                .min_by_key(|(_, queue)| queue.len())
+                                .map(|(i, _)| i)
+                                .unwrap(),
+                        };
+                        self.queues[qi].push_back(QueuedWork {
+                            job,
+                            submitted,
+                            retries,
+                            work,
+                        });
+                    }
+                }
+            }
+            SchedulingPolicy::RoundRobin => {
+                let n = self.queues.len();
+                let mut g = self.rr_counter % n;
+                self.rr_counter += 1;
+                while !eng.gmem.usable(g) {
+                    g = (g + 1) % n;
+                }
+                match self.first_idle_stream(g, t) {
+                    Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
+                    None => self.queues[g].push_back(QueuedWork {
+                        job,
+                        submitted,
+                        retries,
+                        work,
+                    }),
+                }
+            }
+            SchedulingPolicy::Random { .. } => {
+                let usable: Vec<usize> = (0..self.queues.len())
+                    .filter(|&g| eng.gmem.usable(g))
+                    .collect();
+                let g = usable[eng.rng.gen_index(usable.len())];
+                match self.first_idle_stream(g, t) {
+                    Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
+                    None => self.queues[g].push_back(QueuedWork {
+                        job,
+                        submitted,
+                        retries,
+                        work,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Algorithm 5.2: a freed stream pulls from its own GPU's queue first,
+    /// then from the fullest queue.
+    pub(crate) fn on_stream_free(
+        &mut self,
+        eng: &mut Engine<'_>,
+        gpu: usize,
+        stream: usize,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if !eng.gmem.usable(gpu) || self.stream_busy_until[gpu][stream] > t {
+            // Lost device, or a superseded wake-up: the stream picked up new
+            // work since this event was scheduled.
+            return;
+        }
+        let work = if let Some(w) = self.queues[gpu].pop_front() {
+            Some(w)
+        } else if self.policy.steals() {
+            let victim = self
+                .queues
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, queue)| queue.len())
+                .map(|(i, _)| i)
+                .filter(|&i| !self.queues[i].is_empty());
+            victim.map(|i| {
+                self.steals += 1;
+                self.queues[i].pop_front().unwrap()
+            })
+        } else {
+            None
+        };
+        if let Some(qw) = work {
+            self.execute(
+                eng,
+                qw.job,
+                qw.work,
+                qw.submitted,
+                qw.retries,
+                gpu,
+                stream,
+                t,
+                q,
+            );
+        }
+    }
+
+    /// Dispatch one GWork onto (gpu, stream): the stream is occupied until
+    /// the work's D2H completes. Pipeline stages are driven by events so a
+    /// stage's engine reservation is made only when its stream dependency
+    /// resolves — exactly how CUDA feeds its copy/compute engines. Eagerly
+    /// reserving all three stages here would block later H2Ds behind
+    /// not-yet-runnable D2H slots on single-copy-engine devices.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        gpu: usize,
+        stream: usize,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let mut timing = WorkTiming {
+            submitted,
+            started: t,
+            ..WorkTiming::default()
+        };
+        let session = eng.sessions.get_mut(&job).expect("session open");
+        // Stage 1: H2D (GMemoryManager; skipped per-buffer on cache hits).
+        let StagedInputs {
+            dev_inputs,
+            transient,
+            pinned,
+            kernel_earliest,
+            mut failure,
+        } = eng
+            .gmem
+            .stage_inputs(&mut session.regions[gpu], gpu, &work, t, &mut timing);
+        // Output allocation (GMemoryManager, automatic).
+        let out_dev = if failure.is_none() {
+            match eng.gmem.alloc_output(&mut session.regions[gpu], gpu, &work) {
+                Ok(dev) => Some(dev),
+                Err(e) => {
+                    failure = Some(e);
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(err) = failure {
+            // Unwind the partial placement; the stream was never occupied.
+            eng.gmem
+                .reclaim(&mut session.regions[gpu], gpu, transient, pinned, None);
+            eng.recovery.retry_or_fail(
+                session,
+                job,
+                work,
+                submitted,
+                retries,
+                t,
+                FailReason::Fatal(err),
+                q,
+            );
+            return;
+        }
+        let out_dev = out_dev.expect("checked by failure branch");
+        // Occupy the stream until the final stage completes.
+        self.stream_busy_until[gpu][stream] = SimTime::MAX;
+        let id = self.next_flight;
+        self.next_flight += 1;
+        self.in_flight.insert(
+            id,
+            InFlight {
+                job,
+                work,
+                retries,
+                timing,
+                gpu,
+                stream,
+                dev_inputs,
+                transient,
+                pinned,
+                out_dev,
+                emitted: None,
+                hung: false,
+            },
+        );
+        q.schedule(kernel_earliest, Ev::KernelStage(id));
+    }
+
+    /// Stage 2: the kernel launches once its inputs are device-resident.
+    pub(crate) fn on_kernel_stage(
+        &mut self,
+        eng: &mut Engine<'_>,
+        id: u64,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Some(mut fl) = self.in_flight.remove(&id) else {
+            // The flight was recovered (device loss) before this fired.
+            return;
+        };
+        let kernel = eng.registry.lock().get(&fl.work.execute_name);
+        let kernel = match kernel {
+            Some(k) => k,
+            None => {
+                let err = ManagerError::KernelMissing {
+                    name: fl.work.execute_name.clone(),
+                };
+                self.recover_flight(eng, fl, t, t, FailReason::Fatal(err), q);
+                return;
+            }
+        };
+        let launched = eng.gmem.gpu_mut(fl.gpu).launch(
+            t,
+            &kernel,
+            &fl.dev_inputs,
+            &[fl.out_dev],
+            &fl.work.params,
+            fl.work.n_actual,
+            fl.work.n_logical,
+            fl.work.coalescing,
+        );
+        let (kres, profile) = match launched {
+            Ok(v) => v,
+            Err(e) => {
+                // The device failed underneath the flight (defensive: loss
+                // recovery normally removes flights first).
+                self.recover_flight(eng, fl, t, t, FailReason::Fatal(ManagerError::Device(e)), q);
+                return;
+            }
+        };
+        fl.timing.kernel = kres.duration();
+        fl.emitted = profile.emitted;
+        let end = kres.end;
+        // Scripted hang: the kernel never completes; the stream stays
+        // occupied until the watchdog recovers the work.
+        if eng.recovery.take_hang(fl.gpu) {
+            fl.hung = true;
+            let deadline = SimTime::from_nanos(
+                t.as_nanos()
+                    .saturating_add(eng.recovery.hang_timeout().as_nanos()),
+            );
+            self.in_flight.insert(id, fl);
+            q.schedule(deadline, Ev::HangCheck(id));
+            return;
+        }
+        // Transient fault injection: scripted, or random at `failure_rate`
+        // (ECC error, lost context, a preempted device). Failure is
+        // detected at kernel completion; the GPUManager reclaims the
+        // buffers and reschedules the work after backoff.
+        let scripted = eng.recovery.take_transient(fl.gpu);
+        if scripted || eng.recovery.random_transient(&mut *eng.rng) {
+            {
+                let session = eng.sessions.get_mut(&fl.job).expect("session open");
+                eng.recovery.note_transient_fault(session);
+            }
+            // The stream frees at the (wasted) kernel end; the work goes
+            // back through Alg. 5.1 for a fresh placement after backoff.
+            self.recover_flight(eng, fl, end, end.max(t), FailReason::RetriesExhausted, q);
+            return;
+        }
+        self.in_flight.insert(id, fl);
+        q.schedule(end, Ev::D2hStage(id));
+    }
+
+    /// Stage 3: results travel back; the stream frees at the copy's end.
+    pub(crate) fn on_d2h_stage(
+        &mut self,
+        eng: &mut Engine<'_>,
+        id: u64,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Some(mut fl) = self.in_flight.remove(&id) else {
+            // The flight was recovered (device loss) before this fired.
+            return;
+        };
+        // Variable-output kernels transfer only the emitted fraction of the
+        // declared capacity.
+        let d2h_logical = match fl.emitted {
+            Some(e) => {
+                (fl.work.out_logical_bytes as u128 * e as u128 / fl.work.out_records.max(1) as u128)
+                    as u64
+            }
+            None => fl.work.out_logical_bytes,
+        };
+        let mut out_host = HBuffer::zeroed(fl.work.out_actual_bytes);
+        let rd2h =
+            match eng
+                .gmem
+                .gpu_mut(fl.gpu)
+                .copy_d2h(t, d2h_logical, fl.out_dev, &mut out_host)
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    // Defensive: loss recovery removes flights before this can
+                    // fire, but a failed readback still routes through retry.
+                    self.recover_flight(
+                        eng,
+                        fl,
+                        t,
+                        t,
+                        FailReason::Fatal(ManagerError::Device(e)),
+                        q,
+                    );
+                    return;
+                }
+            };
+        fl.timing.d2h = rd2h.duration();
+        fl.timing.completed = rd2h.end;
+        // Automatic deallocation of transient buffers (§4.2.1) and
+        // unpinning of the cached inputs.
+        let session = eng.sessions.get_mut(&fl.job).expect("session open");
+        eng.gmem.reclaim(
+            &mut session.regions[fl.gpu],
+            fl.gpu,
+            fl.transient,
+            fl.pinned,
+            Some(fl.out_dev),
+        );
+        self.stream_busy_until[fl.gpu][fl.stream] = rd2h.end;
+        self.executed_per_gpu[fl.gpu] += 1;
+        q.schedule(
+            rd2h.end,
+            Ev::StreamFree {
+                gpu: fl.gpu,
+                stream: fl.stream,
+            },
+        );
+        session.completed.push(CompletedWork {
+            name: fl.work.name,
+            tag: fl.work.tag,
+            gpu: fl.gpu,
+            stream: fl.stream,
+            output: out_host,
+            emitted: fl.emitted,
+            timing: fl.timing,
+        });
+    }
+
+    /// A scripted fault fires.
+    pub(crate) fn on_fault(
+        &mut self,
+        eng: &mut Engine<'_>,
+        kind: FaultKind,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        eng.recovery.note_fault_injected(&mut *eng.sessions);
+        let gpu = kind.gpu();
+        assert!(
+            gpu < eng.gmem.gpu_count(),
+            "fault targets unknown device {gpu}"
+        );
+        match kind {
+            FaultKind::GpuLost { .. } => {
+                if eng.gmem.gpu(gpu).health().is_lost() {
+                    return; // already gone; nothing more to lose
+                }
+                eng.recovery.note_gpu_lost(&mut *eng.sessions);
+                eng.gmem.gpu_mut(gpu).mark_lost();
+                // Every open session loses its region on the dead device;
+                // each tenant's ledger records its own invalidations.
+                for session in eng.sessions.values_mut() {
+                    let n = session.regions[gpu].invalidate_all() as u64;
+                    eng.recovery.note_invalidations(session, n);
+                }
+                // Blacklist: the device's streams never come free again.
+                for s in 0..self.streams_per_gpu {
+                    self.stream_busy_until[gpu][s] = SimTime::MAX;
+                }
+                // Recover in-flight works. Sorted ids keep event order (and
+                // thus the timeline) independent of HashMap iteration order.
+                let mut ids: Vec<u64> = self
+                    .in_flight
+                    .iter()
+                    .filter(|(_, fl)| fl.gpu == gpu)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let fl = self.in_flight.remove(&id).expect("id collected above");
+                    // Device buffers died with the device; nothing to
+                    // reclaim. Loss is not the work's fault: it re-enters
+                    // scheduling immediately and keeps its retry budget.
+                    let session = eng.sessions.get_mut(&fl.job).expect("session open");
+                    eng.recovery.note_retry(session);
+                    q.schedule(
+                        t,
+                        Ev::Submit(Box::new((fl.job, fl.timing.submitted, fl.retries, fl.work))),
+                    );
+                }
+                // Drain the dead device's queue onto the survivors.
+                let queued: Vec<QueuedWork> = self.queues[gpu].drain(..).collect();
+                for qw in queued {
+                    let session = eng.sessions.get_mut(&qw.job).expect("session open");
+                    eng.recovery.note_steal_on_drain(session);
+                    q.schedule(
+                        t,
+                        Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
+                    );
+                }
+            }
+            FaultKind::GpuDegraded { throughput, .. } => {
+                if eng.gmem.gpu(gpu).health().is_lost() {
+                    return;
+                }
+                eng.recovery.note_gpu_degraded(&mut *eng.sessions);
+                eng.gmem.gpu_mut(gpu).degrade(throughput);
+            }
+            FaultKind::KernelTransient { .. } => {
+                eng.recovery.arm_transient(gpu);
+            }
+            FaultKind::KernelHang { .. } => {
+                eng.recovery.arm_hang(gpu);
+            }
+        }
+    }
+
+    /// The watchdog fires `hang_timeout` after a launch; a flight still
+    /// wedged in its kernel is recovered and retried.
+    pub(crate) fn on_hang_check(
+        &mut self,
+        eng: &mut Engine<'_>,
+        id: u64,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let hung = self.in_flight.get(&id).map(|fl| fl.hung).unwrap_or(false);
+        if !hung {
+            // Completed normally, or already recovered by device loss.
+            return;
+        }
+        let fl = self.in_flight.remove(&id).expect("checked above");
+        {
+            let session = eng.sessions.get_mut(&fl.job).expect("session open");
+            eng.recovery.note_hang_detected(session);
+        }
+        self.recover_flight(eng, fl, t, t, FailReason::RetriesExhausted, q);
+    }
+
+    /// Common tail of every in-place flight recovery: reclaim the flight's
+    /// buffers and pins, free its stream at `stream_free_at`, and route the
+    /// work through retry-or-fail at `retry_at`.
+    fn recover_flight(
+        &mut self,
+        eng: &mut Engine<'_>,
+        fl: InFlight,
+        stream_free_at: SimTime,
+        retry_at: SimTime,
+        reason: FailReason,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let session = eng.sessions.get_mut(&fl.job).expect("session open");
+        eng.gmem.reclaim(
+            &mut session.regions[fl.gpu],
+            fl.gpu,
+            fl.transient,
+            fl.pinned,
+            Some(fl.out_dev),
+        );
+        self.stream_busy_until[fl.gpu][fl.stream] = stream_free_at;
+        q.schedule(
+            stream_free_at,
+            Ev::StreamFree {
+                gpu: fl.gpu,
+                stream: fl.stream,
+            },
+        );
+        eng.recovery.retry_or_fail(
+            session,
+            fl.job,
+            fl.work,
+            fl.timing.submitted,
+            fl.retries,
+            retry_at,
+            reason,
+            q,
+        );
+    }
+}

@@ -9,11 +9,15 @@
 //! * [`GWork`] — the unit of GPU work the paper's programmers build in
 //!   GPU-based mappers/reducers (§3.5.3): named kernel, input/output
 //!   buffers, launch geometry, cache annotations.
-//! * [`GpuManager`] — the per-worker GPUManager (§3.4): it combines the
-//!   GMemoryManager (automatic device allocation + the GPU cache scheme of
-//!   §4.2) and the GStreamManager (§5: producer/consumer decoupling, stream
-//!   bulks, per-GPU FIFO GWork queues, three-stage H2D/K/D2H pipelining,
-//!   and the adaptive locality-aware scheduling of Algorithms 5.1/5.2).
+//! * [`GpuManager`] — the per-worker GPUManager (§3.4): a slim coordinator
+//!   over the [`gmemory::GMemoryManager`] (automatic device allocation +
+//!   the GPU cache scheme of §4.2), the [`gstream::GStreamManager`] (§5:
+//!   producer/consumer decoupling, stream bulks, per-GPU FIFO GWork
+//!   queues, three-stage H2D/K/D2H pipelining, and the adaptive
+//!   locality-aware scheduling of Algorithms 5.1/5.2), and the
+//!   [`recovery::RecoveryManager`] (fault plans, retry/backoff, CPU
+//!   fallback, ledgers) — with one [`JobSession`] of per-job state (cache
+//!   regions, completions, failures, ledger deltas) per open [`JobId`].
 //! * [`GflinkEnv`] / [`GDataSet`] — the programming framework (§3.5): a
 //!   GPU-based DataSet built on [`GRecord`] (the GStruct binding), with
 //!   `gpu_map_partition`-style operators that split partitions into blocks
@@ -25,10 +29,14 @@
 pub mod cache;
 pub mod commpath;
 pub mod gdst;
+pub mod gmemory;
+pub mod gstream;
 pub mod gwork;
 pub mod manager;
 pub mod model;
+pub mod recovery;
 pub mod scheduling;
+pub mod session;
 pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
@@ -42,4 +50,5 @@ pub use manager::{
     CPU_FALLBACK_GPU,
 };
 pub use scheduling::SchedulingPolicy;
+pub use session::{JobId, JobSession};
 pub use stream::{run_cpu_stream, run_gpu_stream, StreamReport, StreamSource};

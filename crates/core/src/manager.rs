@@ -1,175 +1,48 @@
-//! The per-worker GPUManager: GMemoryManager + GStreamManager.
+#![warn(clippy::too_many_lines)]
+
+//! The per-worker GPUManager: a slim coordinator over the paper's two
+//! halves plus the recovery layer.
 //!
-//! This is the execution model of §5 implemented as an event-driven loop
-//! over simulated time:
+//! * [`GMemoryManager`](crate::gmemory::GMemoryManager) (§4.2) owns the
+//!   devices and everything that touches device memory: allocation with
+//!   cache-eviction pressure, H2D staging, reclaim, and per-job cache
+//!   regions.
+//! * [`GStreamManager`](crate::gstream::GStreamManager) (§5) owns the
+//!   stream bulks, the per-GPU GWork queues, and the in-flight table, and
+//!   drives Algorithm 5.1/5.2 scheduling plus the three-stage
+//!   H2D → Kernel → D2H pipeline.
+//! * [`RecoveryManager`](crate::recovery::RecoveryManager) owns the fault
+//!   plan, retry/backoff routing, the CPU fallback path, and the
+//!   double-entry fault ledgers (see DESIGN.md, "Fault model & recovery").
 //!
-//! * Flink tasks are **producers**: they submit [`GWork`] with a timestamp.
-//! * CUDA streams are **consumers**: each GPU contributes a *bulk* of
-//!   streams; a stream carries one GWork at a time through the three-stage
-//!   H2D → Kernel → D2H pipeline. Overlap is physical: stages reserve the
-//!   device's copy/kernel engine timelines, so concurrent streams pipeline
-//!   exactly as far as the hardware allows (one copy engine = half duplex).
-//! * [`GWork` scheduling][SchedulingPolicy] follows Algorithm 5.1: prefer
-//!   the GPU whose cache already holds the most input bytes; fall back to
-//!   the bulk with the most idle streams; if no stream is idle, park the
-//!   work in a per-GPU FIFO queue (GWork Pool).
-//! * When a stream finishes, it **steals** per Algorithm 5.2: its own GPU's
-//!   queue first, then the longest queue.
-//! * The GMemoryManager half allocates/frees device buffers automatically
-//!   and runs the GPU cache of §4.2.2.
+//! This type wires them together around a [`JobSession`] per job: all
+//! mutable per-job state — cache regions, pending submissions,
+//! completions, failures, ledger deltas — lives in the session, created at
+//! [`GpuManager::begin_job`] and torn down at [`GpuManager::end_job`], so
+//! concurrent tenants on the same devices cannot perturb each other's
+//! digests or ledgers. The legacy single-job surface (`submit`/`drain`/
+//! `cache`/`failed`) operates on the always-present [`JobId::DEFAULT`]
+//! session.
 //!
-//! # Fault model & recovery
-//!
-//! A [`FaultPlan`] (see `gflink_sim::faults`) scripts device loss,
-//! degradation, transient kernel faults and kernel hangs against the
-//! simulated clock. The manager reacts (see DESIGN.md, "Fault model &
-//! recovery"):
-//!
-//! * **Device loss** blacklists the GPU (its streams go permanently busy,
-//!   all scheduling paths skip it), invalidates its cache, and re-dispatches
-//!   its queued and in-flight works onto the survivors.
-//! * **Transient faults** and **hangs** send the work back through
-//!   Algorithm 5.1 after an exponential [`RetryPolicy`] backoff; hangs are
-//!   detected by a per-GWork watchdog event at `hang_timeout` after launch.
-//! * **Retry exhaustion** produces a structured [`FailedWork`] instead of a
-//!   panic; completions and failures partition the submitted works exactly.
-//! * With **every GPU lost**, works degrade to a modeled CPU execution path
-//!   (kernels really run on the host; a roofline [`ComputeCost`] plus a
-//!   slot pool models the time) rather than aborting the job.
-//!
-//! Every fault and recovery action is tallied in a [`FaultLedger`] that the
-//! `gflink-flink` layer surfaces on the job report.
+//! Determinism: the drain event loop is shared across sessions (the
+//! hardware is shared), pending works enter it stably sorted by submit
+//! instant, and the worker's single RNG is only consulted in the exact
+//! places the monolithic manager consulted it — a single job's timeline is
+//! byte-identical to the pre-decomposition implementation.
 
 use crate::cache::{CachePolicy, GpuCache};
-use crate::gwork::{CompletedWork, GWork, WorkTiming};
-use crate::scheduling::SchedulingPolicy;
-use gflink_gpu::{
-    DevBufId, DeviceError, DmemError, GpuModel, KernelArgs, KernelRegistry, VirtualGpu,
-};
-use gflink_memory::HBuffer;
-use gflink_sim::{
-    ComputeCost, EventQueue, FaultKind, FaultLedger, FaultPlan, MultiTimeline, RetryPolicy, SimRng,
-    SimTime,
-};
+use crate::gmemory::GMemoryManager;
+use crate::gstream::{Engine, Ev, GStreamManager};
+use crate::gwork::{CompletedWork, GWork};
+use crate::recovery::RecoveryManager;
+use crate::session::{JobId, JobSession};
+use gflink_gpu::{GpuModel, KernelRegistry, VirtualGpu};
+use gflink_sim::{EventQueue, FaultLedger, FaultPlan, RetryPolicy, SimRng, SimTime};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// `CompletedWork::gpu` marker for works executed on the host CPU because
-/// no usable GPU remained.
-pub const CPU_FALLBACK_GPU: usize = usize::MAX;
-
-/// An error inside the GPU manager's execution paths.
-#[derive(Clone, Debug, PartialEq)]
-pub enum ManagerError {
-    /// A work's buffers cannot fit on the device even after evicting the
-    /// entire (unpinned) cache.
-    OutOfMemory {
-        /// Device that ran out.
-        gpu: usize,
-        /// Logical bytes the allocation wanted.
-        requested: u64,
-        /// Logical bytes that were free.
-        free: u64,
-    },
-    /// The work names a kernel the registry does not know.
-    KernelMissing {
-        /// The unresolved `executeName`.
-        name: String,
-    },
-    /// A device operation failed underneath the manager.
-    Device(DeviceError),
-}
-
-impl std::fmt::Display for ManagerError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ManagerError::OutOfMemory {
-                gpu,
-                requested,
-                free,
-            } => write!(
-                f,
-                "device {gpu} out of memory: requested {requested} logical bytes with {free} free \
-                 and an empty cache"
-            ),
-            ManagerError::KernelMissing { name } => write!(f, "kernel {name:?} not registered"),
-            ManagerError::Device(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for ManagerError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ManagerError::Device(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<DeviceError> for ManagerError {
-    fn from(e: DeviceError) -> Self {
-        ManagerError::Device(e)
-    }
-}
-
-/// Why a [`FailedWork`] was abandoned.
-#[derive(Clone, Debug, PartialEq)]
-pub enum FailReason {
-    /// The retry budget ([`RetryPolicy::max_retries`]) ran out.
-    RetriesExhausted,
-    /// The retry deadline ([`RetryPolicy::deadline`]) passed.
-    DeadlineExceeded,
-    /// Every GPU is lost and CPU fallback is disabled.
-    NoUsableDevice,
-    /// A non-retryable error (e.g. an unregistered kernel).
-    Fatal(ManagerError),
-}
-
-/// A `GWork` the manager gave up on: the structured counterpart of
-/// [`CompletedWork`]. Completions and failures partition the submitted
-/// works exactly — nothing is silently dropped.
-#[derive(Clone, Debug)]
-pub struct FailedWork {
-    /// The originating work's name.
-    pub name: String,
-    /// The originating work's tag (partition, block).
-    pub tag: (u32, u32),
-    /// How many times the work was retried before being abandoned.
-    pub retries: u32,
-    /// Why it was abandoned.
-    pub reason: FailReason,
-    /// When the work was first submitted.
-    pub submitted: SimTime,
-    /// When the manager gave up. Failure instants participate in makespan
-    /// accounting the same way completion instants do.
-    pub failed_at: SimTime,
-}
-
-/// CPU execution path used when no usable GPU remains.
-#[derive(Clone, Debug)]
-pub struct CpuFallback {
-    /// Whether the fallback is allowed. When `false`, losing every GPU
-    /// fails the remaining works with [`FailReason::NoUsableDevice`].
-    pub enabled: bool,
-    /// Concurrent host execution slots (task-slot pool).
-    pub slots: usize,
-    /// Roofline cost model for host kernel execution.
-    pub cost: ComputeCost,
-}
-
-impl Default for CpuFallback {
-    fn default() -> Self {
-        CpuFallback {
-            enabled: true,
-            slots: 8,
-            // A conservative host: ~50 GFLOP/s, ~20 GB/s sustained — roughly
-            // 20× slower than the C2050 the paper's workers carry.
-            cost: ComputeCost::new(SimTime::from_micros(5), 50e9, 20e9),
-        }
-    }
-}
+pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU_FALLBACK_GPU};
 
 /// Configuration of one worker's GPU complement.
 #[derive(Clone, Debug)]
@@ -185,7 +58,7 @@ pub struct GpuWorkerConfig {
     /// Cache policy.
     pub cache_policy: CachePolicy,
     /// GWork scheduling policy.
-    pub scheduling: SchedulingPolicy,
+    pub scheduling: crate::scheduling::SchedulingPolicy,
     /// Injected per-launch kernel failure probability (fault-tolerance
     /// testing; §1 motivates building on Flink precisely because it
     /// "uses replication and error detection to schedule around
@@ -210,7 +83,7 @@ impl Default for GpuWorkerConfig {
             streams_per_gpu: 4,
             cache_capacity: 2_000_000_000, // 2 GB of the C2050's 3 GB
             cache_policy: CachePolicy::Fifo,
-            scheduling: SchedulingPolicy::LocalityAware,
+            scheduling: crate::scheduling::SchedulingPolicy::LocalityAware,
             failure_rate: 0.0,
             retry: RetryPolicy::default(),
             hang_timeout: SimTime::from_secs(10),
@@ -219,72 +92,17 @@ impl Default for GpuWorkerConfig {
     }
 }
 
-enum Ev {
-    /// (original submit instant, retry count, work).
-    Submit(Box<(SimTime, u32, GWork)>),
-    StreamFree {
-        gpu: usize,
-        stream: usize,
-    },
-    /// A work's H2D stage finished; launch its kernel.
-    KernelStage(u64),
-    /// A work's kernel finished; start its D2H transfer.
-    D2hStage(u64),
-    /// A scripted fault fires.
-    Fault(FaultKind),
-    /// Watchdog: check whether flight `id` is still wedged in its kernel.
-    HangCheck(u64),
-}
-
-/// Per-work state carried between pipeline-stage events.
-struct InFlight {
-    work: GWork,
-    retries: u32,
-    timing: WorkTiming,
-    gpu: usize,
-    stream: usize,
-    dev_inputs: Vec<DevBufId>,
-    transient: Vec<DevBufId>,
-    /// Cache keys pinned for the duration of this work.
-    pinned: Vec<crate::gwork::CacheKey>,
-    out_dev: DevBufId,
-    emitted: Option<usize>,
-    /// An injected hang wedged this flight's kernel; only the watchdog
-    /// recovers it.
-    hung: bool,
-}
-
-/// The per-worker GPU manager.
+/// The per-worker GPU manager: coordinator over the memory, stream, and
+/// recovery layers, with one [`JobSession`] per open job.
 pub struct GpuManager {
     worker_id: usize,
     cfg: GpuWorkerConfig,
-    gpus: Vec<VirtualGpu>,
-    caches: Vec<GpuCache>,
-    /// `stream_busy_until[g][s]`
-    stream_busy_until: Vec<Vec<SimTime>>,
-    /// Per-GPU FIFO GWork queues (the GWork Pool), with original submit
-    /// instants (for queueing-delay reporting) and retry counts.
-    queues: Vec<VecDeque<(SimTime, u32, GWork)>>,
+    gmem: GMemoryManager,
+    gstream: GStreamManager,
+    recovery: RecoveryManager,
+    sessions: BTreeMap<JobId, JobSession>,
     registry: Arc<Mutex<KernelRegistry>>,
-    pending: Vec<(SimTime, GWork)>,
-    completed: Vec<CompletedWork>,
-    failed: Vec<FailedWork>,
-    rr_counter: usize,
     rng: SimRng,
-    steals: u64,
-    failures: u64,
-    executed_per_gpu: Vec<u64>,
-    in_flight: std::collections::HashMap<u64, InFlight>,
-    next_flight: u64,
-    fault_plan: FaultPlan,
-    /// Index of the first `fault_plan` event not yet scheduled into a drain.
-    fault_cursor: usize,
-    /// Scripted transient faults armed per GPU (consumed by next launches).
-    pending_transient: Vec<u32>,
-    /// Scripted hangs armed per GPU (consumed by next launches).
-    pending_hang: Vec<u32>,
-    ledger: FaultLedger,
-    cpu_slots: MultiTimeline,
 }
 
 impl GpuManager {
@@ -296,43 +114,25 @@ impl GpuManager {
     ) -> Self {
         assert!(!cfg.models.is_empty(), "worker needs at least one GPU");
         assert!(cfg.streams_per_gpu >= 1);
-        let gpus: Vec<VirtualGpu> = cfg
-            .models
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| VirtualGpu::new(i, m))
-            .collect();
-        let caches = gpus
-            .iter()
-            .map(|g| {
-                let cap = cfg.cache_capacity.min(g.spec().dev_mem_bytes * 3 / 4);
-                GpuCache::new(cap, cfg.cache_policy)
-            })
-            .collect();
-        let n = gpus.len();
+        let gmem = GMemoryManager::new(&cfg.models, cfg.cache_capacity, cfg.cache_policy);
+        let gstream = GStreamManager::new(cfg.models.len(), cfg.streams_per_gpu, cfg.scheduling);
+        let recovery = RecoveryManager::new(
+            cfg.models.len(),
+            cfg.retry,
+            cfg.hang_timeout,
+            cfg.failure_rate,
+            cfg.cpu_fallback.clone(),
+        );
+        let mut sessions = BTreeMap::new();
+        sessions.insert(JobId::DEFAULT, JobSession::new(gmem.new_regions()));
         GpuManager {
             worker_id,
-            stream_busy_until: vec![vec![SimTime::ZERO; cfg.streams_per_gpu]; n],
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
-            caches,
-            gpus,
+            gmem,
+            gstream,
+            recovery,
+            sessions,
             registry,
-            pending: Vec::new(),
-            completed: Vec::new(),
-            failed: Vec::new(),
-            rr_counter: 0,
             rng: SimRng::new(0x5EED_0000 + worker_id as u64),
-            steals: 0,
-            failures: 0,
-            executed_per_gpu: vec![0; n],
-            in_flight: std::collections::HashMap::new(),
-            next_flight: 1,
-            fault_plan: FaultPlan::new(),
-            fault_cursor: 0,
-            pending_transient: vec![0; n],
-            pending_hang: vec![0; n],
-            ledger: FaultLedger::default(),
-            cpu_slots: MultiTimeline::new(cfg.cpu_fallback.slots.max(1)),
             cfg,
         }
     }
@@ -342,1405 +142,237 @@ impl GpuManager {
         self.worker_id
     }
 
+    /// This worker's configuration.
+    pub fn config(&self) -> &GpuWorkerConfig {
+        &self.cfg
+    }
+
     /// Number of GPUs managed.
     pub fn gpu_count(&self) -> usize {
-        self.gpus.len()
+        self.gmem.gpu_count()
     }
 
     /// Immutable access to a GPU (tests, reporting).
     pub fn gpu(&self, i: usize) -> &VirtualGpu {
-        &self.gpus[i]
+        self.gmem.gpu(i)
     }
 
-    /// Immutable access to a GPU's cache.
+    /// The [`JobId::DEFAULT`] session's cache region on GPU `i` (legacy
+    /// single-job surface).
     pub fn cache(&self, i: usize) -> &GpuCache {
-        &self.caches[i]
+        &self.sessions[&JobId::DEFAULT].regions[i]
+    }
+
+    /// Whole-worker (hits, misses, evictions) on GPU `gpu`: the sum over
+    /// every open session's region plus regions retired by finished jobs.
+    pub fn cache_stats(&self, gpu: usize) -> (u64, u64, u64) {
+        let (mut h, mut m, mut e) = self.gmem.retired_stats(gpu);
+        for s in self.sessions.values() {
+            let (sh, sm, se) = s.regions[gpu].stats();
+            h += sh;
+            m += sm;
+            e += se;
+        }
+        (h, m, e)
     }
 
     /// Works executed per GPU (load-balance reporting). CPU-fallback works
     /// are not attributed to any GPU.
     pub fn executed_per_gpu(&self) -> &[u64] {
-        &self.executed_per_gpu
+        self.gstream.executed_per_gpu()
     }
 
     /// Number of Alg. 5.2 steals from foreign queues.
     pub fn steals(&self) -> u64 {
-        self.steals
+        self.gstream.steals()
     }
 
     /// Number of injected kernel failures recovered from (random
     /// `failure_rate` plus scripted transients).
     pub fn failures(&self) -> u64 {
-        self.failures
+        self.recovery.failures()
     }
 
     /// Script faults against this manager's devices. Events at instants the
     /// simulation has already passed fire immediately at the next drain.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault_plan = plan;
-        self.fault_cursor = 0;
+        self.recovery.set_fault_plan(plan);
     }
 
-    /// Cumulative fault/recovery counters.
+    /// Worker-global cumulative fault/recovery counters.
     pub fn fault_ledger(&self) -> FaultLedger {
-        self.ledger
+        self.recovery.ledger()
     }
 
-    /// Works the manager gave up on, in failure order.
+    /// Works the [`JobId::DEFAULT`] session gave up on, in failure order.
     pub fn failed(&self) -> &[FailedWork] {
-        &self.failed
+        self.sessions[&JobId::DEFAULT].failed()
     }
 
-    /// Take ownership of the accumulated failures (clears the list).
+    /// Take ownership of the default session's failures (clears the list).
     pub fn take_failed(&mut self) -> Vec<FailedWork> {
-        std::mem::take(&mut self.failed)
+        self.take_job_failed(JobId::DEFAULT)
     }
 
     /// Number of devices still usable (healthy or degraded).
     pub fn usable_gpus(&self) -> usize {
-        (0..self.gpus.len()).filter(|&g| self.usable(g)).count()
+        self.gmem.usable_gpus()
     }
 
-    fn usable(&self, gpu: usize) -> bool {
-        self.gpus[gpu].health().is_usable()
+    // --- sessions -------------------------------------------------------
+
+    /// Open a session for `job`: fresh per-GPU cache regions (§4.2.2) and
+    /// zeroed ledgers. Idempotent — an already-open session is kept.
+    pub fn begin_job(&mut self, job: JobId) {
+        self.sessions
+            .entry(job)
+            .or_insert_with(|| JobSession::new(self.gmem.new_regions()));
     }
 
-    /// Enqueue `work` as submitted at simulated instant `at`. The work runs
-    /// when [`GpuManager::drain`] is called.
-    pub fn submit(&mut self, work: GWork, at: SimTime) {
-        self.pending.push((at, work));
-    }
-
-    /// Release every cached device buffer (job end, §4.2.2) and reset cache
-    /// state. Engine timelines are preserved.
-    pub fn release_job_caches(&mut self) {
-        for (g, cache) in self.caches.iter_mut().enumerate() {
-            for dev in cache.clear() {
-                let _ = self.gpus[g].dmem.release(dev);
-            }
+    /// Close `job`'s session: release its cached device buffers and retire
+    /// its cache statistics into the worker totals. The
+    /// [`JobId::DEFAULT`] session is emptied but never removed.
+    pub fn end_job(&mut self, job: JobId) {
+        if job == JobId::DEFAULT {
+            let session = self.sessions.get_mut(&job).expect("default session");
+            self.gmem.release_regions(&mut session.regions);
+            return;
+        }
+        if let Some(mut session) = self.sessions.remove(&job) {
+            self.gmem.release_regions(&mut session.regions);
+            self.gmem.retire_regions(&session.regions);
         }
     }
 
-    /// Run the event loop until all submitted work has completed or failed;
-    /// returns the completions (unordered across GPUs, deterministic
-    /// overall). Works abandoned after retry exhaustion are recorded in
-    /// [`GpuManager::failed`], not returned here.
+    /// The open session for `job`, if any.
+    pub fn session(&self, job: JobId) -> Option<&JobSession> {
+        self.sessions.get(&job)
+    }
+
+    /// `job`'s cumulative fault/recovery counters (zero if unknown).
+    pub fn job_faults(&self, job: JobId) -> FaultLedger {
+        self.sessions
+            .get(&job)
+            .map(JobSession::faults)
+            .unwrap_or_default()
+    }
+
+    /// `job`'s fault/recovery counters accrued since this was last called
+    /// (zero if unknown). This is the per-drain delta the job report sums.
+    pub fn take_job_fault_delta(&mut self, job: JobId) -> FaultLedger {
+        self.sessions
+            .get_mut(&job)
+            .map(|s| s.ledger.take_delta())
+            .unwrap_or_default()
+    }
+
+    /// Take ownership of `job`'s accumulated failures (clears the list).
+    pub fn take_job_failed(&mut self, job: JobId) -> Vec<FailedWork> {
+        self.sessions
+            .get_mut(&job)
+            .map(|s| std::mem::take(&mut s.failed))
+            .unwrap_or_default()
+    }
+
+    // --- submission & draining ------------------------------------------
+
+    /// Enqueue `work` on the [`JobId::DEFAULT`] session as submitted at
+    /// simulated instant `at`. The work runs when [`GpuManager::drain`] is
+    /// called.
+    pub fn submit(&mut self, work: GWork, at: SimTime) {
+        self.submit_for(JobId::DEFAULT, work, at);
+    }
+
+    /// Enqueue `work` for `job` as submitted at simulated instant `at`,
+    /// opening the session if needed. The work runs at the next drain.
+    pub fn submit_for(&mut self, job: JobId, work: GWork, at: SimTime) {
+        self.begin_job(job);
+        self.sessions
+            .get_mut(&job)
+            .expect("session just ensured")
+            .pending
+            .push((at, work));
+    }
+
+    /// Release every session's cached device buffers (sessions stay open).
+    /// Engine timelines are preserved.
+    pub fn release_job_caches(&mut self) {
+        for session in self.sessions.values_mut() {
+            self.gmem.release_regions(&mut session.regions);
+        }
+    }
+
+    /// Drain the [`JobId::DEFAULT`] session (legacy single-job surface).
     pub fn drain(&mut self) -> Vec<CompletedWork> {
+        self.drain_job(JobId::DEFAULT)
+    }
+
+    /// Run the shared event loop until all submitted work — from *every*
+    /// session; the hardware is shared — has completed or failed; returns
+    /// `job`'s completions (unordered across GPUs, deterministic overall).
+    /// Completions of other sessions are stored and returned by their own
+    /// drains. Works abandoned after retry exhaustion are recorded on
+    /// their session ([`GpuManager::take_job_failed`]), not returned here.
+    pub fn drain_job(&mut self, job: JobId) -> Vec<CompletedWork> {
+        assert!(self.sessions.contains_key(&job), "unknown {job}");
         let mut q: EventQueue<Ev> = EventQueue::new();
         // Wake every live stream at its current busy-until so queued work
         // left from interleaved submissions is always picked up.
-        for g in 0..self.gpus.len() {
-            if !self.usable(g) {
+        for g in 0..self.gmem.gpu_count() {
+            if !self.gmem.usable(g) {
                 continue;
             }
-            for s in 0..self.cfg.streams_per_gpu {
+            for s in 0..self.gstream.streams_per_gpu() {
                 q.schedule(
-                    self.stream_busy_until[g][s],
+                    self.gstream.busy_until(g, s),
                     Ev::StreamFree { gpu: g, stream: s },
                 );
             }
         }
         // Scripted faults not yet delivered enter the queue once.
-        for e in &self.fault_plan.events()[self.fault_cursor..] {
+        for e in self.recovery.take_unscheduled_faults() {
             q.schedule(e.at, Ev::Fault(e.kind));
         }
-        self.fault_cursor = self.fault_plan.events().len();
-        let mut pending = std::mem::take(&mut self.pending);
-        pending.sort_by_key(|(t, _)| *t);
-        for (t, w) in pending {
-            q.schedule(t, Ev::Submit(Box::new((t, 0, w))));
+        // Every session's pending works enter the loop, stably ordered by
+        // submit instant (ties: session id, then submission order).
+        let mut pending: Vec<(JobId, SimTime, GWork)> = Vec::new();
+        for (&j, s) in self.sessions.iter_mut() {
+            pending.extend(s.pending.drain(..).map(|(t, w)| (j, t, w)));
         }
+        pending.sort_by_key(|&(_, t, _)| t);
+        for (j, t, w) in pending {
+            q.schedule(t, Ev::Submit(Box::new((j, t, 0, w))));
+        }
+        let mut eng = Engine {
+            gmem: &mut self.gmem,
+            recovery: &mut self.recovery,
+            sessions: &mut self.sessions,
+            registry: &self.registry,
+            rng: &mut self.rng,
+        };
         while let Some((t, ev)) = q.pop() {
             match ev {
                 Ev::Submit(b) => {
-                    let (submitted, retries, w) = *b;
-                    self.dispatch(w, submitted, retries, t, &mut q);
+                    let (j, submitted, retries, w) = *b;
+                    self.gstream
+                        .dispatch(&mut eng, j, w, submitted, retries, t, &mut q);
                 }
-                Ev::StreamFree { gpu, stream } => self.on_stream_free(gpu, stream, t, &mut q),
-                Ev::KernelStage(id) => self.on_kernel_stage(id, t, &mut q),
-                Ev::D2hStage(id) => self.on_d2h_stage(id, t, &mut q),
-                Ev::Fault(kind) => self.on_fault(kind, t, &mut q),
-                Ev::HangCheck(id) => self.on_hang_check(id, t, &mut q),
+                Ev::StreamFree { gpu, stream } => self
+                    .gstream
+                    .on_stream_free(&mut eng, gpu, stream, t, &mut q),
+                Ev::KernelStage(id) => self.gstream.on_kernel_stage(&mut eng, id, t, &mut q),
+                Ev::D2hStage(id) => self.gstream.on_d2h_stage(&mut eng, id, t, &mut q),
+                Ev::Fault(kind) => self.gstream.on_fault(&mut eng, kind, t, &mut q),
+                Ev::HangCheck(id) => self.gstream.on_hang_check(&mut eng, id, t, &mut q),
             }
         }
-        debug_assert!(
-            self.queues.iter().all(VecDeque::is_empty),
-            "work left queued"
-        );
-        debug_assert!(self.in_flight.is_empty(), "work stuck in flight");
-        std::mem::take(&mut self.completed)
-    }
-
-    /// Alg. 5.1, step 1: the GPU whose cache holds the most of this work's
-    /// cached input bytes (`GID`), or `None` when nothing is resident.
-    /// Lost devices never win: their caches were invalidated at loss.
-    fn locality_gpu(&self, work: &GWork) -> Option<usize> {
-        let keys: Vec<_> = work.inputs.iter().filter_map(|b| b.cache_key).collect();
-        if keys.is_empty() {
-            return None;
-        }
-        let mut best: Option<(usize, u64)> = None;
-        for (g, cache) in self.caches.iter().enumerate() {
-            if !self.usable(g) {
-                continue;
-            }
-            let bytes = cache.resident_bytes(&keys);
-            if bytes > 0 && best.map(|(_, b)| bytes > b).unwrap_or(true) {
-                best = Some((g, bytes));
-            }
-        }
-        best.map(|(g, _)| g)
-    }
-
-    fn idle_streams(&self, gpu: usize, t: SimTime) -> usize {
-        self.stream_busy_until[gpu]
-            .iter()
-            .filter(|&&b| b <= t)
-            .count()
-    }
-
-    fn first_idle_stream(&self, gpu: usize, t: SimTime) -> Option<usize> {
-        self.stream_busy_until[gpu].iter().position(|&b| b <= t)
-    }
-
-    /// The bulk with the most idle streams (ties → lowest GPU index). A
-    /// lost device's streams are pinned busy forever, so it never appears.
-    fn most_idle_bulk(&self, t: SimTime) -> Option<(usize, usize)> {
-        let (mut best_g, mut best_idle) = (0usize, 0usize);
-        for g in 0..self.gpus.len() {
-            let idle = self.idle_streams(g, t);
-            if idle > best_idle {
-                best_g = g;
-                best_idle = idle;
-            }
-        }
-        if best_idle == 0 {
-            None
-        } else {
-            Some((best_g, self.first_idle_stream(best_g, t).unwrap()))
-        }
-    }
-
-    fn dispatch(
-        &mut self,
-        work: GWork,
-        submitted: SimTime,
-        retries: u32,
-        t: SimTime,
-        q: &mut EventQueue<Ev>,
-    ) {
-        if self.usable_gpus() == 0 {
-            self.run_on_cpu_or_fail(work, submitted, retries, t);
-            return;
-        }
-        match self.cfg.scheduling {
-            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal => {
-                let gid = self.locality_gpu(&work);
-                // Algorithm 5.1.
-                let placed = match gid {
-                    Some(g) => match self.first_idle_stream(g, t) {
-                        Some(s) => Some((g, s)),
-                        None => self.most_idle_bulk(t),
-                    },
-                    None => self.most_idle_bulk(t),
-                };
-                match placed {
-                    Some((g, s)) => self.execute(work, submitted, retries, g, s, t, q),
-                    None => {
-                        // Lines 11–18: park in GID's queue, or the least
-                        // loaded usable queue when GID is null.
-                        let qi = match gid.filter(|&g| self.usable(g)) {
-                            Some(g) => g,
-                            None => self
-                                .queues
-                                .iter()
-                                .enumerate()
-                                .filter(|&(i, _)| self.usable(i))
-                                .min_by_key(|(_, queue)| queue.len())
-                                .map(|(i, _)| i)
-                                .unwrap(),
-                        };
-                        self.queues[qi].push_back((submitted, retries, work));
-                    }
-                }
-            }
-            SchedulingPolicy::RoundRobin => {
-                let n = self.gpus.len();
-                let mut g = self.rr_counter % n;
-                self.rr_counter += 1;
-                while !self.usable(g) {
-                    g = (g + 1) % n;
-                }
-                match self.first_idle_stream(g, t) {
-                    Some(s) => self.execute(work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back((submitted, retries, work)),
-                }
-            }
-            SchedulingPolicy::Random { .. } => {
-                let usable: Vec<usize> = (0..self.gpus.len()).filter(|&g| self.usable(g)).collect();
-                let g = usable[self.rng.gen_index(usable.len())];
-                match self.first_idle_stream(g, t) {
-                    Some(s) => self.execute(work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back((submitted, retries, work)),
-                }
-            }
-        }
-    }
-
-    /// Algorithm 5.2: a freed stream pulls from its own GPU's queue first,
-    /// then from the fullest queue.
-    fn on_stream_free(&mut self, gpu: usize, stream: usize, t: SimTime, q: &mut EventQueue<Ev>) {
-        if !self.usable(gpu) || self.stream_busy_until[gpu][stream] > t {
-            // Lost device, or a superseded wake-up: the stream picked up new
-            // work since this event was scheduled.
-            return;
-        }
-        let work = if let Some(w) = self.queues[gpu].pop_front() {
-            Some(w)
-        } else if self.cfg.scheduling.steals() {
-            let victim = self
-                .queues
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, queue)| queue.len())
-                .map(|(i, _)| i)
-                .filter(|&i| !self.queues[i].is_empty());
-            victim.map(|i| {
-                self.steals += 1;
-                self.queues[i].pop_front().unwrap()
-            })
-        } else {
-            None
-        };
-        if let Some((submitted, retries, w)) = work {
-            self.execute(w, submitted, retries, gpu, stream, t, q);
-        }
-    }
-
-    /// Allocate device memory, evicting cache entries under pressure.
-    /// Exhausting both free memory and the evictable cache is a typed
-    /// error, not a panic: the caller sends the work through the retry
-    /// path (a later attempt may find memory released by finished works).
-    fn alloc_with_pressure(
-        &mut self,
-        gpu: usize,
-        logical: u64,
-        actual: usize,
-    ) -> Result<DevBufId, ManagerError> {
-        loop {
-            match self.gpus[gpu].dmem.alloc(logical, actual) {
-                Ok(id) => return Ok(id),
-                Err(DmemError::OutOfMemory { .. }) => match self.caches[gpu].evict_one() {
-                    Some(dev) => {
-                        let _ = self.gpus[gpu].dmem.release(dev);
-                    }
-                    None => {
-                        return Err(ManagerError::OutOfMemory {
-                            gpu,
-                            requested: logical,
-                            free: self.gpus[gpu].dmem.free_bytes(),
-                        })
-                    }
-                },
-                Err(e) => return Err(ManagerError::Device(DeviceError::Mem(e))),
-            }
-        }
-    }
-
-    /// Dispatch one GWork onto (gpu, stream): the stream is occupied until
-    /// the work's D2H completes. Pipeline stages are driven by events so a
-    /// stage's engine reservation is made only when its stream dependency
-    /// resolves — exactly how CUDA feeds its copy/compute engines. Eagerly
-    /// reserving all three stages here would block later H2Ds behind
-    /// not-yet-runnable D2H slots on single-copy-engine devices.
-    #[allow(clippy::too_many_arguments)]
-    fn execute(
-        &mut self,
-        work: GWork,
-        submitted: SimTime,
-        retries: u32,
-        gpu: usize,
-        stream: usize,
-        t: SimTime,
-        q: &mut EventQueue<Ev>,
-    ) {
-        let mut timing = WorkTiming {
-            submitted,
-            started: t,
-            ..WorkTiming::default()
-        };
-        let mut dev_inputs = Vec::with_capacity(work.inputs.len());
-        let mut transient: Vec<DevBufId> = Vec::new();
-        let mut pinned: Vec<crate::gwork::CacheKey> = Vec::new();
-        let mut kernel_earliest = t;
-        let mut failure: Option<ManagerError> = None;
-        // Stage 1: H2D (skipped per-buffer on cache hits). Every cached
-        // buffer this work references is pinned until its D2H completes so
-        // concurrent works cannot evict a live kernel argument.
-        for inbuf in &work.inputs {
-            let cached_dev = inbuf.cache_key.and_then(|key| self.caches[gpu].lookup(key));
-            match cached_dev {
-                Some(dev) => {
-                    timing.cache_hits += 1;
-                    self.caches[gpu].pin(inbuf.cache_key.unwrap());
-                    pinned.push(inbuf.cache_key.unwrap());
-                    dev_inputs.push(dev);
-                }
-                None => {
-                    let dev = match self.alloc_with_pressure(
-                        gpu,
-                        inbuf.logical_bytes,
-                        inbuf.data.len(),
-                    ) {
-                        Ok(dev) => dev,
-                        Err(e) => {
-                            failure = Some(e);
-                            break;
-                        }
-                    };
-                    let r = match self.gpus[gpu].copy_h2d(t, inbuf.logical_bytes, &inbuf.data, dev)
-                    {
-                        Ok(r) => r,
-                        Err(e) => {
-                            transient.push(dev);
-                            failure = Some(ManagerError::Device(e));
-                            break;
-                        }
-                    };
-                    timing.h2d += r.duration();
-                    kernel_earliest = kernel_earliest.max(r.end);
-                    let mut keep = false;
-                    if let Some(key) = inbuf.cache_key {
-                        timing.cache_misses += 1;
-                        let (evicted, may_insert) = self.caches[gpu].make_room(inbuf.logical_bytes);
-                        for d in evicted {
-                            let _ = self.gpus[gpu].dmem.release(d);
-                        }
-                        if may_insert {
-                            if let Some(old) =
-                                self.caches[gpu].insert(key, dev, inbuf.logical_bytes)
-                            {
-                                let _ = self.gpus[gpu].dmem.release(old);
-                            }
-                            self.caches[gpu].pin(key);
-                            pinned.push(key);
-                            keep = true;
-                        }
-                    }
-                    if !keep {
-                        transient.push(dev);
-                    }
-                    dev_inputs.push(dev);
-                }
-            }
-        }
-        // Output allocation (GMemoryManager, automatic).
-        let out_dev = if failure.is_none() {
-            match self.alloc_with_pressure(gpu, work.out_logical_bytes, work.out_actual_bytes) {
-                Ok(dev) => Some(dev),
-                Err(e) => {
-                    failure = Some(e);
-                    None
-                }
-            }
-        } else {
-            None
-        };
-        if let Some(err) = failure {
-            // Unwind the partial placement; the stream was never occupied.
-            self.reclaim(gpu, transient, pinned, None);
-            self.retry_or_fail(work, submitted, retries, t, FailReason::Fatal(err), q);
-            return;
-        }
-        let out_dev = out_dev.expect("checked by failure branch");
-        // Occupy the stream until the final stage completes.
-        self.stream_busy_until[gpu][stream] = SimTime::MAX;
-        let id = self.next_flight;
-        self.next_flight += 1;
-        self.in_flight.insert(
-            id,
-            InFlight {
-                work,
-                retries,
-                timing,
-                gpu,
-                stream,
-                dev_inputs,
-                transient,
-                pinned,
-                out_dev,
-                emitted: None,
-                hung: false,
-            },
-        );
-        q.schedule(kernel_earliest, Ev::KernelStage(id));
-    }
-
-    /// Release a recovered flight's device buffers and cache pins. A `None`
-    /// `out_dev` means the output was never allocated. No-ops harmlessly
-    /// after device loss (handles are dead, pins were cleared).
-    fn reclaim(
-        &mut self,
-        gpu: usize,
-        transient: Vec<DevBufId>,
-        pinned: Vec<crate::gwork::CacheKey>,
-        out_dev: Option<DevBufId>,
-    ) {
-        for d in transient {
-            let _ = self.gpus[gpu].dmem.release(d);
-        }
-        for key in pinned {
-            self.caches[gpu].unpin(key);
-        }
-        if let Some(dev) = out_dev {
-            let _ = self.gpus[gpu].dmem.release(dev);
-        }
-    }
-
-    /// Route a recovered work back through Alg. 5.1 after its policy
-    /// backoff, or give up with a structured [`FailedWork`]. `reason` is
-    /// recorded when the work cannot be retried; a [`FailReason::Fatal`]
-    /// wrapping [`ManagerError::KernelMissing`] is never retried (no later
-    /// attempt can succeed).
-    fn retry_or_fail(
-        &mut self,
-        work: GWork,
-        submitted: SimTime,
-        retries: u32,
-        now: SimTime,
-        reason: FailReason,
-        q: &mut EventQueue<Ev>,
-    ) {
-        if let FailReason::Fatal(ManagerError::KernelMissing { .. }) = reason {
-            self.fail_work(work, submitted, retries, now, reason);
-            return;
-        }
-        let spent = now.saturating_sub(submitted);
-        if self.cfg.retry.allows(retries, spent) {
-            self.ledger.retries += 1;
-            let delay = self.cfg.retry.backoff(retries);
-            let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
-            q.schedule(at, Ev::Submit(Box::new((submitted, retries + 1, work))));
-        } else {
-            let exhausted = if retries >= self.cfg.retry.max_retries {
-                FailReason::RetriesExhausted
-            } else {
-                FailReason::DeadlineExceeded
-            };
-            self.fail_work(work, submitted, retries, now, exhausted);
-        }
-    }
-
-    fn fail_work(
-        &mut self,
-        work: GWork,
-        submitted: SimTime,
-        retries: u32,
-        now: SimTime,
-        reason: FailReason,
-    ) {
-        self.ledger.works_failed += 1;
-        self.failed.push(FailedWork {
-            name: work.name,
-            tag: work.tag,
-            retries,
-            reason,
-            submitted,
-            failed_at: now,
-        });
-    }
-
-    /// Stage 2: the kernel launches once its inputs are device-resident.
-    fn on_kernel_stage(&mut self, id: u64, t: SimTime, q: &mut EventQueue<Ev>) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
-            // The flight was recovered (device loss) before this fired.
-            return;
-        };
-        let kernel = self.registry.lock().get(&fl.work.execute_name);
-        let kernel = match kernel {
-            Some(k) => k,
-            None => {
-                let err = ManagerError::KernelMissing {
-                    name: fl.work.execute_name.clone(),
-                };
-                self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-                self.stream_busy_until[fl.gpu][fl.stream] = t;
-                q.schedule(
-                    t,
-                    Ev::StreamFree {
-                        gpu: fl.gpu,
-                        stream: fl.stream,
-                    },
-                );
-                self.retry_or_fail(
-                    fl.work,
-                    fl.timing.submitted,
-                    fl.retries,
-                    t,
-                    FailReason::Fatal(err),
-                    q,
-                );
-                return;
-            }
-        };
-        let launched = self.gpus[fl.gpu].launch(
-            t,
-            &kernel,
-            &fl.dev_inputs,
-            &[fl.out_dev],
-            &fl.work.params,
-            fl.work.n_actual,
-            fl.work.n_logical,
-            fl.work.coalescing,
-        );
-        let (kres, profile) = match launched {
-            Ok(v) => v,
-            Err(e) => {
-                // The device failed underneath the flight (defensive: loss
-                // recovery normally removes flights first).
-                self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-                self.stream_busy_until[fl.gpu][fl.stream] = t;
-                q.schedule(
-                    t,
-                    Ev::StreamFree {
-                        gpu: fl.gpu,
-                        stream: fl.stream,
-                    },
-                );
-                self.retry_or_fail(
-                    fl.work,
-                    fl.timing.submitted,
-                    fl.retries,
-                    t,
-                    FailReason::Fatal(ManagerError::Device(e)),
-                    q,
-                );
-                return;
-            }
-        };
-        fl.timing.kernel = kres.duration();
-        fl.emitted = profile.emitted;
-        let end = kres.end;
-        // Scripted hang: the kernel never completes; the stream stays
-        // occupied until the watchdog recovers the work.
-        if self.pending_hang[fl.gpu] > 0 {
-            self.pending_hang[fl.gpu] -= 1;
-            fl.hung = true;
-            let deadline = SimTime::from_nanos(
-                t.as_nanos()
-                    .saturating_add(self.cfg.hang_timeout.as_nanos()),
-            );
-            self.in_flight.insert(id, fl);
-            q.schedule(deadline, Ev::HangCheck(id));
-            return;
-        }
-        // Transient fault injection: scripted, or random at `failure_rate`
-        // (ECC error, lost context, a preempted device). Failure is
-        // detected at kernel completion; the GPUManager reclaims the
-        // buffers and reschedules the work after backoff.
-        let scripted = if self.pending_transient[fl.gpu] > 0 {
-            self.pending_transient[fl.gpu] -= 1;
-            true
-        } else {
-            false
-        };
-        if scripted || (self.cfg.failure_rate > 0.0 && self.rng.next_f64() < self.cfg.failure_rate)
-        {
-            self.failures += 1;
-            self.ledger.transient_faults += 1;
-            self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-            // The stream frees at the (wasted) kernel end; the work goes
-            // back through Alg. 5.1 for a fresh placement after backoff.
-            self.stream_busy_until[fl.gpu][fl.stream] = end;
-            q.schedule(
-                end,
-                Ev::StreamFree {
-                    gpu: fl.gpu,
-                    stream: fl.stream,
-                },
-            );
-            self.retry_or_fail(
-                fl.work,
-                fl.timing.submitted,
-                fl.retries,
-                end.max(t),
-                FailReason::RetriesExhausted,
-                q,
-            );
-            return;
-        }
-        self.in_flight.insert(id, fl);
-        q.schedule(end, Ev::D2hStage(id));
-    }
-
-    /// Stage 3: results travel back; the stream frees at the copy's end.
-    fn on_d2h_stage(&mut self, id: u64, t: SimTime, q: &mut EventQueue<Ev>) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
-            // The flight was recovered (device loss) before this fired.
-            return;
-        };
-        // Variable-output kernels transfer only the emitted fraction of the
-        // declared capacity.
-        let d2h_logical = match fl.emitted {
-            Some(e) => {
-                (fl.work.out_logical_bytes as u128 * e as u128 / fl.work.out_records.max(1) as u128)
-                    as u64
-            }
-            None => fl.work.out_logical_bytes,
-        };
-        let mut out_host = HBuffer::zeroed(fl.work.out_actual_bytes);
-        let rd2h = match self.gpus[fl.gpu].copy_d2h(t, d2h_logical, fl.out_dev, &mut out_host) {
-            Ok(r) => r,
-            Err(e) => {
-                // Defensive: loss recovery removes flights before this can
-                // fire, but a failed readback still routes through retry.
-                self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-                self.stream_busy_until[fl.gpu][fl.stream] = t;
-                q.schedule(
-                    t,
-                    Ev::StreamFree {
-                        gpu: fl.gpu,
-                        stream: fl.stream,
-                    },
-                );
-                self.retry_or_fail(
-                    fl.work,
-                    fl.timing.submitted,
-                    fl.retries,
-                    t,
-                    FailReason::Fatal(ManagerError::Device(e)),
-                    q,
-                );
-                return;
-            }
-        };
-        fl.timing.d2h = rd2h.duration();
-        fl.timing.completed = rd2h.end;
-        // Automatic deallocation of transient buffers (§4.2.1) and
-        // unpinning of the cached inputs.
-        self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-        self.stream_busy_until[fl.gpu][fl.stream] = rd2h.end;
-        self.executed_per_gpu[fl.gpu] += 1;
-        q.schedule(
-            rd2h.end,
-            Ev::StreamFree {
-                gpu: fl.gpu,
-                stream: fl.stream,
-            },
-        );
-        self.completed.push(CompletedWork {
-            name: fl.work.name,
-            tag: fl.work.tag,
-            gpu: fl.gpu,
-            stream: fl.stream,
-            output: out_host,
-            emitted: fl.emitted,
-            timing: fl.timing,
-        });
-    }
-
-    /// A scripted fault fires.
-    fn on_fault(&mut self, kind: FaultKind, t: SimTime, q: &mut EventQueue<Ev>) {
-        self.ledger.faults_injected += 1;
-        let gpu = kind.gpu();
-        assert!(gpu < self.gpus.len(), "fault targets unknown device {gpu}");
-        match kind {
-            FaultKind::GpuLost { .. } => {
-                if self.gpus[gpu].health().is_lost() {
-                    return; // already gone; nothing more to lose
-                }
-                self.ledger.gpus_lost += 1;
-                self.gpus[gpu].mark_lost();
-                self.ledger.cache_invalidations += self.caches[gpu].invalidate_all() as u64;
-                // Blacklist: the device's streams never come free again.
-                for s in 0..self.cfg.streams_per_gpu {
-                    self.stream_busy_until[gpu][s] = SimTime::MAX;
-                }
-                // Recover in-flight works. Sorted ids keep event order (and
-                // thus the timeline) independent of HashMap iteration order.
-                let mut ids: Vec<u64> = self
-                    .in_flight
-                    .iter()
-                    .filter(|(_, fl)| fl.gpu == gpu)
-                    .map(|(&id, _)| id)
-                    .collect();
-                ids.sort_unstable();
-                for id in ids {
-                    let fl = self.in_flight.remove(&id).expect("id collected above");
-                    // Device buffers died with the device; nothing to
-                    // reclaim. Loss is not the work's fault: it re-enters
-                    // scheduling immediately and keeps its retry budget.
-                    self.ledger.retries += 1;
-                    q.schedule(
-                        t,
-                        Ev::Submit(Box::new((fl.timing.submitted, fl.retries, fl.work))),
-                    );
-                }
-                // Drain the dead device's queue onto the survivors.
-                let queued: Vec<_> = self.queues[gpu].drain(..).collect();
-                self.ledger.steals_on_drain += queued.len() as u64;
-                for (submitted, retries, w) in queued {
-                    q.schedule(t, Ev::Submit(Box::new((submitted, retries, w))));
-                }
-            }
-            FaultKind::GpuDegraded { throughput, .. } => {
-                if self.gpus[gpu].health().is_lost() {
-                    return;
-                }
-                self.ledger.gpus_degraded += 1;
-                self.gpus[gpu].degrade(throughput);
-            }
-            FaultKind::KernelTransient { .. } => {
-                self.pending_transient[gpu] += 1;
-            }
-            FaultKind::KernelHang { .. } => {
-                self.pending_hang[gpu] += 1;
-            }
-        }
-    }
-
-    /// The watchdog fires `hang_timeout` after a launch; a flight still
-    /// wedged in its kernel is recovered and retried.
-    fn on_hang_check(&mut self, id: u64, t: SimTime, q: &mut EventQueue<Ev>) {
-        let hung = self.in_flight.get(&id).map(|fl| fl.hung).unwrap_or(false);
-        if !hung {
-            // Completed normally, or already recovered by device loss.
-            return;
-        }
-        let fl = self.in_flight.remove(&id).expect("checked above");
-        self.ledger.hangs_detected += 1;
-        self.reclaim(fl.gpu, fl.transient, fl.pinned, Some(fl.out_dev));
-        self.stream_busy_until[fl.gpu][fl.stream] = t;
-        q.schedule(
-            t,
-            Ev::StreamFree {
-                gpu: fl.gpu,
-                stream: fl.stream,
-            },
-        );
-        self.retry_or_fail(
-            fl.work,
-            fl.timing.submitted,
-            fl.retries,
-            t,
-            FailReason::RetriesExhausted,
-            q,
-        );
-    }
-
-    /// Last-resort execution on the host CPU: every GPU is lost. The kernel
-    /// really runs over the host buffers; time comes from the CPU roofline
-    /// model over a bounded slot pool. No H2D/D2H is charged — the data
-    /// never leaves host memory.
-    fn run_on_cpu_or_fail(&mut self, work: GWork, submitted: SimTime, retries: u32, t: SimTime) {
-        if !self.cfg.cpu_fallback.enabled {
-            self.fail_work(work, submitted, retries, t, FailReason::NoUsableDevice);
-            return;
-        }
-        let kernel = self.registry.lock().get(&work.execute_name);
-        let Some(kernel) = kernel else {
-            let err = ManagerError::KernelMissing {
-                name: work.execute_name.clone(),
-            };
-            self.fail_work(work, submitted, retries, t, FailReason::Fatal(err));
-            return;
-        };
-        let mut out_host = HBuffer::zeroed(work.out_actual_bytes);
-        let profile = {
-            let inputs: Vec<&HBuffer> = work.inputs.iter().map(|b| b.data.as_ref()).collect();
-            let mut args = KernelArgs {
-                inputs,
-                outputs: vec![&mut out_host],
-                params: &work.params,
-                n_actual: work.n_actual,
-                n_logical: work.n_logical,
-            };
-            kernel(&mut args)
-        };
-        let dur = self
-            .cfg
-            .cpu_fallback
-            .cost
-            .time_for(profile.flops, profile.bytes, 1.0);
-        let (slot, r) = self.cpu_slots.reserve(t, dur);
-        self.ledger.cpu_fallbacks += 1;
-        self.completed.push(CompletedWork {
-            name: work.name,
-            tag: work.tag,
-            gpu: CPU_FALLBACK_GPU,
-            stream: slot,
-            output: out_host,
-            emitted: profile.emitted,
-            timing: WorkTiming {
-                submitted,
-                started: r.start,
-                h2d: SimTime::ZERO,
-                kernel: r.duration(),
-                d2h: SimTime::ZERO,
-                completed: r.end,
-                cache_hits: 0,
-                cache_misses: 0,
-            },
-        });
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::gwork::{CacheKey, WorkBuf};
-    use gflink_gpu::KernelProfile;
-
-    fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
-        let mut reg = KernelRegistry::new();
-        reg.register("scale2", |args: &mut KernelArgs<'_>| {
-            let n = args.n_actual;
-            let input = args.inputs[0];
-            let out = &mut args.outputs[0];
-            for i in 0..n {
-                out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
-            }
-            KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
-        });
-        Arc::new(Mutex::new(reg))
-    }
-
-    fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
-        let data = Arc::new(HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]));
-        let key = CacheKey {
-            dataset: 1,
-            partition: tag.0,
-            block: tag.1,
-        };
-        GWork {
-            name: format!("w{}-{}", tag.0, tag.1),
-            execute_name: "scale2".into(),
-            ptx_path: "/scale2.ptx".into(),
-            block_size: 256,
-            grid_size: 1,
-            inputs: vec![if cache {
-                WorkBuf::cached(data, logical, key)
-            } else {
-                WorkBuf::transient(data, logical)
-            }],
-            out_actual_bytes: 16,
-            out_logical_bytes: logical,
-            out_records: 4,
-            params: vec![],
-            n_actual: 4,
-            n_logical: logical / 4,
-            coalescing: 1.0,
-            tag,
-        }
-    }
-
-    fn manager(models: Vec<GpuModel>, policy: SchedulingPolicy) -> GpuManager {
-        GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models,
-                scheduling: policy,
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
+        debug_assert!(self.gstream.is_idle(), "work left queued or in flight");
+        std::mem::take(
+            &mut self
+                .sessions
+                .get_mut(&job)
+                .expect("checked above")
+                .completed,
         )
-    }
-
-    #[test]
-    fn executes_work_and_returns_real_results() {
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
-        let done = m.drain();
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
-        assert!(done[0].timing.h2d > SimTime::ZERO);
-        assert!(done[0].timing.kernel > SimTime::ZERO);
-        assert!(done[0].timing.d2h > SimTime::ZERO);
-        assert!(done[0].timing.completed > SimTime::ZERO);
-    }
-
-    #[test]
-    fn cache_hit_skips_h2d_on_second_round() {
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        m.submit(mk_work((0, 0), 1 << 24, true), SimTime::ZERO);
-        let first = m.drain().pop().unwrap();
-        assert_eq!(first.timing.cache_misses, 1);
-        assert!(first.timing.h2d > SimTime::ZERO);
-        // Same block again (next iteration).
-        m.submit(mk_work((0, 0), 1 << 24, true), first.timing.completed);
-        let second = m.drain().pop().unwrap();
-        assert_eq!(second.timing.cache_hits, 1);
-        assert_eq!(second.timing.h2d, SimTime::ZERO);
-        assert!(second.timing.total() < first.timing.total());
-    }
-
-    #[test]
-    fn locality_routes_to_caching_gpu() {
-        let mut m = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-            SchedulingPolicy::LocalityAware,
-        );
-        // Warm block (0,0) somewhere.
-        m.submit(mk_work((0, 0), 1 << 20, true), SimTime::ZERO);
-        let first = m.drain().pop().unwrap();
-        let warm_gpu = first.gpu;
-        // Resubmit 8 times; all should land on the warm GPU.
-        for i in 0..8 {
-            m.submit(
-                mk_work((0, 0), 1 << 20, true),
-                first.timing.completed + SimTime::from_millis(i * 10),
-            );
-        }
-        for done in m.drain() {
-            assert_eq!(done.gpu, warm_gpu, "locality-aware must follow the cache");
-            assert_eq!(done.timing.cache_hits, 1);
-        }
-    }
-
-    #[test]
-    fn round_robin_alternates_gpus() {
-        let mut m = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-            SchedulingPolicy::RoundRobin,
-        );
-        for i in 0..6 {
-            m.submit(mk_work((0, i), 1 << 20, false), SimTime::ZERO);
-        }
-        m.drain();
-        assert_eq!(m.executed_per_gpu(), &[3, 3]);
-    }
-
-    #[test]
-    fn heterogeneous_bulk_load_balances_by_stealing() {
-        // One slow C2050 and one fast P100; with far more works than
-        // streams, the P100 must end up executing more of them.
-        let mut m = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
-            SchedulingPolicy::LocalityAware,
-        );
-        for i in 0..64 {
-            m.submit(mk_work((0, i), 1 << 26, false), SimTime::ZERO);
-        }
-        let done = m.drain();
-        assert_eq!(done.len(), 64);
-        let per = m.executed_per_gpu();
-        assert!(
-            per[1] > per[0],
-            "P100 should execute more work than C2050, got {per:?}"
-        );
-    }
-
-    #[test]
-    fn queue_drains_even_when_all_streams_start_busy() {
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        // 4 streams; 12 works at the same instant: 8 must queue and still run.
-        for i in 0..12 {
-            m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
-        }
-        let done = m.drain();
-        assert_eq!(done.len(), 12);
-        // Works queue, so some have nonzero queueing delay.
-        assert!(done.iter().any(|d| d.timing.queued() > SimTime::ZERO));
-    }
-
-    #[test]
-    fn no_steal_policy_keeps_foreign_queues() {
-        let mut with = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
-            SchedulingPolicy::LocalityAware,
-        );
-        let mut without = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaP100],
-            SchedulingPolicy::LocalityNoSteal,
-        );
-        for m in [&mut with, &mut without] {
-            for i in 0..64 {
-                m.submit(mk_work((0, i), 1 << 26, false), SimTime::ZERO);
-            }
-            m.drain();
-        }
-        assert!(with.steals() > 0);
-        assert_eq!(without.steals(), 0);
-    }
-
-    #[test]
-    fn release_job_caches_frees_device_memory() {
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        m.submit(mk_work((0, 0), 1 << 24, true), SimTime::ZERO);
-        m.drain();
-        assert!(m.cache(0).used() > 0);
-        let used_before = m.gpu(0).dmem.used();
-        assert!(used_before > 0);
-        m.release_job_caches();
-        assert_eq!(m.cache(0).used(), 0);
-        assert_eq!(m.gpu(0).dmem.used(), 0);
-    }
-
-    #[test]
-    fn injected_failures_recover_with_correct_results() {
-        let mut m = GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-                failure_rate: 0.3,
-                retry: RetryPolicy {
-                    max_retries: 20,
-                    ..RetryPolicy::default()
-                },
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
-        );
-        for i in 0..32 {
-            m.submit(mk_work((0, i), 1 << 20, false), SimTime::ZERO);
-        }
-        let done = m.drain();
-        assert_eq!(done.len(), 32, "every work must complete despite failures");
-        assert!(m.failures() > 0, "failure injection should have fired");
-        assert_eq!(m.fault_ledger().transient_faults, m.failures());
-        assert!(m.fault_ledger().retries >= m.failures());
-        for d in &done {
-            assert_eq!(d.output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
-        }
-        // No leaked device memory or pinned cache entries.
-        for g in 0..m.gpu_count() {
-            assert_eq!(m.gpu(g).dmem.used(), 0);
-        }
-    }
-
-    #[test]
-    fn failures_cost_time_but_not_correctness() {
-        let run = |rate: f64| {
-            let mut m = GpuManager::new(
-                0,
-                GpuWorkerConfig {
-                    models: vec![GpuModel::TeslaC2050],
-                    failure_rate: rate,
-                    retry: RetryPolicy {
-                        max_retries: 50,
-                        ..RetryPolicy::default()
-                    },
-                    ..GpuWorkerConfig::default()
-                },
-                registry_with_scale2(),
-            );
-            for i in 0..16 {
-                m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
-            }
-            m.drain().iter().map(|d| d.timing.completed).max().unwrap()
-        };
-        assert!(run(0.4) > run(0.0), "failures must lengthen the makespan");
-    }
-
-    #[test]
-    fn drain_is_deterministic() {
-        let run = || {
-            let mut m = manager(
-                vec![GpuModel::TeslaC2050, GpuModel::TeslaK20],
-                SchedulingPolicy::LocalityAware,
-            );
-            for i in 0..32 {
-                m.submit(mk_work((i % 4, i), 1 << 22, i % 2 == 0), SimTime::ZERO);
-            }
-            let mut done = m.drain();
-            done.sort_by_key(|d| d.tag);
-            done.iter()
-                .map(|d| (d.tag, d.gpu, d.timing.completed))
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(), run());
-    }
-
-    // ------------------------------------------------------------------
-    // Fault-injection & recovery
-    // ------------------------------------------------------------------
-
-    #[test]
-    fn device_loss_drains_to_survivor_with_correct_results() {
-        let fault_free = {
-            let mut m = manager(
-                vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-                SchedulingPolicy::LocalityAware,
-            );
-            for i in 0..24 {
-                m.submit(mk_work((0, i), 1 << 24, true), SimTime::ZERO);
-            }
-            let mut done = m.drain();
-            done.sort_by_key(|d| d.tag);
-            done
-        };
-        let mut m = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-            SchedulingPolicy::LocalityAware,
-        );
-        // Kill GPU 0 mid-job: some works are in flight, some queued.
-        m.set_fault_plan(
-            FaultPlan::new().with(SimTime::from_millis(5), FaultKind::GpuLost { gpu: 0 }),
-        );
-        for i in 0..24 {
-            m.submit(mk_work((0, i), 1 << 24, true), SimTime::ZERO);
-        }
-        let mut done = m.drain();
-        done.sort_by_key(|d| d.tag);
-        assert_eq!(done.len(), 24, "every work must complete despite the loss");
-        for (a, b) in done.iter().zip(&fault_free) {
-            assert_eq!(a.tag, b.tag);
-            assert_eq!(
-                a.output.as_slice(),
-                b.output.as_slice(),
-                "results must be byte-identical to the fault-free run"
-            );
-            assert_eq!(a.gpu, 1, "all completions must come from the survivor");
-        }
-        let ledger = m.fault_ledger();
-        assert_eq!(ledger.gpus_lost, 1);
-        assert!(m.gpu(0).health().is_lost());
-        assert!(
-            m.cache(0).is_empty(),
-            "lost GPU's cache must be invalidated"
-        );
-        assert!(m.failed().is_empty());
-        assert_eq!(m.gpu(0).dmem.used(), 0, "lost device memory is wiped");
-    }
-
-    #[test]
-    fn losing_every_gpu_falls_back_to_cpu() {
-        let mut m = manager(
-            vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-            SchedulingPolicy::LocalityAware,
-        );
-        m.set_fault_plan(
-            FaultPlan::new()
-                .with(SimTime::ZERO, FaultKind::GpuLost { gpu: 0 })
-                .with(SimTime::ZERO, FaultKind::GpuLost { gpu: 1 }),
-        );
-        for i in 0..8 {
-            m.submit(mk_work((0, i), 1 << 20, false), SimTime::ZERO);
-        }
-        let done = m.drain();
-        assert_eq!(done.len(), 8, "CPU fallback must complete the job");
-        for d in &done {
-            assert_eq!(d.gpu, CPU_FALLBACK_GPU);
-            assert_eq!(d.output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
-            assert_eq!(d.timing.h2d, SimTime::ZERO);
-            assert_eq!(d.timing.d2h, SimTime::ZERO);
-            assert!(d.timing.kernel > SimTime::ZERO);
-        }
-        let ledger = m.fault_ledger();
-        assert_eq!(ledger.gpus_lost, 2);
-        assert_eq!(ledger.cpu_fallbacks, 8);
-        assert!(m.failed().is_empty());
-    }
-
-    #[test]
-    fn losing_every_gpu_without_fallback_fails_structurally() {
-        let mut m = GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models: vec![GpuModel::TeslaC2050],
-                cpu_fallback: CpuFallback {
-                    enabled: false,
-                    ..CpuFallback::default()
-                },
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
-        );
-        m.set_fault_plan(FaultPlan::new().with(SimTime::ZERO, FaultKind::GpuLost { gpu: 0 }));
-        for i in 0..4 {
-            m.submit(mk_work((0, i), 1 << 20, false), SimTime::from_millis(1));
-        }
-        let done = m.drain();
-        assert!(done.is_empty());
-        assert_eq!(m.failed().len(), 4);
-        for f in m.failed() {
-            assert_eq!(f.reason, FailReason::NoUsableDevice);
-            assert!(f.failed_at >= f.submitted);
-        }
-        assert_eq!(m.fault_ledger().works_failed, 4);
-    }
-
-    #[test]
-    fn degradation_slows_the_job_down() {
-        let run = |plan: FaultPlan| {
-            let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-            m.set_fault_plan(plan);
-            for i in 0..16 {
-                m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
-            }
-            let done = m.drain();
-            assert_eq!(done.len(), 16);
-            done.iter().map(|d| d.timing.completed).max().unwrap()
-        };
-        let nominal = run(FaultPlan::new());
-        let degraded = run(FaultPlan::new().with(
-            SimTime::ZERO,
-            FaultKind::GpuDegraded {
-                gpu: 0,
-                throughput: 0.25,
-            },
-        ));
-        assert!(degraded > nominal, "a throttled device must take longer");
-    }
-
-    #[test]
-    fn hang_is_detected_and_work_retried() {
-        let mut m = GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models: vec![GpuModel::TeslaC2050],
-                hang_timeout: SimTime::from_millis(50),
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
-        );
-        m.set_fault_plan(FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelHang { gpu: 0 }));
-        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
-        let done = m.drain();
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
-        // The retry could only start after the watchdog fired.
-        assert!(done[0].timing.completed > SimTime::from_millis(50));
-        let ledger = m.fault_ledger();
-        assert_eq!(ledger.hangs_detected, 1);
-        assert!(ledger.retries >= 1);
-        assert_eq!(m.gpu(0).dmem.used(), 0);
-    }
-
-    #[test]
-    fn scripted_transient_fault_is_recovered() {
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        m.set_fault_plan(
-            FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelTransient { gpu: 0 }),
-        );
-        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
-        let done = m.drain();
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
-        assert_eq!(m.fault_ledger().transient_faults, 1);
-        assert_eq!(m.failures(), 1);
-    }
-
-    #[test]
-    fn retry_exhaustion_produces_structured_failure() {
-        // failure_rate 1.0: every launch fails; the retry budget must run
-        // out and yield FailedWork rather than a panic.
-        let mut m = GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models: vec![GpuModel::TeslaC2050],
-                failure_rate: 1.0,
-                retry: RetryPolicy {
-                    base: SimTime::from_micros(10),
-                    factor: 2,
-                    max_retries: 3,
-                    deadline: SimTime::MAX,
-                },
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
-        );
-        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
-        let done = m.drain();
-        assert!(done.is_empty());
-        assert_eq!(m.failed().len(), 1);
-        let f = &m.failed()[0];
-        assert_eq!(f.reason, FailReason::RetriesExhausted);
-        assert_eq!(f.retries, 3);
-        assert!(
-            f.failed_at > f.submitted,
-            "failure instants participate in makespan"
-        );
-        assert_eq!(m.fault_ledger().works_failed, 1);
-        assert_eq!(m.fault_ledger().retries, 3);
-        // Nothing leaked on the way out.
-        assert_eq!(m.gpu(0).dmem.used(), 0);
-    }
-
-    #[test]
-    fn completions_and_failures_partition_submissions() {
-        // Half the works name a kernel that exists, half one that doesn't:
-        // completed + failed must account for every submission exactly.
-        let mut m = manager(vec![GpuModel::TeslaC2050], SchedulingPolicy::LocalityAware);
-        for i in 0..10 {
-            let mut w = mk_work((0, i), 1 << 20, false);
-            if i % 2 == 1 {
-                w.execute_name = "no-such-kernel".into();
-            }
-            m.submit(w, SimTime::ZERO);
-        }
-        let done = m.drain();
-        assert_eq!(done.len(), 5);
-        assert_eq!(m.failed().len(), 5);
-        for f in m.failed() {
-            assert!(matches!(
-                f.reason,
-                FailReason::Fatal(ManagerError::KernelMissing { .. })
-            ));
-            assert_eq!(f.retries, 0, "a missing kernel is never retried");
-        }
-        assert_eq!(m.gpu(0).dmem.used(), 0);
-        assert_eq!(m.take_failed().len(), 5);
-        assert!(m.failed().is_empty());
-    }
-
-    #[test]
-    fn retry_backoff_defers_resubmission() {
-        // One scripted transient with a long backoff: the completion must
-        // land at least `base` after the faulted kernel finished.
-        let base = SimTime::from_millis(20);
-        let mut m = GpuManager::new(
-            0,
-            GpuWorkerConfig {
-                models: vec![GpuModel::TeslaC2050],
-                retry: RetryPolicy {
-                    base,
-                    factor: 2,
-                    max_retries: 4,
-                    deadline: SimTime::MAX,
-                },
-                ..GpuWorkerConfig::default()
-            },
-            registry_with_scale2(),
-        );
-        m.set_fault_plan(
-            FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelTransient { gpu: 0 }),
-        );
-        m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
-        let done = m.drain();
-        assert_eq!(done.len(), 1);
-        assert!(
-            done[0].timing.completed >= base,
-            "retry must wait out the backoff, completed at {}",
-            done[0].timing.completed
-        );
-    }
-
-    #[test]
-    fn chaos_drain_is_deterministic_per_seed() {
-        let run = |seed: u64| {
-            let mut m = GpuManager::new(
-                0,
-                GpuWorkerConfig {
-                    models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-                    hang_timeout: SimTime::from_millis(50),
-                    ..GpuWorkerConfig::default()
-                },
-                registry_with_scale2(),
-            );
-            m.set_fault_plan(FaultPlan::random(seed, 2, SimTime::from_millis(100), 8));
-            for i in 0..24 {
-                m.submit(mk_work((0, i), 1 << 22, i % 2 == 0), SimTime::ZERO);
-            }
-            let mut done = m.drain();
-            done.sort_by_key(|d| d.tag);
-            (
-                done.iter()
-                    .map(|d| (d.tag, d.gpu, d.timing.completed))
-                    .collect::<Vec<_>>(),
-                m.fault_ledger(),
-            )
-        };
-        assert_eq!(run(11), run(11), "same seed, same timeline and ledger");
     }
 }

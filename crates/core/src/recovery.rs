@@ -1,0 +1,439 @@
+#![warn(clippy::too_many_lines)]
+
+//! The recovery half of the GPUManager: typed failure taxonomy, the fault
+//! plan/arming machinery, retry-with-backoff routing, the CPU fallback
+//! path, and the fault ledgers.
+//!
+//! Fault/recovery counters are **double-entry**: every event is tallied on
+//! the owning job's session ledger *and* mirrored into the worker-global
+//! ledger. Work-scoped events (retries, transients, hangs, failures, CPU
+//! fallbacks) charge the job that owned the work; device-scoped events
+//! (injections, loss, degradation) charge every open session — a dead
+//! device is every tenant's problem.
+
+use crate::gwork::{CompletedWork, GWork, WorkTiming};
+use crate::session::{JobId, JobSession};
+use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{
+    ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MultiTimeline, RetryPolicy,
+    SimTime,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::gstream::Ev;
+
+/// `CompletedWork::gpu` marker for works executed on the host CPU because
+/// no usable GPU remained.
+pub const CPU_FALLBACK_GPU: usize = usize::MAX;
+
+/// An error inside the GPU manager's execution paths.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManagerError {
+    /// A work's buffers cannot fit on the device even after evicting the
+    /// entire (unpinned) cache region.
+    OutOfMemory {
+        /// Device that ran out.
+        gpu: usize,
+        /// Logical bytes the allocation wanted.
+        requested: u64,
+        /// Logical bytes that were free.
+        free: u64,
+    },
+    /// The work names a kernel the registry does not know.
+    KernelMissing {
+        /// The unresolved `executeName`.
+        name: String,
+    },
+    /// A device operation failed underneath the manager.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagerError::OutOfMemory {
+                gpu,
+                requested,
+                free,
+            } => write!(
+                f,
+                "device {gpu} out of memory: requested {requested} logical bytes with {free} free \
+                 and an empty cache"
+            ),
+            ManagerError::KernelMissing { name } => write!(f, "kernel {name:?} not registered"),
+            ManagerError::Device(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManagerError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for ManagerError {
+    fn from(e: DeviceError) -> Self {
+        ManagerError::Device(e)
+    }
+}
+
+/// Why a [`FailedWork`] was abandoned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailReason {
+    /// The retry budget ([`RetryPolicy::max_retries`]) ran out.
+    RetriesExhausted,
+    /// The retry deadline ([`RetryPolicy::deadline`]) passed.
+    DeadlineExceeded,
+    /// Every GPU is lost and CPU fallback is disabled.
+    NoUsableDevice,
+    /// A non-retryable error (e.g. an unregistered kernel).
+    Fatal(ManagerError),
+}
+
+/// A `GWork` the manager gave up on: the structured counterpart of
+/// [`CompletedWork`]. Completions and failures partition the submitted
+/// works exactly — nothing is silently dropped.
+#[derive(Clone, Debug)]
+pub struct FailedWork {
+    /// The originating work's name.
+    pub name: String,
+    /// The originating work's tag (partition, block).
+    pub tag: (u32, u32),
+    /// How many times the work was retried before being abandoned.
+    pub retries: u32,
+    /// Why it was abandoned.
+    pub reason: FailReason,
+    /// When the work was first submitted.
+    pub submitted: SimTime,
+    /// When the manager gave up. Failure instants participate in makespan
+    /// accounting the same way completion instants do.
+    pub failed_at: SimTime,
+}
+
+/// CPU execution path used when no usable GPU remains.
+#[derive(Clone, Debug)]
+pub struct CpuFallback {
+    /// Whether the fallback is allowed. When `false`, losing every GPU
+    /// fails the remaining works with [`FailReason::NoUsableDevice`].
+    pub enabled: bool,
+    /// Concurrent host execution slots (task-slot pool).
+    pub slots: usize,
+    /// Roofline cost model for host kernel execution.
+    pub cost: ComputeCost,
+}
+
+impl Default for CpuFallback {
+    fn default() -> Self {
+        CpuFallback {
+            enabled: true,
+            slots: 8,
+            // A conservative host: ~50 GFLOP/s, ~20 GB/s sustained — roughly
+            // 20× slower than the C2050 the paper's workers carry.
+            cost: ComputeCost::new(SimTime::from_micros(5), 50e9, 20e9),
+        }
+    }
+}
+
+/// The recovery half of the per-worker GPU manager.
+pub struct RecoveryManager {
+    retry: RetryPolicy,
+    hang_timeout: SimTime,
+    failure_rate: f64,
+    cpu_fallback: CpuFallback,
+    fault_plan: FaultPlan,
+    /// Index of the first `fault_plan` event not yet scheduled into a drain.
+    fault_cursor: usize,
+    /// Scripted transient faults armed per GPU (consumed by next launches).
+    pending_transient: Vec<u32>,
+    /// Scripted hangs armed per GPU (consumed by next launches).
+    pending_hang: Vec<u32>,
+    /// Worker-global ledger: the sum over every session's ledger for
+    /// work-scoped counters, single-entry for device-scoped ones.
+    ledger: FaultLedger,
+    failures: u64,
+    cpu_slots: MultiTimeline,
+}
+
+impl RecoveryManager {
+    pub(crate) fn new(
+        n_gpus: usize,
+        retry: RetryPolicy,
+        hang_timeout: SimTime,
+        failure_rate: f64,
+        cpu_fallback: CpuFallback,
+    ) -> Self {
+        let cpu_slots = MultiTimeline::new(cpu_fallback.slots.max(1));
+        RecoveryManager {
+            retry,
+            hang_timeout,
+            failure_rate,
+            cpu_fallback,
+            fault_plan: FaultPlan::new(),
+            fault_cursor: 0,
+            pending_transient: vec![0; n_gpus],
+            pending_hang: vec![0; n_gpus],
+            ledger: FaultLedger::default(),
+            failures: 0,
+            cpu_slots,
+        }
+    }
+
+    pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+        self.fault_cursor = 0;
+    }
+
+    /// Scripted faults not yet delivered into any drain; advances the
+    /// cursor so each fault enters an event queue exactly once.
+    pub(crate) fn take_unscheduled_faults(&mut self) -> Vec<FaultEvent> {
+        let evs = self.fault_plan.events()[self.fault_cursor..].to_vec();
+        self.fault_cursor = self.fault_plan.events().len();
+        evs
+    }
+
+    /// Worker-global cumulative fault/recovery counters.
+    pub fn ledger(&self) -> FaultLedger {
+        self.ledger
+    }
+
+    /// Injected kernel failures recovered from (random `failure_rate` plus
+    /// scripted transients).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Watchdog timeout for hung kernels.
+    pub fn hang_timeout(&self) -> SimTime {
+        self.hang_timeout
+    }
+
+    /// Arm one scripted transient kernel fault on `gpu`.
+    pub(crate) fn arm_transient(&mut self, gpu: usize) {
+        self.pending_transient[gpu] += 1;
+    }
+
+    /// Arm one scripted kernel hang on `gpu`.
+    pub(crate) fn arm_hang(&mut self, gpu: usize) {
+        self.pending_hang[gpu] += 1;
+    }
+
+    /// Consume one armed transient fault on `gpu`, if any.
+    pub(crate) fn take_transient(&mut self, gpu: usize) -> bool {
+        if self.pending_transient[gpu] > 0 {
+            self.pending_transient[gpu] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume one armed hang on `gpu`, if any.
+    pub(crate) fn take_hang(&mut self, gpu: usize) -> bool {
+        if self.pending_hang[gpu] > 0 {
+            self.pending_hang[gpu] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Random transient injection at `failure_rate`. Callers must evaluate
+    /// this *after* (and short-circuited by) the scripted check so the RNG
+    /// draw order — and with it every seeded timeline — is preserved.
+    pub(crate) fn random_transient(&mut self, rng: &mut gflink_sim::SimRng) -> bool {
+        self.failure_rate > 0.0 && rng.next_f64() < self.failure_rate
+    }
+
+    // --- double-entry ledger notes -------------------------------------
+
+    pub(crate) fn note_retry(&mut self, session: &mut JobSession) {
+        self.ledger.retries += 1;
+        session.ledger_mut().retries += 1;
+    }
+
+    pub(crate) fn note_transient_fault(&mut self, session: &mut JobSession) {
+        self.failures += 1;
+        self.ledger.transient_faults += 1;
+        session.ledger_mut().transient_faults += 1;
+    }
+
+    pub(crate) fn note_hang_detected(&mut self, session: &mut JobSession) {
+        self.ledger.hangs_detected += 1;
+        session.ledger_mut().hangs_detected += 1;
+    }
+
+    pub(crate) fn note_steal_on_drain(&mut self, session: &mut JobSession) {
+        self.ledger.steals_on_drain += 1;
+        session.ledger_mut().steals_on_drain += 1;
+    }
+
+    pub(crate) fn note_invalidations(&mut self, session: &mut JobSession, n: u64) {
+        self.ledger.cache_invalidations += n;
+        session.ledger_mut().cache_invalidations += n;
+    }
+
+    /// Device-scoped: a fault was injected. Charged to every open session.
+    pub(crate) fn note_fault_injected(&mut self, sessions: &mut BTreeMap<JobId, JobSession>) {
+        self.ledger.faults_injected += 1;
+        for s in sessions.values_mut() {
+            s.ledger_mut().faults_injected += 1;
+        }
+    }
+
+    /// Device-scoped: a GPU was lost. Charged to every open session.
+    pub(crate) fn note_gpu_lost(&mut self, sessions: &mut BTreeMap<JobId, JobSession>) {
+        self.ledger.gpus_lost += 1;
+        for s in sessions.values_mut() {
+            s.ledger_mut().gpus_lost += 1;
+        }
+    }
+
+    /// Device-scoped: a GPU was degraded. Charged to every open session.
+    pub(crate) fn note_gpu_degraded(&mut self, sessions: &mut BTreeMap<JobId, JobSession>) {
+        self.ledger.gpus_degraded += 1;
+        for s in sessions.values_mut() {
+            s.ledger_mut().gpus_degraded += 1;
+        }
+    }
+
+    // --- retry / fail / CPU fallback -----------------------------------
+
+    /// Route a recovered work back through Alg. 5.1 after its policy
+    /// backoff, or give up with a structured [`FailedWork`]. `reason` is
+    /// recorded when the work cannot be retried; a [`FailReason::Fatal`]
+    /// wrapping [`ManagerError::KernelMissing`] is never retried (no later
+    /// attempt can succeed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn retry_or_fail(
+        &mut self,
+        session: &mut JobSession,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        now: SimTime,
+        reason: FailReason,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if let FailReason::Fatal(ManagerError::KernelMissing { .. }) = reason {
+            self.fail_work(session, work, submitted, retries, now, reason);
+            return;
+        }
+        let spent = now.saturating_sub(submitted);
+        if self.retry.allows(retries, spent) {
+            self.note_retry(session);
+            let delay = self.retry.backoff(retries);
+            let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
+            q.schedule(
+                at,
+                Ev::Submit(Box::new((job, submitted, retries + 1, work))),
+            );
+        } else {
+            let exhausted = if retries >= self.retry.max_retries {
+                FailReason::RetriesExhausted
+            } else {
+                FailReason::DeadlineExceeded
+            };
+            self.fail_work(session, work, submitted, retries, now, exhausted);
+        }
+    }
+
+    pub(crate) fn fail_work(
+        &mut self,
+        session: &mut JobSession,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        now: SimTime,
+        reason: FailReason,
+    ) {
+        self.ledger.works_failed += 1;
+        session.ledger_mut().works_failed += 1;
+        session.failed.push(FailedWork {
+            name: work.name,
+            tag: work.tag,
+            retries,
+            reason,
+            submitted,
+            failed_at: now,
+        });
+    }
+
+    /// Last-resort execution on the host CPU: every GPU is lost. The kernel
+    /// really runs over the host buffers; time comes from the CPU roofline
+    /// model over a bounded slot pool. No H2D/D2H is charged — the data
+    /// never leaves host memory.
+    pub(crate) fn run_on_cpu_or_fail(
+        &mut self,
+        session: &mut JobSession,
+        registry: &Arc<Mutex<KernelRegistry>>,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        t: SimTime,
+    ) {
+        if !self.cpu_fallback.enabled {
+            self.fail_work(
+                session,
+                work,
+                submitted,
+                retries,
+                t,
+                FailReason::NoUsableDevice,
+            );
+            return;
+        }
+        let kernel = registry.lock().get(&work.execute_name);
+        let Some(kernel) = kernel else {
+            let err = ManagerError::KernelMissing {
+                name: work.execute_name.clone(),
+            };
+            self.fail_work(session, work, submitted, retries, t, FailReason::Fatal(err));
+            return;
+        };
+        let mut out_host = HBuffer::zeroed(work.out_actual_bytes);
+        let profile = {
+            let inputs: Vec<&HBuffer> = work.inputs.iter().map(|b| b.data.as_ref()).collect();
+            let mut args = KernelArgs {
+                inputs,
+                outputs: vec![&mut out_host],
+                params: &work.params,
+                n_actual: work.n_actual,
+                n_logical: work.n_logical,
+            };
+            kernel(&mut args)
+        };
+        let dur = self
+            .cpu_fallback
+            .cost
+            .time_for(profile.flops, profile.bytes, 1.0);
+        let (slot, r) = self.cpu_slots.reserve(t, dur);
+        self.ledger.cpu_fallbacks += 1;
+        session.ledger_mut().cpu_fallbacks += 1;
+        session.completed.push(CompletedWork {
+            name: work.name,
+            tag: work.tag,
+            gpu: CPU_FALLBACK_GPU,
+            stream: slot,
+            output: out_host,
+            emitted: profile.emitted,
+            timing: WorkTiming {
+                submitted,
+                started: r.start,
+                h2d: SimTime::ZERO,
+                kernel: r.duration(),
+                d2h: SimTime::ZERO,
+                completed: r.end,
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+        });
+    }
+}

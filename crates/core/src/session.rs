@@ -1,0 +1,79 @@
+//! Per-job sessions: the unit of tenant isolation on a shared fabric.
+//!
+//! The paper gives every job its own GPU cache region (§4.2.2: "a cache
+//! region is created when a job starts and released when it finishes").
+//! [`JobSession`] generalizes that rule to *all* mutable per-job state the
+//! GPUManager holds: the cache regions, the not-yet-drained submissions,
+//! the completions and structured failures, and the job's fault/recovery
+//! ledger. A session is created by `GpuManager::begin_job` and destroyed by
+//! `GpuManager::end_job`, so when a job finishes nothing of it can leak
+//! into the next tenant on the same devices.
+
+use crate::cache::GpuCache;
+use crate::gwork::{CompletedWork, GWork};
+use crate::recovery::FailedWork;
+use gflink_sim::{FaultLedger, LedgerWindow, SimTime};
+
+/// Identity of one submitted job on a worker's GPU manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// The implicit session behind the legacy single-job API
+    /// (`GpuManager::submit` / `drain` / `cache`). It exists from manager
+    /// construction and is never removed, so code that drives a manager
+    /// directly — streaming, benches, chaos tests — needs no job plumbing.
+    pub const DEFAULT: JobId = JobId(0);
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// All mutable per-job state on one worker's GPU manager.
+pub struct JobSession {
+    /// One GPU cache region per device (§4.2.2) — eviction pressure from
+    /// this job can only evict this job's blocks.
+    pub(crate) regions: Vec<GpuCache>,
+    /// Works submitted but not yet picked up by a drain.
+    pub(crate) pending: Vec<(SimTime, GWork)>,
+    /// Completions waiting to be taken by this job's drain.
+    pub(crate) completed: Vec<CompletedWork>,
+    /// Works the manager gave up on, in failure order.
+    pub(crate) failed: Vec<FailedWork>,
+    /// The job's fault/recovery counters, with a delta mark for reporting.
+    pub(crate) ledger: LedgerWindow,
+}
+
+impl JobSession {
+    pub(crate) fn new(regions: Vec<GpuCache>) -> Self {
+        JobSession {
+            regions,
+            pending: Vec::new(),
+            completed: Vec::new(),
+            failed: Vec::new(),
+            ledger: LedgerWindow::default(),
+        }
+    }
+
+    /// The job's cache region on device `gpu`.
+    pub fn region(&self, gpu: usize) -> &GpuCache {
+        &self.regions[gpu]
+    }
+
+    /// Works this job gave up on, in failure order.
+    pub fn failed(&self) -> &[FailedWork] {
+        &self.failed
+    }
+
+    /// The job's cumulative fault/recovery ledger.
+    pub fn faults(&self) -> FaultLedger {
+        self.ledger.total()
+    }
+
+    pub(crate) fn ledger_mut(&mut self) -> &mut FaultLedger {
+        self.ledger.total_mut()
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-job session semantics (§4.2.2): cache regions are created when a
+//! job starts and released when it finishes, and no session's cache,
+//! completions, failures, or ledger deltas can bleed into another's.
+
+use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulingPolicy, WorkBuf};
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{FaultKind, FaultPlan, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const MIB: u64 = 1 << 20;
+
+fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+        let n = args.n_actual;
+        let input = args.inputs[0];
+        let out = &mut args.outputs[0];
+        for i in 0..n {
+            out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
+        }
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+fn key(tag: (u32, u32)) -> CacheKey {
+    CacheKey {
+        dataset: 1,
+        partition: tag.0,
+        block: tag.1,
+    }
+}
+
+fn mk_work(tag: (u32, u32), logical: u64) -> GWork {
+    let data = Arc::new(HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]));
+    GWork {
+        name: format!("w{}-{}", tag.0, tag.1),
+        execute_name: "scale2".into(),
+        ptx_path: "/scale2.ptx".into(),
+        block_size: 256,
+        grid_size: 1,
+        inputs: vec![WorkBuf::cached(data, logical, key(tag))],
+        out_actual_bytes: 16,
+        out_logical_bytes: logical,
+        out_records: 4,
+        params: vec![],
+        n_actual: 4,
+        n_logical: logical / 4,
+        coalescing: 1.0,
+        tag,
+    }
+}
+
+/// A single-GPU manager with a cache region capacity of `cap` logical
+/// bytes per job.
+fn manager_with_capacity(cap: u64) -> GpuManager {
+    GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050],
+            cache_capacity: cap,
+            scheduling: SchedulingPolicy::LocalityAware,
+            ..GpuWorkerConfig::default()
+        },
+        registry_with_scale2(),
+    )
+}
+
+const JOB_A: JobId = JobId(1);
+const JOB_B: JobId = JobId(2);
+
+#[test]
+fn eviction_pressure_in_one_job_never_evicts_another() {
+    // Region capacity: two 1 MiB blocks per job.
+    let mut m = manager_with_capacity(2 * MIB);
+    m.begin_job(JOB_A);
+    m.begin_job(JOB_B);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    m.drain_job(JOB_A);
+    assert!(m.session(JOB_A).unwrap().region(0).contains(key((0, 0))));
+
+    // Push three distinct blocks through job B: its two-block region must
+    // evict, sequentially so nothing is pinned during make_room.
+    let mut t = SimTime::ZERO;
+    for b in 0..3 {
+        m.submit_for(JOB_B, mk_work((1, b), MIB), t);
+        t = m.drain_job(JOB_B).pop().unwrap().timing.completed;
+    }
+    let b_region = m.session(JOB_B).unwrap().region(0);
+    assert!(b_region.stats().2 > 0, "job B must have evicted");
+    // Job A's region is untouched: its block is resident, zero evictions.
+    let a_region = m.session(JOB_A).unwrap().region(0);
+    assert!(a_region.contains(key((0, 0))));
+    assert_eq!(a_region.stats().2, 0, "job A must not absorb B's pressure");
+}
+
+#[test]
+fn cache_regions_are_private_per_job() {
+    // The same CacheKey cached by job A is a MISS for job B: per §4.2.2 a
+    // region belongs to one job, so tenants can never read each other's
+    // device-resident blocks.
+    let mut m = manager_with_capacity(64 * MIB);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    let a = m.drain_job(JOB_A).pop().unwrap();
+    assert_eq!(a.timing.cache_misses, 1);
+    m.submit_for(JOB_B, mk_work((0, 0), MIB), a.timing.completed);
+    let b = m.drain_job(JOB_B).pop().unwrap();
+    assert_eq!(b.timing.cache_hits, 0, "B must not hit A's region");
+    assert_eq!(b.timing.cache_misses, 1);
+}
+
+#[test]
+fn end_job_releases_exactly_its_bytes() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    m.submit_for(JOB_B, mk_work((1, 0), 3 * MIB), SimTime::ZERO);
+    m.drain_job(JOB_A);
+    m.drain_job(JOB_B);
+    let both = m.gpu(0).dmem.used();
+    assert_eq!(both, 4 * MIB, "both jobs' blocks resident");
+    m.end_job(JOB_A);
+    assert_eq!(m.gpu(0).dmem.used(), 3 * MIB, "only A's bytes released");
+    assert!(m.session(JOB_A).is_none());
+    assert!(m.session(JOB_B).unwrap().region(0).contains(key((1, 0))));
+    m.end_job(JOB_B);
+    assert_eq!(m.gpu(0).dmem.used(), 0);
+}
+
+#[test]
+fn drain_job_returns_only_own_completions() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    m.submit_for(JOB_A, mk_work((0, 1), MIB), SimTime::ZERO);
+    m.submit_for(JOB_B, mk_work((1, 0), MIB), SimTime::ZERO);
+    m.submit_for(JOB_B, mk_work((1, 1), MIB), SimTime::ZERO);
+    m.submit_for(JOB_B, mk_work((1, 2), MIB), SimTime::ZERO);
+    // The drain runs the shared event loop (the hardware is shared), but
+    // hands back only A's completions; B's are stored for B's drain.
+    let a = m.drain_job(JOB_A);
+    assert_eq!(a.len(), 2);
+    assert!(a.iter().all(|c| c.tag.0 == 0));
+    let b = m.drain_job(JOB_B);
+    assert_eq!(b.len(), 3);
+    assert!(b.iter().all(|c| c.tag.0 == 1));
+}
+
+#[test]
+fn retired_stats_survive_end_job() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    let first = m.drain_job(JOB_A).pop().unwrap();
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), first.timing.completed);
+    let second = m.drain_job(JOB_A).pop().unwrap();
+    assert_eq!(second.timing.cache_hits, 1);
+    let (hits_live, misses_live, _) = m.cache_stats(0);
+    m.end_job(JOB_A);
+    // The worker totals keep the finished job's history.
+    assert_eq!(m.cache_stats(0), (hits_live, misses_live, 0));
+    assert_eq!(m.cache_stats(0).0, 1);
+}
+
+#[test]
+fn fault_attribution_is_work_scoped_to_the_owning_job() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.set_fault_plan(FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelTransient { gpu: 0 }));
+    m.begin_job(JOB_B); // open, but never submits anything
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    let done = m.drain_job(JOB_A);
+    assert_eq!(done.len(), 1, "transient must be retried to completion");
+    // Work-scoped counters land only on the owning job; device-scoped
+    // injection counts are mirrored to every open session.
+    let a = m.job_faults(JOB_A);
+    assert_eq!(a.transient_faults, 1);
+    assert_eq!(a.retries, 1);
+    let b = m.job_faults(JOB_B);
+    assert_eq!(b.faults_injected, 1);
+    assert_eq!(b.transient_faults, 0, "B never ran the faulted work");
+    assert_eq!(b.retries, 0);
+    // The worker-global ledger mirrors the union.
+    assert_eq!(m.fault_ledger().transient_faults, 1);
+}
+
+#[test]
+fn fault_deltas_are_windowed_per_job() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.set_fault_plan(FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelTransient { gpu: 0 }));
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    m.drain_job(JOB_A);
+    let first = m.take_job_fault_delta(JOB_A);
+    assert_eq!(first.transient_faults, 1);
+    assert!(
+        m.take_job_fault_delta(JOB_A).is_quiet(),
+        "delta was consumed"
+    );
+    // A quiet follow-up drain accrues nothing.
+    m.submit_for(JOB_A, mk_work((0, 1), MIB), SimTime::ZERO);
+    m.drain_job(JOB_A);
+    assert!(m.take_job_fault_delta(JOB_A).is_quiet());
+}
+
+#[test]
+fn default_session_outlives_end_job() {
+    let mut m = manager_with_capacity(64 * MIB);
+    m.submit(mk_work((0, 0), MIB), SimTime::ZERO);
+    m.drain();
+    assert!(m.cache(0).contains(key((0, 0))));
+    m.end_job(JobId::DEFAULT);
+    // Emptied, not removed: the legacy single-job surface keeps working.
+    assert_eq!(m.cache(0).used(), 0);
+    m.submit(mk_work((0, 0), MIB), SimTime::ZERO);
+    assert_eq!(m.drain().len(), 1);
+}

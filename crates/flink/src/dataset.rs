@@ -142,11 +142,16 @@ impl FlinkEnv {
         let total_bytes = (n_logical as f64 * elem_logical_bytes) as u64;
         let cluster = self.cluster();
         {
+            // Place the file from the job's private cursor so the block
+            // layout (and the locality-aware split assignment derived from
+            // it below) is independent of other tenants' create history.
             let mut cl = cluster.lock();
             if !cl.hdfs.exists(file) {
-                cl.hdfs
-                    .create(file, total_bytes, Vec::new())
+                let placed = cl
+                    .hdfs
+                    .create_at(file, total_bytes, Vec::new(), self.hdfs_cursor())
                     .expect("create input");
+                self.advance_hdfs_cursor(placed);
             }
         }
         let scale = n_logical as f64 / n_actual as f64;
@@ -715,9 +720,19 @@ impl<T> DataSet<T> {
             let shard = format!("{file}/part-{i:05}");
             let grant = {
                 let mut cl = cluster.lock();
-                cl.hdfs
-                    .write(part.worker, &shard, bytes, Vec::new(), part.ready)
-                    .expect("hdfs write")
+                let (grant, placed) = cl
+                    .hdfs
+                    .write_at(
+                        part.worker,
+                        &shard,
+                        bytes,
+                        Vec::new(),
+                        part.ready,
+                        env.hdfs_cursor(),
+                    )
+                    .expect("hdfs write");
+                env.advance_hdfs_cursor(placed);
+                grant
             };
             wall_start = wall_start.min(grant.start);
             wall_end = wall_end.max(grant.end);

@@ -21,6 +21,12 @@ pub(crate) struct EnvInner {
     pub submitted_at: SimTime,
     pub frontier: SimTime,
     pub faults: FaultLedger,
+    /// Per-job HDFS block-placement cursor. Files this job creates are
+    /// placed from here (`Hdfs::create_at`), not from the cluster-global
+    /// cursor, so the block layout a job sees — and everything derived
+    /// from it, like locality-aware split assignment — depends only on the
+    /// job's own create history, never on what other tenants wrote first.
+    pub hdfs_cursor: usize,
 }
 
 /// Driver-side handle to a submitted job.
@@ -68,6 +74,7 @@ impl FlinkEnv {
                 submitted_at: at,
                 frontier: at + submit,
                 faults: FaultLedger::default(),
+                hdfs_cursor: 0,
             })),
         }
     }
@@ -120,6 +127,18 @@ impl FlinkEnv {
     /// The job's failure ledger so far.
     pub fn faults(&self) -> FaultLedger {
         self.inner.lock().faults
+    }
+
+    /// The job's private HDFS placement cursor (see [`EnvInner`]): where the
+    /// next file this job creates starts its round-robin block placement.
+    pub fn hdfs_cursor(&self) -> usize {
+        self.inner.lock().hdfs_cursor
+    }
+
+    /// Advance the job's placement cursor past `blocks` freshly-placed
+    /// blocks.
+    pub fn advance_hdfs_cursor(&self, blocks: usize) {
+        self.inner.lock().hdfs_cursor += blocks;
     }
 
     /// Charge the per-phase scheduling overhead and return it.

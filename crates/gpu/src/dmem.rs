@@ -46,6 +46,38 @@ impl fmt::Display for DmemError {
 
 impl std::error::Error for DmemError {}
 
+/// The narrow device-memory surface higher layers (the core crate's
+/// `GMemoryManager`) are allowed to drive: allocate, free, and capacity
+/// queries. Everything else on [`DeviceMemory`] — data access, wipes,
+/// upload/download — belongs to the device itself ([`crate::VirtualGpu`])
+/// and stays off this trait, which is what makes the allocation contract
+/// between the crates explicit.
+pub trait DeviceMemoryOps {
+    /// Allocate `logical_bytes` backed by `actual_bytes` of real storage.
+    fn alloc(&mut self, logical_bytes: u64, actual_bytes: usize) -> Result<DevBufId, DmemError>;
+    /// Free an allocation.
+    fn release(&mut self, id: DevBufId) -> Result<(), DmemError>;
+    /// Logical bytes free.
+    fn free_bytes(&self) -> u64;
+    /// Logical bytes currently allocated.
+    fn used(&self) -> u64;
+}
+
+impl DeviceMemoryOps for DeviceMemory {
+    fn alloc(&mut self, logical_bytes: u64, actual_bytes: usize) -> Result<DevBufId, DmemError> {
+        DeviceMemory::alloc(self, logical_bytes, actual_bytes)
+    }
+    fn release(&mut self, id: DevBufId) -> Result<(), DmemError> {
+        DeviceMemory::release(self, id)
+    }
+    fn free_bytes(&self) -> u64 {
+        DeviceMemory::free_bytes(self)
+    }
+    fn used(&self) -> u64 {
+        DeviceMemory::used(self)
+    }
+}
+
 struct Allocation {
     logical_bytes: u64,
     data: HBuffer,

@@ -30,7 +30,7 @@ pub mod spec;
 
 pub use channel::{TransferPath, GFLINK_CALL_OVERHEAD_NS, NATIVE_CALL_OVERHEAD_NS};
 pub use device::{CopyDirection, VirtualGpu};
-pub use dmem::{DevBufId, DeviceMemory, DmemError};
+pub use dmem::{DevBufId, DeviceMemory, DeviceMemoryOps, DmemError};
 pub use event::CudaEvent;
 pub use health::{DeviceError, DeviceHealth};
 pub use kernel::{KernelArgs, KernelFn, KernelProfile, KernelRegistry};

@@ -172,29 +172,51 @@ impl Hdfs {
     }
 
     /// Register a file of `logical_size` bytes with `actual` content,
-    /// placing block replicas round-robin across datanodes. This is the
-    /// *metadata* operation; charging write time is [`Hdfs::write`]'s job.
+    /// placing block replicas round-robin from the filesystem-global
+    /// placement cursor. This is the *metadata* operation; charging write
+    /// time is [`Hdfs::write`]'s job.
     pub fn create(
         &mut self,
         name: &str,
         logical_size: u64,
         actual: Vec<u8>,
     ) -> Result<(), HdfsError> {
+        let start = self.next_block_start;
+        let placed = self.create_at(name, logical_size, actual, start)?;
+        self.next_block_start = start + placed;
+        Ok(())
+    }
+
+    /// Register a file with an explicit placement cursor: block `i`'s
+    /// primary replica lands on datanode `(start + i) % num_nodes`, with
+    /// replicas on the following nodes. The global cursor is untouched, so
+    /// a caller owning a private cursor (per-job placement) sees the same
+    /// block layout regardless of what other tenants have created in the
+    /// meantime. Returns the number of data blocks placed.
+    pub fn create_at(
+        &mut self,
+        name: &str,
+        logical_size: u64,
+        actual: Vec<u8>,
+        start: usize,
+    ) -> Result<usize, HdfsError> {
         if self.files.contains_key(name) {
             return Err(HdfsError::AlreadyExists(name.to_string()));
         }
         let mut blocks = Vec::new();
         let mut remaining = logical_size;
+        let mut cursor = start;
         while remaining > 0 {
             let size = remaining.min(self.config.block_size);
-            let primary = self.next_block_start % self.num_nodes;
-            self.next_block_start += 1;
+            let primary = cursor % self.num_nodes;
+            cursor += 1;
             let replicas = (0..self.config.replication.min(self.num_nodes))
                 .map(|r| (primary + r) % self.num_nodes)
                 .collect();
             blocks.push(Block { size, replicas });
             remaining -= size;
         }
+        let placed = blocks.len();
         if blocks.is_empty() {
             // Zero-length files still need a (zero-sized) block entry for
             // reads to be well defined.
@@ -211,7 +233,7 @@ impl Hdfs {
                 data: Arc::new(actual),
             },
         );
-        Ok(())
+        Ok(placed)
     }
 
     /// Delete a file's metadata and content.
@@ -378,6 +400,35 @@ impl Hdfs {
             return Err(HdfsError::BadNode(node));
         }
         self.create(name, logical_size, actual)?;
+        self.charge_write(node, name, earliest)
+    }
+
+    /// [`Hdfs::write`] with an explicit placement cursor (see
+    /// [`Hdfs::create_at`]). Returns the I/O grant and the number of data
+    /// blocks placed, so per-job cursors can advance themselves.
+    pub fn write_at(
+        &mut self,
+        node: usize,
+        name: &str,
+        logical_size: u64,
+        actual: Vec<u8>,
+        earliest: SimTime,
+        start: usize,
+    ) -> Result<(IoGrant, usize), HdfsError> {
+        if node >= self.num_nodes {
+            return Err(HdfsError::BadNode(node));
+        }
+        let placed = self.create_at(name, logical_size, actual, start)?;
+        Ok((self.charge_write(node, name, earliest)?, placed))
+    }
+
+    /// Charge the write pipeline for an already-registered file.
+    fn charge_write(
+        &mut self,
+        node: usize,
+        name: &str,
+        earliest: SimTime,
+    ) -> Result<IoGrant, HdfsError> {
         let meta = &self.files[name];
         let disk = BandwidthCost::new(self.config.block_overhead, self.config.disk_write_bps);
         let net = BandwidthCost::new(SimTime::ZERO, self.config.net_bps);
@@ -578,6 +629,31 @@ mod tests {
         assert_eq!(g.local_bytes, 16 * MB);
         assert_eq!(g.remote_bytes, 32 * MB);
         assert!(g.duration() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn create_at_ignores_global_cursor() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        // Advance the global cursor by two blocks.
+        fs.create("noise", 32 * MB, vec![]).unwrap();
+        // A placed create starting at 0 lands exactly where a fresh
+        // filesystem would put it.
+        let placed = fs.create_at("a", 32 * MB, vec![], 0).unwrap();
+        assert_eq!(placed, 2);
+        let mut fresh = Hdfs::new(4, small_cfg());
+        fresh.create("a", 32 * MB, vec![]).unwrap();
+        for node in 0..4 {
+            for block in 0..2u64 {
+                assert_eq!(
+                    fs.is_local(node, "a", block * 16 * MB, MB).unwrap(),
+                    fresh.is_local(node, "a", block * 16 * MB, MB).unwrap()
+                );
+            }
+        }
+        // The placed create did not advance the global cursor: the next
+        // global create starts at block 2.
+        fs.create("b", 16 * MB, vec![]).unwrap();
+        assert!(fs.is_local(2, "b", 0, MB).unwrap());
     }
 
     #[test]

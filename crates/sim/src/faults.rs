@@ -248,6 +248,40 @@ impl FaultLedger {
     }
 }
 
+/// A [`FaultLedger`] plus a movable mark: cumulative counters with cheap
+/// "what happened since I last looked" deltas.
+///
+/// This is the per-session form of ledger snapshotting: each job session
+/// owns one window, recovery code increments the running total, and the
+/// drain path calls [`LedgerWindow::take_delta`] to get exactly the
+/// counters accrued since the previous drain — no caller-side snapshot
+/// bookkeeping, and no way for one job's counters to bleed into another's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerWindow {
+    total: FaultLedger,
+    mark: FaultLedger,
+}
+
+impl LedgerWindow {
+    /// The cumulative ledger since the window was created.
+    pub fn total(&self) -> FaultLedger {
+        self.total
+    }
+
+    /// Mutable access to the running total (recovery code tallies here).
+    pub fn total_mut(&mut self) -> &mut FaultLedger {
+        &mut self.total
+    }
+
+    /// Counters accrued since the last `take_delta` (or since creation),
+    /// advancing the mark to now.
+    pub fn take_delta(&mut self) -> FaultLedger {
+        let delta = self.total.since(&self.mark);
+        self.mark = self.total;
+        delta
+    }
+}
+
 /// Retry policy with exponential backoff and a hard deadline.
 ///
 /// Attempt `k` (zero-based) that fails is retried after
@@ -386,6 +420,20 @@ mod tests {
             ..Default::default()
         };
         let _ = FaultLedger::default().since(&a);
+    }
+
+    #[test]
+    fn ledger_window_deltas_reset_at_the_mark() {
+        let mut w = LedgerWindow::default();
+        w.total_mut().retries += 2;
+        w.total_mut().transient_faults += 1;
+        let d1 = w.take_delta();
+        assert_eq!(d1.retries, 2);
+        assert_eq!(d1.transient_faults, 1);
+        assert!(w.take_delta().is_quiet(), "nothing new since the mark");
+        w.total_mut().retries += 1;
+        assert_eq!(w.take_delta().retries, 1);
+        assert_eq!(w.total().retries, 3, "the total keeps accumulating");
     }
 
     #[test]

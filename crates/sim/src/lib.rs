@@ -34,7 +34,7 @@ pub mod timeline;
 pub use accounting::{Accounting, Phase};
 pub use cost::{BandwidthCost, ComputeCost, LatencyBandwidth};
 pub use events::EventQueue;
-pub use faults::{FaultEvent, FaultKind, FaultLedger, FaultPlan, RetryPolicy};
+pub use faults::{FaultEvent, FaultKind, FaultLedger, FaultPlan, LedgerWindow, RetryPolicy};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;

@@ -49,7 +49,7 @@ fn main() {
                 }
                 st += m.steals();
                 for g in 0..m.gpu_count() {
-                    h += m.cache(g).stats().0;
+                    h += m.cache_stats(g).0;
                 }
             }
             (per, st, h)
