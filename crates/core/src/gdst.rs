@@ -21,14 +21,14 @@
 //! completion.
 
 use crate::gwork::{CacheKey, GWork, WorkBuf};
-use crate::manager::{GpuManager, GpuWorkerConfig};
+use crate::manager::{GpuManager, GpuWorkerConfig, CPU_FALLBACK_GPU};
 use crate::session::JobId;
 use gflink_flink::dataset::RawPart;
 use gflink_flink::graph::{PhaseKind, PhaseRecord};
-use gflink_flink::{DataSet, FlinkEnv, JobReport, SharedCluster};
+use gflink_flink::{DataSet, FlinkEnv, GpuLane, GpuWorkSample, JobReport, SharedCluster};
 use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
-use gflink_sim::{Phase, SimTime};
+use gflink_sim::{Phase, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -202,6 +202,7 @@ pub struct GpuFabric {
     cfg: FabricConfig,
     next_dataset: Arc<AtomicU64>,
     next_job: Arc<AtomicU64>,
+    tracer: Arc<Mutex<Tracer>>,
 }
 
 impl GpuFabric {
@@ -217,7 +218,28 @@ impl GpuFabric {
             cfg,
             next_dataset: Arc::new(AtomicU64::new(1)),
             next_job: Arc::new(AtomicU64::new(1)),
+            tracer: Arc::new(Mutex::new(Tracer::disabled())),
         }
+    }
+
+    /// Turn on tracing for every worker manager and return the shared
+    /// tracer. All subsequent spans, instants and counters across the gpu,
+    /// core and flink layers land in one buffer; export it with
+    /// [`Tracer::export_chrome_json`]. Call before submitting work — spans
+    /// are recorded as works execute, not retroactively.
+    pub fn enable_tracing(&self) -> Tracer {
+        let tracer = Tracer::new(Tracer::DEFAULT_CAPACITY);
+        *self.tracer.lock() = tracer.clone();
+        for m in self.managers.lock().iter_mut() {
+            m.set_tracer(tracer.clone());
+        }
+        tracer
+    }
+
+    /// The fabric's tracer (disabled unless [`GpuFabric::enable_tracing`]
+    /// was called).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.lock().clone()
     }
 
     /// Register a kernel under `name` (the analogue of deploying a `.ptx`).
@@ -317,10 +339,44 @@ impl GflinkEnv {
         }
     }
 
-    /// Finish the job: tears down this job's sessions — releasing exactly
-    /// its GPU cache regions (per §4.2.2 the cache region lives for the
-    /// job) — and returns the report.
+    /// Finish the job: folds the teardown-time observability fields (the
+    /// job's steal count, per-device activity lanes) into the rollup, tears
+    /// down this job's sessions — releasing exactly its GPU cache regions
+    /// (per §4.2.2 the cache region lives for the job) — and returns the
+    /// report.
     pub fn finish(&self) -> JobReport {
+        // Gather before end_job destroys the sessions. Lanes describe
+        // device activity over the job's window; on a shared fabric that
+        // window includes co-tenant works (which is what device
+        // utilization means there).
+        let window = self.flink.frontier();
+        self.fabric.with_managers(|managers| {
+            let steals: u64 = managers
+                .iter()
+                .filter_map(|m| m.session(self.job))
+                .map(|s| s.steals())
+                .sum();
+            let mut lanes = Vec::new();
+            for m in managers.iter() {
+                for g in 0..m.gpu_count() {
+                    let gpu = m.gpu(g);
+                    lanes.push(GpuLane {
+                        worker: m.worker_id(),
+                        gpu: g,
+                        works: m.executed_per_gpu()[g],
+                        kernel_busy: gpu.kernel_busy(),
+                        copy_busy: gpu.copy_busy(),
+                        utilization: gpu.kernel_utilization(window),
+                    });
+                }
+            }
+            self.flink.with_gpu_rollup(|r| {
+                r.steals += steals;
+                if r.lanes.is_empty() && !r.is_empty() {
+                    r.lanes = lanes;
+                }
+            });
+        });
         self.fabric.end_job(self.job);
         self.flink.finish()
     }
@@ -598,6 +654,22 @@ impl<T: GRecord> GDataSet<T> {
                     h2d_sum += done.timing.h2d;
                     d2h_sum += done.timing.d2h;
                     wall_end = wall_end.max(done.timing.completed);
+                    // One observability sample per completed work: the
+                    // job report's stage histograms, cache hit rate and
+                    // per-channel byte counts aggregate these.
+                    flink.record_gpu_work(GpuWorkSample {
+                        worker: m.worker_id(),
+                        gpu: (done.gpu != CPU_FALLBACK_GPU).then_some(done.gpu),
+                        queued: done.timing.queued(),
+                        h2d: done.timing.h2d,
+                        kernel: done.timing.kernel,
+                        d2h: done.timing.d2h,
+                        total: done.timing.total(),
+                        cache_hits: done.timing.cache_hits,
+                        cache_misses: done.timing.cache_misses,
+                        bytes_h2d: done.timing.bytes_h2d,
+                        bytes_d2h: done.timing.bytes_d2h,
+                    });
                     per_part_blocks[done.tag.0 as usize].push((
                         done.tag.1,
                         done.output,

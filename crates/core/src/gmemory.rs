@@ -19,7 +19,8 @@ use crate::cache::{CachePolicy, GpuCache};
 use crate::gwork::{CacheKey, GWork, WorkTiming};
 use crate::recovery::ManagerError;
 use gflink_gpu::{DevBufId, DeviceError, DeviceMemoryOps, DmemError, GpuModel, VirtualGpu};
-use gflink_sim::SimTime;
+use gflink_sim::trace::{gpu_pid, Cat, TraceEvent, TID_DEVICE};
+use gflink_sim::{SimTime, Tracer};
 
 /// Result of staging one work's inputs onto a device (stage 1, H2D).
 pub(crate) struct StagedInputs {
@@ -29,6 +30,9 @@ pub(crate) struct StagedInputs {
     pub transient: Vec<DevBufId>,
     /// Cache keys pinned for the duration of the work.
     pub pinned: Vec<CacheKey>,
+    /// When the first H2D copy engine reservation starts; `None` when every
+    /// input was a cache hit (no copy issued).
+    pub h2d_start: Option<SimTime>,
     /// When the last H2D copy lands (the kernel's earliest launch instant).
     pub kernel_earliest: SimTime,
     /// Set when staging failed; partial placement is in the fields above
@@ -44,6 +48,10 @@ pub struct GMemoryManager {
     /// (hits, misses, evictions) carried over from retired job regions,
     /// per GPU, so worker-level cache stats survive session teardown.
     retired_stats: Vec<(u64, u64, u64)>,
+    tracer: Tracer,
+    worker_id: usize,
+    /// Cumulative (hits, misses) per GPU, sampled into trace counters.
+    trace_cache: Vec<(u64, u64)>,
 }
 
 impl GMemoryManager {
@@ -62,6 +70,81 @@ impl GMemoryManager {
             cache_capacity,
             cache_policy,
             retired_stats: vec![(0, 0, 0); n],
+            tracer: Tracer::disabled(),
+            worker_id: 0,
+            trace_cache: vec![(0, 0); n],
+        }
+    }
+
+    /// Attach a tracer: names one trace process per device and hands each
+    /// [`VirtualGpu`] its engine-span emitter.
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer, worker_id: usize) {
+        for (i, gpu) in self.gpus.iter_mut().enumerate() {
+            let pid = gpu_pid(worker_id, i);
+            if tracer.enabled() {
+                tracer.name_process(
+                    pid,
+                    &format!("worker{worker_id}/gpu{i} ({})", gpu.spec().model.name()),
+                );
+            }
+            gpu.set_tracer(tracer.clone(), pid);
+        }
+        self.tracer = tracer;
+        self.worker_id = worker_id;
+    }
+
+    /// Emit a cache hit/miss instant plus the GPU's cumulative counters.
+    fn trace_cache_event(&mut self, gpu: usize, hit: bool, key: CacheKey, t: SimTime) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let (h, m) = &mut self.trace_cache[gpu];
+        if hit {
+            *h += 1;
+        } else {
+            *m += 1;
+        }
+        let (h, m) = (*h, *m);
+        let pid = gpu_pid(self.worker_id, gpu);
+        self.tracer.record(
+            TraceEvent::instant(
+                pid,
+                TID_DEVICE,
+                Cat::Cache,
+                if hit { "hit" } else { "miss" },
+                t,
+            )
+            .with_arg("partition", key.partition)
+            .with_arg("block", key.block),
+        );
+        self.tracer.record(TraceEvent::counter(
+            pid,
+            TID_DEVICE,
+            Cat::Cache,
+            "cache_hits",
+            t,
+            h as i64,
+        ));
+        self.tracer.record(TraceEvent::counter(
+            pid,
+            TID_DEVICE,
+            Cat::Cache,
+            "cache_misses",
+            t,
+            m as i64,
+        ));
+    }
+
+    /// Emit a cache-eviction instant.
+    fn trace_eviction(&self, gpu: usize, t: SimTime) {
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::instant(
+                gpu_pid(self.worker_id, gpu),
+                TID_DEVICE,
+                Cat::Cache,
+                "evict",
+                t,
+            ));
         }
     }
 
@@ -149,6 +232,7 @@ impl GMemoryManager {
         gpu: usize,
         logical: u64,
         actual: usize,
+        t: SimTime,
     ) -> Result<DevBufId, ManagerError> {
         loop {
             match self.dmem(gpu).alloc(logical, actual) {
@@ -156,6 +240,7 @@ impl GMemoryManager {
                 Err(DmemError::OutOfMemory { .. }) => match region.evict_one() {
                     Some(dev) => {
                         let _ = self.dmem(gpu).release(dev);
+                        self.trace_eviction(gpu, t);
                     }
                     None => {
                         return Err(ManagerError::OutOfMemory {
@@ -186,6 +271,7 @@ impl GMemoryManager {
             dev_inputs: Vec::with_capacity(work.inputs.len()),
             transient: Vec::new(),
             pinned: Vec::new(),
+            h2d_start: None,
             kernel_earliest: t,
             failure: None,
         };
@@ -194,9 +280,11 @@ impl GMemoryManager {
             match cached_dev {
                 Some(dev) => {
                     timing.cache_hits += 1;
-                    region.pin(inbuf.cache_key.unwrap());
-                    staged.pinned.push(inbuf.cache_key.unwrap());
+                    let key = inbuf.cache_key.unwrap();
+                    region.pin(key);
+                    staged.pinned.push(key);
                     staged.dev_inputs.push(dev);
+                    self.trace_cache_event(gpu, true, key, t);
                 }
                 None => {
                     let dev = match self.alloc_with_pressure(
@@ -204,6 +292,7 @@ impl GMemoryManager {
                         gpu,
                         inbuf.logical_bytes,
                         inbuf.data.len(),
+                        t,
                     ) {
                         Ok(dev) => dev,
                         Err(e) => {
@@ -221,13 +310,20 @@ impl GMemoryManager {
                         }
                     };
                     timing.h2d += r.duration();
+                    timing.bytes_h2d += inbuf.logical_bytes;
+                    staged.h2d_start = Some(match staged.h2d_start {
+                        Some(s) => s.min(r.start),
+                        None => r.start,
+                    });
                     staged.kernel_earliest = staged.kernel_earliest.max(r.end);
                     let mut keep = false;
                     if let Some(key) = inbuf.cache_key {
                         timing.cache_misses += 1;
+                        self.trace_cache_event(gpu, false, key, t);
                         let (evicted, may_insert) = region.make_room(inbuf.logical_bytes);
                         for d in evicted {
                             let _ = self.dmem(gpu).release(d);
+                            self.trace_eviction(gpu, t);
                         }
                         if may_insert {
                             if let Some(old) = region.insert(key, dev, inbuf.logical_bytes) {
@@ -254,8 +350,15 @@ impl GMemoryManager {
         region: &mut GpuCache,
         gpu: usize,
         work: &GWork,
+        t: SimTime,
     ) -> Result<DevBufId, ManagerError> {
-        self.alloc_with_pressure(region, gpu, work.out_logical_bytes, work.out_actual_bytes)
+        self.alloc_with_pressure(
+            region,
+            gpu,
+            work.out_logical_bytes,
+            work.out_actual_bytes,
+            t,
+        )
     }
 
     /// Release a recovered or finished flight's device buffers and cache

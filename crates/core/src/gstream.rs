@@ -27,7 +27,8 @@ use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DevBufId, KernelRegistry};
 use gflink_memory::HBuffer;
-use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime};
+use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
+use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -106,6 +107,8 @@ pub struct GStreamManager {
     executed_per_gpu: Vec<u64>,
     in_flight: std::collections::HashMap<u64, InFlight>,
     next_flight: u64,
+    tracer: Tracer,
+    worker_id: usize,
 }
 
 impl GStreamManager {
@@ -120,6 +123,46 @@ impl GStreamManager {
             executed_per_gpu: vec![0; n_gpus],
             in_flight: std::collections::HashMap::new(),
             next_flight: 1,
+            tracer: Tracer::disabled(),
+            worker_id: 0,
+        }
+    }
+
+    /// Attach a tracer and name one trace thread per CUDA stream. Stage
+    /// spans land on these threads; overlapping spans across streams of one
+    /// GPU are the §5 pipelining made visible.
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer, worker_id: usize) {
+        if tracer.enabled() {
+            for g in 0..self.queues.len() {
+                for s in 0..self.streams_per_gpu {
+                    tracer.name_thread(
+                        gpu_pid(worker_id, g),
+                        stream_tid(s),
+                        &format!("stream {s}"),
+                    );
+                }
+            }
+        }
+        self.tracer = tracer;
+        self.worker_id = worker_id;
+    }
+
+    /// Emit one pipeline-stage span for a flight on its stream's thread,
+    /// tagged with the owning job and operator name.
+    fn trace_stage(&self, fl: &InFlight, stage: &'static str, start: SimTime, end: SimTime) {
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    gpu_pid(self.worker_id, fl.gpu),
+                    stream_tid(fl.stream),
+                    Cat::Stage,
+                    stage,
+                    start,
+                    end,
+                )
+                .with_job(fl.job.0)
+                .with_arg("op", &fl.work.name),
+            );
         }
     }
 
@@ -213,8 +256,15 @@ impl GStreamManager {
     ) {
         if eng.gmem.usable_gpus() == 0 {
             let session = eng.sessions.get_mut(&job).expect("session open");
-            eng.recovery
-                .run_on_cpu_or_fail(session, eng.registry, work, submitted, retries, t);
+            eng.recovery.run_on_cpu_or_fail(
+                session,
+                job,
+                eng.registry,
+                work,
+                submitted,
+                retries,
+                t,
+            );
             return;
         }
         match self.policy {
@@ -306,6 +356,7 @@ impl GStreamManager {
             // work since this event was scheduled.
             return;
         }
+        let mut stolen = false;
         let work = if let Some(w) = self.queues[gpu].pop_front() {
             Some(w)
         } else if self.policy.steals() {
@@ -318,12 +369,31 @@ impl GStreamManager {
                 .filter(|&i| !self.queues[i].is_empty());
             victim.map(|i| {
                 self.steals += 1;
+                stolen = true;
                 self.queues[i].pop_front().unwrap()
             })
         } else {
             None
         };
         if let Some(qw) = work {
+            if stolen {
+                if let Some(session) = eng.sessions.get_mut(&qw.job) {
+                    session.steals += 1;
+                }
+                if self.tracer.enabled() {
+                    self.tracer.record(
+                        TraceEvent::instant(
+                            gpu_pid(self.worker_id, gpu),
+                            stream_tid(stream),
+                            Cat::Queue,
+                            "steal",
+                            t,
+                        )
+                        .with_job(qw.job.0)
+                        .with_arg("op", &qw.work.name),
+                    );
+                }
+            }
             self.execute(
                 eng,
                 qw.job,
@@ -368,6 +438,7 @@ impl GStreamManager {
             dev_inputs,
             transient,
             pinned,
+            h2d_start,
             kernel_earliest,
             mut failure,
         } = eng
@@ -375,7 +446,10 @@ impl GStreamManager {
             .stage_inputs(&mut session.regions[gpu], gpu, &work, t, &mut timing);
         // Output allocation (GMemoryManager, automatic).
         let out_dev = if failure.is_none() {
-            match eng.gmem.alloc_output(&mut session.regions[gpu], gpu, &work) {
+            match eng
+                .gmem
+                .alloc_output(&mut session.regions[gpu], gpu, &work, t)
+            {
                 Ok(dev) => Some(dev),
                 Err(e) => {
                     failure = Some(e);
@@ -406,23 +480,26 @@ impl GStreamManager {
         self.stream_busy_until[gpu][stream] = SimTime::MAX;
         let id = self.next_flight;
         self.next_flight += 1;
-        self.in_flight.insert(
-            id,
-            InFlight {
-                job,
-                work,
-                retries,
-                timing,
-                gpu,
-                stream,
-                dev_inputs,
-                transient,
-                pinned,
-                out_dev,
-                emitted: None,
-                hung: false,
-            },
-        );
+        let fl = InFlight {
+            job,
+            work,
+            retries,
+            timing,
+            gpu,
+            stream,
+            dev_inputs,
+            transient,
+            pinned,
+            out_dev,
+            emitted: None,
+            hung: false,
+        };
+        // Stage-1 span: from the first copy's engine start to the last
+        // copy's landing. A full cache hit issues no copies — no span.
+        if let Some(start) = h2d_start {
+            self.trace_stage(&fl, "h2d", start, kernel_earliest);
+        }
+        self.in_flight.insert(id, fl);
         q.schedule(kernel_earliest, Ev::KernelStage(id));
     }
 
@@ -471,10 +548,23 @@ impl GStreamManager {
         fl.timing.kernel = kres.duration();
         fl.emitted = profile.emitted;
         let end = kres.end;
+        self.trace_stage(&fl, "kernel", kres.start, kres.end);
         // Scripted hang: the kernel never completes; the stream stays
         // occupied until the watchdog recovers the work.
         if eng.recovery.take_hang(fl.gpu) {
             fl.hung = true;
+            if self.tracer.enabled() {
+                self.tracer.record(
+                    TraceEvent::instant(
+                        gpu_pid(self.worker_id, fl.gpu),
+                        stream_tid(fl.stream),
+                        Cat::Recovery,
+                        "hang",
+                        t,
+                    )
+                    .with_job(fl.job.0),
+                );
+            }
             let deadline = SimTime::from_nanos(
                 t.as_nanos()
                     .saturating_add(eng.recovery.hang_timeout().as_nanos()),
@@ -492,6 +582,18 @@ impl GStreamManager {
             {
                 let session = eng.sessions.get_mut(&fl.job).expect("session open");
                 eng.recovery.note_transient_fault(session);
+            }
+            if self.tracer.enabled() {
+                self.tracer.record(
+                    TraceEvent::instant(
+                        gpu_pid(self.worker_id, fl.gpu),
+                        stream_tid(fl.stream),
+                        Cat::Recovery,
+                        "transient",
+                        t,
+                    )
+                    .with_job(fl.job.0),
+                );
             }
             // The stream frees at the (wasted) kernel end; the work goes
             // back through Alg. 5.1 for a fresh placement after backoff.
@@ -546,7 +648,9 @@ impl GStreamManager {
                 }
             };
         fl.timing.d2h = rd2h.duration();
+        fl.timing.bytes_d2h = d2h_logical;
         fl.timing.completed = rd2h.end;
+        self.trace_stage(&fl, "d2h", rd2h.start, rd2h.end);
         // Automatic deallocation of transient buffers (§4.2.1) and
         // unpinning of the cached inputs.
         let session = eng.sessions.get_mut(&fl.job).expect("session open");
@@ -591,13 +695,25 @@ impl GStreamManager {
             gpu < eng.gmem.gpu_count(),
             "fault targets unknown device {gpu}"
         );
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(
+                    gpu_pid(self.worker_id, gpu),
+                    TID_DEVICE,
+                    Cat::Recovery,
+                    "fault-injected",
+                    t,
+                )
+                .with_arg("kind", format!("{kind:?}")),
+            );
+        }
         match kind {
             FaultKind::GpuLost { .. } => {
                 if eng.gmem.gpu(gpu).health().is_lost() {
                     return; // already gone; nothing more to lose
                 }
                 eng.recovery.note_gpu_lost(&mut *eng.sessions);
-                eng.gmem.gpu_mut(gpu).mark_lost();
+                eng.gmem.gpu_mut(gpu).mark_lost(t);
                 // Every open session loses its region on the dead device;
                 // each tenant's ledger records its own invalidations.
                 for session in eng.sessions.values_mut() {
@@ -645,7 +761,7 @@ impl GStreamManager {
                     return;
                 }
                 eng.recovery.note_gpu_degraded(&mut *eng.sessions);
-                eng.gmem.gpu_mut(gpu).degrade(throughput);
+                eng.gmem.gpu_mut(gpu).degrade(t, throughput);
             }
             FaultKind::KernelTransient { .. } => {
                 eng.recovery.arm_transient(gpu);

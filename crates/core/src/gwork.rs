@@ -140,6 +140,10 @@ pub struct WorkTiming {
     pub cache_hits: u32,
     /// Cache misses among cacheable inputs.
     pub cache_misses: u32,
+    /// Logical bytes actually copied host→device (zero on full cache hit).
+    pub bytes_h2d: u64,
+    /// Logical bytes copied device→host.
+    pub bytes_d2h: u64,
 }
 
 impl WorkTiming {

@@ -37,7 +37,7 @@ use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::RecoveryManager;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{GpuModel, KernelRegistry, VirtualGpu};
-use gflink_sim::{EventQueue, FaultLedger, FaultPlan, RetryPolicy, SimRng, SimTime};
+use gflink_sim::{EventQueue, FaultLedger, FaultPlan, RetryPolicy, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -197,6 +197,14 @@ impl GpuManager {
     /// simulation has already passed fire immediately at the next drain.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.recovery.set_fault_plan(plan);
+    }
+
+    /// Attach a tracer to all three layers: one trace process per GPU (and
+    /// one for the CPU-fallback pool), one thread per stream/engine.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.gmem.set_tracer(tracer.clone(), self.worker_id);
+        self.gstream.set_tracer(tracer.clone(), self.worker_id);
+        self.recovery.set_tracer(tracer, self.worker_id);
     }
 
     /// Worker-global cumulative fault/recovery counters.

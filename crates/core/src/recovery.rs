@@ -15,9 +15,10 @@ use crate::gwork::{CompletedWork, GWork, WorkTiming};
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
 use gflink_memory::HBuffer;
+use gflink_sim::trace::{cpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
     ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MultiTimeline, RetryPolicy,
-    SimTime,
+    SimTime, Tracer,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -159,6 +160,8 @@ pub struct RecoveryManager {
     ledger: FaultLedger,
     failures: u64,
     cpu_slots: MultiTimeline,
+    tracer: Tracer,
+    worker_id: usize,
 }
 
 impl RecoveryManager {
@@ -182,7 +185,25 @@ impl RecoveryManager {
             ledger: FaultLedger::default(),
             failures: 0,
             cpu_slots,
+            tracer: Tracer::disabled(),
+            worker_id: 0,
         }
+    }
+
+    /// Attach a tracer: the worker's CPU-fallback pool gets its own trace
+    /// process (thread 0 carries retry/failure instants, threads 1..=slots
+    /// the fallback execution spans).
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer, worker_id: usize) {
+        if tracer.enabled() {
+            let pid = cpu_pid(worker_id);
+            tracer.name_process(pid, &format!("worker{worker_id}/cpu"));
+            tracer.name_thread(pid, TID_DEVICE, "recovery");
+            for s in 0..self.cpu_slots.len() {
+                tracer.name_thread(pid, 1 + s as u32, &format!("cpu slot {s}"));
+            }
+        }
+        self.tracer = tracer;
+        self.worker_id = worker_id;
     }
 
     pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -331,6 +352,20 @@ impl RecoveryManager {
             self.note_retry(session);
             let delay = self.retry.backoff(retries);
             let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
+            if self.tracer.enabled() {
+                self.tracer.record(
+                    TraceEvent::instant(
+                        cpu_pid(self.worker_id),
+                        TID_DEVICE,
+                        Cat::Recovery,
+                        "retry",
+                        now,
+                    )
+                    .with_job(job.0)
+                    .with_arg("op", &work.name)
+                    .with_arg("attempt", retries + 1),
+                );
+            }
             q.schedule(
                 at,
                 Ev::Submit(Box::new((job, submitted, retries + 1, work))),
@@ -356,6 +391,19 @@ impl RecoveryManager {
     ) {
         self.ledger.works_failed += 1;
         session.ledger_mut().works_failed += 1;
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(
+                    cpu_pid(self.worker_id),
+                    TID_DEVICE,
+                    Cat::Recovery,
+                    "work-failed",
+                    now,
+                )
+                .with_arg("op", &work.name)
+                .with_arg("reason", format!("{reason:?}")),
+            );
+        }
         session.failed.push(FailedWork {
             name: work.name,
             tag: work.tag,
@@ -370,9 +418,11 @@ impl RecoveryManager {
     /// really runs over the host buffers; time comes from the CPU roofline
     /// model over a bounded slot pool. No H2D/D2H is charged — the data
     /// never leaves host memory.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_on_cpu_or_fail(
         &mut self,
         session: &mut JobSession,
+        job: JobId,
         registry: &Arc<Mutex<KernelRegistry>>,
         work: GWork,
         submitted: SimTime,
@@ -417,6 +467,20 @@ impl RecoveryManager {
         let (slot, r) = self.cpu_slots.reserve(t, dur);
         self.ledger.cpu_fallbacks += 1;
         session.ledger_mut().cpu_fallbacks += 1;
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    cpu_pid(self.worker_id),
+                    1 + slot as u32,
+                    Cat::Cpu,
+                    work.name.clone(),
+                    r.start,
+                    r.end,
+                )
+                .with_job(job.0)
+                .with_arg("fallback", "all GPUs lost"),
+            );
+        }
         session.completed.push(CompletedWork {
             name: work.name,
             tag: work.tag,
@@ -433,6 +497,8 @@ impl RecoveryManager {
                 completed: r.end,
                 cache_hits: 0,
                 cache_misses: 0,
+                bytes_h2d: 0,
+                bytes_d2h: 0,
             },
         });
     }

@@ -45,6 +45,8 @@ pub struct JobSession {
     pub(crate) failed: Vec<FailedWork>,
     /// The job's fault/recovery counters, with a delta mark for reporting.
     pub(crate) ledger: LedgerWindow,
+    /// Alg. 5.2 steals that served this job's works.
+    pub(crate) steals: u64,
 }
 
 impl JobSession {
@@ -55,7 +57,13 @@ impl JobSession {
             completed: Vec::new(),
             failed: Vec::new(),
             ledger: LedgerWindow::default(),
+            steals: 0,
         }
+    }
+
+    /// Alg. 5.2 steals that served this job's works.
+    pub fn steals(&self) -> u64 {
+        self.steals
     }
 
     /// The job's cache region on device `gpu`.

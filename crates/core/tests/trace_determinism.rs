@@ -1,0 +1,125 @@
+//! Trace determinism: the exported Chrome trace is a pure function of the
+//! (seed, FaultPlan) pair. Two runs from the same seed and plan produce
+//! byte-identical JSON — so a trace attached to a bug report *is* the run,
+//! not a run like it — while a different seed produces a different trace.
+
+use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{FaultKind, FaultPlan, RetryPolicy, SimRng, SimTime, Tracer};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn registry() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+        let n = args.n_actual;
+        for i in 0..n {
+            let v = args.inputs[0].read_f32(i * 4);
+            args.outputs[0].write_f32(i * 4, v * 2.0);
+        }
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+/// A seeded workload: block sizes and submit instants drawn from the seed,
+/// so different seeds yield genuinely different timelines.
+fn mk_work(i: u32, rng: &mut SimRng) -> GWork {
+    let base = i as f32;
+    let data = Arc::new(HBuffer::from_f32s(&[base, base + 0.5, -base, base * 3.0]));
+    let logical = (1u64 << 21) + rng.gen_range(1 << 22);
+    GWork {
+        name: format!("w{i}"),
+        execute_name: "scale2".into(),
+        ptx_path: "/scale2.ptx".into(),
+        block_size: 256,
+        grid_size: 1,
+        inputs: vec![if i.is_multiple_of(2) {
+            WorkBuf::cached(
+                data,
+                logical,
+                CacheKey {
+                    dataset: 9,
+                    partition: i % 4,
+                    block: i,
+                },
+            )
+        } else {
+            WorkBuf::transient(data, logical)
+        }],
+        out_actual_bytes: 16,
+        out_logical_bytes: logical,
+        out_records: 4,
+        params: vec![],
+        n_actual: 4,
+        n_logical: logical / 4,
+        coalescing: 1.0,
+        tag: (0, i),
+    }
+}
+
+/// The shared fault plan: a transient kernel fault early, one GPU lost
+/// mid-run — exercising the Recovery and Health event paths too.
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .with(
+            SimTime::from_micros(200),
+            FaultKind::KernelTransient { gpu: 0 },
+        )
+        .with(SimTime::from_millis(2), FaultKind::GpuLost { gpu: 1 })
+}
+
+fn run_once(seed: u64) -> String {
+    let mut m = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050; 2],
+            hang_timeout: SimTime::from_millis(50),
+            retry: RetryPolicy {
+                max_retries: 100,
+                ..RetryPolicy::default()
+            },
+            ..GpuWorkerConfig::default()
+        },
+        registry(),
+    );
+    let tracer = Tracer::new(Tracer::DEFAULT_CAPACITY);
+    m.set_tracer(tracer.clone());
+    m.set_fault_plan(plan());
+    let mut rng = SimRng::new(seed);
+    let mut at = SimTime::ZERO;
+    for i in 0..32 {
+        at += SimTime::from_micros(10 + rng.gen_range(80));
+        m.submit(mk_work(i, &mut rng), at);
+    }
+    let done = m.drain();
+    assert_eq!(done.len(), 32, "all works must complete");
+    tracer.export_chrome_json()
+}
+
+#[test]
+fn same_seed_same_plan_is_byte_identical() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same (seed, FaultPlan) must export identical traces");
+}
+
+#[test]
+fn different_seed_differs() {
+    let a = run_once(42);
+    let c = run_once(43);
+    assert_ne!(a, c, "a different seed must change the trace");
+}
+
+#[test]
+fn trace_records_fault_and_recovery_events() {
+    let json = run_once(42);
+    // The plan's injected faults surface as Recovery instants and the lost
+    // device as a Health transition.
+    assert!(json.contains("\"cat\":\"recovery\""));
+    assert!(json.contains("\"fault-injected\""));
+    assert!(json.contains("\"cat\":\"health\""));
+    assert!(json.contains("\"lost\""));
+}

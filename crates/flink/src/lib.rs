@@ -26,10 +26,12 @@ pub mod cost;
 pub mod dataset;
 pub mod env;
 pub mod graph;
+pub mod rollup;
 pub mod topology;
 
 pub use cost::{CpuSpec, OpCost};
 pub use dataset::{DataSet, KeyedOps};
 pub use env::{FlinkEnv, JobReport};
 pub use graph::{JobGraph, PhaseRecord};
+pub use rollup::{GpuLane, GpuRollup, GpuWorkSample};
 pub use topology::{Cluster, ClusterConfig, NetworkModel, SharedCluster, Worker};

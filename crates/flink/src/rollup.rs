@@ -1,0 +1,271 @@
+//! Per-job GPU rollups: the observability summary folded into a
+//! [`crate::JobReport`].
+//!
+//! While the tracer (`gflink_sim::trace`) records *individual* spans for
+//! offline timeline inspection, the rollup keeps *aggregate* statistics
+//! cheap enough to compute on every job: per-stage time histograms
+//! ([`gflink_sim::Summary`]), cache hit rate, bytes moved per channel,
+//! work-steal counts, and per-device busy/utilization lanes. The driver
+//! feeds one [`GpuWorkSample`] per completed `GWork` as it drains the
+//! managers, plus one [`GpuLane`] per device at job teardown.
+
+use gflink_sim::{SimTime, Summary};
+use std::fmt;
+
+/// Per-work observation fed into the rollup by the drain loop.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuWorkSample {
+    /// Worker that executed the work.
+    pub worker: usize,
+    /// Device index within the worker, `None` for a CPU fallback.
+    pub gpu: Option<usize>,
+    /// Time queued before a stream picked the work up.
+    pub queued: SimTime,
+    /// H2D transfer time (zero on a full cache hit).
+    pub h2d: SimTime,
+    /// Kernel execution time.
+    pub kernel: SimTime,
+    /// D2H transfer time.
+    pub d2h: SimTime,
+    /// Submission-to-completion time.
+    pub total: SimTime,
+    /// Cache hits among the work's inputs.
+    pub cache_hits: u32,
+    /// Cache misses among the work's cacheable inputs.
+    pub cache_misses: u32,
+    /// Logical bytes copied host→device.
+    pub bytes_h2d: u64,
+    /// Logical bytes copied device→host.
+    pub bytes_d2h: u64,
+}
+
+/// Per-device activity over the job's run, reported at teardown.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuLane {
+    /// Worker index.
+    pub worker: usize,
+    /// Device index within the worker.
+    pub gpu: usize,
+    /// Works this device completed for the job.
+    pub works: u64,
+    /// Cumulative kernel-engine busy time.
+    pub kernel_busy: SimTime,
+    /// Cumulative copy-engine busy time (both directions).
+    pub copy_busy: SimTime,
+    /// Kernel-engine utilization over the job's report window.
+    pub utilization: f64,
+}
+
+/// Aggregate GPU-side statistics for one job.
+#[derive(Clone, Debug, Default)]
+pub struct GpuRollup {
+    /// Works completed on a GPU.
+    pub works: u64,
+    /// Works completed on the CPU fallback path (all GPUs lost).
+    pub cpu_works: u64,
+    /// Queueing-time histogram.
+    pub queue: Summary,
+    /// H2D-stage histogram.
+    pub h2d: Summary,
+    /// Kernel-stage histogram.
+    pub kernel: Summary,
+    /// D2H-stage histogram.
+    pub d2h: Summary,
+    /// Submission-to-completion histogram.
+    pub total: Summary,
+    /// Cache hits across all works.
+    pub cache_hits: u64,
+    /// Cache misses across all works.
+    pub cache_misses: u64,
+    /// Logical bytes moved host→device.
+    pub bytes_h2d: u64,
+    /// Logical bytes moved device→host.
+    pub bytes_d2h: u64,
+    /// Alg. 5.2 steals that served this job's works.
+    pub steals: u64,
+    /// Per-device activity lanes, in (worker, gpu) order.
+    pub lanes: Vec<GpuLane>,
+}
+
+impl GpuRollup {
+    /// Fold one completed work into the rollup.
+    pub fn record(&mut self, s: &GpuWorkSample) {
+        match s.gpu {
+            Some(_) => self.works += 1,
+            None => self.cpu_works += 1,
+        }
+        self.queue.add_time(s.queued);
+        self.h2d.add_time(s.h2d);
+        self.kernel.add_time(s.kernel);
+        self.d2h.add_time(s.d2h);
+        self.total.add_time(s.total);
+        self.cache_hits += s.cache_hits as u64;
+        self.cache_misses += s.cache_misses as u64;
+        self.bytes_h2d += s.bytes_h2d;
+        self.bytes_d2h += s.bytes_d2h;
+    }
+
+    /// GPU cache hit rate over cacheable lookups, in `[0, 1]`.
+    /// Returns 0.0 when no lookup happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// True when no work was recorded (CPU-only job).
+    pub fn is_empty(&self) -> bool {
+        self.works == 0 && self.cpu_works == 0
+    }
+
+    /// Single-line digest for compact logs.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{} works ({} cpu-fallback), cache {:.0}% hit, {} H2D / {} D2H, {} steals",
+            self.works,
+            self.cpu_works,
+            self.hit_rate() * 100.0,
+            fmt_bytes(self.bytes_h2d),
+            fmt_bytes(self.bytes_d2h),
+            self.steals,
+        )
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = b as f64;
+    if b >= MIB {
+        format!("{:.1} MiB", b / MIB)
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn fmt_ms(secs: f64) -> String {
+    format!("{:.3} ms", secs * 1e3)
+}
+
+impl fmt::Display for GpuRollup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gpu rollup: {} works on GPU, {} on CPU fallback, {} steals",
+            self.works, self.cpu_works, self.steals
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  bytes: {} host→device, {} device→host",
+            fmt_bytes(self.bytes_h2d),
+            fmt_bytes(self.bytes_d2h)
+        )?;
+        writeln!(f, "  stage        mean        max        total")?;
+        for (name, s) in [
+            ("queue", &self.queue),
+            ("h2d", &self.h2d),
+            ("kernel", &self.kernel),
+            ("d2h", &self.d2h),
+            ("total", &self.total),
+        ] {
+            let max = if s.count() == 0 { 0.0 } else { s.max() };
+            writeln!(
+                f,
+                "  {name:<8} {:>11} {:>10} {:>12}",
+                fmt_ms(s.mean()),
+                fmt_ms(max),
+                fmt_ms(s.sum()),
+            )?;
+        }
+        for lane in &self.lanes {
+            writeln!(
+                f,
+                "  worker{}/gpu{}: {} works, kernel busy {}, copy busy {}, util {:.1}%",
+                lane.worker,
+                lane.gpu,
+                lane.works,
+                lane.kernel_busy,
+                lane.copy_busy,
+                lane.utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gpu: Option<usize>, hits: u32, misses: u32) -> GpuWorkSample {
+        GpuWorkSample {
+            worker: 0,
+            gpu,
+            queued: SimTime::from_micros(10),
+            h2d: SimTime::from_micros(100),
+            kernel: SimTime::from_micros(200),
+            d2h: SimTime::from_micros(50),
+            total: SimTime::from_micros(360),
+            cache_hits: hits,
+            cache_misses: misses,
+            bytes_h2d: 1024,
+            bytes_d2h: 512,
+        }
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut r = GpuRollup::default();
+        assert!(r.is_empty());
+        r.record(&sample(Some(0), 1, 0));
+        r.record(&sample(Some(1), 0, 1));
+        r.record(&sample(None, 0, 0));
+        assert!(!r.is_empty());
+        assert_eq!(r.works, 2);
+        assert_eq!(r.cpu_works, 1);
+        assert_eq!(r.cache_hits, 1);
+        assert_eq!(r.cache_misses, 1);
+        assert_eq!(r.bytes_h2d, 3 * 1024);
+        assert_eq!(r.bytes_d2h, 3 * 512);
+        assert_eq!(r.kernel.count(), 3);
+        assert!((r.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_guards_zero_lookups() {
+        let r = GpuRollup::default();
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 2, 1));
+        r.steals = 4;
+        r.lanes.push(GpuLane {
+            worker: 0,
+            gpu: 0,
+            works: 1,
+            kernel_busy: SimTime::from_micros(200),
+            copy_busy: SimTime::from_micros(150),
+            utilization: 0.5,
+        });
+        let text = format!("{r}");
+        assert!(text.contains("4 steals"));
+        assert!(text.contains("66.7% hit rate"));
+        assert!(text.contains("kernel"));
+        assert!(text.contains("worker0/gpu0"));
+        assert!(text.contains("util 50.0%"));
+    }
+}

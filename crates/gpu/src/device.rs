@@ -15,7 +15,8 @@ use crate::kernel::{KernelArgs, KernelFn, KernelProfile};
 use crate::spec::{GpuModel, GpuSpec};
 use gflink_memory::HBuffer;
 use gflink_sim::timeline::Reservation;
-use gflink_sim::{SimTime, Timeline};
+use gflink_sim::trace::{copy_engine_tid, Cat, TraceEvent, TID_DEVICE, TID_KERNEL_ENGINE};
+use gflink_sim::{SimTime, Timeline, Tracer};
 
 /// Direction of a PCIe copy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +40,8 @@ pub struct VirtualGpu {
     kernels_launched: u64,
     bytes_h2d: u64,
     bytes_d2h: u64,
+    tracer: Tracer,
+    trace_pid: u64,
 }
 
 impl VirtualGpu {
@@ -58,7 +61,23 @@ impl VirtualGpu {
             kernels_launched: 0,
             bytes_h2d: 0,
             bytes_d2h: 0,
+            tracer: Tracer::disabled(),
+            trace_pid: 0,
         }
+    }
+
+    /// Attach a tracer; the device emits engine-occupancy spans and health
+    /// transitions as trace process `pid` (see `gflink_sim::trace::gpu_pid`).
+    /// Engine thread names are registered here.
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u64) {
+        if tracer.enabled() {
+            tracer.name_thread(pid, TID_KERNEL_ENGINE, "kernel engine");
+            for i in 0..self.copy_engines.len() {
+                tracer.name_thread(pid, copy_engine_tid(i), &format!("copy engine {i}"));
+            }
+        }
+        self.tracer = tracer;
+        self.trace_pid = pid;
     }
 
     /// Device index within its worker.
@@ -82,9 +101,9 @@ impl VirtualGpu {
     }
 
     /// Degrade the device to `throughput` (fraction of nominal, in
-    /// `(0, 1]`). Degradations do not compound: the worst one wins. A lost
-    /// device stays lost.
-    pub fn degrade(&mut self, throughput: f64) {
+    /// `(0, 1]`) at instant `at`. Degradations do not compound: the worst
+    /// one wins. A lost device stays lost.
+    pub fn degrade(&mut self, at: SimTime, throughput: f64) {
         assert!(
             throughput > 0.0 && throughput <= 1.0,
             "degraded throughput must be in (0, 1]"
@@ -96,15 +115,28 @@ impl VirtualGpu {
             },
             DeviceHealth::Healthy => DeviceHealth::Degraded { throughput },
         };
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(self.trace_pid, TID_DEVICE, Cat::Health, "degraded", at)
+                    .with_arg("throughput", throughput),
+            );
+        }
     }
 
-    /// Take the device off the bus permanently. All device memory contents
-    /// are destroyed (outstanding handles become invalid); every later
-    /// transfer or launch fails with [`DeviceError::Lost`]. Returns how
-    /// many device allocations were destroyed.
-    pub fn mark_lost(&mut self) -> usize {
+    /// Take the device off the bus permanently at instant `at`. All device
+    /// memory contents are destroyed (outstanding handles become invalid);
+    /// every later transfer or launch fails with [`DeviceError::Lost`].
+    /// Returns how many device allocations were destroyed.
+    pub fn mark_lost(&mut self, at: SimTime) -> usize {
         self.health = DeviceHealth::Lost;
-        self.dmem.wipe()
+        let wiped = self.dmem.wipe();
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(self.trace_pid, TID_DEVICE, Cat::Health, "lost", at)
+                    .with_arg("wiped_allocations", wiped),
+            );
+        }
+        wiped
     }
 
     fn ensure_usable(&self) -> Result<(), DeviceError> {
@@ -115,14 +147,13 @@ impl VirtualGpu {
         }
     }
 
-    fn copy_engine_for(&mut self, dir: CopyDirection) -> &mut Timeline {
+    fn copy_engine_index(&self, dir: CopyDirection) -> usize {
         // One engine: both directions share it (half duplex). Two engines:
         // H2D on engine 0, D2H on engine 1 (full duplex).
-        let idx = match dir {
+        match dir {
             CopyDirection::H2D => 0,
             CopyDirection::D2H => self.copy_engines.len() - 1,
-        };
-        &mut self.copy_engines[idx]
+        }
     }
 
     /// Time this device needs to move `logical_bytes` in one copy call.
@@ -154,9 +185,22 @@ impl VirtualGpu {
         self.dmem.upload(dst, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_h2d += logical_bytes;
-        Ok(self
-            .copy_engine_for(CopyDirection::H2D)
-            .reserve(earliest, dur))
+        let engine = self.copy_engine_index(CopyDirection::H2D);
+        let r = self.copy_engines[engine].reserve(earliest, dur);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    self.trace_pid,
+                    copy_engine_tid(engine),
+                    Cat::H2d,
+                    "H2D",
+                    r.start,
+                    r.end,
+                )
+                .with_arg("bytes", logical_bytes),
+            );
+        }
+        Ok(r)
     }
 
     /// Copy a device buffer back to host memory.
@@ -171,9 +215,22 @@ impl VirtualGpu {
         self.dmem.download(src, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_d2h += logical_bytes;
-        Ok(self
-            .copy_engine_for(CopyDirection::D2H)
-            .reserve(earliest, dur))
+        let engine = self.copy_engine_index(CopyDirection::D2H);
+        let r = self.copy_engines[engine].reserve(earliest, dur);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    self.trace_pid,
+                    copy_engine_tid(engine),
+                    Cat::D2h,
+                    "D2H",
+                    r.start,
+                    r.end,
+                )
+                .with_arg("bytes", logical_bytes),
+            );
+        }
+        Ok(r)
     }
 
     /// Simulated duration of a kernel with the given profile on this device:
@@ -223,7 +280,22 @@ impl VirtualGpu {
         profile.coalescing = (profile.coalescing * coalescing_scale).clamp(1.0 / 32.0, 1.0);
         let dur = self.kernel_time(&profile);
         self.kernels_launched += 1;
-        Ok((self.kernel_engine.reserve(earliest, dur), profile))
+        let r = self.kernel_engine.reserve(earliest, dur);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    self.trace_pid,
+                    TID_KERNEL_ENGINE,
+                    Cat::Kernel,
+                    "kernel",
+                    r.start,
+                    r.end,
+                )
+                .with_arg("flops", profile.flops)
+                .with_arg("bytes", profile.bytes),
+            );
+        }
+        Ok((r, profile))
     }
 
     /// The instant all engines are idle.
@@ -245,6 +317,21 @@ impl VirtualGpu {
     /// Lifetime statistics: (kernels launched, H2D bytes, D2H bytes).
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.kernels_launched, self.bytes_h2d, self.bytes_d2h)
+    }
+
+    /// Total kernel-engine busy (service) time.
+    pub fn kernel_busy(&self) -> SimTime {
+        self.kernel_engine.busy_time()
+    }
+
+    /// Total copy-engine busy time, summed over engines.
+    pub fn copy_busy(&self) -> SimTime {
+        self.copy_engines.iter().map(Timeline::busy_time).sum()
+    }
+
+    /// Kernel-engine utilization over `[0, horizon]` (0 on a zero horizon).
+    pub fn kernel_utilization(&self, horizon: SimTime) -> f64 {
+        self.kernel_engine.utilization(horizon)
     }
 
     /// Reset all engine timelines (device memory is untouched).
@@ -362,7 +449,7 @@ mod tests {
         let a = gpu.dmem.alloc(16, 16).unwrap();
         let host = HBuffer::zeroed(16);
         assert_eq!(gpu.health(), crate::health::DeviceHealth::Healthy);
-        let wiped = gpu.mark_lost();
+        let wiped = gpu.mark_lost(SimTime::ZERO);
         assert_eq!(wiped, 1);
         assert!(gpu.health().is_lost());
         assert_eq!(gpu.dmem.used(), 0);
@@ -382,12 +469,12 @@ mod tests {
         let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
         let nominal_copy = gpu.copy_time(1_000_000);
         let nominal_kernel = gpu.kernel_time(&KernelProfile::new(1e9, 1e9));
-        gpu.degrade(0.5);
+        gpu.degrade(SimTime::ZERO, 0.5);
         assert!(gpu.copy_time(1_000_000) > nominal_copy);
         assert!(gpu.kernel_time(&KernelProfile::new(1e9, 1e9)) > nominal_kernel);
         // Worst degradation wins; weaker ones don't undo it.
-        gpu.degrade(0.25);
-        gpu.degrade(0.9);
+        gpu.degrade(SimTime::ZERO, 0.25);
+        gpu.degrade(SimTime::ZERO, 0.9);
         assert_eq!(
             gpu.health(),
             crate::health::DeviceHealth::Degraded { throughput: 0.25 }

@@ -30,6 +30,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 
 pub use accounting::{Accounting, Phase};
 pub use cost::{BandwidthCost, ComputeCost, LatencyBandwidth};
@@ -39,3 +40,4 @@ pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;
 pub use timeline::{MultiTimeline, Timeline};
+pub use trace::{Cat, EventKind, LaneProfile, PipelineProfile, TraceEvent, Tracer};

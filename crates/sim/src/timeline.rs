@@ -179,6 +179,18 @@ impl MultiTimeline {
         self.servers.iter().map(Timeline::busy_time).sum()
     }
 
+    /// Mean per-server utilization in `[0, 1]` over `[0, horizon]`.
+    ///
+    /// Like [`Timeline::utilization`], a zero horizon reports zero rather
+    /// than NaN/∞ (an empty observation window has no meaningful rate).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        let denom = horizon.as_secs_f64() * self.servers.len() as f64;
+        (self.busy_time().as_secs_f64() / denom).min(1.0)
+    }
+
     /// Reset every server to the epoch.
     pub fn reset(&mut self) {
         for s in &mut self.servers {
@@ -251,6 +263,17 @@ mod tests {
         assert_eq!(pool.idle_at(t(0)), 1);
         assert_eq!(pool.idle_at(t(15)), 2);
         assert_eq!(pool.idle_at(t(25)), 3);
+    }
+
+    #[test]
+    fn multi_utilization_guards_zero_horizon() {
+        let mut pool = MultiTimeline::new(2);
+        assert_eq!(pool.utilization(SimTime::ZERO), 0.0);
+        pool.reserve_on(0, t(0), t(50));
+        assert_eq!(pool.utilization(SimTime::ZERO), 0.0);
+        // One of two servers busy for half the horizon → 25%.
+        assert!((pool.utilization(t(100)) - 0.25).abs() < 1e-12);
+        assert!(pool.utilization(t(10)) <= 1.0);
     }
 
     #[test]

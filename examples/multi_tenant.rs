@@ -46,16 +46,18 @@ fn main() {
     let cs = spmv::run_gpu_at(&shared, &params_sp(&shared), SimTime::ZERO);
     let cp = pointadd::run_gpu_at(&shared, &params_pa(&shared), SimTime::ZERO);
 
-    println!("app        exclusive   concurrent");
+    println!("app        exclusive   concurrent   gpu rollup (concurrent)");
     for (name, e, c) in [
         ("kmeans", &ek, &ck),
         ("spmv", &es, &cs),
         ("pointadd", &ep, &cp),
     ] {
+        let gpu = c.report.gpu.as_ref().expect("GPU job carries a rollup");
         println!(
-            "{name:<10} {:>8.2}s   {:>8.2}s",
+            "{name:<10} {:>8.2}s   {:>8.2}s   {}",
             e.report.total.as_secs_f64(),
-            c.report.total.as_secs_f64()
+            c.report.total.as_secs_f64(),
+            gpu.one_line()
         );
         assert!(
             (e.digest - c.digest).abs() <= 1e-6 * e.digest.abs().max(1.0),

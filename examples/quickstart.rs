@@ -111,4 +111,8 @@ fn main() {
         cpu_report.total.as_secs_f64() / gpu_report.total.as_secs_f64()
     );
     println!("\nGFlink phase ledger (Eq. 1):\n{}", gpu_report.acct);
+    // The per-job GPU rollup: stage histograms, cache hit rate, bytes per
+    // channel and per-device lanes, folded into the JobReport.
+    let gpu = gpu_report.gpu.as_ref().expect("GPU job carries a rollup");
+    println!("{gpu}");
 }
