@@ -8,7 +8,7 @@
 //!    same records, with the layout's coalescing factor flowing through the
 //!    roofline model into kernel time.
 
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::{FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec};
 use gflink_flink::{ClusterConfig, SharedCluster};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, VirtualGpu};
@@ -31,6 +31,7 @@ fn mixed_def() -> GStructDef {
 }
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Ablation: layout coalescing model",
         "useful fraction of fetched bytes per access pattern",
@@ -42,6 +43,11 @@ fn main() {
         "read all fields".into(),
     ]);
     for layout in DataLayout::ALL {
+        results.push(jobj! {
+            "experiment": "coalescing", "layout": layout.label(),
+            "single_field": layout.coalescing_efficiency(&def, 1),
+            "all_fields": layout.coalescing_all_fields(&def),
+        });
         row(&[
             layout.label().into(),
             format!("{:.2}", layout.coalescing_efficiency(&def, 1)),
@@ -58,6 +64,10 @@ fn main() {
     for layout in DataLayout::ALL {
         let coal = layout.coalescing_efficiency(&def, 1);
         let p = KernelProfile::new(1e8, 1e9).with_coalescing(coal);
+        results.push(jobj! {
+            "experiment": "roofline", "layout": layout.label(),
+            "kernel_secs": gpu.kernel_time(&p),
+        });
         row(&[
             layout.label().into(),
             format!("{:.2}", gpu.kernel_time(&p).as_millis_f64()),
@@ -133,7 +143,12 @@ fn main() {
             "layout {} broke data",
             layout.label()
         );
+        results.push(jobj! {
+            "experiment": "end_to_end", "layout": layout.label(),
+            "map_wall_secs": wall,
+        });
         row(&[layout.label().into(), format!("{:.4}", wall.as_secs_f64())]);
     }
     println!("(expect AoS slowest for the single-field kernel; SoA == AoP)");
+    write_results("ablation_layout", &Json::Arr(results));
 }

@@ -11,7 +11,7 @@
 //! Also sweeps the GFlink block size (§5.1): tiny blocks drown in per-call
 //! overhead, huge blocks lose pipeline overlap.
 
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::{FabricConfig, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
 use gflink_flink::ClusterConfig;
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
@@ -75,6 +75,7 @@ fn makespan(model: GpuModel, streams: usize, blocks: u32, block_bytes: u64) -> S
 }
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Ablation: three-stage pipelining",
         "64 blocks x 8MB, makespan by stream count and copy engines",
@@ -92,6 +93,11 @@ fn main() {
             .iter()
             .map(|&s| makespan(model, s, 64, 8 << 20))
             .collect();
+        results.push(jobj! {
+            "experiment": "streams", "device": model.name(),
+            "streams_1_secs": times[0], "streams_2_secs": times[1],
+            "streams_4_secs": times[2], "streams_8_secs": times[3],
+        });
         row(&[
             model.name().into(),
             format!("{:.3}", times[0].as_secs_f64()),
@@ -116,6 +122,10 @@ fn main() {
         let block = 1u64 << shift;
         let blocks = (total / block) as u32;
         let t = makespan(GpuModel::TeslaC2050, 4, blocks, block);
+        results.push(jobj! {
+            "experiment": "block_size", "block_bytes": block,
+            "blocks": blocks, "makespan_secs": t,
+        });
         row(&[
             format!("{} KiB", block >> 10),
             format!("{blocks}"),
@@ -134,4 +144,5 @@ fn main() {
         d.block_bytes >> 10,
         ClusterConfig::standard(10).num_workers
     );
+    write_results("ablation_pipeline", &Json::Arr(results));
 }

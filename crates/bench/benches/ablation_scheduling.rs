@@ -11,7 +11,7 @@
 //!    the queue; disabling it strands work behind the slow one.
 
 use gflink_apps::{spmv, Setup};
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::{
     CacheKey, FabricConfig, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf,
 };
@@ -32,6 +32,7 @@ fn policies() -> [SchedulingPolicy; 4] {
 }
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Ablation: scheduling x cache locality",
         "SpMV (1GB, single node, 10 iterations) per policy",
@@ -59,6 +60,10 @@ fn main() {
                 }
             }
             (h, m)
+        });
+        results.push(jobj! {
+            "experiment": "locality", "policy": policy.label(),
+            "total_secs": run.total_secs(), "cache_hits": hits, "cache_misses": misses,
         });
         row(&[
             policy.label().into(),
@@ -104,6 +109,10 @@ fn main() {
             .map(|d| d.timing.completed)
             .max()
             .unwrap_or(SimTime::ZERO);
+        results.push(jobj! {
+            "experiment": "stealing", "policy": policy.label(),
+            "makespan_secs": makespan, "steals": mgr.steals(),
+        });
         row(&[
             policy.label().into(),
             format!("{:.1}", makespan.as_millis_f64()),
@@ -111,14 +120,15 @@ fn main() {
             format!("{}", mgr.steals()),
         ]);
     }
-    affinity_experiment();
+    affinity_experiment(&mut results);
+    write_results("ablation_scheduling", &Json::Arr(results));
 }
 
 /// Third experiment: cache affinity under submission-order jitter. Round 1
 /// warms 16 cached blocks; round 2 submits one uncached work first, which
 /// shifts round-robin's parity so every cached block lands on the wrong
 /// GPU — locality-aware scheduling is immune.
-fn affinity_experiment() {
+fn affinity_experiment(results: &mut Vec<Json>) {
     header(
         "Ablation: cache affinity under submission jitter",
         "16 cached blocks re-submitted after one interloper work",
@@ -166,6 +176,10 @@ fn affinity_experiment() {
         let end = done.iter().map(|d| d.timing.completed).max().unwrap();
         let hits: u32 = done.iter().map(|d| d.timing.cache_hits).sum();
         let misses: u32 = done.iter().map(|d| d.timing.cache_misses).sum();
+        results.push(jobj! {
+            "experiment": "affinity", "policy": policy.label(),
+            "round2_secs": end - round1_end, "cache_hits": hits, "cache_misses": misses,
+        });
         row(&[
             policy.label().into(),
             format!("{:.1}", (end - round1_end).as_millis_f64()),

@@ -5,7 +5,7 @@
 //! Both pipelines really execute on scale-reduced data; times are modelled
 //! at the logical scale.
 
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::commpath::{gstruct_path, naive_path};
 use gflink_flink::CpuSpec;
 use gflink_gpu::GpuModel;
@@ -36,6 +36,7 @@ fn records(n: usize) -> Vec<Record> {
 }
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Ablation: serialization path vs GStruct zero-copy path",
         "host->device->host round trip (Tesla C2050)",
@@ -59,6 +60,14 @@ fn main() {
         assert_eq!(out, actual, "naive path corrupted the data");
         let bytes = HBuffer::zeroed(64);
         let (_copy, zc) = gstruct_path(&bytes, logical * def.size() as u64, &gpu);
+        results.push(jobj! {
+            "records_logical": logical,
+            "naive_total_secs": naive.total(),
+            "naive_encode_secs": naive.encode,
+            "naive_decode_secs": naive.decode,
+            "gstruct_total_secs": zc.total(),
+            "speedup": naive.total().as_secs_f64() / zc.total().as_secs_f64(),
+        });
         row(&[
             format!("{logical}"),
             format!("{:.2}", naive.total().as_millis_f64()),
@@ -77,4 +86,5 @@ fn main() {
         "(the transfer legs are identical; everything GFlink wins, it wins by \
          deleting the encode/copy/decode steps — §4.1.2's off-heap argument)"
     );
+    write_results("ablation_serialization", &Json::Arr(results));
 }

@@ -5,7 +5,7 @@
 //! breakdown, and checks the paper's three observations against the data.
 
 use gflink_apps::{concomp, kmeans, linreg, pagerank, pointadd, spmv, wordcount, AppRun, Setup};
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::model;
 use gflink_sim::Phase;
 
@@ -98,6 +98,26 @@ fn main() {
         }
         pairs.push((app, cpu, gpu));
     }
+    let mut results = Vec::new();
+    for (app, cpu, gpu) in &pairs {
+        for (engine, run) in [("Flink", cpu), ("GFlink", gpu)] {
+            let a = &run.report.acct;
+            results.push(jobj! {
+                "app": *app,
+                "engine": engine,
+                "total_secs": run.report.total,
+                "map_secs": a.get(Phase::Map),
+                "reduce_secs": a.get(Phase::Reduce),
+                "shuffle_secs": a.get(Phase::Shuffle),
+                "io_secs": a.get(Phase::Io),
+                "kernel_secs": a.get(Phase::Kernel),
+                "h2d_secs": a.get(Phase::TransferH2D),
+                "d2h_secs": a.get(Phase::TransferD2H),
+                "speedup_total": model::speedup_total(&cpu.report.acct, &gpu.report.acct),
+            });
+        }
+    }
+    write_results("eq1_decomposition", &Json::Arr(results));
 
     header("Eq. (2)/(3)/(4)", "derived speedups and GPU map breakdown");
     row(&[

@@ -10,11 +10,12 @@
 //! input size (Observation 3).
 
 use gflink_apps::{kmeans, pagerank, wordcount, Setup};
-use gflink_bench::{header, row, secs, speedup};
+use gflink_bench::{header, jobj, row, secs, speedup, write_results, Json};
 
 const WORKERS: usize = 10;
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Fig 5a",
         "KMeans on the cluster (10 workers x [4 CPU + 2 C2050])",
@@ -31,6 +32,11 @@ fn main() {
         let cpu = kmeans::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = kmeans::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "5a", "app": "kmeans", "size": millions,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{millions}M"),
             secs(cpu.report.total),
@@ -52,6 +58,11 @@ fn main() {
         let cpu = pagerank::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = pagerank::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "5b", "app": "pagerank", "size": millions,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{millions}M"),
             secs(cpu.report.total),
@@ -73,6 +84,11 @@ fn main() {
         let cpu = wordcount::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = wordcount::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "5c", "app": "wordcount", "size": gb,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{gb}GB"),
             secs(cpu.report.total),
@@ -80,4 +96,5 @@ fn main() {
             format!("{:.2}x", speedup(&cpu, &gpu)),
         ]);
     }
+    write_results("fig5_cluster_overview", &Json::Arr(results));
 }

@@ -8,11 +8,12 @@
 //! ≈9.2x (the best case), ComponentConnect ≈4.8x.
 
 use gflink_apps::{concomp, linreg, spmv, Setup};
-use gflink_bench::{header, row, secs, speedup};
+use gflink_bench::{header, jobj, row, secs, speedup, write_results, Json};
 
 const WORKERS: usize = 10;
 
 fn main() {
+    let mut results = Vec::new();
     header(
         "Fig 6a",
         "SpMV on the cluster (10 workers x [4 CPU + 2 C2050])",
@@ -29,6 +30,11 @@ fn main() {
         let cpu = spmv::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = spmv::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "6a", "app": "spmv", "size": gb,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{gb}GB"),
             secs(cpu.report.total),
@@ -50,6 +56,11 @@ fn main() {
         let cpu = linreg::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = linreg::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "6b", "app": "linreg", "size": millions,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{millions}M"),
             secs(cpu.report.total),
@@ -71,6 +82,11 @@ fn main() {
         let cpu = concomp::run_cpu(&s1, &p);
         let s2 = Setup::standard(WORKERS);
         let gpu = concomp::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "6c", "app": "concomp", "size": millions,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+            "speedup": speedup(&cpu, &gpu),
+        });
         row(&[
             format!("{millions}M"),
             secs(cpu.report.total),
@@ -78,4 +94,5 @@ fn main() {
             format!("{:.2}x", speedup(&cpu, &gpu)),
         ]);
     }
+    write_results("fig6_cluster_overview", &Json::Arr(results));
 }

@@ -13,19 +13,21 @@
 //!   per GPU — exactly the §4.2.2 scenario that policy exists for).
 
 use gflink_apps::{kmeans, spmv, Setup};
-use gflink_bench::{header, per_iteration_with_io, row, secs};
+use gflink_bench::{header, jobj, per_iteration_with_io, row, secs, write_results, Json};
 use gflink_core::{CachePolicy, FabricConfig, GpuWorkerConfig};
 use gflink_flink::ClusterConfig;
 use gflink_gpu::GpuModel;
 
 fn main() {
-    fig7a();
-    fig7b();
-    fig7c();
-    fig7d();
+    let mut results = Vec::new();
+    fig7a(&mut results);
+    fig7b(&mut results);
+    fig7c(&mut results);
+    fig7d(&mut results);
+    write_results("fig7_iterations_scaling", &Json::Arr(results));
 }
 
-fn fig7a() {
+fn fig7a(results: &mut Vec<Json>) {
     header(
         "Fig 7a",
         "KMeans per-iteration time, 210M points, 3 workers",
@@ -40,6 +42,10 @@ fn fig7a() {
     let ci = per_iteration_with_io(&cpu);
     let gi = per_iteration_with_io(&gpu);
     for (i, (c, g)) in ci.iter().zip(gi.iter()).enumerate() {
+        results.push(jobj! {
+            "fig": "7a", "app": "kmeans", "iter": i + 1,
+            "cpu_secs": *c, "gpu_secs": *g,
+        });
         row(&[format!("{}", i + 1), secs(*c), secs(*g)]);
     }
 }
@@ -58,7 +64,7 @@ fn single_machine(cpu_slots: usize, gpus: usize) -> Setup {
     Setup::with_configs(cluster, fabric)
 }
 
-fn fig7b() {
+fn fig7b(results: &mut Vec<Json>) {
     header(
         "Fig 7b",
         "SpMV per-iteration time, single machine, 1.0GB matrix + 123MB vector",
@@ -85,6 +91,10 @@ fn fig7b() {
     let g1 = per_iteration_with_io(&gpu1);
     let g2 = per_iteration_with_io(&gpu2);
     for i in 0..ci.len() {
+        results.push(jobj! {
+            "fig": "7b", "app": "spmv", "iter": i + 1,
+            "cpu_secs": ci[i], "gpu1_secs": g1[i], "gpu2_secs": g2[i],
+        });
         row(&[format!("{}", i + 1), secs(ci[i]), secs(g1[i]), secs(g2[i])]);
     }
     println!(
@@ -94,7 +104,7 @@ fn fig7b() {
     );
 }
 
-fn fig7c() {
+fn fig7c(results: &mut Vec<Json>) {
     header("Fig 7c", "KMeans vs number of slave nodes, 210M points");
     row(&[
         "workers".into(),
@@ -108,6 +118,10 @@ fn fig7c() {
         let cpu = kmeans::run_cpu(&s1, &p);
         let s2 = Setup::standard(workers);
         let gpu = kmeans::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "7c", "app": "kmeans", "workers": workers,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+        });
         row(&[
             format!("{workers}"),
             secs(cpu.report.total),
@@ -120,7 +134,7 @@ fn fig7c() {
     }
 }
 
-fn fig7d() {
+fn fig7d(results: &mut Vec<Json>) {
     header("Fig 7d", "SpMV vs number of slave nodes, 10GB matrix");
     row(&[
         "workers".into(),
@@ -141,6 +155,10 @@ fn fig7d() {
         }
         let s2 = Setup::with_configs(ClusterConfig::standard(workers), fabric);
         let gpu = spmv::run_gpu(&s2, &p);
+        results.push(jobj! {
+            "fig": "7d", "app": "spmv", "workers": workers,
+            "cpu_secs": cpu.report.total, "gpu_secs": gpu.report.total,
+        });
         row(&[
             format!("{workers}"),
             secs(cpu.report.total),

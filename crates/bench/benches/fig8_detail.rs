@@ -13,20 +13,22 @@
 //!   concurrently.
 
 use gflink_apps::{kmeans, pointadd, spmv, Setup};
-use gflink_bench::{header, per_iteration_with_io, row, secs};
+use gflink_bench::{header, jobj, per_iteration_with_io, row, secs, write_results, Json};
 use gflink_core::{CachePolicy, FabricConfig, GpuWorkerConfig};
 use gflink_flink::ClusterConfig;
 use gflink_gpu::GpuModel;
 use gflink_sim::SimTime;
 
 fn main() {
-    fig8a();
-    fig8b();
-    fig8c();
-    fig8d();
+    let mut results = Vec::new();
+    fig8a(&mut results);
+    fig8b(&mut results);
+    fig8c(&mut results);
+    fig8d(&mut results);
+    write_results("fig8_detail", &Json::Arr(results));
 }
 
-fn fig8a() {
+fn fig8a(results: &mut Vec<Json>) {
     header(
         "Fig 8a",
         "Effect of the GPU cache scheme (SpMV, single node)",
@@ -45,6 +47,10 @@ fn fig8a() {
     let on = per_iteration_with_io(&with_cache);
     let off = per_iteration_with_io(&without);
     for i in 0..on.len() {
+        results.push(jobj! {
+            "fig": "8a", "app": "spmv", "iter": i + 1,
+            "cache_on_secs": on[i], "cache_off_secs": off[i],
+        });
         row(&[format!("{}", i + 1), secs(on[i]), secs(off[i])]);
     }
     println!(
@@ -169,7 +175,7 @@ fn reducer_times(model: GpuModel) -> (f64, f64) {
     (cpu_wall, gpu_wall)
 }
 
-fn fig8b() {
+fn fig8b(results: &mut Vec<Json>) {
     header(
         "Fig 8b",
         "GMapper/GReducer speedups per kernel and device (map-phase wall, CPU/GPU)",
@@ -185,6 +191,10 @@ fn fig8b() {
         let mut cols = vec![format!("GMapper {app}")];
         for model in GpuModel::ALL {
             let (c, g) = mapper_times(app, model);
+            results.push(jobj! {
+                "fig": "8b", "kernel": format!("GMapper {app}"),
+                "device": model.name(), "speedup": c / g,
+            });
             cols.push(format!("{:.1}x", c / g));
         }
         row(&cols);
@@ -192,6 +202,10 @@ fn fig8b() {
     let mut cols = vec!["GReducer sum".to_string()];
     for model in GpuModel::ALL {
         let (c, g) = reducer_times(model);
+        results.push(jobj! {
+            "fig": "8b", "kernel": "GReducer sum",
+            "device": model.name(), "speedup": c / g,
+        });
         cols.push(format!("{:.1}x", c / g));
     }
     row(&cols);
@@ -237,7 +251,7 @@ fn multi_app(workers: usize, parallelism: usize) -> ((f64, f64, f64), (f64, f64,
     ((excl_km, excl_sp, excl_pa), (conc_km, conc_sp, conc_pa))
 }
 
-fn fig8c() {
+fn fig8c(results: &mut Vec<Json>) {
     header(
         "Fig 8c",
         "Concurrent multi-application execution on a single node (GFlink times)",
@@ -248,9 +262,12 @@ fn fig8c() {
         "exclusive (s)".into(),
         "concurrent (s)".into(),
     ]);
-    row(&["kmeans".into(), format!("{ek:.2}"), format!("{ck:.2}")]);
-    row(&["spmv".into(), format!("{es:.2}"), format!("{cs:.2}")]);
-    row(&["pointadd".into(), format!("{ep:.2}"), format!("{cp:.2}")]);
+    for (app, e, c) in [("kmeans", ek, ck), ("spmv", es, cs), ("pointadd", ep, cp)] {
+        results.push(jobj! {
+            "fig": "8c", "app": app, "exclusive_secs": e, "concurrent_secs": c,
+        });
+        row(&[app.into(), format!("{e:.2}"), format!("{c:.2}")]);
+    }
     let avg_excl = (ek + es + ep) / 3.0;
     let conc_makespan = ck.max(cs).max(cp);
     println!(
@@ -260,7 +277,7 @@ fn fig8c() {
     );
 }
 
-fn fig8d() {
+fn fig8d(results: &mut Vec<Json>) {
     header(
         "Fig 8d",
         "Concurrent multi-application execution on the 10-worker cluster (parallelism 10 per app)",
@@ -339,6 +356,9 @@ fn fig8d() {
     ]);
     let concurrent = [km_c / km_g, sp_c / sp_g, pa_c / pa_g];
     for ((name, a), c) in alone.iter().zip(concurrent.iter()) {
+        results.push(jobj! {
+            "fig": "8d", "app": *name, "speedup_alone": *a, "speedup_concurrent": *c,
+        });
         row(&[name.to_string(), format!("{a:.2}x"), format!("{c:.2}x")]);
     }
 }

@@ -3,7 +3,7 @@
 //! baseline serializer, GPU cache operations, timeline reservations and the
 //! event queue. These are the hot paths of the simulation itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use gflink_core::{CacheKey, CachePolicy, GpuCache};
 use gflink_gpu::DeviceMemory;
 use gflink_memory::{
@@ -135,4 +135,33 @@ criterion_group!(
     bench_timeline,
     bench_event_queue
 );
-criterion_main!(benches);
+
+// These are real wall-clock numbers (machine-dependent), so only the
+// benchmark inventory is exported to `results/` — the measurements stay on
+// stdout. The summary keeps the artifact set uniform across harnesses.
+fn main() {
+    // `cargo test` runs bench binaries with --test; nothing to do.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    benches();
+    gflink_bench::write_results(
+        "micro_criterion",
+        &gflink_bench::Json::Obj(vec![(
+            "benchmarks".to_string(),
+            gflink_bench::Json::Arr(
+                [
+                    "pool_alloc_free",
+                    "layout_aos_to_soa_1k",
+                    "serializer_roundtrip_256",
+                    "gpu_cache_lookup_insert",
+                    "timeline_reserve",
+                    "event_queue_push_pop_64",
+                ]
+                .iter()
+                .map(|&n| gflink_bench::Json::from(n))
+                .collect(),
+            ),
+        )]),
+    );
+}

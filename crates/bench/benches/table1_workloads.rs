@@ -4,7 +4,7 @@
 //! materializing a sample and printing its statistics.
 
 use gflink_apps::{concomp, kmeans, linreg, pagerank, spmv, wordcount, Setup};
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 
 fn main() {
     header("Table 1", "Benchmarks from HiBench (+ Flink examples)");
@@ -103,4 +103,21 @@ fn main() {
         format!("logical={} actual={}", lr.n_logical, lr.n_actual),
         format!("d = {}", linreg::D),
     ]);
+
+    write_results(
+        "table1_workloads",
+        &Json::Arr(vec![
+            jobj! { "app": "kmeans", "n_logical": km.n_logical, "n_actual": km.n_actual },
+            jobj! { "app": "pagerank", "n_logical": pr.n_logical, "n_actual": pr.n_actual },
+            jobj! {
+                "app": "wordcount",
+                "words_logical": wc.words_logical(),
+                "words_actual": wc.words_actual,
+                "bytes_logical": wc.bytes_logical,
+            },
+            jobj! { "app": "spmv", "rows_logical": sp.rows_logical, "rows_actual": sp.rows_actual },
+            jobj! { "app": "concomp", "n_logical": cc.n_logical, "n_actual": cc.n_actual },
+            jobj! { "app": "linreg", "n_logical": lr.n_logical, "n_actual": lr.n_actual },
+        ]),
+    );
 }

@@ -6,7 +6,7 @@
 //! through a `VirtualGpu` H2D copy and the effective bandwidth is computed
 //! from the granted interval.
 
-use gflink_bench::{header, row};
+use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_gpu::{GpuModel, TransferPath, VirtualGpu};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
@@ -40,9 +40,17 @@ fn main() {
     let spec = GpuModel::TeslaC2050.spec();
     let gflink = TransferPath::gflink(&spec);
     let native = TransferPath::native(&spec);
+    let mut results = Vec::new();
     for &(bytes, paper_g, paper_n) in &PAPER {
         let g = gflink.effective_bandwidth(bytes) / 1e6;
         let n = native.effective_bandwidth(bytes) / 1e6;
+        results.push(jobj! {
+            "bytes": bytes,
+            "gflink_model_mbs": g,
+            "gflink_paper_mbs": paper_g,
+            "native_model_mbs": n,
+            "native_paper_mbs": paper_n,
+        });
         row(&[
             format!("{bytes}"),
             format!("{g:.1} MB/s"),
@@ -71,4 +79,5 @@ fn main() {
         cursor = r.end;
         gpu.dmem.release(dev).unwrap();
     }
+    write_results("table2_transfer_bandwidth", &Json::Arr(results));
 }

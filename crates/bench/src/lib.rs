@@ -77,6 +77,163 @@ macro_rules! cols {
     };
 }
 
+/// Minimal JSON value for machine-readable results export. The image ships
+/// no serde, so rendering is hand-rolled; numbers print with enough digits
+/// to round-trip and non-finite values degrade to `null`.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<SimTime> for Json {
+    fn from(v: SimTime) -> Self {
+        Json::Num(v.as_secs_f64())
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+/// Build a [`Json::Obj`] from `"key": value` pairs; values go through
+/// `Json::from`.
+#[macro_export]
+macro_rules! jobj {
+    ($($k:literal : $v:expr),* $(,)?) => {
+        $crate::Json::Obj(vec![$(($k.to_string(), $crate::Json::from($v))),*])
+    };
+}
+
+/// Write a harness's machine-readable results to `results/<name>.json` at
+/// the workspace root. Best-effort and silent: the printed tables are the
+/// benches' stdout contract, so IO failures are swallowed rather than
+/// polluting the output CI diffs against.
+pub fn write_results(name: &str, value: &Json) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut text = value.render();
+    text.push('\n');
+    let _ = std::fs::write(format!("{dir}/{name}.json"), text);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +241,36 @@ mod tests {
     #[test]
     fn secs_formats() {
         assert_eq!(secs(SimTime::from_millis(1500)), "1.50");
+    }
+
+    #[test]
+    fn json_renders_compact() {
+        let v = jobj! {
+            "app": "wordcount",
+            "secs": 1.5,
+            "works": 12u64,
+            "ok": true,
+            "series": Json::Arr(vec![Json::from(1u64), Json::Null]),
+        };
+        assert_eq!(
+            v.render(),
+            r#"{"app":"wordcount","secs":1.5,"works":12,"ok":true,"series":[1,null]}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_guards_nonfinite() {
+        let v = Json::Arr(vec![
+            Json::from("a\"b\\c\nd"),
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+        ]);
+        assert_eq!(v.render(), r#"["a\"b\\c\nd",null,null]"#);
+    }
+
+    #[test]
+    fn json_integers_render_without_fraction() {
+        assert_eq!(Json::from(3.0f64).render(), "3");
+        assert_eq!(Json::from(0.25f64).render(), "0.25");
     }
 }

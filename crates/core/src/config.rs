@@ -1,0 +1,141 @@
+//! Worker-level configuration: GPU complement, scheduling, fault policy,
+//! and the transfer-channel knobs (§4.1.2 pinned staging + small-GWork
+//! batching).
+
+use crate::cache::CachePolicy;
+use crate::recovery::CpuFallback;
+use gflink_gpu::{GpuModel, TransferMode};
+use gflink_sim::{RetryPolicy, SimTime};
+
+/// Transfer-channel configuration: host-side staging mode, the pinned
+/// staging pool, and small-GWork transfer batching.
+///
+/// The defaults reproduce the pre-optimization timeline byte-for-byte:
+/// `Pinned` mode with zero registration cost *is* the fitted Table 2 path
+/// (the paper measures page-locked direct buffers, so registration is
+/// already inside the fitted α), and batching is off.
+#[derive(Clone, Debug)]
+pub struct TransferConfig {
+    /// Host-side staging behaviour. `Pageable` models the path GFlink's
+    /// off-heap design avoids: an extra host memcpy per copy, synchronous.
+    pub mode: TransferMode,
+    /// Soft budget of registered (page-locked) staging bytes. Buffers
+    /// acquired beyond it are unregistered on release instead of recycled.
+    pub pinned_pool_bytes: u64,
+    /// Page-locking (registration) throughput in bytes/second, charged once
+    /// per freshly registered staging buffer (a pool miss). `0.0` means
+    /// registration is free — the fitted α already covers it — which keeps
+    /// default timelines identical.
+    pub register_bytes_per_sec: f64,
+    /// Small-GWork transfer batching.
+    pub batch: BatchConfig,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            mode: TransferMode::Pinned,
+            pinned_pool_bytes: 64 << 20,
+            register_bytes_per_sec: 0.0,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// Small-GWork transfer batching (CrystalGPU-style task batching): GWorks
+/// bound for the same GPU that would otherwise *queue* are coalesced into
+/// one fused H2D / kernel-sequence / fused D2H unit, paying a single
+/// per-call α per direction for the whole group.
+///
+/// Batches only form under backlog — a work that finds an idle stream runs
+/// immediately, unbatched — so enabling this never adds latency to an idle
+/// fabric, and a freed stream always flushes the pending batch rather than
+/// waiting out the window.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Master switch; off by default (byte-identical legacy behaviour).
+    pub enabled: bool,
+    /// Flush when a pending batch reaches this many works.
+    pub max_works: usize,
+    /// Flush when a pending batch's summed input bytes would exceed this.
+    pub max_bytes: u64,
+    /// Only works whose summed input logical bytes are at or below this
+    /// cutoff are batched; bigger works already amortize α on their own.
+    pub small_work_bytes: u64,
+    /// Upper bound on how long a pending batch may accumulate before it is
+    /// flushed to the queue regardless of fill.
+    pub window: SimTime,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            enabled: false,
+            max_works: 8,
+            max_bytes: 4 << 20,
+            small_work_bytes: 256 << 10,
+            window: SimTime::from_micros(50),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Batching enabled with the default thresholds.
+    pub fn enabled() -> Self {
+        BatchConfig {
+            enabled: true,
+            ..BatchConfig::default()
+        }
+    }
+}
+
+/// Configuration of one worker's GPU complement.
+#[derive(Clone, Debug)]
+pub struct GpuWorkerConfig {
+    /// GPU models installed in the worker (the paper's standard worker has
+    /// two Tesla C2050s).
+    pub models: Vec<GpuModel>,
+    /// CUDA streams per GPU (the stream bulk size).
+    pub streams_per_gpu: usize,
+    /// GPU cache region capacity per GPU, logical bytes (§4.2.2: a
+    /// user-defined parameter).
+    pub cache_capacity: u64,
+    /// Cache policy.
+    pub cache_policy: CachePolicy,
+    /// GWork scheduling policy.
+    pub scheduling: crate::scheduling::SchedulingPolicy,
+    /// Injected per-launch kernel failure probability (fault-tolerance
+    /// testing; §1 motivates building on Flink precisely because it
+    /// "uses replication and error detection to schedule around
+    /// failures"). A failed launch is detected at kernel completion, its
+    /// buffers are reclaimed, and the GWork is resubmitted — on a
+    /// *different* GPU when the worker has more than one.
+    pub failure_rate: f64,
+    /// Retry policy for faulted, hung, or resource-starved works:
+    /// exponential backoff, a retry budget and an optional deadline.
+    pub retry: RetryPolicy,
+    /// Watchdog timeout: a kernel flagged as hung is recovered this long
+    /// after its launch. Must be finite for hang faults to be recoverable.
+    pub hang_timeout: SimTime,
+    /// The CPU execution path used once every GPU is lost.
+    pub cpu_fallback: CpuFallback,
+    /// Transfer-channel behaviour: staging mode, pinned pool, batching.
+    pub transfer: TransferConfig,
+}
+
+impl Default for GpuWorkerConfig {
+    fn default() -> Self {
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+            streams_per_gpu: 4,
+            cache_capacity: 2_000_000_000, // 2 GB of the C2050's 3 GB
+            cache_policy: CachePolicy::Fifo,
+            scheduling: crate::scheduling::SchedulingPolicy::LocalityAware,
+            failure_rate: 0.0,
+            retry: RetryPolicy::default(),
+            hang_timeout: SimTime::from_secs(10),
+            cpu_fallback: CpuFallback::default(),
+            transfer: TransferConfig::default(),
+        }
+    }
+}

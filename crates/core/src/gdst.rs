@@ -351,11 +351,25 @@ impl GflinkEnv {
         // utilization means there).
         let window = self.flink.frontier();
         self.fabric.with_managers(|managers| {
-            let steals: u64 = managers
-                .iter()
-                .filter_map(|m| m.session(self.job))
-                .map(|s| s.steals())
-                .sum();
+            let mut steals = 0u64;
+            let mut batches = 0u64;
+            let mut batched_works = 0u64;
+            let mut alpha_saved = SimTime::ZERO;
+            let mut batch_size = gflink_sim::Summary::default();
+            let mut pinned = gflink_memory::PinnedStats::default();
+            for m in managers.iter() {
+                if let Some(s) = m.session(self.job) {
+                    steals += s.steals();
+                    batches += s.batches();
+                    batched_works += s.batched_works();
+                    alpha_saved += s.alpha_saved();
+                    batch_size.merge(s.batch_sizes());
+                }
+                let p = m.job_pinned_stats(self.job);
+                pinned.hits += p.hits;
+                pinned.misses += p.misses;
+                pinned.bytes += p.bytes;
+            }
             let mut lanes = Vec::new();
             for m in managers.iter() {
                 for g in 0..m.gpu_count() {
@@ -372,6 +386,13 @@ impl GflinkEnv {
             }
             self.flink.with_gpu_rollup(|r| {
                 r.steals += steals;
+                r.pinned_hits += pinned.hits;
+                r.pinned_misses += pinned.misses;
+                r.pinned_bytes += pinned.bytes;
+                r.batches += batches;
+                r.batched_works += batched_works;
+                r.alpha_saved += alpha_saved;
+                r.batch_size.merge(&batch_size);
                 if r.lanes.is_empty() && !r.is_empty() {
                     r.lanes = lanes;
                 }

@@ -16,9 +16,13 @@
 //! accounting survives session teardown.
 
 use crate::cache::{CachePolicy, GpuCache};
+use crate::config::TransferConfig;
 use crate::gwork::{CacheKey, GWork, WorkTiming};
 use crate::recovery::ManagerError;
-use gflink_gpu::{DevBufId, DeviceError, DeviceMemoryOps, DmemError, GpuModel, VirtualGpu};
+use gflink_gpu::{
+    DevBufId, DeviceError, DeviceMemoryOps, DmemError, GpuModel, TransferMode, VirtualGpu,
+};
+use gflink_memory::{HBuffer, PinnedLease, PinnedPool, PinnedStats};
 use gflink_sim::trace::{gpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{SimTime, Tracer};
 
@@ -30,6 +34,9 @@ pub(crate) struct StagedInputs {
     pub transient: Vec<DevBufId>,
     /// Cache keys pinned for the duration of the work.
     pub pinned: Vec<CacheKey>,
+    /// Pinned-pool leases backing the H2D copies; held until the copies
+    /// land (the kernel stage), then released for recycling.
+    pub staging: Vec<PinnedLease>,
     /// When the first H2D copy engine reservation starts; `None` when every
     /// input was a cache hit (no copy issued).
     pub h2d_start: Option<SimTime>,
@@ -40,6 +47,46 @@ pub(crate) struct StagedInputs {
     pub failure: Option<ManagerError>,
 }
 
+/// Per-member placement of one fused (batched) staging pass.
+pub(crate) struct StagedMember {
+    /// Device buffers, one per work input, in input order.
+    pub dev_inputs: Vec<DevBufId>,
+    /// Buffers to free once the member leaves the device.
+    pub transient: Vec<DevBufId>,
+    /// Cache keys pinned for the duration of the member.
+    pub pinned: Vec<CacheKey>,
+}
+
+/// Result of staging a whole batch of works through one fused H2D call
+/// (single per-call α for every member copy).
+pub(crate) struct FusedStaged {
+    /// Per-member placement, in member order (may be shorter than the batch
+    /// on failure — reclaim what is here).
+    pub members: Vec<StagedMember>,
+    /// Pinned-pool leases backing the fused copy; release after the copy
+    /// lands.
+    pub staging: Vec<PinnedLease>,
+    /// Fused copy reservation start; `None` when every input hit the cache.
+    pub h2d_start: Option<SimTime>,
+    /// When the fused copy lands (earliest launch of the first kernel).
+    pub kernel_earliest: SimTime,
+    /// Member copies folded into the one call (α is paid once instead of
+    /// this many times).
+    pub upload_calls: usize,
+    /// Set when staging failed; the caller reclaims `members` and releases
+    /// `staging`.
+    pub failure: Option<ManagerError>,
+}
+
+/// `logical/total` of `dur`, in integer nanoseconds (a member's share of a
+/// fused copy's engine time).
+pub(crate) fn pro_rata(dur: SimTime, logical: u64, total: u64) -> SimTime {
+    if total == 0 {
+        return SimTime::ZERO;
+    }
+    SimTime::from_nanos((dur.as_nanos() as u128 * logical as u128 / total as u128) as u64)
+}
+
 /// The device-memory half of the per-worker GPU manager.
 pub struct GMemoryManager {
     gpus: Vec<VirtualGpu>,
@@ -48,6 +95,14 @@ pub struct GMemoryManager {
     /// (hits, misses, evictions) carried over from retired job regions,
     /// per GPU, so worker-level cache stats survive session teardown.
     retired_stats: Vec<(u64, u64, u64)>,
+    /// Reusable page-locked host staging buffers (§4.1.2: registration is
+    /// paid once, recycled for the life of the worker).
+    pinned_pool: PinnedPool,
+    /// Host-side staging behaviour of the transfer channel.
+    mode: TransferMode,
+    /// Page-locking throughput (bytes/s) charged on a pool miss; `0.0`
+    /// means registration is free (the fitted α already covers it).
+    register_bps: f64,
     tracer: Tracer,
     worker_id: usize,
     /// Cumulative (hits, misses) per GPU, sampled into trace counters.
@@ -57,19 +112,32 @@ pub struct GMemoryManager {
 impl GMemoryManager {
     /// Build the memory manager over `models`, with per-GPU cache regions
     /// of `cache_capacity` logical bytes (clamped to 3/4 of device memory)
-    /// under `cache_policy`.
-    pub fn new(models: &[GpuModel], cache_capacity: u64, cache_policy: CachePolicy) -> Self {
-        let gpus: Vec<VirtualGpu> = models
+    /// under `cache_policy`, staging transfers per `transfer`.
+    pub fn new(
+        models: &[GpuModel],
+        cache_capacity: u64,
+        cache_policy: CachePolicy,
+        transfer: &TransferConfig,
+    ) -> Self {
+        let mut gpus: Vec<VirtualGpu> = models
             .iter()
             .enumerate()
             .map(|(i, &m)| VirtualGpu::new(i, m))
             .collect();
+        if transfer.mode != TransferMode::Pinned {
+            for g in &mut gpus {
+                g.set_transfer_mode(transfer.mode);
+            }
+        }
         let n = gpus.len();
         GMemoryManager {
             gpus,
             cache_capacity,
             cache_policy,
             retired_stats: vec![(0, 0, 0); n],
+            pinned_pool: PinnedPool::new(transfer.pinned_pool_bytes),
+            mode: transfer.mode,
+            register_bps: transfer.register_bytes_per_sec,
             tracer: Tracer::disabled(),
             worker_id: 0,
             trace_cache: vec![(0, 0); n],
@@ -255,14 +323,70 @@ impl GMemoryManager {
         }
     }
 
+    /// In pinned mode, route `data` through a page-locked pool buffer:
+    /// lease one (recycled when possible), memcpy into it, and return the
+    /// lease plus the registration cost (zero on a pool hit, or always when
+    /// registration is modelled as free).
+    fn lease_staging(&mut self, owner: u64, data: &HBuffer) -> (Option<PinnedLease>, SimTime) {
+        if self.mode != TransferMode::Pinned || data.is_empty() {
+            return (None, SimTime::ZERO);
+        }
+        let lease = self.pinned_pool.acquire(owner, data.len());
+        self.pinned_pool
+            .buffer_mut(&lease)
+            .copy_from(0, data, 0, data.len());
+        let reg = if lease.registered_bytes > 0 && self.register_bps > 0.0 {
+            SimTime::from_secs_f64(lease.registered_bytes as f64 / self.register_bps)
+        } else {
+            SimTime::ZERO
+        };
+        (Some(lease), reg)
+    }
+
+    /// Return staging leases to the pinned pool for recycling (the copies
+    /// they backed have landed).
+    pub(crate) fn release_staging(&mut self, leases: Vec<PinnedLease>) {
+        for lease in leases {
+            self.pinned_pool.release(lease);
+        }
+    }
+
+    /// Drop a departing job's pinned-pool accounting.
+    pub(crate) fn retire_pool_owner(&mut self, owner: u64) {
+        self.pinned_pool.retire_owner(owner);
+    }
+
+    /// Whole-worker pinned staging-pool accounting.
+    pub fn pinned_stats(&self) -> PinnedStats {
+        self.pinned_pool.stats()
+    }
+
+    /// One job's pinned staging-pool accounting.
+    pub fn pinned_owner_stats(&self, owner: u64) -> PinnedStats {
+        self.pinned_pool.owner_stats(owner)
+    }
+
+    /// (registered, peak registered, peak concurrently leased) bytes of the
+    /// pinned staging pool.
+    pub fn pinned_pool_bytes(&self) -> (u64, u64, u64) {
+        (
+            self.pinned_pool.registered_bytes(),
+            self.pinned_pool.peak_registered_bytes(),
+            self.pinned_pool.peak_in_use_bytes(),
+        )
+    }
+
     /// Stage 1: bring a work's inputs onto device `gpu` (H2D copies,
     /// skipped per-buffer on cache hits against the job's region). Every
     /// cached buffer the work references is pinned until its D2H completes
-    /// so concurrent works cannot evict a live kernel argument.
+    /// so concurrent works cannot evict a live kernel argument. In pinned
+    /// mode each copy is fed from a pool staging buffer (leases ride in the
+    /// result until the copies land).
     pub(crate) fn stage_inputs(
         &mut self,
         region: &mut GpuCache,
         gpu: usize,
+        owner: u64,
         work: &GWork,
         t: SimTime,
         timing: &mut WorkTiming,
@@ -271,6 +395,7 @@ impl GMemoryManager {
             dev_inputs: Vec::with_capacity(work.inputs.len()),
             transient: Vec::new(),
             pinned: Vec::new(),
+            staging: Vec::new(),
             h2d_start: None,
             kernel_earliest: t,
             failure: None,
@@ -300,15 +425,25 @@ impl GMemoryManager {
                             break;
                         }
                     };
-                    let r = match self.gpus[gpu].copy_h2d(t, inbuf.logical_bytes, &inbuf.data, dev)
-                    {
+                    let (lease, reg) = self.lease_staging(owner, &inbuf.data);
+                    let src: &HBuffer = match &lease {
+                        Some(l) => self.pinned_pool.buffer(l),
+                        None => &inbuf.data,
+                    };
+                    let r = match self.gpus[gpu].copy_h2d(t + reg, inbuf.logical_bytes, src, dev) {
                         Ok(r) => r,
                         Err(e) => {
+                            if let Some(l) = lease {
+                                self.pinned_pool.release(l);
+                            }
                             staged.transient.push(dev);
                             staged.failure = Some(ManagerError::Device(e));
                             break;
                         }
                     };
+                    if let Some(l) = lease {
+                        staged.staging.push(l);
+                    }
                     timing.h2d += r.duration();
                     timing.bytes_h2d += inbuf.logical_bytes;
                     staged.h2d_start = Some(match staged.h2d_start {
@@ -341,6 +476,132 @@ impl GMemoryManager {
                 }
             }
         }
+        staged
+    }
+
+    /// Stage a whole batch of same-job works onto device `gpu` through one
+    /// fused H2D call: every member's cache-miss copy is folded into a
+    /// single engine reservation paying one per-call α. Cache semantics are
+    /// identical to [`GMemoryManager::stage_inputs`], applied member by
+    /// member (a later member can hit a key an earlier member just
+    /// inserted). Per-member `h2d` time is the member's pro-rata share of
+    /// the fused reservation by bytes.
+    pub(crate) fn stage_fused(
+        &mut self,
+        region: &mut GpuCache,
+        gpu: usize,
+        owner: u64,
+        works: &[GWork],
+        t: SimTime,
+        timings: &mut [WorkTiming],
+    ) -> FusedStaged {
+        let mut staged = FusedStaged {
+            members: Vec::with_capacity(works.len()),
+            staging: Vec::new(),
+            h2d_start: None,
+            kernel_earliest: t,
+            upload_calls: 0,
+            failure: None,
+        };
+        // Copies deferred into the fused call: (logical bytes, source,
+        // device buffer, member index). Sources are leases (pinned mode) or
+        // the works' own host buffers.
+        enum Src {
+            Lease(usize),
+            Direct(usize, usize),
+        }
+        let mut pending: Vec<(u64, Src, DevBufId, usize)> = Vec::new();
+        let mut reg_total = SimTime::ZERO;
+        'members: for (m, work) in works.iter().enumerate() {
+            let mut member = StagedMember {
+                dev_inputs: Vec::with_capacity(work.inputs.len()),
+                transient: Vec::new(),
+                pinned: Vec::new(),
+            };
+            for (j, inbuf) in work.inputs.iter().enumerate() {
+                if let Some(dev) = inbuf.cache_key.and_then(|key| region.lookup(key)) {
+                    timings[m].cache_hits += 1;
+                    let key = inbuf.cache_key.unwrap();
+                    region.pin(key);
+                    member.pinned.push(key);
+                    member.dev_inputs.push(dev);
+                    self.trace_cache_event(gpu, true, key, t);
+                    continue;
+                }
+                let alloc =
+                    self.alloc_with_pressure(region, gpu, inbuf.logical_bytes, inbuf.data.len(), t);
+                let dev = match alloc {
+                    Ok(dev) => dev,
+                    Err(e) => {
+                        staged.failure = Some(e);
+                        staged.members.push(member);
+                        break 'members;
+                    }
+                };
+                let (lease, reg) = self.lease_staging(owner, &inbuf.data);
+                reg_total += reg;
+                let src = match lease {
+                    Some(l) => {
+                        staged.staging.push(l);
+                        Src::Lease(staged.staging.len() - 1)
+                    }
+                    None => Src::Direct(m, j),
+                };
+                pending.push((inbuf.logical_bytes, src, dev, m));
+                let mut keep = false;
+                if let Some(key) = inbuf.cache_key {
+                    timings[m].cache_misses += 1;
+                    self.trace_cache_event(gpu, false, key, t);
+                    let (evicted, may_insert) = region.make_room(inbuf.logical_bytes);
+                    for d in evicted {
+                        let _ = self.dmem(gpu).release(d);
+                        self.trace_eviction(gpu, t);
+                    }
+                    if may_insert {
+                        if let Some(old) = region.insert(key, dev, inbuf.logical_bytes) {
+                            let _ = self.dmem(gpu).release(old);
+                        }
+                        region.pin(key);
+                        member.pinned.push(key);
+                        keep = true;
+                    }
+                }
+                if !keep {
+                    member.transient.push(dev);
+                }
+                member.dev_inputs.push(dev);
+            }
+            staged.members.push(member);
+        }
+        if staged.failure.is_some() || pending.is_empty() {
+            return staged;
+        }
+        let items: Vec<(u64, &HBuffer, DevBufId)> = pending
+            .iter()
+            .map(|&(logical, ref src, dev, _)| {
+                let buf: &HBuffer = match src {
+                    Src::Lease(i) => self.pinned_pool.buffer(&staged.staging[*i]),
+                    Src::Direct(m, j) => &works[*m].inputs[*j].data,
+                };
+                (logical, buf, dev)
+            })
+            .collect();
+        let r = match self.gpus[gpu].copy_h2d_batch(t + reg_total, &items) {
+            Ok(r) => r,
+            Err(e) => {
+                staged.failure = Some(ManagerError::Device(e));
+                return staged;
+            }
+        };
+        drop(items);
+        let total: u64 = pending.iter().map(|p| p.0).sum();
+        for &(logical, _, _, m) in &pending {
+            timings[m].h2d += pro_rata(r.duration(), logical, total);
+            timings[m].bytes_h2d += logical;
+        }
+        staged.h2d_start = Some(r.start);
+        staged.kernel_earliest = r.end;
+        staged.upload_calls = pending.len();
         staged
     }
 

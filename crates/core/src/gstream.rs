@@ -20,13 +20,15 @@
 //! coordinator's other halves — so each event can touch the memory
 //! manager, the recovery manager, and the owning job's session at once.
 
+use crate::config::BatchConfig;
+use crate::fused::{FusedFlight, Parked, PendingBatch};
 use crate::gmemory::{GMemoryManager, StagedInputs};
 use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
 use crate::recovery::{FailReason, ManagerError, RecoveryManager};
 use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DevBufId, KernelRegistry};
-use gflink_memory::HBuffer;
+use gflink_memory::{HBuffer, PinnedLease};
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
@@ -52,15 +54,29 @@ pub(crate) enum Ev {
     Fault(FaultKind),
     /// Watchdog: check whether flight `id` is still wedged in its kernel.
     HangCheck(u64),
+    /// A pending transfer batch's accumulation window expired; flush it to
+    /// the queue unless epoch `epoch` was already flushed or superseded.
+    FlushBatch {
+        /// Device whose batcher the window belongs to.
+        gpu: usize,
+        /// Identity of the pending batch the window was armed for.
+        epoch: u64,
+    },
+    /// A fused flight's H2D landed; launch its members' kernels.
+    FusedKernelStage(u64),
+    /// A fused flight's kernels all finished; start the fused D2H.
+    FusedD2hStage(u64),
+    /// Watchdog for a fused flight wedged in a member kernel.
+    FusedHangCheck(u64),
 }
 
 /// A parked work in a GPU's FIFO queue, with its owning job, original
 /// submit instant (for queueing-delay reporting) and retry count.
-struct QueuedWork {
-    job: JobId,
-    submitted: SimTime,
-    retries: u32,
-    work: GWork,
+pub(crate) struct QueuedWork {
+    pub(crate) job: JobId,
+    pub(crate) submitted: SimTime,
+    pub(crate) retries: u32,
+    pub(crate) work: GWork,
 }
 
 /// Per-work state carried between pipeline-stage events.
@@ -75,6 +91,9 @@ struct InFlight {
     transient: Vec<DevBufId>,
     /// Cache keys pinned for the duration of this work.
     pinned: Vec<CacheKey>,
+    /// Pinned-pool staging leases backing the H2D; released once the copy
+    /// has landed (kernel-stage entry) or the flight is recovered.
+    staging: Vec<PinnedLease>,
     out_dev: DevBufId,
     emitted: Option<usize>,
     /// An injected hang wedged this flight's kernel; only the watchdog
@@ -96,23 +115,45 @@ pub(crate) struct Engine<'a> {
 
 /// The stream-scheduling half of the per-worker GPU manager.
 pub struct GStreamManager {
-    streams_per_gpu: usize,
-    policy: SchedulingPolicy,
+    pub(crate) streams_per_gpu: usize,
+    pub(crate) policy: SchedulingPolicy,
     /// `stream_busy_until[g][s]`
-    stream_busy_until: Vec<Vec<SimTime>>,
+    pub(crate) stream_busy_until: Vec<Vec<SimTime>>,
     /// Per-GPU FIFO GWork queues (the GWork Pool).
-    queues: Vec<VecDeque<QueuedWork>>,
+    pub(crate) queues: Vec<VecDeque<Parked>>,
     rr_counter: usize,
     steals: u64,
-    executed_per_gpu: Vec<u64>,
+    pub(crate) executed_per_gpu: Vec<u64>,
     in_flight: std::collections::HashMap<u64, InFlight>,
-    next_flight: u64,
-    tracer: Tracer,
-    worker_id: usize,
+    pub(crate) next_flight: u64,
+    /// Small-GWork transfer batching policy.
+    pub(crate) batch_cfg: BatchConfig,
+    /// One accumulating batch per GPU; works that would otherwise queue
+    /// land here until a flush condition fires.
+    pub(crate) batchers: Vec<Option<PendingBatch>>,
+    /// Monotonic identity for pending batches (guards stale FlushBatch
+    /// window events).
+    pub(crate) batch_epoch: u64,
+    /// Fused flights, keyed like `in_flight` but driven by the Fused*
+    /// events.
+    pub(crate) fused_in_flight: std::collections::HashMap<u64, FusedFlight>,
+    /// Fused batches dispatched.
+    pub(crate) fused_batches: u64,
+    /// Works that travelled inside fused batches.
+    pub(crate) fused_works: u64,
+    /// Per-call transfer overhead (α) saved by fusing copies.
+    pub(crate) alpha_saved: SimTime,
+    pub(crate) tracer: Tracer,
+    pub(crate) worker_id: usize,
 }
 
 impl GStreamManager {
-    pub(crate) fn new(n_gpus: usize, streams_per_gpu: usize, policy: SchedulingPolicy) -> Self {
+    pub(crate) fn new(
+        n_gpus: usize,
+        streams_per_gpu: usize,
+        policy: SchedulingPolicy,
+        batch_cfg: BatchConfig,
+    ) -> Self {
         GStreamManager {
             streams_per_gpu,
             policy,
@@ -123,6 +164,13 @@ impl GStreamManager {
             executed_per_gpu: vec![0; n_gpus],
             in_flight: std::collections::HashMap::new(),
             next_flight: 1,
+            batch_cfg,
+            batchers: (0..n_gpus).map(|_| None).collect(),
+            batch_epoch: 0,
+            fused_in_flight: std::collections::HashMap::new(),
+            fused_batches: 0,
+            fused_works: 0,
+            alpha_saved: SimTime::ZERO,
             tracer: Tracer::disabled(),
             worker_id: 0,
         }
@@ -176,6 +224,21 @@ impl GStreamManager {
         self.steals
     }
 
+    /// Fused transfer batches dispatched.
+    pub fn fused_batches(&self) -> u64 {
+        self.fused_batches
+    }
+
+    /// Works that travelled inside fused batches.
+    pub fn fused_works(&self) -> u64 {
+        self.fused_works
+    }
+
+    /// Per-call transfer overhead (α) saved by fusing copies.
+    pub fn alpha_saved(&self) -> SimTime {
+        self.alpha_saved
+    }
+
     /// Works executed per GPU (load-balance reporting). CPU-fallback works
     /// are not attributed to any GPU.
     pub fn executed_per_gpu(&self) -> &[u64] {
@@ -186,9 +249,13 @@ impl GStreamManager {
         self.stream_busy_until[gpu][stream]
     }
 
-    /// True when no work is queued or in flight (end-of-drain invariant).
+    /// True when no work is queued, accumulating in a batcher, or in flight
+    /// (end-of-drain invariant).
     pub(crate) fn is_idle(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty) && self.in_flight.is_empty()
+        self.queues.iter().all(VecDeque::is_empty)
+            && self.in_flight.is_empty()
+            && self.fused_in_flight.is_empty()
+            && self.batchers.iter().all(Option::is_none)
     }
 
     /// Alg. 5.1, step 1: the GPU whose cache region holds the most of this
@@ -221,13 +288,13 @@ impl GStreamManager {
             .count()
     }
 
-    fn first_idle_stream(&self, gpu: usize, t: SimTime) -> Option<usize> {
+    pub(crate) fn first_idle_stream(&self, gpu: usize, t: SimTime) -> Option<usize> {
         self.stream_busy_until[gpu].iter().position(|&b| b <= t)
     }
 
     /// The bulk with the most idle streams (ties → lowest GPU index). A
     /// lost device's streams are pinned busy forever, so it never appears.
-    fn most_idle_bulk(&self, t: SimTime) -> Option<(usize, usize)> {
+    pub(crate) fn most_idle_bulk(&self, t: SimTime) -> Option<(usize, usize)> {
         let (mut best_g, mut best_idle) = (0usize, 0usize);
         for g in 0..self.stream_busy_until.len() {
             let idle = self.idle_streams(g, t);
@@ -297,12 +364,20 @@ impl GStreamManager {
                                 .map(|(i, _)| i)
                                 .unwrap(),
                         };
-                        self.queues[qi].push_back(QueuedWork {
-                            job,
-                            submitted,
-                            retries,
-                            work,
-                        });
+                        // Small works that would queue anyway accumulate
+                        // into a fused transfer batch instead — batching
+                        // only ever engages under backlog, so an idle
+                        // fabric sees zero added latency.
+                        if self.batchable(retries, &work) {
+                            self.enqueue_batched(job, work, submitted, retries, qi, t, q);
+                        } else {
+                            self.queues[qi].push_back(Parked::Single(QueuedWork {
+                                job,
+                                submitted,
+                                retries,
+                                work,
+                            }));
+                        }
                     }
                 }
             }
@@ -315,12 +390,12 @@ impl GStreamManager {
                 }
                 match self.first_idle_stream(g, t) {
                     Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back(QueuedWork {
+                    None => self.queues[g].push_back(Parked::Single(QueuedWork {
                         job,
                         submitted,
                         retries,
                         work,
-                    }),
+                    })),
                 }
             }
             SchedulingPolicy::Random { .. } => {
@@ -330,12 +405,12 @@ impl GStreamManager {
                 let g = usable[eng.rng.gen_index(usable.len())];
                 match self.first_idle_stream(g, t) {
                     Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back(QueuedWork {
+                    None => self.queues[g].push_back(Parked::Single(QueuedWork {
                         job,
                         submitted,
                         retries,
                         work,
-                    }),
+                    })),
                 }
             }
         }
@@ -356,6 +431,11 @@ impl GStreamManager {
             // work since this event was scheduled.
             return;
         }
+        // An idle stream never waits out a batching window: if its queue is
+        // dry but its batcher holds works, flush them now.
+        if self.queues[gpu].is_empty() && self.batchers[gpu].is_some() {
+            self.flush_batcher(gpu);
+        }
         let mut stolen = false;
         let work = if let Some(w) = self.queues[gpu].pop_front() {
             Some(w)
@@ -375,9 +455,9 @@ impl GStreamManager {
         } else {
             None
         };
-        if let Some(qw) = work {
+        if let Some(parked) = work {
             if stolen {
-                if let Some(session) = eng.sessions.get_mut(&qw.job) {
+                if let Some(session) = eng.sessions.get_mut(&parked.job()) {
                     session.steals += 1;
                 }
                 if self.tracer.enabled() {
@@ -389,22 +469,25 @@ impl GStreamManager {
                             "steal",
                             t,
                         )
-                        .with_job(qw.job.0)
-                        .with_arg("op", &qw.work.name),
+                        .with_job(parked.job().0)
+                        .with_arg("op", parked.op_label()),
                     );
                 }
             }
-            self.execute(
-                eng,
-                qw.job,
-                qw.work,
-                qw.submitted,
-                qw.retries,
-                gpu,
-                stream,
-                t,
-                q,
-            );
+            match parked {
+                Parked::Single(qw) => self.execute(
+                    eng,
+                    qw.job,
+                    qw.work,
+                    qw.submitted,
+                    qw.retries,
+                    gpu,
+                    stream,
+                    t,
+                    q,
+                ),
+                Parked::Fused(batch) => self.execute_fused(eng, batch, gpu, stream, t, q),
+            }
         }
     }
 
@@ -438,12 +521,13 @@ impl GStreamManager {
             dev_inputs,
             transient,
             pinned,
+            staging,
             h2d_start,
             kernel_earliest,
             mut failure,
         } = eng
             .gmem
-            .stage_inputs(&mut session.regions[gpu], gpu, &work, t, &mut timing);
+            .stage_inputs(&mut session.regions[gpu], gpu, job.0, &work, t, &mut timing);
         // Output allocation (GMemoryManager, automatic).
         let out_dev = if failure.is_none() {
             match eng
@@ -461,6 +545,8 @@ impl GStreamManager {
         };
         if let Some(err) = failure {
             // Unwind the partial placement; the stream was never occupied.
+            eng.gmem.release_staging(staging);
+            let session = eng.sessions.get_mut(&job).expect("session open");
             eng.gmem
                 .reclaim(&mut session.regions[gpu], gpu, transient, pinned, None);
             eng.recovery.retry_or_fail(
@@ -490,6 +576,7 @@ impl GStreamManager {
             dev_inputs,
             transient,
             pinned,
+            staging,
             out_dev,
             emitted: None,
             hung: false,
@@ -515,6 +602,8 @@ impl GStreamManager {
             // The flight was recovered (device loss) before this fired.
             return;
         };
+        // The H2D has landed: the staging buffers go back to the pool.
+        eng.gmem.release_staging(std::mem::take(&mut fl.staging));
         let kernel = eng.registry.lock().get(&fl.work.execute_name);
         let kernel = match kernel {
             Some(k) => k,
@@ -734,10 +823,13 @@ impl GStreamManager {
                     .collect();
                 ids.sort_unstable();
                 for id in ids {
-                    let fl = self.in_flight.remove(&id).expect("id collected above");
+                    let mut fl = self.in_flight.remove(&id).expect("id collected above");
                     // Device buffers died with the device; nothing to
-                    // reclaim. Loss is not the work's fault: it re-enters
-                    // scheduling immediately and keeps its retry budget.
+                    // reclaim. Host-side staging leases survive and go back
+                    // to the pool. Loss is not the work's fault: it
+                    // re-enters scheduling immediately and keeps its retry
+                    // budget.
+                    eng.gmem.release_staging(std::mem::take(&mut fl.staging));
                     let session = eng.sessions.get_mut(&fl.job).expect("session open");
                     eng.recovery.note_retry(session);
                     q.schedule(
@@ -745,15 +837,46 @@ impl GStreamManager {
                         Ev::Submit(Box::new((fl.job, fl.timing.submitted, fl.retries, fl.work))),
                     );
                 }
-                // Drain the dead device's queue onto the survivors.
-                let queued: Vec<QueuedWork> = self.queues[gpu].drain(..).collect();
-                for qw in queued {
-                    let session = eng.sessions.get_mut(&qw.job).expect("session open");
-                    eng.recovery.note_steal_on_drain(session);
-                    q.schedule(
-                        t,
-                        Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
-                    );
+                // Fused flights on the dead device recover the same way,
+                // member by member.
+                let mut fids: Vec<u64> = self
+                    .fused_in_flight
+                    .iter()
+                    .filter(|(_, fl)| fl.gpu == gpu)
+                    .map(|(&id, _)| id)
+                    .collect();
+                fids.sort_unstable();
+                for id in fids {
+                    let mut fl = self
+                        .fused_in_flight
+                        .remove(&id)
+                        .expect("id collected above");
+                    eng.gmem.release_staging(std::mem::take(&mut fl.staging));
+                    let job = fl.job;
+                    for mb in fl.members {
+                        let session = eng.sessions.get_mut(&job).expect("session open");
+                        eng.recovery.note_retry(session);
+                        q.schedule(
+                            t,
+                            Ev::Submit(Box::new((job, mb.timing.submitted, mb.retries, mb.work))),
+                        );
+                    }
+                }
+                // Drain the dead device's queue — and its accumulating
+                // batch — onto the survivors.
+                if self.batchers[gpu].is_some() {
+                    self.flush_batcher(gpu);
+                }
+                let queued: Vec<Parked> = self.queues[gpu].drain(..).collect();
+                for parked in queued {
+                    for qw in parked.into_members() {
+                        let session = eng.sessions.get_mut(&qw.job).expect("session open");
+                        eng.recovery.note_steal_on_drain(session);
+                        q.schedule(
+                            t,
+                            Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
+                        );
+                    }
                 }
             }
             FaultKind::GpuDegraded { throughput, .. } => {
@@ -800,12 +923,13 @@ impl GStreamManager {
     fn recover_flight(
         &mut self,
         eng: &mut Engine<'_>,
-        fl: InFlight,
+        mut fl: InFlight,
         stream_free_at: SimTime,
         retry_at: SimTime,
         reason: FailReason,
         q: &mut EventQueue<Ev>,
     ) {
+        eng.gmem.release_staging(std::mem::take(&mut fl.staging));
         let session = eng.sessions.get_mut(&fl.job).expect("session open");
         eng.gmem.reclaim(
             &mut session.regions[fl.gpu],

@@ -28,6 +28,8 @@
 
 pub mod cache;
 pub mod commpath;
+pub mod config;
+pub mod fused;
 pub mod gdst;
 pub mod gmemory;
 pub mod gstream;
@@ -40,6 +42,7 @@ pub mod session;
 pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
+pub use config::{BatchConfig, TransferConfig};
 pub use gdst::{
     ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts,
     OutMode,

@@ -30,67 +30,22 @@
 //! places the monolithic manager consulted it — a single job's timeline is
 //! byte-identical to the pre-decomposition implementation.
 
-use crate::cache::{CachePolicy, GpuCache};
 use crate::gmemory::GMemoryManager;
 use crate::gstream::{Engine, Ev, GStreamManager};
 use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::RecoveryManager;
 use crate::session::{JobId, JobSession};
-use gflink_gpu::{GpuModel, KernelRegistry, VirtualGpu};
-use gflink_sim::{EventQueue, FaultLedger, FaultPlan, RetryPolicy, SimRng, SimTime, Tracer};
+use gflink_gpu::{KernelRegistry, VirtualGpu};
+use gflink_memory::PinnedStats;
+use gflink_sim::{EventQueue, FaultLedger, FaultPlan, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::cache::GpuCache;
+
+pub use crate::config::{BatchConfig, GpuWorkerConfig, TransferConfig};
 pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU_FALLBACK_GPU};
-
-/// Configuration of one worker's GPU complement.
-#[derive(Clone, Debug)]
-pub struct GpuWorkerConfig {
-    /// GPU models installed in the worker (the paper's standard worker has
-    /// two Tesla C2050s).
-    pub models: Vec<GpuModel>,
-    /// CUDA streams per GPU (the stream bulk size).
-    pub streams_per_gpu: usize,
-    /// GPU cache region capacity per GPU, logical bytes (§4.2.2: a
-    /// user-defined parameter).
-    pub cache_capacity: u64,
-    /// Cache policy.
-    pub cache_policy: CachePolicy,
-    /// GWork scheduling policy.
-    pub scheduling: crate::scheduling::SchedulingPolicy,
-    /// Injected per-launch kernel failure probability (fault-tolerance
-    /// testing; §1 motivates building on Flink precisely because it
-    /// "uses replication and error detection to schedule around
-    /// failures"). A failed launch is detected at kernel completion, its
-    /// buffers are reclaimed, and the GWork is resubmitted — on a
-    /// *different* GPU when the worker has more than one.
-    pub failure_rate: f64,
-    /// Retry policy for faulted, hung, or resource-starved works:
-    /// exponential backoff, a retry budget and an optional deadline.
-    pub retry: RetryPolicy,
-    /// Watchdog timeout: a kernel flagged as hung is recovered this long
-    /// after its launch. Must be finite for hang faults to be recoverable.
-    pub hang_timeout: SimTime,
-    /// The CPU execution path used once every GPU is lost.
-    pub cpu_fallback: CpuFallback,
-}
-
-impl Default for GpuWorkerConfig {
-    fn default() -> Self {
-        GpuWorkerConfig {
-            models: vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
-            streams_per_gpu: 4,
-            cache_capacity: 2_000_000_000, // 2 GB of the C2050's 3 GB
-            cache_policy: CachePolicy::Fifo,
-            scheduling: crate::scheduling::SchedulingPolicy::LocalityAware,
-            failure_rate: 0.0,
-            retry: RetryPolicy::default(),
-            hang_timeout: SimTime::from_secs(10),
-            cpu_fallback: CpuFallback::default(),
-        }
-    }
-}
 
 /// The per-worker GPU manager: coordinator over the memory, stream, and
 /// recovery layers, with one [`JobSession`] per open job.
@@ -114,8 +69,18 @@ impl GpuManager {
     ) -> Self {
         assert!(!cfg.models.is_empty(), "worker needs at least one GPU");
         assert!(cfg.streams_per_gpu >= 1);
-        let gmem = GMemoryManager::new(&cfg.models, cfg.cache_capacity, cfg.cache_policy);
-        let gstream = GStreamManager::new(cfg.models.len(), cfg.streams_per_gpu, cfg.scheduling);
+        let gmem = GMemoryManager::new(
+            &cfg.models,
+            cfg.cache_capacity,
+            cfg.cache_policy,
+            &cfg.transfer,
+        );
+        let gstream = GStreamManager::new(
+            cfg.models.len(),
+            cfg.streams_per_gpu,
+            cfg.scheduling,
+            cfg.transfer.batch.clone(),
+        );
         let recovery = RecoveryManager::new(
             cfg.models.len(),
             cfg.retry,
@@ -187,6 +152,37 @@ impl GpuManager {
         self.gstream.steals()
     }
 
+    /// Whole-worker pinned staging-pool accounting (hits, misses, bytes).
+    pub fn pinned_stats(&self) -> PinnedStats {
+        self.gmem.pinned_stats()
+    }
+
+    /// One job's pinned staging-pool accounting.
+    pub fn job_pinned_stats(&self, job: JobId) -> PinnedStats {
+        self.gmem.pinned_owner_stats(job.0)
+    }
+
+    /// (registered, peak registered, peak concurrently leased) bytes of the
+    /// pinned staging pool.
+    pub fn pinned_pool_bytes(&self) -> (u64, u64, u64) {
+        self.gmem.pinned_pool_bytes()
+    }
+
+    /// Fused transfer batches dispatched.
+    pub fn fused_batches(&self) -> u64 {
+        self.gstream.fused_batches()
+    }
+
+    /// Works that travelled inside fused transfer batches.
+    pub fn fused_works(&self) -> u64 {
+        self.gstream.fused_works()
+    }
+
+    /// Per-call transfer overhead (α) saved by fusing copies.
+    pub fn alpha_saved(&self) -> SimTime {
+        self.gstream.alpha_saved()
+    }
+
     /// Number of injected kernel failures recovered from (random
     /// `failure_rate` plus scripted transients).
     pub fn failures(&self) -> u64 {
@@ -249,6 +245,7 @@ impl GpuManager {
         if let Some(mut session) = self.sessions.remove(&job) {
             self.gmem.release_regions(&mut session.regions);
             self.gmem.retire_regions(&session.regions);
+            self.gmem.retire_pool_owner(job.0);
         }
     }
 
@@ -372,6 +369,12 @@ impl GpuManager {
                 Ev::D2hStage(id) => self.gstream.on_d2h_stage(&mut eng, id, t, &mut q),
                 Ev::Fault(kind) => self.gstream.on_fault(&mut eng, kind, t, &mut q),
                 Ev::HangCheck(id) => self.gstream.on_hang_check(&mut eng, id, t, &mut q),
+                Ev::FlushBatch { gpu, epoch } => self.gstream.on_flush_batch(gpu, epoch, t, &mut q),
+                Ev::FusedKernelStage(id) => {
+                    self.gstream.on_fused_kernel_stage(&mut eng, id, t, &mut q)
+                }
+                Ev::FusedD2hStage(id) => self.gstream.on_fused_d2h_stage(&mut eng, id, t, &mut q),
+                Ev::FusedHangCheck(id) => self.gstream.on_fused_hang_check(&mut eng, id, t, &mut q),
             }
         }
         debug_assert!(self.gstream.is_idle(), "work left queued or in flight");

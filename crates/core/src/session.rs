@@ -12,7 +12,7 @@
 use crate::cache::GpuCache;
 use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::FailedWork;
-use gflink_sim::{FaultLedger, LedgerWindow, SimTime};
+use gflink_sim::{FaultLedger, LedgerWindow, SimTime, Summary};
 
 /// Identity of one submitted job on a worker's GPU manager.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,6 +47,14 @@ pub struct JobSession {
     pub(crate) ledger: LedgerWindow,
     /// Alg. 5.2 steals that served this job's works.
     pub(crate) steals: u64,
+    /// Fused transfer batches that carried this job's works.
+    pub(crate) batches: u64,
+    /// Works that travelled inside fused batches.
+    pub(crate) batched_works: u64,
+    /// Per-call transfer overhead (α) saved by fusing this job's copies.
+    pub(crate) alpha_saved: SimTime,
+    /// Distribution of fused batch sizes (works per batch).
+    pub(crate) batch_sizes: Summary,
 }
 
 impl JobSession {
@@ -58,12 +66,36 @@ impl JobSession {
             failed: Vec::new(),
             ledger: LedgerWindow::default(),
             steals: 0,
+            batches: 0,
+            batched_works: 0,
+            alpha_saved: SimTime::ZERO,
+            batch_sizes: Summary::new(),
         }
     }
 
     /// Alg. 5.2 steals that served this job's works.
     pub fn steals(&self) -> u64 {
         self.steals
+    }
+
+    /// Fused transfer batches that carried this job's works.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Works that travelled inside fused batches.
+    pub fn batched_works(&self) -> u64 {
+        self.batched_works
+    }
+
+    /// Per-call transfer overhead (α) saved by fusing this job's copies.
+    pub fn alpha_saved(&self) -> SimTime {
+        self.alpha_saved
+    }
+
+    /// Distribution of fused batch sizes (works per batch).
+    pub fn batch_sizes(&self) -> &Summary {
+        &self.batch_sizes
     }
 
     /// The job's cache region on device `gpu`.

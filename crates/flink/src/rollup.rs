@@ -83,6 +83,20 @@ pub struct GpuRollup {
     pub bytes_d2h: u64,
     /// Alg. 5.2 steals that served this job's works.
     pub steals: u64,
+    /// Pinned-pool staging acquisitions served by a recycled buffer.
+    pub pinned_hits: u64,
+    /// Pinned-pool staging acquisitions that registered a fresh buffer.
+    pub pinned_misses: u64,
+    /// Bytes staged through the pinned pool.
+    pub pinned_bytes: u64,
+    /// Fused transfer batches dispatched under backlog.
+    pub batches: u64,
+    /// Works that rode a fused batch instead of a solo dispatch.
+    pub batched_works: u64,
+    /// Per-copy setup time (α) amortized away by fusing transfers.
+    pub alpha_saved: SimTime,
+    /// Batch-size histogram (works per fused batch).
+    pub batch_size: Summary,
     /// Per-device activity lanes, in (worker, gpu) order.
     pub lanes: Vec<GpuLane>,
 }
@@ -119,6 +133,17 @@ impl GpuRollup {
     /// True when no work was recorded (CPU-only job).
     pub fn is_empty(&self) -> bool {
         self.works == 0 && self.cpu_works == 0
+    }
+
+    /// Pinned staging pool hit rate in `[0, 1]`; 0.0 when the pool was
+    /// never used (pageable mode, or no H2D misses).
+    pub fn pinned_hit_rate(&self) -> f64 {
+        let acquisitions = self.pinned_hits + self.pinned_misses;
+        if acquisitions == 0 {
+            0.0
+        } else {
+            self.pinned_hits as f64 / acquisitions as f64
+        }
     }
 
     /// Single-line digest for compact logs.
@@ -171,6 +196,26 @@ impl fmt::Display for GpuRollup {
             fmt_bytes(self.bytes_h2d),
             fmt_bytes(self.bytes_d2h)
         )?;
+        if self.pinned_hits + self.pinned_misses > 0 {
+            writeln!(
+                f,
+                "  pinned pool: {} hits / {} misses ({:.1}% hit rate), {} staged",
+                self.pinned_hits,
+                self.pinned_misses,
+                self.pinned_hit_rate() * 100.0,
+                fmt_bytes(self.pinned_bytes)
+            )?;
+        }
+        if self.batches > 0 {
+            writeln!(
+                f,
+                "  batching: {} works fused into {} batches (mean {:.1}/batch), α saved {}",
+                self.batched_works,
+                self.batches,
+                self.batch_size.mean(),
+                self.alpha_saved
+            )?;
+        }
         writeln!(f, "  stage        mean        max        total")?;
         for (name, s) in [
             ("queue", &self.queue),
@@ -267,5 +312,32 @@ mod tests {
         assert!(text.contains("kernel"));
         assert!(text.contains("worker0/gpu0"));
         assert!(text.contains("util 50.0%"));
+        // Transfer sections are gated on activity: quiet by default.
+        assert!(!text.contains("pinned pool"));
+        assert!(!text.contains("batching"));
+    }
+
+    #[test]
+    fn display_renders_transfer_sections_when_active() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 2));
+        r.pinned_hits = 3;
+        r.pinned_misses = 1;
+        r.pinned_bytes = 4096;
+        r.batches = 2;
+        r.batched_works = 6;
+        r.alpha_saved = SimTime::from_micros(8);
+        r.batch_size.add(2.0);
+        r.batch_size.add(4.0);
+        let text = format!("{r}");
+        assert!(text.contains("pinned pool: 3 hits / 1 misses (75.0% hit rate)"));
+        assert!(text.contains("6 works fused into 2 batches (mean 3.0/batch)"));
+        assert!((r.pinned_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_hit_rate_guards_zero_acquisitions() {
+        let r = GpuRollup::default();
+        assert_eq!(r.pinned_hit_rate(), 0.0);
     }
 }

@@ -8,7 +8,7 @@
 //! overlap physical: a device with one copy engine cannot overlap H2D with
 //! D2H (§4.1.2), one with two can.
 
-use crate::channel::TransferPath;
+use crate::channel::{TransferMode, TransferPath};
 use crate::dmem::{DevBufId, DeviceMemory};
 use crate::health::{DeviceError, DeviceHealth};
 use crate::kernel::{KernelArgs, KernelFn, KernelProfile};
@@ -93,6 +93,13 @@ impl VirtualGpu {
     /// The transfer-path model in use.
     pub fn transfer_path(&self) -> &TransferPath {
         &self.transfer
+    }
+
+    /// Switch the host-side staging behaviour of the transfer channel.
+    /// `Pinned` keeps the fitted Table 2 path byte-identical; `Pageable`
+    /// adds the driver's bounce-buffer memcpy to every copy.
+    pub fn set_transfer_mode(&mut self, mode: TransferMode) {
+        self.transfer = TransferPath::for_mode(&self.spec, mode);
     }
 
     /// Current health state.
@@ -198,6 +205,75 @@ impl VirtualGpu {
                     r.end,
                 )
                 .with_arg("bytes", logical_bytes),
+            );
+        }
+        Ok(r)
+    }
+
+    /// Fused H2D: upload several host buffers in **one** transfer call —
+    /// one α for the whole group, the per-work payloads traveling
+    /// back-to-back over PCIe. `items` are `(logical_bytes, host, dst)`
+    /// triples; returns the single copy-engine reservation covering the
+    /// group. Small-GWork batching (gflink-core) is built on this.
+    pub fn copy_h2d_batch(
+        &mut self,
+        earliest: SimTime,
+        items: &[(u64, &HBuffer, DevBufId)],
+    ) -> Result<Reservation, DeviceError> {
+        self.ensure_usable()?;
+        for &(_, host, dst) in items {
+            self.dmem.upload(dst, host)?;
+        }
+        let total: u64 = items.iter().map(|&(b, _, _)| b).sum();
+        let dur = self.scale_by_health(self.transfer.time_for_fused(total, items.len()));
+        self.bytes_h2d += total;
+        let engine = self.copy_engine_index(CopyDirection::H2D);
+        let r = self.copy_engines[engine].reserve(earliest, dur);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    self.trace_pid,
+                    copy_engine_tid(engine),
+                    Cat::H2d,
+                    "H2D(fused)",
+                    r.start,
+                    r.end,
+                )
+                .with_arg("bytes", total)
+                .with_arg("works", items.len()),
+            );
+        }
+        Ok(r)
+    }
+
+    /// Fused D2H: download several device buffers in one transfer call
+    /// (single α). `items` are `(logical_bytes, src, host)` triples.
+    pub fn copy_d2h_batch(
+        &mut self,
+        earliest: SimTime,
+        items: &mut [(u64, DevBufId, &mut HBuffer)],
+    ) -> Result<Reservation, DeviceError> {
+        self.ensure_usable()?;
+        for (_, src, host) in items.iter_mut() {
+            self.dmem.download(*src, host)?;
+        }
+        let total: u64 = items.iter().map(|&(b, _, _)| b).sum();
+        let dur = self.scale_by_health(self.transfer.time_for_fused(total, items.len()));
+        self.bytes_d2h += total;
+        let engine = self.copy_engine_index(CopyDirection::D2H);
+        let r = self.copy_engines[engine].reserve(earliest, dur);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::span(
+                    self.trace_pid,
+                    copy_engine_tid(engine),
+                    Cat::D2h,
+                    "D2H(fused)",
+                    r.start,
+                    r.end,
+                )
+                .with_arg("bytes", total)
+                .with_arg("works", items.len()),
             );
         }
         Ok(r)
@@ -492,6 +568,52 @@ mod tests {
         let mut host_out = HBuffer::zeroed(16);
         gpu.copy_d2h(r2.end, 16, dout, &mut host_out).unwrap();
         assert_eq!(host_out.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn fused_h2d_charges_one_alpha_and_uploads_every_member() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let hosts: Vec<HBuffer> = (0..4).map(|i| HBuffer::from_f32s(&[i as f32; 4])).collect();
+        let devs: Vec<DevBufId> = (0..4).map(|_| gpu.dmem.alloc(2048, 16).unwrap()).collect();
+        let items: Vec<(u64, &HBuffer, DevBufId)> = hosts
+            .iter()
+            .zip(&devs)
+            .map(|(h, &d)| (2048u64, h, d))
+            .collect();
+        let r = gpu.copy_h2d_batch(SimTime::ZERO, &items).unwrap();
+        assert_eq!(
+            r.duration(),
+            gpu.transfer_path().time_for(4 * 2048),
+            "one call overhead for the whole group"
+        );
+        assert!(r.duration() < gpu.transfer_path().time_for(2048) * 4);
+        for (i, &d) in devs.iter().enumerate() {
+            assert_eq!(gpu.dmem.data(d).unwrap().read_f32(0), i as f32);
+        }
+        assert_eq!(gpu.stats().1, 4 * 2048);
+        // D2H side mirrors it.
+        let mut outs: Vec<HBuffer> = (0..4).map(|_| HBuffer::zeroed(16)).collect();
+        let mut d2h: Vec<(u64, DevBufId, &mut HBuffer)> = devs
+            .iter()
+            .zip(outs.iter_mut())
+            .map(|(&d, h)| (2048u64, d, h))
+            .collect();
+        let r2 = gpu.copy_d2h_batch(r.end, &mut d2h).unwrap();
+        assert_eq!(r2.duration(), gpu.transfer_path().time_for(4 * 2048));
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.read_f32(0), i as f32);
+        }
+    }
+
+    #[test]
+    fn pageable_mode_slows_every_copy_pinned_restores_it() {
+        let mut gpu = VirtualGpu::new(0, GpuModel::TeslaC2050);
+        let pinned_t = gpu.copy_time(1 << 20);
+        gpu.set_transfer_mode(crate::channel::TransferMode::Pageable);
+        assert!(gpu.transfer_path().is_pageable());
+        assert!(gpu.copy_time(1 << 20) > pinned_t);
+        gpu.set_transfer_mode(crate::channel::TransferMode::Pinned);
+        assert_eq!(gpu.copy_time(1 << 20), pinned_t);
     }
 
     #[test]

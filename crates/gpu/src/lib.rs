@@ -28,7 +28,10 @@ pub mod health;
 pub mod kernel;
 pub mod spec;
 
-pub use channel::{TransferPath, GFLINK_CALL_OVERHEAD_NS, NATIVE_CALL_OVERHEAD_NS};
+pub use channel::{
+    TransferMode, TransferPath, GFLINK_CALL_OVERHEAD_NS, HOST_STAGING_BYTES_PER_SEC,
+    NATIVE_CALL_OVERHEAD_NS,
+};
 pub use device::{CopyDirection, VirtualGpu};
 pub use dmem::{DevBufId, DeviceMemory, DeviceMemoryOps, DmemError};
 pub use event::CudaEvent;

@@ -14,6 +14,9 @@
 //!   handed to the virtual PCIe engine;
 //! * [`MemoryPool`] — a paged off-heap pool mirroring Flink's memory
 //!   segments; a GStruct never straddles a page (§5.1);
+//! * [`PinnedPool`] — reusable page-locked host staging buffers for the
+//!   transfer channel (§4.1.2): registration paid once, high-water
+//!   recycling, per-job accounting;
 //! * [`GStructDef`] — a runtime-reflected C-struct layout (field order,
 //!   alignment class, offsets, padding), the analogue of the paper's
 //!   `GStruct_8` + `@StructField(order = n)` annotations;
@@ -26,11 +29,13 @@
 pub mod gstruct;
 pub mod hbuffer;
 pub mod layout;
+pub mod pinned;
 pub mod pool;
 pub mod serialize;
 
 pub use gstruct::{AlignClass, FieldDef, GStructDef, PrimType};
 pub use hbuffer::HBuffer;
 pub use layout::{DataLayout, RecordReader, RecordView};
+pub use pinned::{PinnedLease, PinnedPool, PinnedStats};
 pub use pool::{MemoryPool, PageRef, PoolError};
 pub use serialize::{decode_records, encode_records, FieldValue, Record};

@@ -84,6 +84,19 @@ impl Summary {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Fold another summary into this one, as if its observations had been
+    /// added here (used to combine per-worker summaries into a job total).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl FromIterator<f64> for Summary {
@@ -111,6 +124,22 @@ mod tests {
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
         assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn merge_matches_direct_accumulation() {
+        let mut a: Summary = [1.0, 3.0].into_iter().collect();
+        let b: Summary = [2.0, 8.0].into_iter().collect();
+        a.merge(&b);
+        let direct: Summary = [1.0, 3.0, 2.0, 8.0].into_iter().collect();
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.sum(), direct.sum());
+        assert_eq!(a.min(), direct.min());
+        assert_eq!(a.max(), direct.max());
+        assert_eq!(a.stddev(), direct.stddev());
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 4);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! Run with: `cargo run --release --example multi_tenant`
 
 use gflink::apps::{kmeans, pointadd, spmv, Setup};
+use gflink::core::{BatchConfig, FabricConfig};
+use gflink::flink::ClusterConfig;
 use gflink::sim::SimTime;
 
 fn params_km(s: &Setup) -> kmeans::Params {
@@ -41,7 +43,13 @@ fn main() {
     let ep = pointadd::run_gpu(&s3, &params_pa(&s3));
 
     // Concurrent: one shared cluster and GPU fabric, all submitted at t=0.
-    let shared = Setup::standard(workers);
+    // The shared fabric opts into small-GWork transfer batching (§4.1.2);
+    // the digest assertion below doubles as a check that batching never
+    // changes results. Batches only form under backlog, so an uncontended
+    // fabric may still report zero.
+    let mut fabric_cfg = FabricConfig::default();
+    fabric_cfg.worker.transfer.batch = BatchConfig::enabled();
+    let shared = Setup::with_configs(ClusterConfig::standard(workers), fabric_cfg);
     let ck = kmeans::run_gpu_at(&shared, &params_km(&shared), SimTime::ZERO);
     let cs = spmv::run_gpu_at(&shared, &params_sp(&shared), SimTime::ZERO);
     let cp = pointadd::run_gpu_at(&shared, &params_pa(&shared), SimTime::ZERO);
@@ -58,6 +66,15 @@ fn main() {
             e.report.total.as_secs_f64(),
             c.report.total.as_secs_f64(),
             gpu.one_line()
+        );
+        println!(
+            "           transfer: pinned pool {:.0}% hit rate ({} hits / {} misses), \
+             {} fused batches (mean {:.1} works/batch)",
+            gpu.pinned_hit_rate() * 100.0,
+            gpu.pinned_hits,
+            gpu.pinned_misses,
+            gpu.batches,
+            gpu.batch_size.mean(),
         );
         assert!(
             (e.digest - c.digest).abs() <= 1e-6 * e.digest.abs().max(1.0),

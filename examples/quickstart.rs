@@ -115,4 +115,16 @@ fn main() {
     // channel and per-device lanes, folded into the JobReport.
     let gpu = gpu_report.gpu.as_ref().expect("GPU job carries a rollup");
     println!("{gpu}");
+    // The transfer-channel counters (§4.1.2): H2D misses stage through the
+    // pinned pool; fused batches only form under backlog, so an uncontended
+    // quickstart run typically reports zero.
+    println!(
+        "transfer channel: pinned pool {:.0}% hit rate ({} hits / {} misses), \
+         {} fused batches (mean {:.1} works/batch)",
+        gpu.pinned_hit_rate() * 100.0,
+        gpu.pinned_hits,
+        gpu.pinned_misses,
+        gpu.batches,
+        gpu.batch_size.mean(),
+    );
 }
