@@ -1,7 +1,7 @@
 //! Shared harness types for the benchmark applications.
 
 use gflink_core::{FabricConfig, GpuFabric};
-use gflink_flink::{ClusterConfig, JobReport, SharedCluster};
+use gflink_flink::{ClusterConfig, JobGate, JobReport, SharedCluster};
 
 /// Which engine an app ran on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +43,10 @@ impl AppRun {
 }
 
 /// A freshly provisioned cluster + GPU fabric for one experiment.
+///
+/// Clones share the same cluster and fabric (both are handles), so a clone
+/// can be moved into another tenant's driver thread.
+#[derive(Clone)]
 pub struct Setup {
     /// The shared cluster (CPU slots, network, HDFS).
     pub cluster: SharedCluster,
@@ -74,6 +78,39 @@ impl Setup {
     pub fn default_parallelism(&self) -> usize {
         self.cluster.config().total_slots()
     }
+}
+
+/// One tenant of a concurrent run: a display name plus the closure that
+/// drives the whole job (typically an app's `run_gpu_at` over a shared
+/// [`Setup`]).
+pub type ConcurrentJob<'a> = (&'static str, Box<dyn FnOnce() -> AppRun + Send + 'a>);
+
+/// Run several jobs genuinely concurrently — one OS thread per tenant —
+/// against whatever shared cluster/fabric the closures capture.
+///
+/// A [`JobGate`] keeps the interleaving deterministic: the driver threads
+/// pass a baton in simulated-time order (ties broken by submission order),
+/// so two invocations produce identical timelines no matter how the OS
+/// schedules the threads. Returns the runs in submission order.
+pub fn run_concurrent(jobs: Vec<ConcurrentJob<'_>>) -> Vec<(&'static str, AppRun)> {
+    let gate = JobGate::new();
+    let entries: Vec<_> = jobs
+        .into_iter()
+        .map(|(name, f)| (gate.register(), name, f))
+        .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = entries
+            .into_iter()
+            .map(|(token, name, f)| {
+                let gate = gate.clone();
+                (name, s.spawn(move || gate.run(token, f)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("concurrent tenant panicked")))
+            .collect()
+    })
 }
 
 /// Relative-tolerance comparison for CPU/GPU digest cross-checks

@@ -333,7 +333,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
             .with_out_mode(OutMode::Bounded {
                 per_record: DEG + 1,
             })
-            .with_out_scale(scale);
+            .with_out_scale(scale)
+            .build(&setup.fabric)
+            .expect("concomp spec");
         let msgs: GDataSet<AggMsg> = gdst.gpu_map_partition("cc-scatter", &spec);
         let pairs = msgs
             .inner()

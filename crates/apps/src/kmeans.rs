@@ -331,7 +331,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
             .with_params(vec![K as f64, D as f64])
             .with_out_mode(OutMode::PerBlock(K))
             .with_out_scale(1.0)
-            .with_extra_input(Arc::new(cbuf), (K * D * 4) as u64);
+            .with_extra_input(Arc::new(cbuf), (K * D * 4) as u64)
+            .build(&setup.fabric)
+            .expect("kmeans spec");
         let partials: GDataSet<Partial> = gpoints.gpu_map_partition("kmeans-assign", &spec);
         let got = partials
             .inner()

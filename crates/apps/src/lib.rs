@@ -32,4 +32,4 @@ pub mod pointadd;
 pub mod spmv;
 pub mod wordcount;
 
-pub use common::{AppRun, ExecMode, Setup};
+pub use common::{run_concurrent, AppRun, ConcurrentJob, ExecMode, Setup};

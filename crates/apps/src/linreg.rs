@@ -306,7 +306,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
         let spec = GpuMapSpec::new("cudaLinregGrad")
             .with_out_mode(OutMode::PerBlock(1))
             .with_out_scale(1.0)
-            .with_extra_input(Arc::new(wbuf), ((D + 1) * 4) as u64);
+            .with_extra_input(Arc::new(wbuf), ((D + 1) * 4) as u64)
+            .build(&setup.fabric)
+            .expect("linreg spec");
         let partials: GDataSet<GradPartial> = gsamples.gpu_map_partition("linreg-grad", &spec);
         let got = partials
             .inner()

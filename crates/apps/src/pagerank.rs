@@ -345,7 +345,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
         let spec = GpuMapSpec::new("cudaPagerankScatter")
             .uncached()
             .with_out_mode(OutMode::Bounded { per_record: DEG })
-            .with_out_scale(scale);
+            .with_out_scale(scale)
+            .build(&setup.fabric)
+            .expect("pagerank spec");
         let contribs: GDataSet<AggContrib> = gdst.gpu_map_partition("scatter", &spec);
         // ... scan the raw output buffer into shuffle pairs ...
         let pairs = contribs

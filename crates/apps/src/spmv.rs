@@ -289,7 +289,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     for it in 0..params.iterations {
         let spec = GpuMapSpec::new("cudaSpmvEll")
             .with_out_scale(out_scale)
-            .with_cached_extra_input(Arc::clone(&xbuf), params.vector_logical_bytes(), x_token);
+            .with_cached_extra_input(Arc::clone(&xbuf), params.vector_logical_bytes(), x_token)
+            .build(&setup.fabric)
+            .expect("spmv spec");
         let y: GDataSet<YVal> = gmatrix.gpu_map_partition("spmv", &spec);
         // The driver consumes y before relaunching (sequential supersteps).
         gmatrix.set_min_ready(genv.flink.frontier());

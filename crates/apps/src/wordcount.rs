@@ -220,7 +220,9 @@ pub fn run_gpu_at(setup: &Setup, params: &Params, at: SimTime) -> AppRun {
     let spec = GpuMapSpec::new("cudaWordHistogram")
         .uncached()
         .with_out_mode(OutMode::PerBlock(VOCAB as usize))
-        .with_out_scale(1.0);
+        .with_out_scale(1.0)
+        .build(&setup.fabric)
+        .expect("wordcount spec");
     let partials: GDataSet<CountRec> = gids.gpu_map_partition("histogram", &spec);
     // Only tiny per-block partials enter the shuffle.
     let pairs = partials

@@ -1,0 +1,185 @@
+//! Concurrent-execution transparency (ISSUE 5).
+//!
+//! The contract that makes multi-tenancy safe: a job's results must not
+//! depend on *who it shares the fabric with*. Every app therefore has to
+//! produce a bit-identical digest whether it runs solo on a fresh
+//! default-config fabric or genuinely concurrently — one driver thread per
+//! tenant, all submitted at t=0 — with any other app on a shared
+//! weighted-fair fabric, with quiet fault ledgers either way. Cross-job
+//! cache privacy in the concurrent scheduler is pinned at the manager
+//! level by `core/tests/jobsched.rs`
+//! (`concurrent_jobs_never_hit_each_others_cache`); here the digest
+//! assertions prove the end-to-end consequence: no tenant ever observes
+//! another tenant's bytes, timing, or cache state in its own output.
+//!
+//! `isolation.rs` covers the *sequential* shared-fabric case; this suite is
+//! its concurrent twin (solo == serial == interleaved, bit for bit).
+
+use gflink_apps::{
+    concomp, kmeans, linreg, pagerank, pointadd, run_concurrent, spmv, wordcount, AppRun, Setup,
+};
+use gflink_core::{FabricConfig, SchedulerConfig};
+use gflink_flink::ClusterConfig;
+
+const WORKERS: usize = 2;
+
+type App = fn(&Setup) -> AppRun;
+
+/// All seven apps at small scale (two iterations where iterative).
+fn apps() -> Vec<(&'static str, App)> {
+    vec![
+        ("kmeans", |s: &Setup| {
+            let mut p = kmeans::Params::paper(1, s);
+            p.iterations = 2;
+            kmeans::run_gpu(s, &p)
+        }),
+        ("pagerank", |s: &Setup| {
+            let mut p = pagerank::Params::paper(1, s);
+            p.iterations = 2;
+            pagerank::run_gpu(s, &p)
+        }),
+        ("wordcount", |s: &Setup| {
+            wordcount::run_gpu(
+                s,
+                &wordcount::Params {
+                    bytes_logical: 64_000_000,
+                    words_actual: 4_000,
+                    parallelism: s.default_parallelism(),
+                    seed: wordcount::WORDCOUNT_SEED,
+                },
+            )
+        }),
+        ("concomp", |s: &Setup| {
+            let mut p = concomp::Params::paper(1, s);
+            p.iterations = 2;
+            concomp::run_gpu(s, &p)
+        }),
+        ("linreg", |s: &Setup| {
+            let mut p = linreg::Params::paper(1, s);
+            p.iterations = 2;
+            linreg::run_gpu(s, &p)
+        }),
+        ("spmv", |s: &Setup| {
+            spmv::run_gpu(
+                s,
+                &spmv::Params {
+                    rows_logical: 1_000_000,
+                    rows_actual: 2_000,
+                    iterations: 2,
+                    parallelism: s.default_parallelism(),
+                    seed: spmv::SPMV_SEED,
+                },
+            )
+        }),
+        ("pointadd", |s: &Setup| {
+            pointadd::run_gpu(
+                s,
+                &pointadd::Params {
+                    n_logical: 8_000_000,
+                    n_actual: 20_000,
+                    iterations: 2,
+                    parallelism: s.default_parallelism(),
+                    delta: (1.0, -0.5),
+                },
+            )
+        }),
+    ]
+}
+
+/// A fresh shared fabric with weighted-fair arbitration for the tenants.
+fn shared_setup() -> Setup {
+    let mut fabric = FabricConfig::default();
+    fabric.worker.scheduler = SchedulerConfig::weighted_fair();
+    Setup::with_configs(ClusterConfig::standard(WORKERS), fabric)
+}
+
+fn assert_quiet(name: &str, run: &AppRun, setup: &Setup) {
+    assert!(
+        run.report.faults.is_quiet(),
+        "{name}: healthy run must report a zero-delta ledger, got {:?}",
+        run.report.faults
+    );
+    setup.fabric.with_managers(|ms| {
+        for m in ms.iter() {
+            assert!(
+                m.fault_ledger().is_quiet(),
+                "{name}: worker {} ledger not quiet: {:?}",
+                m.worker_id(),
+                m.fault_ledger()
+            );
+        }
+    });
+}
+
+#[test]
+fn every_app_pair_is_digest_identical_interleaved_and_solo() {
+    // Solo baselines, each on a fresh DEFAULT-config fabric: the digest
+    // contract spans configurations (FIFO solo vs WFQ interleaved).
+    let mut solo = Vec::new();
+    for (name, run) in apps() {
+        let s = Setup::standard(WORKERS);
+        let r = run(&s);
+        assert_quiet(name, &r, &s);
+        solo.push((name, r.digest));
+    }
+
+    // Every unordered pair of distinct apps, genuinely concurrent on one
+    // fresh shared fabric. (Self-pairs are excluded deliberately: the HDFS
+    // namespace is shared like a real cluster's, so two instances of the
+    // same app correctly conflict on their output paths.)
+    let all = apps();
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            let shared = shared_setup();
+            let (ni, fi) = all[i];
+            let (nj, fj) = all[j];
+            let runs = run_concurrent(vec![
+                (ni, {
+                    let s = shared.clone();
+                    Box::new(move || fi(&s))
+                }),
+                (nj, {
+                    let s = shared.clone();
+                    Box::new(move || fj(&s))
+                }),
+            ]);
+            for ((name, run), (_, solo_digest)) in runs.iter().zip([&solo[i], &solo[j]]) {
+                assert_quiet(name, run, &shared);
+                assert_eq!(
+                    run.digest.to_bits(),
+                    solo_digest.to_bits(),
+                    "{name} (interleaved with {ni}+{nj}) drifted from its solo digest"
+                );
+            }
+            // Both tenants finished: every session must be torn down and
+            // its admission slot returned.
+            assert_eq!(shared.fabric.live_jobs(), 0, "{ni}+{nj} leaked a job");
+        }
+    }
+}
+
+#[test]
+fn interleaved_runs_are_deterministic() {
+    // Same pair, two fresh fabrics: the JobGate baton must replay the
+    // identical simulated timeline — total times, not just digests.
+    let run_pair = || {
+        let shared = shared_setup();
+        let all = apps();
+        let (nk, fk) = all[0]; // kmeans
+        let (ns, fs) = all[5]; // spmv
+        run_concurrent(vec![
+            (nk, {
+                let s = shared.clone();
+                Box::new(move || fk(&s))
+            }),
+            (ns, {
+                let s = shared.clone();
+                Box::new(move || fs(&s))
+            }),
+        ])
+        .into_iter()
+        .map(|(name, r)| (name, r.digest.to_bits(), r.report.total))
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(run_pair(), run_pair());
+}

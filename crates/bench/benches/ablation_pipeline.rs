@@ -12,7 +12,7 @@
 //! overhead, huge blocks lose pipeline overlap.
 
 use gflink_bench::{header, jobj, row, write_results, Json};
-use gflink_core::{FabricConfig, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_core::{FabricConfig, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
 use gflink_flink::ClusterConfig;
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
@@ -64,10 +64,12 @@ fn makespan(model: GpuModel, streams: usize, blocks: u32, block_bytes: u64) -> S
         },
         registry(),
     );
+    let job = JobId(1);
+    mgr.begin_job(job);
     for i in 0..blocks {
-        mgr.submit(block_work(i, block_bytes), SimTime::ZERO);
+        mgr.submit_for(job, block_work(i, block_bytes), SimTime::ZERO);
     }
-    mgr.drain()
+    mgr.drain_job(job)
         .iter()
         .map(|d| d.timing.completed)
         .max()

@@ -13,7 +13,7 @@
 use gflink_apps::{spmv, Setup};
 use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::{
-    CacheKey, FabricConfig, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf,
+    CacheKey, FabricConfig, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulingPolicy, WorkBuf,
 };
 use gflink_flink::ClusterConfig;
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
@@ -100,10 +100,12 @@ fn main() {
             },
             Arc::clone(&registry),
         );
+        let job = JobId(1);
+        mgr.begin_job(job);
         for i in 0..64u32 {
-            mgr.submit(burn_work(i), SimTime::ZERO);
+            mgr.submit_for(job, burn_work(i), SimTime::ZERO);
         }
-        let done = mgr.drain();
+        let done = mgr.drain_job(job);
         let makespan = done
             .iter()
             .map(|d| d.timing.completed)
@@ -156,23 +158,25 @@ fn affinity_experiment(results: &mut Vec<Json>) {
                 Arc::new(Mutex::new(reg))
             },
         );
+        let job = JobId(1);
+        mgr.begin_job(job);
         // Round 1: warm the caches.
         for i in 0..16u32 {
-            mgr.submit(cached_work(i), SimTime::ZERO);
+            mgr.submit_for(job, cached_work(i), SimTime::ZERO);
         }
         let round1_end = mgr
-            .drain()
+            .drain_job(job)
             .iter()
             .map(|d| d.timing.completed)
             .max()
             .unwrap();
         // The interloper shifts round-robin's phase.
-        mgr.submit(burn_work(999), round1_end);
+        mgr.submit_for(job, burn_work(999), round1_end);
         // Round 2: the same cached blocks again.
         for i in 0..16u32 {
-            mgr.submit(cached_work(i), round1_end);
+            mgr.submit_for(job, cached_work(i), round1_end);
         }
-        let done = mgr.drain();
+        let done = mgr.drain_job(job);
         let end = done.iter().map(|d| d.timing.completed).max().unwrap();
         let hits: u32 = done.iter().map(|d| d.timing.cache_hits).sum();
         let misses: u32 = done.iter().map(|d| d.timing.cache_misses).sum();

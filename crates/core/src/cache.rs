@@ -216,6 +216,28 @@ impl GpuCache {
         replaced
     }
 
+    /// Re-budget the region to `capacity` logical bytes (cross-job cache
+    /// partitioning), evicting oldest unpinned entries until the contents
+    /// fit. Returns the device buffers the caller must release. Pinned
+    /// overflow is tolerated — `used` may exceed the new capacity until the
+    /// in-flight works unpin; `make_room` handles that state safely.
+    #[must_use = "evicted entries' device buffers must be released"]
+    pub fn set_capacity(&mut self, capacity: u64) -> Vec<DevBufId> {
+        self.capacity = capacity;
+        let mut freed = Vec::new();
+        while self.used > self.capacity {
+            match self.pop_victim() {
+                Some((_, dev, sz)) => {
+                    self.used -= sz;
+                    self.evictions += 1;
+                    freed.push(dev);
+                }
+                None => break,
+            }
+        }
+        freed
+    }
+
     /// Evict the oldest *unpinned* entry regardless of policy
     /// (memory-pressure path: a transient allocation needs device memory
     /// more than the cache does). Returns the device buffer to release, or

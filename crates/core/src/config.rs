@@ -4,6 +4,7 @@
 
 use crate::cache::CachePolicy;
 use crate::recovery::CpuFallback;
+use crate::scheduling::ArbitrationPolicy;
 use gflink_gpu::{GpuModel, TransferMode};
 use gflink_sim::{RetryPolicy, SimTime};
 
@@ -89,6 +90,55 @@ impl BatchConfig {
     }
 }
 
+/// Multi-job scheduler configuration: cross-job queue arbitration,
+/// admission control, and cache-budget partitioning.
+///
+/// Follows the [`TransferConfig`] convention: the defaults reproduce the
+/// single-tenant timeline byte-for-byte (FIFO arbitration, unbounded
+/// admission, shared cache budget). Every knob is opt-in.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// How queued works of different jobs share one GPU's queue.
+    pub arbitration: ArbitrationPolicy,
+    /// Admission cap: `GpuFabric::open_job` rejects a submission that would
+    /// push the number of live jobs past this. `usize::MAX` = unbounded.
+    pub max_live_jobs: usize,
+    /// Backpressure: once a job has this many bytes parked in the GPU
+    /// queues, its further submissions are *parked* in a per-job pen and
+    /// re-injected as the backlog drains (they are delayed, never dropped).
+    /// `u64::MAX` = no backpressure.
+    pub max_queued_bytes: u64,
+    /// Partition each GPU's cache-region budget across live jobs in
+    /// proportion to their weights, re-balancing (with eviction of any
+    /// overflow) when a job opens or closes. Off = every job gets the full
+    /// region budget, as before.
+    pub partition_cache: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            arbitration: ArbitrationPolicy::Fifo,
+            max_live_jobs: usize::MAX,
+            max_queued_bytes: u64::MAX,
+            partition_cache: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Weighted-fair arbitration with the default 256 KiB quantum;
+    /// admission and partitioning stay at their defaults.
+    pub fn weighted_fair() -> Self {
+        SchedulerConfig {
+            arbitration: ArbitrationPolicy::WeightedFair {
+                quantum_bytes: 256 << 10,
+            },
+            ..SchedulerConfig::default()
+        }
+    }
+}
+
 /// Configuration of one worker's GPU complement.
 #[derive(Clone, Debug)]
 pub struct GpuWorkerConfig {
@@ -121,6 +171,9 @@ pub struct GpuWorkerConfig {
     pub cpu_fallback: CpuFallback,
     /// Transfer-channel behaviour: staging mode, pinned pool, batching.
     pub transfer: TransferConfig,
+    /// Multi-job scheduling: cross-job arbitration, admission control, and
+    /// cache-budget partitioning.
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for GpuWorkerConfig {
@@ -136,6 +189,7 @@ impl Default for GpuWorkerConfig {
             hang_timeout: SimTime::from_secs(10),
             cpu_fallback: CpuFallback::default(),
             transfer: TransferConfig::default(),
+            scheduler: SchedulerConfig::default(),
         }
     }
 }

@@ -183,7 +183,7 @@ impl GStreamManager {
                 members: b.members,
             })
         };
-        self.queues[gpu].push_back(parked);
+        self.sched.park(gpu, parked);
     }
 
     /// The batching window expired: flush the pending batch (unless it was

@@ -21,6 +21,7 @@
 //! completion.
 
 use crate::gwork::{CacheKey, GWork, WorkBuf};
+use crate::jobsched::{AdmissionError, JobHandle};
 use crate::manager::{GpuManager, GpuWorkerConfig, CPU_FALLBACK_GPU};
 use crate::session::JobId;
 use gflink_flink::dataset::RawPart;
@@ -30,6 +31,7 @@ use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
 use gflink_sim::{Phase, SimTime, Tracer};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -168,7 +170,66 @@ impl GpuMapSpec {
         });
         self
     }
+
+    /// Validate the spec against `fabric` *before* any work is submitted:
+    /// the kernel must be registered (otherwise every block would fail deep
+    /// inside dispatch with `KernelMissing` and burn its whole retry
+    /// budget), and an attached extra input must carry non-degenerate byte
+    /// accounting (zero logical or actual bytes silently models an empty
+    /// transfer). Returns the spec unchanged on success.
+    pub fn build(self, fabric: &GpuFabric) -> Result<GpuMapSpec, SpecError> {
+        if !fabric.registry.lock().contains(&self.kernel) {
+            return Err(SpecError::UnregisteredKernel { name: self.kernel });
+        }
+        if let Some(extra) = &self.extra_input {
+            if extra.data.is_empty() || extra.logical_bytes == 0 {
+                return Err(SpecError::DegenerateExtraInput {
+                    actual_bytes: extra.data.len(),
+                    logical_bytes: extra.logical_bytes,
+                });
+            }
+        }
+        Ok(self)
+    }
 }
+
+/// Why [`GpuMapSpec::build`] rejected a spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The kernel name is not registered in the fabric's registry.
+    UnregisteredKernel {
+        /// The missing `executeName`.
+        name: String,
+    },
+    /// The extra input's byte accounting is degenerate (empty host buffer
+    /// or zero logical bytes).
+    DegenerateExtraInput {
+        /// Host bytes actually held.
+        actual_bytes: usize,
+        /// Logical bytes declared for transfer timing.
+        logical_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnregisteredKernel { name } => {
+                write!(f, "kernel {name:?} is not registered in the fabric")
+            }
+            SpecError::DegenerateExtraInput {
+                actual_bytes,
+                logical_bytes,
+            } => write!(
+                f,
+                "extra input byte accounting is degenerate \
+                 ({actual_bytes} actual / {logical_bytes} logical bytes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Fabric-wide GPU configuration.
 #[derive(Clone, Debug)]
@@ -202,6 +263,7 @@ pub struct GpuFabric {
     cfg: FabricConfig,
     next_dataset: Arc<AtomicU64>,
     next_job: Arc<AtomicU64>,
+    live_jobs: Arc<Mutex<BTreeSet<JobId>>>,
     tracer: Arc<Mutex<Tracer>>,
 }
 
@@ -218,6 +280,7 @@ impl GpuFabric {
             cfg,
             next_dataset: Arc::new(AtomicU64::new(1)),
             next_job: Arc::new(AtomicU64::new(1)),
+            live_jobs: Arc::new(Mutex::new(BTreeSet::new())),
             tracer: Arc::new(Mutex::new(Tracer::disabled())),
         }
     }
@@ -277,22 +340,54 @@ impl GpuFabric {
         }
     }
 
-    /// Open a fresh [`JobId`] and its per-worker sessions (§4.2.2: a cache
-    /// region is created when a job starts).
-    pub fn begin_job(&self) -> JobId {
-        let job = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+    /// Open a job with the baseline fair-share weight of 1. See
+    /// [`open_job_weighted`](Self::open_job_weighted).
+    pub fn open_job(&self) -> Result<JobHandle, AdmissionError> {
+        self.open_job_weighted(1)
+    }
+
+    /// Admit a new job onto the fabric: mint a fresh [`JobId`], open its
+    /// per-worker sessions (§4.2.2: a cache region is created when a job
+    /// starts), and return the RAII [`JobHandle`] that scopes submission,
+    /// draining and teardown to that job. Admission control applies — when
+    /// `SchedulerConfig::max_live_jobs` live jobs already run, the
+    /// submission is rejected with [`AdmissionError::JobLimit`]. `weight`
+    /// is the job's fair share under weighted-fair arbitration and cache
+    /// partitioning (clamped to ≥ 1).
+    pub fn open_job_weighted(&self, weight: u32) -> Result<JobHandle, AdmissionError> {
+        let cap = self.cfg.worker.scheduler.max_live_jobs;
+        let job = {
+            let mut live = self.live_jobs.lock();
+            if live.len() >= cap {
+                return Err(AdmissionError::JobLimit {
+                    live: live.len(),
+                    cap,
+                });
+            }
+            let job = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+            live.insert(job);
+            job
+        };
+        let weight = weight.max(1);
         for m in self.managers.lock().iter_mut() {
-            m.begin_job(job);
+            m.begin_job_weighted(job, weight);
         }
-        job
+        Ok(JobHandle::new(self.clone(), job, weight))
+    }
+
+    /// Jobs currently live (admitted, not yet finished) on the fabric.
+    pub fn live_jobs(&self) -> usize {
+        self.live_jobs.lock().len()
     }
 
     /// Tear down `job`'s sessions on every worker, releasing exactly its
-    /// cache regions (§4.2.2: released when the job finishes).
-    pub fn end_job(&self, job: JobId) {
+    /// cache regions, and free its admission slot. Called by
+    /// [`JobHandle::finish`]/drop — never directly.
+    pub(crate) fn close_job(&self, job: JobId) {
         for m in self.managers.lock().iter_mut() {
             m.end_job(job);
         }
+        self.live_jobs.lock().remove(&job);
     }
 }
 
@@ -303,19 +398,43 @@ pub struct GflinkEnv {
     /// GFlink is compatible with the original Flink API).
     pub flink: FlinkEnv,
     fabric: GpuFabric,
-    job: JobId,
+    handle: Arc<JobHandle>,
 }
 
 impl GflinkEnv {
-    /// Submit a GFlink job at simulated instant `at`: opens a [`JobId`] on
-    /// the fabric, creating this job's cache regions on every worker.
+    /// Submit a GFlink job at simulated instant `at`: admits the job on
+    /// the fabric ([`GpuFabric::open_job`]), creating its cache regions on
+    /// every worker. Panics if admission control rejects the job — use
+    /// [`try_submit`](Self::try_submit) to handle rejection.
     pub fn submit(cluster: &SharedCluster, fabric: &GpuFabric, name: &str, at: SimTime) -> Self {
-        let job = fabric.begin_job();
-        GflinkEnv {
+        Self::try_submit(cluster, fabric, name, at).expect("job admission refused")
+    }
+
+    /// Fallible [`submit`](Self::submit): admission control may refuse.
+    pub fn try_submit(
+        cluster: &SharedCluster,
+        fabric: &GpuFabric,
+        name: &str,
+        at: SimTime,
+    ) -> Result<Self, AdmissionError> {
+        Self::try_submit_weighted(cluster, fabric, name, at, 1)
+    }
+
+    /// [`try_submit`](Self::try_submit) with a fair-share weight for
+    /// weighted-fair arbitration and cache partitioning.
+    pub fn try_submit_weighted(
+        cluster: &SharedCluster,
+        fabric: &GpuFabric,
+        name: &str,
+        at: SimTime,
+        weight: u32,
+    ) -> Result<Self, AdmissionError> {
+        let handle = Arc::new(fabric.open_job_weighted(weight)?);
+        Ok(GflinkEnv {
             flink: FlinkEnv::submit(cluster, name, at),
             fabric: fabric.clone(),
-            job,
-        }
+            handle,
+        })
     }
 
     /// The GPU fabric.
@@ -323,9 +442,14 @@ impl GflinkEnv {
         &self.fabric
     }
 
+    /// The RAII handle of this job on the fabric.
+    pub fn job_handle(&self) -> &Arc<JobHandle> {
+        &self.handle
+    }
+
     /// This job's identity on the GPU fabric.
     pub fn job_id(&self) -> JobId {
-        self.job
+        self.handle.id()
     }
 
     /// Wrap a CPU dataset into a GPU-based DataSet with the given input
@@ -350,6 +474,7 @@ impl GflinkEnv {
         // window includes co-tenant works (which is what device
         // utilization means there).
         let window = self.flink.frontier();
+        let job = self.handle.id();
         self.fabric.with_managers(|managers| {
             let mut steals = 0u64;
             let mut batches = 0u64;
@@ -357,15 +482,19 @@ impl GflinkEnv {
             let mut alpha_saved = SimTime::ZERO;
             let mut batch_size = gflink_sim::Summary::default();
             let mut pinned = gflink_memory::PinnedStats::default();
+            let mut parked_works = 0u64;
+            let mut park_delay = SimTime::ZERO;
             for m in managers.iter() {
-                if let Some(s) = m.session(self.job) {
+                if let Some(s) = m.session(job) {
                     steals += s.steals();
                     batches += s.batches();
                     batched_works += s.batched_works();
                     alpha_saved += s.alpha_saved();
                     batch_size.merge(s.batch_sizes());
+                    parked_works += s.parked_works();
+                    park_delay += s.park_delay();
                 }
-                let p = m.job_pinned_stats(self.job);
+                let p = m.job_pinned_stats(job);
                 pinned.hits += p.hits;
                 pinned.misses += p.misses;
                 pinned.bytes += p.bytes;
@@ -393,12 +522,15 @@ impl GflinkEnv {
                 r.batched_works += batched_works;
                 r.alpha_saved += alpha_saved;
                 r.batch_size.merge(&batch_size);
+                r.weight = self.handle.weight();
+                r.parked_works += parked_works;
+                r.park_delay += park_delay;
                 if r.lanes.is_empty() && !r.is_empty() {
                     r.lanes = lanes;
                 }
             });
         });
-        self.fabric.end_job(self.job);
+        self.handle.finish();
         self.flink.finish()
     }
 }
@@ -547,11 +679,12 @@ impl<T: GRecord> GDataSet<T> {
         let fabric_cfg = self.env.fabric.cfg.clone();
         let sched = flink.schedule_phase();
         let cluster = flink.cluster();
-        let job = self.env.job;
+        let job = self.env.handle.id();
         let scale = self.ds.scale();
         let coalescing = self.layout.coalescing_all_fields(&def);
 
         let mut wall_start = SimTime::MAX;
+        let mut last_submit = SimTime::ZERO;
         let mut elements = 0u64;
 
         // Producer side: each partition's pinned slot assembles one GWork
@@ -656,9 +789,18 @@ impl<T: GRecord> GDataSet<T> {
                         tag: (p as u32, b as u32),
                     };
                     managers[part.worker].submit_for(job, work, r.end);
+                    last_submit = last_submit.max(r.end);
                 }
             }
         });
+
+        // Concurrency barrier: under a job gate (concurrent tenants driven
+        // by `run_concurrent`-style harnesses), wait here until every
+        // co-tenant at or behind this frontier has also submitted, so the
+        // shared drain event loop below sees all jobs' works and cross-job
+        // arbitration has a real choice. A solo run passes straight
+        // through. No locks are held across this wait.
+        gflink_flink::gate::checkpoint(last_submit);
 
         // Consumer side: drain every worker's GpuManager.
         #[allow(clippy::type_complexity)]
@@ -890,14 +1032,16 @@ mod tests {
         for p in &got {
             assert_eq!(p.x - 1.0, -(p.y - 2.0));
         }
-        let report = env.finish();
-        assert_eq!(report.faults.gpus_lost, 1);
-        assert!(report.faults.faults_injected >= 1);
         fabric.with_managers(|ms| {
             assert!(ms[0].gpu(0).health().is_lost());
             assert!(ms[0].gpu(1).health().is_usable());
-            assert!(ms[0].failed().is_empty());
+            // Checked before finish() tears the session down: nothing was
+            // permanently abandoned.
+            assert!(ms[0].session(env.job_id()).unwrap().failed().is_empty());
         });
+        let report = env.finish();
+        assert_eq!(report.faults.gpus_lost, 1);
+        assert!(report.faults.faults_injected >= 1);
     }
 
     #[test]

@@ -258,6 +258,22 @@ impl GMemoryManager {
             .collect()
     }
 
+    /// The full cache-region byte budget on GPU `gpu` — what
+    /// [`new_regions`](Self::new_regions) grants a region before any
+    /// cross-job partitioning shrinks it.
+    pub(crate) fn region_capacity(&self, gpu: usize) -> u64 {
+        self.cache_capacity
+            .min(self.gpus[gpu].spec().dev_mem_bytes * 3 / 4)
+    }
+
+    /// Free specific device buffers on GPU `gpu` — the overflow evicted by
+    /// a cache-partition rebalance shrinking a live region.
+    pub(crate) fn release_buffers(&mut self, gpu: usize, devs: Vec<DevBufId>) {
+        for dev in devs {
+            let _ = self.dmem(gpu).release(dev);
+        }
+    }
+
     /// Free the device buffers behind a job's cache regions (job end,
     /// §4.2.2). The regions stay alive (emptied); statistics are preserved
     /// in them, not retired.

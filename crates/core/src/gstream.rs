@@ -20,10 +20,11 @@
 //! coordinator's other halves — so each event can touch the memory
 //! manager, the recovery manager, and the owning job's session at once.
 
-use crate::config::BatchConfig;
+use crate::config::{BatchConfig, SchedulerConfig};
 use crate::fused::{FusedFlight, Parked, PendingBatch};
 use crate::gmemory::{GMemoryManager, StagedInputs};
 use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
+use crate::jobsched::{JobScheduler, PennedWork};
 use crate::recovery::{FailReason, ManagerError, RecoveryManager};
 use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
@@ -32,7 +33,7 @@ use gflink_memory::{HBuffer, PinnedLease};
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The event vocabulary of one drain.
@@ -119,8 +120,9 @@ pub struct GStreamManager {
     pub(crate) policy: SchedulingPolicy,
     /// `stream_busy_until[g][s]`
     pub(crate) stream_busy_until: Vec<Vec<SimTime>>,
-    /// Per-GPU FIFO GWork queues (the GWork Pool).
-    pub(crate) queues: Vec<VecDeque<Parked>>,
+    /// The multi-job scheduler: per-GPU GWork queues (the GWork Pool) under
+    /// the configured cross-job arbitration, plus backpressure pens.
+    pub(crate) sched: JobScheduler,
     rr_counter: usize,
     steals: u64,
     pub(crate) executed_per_gpu: Vec<u64>,
@@ -153,12 +155,13 @@ impl GStreamManager {
         streams_per_gpu: usize,
         policy: SchedulingPolicy,
         batch_cfg: BatchConfig,
+        sched_cfg: SchedulerConfig,
     ) -> Self {
         GStreamManager {
             streams_per_gpu,
             policy,
             stream_busy_until: vec![vec![SimTime::ZERO; streams_per_gpu]; n_gpus],
-            queues: (0..n_gpus).map(|_| VecDeque::new()).collect(),
+            sched: JobScheduler::new(n_gpus, sched_cfg),
             rr_counter: 0,
             steals: 0,
             executed_per_gpu: vec![0; n_gpus],
@@ -181,7 +184,7 @@ impl GStreamManager {
     /// GPU are the §5 pipelining made visible.
     pub(crate) fn set_tracer(&mut self, tracer: Tracer, worker_id: usize) {
         if tracer.enabled() {
-            for g in 0..self.queues.len() {
+            for g in 0..self.stream_busy_until.len() {
                 for s in 0..self.streams_per_gpu {
                     tracer.name_thread(
                         gpu_pid(worker_id, g),
@@ -249,10 +252,10 @@ impl GStreamManager {
         self.stream_busy_until[gpu][stream]
     }
 
-    /// True when no work is queued, accumulating in a batcher, or in flight
-    /// (end-of-drain invariant).
+    /// True when no work is queued, penned, accumulating in a batcher, or
+    /// in flight (end-of-drain invariant).
     pub(crate) fn is_idle(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
+        self.sched.is_idle()
             && self.in_flight.is_empty()
             && self.fused_in_flight.is_empty()
             && self.batchers.iter().all(Option::is_none)
@@ -334,6 +337,26 @@ impl GStreamManager {
             );
             return;
         }
+        // Backpressure: a job already holding its queued-bytes cap parks
+        // its further first-attempt submissions in the pen; they re-enter
+        // as the job's backlog drains (see `on_stream_free`) or at drain
+        // quiescence (`flush_parked`). Retries bypass the pen: they were
+        // admitted once and recovery must not deadlock behind admission.
+        if retries == 0 && self.sched.should_pen(job) {
+            if let Some(session) = eng.sessions.get_mut(&job) {
+                session.parked_works += 1;
+            }
+            self.sched.pen_work(
+                job,
+                PennedWork {
+                    arrived: t,
+                    submitted,
+                    retries,
+                    work,
+                },
+            );
+            return;
+        }
         match self.policy {
             SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal => {
                 let gid = {
@@ -355,13 +378,9 @@ impl GStreamManager {
                         // loaded usable queue when GID is null.
                         let qi = match gid.filter(|&g| eng.gmem.usable(g)) {
                             Some(g) => g,
-                            None => self
-                                .queues
-                                .iter()
-                                .enumerate()
-                                .filter(|&(i, _)| eng.gmem.usable(i))
-                                .min_by_key(|(_, queue)| queue.len())
-                                .map(|(i, _)| i)
+                            None => (0..self.sched.num_queues())
+                                .filter(|&i| eng.gmem.usable(i))
+                                .min_by_key(|&i| self.sched.queue_len(i))
                                 .unwrap(),
                         };
                         // Small works that would queue anyway accumulate
@@ -371,18 +390,21 @@ impl GStreamManager {
                         if self.batchable(retries, &work) {
                             self.enqueue_batched(job, work, submitted, retries, qi, t, q);
                         } else {
-                            self.queues[qi].push_back(Parked::Single(QueuedWork {
-                                job,
-                                submitted,
-                                retries,
-                                work,
-                            }));
+                            self.sched.park(
+                                qi,
+                                Parked::Single(QueuedWork {
+                                    job,
+                                    submitted,
+                                    retries,
+                                    work,
+                                }),
+                            );
                         }
                     }
                 }
             }
             SchedulingPolicy::RoundRobin => {
-                let n = self.queues.len();
+                let n = self.sched.num_queues();
                 let mut g = self.rr_counter % n;
                 self.rr_counter += 1;
                 while !eng.gmem.usable(g) {
@@ -390,27 +412,33 @@ impl GStreamManager {
                 }
                 match self.first_idle_stream(g, t) {
                     Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back(Parked::Single(QueuedWork {
-                        job,
-                        submitted,
-                        retries,
-                        work,
-                    })),
+                    None => self.sched.park(
+                        g,
+                        Parked::Single(QueuedWork {
+                            job,
+                            submitted,
+                            retries,
+                            work,
+                        }),
+                    ),
                 }
             }
             SchedulingPolicy::Random { .. } => {
-                let usable: Vec<usize> = (0..self.queues.len())
+                let usable: Vec<usize> = (0..self.sched.num_queues())
                     .filter(|&g| eng.gmem.usable(g))
                     .collect();
                 let g = usable[eng.rng.gen_index(usable.len())];
                 match self.first_idle_stream(g, t) {
                     Some(s) => self.execute(eng, job, work, submitted, retries, g, s, t, q),
-                    None => self.queues[g].push_back(Parked::Single(QueuedWork {
-                        job,
-                        submitted,
-                        retries,
-                        work,
-                    })),
+                    None => self.sched.park(
+                        g,
+                        Parked::Single(QueuedWork {
+                            job,
+                            submitted,
+                            retries,
+                            work,
+                        }),
+                    ),
                 }
             }
         }
@@ -433,29 +461,49 @@ impl GStreamManager {
         }
         // An idle stream never waits out a batching window: if its queue is
         // dry but its batcher holds works, flush them now.
-        if self.queues[gpu].is_empty() && self.batchers[gpu].is_some() {
+        if self.sched.queue_is_empty(gpu) && self.batchers[gpu].is_some() {
             self.flush_batcher(gpu);
         }
         let mut stolen = false;
-        let work = if let Some(w) = self.queues[gpu].pop_front() {
-            Some(w)
-        } else if self.policy.steals() {
-            let victim = self
-                .queues
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, queue)| queue.len())
-                .map(|(i, _)| i)
-                .filter(|&i| !self.queues[i].is_empty());
-            victim.map(|i| {
-                self.steals += 1;
-                stolen = true;
-                self.queues[i].pop_front().unwrap()
-            })
-        } else {
-            None
+        let work = {
+            let weight_of = |j: JobId| {
+                eng.sessions
+                    .get(&j)
+                    .map(|s| u64::from(s.weight))
+                    .unwrap_or(1)
+            };
+            if let Some(w) = self.sched.pop(gpu, &weight_of) {
+                Some(w)
+            } else if self.policy.steals() {
+                let victim = (0..self.sched.num_queues())
+                    .max_by_key(|&i| self.sched.queue_len(i))
+                    .filter(|&i| !self.sched.queue_is_empty(i));
+                victim.map(|i| {
+                    self.steals += 1;
+                    stolen = true;
+                    self.sched.pop(i, &weight_of).expect("victim non-empty")
+                })
+            } else {
+                None
+            }
         };
         if let Some(parked) = work {
+            // One dequeue of a job's work may free room under its
+            // queued-bytes cap: release one penned work back into the loop.
+            if let Some(penned) = self.sched.try_release(parked.job()) {
+                if let Some(session) = eng.sessions.get_mut(&parked.job()) {
+                    session.park_delay += t.saturating_sub(penned.arrived);
+                }
+                q.schedule(
+                    t,
+                    Ev::Submit(Box::new((
+                        parked.job(),
+                        penned.submitted,
+                        penned.retries,
+                        penned.work,
+                    ))),
+                );
+            }
             if stolen {
                 if let Some(session) = eng.sessions.get_mut(&parked.job()) {
                     session.steals += 1;
@@ -867,7 +915,7 @@ impl GStreamManager {
                 if self.batchers[gpu].is_some() {
                     self.flush_batcher(gpu);
                 }
-                let queued: Vec<Parked> = self.queues[gpu].drain(..).collect();
+                let queued: Vec<Parked> = self.sched.drain_queue(gpu);
                 for parked in queued {
                     for qw in parked.into_members() {
                         let session = eng.sessions.get_mut(&qw.job).expect("session open");
@@ -893,6 +941,34 @@ impl GStreamManager {
                 eng.recovery.arm_hang(gpu);
             }
         }
+    }
+
+    /// Drain-quiescence safety net for the backpressure pens: the event
+    /// queue ran dry while works sat penned (their job's whole backlog
+    /// executed straight off idle streams, so no dequeue ever released
+    /// them). Re-inject every penned work at `t` and report whether the
+    /// event loop must keep running. Penned works are therefore delayed —
+    /// never dropped — even in degenerate schedules.
+    pub(crate) fn flush_parked(
+        &mut self,
+        eng: &mut Engine<'_>,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) -> bool {
+        let flushed = self.sched.flush_pens();
+        if flushed.is_empty() {
+            return false;
+        }
+        for (job, p) in flushed {
+            if let Some(session) = eng.sessions.get_mut(&job) {
+                session.park_delay += t.saturating_sub(p.arrived);
+            }
+            q.schedule(
+                t,
+                Ev::Submit(Box::new((job, p.submitted, p.retries, p.work))),
+            );
+        }
+        true
     }
 
     /// The watchdog fires `hang_timeout` after a launch; a flight still

@@ -34,6 +34,7 @@ pub mod gdst;
 pub mod gmemory;
 pub mod gstream;
 pub mod gwork;
+pub mod jobsched;
 pub mod manager;
 pub mod model;
 pub mod recovery;
@@ -42,16 +43,17 @@ pub mod session;
 pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
-pub use config::{BatchConfig, TransferConfig};
+pub use config::{BatchConfig, SchedulerConfig, TransferConfig};
 pub use gdst::{
     ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts,
-    OutMode,
+    OutMode, SpecError,
 };
 pub use gwork::{CacheKey, CompletedWork, GWork, WorkBuf, WorkTiming};
+pub use jobsched::{AdmissionError, JobHandle};
 pub use manager::{
     CpuFallback, FailReason, FailedWork, GpuManager, GpuWorkerConfig, ManagerError,
     CPU_FALLBACK_GPU,
 };
-pub use scheduling::SchedulingPolicy;
+pub use scheduling::{ArbitrationPolicy, SchedulingPolicy};
 pub use session::{JobId, JobSession};
 pub use stream::{run_cpu_stream, run_gpu_stream, StreamReport, StreamSource};

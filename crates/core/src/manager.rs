@@ -20,9 +20,9 @@
 //! completions, failures, ledger deltas — lives in the session, created at
 //! [`GpuManager::begin_job`] and torn down at [`GpuManager::end_job`], so
 //! concurrent tenants on the same devices cannot perturb each other's
-//! digests or ledgers. The legacy single-job surface (`submit`/`drain`/
-//! `cache`/`failed`) operates on the always-present [`JobId::DEFAULT`]
-//! session.
+//! digests or ledgers. Callers normally reach this surface through the
+//! RAII [`JobHandle`](crate::jobsched::JobHandle) minted by
+//! `GpuFabric::open_job`, which scopes submit/drain/teardown to one job.
 //!
 //! Determinism: the drain event loop is shared across sessions (the
 //! hardware is shared), pending works enter it stably sorted by submit
@@ -41,8 +41,6 @@ use gflink_sim::{EventQueue, FaultLedger, FaultPlan, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-
-use crate::cache::GpuCache;
 
 pub use crate::config::{BatchConfig, GpuWorkerConfig, TransferConfig};
 pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU_FALLBACK_GPU};
@@ -80,6 +78,7 @@ impl GpuManager {
             cfg.streams_per_gpu,
             cfg.scheduling,
             cfg.transfer.batch.clone(),
+            cfg.scheduler.clone(),
         );
         let recovery = RecoveryManager::new(
             cfg.models.len(),
@@ -88,14 +87,12 @@ impl GpuManager {
             cfg.failure_rate,
             cfg.cpu_fallback.clone(),
         );
-        let mut sessions = BTreeMap::new();
-        sessions.insert(JobId::DEFAULT, JobSession::new(gmem.new_regions()));
         GpuManager {
             worker_id,
             gmem,
             gstream,
             recovery,
-            sessions,
+            sessions: BTreeMap::new(),
             registry,
             rng: SimRng::new(0x5EED_0000 + worker_id as u64),
             cfg,
@@ -120,12 +117,6 @@ impl GpuManager {
     /// Immutable access to a GPU (tests, reporting).
     pub fn gpu(&self, i: usize) -> &VirtualGpu {
         self.gmem.gpu(i)
-    }
-
-    /// The [`JobId::DEFAULT`] session's cache region on GPU `i` (legacy
-    /// single-job surface).
-    pub fn cache(&self, i: usize) -> &GpuCache {
-        &self.sessions[&JobId::DEFAULT].regions[i]
     }
 
     /// Whole-worker (hits, misses, evictions) on GPU `gpu`: the sum over
@@ -208,16 +199,6 @@ impl GpuManager {
         self.recovery.ledger()
     }
 
-    /// Works the [`JobId::DEFAULT`] session gave up on, in failure order.
-    pub fn failed(&self) -> &[FailedWork] {
-        self.sessions[&JobId::DEFAULT].failed()
-    }
-
-    /// Take ownership of the default session's failures (clears the list).
-    pub fn take_failed(&mut self) -> Vec<FailedWork> {
-        self.take_job_failed(JobId::DEFAULT)
-    }
-
     /// Number of devices still usable (healthy or degraded).
     pub fn usable_gpus(&self) -> usize {
         self.gmem.usable_gpus()
@@ -225,27 +206,53 @@ impl GpuManager {
 
     // --- sessions -------------------------------------------------------
 
-    /// Open a session for `job`: fresh per-GPU cache regions (§4.2.2) and
-    /// zeroed ledgers. Idempotent — an already-open session is kept.
+    /// Open a session for `job` (§4.2.2: fresh cache regions); idempotent.
     pub fn begin_job(&mut self, job: JobId) {
-        self.sessions
-            .entry(job)
-            .or_insert_with(|| JobSession::new(self.gmem.new_regions()));
+        self.begin_job_weighted(job, 1);
     }
 
-    /// Close `job`'s session: release its cached device buffers and retire
-    /// its cache statistics into the worker totals. The
-    /// [`JobId::DEFAULT`] session is emptied but never removed.
-    pub fn end_job(&mut self, job: JobId) {
-        if job == JobId::DEFAULT {
-            let session = self.sessions.get_mut(&job).expect("default session");
-            self.gmem.release_regions(&mut session.regions);
-            return;
+    /// [`begin_job`](Self::begin_job) with a weight; a live session keeps
+    /// its original weight (re-opens are no-ops).
+    pub fn begin_job_weighted(&mut self, job: JobId, weight: u32) {
+        if !self.sessions.contains_key(&job) {
+            let session = JobSession::new(self.gmem.new_regions(), weight);
+            self.sessions.insert(job, session);
+            self.rebalance_regions();
         }
+    }
+
+    /// Close `job`'s session: release its cached device buffers, retire
+    /// its cache statistics into the worker totals, and (under cache
+    /// partitioning) return its budget share to the survivors.
+    pub fn end_job(&mut self, job: JobId) {
         if let Some(mut session) = self.sessions.remove(&job) {
             self.gmem.release_regions(&mut session.regions);
             self.gmem.retire_regions(&session.regions);
             self.gmem.retire_pool_owner(job.0);
+            self.rebalance_regions();
+        }
+    }
+
+    /// Re-divide each GPU's cache-region budget across live sessions in
+    /// proportion to their weights (opt-in via
+    /// `SchedulerConfig::partition_cache`), evicting overflow from regions
+    /// that shrank. Off = every region keeps the full budget, as before.
+    fn rebalance_regions(&mut self) {
+        if !self.cfg.scheduler.partition_cache {
+            return;
+        }
+        let total: u64 = self.sessions.values().map(|s| u64::from(s.weight)).sum();
+        if total == 0 {
+            return;
+        }
+        for g in 0..self.gmem.gpu_count() {
+            let base = self.gmem.region_capacity(g);
+            let mut freed = Vec::new();
+            for s in self.sessions.values_mut() {
+                let cap = base * u64::from(s.weight) / total;
+                freed.extend(s.regions[g].set_capacity(cap));
+            }
+            self.gmem.release_buffers(g, freed);
         }
     }
 
@@ -281,13 +288,6 @@ impl GpuManager {
 
     // --- submission & draining ------------------------------------------
 
-    /// Enqueue `work` on the [`JobId::DEFAULT`] session as submitted at
-    /// simulated instant `at`. The work runs when [`GpuManager::drain`] is
-    /// called.
-    pub fn submit(&mut self, work: GWork, at: SimTime) {
-        self.submit_for(JobId::DEFAULT, work, at);
-    }
-
     /// Enqueue `work` for `job` as submitted at simulated instant `at`,
     /// opening the session if needed. The work runs at the next drain.
     pub fn submit_for(&mut self, job: JobId, work: GWork, at: SimTime) {
@@ -305,11 +305,6 @@ impl GpuManager {
         for session in self.sessions.values_mut() {
             self.gmem.release_regions(&mut session.regions);
         }
-    }
-
-    /// Drain the [`JobId::DEFAULT`] session (legacy single-job surface).
-    pub fn drain(&mut self) -> Vec<CompletedWork> {
-        self.drain_job(JobId::DEFAULT)
     }
 
     /// Run the shared event loop until all submitted work — from *every*
@@ -355,26 +350,41 @@ impl GpuManager {
             registry: &self.registry,
             rng: &mut self.rng,
         };
-        while let Some((t, ev)) = q.pop() {
-            match ev {
-                Ev::Submit(b) => {
-                    let (j, submitted, retries, w) = *b;
-                    self.gstream
-                        .dispatch(&mut eng, j, w, submitted, retries, t, &mut q);
+        // Outer loop: works still penned when the queue runs dry (the
+        // backpressure safety net) are re-injected and drained again.
+        let mut last_t = SimTime::ZERO;
+        loop {
+            while let Some((t, ev)) = q.pop() {
+                last_t = t;
+                match ev {
+                    Ev::Submit(b) => {
+                        let (j, submitted, retries, w) = *b;
+                        self.gstream
+                            .dispatch(&mut eng, j, w, submitted, retries, t, &mut q);
+                    }
+                    Ev::StreamFree { gpu, stream } => self
+                        .gstream
+                        .on_stream_free(&mut eng, gpu, stream, t, &mut q),
+                    Ev::KernelStage(id) => self.gstream.on_kernel_stage(&mut eng, id, t, &mut q),
+                    Ev::D2hStage(id) => self.gstream.on_d2h_stage(&mut eng, id, t, &mut q),
+                    Ev::Fault(kind) => self.gstream.on_fault(&mut eng, kind, t, &mut q),
+                    Ev::HangCheck(id) => self.gstream.on_hang_check(&mut eng, id, t, &mut q),
+                    Ev::FlushBatch { gpu, epoch } => {
+                        self.gstream.on_flush_batch(gpu, epoch, t, &mut q)
+                    }
+                    Ev::FusedKernelStage(id) => {
+                        self.gstream.on_fused_kernel_stage(&mut eng, id, t, &mut q)
+                    }
+                    Ev::FusedD2hStage(id) => {
+                        self.gstream.on_fused_d2h_stage(&mut eng, id, t, &mut q)
+                    }
+                    Ev::FusedHangCheck(id) => {
+                        self.gstream.on_fused_hang_check(&mut eng, id, t, &mut q)
+                    }
                 }
-                Ev::StreamFree { gpu, stream } => self
-                    .gstream
-                    .on_stream_free(&mut eng, gpu, stream, t, &mut q),
-                Ev::KernelStage(id) => self.gstream.on_kernel_stage(&mut eng, id, t, &mut q),
-                Ev::D2hStage(id) => self.gstream.on_d2h_stage(&mut eng, id, t, &mut q),
-                Ev::Fault(kind) => self.gstream.on_fault(&mut eng, kind, t, &mut q),
-                Ev::HangCheck(id) => self.gstream.on_hang_check(&mut eng, id, t, &mut q),
-                Ev::FlushBatch { gpu, epoch } => self.gstream.on_flush_batch(gpu, epoch, t, &mut q),
-                Ev::FusedKernelStage(id) => {
-                    self.gstream.on_fused_kernel_stage(&mut eng, id, t, &mut q)
-                }
-                Ev::FusedD2hStage(id) => self.gstream.on_fused_d2h_stage(&mut eng, id, t, &mut q),
-                Ev::FusedHangCheck(id) => self.gstream.on_fused_hang_check(&mut eng, id, t, &mut q),
+            }
+            if !self.gstream.flush_parked(&mut eng, last_t, &mut q) {
+                break;
             }
         }
         debug_assert!(self.gstream.is_idle(), "work left queued or in flight");

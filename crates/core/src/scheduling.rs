@@ -49,9 +49,53 @@ impl SchedulingPolicy {
     }
 }
 
+/// How queued GWorks are arbitrated *across jobs* within one GPU's queue
+/// (the multi-tenant axis, orthogonal to [`SchedulingPolicy`]'s choice of
+/// device).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArbitrationPolicy {
+    /// Strict arrival order, jobs interleaved exactly as they queued. The
+    /// default: byte-identical to the single-tenant queues.
+    #[default]
+    Fifo,
+    /// Deficit round-robin over per-job lanes: each visit credits a lane
+    /// `quantum_bytes × weight` and the lane dispatches while its deficit
+    /// covers the head work's byte cost (input + output logical bytes, the
+    /// kernel-time proxy). A saturating tenant can then delay a light
+    /// tenant by at most one quantum per rotation, never by its whole
+    /// backlog.
+    WeightedFair {
+        /// Byte credit granted per rotation visit per unit weight.
+        quantum_bytes: u64,
+    },
+}
+
+impl ArbitrationPolicy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArbitrationPolicy::Fifo => "fifo",
+            ArbitrationPolicy::WeightedFair { .. } => "weighted-fair",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arbitration_labels() {
+        assert_eq!(ArbitrationPolicy::Fifo.label(), "fifo");
+        assert_eq!(
+            ArbitrationPolicy::WeightedFair {
+                quantum_bytes: 1 << 18
+            }
+            .label(),
+            "weighted-fair"
+        );
+        assert_eq!(ArbitrationPolicy::default(), ArbitrationPolicy::Fifo);
+    }
 
     #[test]
     fn labels_and_flags() {

@@ -18,14 +18,6 @@ use gflink_sim::{FaultLedger, LedgerWindow, SimTime, Summary};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
-impl JobId {
-    /// The implicit session behind the legacy single-job API
-    /// (`GpuManager::submit` / `drain` / `cache`). It exists from manager
-    /// construction and is never removed, so code that drives a manager
-    /// directly — streaming, benches, chaos tests — needs no job plumbing.
-    pub const DEFAULT: JobId = JobId(0);
-}
-
 impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "job#{}", self.0)
@@ -55,10 +47,17 @@ pub struct JobSession {
     pub(crate) alpha_saved: SimTime,
     /// Distribution of fused batch sizes (works per batch).
     pub(crate) batch_sizes: Summary,
+    /// Fair-share weight under weighted-fair arbitration and cache
+    /// partitioning (1 = baseline tenant).
+    pub(crate) weight: u32,
+    /// Submissions parked in the backpressure pen (queued-bytes cap).
+    pub(crate) parked_works: u64,
+    /// Total simulated time this job's works sat penned before release.
+    pub(crate) park_delay: SimTime,
 }
 
 impl JobSession {
-    pub(crate) fn new(regions: Vec<GpuCache>) -> Self {
+    pub(crate) fn new(regions: Vec<GpuCache>, weight: u32) -> Self {
         JobSession {
             regions,
             pending: Vec::new(),
@@ -70,7 +69,25 @@ impl JobSession {
             batched_works: 0,
             alpha_saved: SimTime::ZERO,
             batch_sizes: Summary::new(),
+            weight: weight.max(1),
+            parked_works: 0,
+            park_delay: SimTime::ZERO,
         }
+    }
+
+    /// Fair-share weight under weighted-fair arbitration (1 = baseline).
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Submissions parked in the backpressure pen (queued-bytes cap).
+    pub fn parked_works(&self) -> u64 {
+        self.parked_works
+    }
+
+    /// Total simulated time this job's works sat penned before release.
+    pub fn park_delay(&self) -> SimTime {
+        self.park_delay
     }
 
     /// Alg. 5.2 steals that served this job's works.

@@ -133,8 +133,9 @@ pub fn run_gpu_stream<T: GRecord, U: GRecord>(
         .with_params(params)
         .with_out_mode(OutMode::PerRecord);
     let n = source.num_batches();
+    let job = fabric.open_job().expect("stream job admitted");
     // Submit every batch to its (round-robin) worker's manager.
-    fabric.with_managers(|managers| {
+    {
         for i in 0..n {
             let arrival = source.arrival(i);
             let rows = source.batch_actual;
@@ -163,26 +164,25 @@ pub fn run_gpu_stream<T: GRecord, U: GRecord>(
                 coalescing: 1.0,
                 tag: ((i % num_workers) as u32, i as u32),
             };
-            managers[i % num_workers].submit(work, arrival);
+            job.submit_to(i % num_workers, work, arrival);
         }
-    });
+    }
     // Drain and collect per-batch latencies.
     let mut latency = Summary::new();
     let mut per_batch: Vec<Option<SimTime>> = vec![None; n];
     let mut finished = SimTime::ZERO;
-    fabric.with_managers(|managers| {
-        for m in managers.iter_mut() {
-            for done in m.drain() {
-                let i = done.tag.1 as usize;
-                let rows = done.output.len() / out_def.size().max(1);
-                let reader = RecordReader::new(&done.output, &out_def, DataLayout::Aos, rows);
-                let records: Vec<U> = (0..rows).map(|j| U::load(&reader, j)).collect();
-                check(&records);
-                per_batch[i] = Some(done.timing.completed);
-                finished = finished.max(done.timing.completed);
-            }
+    for w in 0..num_workers {
+        for done in job.drain_worker(w) {
+            let i = done.tag.1 as usize;
+            let rows = done.output.len() / out_def.size().max(1);
+            let reader = RecordReader::new(&done.output, &out_def, DataLayout::Aos, rows);
+            let records: Vec<U> = (0..rows).map(|j| U::load(&reader, j)).collect();
+            check(&records);
+            per_batch[i] = Some(done.timing.completed);
+            finished = finished.max(done.timing.completed);
         }
-    });
+    }
+    job.finish();
     let mut last_latency = SimTime::ZERO;
     for (i, completed) in per_batch.iter().enumerate() {
         let completed = completed.expect("batch lost in the stream");

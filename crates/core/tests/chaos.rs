@@ -3,7 +3,7 @@
 //! to a fault-free run — and the whole recovery is deterministic: two runs
 //! from the same seed produce identical timelines and ledgers.
 
-use gflink_core::{CacheKey, CompletedWork, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_core::{CacheKey, CompletedWork, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultPlan, RetryPolicy, SimTime};
@@ -57,6 +57,9 @@ fn mk_work(i: u32, cached: bool) -> GWork {
     }
 }
 
+/// The single job every chaos scenario runs as.
+const JOB: JobId = JobId(1);
+
 fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, GpuManager) {
     let mut m = GpuManager::new(
         0,
@@ -72,10 +75,15 @@ fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, 
         registry(),
     );
     m.set_fault_plan(plan);
+    m.begin_job(JOB);
     for i in 0..n_works {
-        m.submit(mk_work(i, i % 2 == 0), SimTime::from_micros(i as u64 * 40));
+        m.submit_for(
+            JOB,
+            mk_work(i, i % 2 == 0),
+            SimTime::from_micros(i as u64 * 40),
+        );
     }
-    let mut done = m.drain();
+    let mut done = m.drain_job(JOB);
     done.sort_by_key(|d| d.tag);
     (done, m)
 }
@@ -102,10 +110,11 @@ proptest! {
             prop_assert_eq!(a.tag, b.tag);
             prop_assert_eq!(a.output.as_slice(), b.output.as_slice());
         }
-        prop_assert!(m.failed().is_empty());
+        let session = m.session(JOB).unwrap();
+        prop_assert!(session.failed().is_empty());
         // Recovery leaks nothing: only cache-resident bytes stay allocated.
         for g in 0..m.gpu_count() {
-            prop_assert_eq!(m.gpu(g).dmem.used(), m.cache(g).used());
+            prop_assert_eq!(m.gpu(g).dmem.used(), session.region(g).used());
         }
     }
 

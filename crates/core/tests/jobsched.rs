@@ -1,0 +1,416 @@
+//! Multi-job scheduling (ISSUE 5): admission control, weighted-fair
+//! arbitration, backpressure pens, cache-budget partitioning, and the RAII
+//! `JobHandle` lifecycle — plus the contract that none of it ever changes
+//! *what* a job computes, only *when*.
+
+use gflink_core::{
+    AdmissionError, CacheKey, FabricConfig, GWork, GpuFabric, GpuManager, GpuMapSpec,
+    GpuWorkerConfig, JobId, SchedulerConfig, SchedulingPolicy, SpecError, WorkBuf,
+};
+use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_memory::HBuffer;
+use gflink_sim::{FaultKind, FaultPlan, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const MIB: u64 = 1 << 20;
+const JOB_A: JobId = JobId(1);
+const JOB_B: JobId = JobId(2);
+
+fn scale2(args: &mut KernelArgs<'_>) -> KernelProfile {
+    let n = args.n_actual;
+    let input = args.inputs[0];
+    let out = &mut args.outputs[0];
+    for i in 0..n {
+        out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
+    }
+    KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+}
+
+fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register("scale2", scale2);
+    Arc::new(Mutex::new(reg))
+}
+
+fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
+    let data = Arc::new(HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]));
+    let key = CacheKey {
+        dataset: u64::from(tag.0),
+        partition: tag.0,
+        block: tag.1,
+    };
+    GWork {
+        name: format!("w{}-{}", tag.0, tag.1),
+        execute_name: "scale2".into(),
+        ptx_path: "/scale2.ptx".into(),
+        block_size: 256,
+        grid_size: 1,
+        inputs: vec![if cache {
+            WorkBuf::cached(data, logical, key)
+        } else {
+            WorkBuf::transient(data, logical)
+        }],
+        out_actual_bytes: 16,
+        out_logical_bytes: logical,
+        out_records: 4,
+        params: vec![],
+        n_actual: 4,
+        n_logical: logical / 4,
+        coalescing: 1.0,
+        tag,
+    }
+}
+
+fn manager_with(
+    cfg_scheduler: SchedulerConfig,
+    models: Vec<GpuModel>,
+    streams: usize,
+) -> GpuManager {
+    GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models,
+            streams_per_gpu: streams,
+            scheduling: SchedulingPolicy::LocalityAware,
+            scheduler: cfg_scheduler,
+            ..GpuWorkerConfig::default()
+        },
+        registry_with_scale2(),
+    )
+}
+
+// ------------------------------------------------------------------
+// Admission control + the RAII JobHandle surface
+// ------------------------------------------------------------------
+
+fn fabric_with_cap(cap: usize) -> GpuFabric {
+    let mut cfg = FabricConfig::default();
+    cfg.worker.scheduler.max_live_jobs = cap;
+    let fabric = GpuFabric::new(1, cfg);
+    fabric.register_kernel("scale2", scale2);
+    fabric
+}
+
+#[test]
+fn admission_cap_rejects_then_admits_after_finish() {
+    let fabric = fabric_with_cap(2);
+    let j1 = fabric.open_job().expect("first admits");
+    let _j2 = fabric.open_job().expect("second admits");
+    assert_eq!(fabric.live_jobs(), 2);
+    match fabric.open_job() {
+        Err(AdmissionError::JobLimit { live, cap }) => {
+            assert_eq!((live, cap), (2, 2));
+        }
+        Ok(_) => panic!("third job must be refused at cap 2"),
+    }
+    // Finishing a job frees its admission slot.
+    j1.finish();
+    assert_eq!(fabric.live_jobs(), 1);
+    let j3 = fabric.open_job().expect("slot freed by finish");
+    assert_eq!(fabric.live_jobs(), 2);
+    drop(j3);
+}
+
+#[test]
+fn job_handle_is_idempotent_and_drop_releases_the_session() {
+    let fabric = fabric_with_cap(usize::MAX);
+    let handle = fabric.open_job().expect("admit");
+    let job = handle.id();
+    handle.submit_to(0, mk_work((0, 0), MIB, true), SimTime::ZERO);
+    let done = handle.drain_worker(0);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    fabric.with_managers(|ms| {
+        assert!(ms[0].session(job).is_some(), "session live while handle is");
+        assert!(ms[0].gpu(0).dmem.used() > 0, "cached block resident");
+    });
+    assert!(handle.faults().is_quiet());
+    handle.finish();
+    handle.finish(); // idempotent
+    drop(handle); // drop after finish must not double-release
+    fabric.with_managers(|ms| {
+        assert!(
+            ms[0].session(job).is_none(),
+            "finish tears the session down"
+        );
+        assert_eq!(ms[0].gpu(0).dmem.used(), 0, "regions released exactly");
+    });
+    assert_eq!(fabric.live_jobs(), 0);
+
+    // Pure RAII: a dropped (never finished) handle releases too.
+    let job = {
+        let h = fabric.open_job().expect("admit");
+        h.submit_to(0, mk_work((1, 0), MIB, true), SimTime::ZERO);
+        h.drain_worker(0);
+        h.id()
+    };
+    fabric.with_managers(|ms| assert!(ms[0].session(job).is_none()));
+    assert_eq!(fabric.live_jobs(), 0);
+}
+
+#[test]
+fn spec_build_validates_up_front() {
+    let fabric = fabric_with_cap(usize::MAX);
+    assert!(GpuMapSpec::new("scale2").build(&fabric).is_ok());
+    match GpuMapSpec::new("no-such-kernel").build(&fabric) {
+        Err(SpecError::UnregisteredKernel { name }) => assert_eq!(name, "no-such-kernel"),
+        other => panic!("expected UnregisteredKernel, got {:?}", other.err()),
+    }
+    let degenerate = GpuMapSpec::new("scale2")
+        .with_extra_input(Arc::new(HBuffer::zeroed(16)), 0)
+        .build(&fabric);
+    match degenerate {
+        Err(SpecError::DegenerateExtraInput {
+            actual_bytes,
+            logical_bytes,
+        }) => assert_eq!((actual_bytes, logical_bytes), (16, 0)),
+        other => panic!("expected DegenerateExtraInput, got {:?}", other.err()),
+    }
+    let ok = GpuMapSpec::new("scale2")
+        .with_extra_input(Arc::new(HBuffer::zeroed(16)), 16)
+        .build(&fabric);
+    assert!(ok.is_ok());
+}
+
+// ------------------------------------------------------------------
+// Weighted fair queuing
+// ------------------------------------------------------------------
+
+/// Heavy tenant floods one single-stream GPU; light tenant submits a
+/// handful of small works at the same instant (but after the heavy job in
+/// arrival order). Returns (light tenant's last completion, tag-sorted
+/// output bytes of every completion).
+type TaggedOutputs = Vec<((u32, u32), Vec<u8>)>;
+
+fn contended_run(cfg: SchedulerConfig) -> (SimTime, TaggedOutputs) {
+    let mut m = manager_with(cfg, vec![GpuModel::TeslaC2050], 1);
+    m.begin_job(JOB_A);
+    m.begin_job(JOB_B);
+    for i in 0..32 {
+        m.submit_for(JOB_A, mk_work((0, i), 4 * MIB, false), SimTime::ZERO);
+    }
+    for i in 0..4 {
+        m.submit_for(JOB_B, mk_work((1, i), MIB / 4, false), SimTime::ZERO);
+    }
+    let heavy = m.drain_job(JOB_A);
+    let light = m.drain_job(JOB_B);
+    assert_eq!(heavy.len(), 32);
+    assert_eq!(light.len(), 4);
+    let light_done = light.iter().map(|d| d.timing.completed).max().unwrap();
+    let mut all: Vec<_> = heavy
+        .iter()
+        .chain(light.iter())
+        .map(|d| (d.tag, d.output.as_slice().to_vec()))
+        .collect();
+    all.sort_by_key(|&(tag, _)| tag);
+    (light_done, all)
+}
+
+#[test]
+fn wfq_unstarves_the_light_tenant_without_changing_results() {
+    let (fifo_done, fifo_out) = contended_run(SchedulerConfig::default());
+    let (wfq_done, wfq_out) = contended_run(SchedulerConfig::weighted_fair());
+    assert!(
+        wfq_done < fifo_done,
+        "WFQ must finish the light tenant earlier than FIFO \
+         (wfq {wfq_done}, fifo {fifo_done})"
+    );
+    assert_eq!(fifo_out, wfq_out, "arbitration must never change outputs");
+}
+
+#[test]
+fn wfq_weights_shift_service_toward_the_heavier_job() {
+    // Two equal backlogs; the job with weight 4 must drain first.
+    let run = |wa: u32, wb: u32| {
+        let mut m = manager_with(
+            SchedulerConfig::weighted_fair(),
+            vec![GpuModel::TeslaC2050],
+            1,
+        );
+        m.begin_job_weighted(JOB_A, wa);
+        m.begin_job_weighted(JOB_B, wb);
+        for i in 0..16 {
+            m.submit_for(JOB_A, mk_work((0, i), 4 * MIB, false), SimTime::ZERO);
+            m.submit_for(JOB_B, mk_work((1, i), 4 * MIB, false), SimTime::ZERO);
+        }
+        let a = m.drain_job(JOB_A);
+        let b = m.drain_job(JOB_B);
+        let last =
+            |v: &[gflink_core::CompletedWork]| v.iter().map(|d| d.timing.completed).max().unwrap();
+        (last(&a), last(&b))
+    };
+    let (a_fast, b_slow) = run(4, 1);
+    assert!(
+        a_fast < b_slow,
+        "weight-4 job must finish before the weight-1 job ({a_fast} vs {b_slow})"
+    );
+    let (a_slow, b_fast) = run(1, 4);
+    assert!(
+        b_fast < a_slow,
+        "flipping the weights must flip the finish order ({b_fast} vs {a_slow})"
+    );
+}
+
+#[test]
+fn wfq_drain_is_deterministic() {
+    let run = || {
+        let (done, out) = contended_run(SchedulerConfig::weighted_fair());
+        (done, out)
+    };
+    assert_eq!(run(), run());
+}
+
+// ------------------------------------------------------------------
+// Backpressure
+// ------------------------------------------------------------------
+
+#[test]
+fn backpressure_pens_submissions_but_loses_none() {
+    let uncapped = {
+        let (_, out) = contended_run(SchedulerConfig::default());
+        out
+    };
+    let cfg = SchedulerConfig {
+        max_queued_bytes: 32 * MIB,
+        ..SchedulerConfig::default()
+    };
+    let mut m = manager_with(cfg, vec![GpuModel::TeslaC2050], 1);
+    m.begin_job(JOB_A);
+    m.begin_job(JOB_B);
+    for i in 0..32 {
+        m.submit_for(JOB_A, mk_work((0, i), 4 * MIB, false), SimTime::ZERO);
+    }
+    for i in 0..4 {
+        m.submit_for(JOB_B, mk_work((1, i), MIB / 4, false), SimTime::ZERO);
+    }
+    let heavy = m.drain_job(JOB_A);
+    let light = m.drain_job(JOB_B);
+    assert_eq!(heavy.len(), 32, "parked works are delayed, never dropped");
+    assert_eq!(light.len(), 4);
+    let session = m.session(JOB_A).expect("session open");
+    assert!(
+        session.parked_works() > 0,
+        "the heavy job must have hit the pen"
+    );
+    assert!(session.park_delay() > SimTime::ZERO);
+    let b = m.session(JOB_B).expect("session open");
+    assert_eq!(b.parked_works(), 0, "the light job never exceeds the cap");
+    let mut all: Vec<_> = heavy
+        .iter()
+        .chain(light.iter())
+        .map(|d| (d.tag, d.output.as_slice().to_vec()))
+        .collect();
+    all.sort_by_key(|&(tag, _)| tag);
+    assert_eq!(all, uncapped, "backpressure must never change outputs");
+}
+
+// ------------------------------------------------------------------
+// Cache-budget partitioning
+// ------------------------------------------------------------------
+
+#[test]
+fn cache_partition_splits_by_weight_and_reclaims_on_close() {
+    let cfg = SchedulerConfig {
+        partition_cache: true,
+        ..SchedulerConfig::default()
+    };
+    let mut m = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050],
+            cache_capacity: 4 * MIB,
+            scheduler: cfg,
+            ..GpuWorkerConfig::default()
+        },
+        registry_with_scale2(),
+    );
+    m.begin_job_weighted(JOB_A, 1);
+    assert_eq!(
+        m.session(JOB_A).unwrap().region(0).capacity(),
+        4 * MIB,
+        "a lone job gets the whole region budget"
+    );
+    m.begin_job_weighted(JOB_B, 3);
+    assert_eq!(m.session(JOB_A).unwrap().region(0).capacity(), MIB);
+    assert_eq!(m.session(JOB_B).unwrap().region(0).capacity(), 3 * MIB);
+
+    // A's 1 MiB share holds one block: the second insert must evict the
+    // first from A's own region (B is untouched).
+    m.submit_for(JOB_A, mk_work((0, 0), MIB, true), SimTime::ZERO);
+    let first = m.drain_job(JOB_A).pop().unwrap();
+    m.submit_for(JOB_A, mk_work((0, 1), MIB, true), first.timing.completed);
+    m.drain_job(JOB_A);
+    let region_a = m.session(JOB_A).unwrap().region(0);
+    assert!(region_a.stats().2 >= 1, "A must evict within its share");
+    assert!(region_a.used() <= MIB);
+
+    // Closing B re-balances: A inherits the full budget again.
+    m.end_job(JOB_B);
+    assert_eq!(m.session(JOB_A).unwrap().region(0).capacity(), 4 * MIB);
+}
+
+#[test]
+fn concurrent_jobs_never_hit_each_others_cache() {
+    // Both jobs reference the SAME CacheKey and interleave in one shared
+    // drain under WFQ: each must take its own cold miss and then hit only
+    // its own region (sessions.rs proves this for sequential drains; this
+    // is the concurrent-scheduler case).
+    let mut m = manager_with(
+        SchedulerConfig::weighted_fair(),
+        vec![GpuModel::TeslaC2050],
+        1,
+    );
+    m.begin_job(JOB_A);
+    m.begin_job(JOB_B);
+    for _ in 0..2 {
+        m.submit_for(JOB_A, mk_work((0, 0), MIB, true), SimTime::ZERO);
+        m.submit_for(JOB_B, mk_work((0, 0), MIB, true), SimTime::ZERO);
+    }
+    let a = m.drain_job(JOB_A);
+    let b = m.drain_job(JOB_B);
+    let tally = |v: &[gflink_core::CompletedWork]| {
+        v.iter().fold((0u32, 0u32), |(h, mi), d| {
+            (h + d.timing.cache_hits, mi + d.timing.cache_misses)
+        })
+    };
+    assert_eq!(tally(&a), (1, 1), "A: own cold miss, then own hit");
+    assert_eq!(
+        tally(&b),
+        (1, 1),
+        "B must cold-miss the key A already cached — regions are private"
+    );
+}
+
+// ------------------------------------------------------------------
+// Device loss with several live jobs
+// ------------------------------------------------------------------
+
+#[test]
+fn device_loss_requeues_in_flight_works_of_every_live_job() {
+    let mut m = manager_with(
+        SchedulerConfig::weighted_fair(),
+        vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050],
+        4,
+    );
+    m.set_fault_plan(FaultPlan::new().with(SimTime::from_millis(5), FaultKind::GpuLost { gpu: 0 }));
+    m.begin_job(JOB_A);
+    m.begin_job(JOB_B);
+    for i in 0..12 {
+        m.submit_for(JOB_A, mk_work((0, i), 16 * MIB, true), SimTime::ZERO);
+        m.submit_for(JOB_B, mk_work((1, i), 16 * MIB, true), SimTime::ZERO);
+    }
+    let a = m.drain_job(JOB_A);
+    let b = m.drain_job(JOB_B);
+    assert_eq!(a.len(), 12, "every work of job A survives the loss");
+    assert_eq!(b.len(), 12, "every work of job B survives the loss");
+    for d in a.iter().chain(b.iter()) {
+        assert_eq!(d.gpu, 1, "completions must come from the survivor");
+        assert_eq!(d.output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+    assert!(m.session(JOB_A).unwrap().failed().is_empty());
+    assert!(m.session(JOB_B).unwrap().failed().is_empty());
+    // The loss is device-scoped: both sessions observe it.
+    assert_eq!(m.job_faults(JOB_A).gpus_lost, 1);
+    assert_eq!(m.job_faults(JOB_B).gpus_lost, 1);
+}

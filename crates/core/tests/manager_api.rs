@@ -1,19 +1,54 @@
 //! Behavioural tests for the public `GpuManager` surface.
 //!
-//! These predate the GMemoryManager/GStreamManager decomposition and run
-//! unchanged against the coordinator — they pin the single-job semantics
-//! (scheduling, caching, pipelining, fault recovery, determinism) the
-//! refactor must preserve byte-for-byte.
+//! These predate the GMemoryManager/GStreamManager decomposition and pin
+//! the single-job semantics (scheduling, caching, pipelining, fault
+//! recovery, determinism) every later refactor must preserve
+//! byte-for-byte. They run as one tenant of the session-scoped API via the
+//! [`SoloJob`] shim below.
 
 use gflink_core::{
-    CacheKey, CpuFallback, FailReason, GWork, GpuManager, GpuWorkerConfig, ManagerError,
-    SchedulingPolicy, WorkBuf, CPU_FALLBACK_GPU,
+    CacheKey, CompletedWork, CpuFallback, FailReason, FailedWork, GWork, GpuCache, GpuManager,
+    GpuWorkerConfig, JobId, ManagerError, SchedulingPolicy, WorkBuf, CPU_FALLBACK_GPU,
 };
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, RetryPolicy, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// The one job all these single-tenant scenarios run as.
+const JOB: JobId = JobId(1);
+
+/// Single-tenant convenience over the session-scoped manager API: open the
+/// one session lazily (begin_job is idempotent) and scope every
+/// submit/drain/inspect call to it.
+trait SoloJob {
+    fn submit(&mut self, work: GWork, at: SimTime);
+    fn drain(&mut self) -> Vec<CompletedWork>;
+    fn cache(&self, gpu: usize) -> &GpuCache;
+    fn failed(&self) -> &[FailedWork];
+    fn take_failed(&mut self) -> Vec<FailedWork>;
+}
+
+impl SoloJob for GpuManager {
+    fn submit(&mut self, work: GWork, at: SimTime) {
+        self.begin_job(JOB);
+        self.submit_for(JOB, work, at);
+    }
+    fn drain(&mut self) -> Vec<CompletedWork> {
+        self.begin_job(JOB);
+        self.drain_job(JOB)
+    }
+    fn cache(&self, gpu: usize) -> &GpuCache {
+        self.session(JOB).expect("solo session open").region(gpu)
+    }
+    fn failed(&self) -> &[FailedWork] {
+        self.session(JOB).expect("solo session open").failed()
+    }
+    fn take_failed(&mut self) -> Vec<FailedWork> {
+        self.take_job_failed(JOB)
+    }
+}
 
 fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();

@@ -1,7 +1,7 @@
 //! Property tests for the GPUManager: completion, conservation,
 //! determinism and fault-tolerance invariants under randomized workloads.
 
-use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, SchedulingPolicy, WorkBuf};
+use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulingPolicy, WorkBuf};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
@@ -100,12 +100,16 @@ fn run(
         },
         registry(),
     );
+    mgr.begin_job(JOB);
     for (i, s) in specs.iter().enumerate() {
-        mgr.submit(mk_work(i as u32, s), SimTime::from_micros(s.submit_us));
+        mgr.submit_for(JOB, mk_work(i as u32, s), SimTime::from_micros(s.submit_us));
     }
-    let done = mgr.drain();
+    let done = mgr.drain_job(JOB);
     (mgr, done)
 }
+
+/// The single job all these randomized workloads run as.
+const JOB: JobId = JobId(1);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -163,8 +167,9 @@ proptest! {
                                vec![GpuModel::TeslaC2050, GpuModel::TeslaC2050], 0.0);
         for g in 0..mgr.gpu_count() {
             // Only cached entries may remain resident...
-            prop_assert_eq!(mgr.gpu(g).dmem.used(), mgr.cache(g).used());
-            prop_assert!(mgr.cache(g).used() <= mgr.cache(g).capacity());
+            let region = mgr.session(JOB).unwrap().region(g);
+            prop_assert_eq!(mgr.gpu(g).dmem.used(), region.used());
+            prop_assert!(region.used() <= region.capacity());
         }
         // ...and releasing the job caches reclaims those too.
         mgr.release_job_caches();

@@ -201,14 +201,19 @@ fn fault_deltas_are_windowed_per_job() {
 }
 
 #[test]
-fn default_session_outlives_end_job() {
+fn ended_job_id_can_be_reopened_with_a_cold_session() {
     let mut m = manager_with_capacity(64 * MIB);
-    m.submit(mk_work((0, 0), MIB), SimTime::ZERO);
-    m.drain();
-    assert!(m.cache(0).contains(key((0, 0))));
-    m.end_job(JobId::DEFAULT);
-    // Emptied, not removed: the legacy single-job surface keeps working.
-    assert_eq!(m.cache(0).used(), 0);
-    m.submit(mk_work((0, 0), MIB), SimTime::ZERO);
-    assert_eq!(m.drain().len(), 1);
+    m.begin_job(JOB_A);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    m.drain_job(JOB_A);
+    assert!(m.session(JOB_A).unwrap().region(0).contains(key((0, 0))));
+    m.end_job(JOB_A);
+    // Removed outright — no legacy default session survives an end_job.
+    assert!(m.session(JOB_A).is_none());
+    // The id can come back, but as a fresh tenant with a cold cache.
+    m.begin_job(JOB_A);
+    m.submit_for(JOB_A, mk_work((0, 0), MIB), SimTime::ZERO);
+    let done = m.drain_job(JOB_A);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].timing.cache_misses, 1, "region did not survive");
 }

@@ -3,7 +3,7 @@
 //! byte-identical JSON — so a trace attached to a bug report *is* the run,
 //! not a run like it — while a different seed produces a different trace.
 
-use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, WorkBuf};
+use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, RetryPolicy, SimRng, SimTime, Tracer};
@@ -87,13 +87,15 @@ fn run_once(seed: u64) -> String {
     let tracer = Tracer::new(Tracer::DEFAULT_CAPACITY);
     m.set_tracer(tracer.clone());
     m.set_fault_plan(plan());
+    let job = JobId(1);
+    m.begin_job(job);
     let mut rng = SimRng::new(seed);
     let mut at = SimTime::ZERO;
     for i in 0..32 {
         at += SimTime::from_micros(10 + rng.gen_range(80));
-        m.submit(mk_work(i, &mut rng), at);
+        m.submit_for(job, mk_work(i, &mut rng), at);
     }
-    let done = m.drain();
+    let done = m.drain_job(job);
     assert_eq!(done.len(), 32, "all works must complete");
     tracer.export_chrome_json()
 }

@@ -167,6 +167,10 @@ impl FlinkEnv {
     /// placements (`T_schedule` of Eq. 1); every partition of the phase
     /// starts no earlier than its input plus this delay.
     pub fn schedule_phase(&self) -> SimTime {
+        // Concurrent drivers yield the interleaving baton at every phase
+        // boundary (no-op for solo runs; see `gate`). Never called with the
+        // inner lock held.
+        crate::gate::checkpoint(self.frontier());
         let inner = self.inner.lock();
         let dt = inner.cluster.config().schedule_overhead;
         drop(inner);

@@ -25,6 +25,7 @@
 pub mod cost;
 pub mod dataset;
 pub mod env;
+pub mod gate;
 pub mod graph;
 pub mod rollup;
 pub mod topology;
@@ -32,6 +33,7 @@ pub mod topology;
 pub use cost::{CpuSpec, OpCost};
 pub use dataset::{DataSet, KeyedOps};
 pub use env::{FlinkEnv, JobReport};
+pub use gate::JobGate;
 pub use graph::{JobGraph, PhaseRecord};
 pub use rollup::{GpuLane, GpuRollup, GpuWorkSample};
 pub use topology::{Cluster, ClusterConfig, NetworkModel, SharedCluster, Worker};

@@ -83,6 +83,13 @@ pub struct GpuRollup {
     pub bytes_d2h: u64,
     /// Alg. 5.2 steals that served this job's works.
     pub steals: u64,
+    /// Fair-share weight the job ran under (0 when the job never went
+    /// through the session-scoped fabric API).
+    pub weight: u32,
+    /// Submissions parked by queued-bytes backpressure before dispatch.
+    pub parked_works: u64,
+    /// Total simulated time submissions sat in the backpressure pen.
+    pub park_delay: SimTime,
     /// Pinned-pool staging acquisitions served by a recycled buffer.
     pub pinned_hits: u64,
     /// Pinned-pool staging acquisitions that registered a fresh buffer.
@@ -216,6 +223,13 @@ impl fmt::Display for GpuRollup {
                 self.alpha_saved
             )?;
         }
+        if self.parked_works > 0 {
+            writeln!(
+                f,
+                "  backpressure: {} works parked (weight {}), pen delay {}",
+                self.parked_works, self.weight, self.park_delay
+            )?;
+        }
         writeln!(f, "  stage        mean        max        total")?;
         for (name, s) in [
             ("queue", &self.queue),
@@ -315,6 +329,18 @@ mod tests {
         // Transfer sections are gated on activity: quiet by default.
         assert!(!text.contains("pinned pool"));
         assert!(!text.contains("batching"));
+        assert!(!text.contains("backpressure"));
+    }
+
+    #[test]
+    fn display_renders_backpressure_when_parked() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.weight = 3;
+        r.parked_works = 5;
+        r.park_delay = SimTime::from_micros(120);
+        let text = format!("{r}");
+        assert!(text.contains("backpressure: 5 works parked (weight 3)"));
     }
 
     #[test]

@@ -9,13 +9,7 @@
 //!
 //! Run with: `cargo run --release --example chaos_recovery`
 
-use gflink::core::{FabricConfig, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, CPU_FALLBACK_GPU};
-use gflink::flink::{ClusterConfig, SharedCluster};
-use gflink::gpu::{KernelArgs, KernelProfile};
-use gflink::memory::{
-    AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
-};
-use gflink::sim::{FaultKind, FaultPlan, SimTime};
+use gflink::prelude::*;
 
 #[derive(Clone, Debug, PartialEq)]
 struct Point {
@@ -81,7 +75,10 @@ fn run(plan: FaultPlan, n: usize) -> (Vec<Point>, gflink::flink::JobReport, Vec<
         .collect();
     let ds = env.flink.parallelize("pts", pts, 4, 1000.0);
     let gdst = env.to_gdst(ds, DataLayout::Aos);
-    let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![1.0, 2.0]);
+    let spec = GpuMapSpec::new("cudaAddPoint")
+        .with_params(vec![1.0, 2.0])
+        .build(&fabric)
+        .expect("valid spec");
     let out = gdst.gpu_map_partition::<Point>("addPoint", &spec);
     let got = out.inner().collect("get", 8.0);
     let gpus_used = fabric.with_managers(|ms| ms[0].executed_per_gpu().to_vec());

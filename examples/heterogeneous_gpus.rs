@@ -8,10 +8,7 @@
 //!
 //! Run with: `cargo run --release --example heterogeneous_gpus`
 
-use gflink::apps::{kmeans, Setup};
-use gflink::core::{FabricConfig, GpuWorkerConfig, SchedulingPolicy};
-use gflink::flink::ClusterConfig;
-use gflink::gpu::GpuModel;
+use gflink::prelude::*;
 
 fn main() {
     let workers = 4;

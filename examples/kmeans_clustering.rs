@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example kmeans_clustering`
 
-use gflink::apps::{kmeans, Setup};
-use gflink::sim::Phase;
+use gflink::prelude::*;
 
 fn main() {
     let workers = 10;

@@ -1,16 +1,15 @@
 //! Concurrent multi-application execution (§6.6.4, Fig. 8c/8d).
 //!
-//! Submits KMeans, SpMV and PointAdd to one shared cluster + GPU fabric at
-//! the same simulated instant; the producer/consumer decoupling lets the
-//! GPUs be shared among all three jobs' task slots. Compares against
-//! exclusive runs of the same jobs.
+//! Runs KMeans, SpMV and PointAdd **genuinely concurrently** — one driver
+//! thread per job — on one shared cluster + GPU fabric. The job scheduler
+//! arbitrates GWork dispatch with weighted fair queuing, and a
+//! deterministic `JobGate` baton keeps the thread interleaving replayable:
+//! the same timelines come out on every run, and every job's digest is
+//! bit-identical to its exclusive (solo-fabric) run.
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
-use gflink::apps::{kmeans, pointadd, spmv, Setup};
-use gflink::core::{BatchConfig, FabricConfig};
-use gflink::flink::ClusterConfig;
-use gflink::sim::SimTime;
+use gflink::prelude::*;
 
 fn params_km(s: &Setup) -> kmeans::Params {
     let mut p = kmeans::Params::paper(150, s);
@@ -42,24 +41,32 @@ fn main() {
     let s3 = Setup::standard(workers);
     let ep = pointadd::run_gpu(&s3, &params_pa(&s3));
 
-    // Concurrent: one shared cluster and GPU fabric, all submitted at t=0.
-    // The shared fabric opts into small-GWork transfer batching (§4.1.2);
-    // the digest assertion below doubles as a check that batching never
-    // changes results. Batches only form under backlog, so an uncontended
-    // fabric may still report zero.
+    // Concurrent: one shared cluster + GPU fabric, one OS thread per job,
+    // all submitted at t=0. The fabric opts into weighted-fair GWork
+    // arbitration and small-GWork transfer batching (§4.1.2); the digest
+    // assertions below double as a check that neither contention, fair
+    // queuing nor batching ever changes results.
     let mut fabric_cfg = FabricConfig::default();
     fabric_cfg.worker.transfer.batch = BatchConfig::enabled();
+    fabric_cfg.worker.scheduler = SchedulerConfig::weighted_fair();
     let shared = Setup::with_configs(ClusterConfig::standard(workers), fabric_cfg);
-    let ck = kmeans::run_gpu_at(&shared, &params_km(&shared), SimTime::ZERO);
-    let cs = spmv::run_gpu_at(&shared, &params_sp(&shared), SimTime::ZERO);
-    let cp = pointadd::run_gpu_at(&shared, &params_pa(&shared), SimTime::ZERO);
+    let runs = run_concurrent(vec![
+        ("kmeans", {
+            let s = shared.clone();
+            Box::new(move || kmeans::run_gpu_at(&s, &params_km(&s), SimTime::ZERO))
+        }),
+        ("spmv", {
+            let s = shared.clone();
+            Box::new(move || spmv::run_gpu_at(&s, &params_sp(&s), SimTime::ZERO))
+        }),
+        ("pointadd", {
+            let s = shared.clone();
+            Box::new(move || pointadd::run_gpu_at(&s, &params_pa(&s), SimTime::ZERO))
+        }),
+    ]);
 
     println!("app        exclusive   concurrent   gpu rollup (concurrent)");
-    for (name, e, c) in [
-        ("kmeans", &ek, &ck),
-        ("spmv", &es, &cs),
-        ("pointadd", &ep, &cp),
-    ] {
+    for ((name, c), e) in runs.iter().zip([&ek, &es, &ep]) {
         let gpu = c.report.gpu.as_ref().expect("GPU job carries a rollup");
         println!(
             "{name:<10} {:>8.2}s   {:>8.2}s   {}",
@@ -76,19 +83,20 @@ fn main() {
             gpu.batches,
             gpu.batch_size.mean(),
         );
-        assert!(
-            (e.digest - c.digest).abs() <= 1e-6 * e.digest.abs().max(1.0),
-            "{name}: contention must not change results"
+        assert_eq!(
+            e.digest.to_bits(),
+            c.digest.to_bits(),
+            "{name}: a concurrent tenant must produce its exclusive-run digest"
         );
     }
-    let makespan = [&ck, &cs, &cp]
+    let makespan = runs
         .iter()
-        .map(|r| r.report.finished_at)
+        .map(|(_, r)| r.report.finished_at)
         .max()
         .unwrap();
     println!(
-        "\nconcurrent makespan: {} (all jobs share slots, NICs, disks and GPUs)",
-        makespan
+        "\nconcurrent makespan: {makespan} (all jobs share slots, NICs, disks and GPUs \
+         under weighted-fair arbitration)"
     );
-    println!("results identical to exclusive runs: true");
+    println!("results bit-identical to exclusive runs: true");
 }

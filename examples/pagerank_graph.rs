@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example pagerank_graph`
 
-use gflink::apps::{pagerank, Setup};
+use gflink::prelude::*;
 
 fn main() {
     let workers = 10;

@@ -14,11 +14,7 @@
 //!
 //! Run with: `cargo run --release --example profile_pipeline`
 
-use gflink::apps::{kmeans, Setup};
-use gflink::core::FabricConfig;
-use gflink::flink::ClusterConfig;
-use gflink::sim::trace::PipelineProfile;
-use gflink::sim::SimTime;
+use gflink::prelude::*;
 
 fn run(label: &str, streams_per_gpu: usize) -> (String, PipelineProfile, SimTime) {
     let mut fabric_cfg = FabricConfig::default();

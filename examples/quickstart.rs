@@ -6,13 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gflink::core::{FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec};
-use gflink::flink::{ClusterConfig, FlinkEnv, OpCost, SharedCluster};
-use gflink::gpu::{KernelArgs, KernelProfile};
-use gflink::memory::{
-    AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
-};
-use gflink::sim::SimTime;
+use gflink::prelude::*;
 
 /// The paper's §3.5.1 `Point`, as a GStruct-backed record.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,7 +72,12 @@ fn main() {
         },
     );
     let gdst: GDataSet<Point> = genv.to_gdst(points, DataLayout::Aos);
-    let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![1.0, 2.0]);
+    // `build` validates the spec against the fabric up front (registered
+    // kernel, sane extra-input accounting) instead of failing per-block.
+    let spec = GpuMapSpec::new("cudaAddPoint")
+        .with_params(vec![1.0, 2.0])
+        .build(&fabric)
+        .expect("valid spec");
     let moved = gdst.gpu_map_partition::<Point>("addPoint", &spec);
     let sample = moved.inner().collect("sample", 8.0);
     let gpu_report = genv.finish();

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example spmv_iterative`
 
-use gflink::apps::{spmv, Setup};
-use gflink::core::{CachePolicy, FabricConfig};
-use gflink::flink::ClusterConfig;
+use gflink::prelude::*;
 
 fn run_with(policy: CachePolicy) -> gflink::apps::AppRun {
     let mut fabric = FabricConfig::default();

@@ -9,15 +9,7 @@
 //!
 //! Run with: `cargo run --release --example streaming`
 
-use gflink::core::{
-    run_cpu_stream, run_gpu_stream, FabricConfig, GRecord, GpuFabric, StreamSource,
-};
-use gflink::flink::{ClusterConfig, OpCost};
-use gflink::gpu::{KernelArgs, KernelProfile};
-use gflink::memory::{
-    AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
-};
-use gflink::sim::SimTime;
+use gflink::prelude::*;
 
 #[derive(Clone, Debug)]
 struct Reading {

@@ -46,3 +46,37 @@ pub use gflink_gpu as gpu;
 pub use gflink_hdfs as hdfs;
 pub use gflink_memory as memory;
 pub use gflink_sim as sim;
+
+/// Everything a typical GFlink program needs, in one import.
+///
+/// Pulls in the application harness ([`apps`]), the GDST programming
+/// surface and fabric configuration ([`core`]), the cluster/driver types
+/// ([`flink`]), the virtual GPU substrate ([`gpu`]), GStruct layouts
+/// ([`memory`]) and the simulation primitives ([`sim`]):
+///
+/// ```
+/// use gflink::prelude::*;
+///
+/// let setup = Setup::standard(2);
+/// let run = kmeans::run_gpu(&setup, &kmeans::Params::paper(4, &setup));
+/// assert!(run.report.total > SimTime::ZERO);
+/// ```
+pub mod prelude {
+    pub use crate::apps::{
+        common::digests_match, concomp, kmeans, linreg, pagerank, pointadd, run_concurrent, spmv,
+        wordcount, AppRun, ConcurrentJob, ExecMode, Setup,
+    };
+    pub use crate::core::{
+        run_cpu_stream, run_gpu_stream, AdmissionError, ArbitrationPolicy, BatchConfig,
+        CachePolicy, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec,
+        GpuWorkerConfig, JobHandle, JobId, SchedulerConfig, SchedulingPolicy, SpecError,
+        StreamSource, TransferConfig, CPU_FALLBACK_GPU,
+    };
+    pub use crate::flink::{ClusterConfig, FlinkEnv, JobGate, JobReport, OpCost, SharedCluster};
+    pub use crate::gpu::{GpuModel, KernelArgs, KernelProfile};
+    pub use crate::memory::{
+        AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
+    };
+    pub use crate::sim::trace::PipelineProfile;
+    pub use crate::sim::{FaultKind, FaultPlan, Phase, SimTime};
+}
