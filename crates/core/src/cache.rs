@@ -116,6 +116,19 @@ impl GpuCache {
         self.policy != CachePolicy::Disabled && self.map.contains_key(&key)
     }
 
+    /// Every resident entry as `(key, logical_bytes)`, sorted by key — a
+    /// deterministic cache *manifest*, snapshotted into checkpoints so a
+    /// restore (or a post-mortem) can see exactly what each region held.
+    pub fn manifest(&self) -> Vec<(CacheKey, u64)> {
+        let mut out: Vec<(CacheKey, u64)> = self
+            .map
+            .iter()
+            .map(|(&k, &(_, bytes))| (k, bytes))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| (k.dataset, k.partition, k.block));
+        out
+    }
+
     /// Logical bytes of `keys` resident in this cache — the quantity the
     /// GMemoryManager sums per GPU to pick the locality winner (Alg. 5.1).
     pub fn resident_bytes(&self, keys: &[CacheKey]) -> u64 {

@@ -139,6 +139,43 @@ impl SchedulerConfig {
     }
 }
 
+/// Checkpoint/restore configuration for the fabric's [`crate::checkpoint::CheckpointManager`].
+///
+/// Follows the [`TransferConfig`] convention: off by default, and when
+/// off nothing is snapshotted, nothing is restored, and every timeline is
+/// byte-identical to a fabric without the subsystem.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Master switch; off by default.
+    pub enabled: bool,
+    /// Simulated interval between periodic snapshots of a live job.
+    pub interval: SimTime,
+    /// HDFS path prefix under which snapshot files are written
+    /// (`<prefix>/<job>/op<seq>`).
+    pub prefix: String,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            interval: SimTime::from_millis(10),
+            prefix: "ckpt".to_string(),
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Checkpointing enabled at the given interval, default prefix.
+    pub fn every(interval: SimTime) -> Self {
+        CheckpointConfig {
+            enabled: true,
+            interval,
+            ..CheckpointConfig::default()
+        }
+    }
+}
+
 /// Configuration of one worker's GPU complement.
 #[derive(Clone, Debug)]
 pub struct GpuWorkerConfig {

@@ -20,6 +20,8 @@
 //! records and the partition's ready time advances to its last block's
 //! completion.
 
+use crate::checkpoint::{CheckpointManager, JobSnapshot, SnapshotBlock};
+use crate::config::CheckpointConfig;
 use crate::gwork::{CacheKey, GWork, WorkBuf};
 use crate::jobsched::{AdmissionError, JobHandle};
 use crate::manager::{GpuManager, GpuWorkerConfig, CPU_FALLBACK_GPU};
@@ -29,7 +31,7 @@ use gflink_flink::graph::{PhaseKind, PhaseRecord};
 use gflink_flink::{DataSet, FlinkEnv, GpuLane, GpuWorkSample, JobReport, SharedCluster};
 use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
-use gflink_sim::{Phase, SimTime, Tracer};
+use gflink_sim::{MembershipPlan, Phase, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -241,6 +243,10 @@ pub struct FabricConfig {
     pub block_bytes: u64,
     /// Producer-side task time to assemble and submit one GWork.
     pub producer_overhead: SimTime,
+    /// Checkpoint/restore policy: when enabled, each GPU operator
+    /// periodically snapshots its completed blocks to HDFS and resumes
+    /// from the last durable snapshot on a re-run (see DESIGN.md §13).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for FabricConfig {
@@ -249,6 +255,7 @@ impl Default for FabricConfig {
             worker: GpuWorkerConfig::default(),
             block_bytes: 4 * 1024 * 1024,
             producer_overhead: SimTime::from_micros(30),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -265,6 +272,7 @@ pub struct GpuFabric {
     next_job: Arc<AtomicU64>,
     live_jobs: Arc<Mutex<BTreeSet<JobId>>>,
     tracer: Arc<Mutex<Tracer>>,
+    ckpt: Arc<Mutex<CheckpointManager>>,
 }
 
 impl GpuFabric {
@@ -274,6 +282,7 @@ impl GpuFabric {
         let managers = (0..num_workers)
             .map(|w| GpuManager::new(w, cfg.worker.clone(), Arc::clone(&registry)))
             .collect();
+        let ckpt = Arc::new(Mutex::new(CheckpointManager::new(cfg.checkpoint.clone())));
         GpuFabric {
             managers: Arc::new(Mutex::new(managers)),
             registry,
@@ -282,6 +291,7 @@ impl GpuFabric {
             next_job: Arc::new(AtomicU64::new(1)),
             live_jobs: Arc::new(Mutex::new(BTreeSet::new())),
             tracer: Arc::new(Mutex::new(Tracer::disabled())),
+            ckpt,
         }
     }
 
@@ -321,6 +331,36 @@ impl GpuFabric {
     /// Run `f` with the worker managers locked (reporting, tests).
     pub fn with_managers<R>(&self, f: impl FnOnce(&mut [GpuManager]) -> R) -> R {
         f(&mut self.managers.lock())
+    }
+
+    /// Run `f` with the fabric's checkpoint manager locked (reporting,
+    /// tests, cadence inspection).
+    pub fn with_checkpoints<R>(&self, f: impl FnOnce(&mut CheckpointManager) -> R) -> R {
+        f(&mut self.ckpt.lock())
+    }
+
+    /// A device joins worker `worker`'s live complement at simulated
+    /// instant `at` and returns its index: fresh stream bulk, fresh GWork
+    /// queue, one new cache region per open job (partitioned per weights
+    /// when cache partitioning is on). Subsequent drains rebalance Alg.
+    /// 5.1/5.2 dispatch onto it. The ledger records `members_joined`.
+    pub fn join_node(&self, worker: usize, at: SimTime) -> usize {
+        self.managers.lock()[worker].join_device(at)
+    }
+
+    /// Device `gpu` of worker `worker` gracefully leaves the live fabric
+    /// at `at`: cached blocks are invalidated, queued and in-flight works
+    /// are evacuated onto the survivors, and the ledger records a
+    /// membership change (`members_left`) — not a fault.
+    pub fn leave_node(&self, worker: usize, gpu: usize, at: SimTime) {
+        self.managers.lock()[worker].leave_device(gpu, at);
+    }
+
+    /// Script membership changes (joins/leaves) against worker `worker`,
+    /// delivered inside its drain event loop deterministically interleaved
+    /// with scripted faults.
+    pub fn set_membership_plan(&self, worker: usize, plan: MembershipPlan) {
+        self.managers.lock()[worker].set_membership_plan(plan);
     }
 
     fn fresh_dataset_id(&self) -> u64 {
@@ -387,6 +427,7 @@ impl GpuFabric {
         for m in self.managers.lock().iter_mut() {
             m.end_job(job);
         }
+        self.ckpt.lock().retire_job(job.0);
         self.live_jobs.lock().remove(&job);
     }
 }
@@ -687,6 +728,46 @@ impl<T: GRecord> GDataSet<T> {
         let mut last_submit = SimTime::ZERO;
         let mut elements = 0u64;
 
+        // Checkpoint/restore (DESIGN.md §13). Each operator invocation of
+        // this job owns one snapshot file, keyed by the *job name* and a
+        // per-job invocation counter so a relaunched driver re-running the
+        // same operator sequence finds its predecessor's snapshots. A
+        // found snapshot installs its covered tags on every worker: the
+        // producer below still submits all blocks, but covered ones are
+        // satisfied from the snapshot (`works_restored`) instead of
+        // executing — only the delta since the snapshot replays.
+        let ckpt_on = self.env.fabric.ckpt.lock().enabled();
+        let jname = flink.name();
+        let seq = if ckpt_on {
+            self.env.fabric.ckpt.lock().next_seq(job.0)
+        } else {
+            0
+        };
+        let restored = if ckpt_on {
+            let now = flink.frontier();
+            let mut cl = cluster.lock();
+            // A corrupt snapshot (CRC or length mismatch) is refused here
+            // — the run falls back to executing from zero, never silently
+            // replaying bad bytes.
+            self.env
+                .fabric
+                .ckpt
+                .lock()
+                .read(&mut cl.hdfs, 0, &jname, seq, now)
+                .unwrap_or(None)
+        } else {
+            None
+        };
+        if let Some(rs) = &restored {
+            let tags = rs.snapshot.covered_tags();
+            let weight = self.env.handle.weight();
+            self.env.fabric.with_managers(|managers| {
+                for m in managers.iter_mut() {
+                    m.restore_job(job, weight, &tags);
+                }
+            });
+        }
+
         // Producer side: each partition's pinned slot assembles one GWork
         // per block and submits it to the worker's GpuManager.
         self.env.fabric.with_managers(|managers| {
@@ -810,6 +891,9 @@ impl<T: GRecord> GDataSet<T> {
         let mut h2d_sum = SimTime::ZERO;
         let mut d2h_sum = SimTime::ZERO;
         let mut wall_end = SimTime::ZERO;
+        // Earliest permanent failure this op suffered: the simulated crash
+        // instant bounding how late the checkpointer could still run.
+        let mut crashed_at: Option<SimTime> = None;
         self.env.fabric.with_managers(|managers| {
             for m in managers.iter_mut() {
                 for done in m.drain_job(job) {
@@ -849,9 +933,93 @@ impl<T: GRecord> GDataSet<T> {
                 flink.record_faults(m.take_job_fault_delta(job));
                 for failed in m.take_job_failed(job) {
                     wall_end = wall_end.max(failed.failed_at);
+                    crashed_at = Some(match crashed_at {
+                        Some(c) => c.min(failed.failed_at),
+                        None => failed.failed_at,
+                    });
                 }
             }
         });
+        // Blocks covered by the restored snapshot re-enter the result set
+        // here, ready when the restore read landed — they were never
+        // (re)executed, which is the point.
+        let mut restored_works = 0u64;
+        if let Some(rs) = &restored {
+            for blk in &rs.snapshot.blocks {
+                restored_works += 1;
+                wall_end = wall_end.max(rs.ready_at);
+                per_part_blocks[blk.tag.0 as usize].push((
+                    blk.tag.1,
+                    HBuffer::from_bytes(&blk.payload),
+                    blk.emitted,
+                    rs.ready_at,
+                ));
+            }
+        }
+        // Periodic snapshots of this op's progress. Ticks run on the
+        // job-global cadence; when the op lost works permanently, the
+        // cadence is bounded by the crash instant (the checkpointer dies
+        // with the node), so what survives for the next attempt is exactly
+        // the work completed up to the last pre-crash tick. A failure-free
+        // op writes one final full snapshot at its wall end.
+        let mut checkpoints = 0u64;
+        let mut checkpoint_bytes = 0u64;
+        if ckpt_on {
+            let mut done: Vec<SnapshotBlock> = Vec::new();
+            for (p, blocks) in per_part_blocks.iter().enumerate() {
+                for (b, buf, emitted, completed) in blocks.iter() {
+                    done.push(SnapshotBlock {
+                        tag: (p as u32, *b),
+                        emitted: *emitted,
+                        completed_at: *completed,
+                        payload: buf.as_slice().to_vec(),
+                    });
+                }
+            }
+            done.sort_by_key(|blk| (blk.completed_at, blk.tag));
+            let cache = self.env.fabric.with_managers(|managers| {
+                let mut c = Vec::new();
+                for m in managers.iter() {
+                    c.extend(m.cache_manifest(job));
+                }
+                c
+            });
+            let mut cl = cluster.lock();
+            let mut ck = self.env.fabric.ckpt.lock();
+            ck.seed(job.0, wall_start.min(wall_end));
+            let horizon = crashed_at.unwrap_or(wall_end);
+            let mut ticks = ck.due_ticks(job.0, horizon);
+            if crashed_at.is_none() {
+                ticks.push(wall_end);
+            }
+            for tick in ticks {
+                let upto = done.partition_point(|blk| blk.completed_at <= tick);
+                let snap = JobSnapshot {
+                    job: job.0,
+                    seq,
+                    frontier: tick,
+                    state: Vec::new(),
+                    blocks: done[..upto].to_vec(),
+                    cache: cache.clone(),
+                };
+                if let Ok(tok) = ck.write(&mut cl.hdfs, 0, &jname, &snap, tick) {
+                    checkpoints += 1;
+                    checkpoint_bytes += tok.bytes;
+                }
+            }
+        }
+        if ckpt_on {
+            flink.with_gpu_rollup(|r| {
+                r.checkpoints += checkpoints;
+                r.checkpoint_bytes += checkpoint_bytes;
+                if let Some(rs) = &restored {
+                    r.restores += 1;
+                    r.works_restored += restored_works;
+                    r.recovery_delta
+                        .add_time(wall_end.saturating_sub(rs.ready_at));
+                }
+            });
+        }
         // Rebuild partitions from block outputs, in block order.
         let mut new_parts: Vec<RawPart<U>> = Vec::with_capacity(self.ds.num_partitions());
         for (p, part) in self.ds.raw_parts().iter().enumerate() {

@@ -216,6 +216,46 @@ impl GMemoryManager {
         }
     }
 
+    /// Grow the complement: a fresh device of `model` joins as the next
+    /// index. It inherits the worker's transfer mode and tracer (its trace
+    /// process appears the moment it joins). Returns the new device index.
+    pub(crate) fn join_device(&mut self, model: GpuModel) -> usize {
+        let i = self.gpus.len();
+        let mut gpu = VirtualGpu::new(i, model);
+        if self.mode != TransferMode::Pinned {
+            gpu.set_transfer_mode(self.mode);
+        }
+        let pid = gpu_pid(self.worker_id, i);
+        if self.tracer.enabled() {
+            self.tracer.name_process(
+                pid,
+                &format!(
+                    "worker{}/gpu{i} ({})",
+                    self.worker_id,
+                    gpu.spec().model.name()
+                ),
+            );
+        }
+        gpu.set_tracer(self.tracer.clone(), pid);
+        self.gpus.push(gpu);
+        self.retired_stats.push((0, 0, 0));
+        self.trace_cache.push((0, 0));
+        i
+    }
+
+    /// Retire device `gpu` gracefully (elastic leave): no further
+    /// launches, device memory released, traced as an administrative
+    /// departure. Returns how many allocations were released.
+    pub(crate) fn retire_device(&mut self, gpu: usize, at: SimTime) -> usize {
+        self.gpus[gpu].retire(at)
+    }
+
+    /// A fresh cache region for a single device (a joining member's slice
+    /// of an already-open job).
+    pub(crate) fn new_region_for(&self, gpu: usize) -> GpuCache {
+        GpuCache::new(self.region_capacity(gpu), self.cache_policy)
+    }
+
     /// Number of GPUs managed.
     pub fn gpu_count(&self) -> usize {
         self.gpus.len()
@@ -271,6 +311,42 @@ impl GMemoryManager {
     pub(crate) fn release_buffers(&mut self, gpu: usize, devs: Vec<DevBufId>) {
         for dev in devs {
             let _ = self.dmem(gpu).release(dev);
+        }
+    }
+
+    /// Re-divide each GPU's cache-region budget across live sessions in
+    /// proportion to their weights (opt-in via
+    /// `SchedulerConfig::partition_cache`), evicting overflow from regions
+    /// that shrank. Off = every region keeps the full budget. Runs on job
+    /// open/close and on every membership change, so a joining device's
+    /// regions are born partitioned and a leaver's budget returns to the
+    /// survivors.
+    pub(crate) fn rebalance_regions(
+        &mut self,
+        sessions: &mut std::collections::BTreeMap<
+            crate::session::JobId,
+            crate::session::JobSession,
+        >,
+        partition: bool,
+    ) {
+        if !partition {
+            return;
+        }
+        let total: u64 = sessions.values().map(|s| u64::from(s.weight)).sum();
+        if total == 0 {
+            return;
+        }
+        for g in 0..self.gpu_count() {
+            if !self.usable(g) {
+                continue;
+            }
+            let base = self.region_capacity(g);
+            let mut freed = Vec::new();
+            for s in sessions.values_mut() {
+                let cap = base * u64::from(s.weight) / total;
+                freed.extend(s.regions[g].set_capacity(cap));
+            }
+            self.release_buffers(g, freed);
         }
     }
 

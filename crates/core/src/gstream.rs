@@ -20,7 +20,7 @@
 //! coordinator's other halves — so each event can touch the memory
 //! manager, the recovery manager, and the owning job's session at once.
 
-use crate::config::{BatchConfig, SchedulerConfig};
+use crate::config::{BatchConfig, GpuWorkerConfig, SchedulerConfig};
 use crate::fused::{FusedFlight, Parked, PendingBatch};
 use crate::gmemory::{GMemoryManager, StagedInputs};
 use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
@@ -28,10 +28,10 @@ use crate::jobsched::{JobScheduler, PennedWork};
 use crate::recovery::{FailReason, ManagerError, RecoveryManager};
 use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
-use gflink_gpu::{DevBufId, KernelRegistry};
+use gflink_gpu::{DevBufId, GpuModel, KernelRegistry};
 use gflink_memory::{HBuffer, PinnedLease};
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
-use gflink_sim::{EventQueue, FaultKind, SimRng, SimTime, Tracer};
+use gflink_sim::{EventQueue, FaultKind, MembershipKind, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -69,6 +69,9 @@ pub(crate) enum Ev {
     FusedD2hStage(u64),
     /// Watchdog for a fused flight wedged in a member kernel.
     FusedHangCheck(u64),
+    /// A scripted membership event fires: a device joins the live fabric
+    /// or gracefully leaves it.
+    Membership(MembershipKind),
 }
 
 /// A parked work in a GPU's FIFO queue, with its owning job, original
@@ -857,75 +860,7 @@ impl GStreamManager {
                     let n = session.regions[gpu].invalidate_all() as u64;
                     eng.recovery.note_invalidations(session, n);
                 }
-                // Blacklist: the device's streams never come free again.
-                for s in 0..self.streams_per_gpu {
-                    self.stream_busy_until[gpu][s] = SimTime::MAX;
-                }
-                // Recover in-flight works. Sorted ids keep event order (and
-                // thus the timeline) independent of HashMap iteration order.
-                let mut ids: Vec<u64> = self
-                    .in_flight
-                    .iter()
-                    .filter(|(_, fl)| fl.gpu == gpu)
-                    .map(|(&id, _)| id)
-                    .collect();
-                ids.sort_unstable();
-                for id in ids {
-                    let mut fl = self.in_flight.remove(&id).expect("id collected above");
-                    // Device buffers died with the device; nothing to
-                    // reclaim. Host-side staging leases survive and go back
-                    // to the pool. Loss is not the work's fault: it
-                    // re-enters scheduling immediately and keeps its retry
-                    // budget.
-                    eng.gmem.release_staging(std::mem::take(&mut fl.staging));
-                    let session = eng.sessions.get_mut(&fl.job).expect("session open");
-                    eng.recovery.note_retry(session);
-                    q.schedule(
-                        t,
-                        Ev::Submit(Box::new((fl.job, fl.timing.submitted, fl.retries, fl.work))),
-                    );
-                }
-                // Fused flights on the dead device recover the same way,
-                // member by member.
-                let mut fids: Vec<u64> = self
-                    .fused_in_flight
-                    .iter()
-                    .filter(|(_, fl)| fl.gpu == gpu)
-                    .map(|(&id, _)| id)
-                    .collect();
-                fids.sort_unstable();
-                for id in fids {
-                    let mut fl = self
-                        .fused_in_flight
-                        .remove(&id)
-                        .expect("id collected above");
-                    eng.gmem.release_staging(std::mem::take(&mut fl.staging));
-                    let job = fl.job;
-                    for mb in fl.members {
-                        let session = eng.sessions.get_mut(&job).expect("session open");
-                        eng.recovery.note_retry(session);
-                        q.schedule(
-                            t,
-                            Ev::Submit(Box::new((job, mb.timing.submitted, mb.retries, mb.work))),
-                        );
-                    }
-                }
-                // Drain the dead device's queue — and its accumulating
-                // batch — onto the survivors.
-                if self.batchers[gpu].is_some() {
-                    self.flush_batcher(gpu);
-                }
-                let queued: Vec<Parked> = self.sched.drain_queue(gpu);
-                for parked in queued {
-                    for qw in parked.into_members() {
-                        let session = eng.sessions.get_mut(&qw.job).expect("session open");
-                        eng.recovery.note_steal_on_drain(session);
-                        q.schedule(
-                            t,
-                            Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
-                        );
-                    }
-                }
+                self.drain_device(eng, gpu, t, q);
             }
             FaultKind::GpuDegraded { throughput, .. } => {
                 if eng.gmem.gpu(gpu).health().is_lost() {
@@ -939,6 +874,163 @@ impl GStreamManager {
             }
             FaultKind::KernelHang { .. } => {
                 eng.recovery.arm_hang(gpu);
+            }
+        }
+    }
+
+    /// Evacuate a device that just left the live fabric (lost to a fault
+    /// or gracefully retired): blacklist its streams, recover its in-flight
+    /// works and fused flights onto the event loop, and drain its queue —
+    /// and any accumulating batch — onto the survivors.
+    fn drain_device(
+        &mut self,
+        eng: &mut Engine<'_>,
+        gpu: usize,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        // Blacklist: the device's streams never come free again.
+        for s in 0..self.streams_per_gpu {
+            self.stream_busy_until[gpu][s] = SimTime::MAX;
+        }
+        // Recover in-flight works. Sorted ids keep event order (and
+        // thus the timeline) independent of HashMap iteration order.
+        let mut ids: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, fl)| fl.gpu == gpu)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let mut fl = self.in_flight.remove(&id).expect("id collected above");
+            // Device buffers died with the device; nothing to
+            // reclaim. Host-side staging leases survive and go back
+            // to the pool. Loss is not the work's fault: it
+            // re-enters scheduling immediately and keeps its retry
+            // budget.
+            eng.gmem.release_staging(std::mem::take(&mut fl.staging));
+            let session = eng.sessions.get_mut(&fl.job).expect("session open");
+            eng.recovery.note_retry(session);
+            q.schedule(
+                t,
+                Ev::Submit(Box::new((fl.job, fl.timing.submitted, fl.retries, fl.work))),
+            );
+        }
+        // Fused flights on the dead device recover the same way,
+        // member by member.
+        let mut fids: Vec<u64> = self
+            .fused_in_flight
+            .iter()
+            .filter(|(_, fl)| fl.gpu == gpu)
+            .map(|(&id, _)| id)
+            .collect();
+        fids.sort_unstable();
+        for id in fids {
+            let mut fl = self
+                .fused_in_flight
+                .remove(&id)
+                .expect("id collected above");
+            eng.gmem.release_staging(std::mem::take(&mut fl.staging));
+            let job = fl.job;
+            for mb in fl.members {
+                let session = eng.sessions.get_mut(&job).expect("session open");
+                eng.recovery.note_retry(session);
+                q.schedule(
+                    t,
+                    Ev::Submit(Box::new((job, mb.timing.submitted, mb.retries, mb.work))),
+                );
+            }
+        }
+        // Drain the dead device's queue — and its accumulating
+        // batch — onto the survivors.
+        if self.batchers[gpu].is_some() {
+            self.flush_batcher(gpu);
+        }
+        let queued: Vec<Parked> = self.sched.drain_queue(gpu);
+        for parked in queued {
+            for qw in parked.into_members() {
+                let session = eng.sessions.get_mut(&qw.job).expect("session open");
+                eng.recovery.note_steal_on_drain(session);
+                q.schedule(
+                    t,
+                    Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
+                );
+            }
+        }
+    }
+
+    /// A scripted membership event fires. A **join** appends a fresh device
+    /// to the worker's complement — new stream bulk, new GWork queue, one
+    /// new cache region per open session — and wakes its streams so Alg.
+    /// 5.2 immediately rebalances queued backlog onto it. A **leave**
+    /// gracefully retires the device: its cached blocks are invalidated,
+    /// its in-flight and queued works are evacuated onto the survivors, and
+    /// no fault is charged — the ledger records a membership change, not a
+    /// failure.
+    pub(crate) fn on_membership(
+        &mut self,
+        eng: &mut Engine<'_>,
+        kind: MembershipKind,
+        cfg: &GpuWorkerConfig,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        match kind {
+            MembershipKind::Join => {
+                // Joining devices cycle through the worker's model list,
+                // exactly like initial construction.
+                let model: GpuModel = cfg.models[eng.gmem.gpu_count() % cfg.models.len()];
+                let g = eng.gmem.join_device(model);
+                eng.recovery.grow_device();
+                eng.recovery.note_member_joined(&mut *eng.sessions);
+                self.stream_busy_until
+                    .push(vec![SimTime::ZERO; self.streams_per_gpu]);
+                self.executed_per_gpu.push(0);
+                self.batchers.push(None);
+                self.sched.push_queue();
+                for session in eng.sessions.values_mut() {
+                    session.regions.push(eng.gmem.new_region_for(g));
+                }
+                if self.tracer.enabled() {
+                    for s in 0..self.streams_per_gpu {
+                        self.tracer.name_thread(
+                            gpu_pid(self.worker_id, g),
+                            stream_tid(s),
+                            &format!("stream {s}"),
+                        );
+                    }
+                    self.tracer.record(TraceEvent::instant(
+                        gpu_pid(self.worker_id, g),
+                        TID_DEVICE,
+                        Cat::Recovery,
+                        "join",
+                        t,
+                    ));
+                }
+                // Wake the new bulk: each fresh stream runs Alg. 5.2 and
+                // pulls queued backlog onto the joined device.
+                for s in 0..self.streams_per_gpu {
+                    q.schedule(t, Ev::StreamFree { gpu: g, stream: s });
+                }
+                eng.gmem
+                    .rebalance_regions(eng.sessions, cfg.scheduler.partition_cache);
+            }
+            MembershipKind::Leave { gpu } => {
+                if gpu >= eng.gmem.gpu_count() || !eng.gmem.usable(gpu) {
+                    return; // never joined, already lost, or already retired
+                }
+                eng.recovery.note_member_left(&mut *eng.sessions);
+                eng.gmem.retire_device(gpu, t);
+                // Every open session loses its region on the retiring
+                // device; graceful or not, the blocks are gone.
+                for session in eng.sessions.values_mut() {
+                    let n = session.regions[gpu].invalidate_all() as u64;
+                    eng.recovery.note_invalidations(session, n);
+                }
+                self.drain_device(eng, gpu, t, q);
+                eng.gmem
+                    .rebalance_regions(eng.sessions, cfg.scheduler.partition_cache);
             }
         }
     }

@@ -309,6 +309,23 @@ impl JobScheduler {
         }
         out
     }
+
+    /// Tear down one job's pen (its `JobHandle` dropped): whatever is
+    /// still parked there is taken — and must be *accounted* by the
+    /// caller, not silently leaked — along with its byte charge.
+    pub(crate) fn take_pen(&mut self, job: JobId) -> Vec<PennedWork> {
+        self.queued_bytes.remove(&job);
+        self.pens
+            .remove(&job)
+            .map(|p| p.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Grow the scheduler for a device that joined the complement: one
+    /// fresh queue under the same arbitration policy.
+    pub(crate) fn push_queue(&mut self) {
+        self.queues.push(WorkQueue::new(self.cfg.arbitration));
+    }
 }
 
 /// RAII handle to one live job on the fabric — the redesigned face of the
@@ -318,6 +335,7 @@ impl JobScheduler {
 /// submission and draining are scoped to the handle, and `finish` — or the
 /// handle's drop, whichever comes first — tears down the job's sessions on
 /// every worker, releasing exactly its cache regions and ledgers.
+#[must_use = "dropping a JobHandle closes the job immediately; bind it for the job's lifetime"]
 pub struct JobHandle {
     fabric: GpuFabric,
     job: JobId,

@@ -27,8 +27,10 @@
 //! * [`model`] — the analytical model of §6.3/6.4 (Eqs. 1–4).
 
 pub mod cache;
+pub mod checkpoint;
 pub mod commpath;
 pub mod config;
+mod elastic;
 pub mod fused;
 pub mod gdst;
 pub mod gmemory;
@@ -43,7 +45,11 @@ pub mod session;
 pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
-pub use config::{BatchConfig, SchedulerConfig, TransferConfig};
+pub use checkpoint::{
+    CacheManifestEntry, CheckpointManager, CheckpointToken, JobSnapshot, RestoredSnapshot,
+    SnapshotBlock,
+};
+pub use config::{BatchConfig, CheckpointConfig, SchedulerConfig, TransferConfig};
 pub use gdst::{
     ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts,
     OutMode, SpecError,

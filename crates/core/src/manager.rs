@@ -48,14 +48,14 @@ pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU
 /// The per-worker GPU manager: coordinator over the memory, stream, and
 /// recovery layers, with one [`JobSession`] per open job.
 pub struct GpuManager {
-    worker_id: usize,
-    cfg: GpuWorkerConfig,
-    gmem: GMemoryManager,
-    gstream: GStreamManager,
-    recovery: RecoveryManager,
-    sessions: BTreeMap<JobId, JobSession>,
-    registry: Arc<Mutex<KernelRegistry>>,
-    rng: SimRng,
+    pub(crate) worker_id: usize,
+    pub(crate) cfg: GpuWorkerConfig,
+    pub(crate) gmem: GMemoryManager,
+    pub(crate) gstream: GStreamManager,
+    pub(crate) recovery: RecoveryManager,
+    pub(crate) sessions: BTreeMap<JobId, JobSession>,
+    pub(crate) registry: Arc<Mutex<KernelRegistry>>,
+    pub(crate) rng: SimRng,
 }
 
 impl GpuManager {
@@ -221,11 +221,14 @@ impl GpuManager {
         }
     }
 
-    /// Close `job`'s session: release its cached device buffers, retire
-    /// its cache statistics into the worker totals, and (under cache
+    /// Close `job`'s session: account works still parked in its pen or
+    /// pending queue (abandoned, not leaked — see the fault ledger's
+    /// `parked_abandoned`), release its cached device buffers, retire its
+    /// cache statistics into the worker totals, and (under cache
     /// partitioning) return its budget share to the survivors.
     pub fn end_job(&mut self, job: JobId) {
         if let Some(mut session) = self.sessions.remove(&job) {
+            self.abandon_leftovers(job, &mut session);
             self.gmem.release_regions(&mut session.regions);
             self.gmem.retire_regions(&session.regions);
             self.gmem.retire_pool_owner(job.0);
@@ -233,27 +236,11 @@ impl GpuManager {
         }
     }
 
-    /// Re-divide each GPU's cache-region budget across live sessions in
-    /// proportion to their weights (opt-in via
-    /// `SchedulerConfig::partition_cache`), evicting overflow from regions
-    /// that shrank. Off = every region keeps the full budget, as before.
+    /// Delegate to the memory layer's weight-proportional region rebalance
+    /// ([`GMemoryManager::rebalance_regions`]).
     fn rebalance_regions(&mut self) {
-        if !self.cfg.scheduler.partition_cache {
-            return;
-        }
-        let total: u64 = self.sessions.values().map(|s| u64::from(s.weight)).sum();
-        if total == 0 {
-            return;
-        }
-        for g in 0..self.gmem.gpu_count() {
-            let base = self.gmem.region_capacity(g);
-            let mut freed = Vec::new();
-            for s in self.sessions.values_mut() {
-                let cap = base * u64::from(s.weight) / total;
-                freed.extend(s.regions[g].set_capacity(cap));
-            }
-            self.gmem.release_buffers(g, freed);
-        }
+        self.gmem
+            .rebalance_regions(&mut self.sessions, self.cfg.scheduler.partition_cache);
     }
 
     /// The open session for `job`, if any.
@@ -289,14 +276,20 @@ impl GpuManager {
     // --- submission & draining ------------------------------------------
 
     /// Enqueue `work` for `job` as submitted at simulated instant `at`,
-    /// opening the session if needed. The work runs at the next drain.
+    /// opening the session if needed. A work whose tag is covered by a
+    /// restored checkpoint ([`GpuManager::restore_job`]) is satisfied from
+    /// the snapshot instead of executing: it is counted as restored, and
+    /// the tag is consumed so it can cover at most one submission — the
+    /// exactly-once dedup across the restore boundary. Otherwise the work
+    /// runs at the next drain.
     pub fn submit_for(&mut self, job: JobId, work: GWork, at: SimTime) {
         self.begin_job(job);
-        self.sessions
-            .get_mut(&job)
-            .expect("session just ensured")
-            .pending
-            .push((at, work));
+        let session = self.sessions.get_mut(&job).expect("session just ensured");
+        if session.covered.remove(&work.tag) {
+            self.recovery.note_work_restored(session);
+            return;
+        }
+        session.pending.push((at, work));
     }
 
     /// Release every session's cached device buffers (sessions stay open).
@@ -329,9 +322,12 @@ impl GpuManager {
                 );
             }
         }
-        // Scripted faults not yet delivered enter the queue once.
+        // Scripted faults and membership events enter the queue once each.
         for e in self.recovery.take_unscheduled_faults() {
             q.schedule(e.at, Ev::Fault(e.kind));
+        }
+        for e in self.recovery.take_unscheduled_membership() {
+            q.schedule(e.at, Ev::Membership(e.kind));
         }
         // Every session's pending works enter the loop, stably ordered by
         // submit instant (ties: session id, then submission order).
@@ -381,6 +377,9 @@ impl GpuManager {
                     Ev::FusedHangCheck(id) => {
                         self.gstream.on_fused_hang_check(&mut eng, id, t, &mut q)
                     }
+                    Ev::Membership(kind) => self
+                        .gstream
+                        .on_membership(&mut eng, kind, &self.cfg, t, &mut q),
                 }
             }
             if !self.gstream.flush_parked(&mut eng, last_t, &mut q) {

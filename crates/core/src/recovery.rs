@@ -17,8 +17,8 @@ use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::trace::{cpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
-    ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MultiTimeline, RetryPolicy,
-    SimTime, Tracer,
+    ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MembershipEvent, MembershipPlan,
+    MultiTimeline, RetryPolicy, SimTime, Tracer,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -151,6 +151,11 @@ pub struct RecoveryManager {
     fault_plan: FaultPlan,
     /// Index of the first `fault_plan` event not yet scheduled into a drain.
     fault_cursor: usize,
+    /// Scripted elastic-membership changes (joins/leaves), delivered into
+    /// drains exactly once via `membership_cursor` — the fault plan's
+    /// administrative twin.
+    membership_plan: MembershipPlan,
+    membership_cursor: usize,
     /// Scripted transient faults armed per GPU (consumed by next launches).
     pending_transient: Vec<u32>,
     /// Scripted hangs armed per GPU (consumed by next launches).
@@ -180,6 +185,8 @@ impl RecoveryManager {
             cpu_fallback,
             fault_plan: FaultPlan::new(),
             fault_cursor: 0,
+            membership_plan: MembershipPlan::new(),
+            membership_cursor: 0,
             pending_transient: vec![0; n_gpus],
             pending_hang: vec![0; n_gpus],
             ledger: FaultLedger::default(),
@@ -217,6 +224,25 @@ impl RecoveryManager {
         let evs = self.fault_plan.events()[self.fault_cursor..].to_vec();
         self.fault_cursor = self.fault_plan.events().len();
         evs
+    }
+
+    pub(crate) fn set_membership_plan(&mut self, plan: MembershipPlan) {
+        self.membership_plan = plan;
+        self.membership_cursor = 0;
+    }
+
+    /// Scripted membership changes not yet delivered into any drain;
+    /// advances the cursor so each change applies exactly once.
+    pub(crate) fn take_unscheduled_membership(&mut self) -> Vec<MembershipEvent> {
+        let evs = self.membership_plan.events()[self.membership_cursor..].to_vec();
+        self.membership_cursor = self.membership_plan.events().len();
+        evs
+    }
+
+    /// Grow the armed-fault state for a device that joined the complement.
+    pub(crate) fn grow_device(&mut self) {
+        self.pending_transient.push(0);
+        self.pending_hang.push(0);
     }
 
     /// Worker-global cumulative fault/recovery counters.
@@ -322,6 +348,37 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().gpus_degraded += 1;
         }
+    }
+
+    /// Device-scoped: a node joined the complement. Charged to every open
+    /// session — each tenant's dispatch targets just changed.
+    pub(crate) fn note_member_joined(&mut self, sessions: &mut BTreeMap<JobId, JobSession>) {
+        self.ledger.members_joined += 1;
+        for s in sessions.values_mut() {
+            s.ledger_mut().members_joined += 1;
+        }
+    }
+
+    /// Device-scoped: a node left the complement gracefully.
+    pub(crate) fn note_member_left(&mut self, sessions: &mut BTreeMap<JobId, JobSession>) {
+        self.ledger.members_left += 1;
+        for s in sessions.values_mut() {
+            s.ledger_mut().members_left += 1;
+        }
+    }
+
+    /// Work-scoped: a submission was satisfied from a restored checkpoint
+    /// instead of executing.
+    pub(crate) fn note_work_restored(&mut self, session: &mut JobSession) {
+        self.ledger.works_restored += 1;
+        session.ledger_mut().works_restored += 1;
+    }
+
+    /// Work-scoped: `n` of the job's works were still parked (penned or
+    /// pending) when the job was torn down.
+    pub(crate) fn note_parked_abandoned(&mut self, session: &mut JobSession, n: u64) {
+        self.ledger.parked_abandoned += n;
+        session.ledger_mut().parked_abandoned += n;
     }
 
     // --- retry / fail / CPU fallback -----------------------------------

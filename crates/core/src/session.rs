@@ -13,6 +13,7 @@ use crate::cache::GpuCache;
 use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::FailedWork;
 use gflink_sim::{FaultLedger, LedgerWindow, SimTime, Summary};
+use std::collections::BTreeSet;
 
 /// Identity of one submitted job on a worker's GPU manager.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,6 +55,11 @@ pub struct JobSession {
     pub(crate) parked_works: u64,
     /// Total simulated time this job's works sat penned before release.
     pub(crate) park_delay: SimTime,
+    /// Tags covered by a restored checkpoint: a submission carrying one
+    /// of these is satisfied from the snapshot (counted as
+    /// `works_restored`) instead of executing — the exactly-once dedup
+    /// across the restore boundary.
+    pub(crate) covered: BTreeSet<(u32, u32)>,
 }
 
 impl JobSession {
@@ -72,7 +78,13 @@ impl JobSession {
             weight: weight.max(1),
             parked_works: 0,
             park_delay: SimTime::ZERO,
+            covered: BTreeSet::new(),
         }
+    }
+
+    /// Tags this session will satisfy from a restored checkpoint.
+    pub fn covered_tags(&self) -> &BTreeSet<(u32, u32)> {
+        &self.covered
     }
 
     /// Fair-share weight under weighted-fair arbitration (1 = baseline).

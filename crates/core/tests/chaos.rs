@@ -6,7 +6,7 @@
 use gflink_core::{CacheKey, CompletedWork, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
 use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
-use gflink_sim::{FaultPlan, RetryPolicy, SimTime};
+use gflink_sim::{FaultPlan, MembershipPlan, RetryPolicy, SimTime};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -61,6 +61,20 @@ fn mk_work(i: u32, cached: bool) -> GWork {
 const JOB: JobId = JobId(1);
 
 fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, GpuManager) {
+    run_elastic(plan, MembershipPlan::new(), &[], gpus, n_works)
+}
+
+/// Full elastic harness: scripted faults AND membership changes against
+/// one worker, with `covered` tags pre-installed as restored from a
+/// checkpoint (those submissions are satisfied from the snapshot, not
+/// executed).
+fn run_elastic(
+    faults: FaultPlan,
+    membership: MembershipPlan,
+    covered: &[(u32, u32)],
+    gpus: usize,
+    n_works: u32,
+) -> (Vec<CompletedWork>, GpuManager) {
     let mut m = GpuManager::new(
         0,
         GpuWorkerConfig {
@@ -74,8 +88,9 @@ fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, 
         },
         registry(),
     );
-    m.set_fault_plan(plan);
-    m.begin_job(JOB);
+    m.set_fault_plan(faults);
+    m.set_membership_plan(membership);
+    m.restore_job(JOB, 1, covered);
     for i in 0..n_works {
         m.submit_for(
             JOB,
@@ -86,6 +101,43 @@ fn run_plan(plan: FaultPlan, gpus: usize, n_works: u32) -> (Vec<CompletedWork>, 
     let mut done = m.drain_job(JOB);
     done.sort_by_key(|d| d.tag);
     (done, m)
+}
+
+/// Teardown with work still pending is accounted, not leaked: every
+/// submitted-but-undrained work lands in the ledger as `parked_abandoned`.
+#[test]
+fn end_job_accounts_undrained_work_as_abandoned() {
+    let mut m = GpuManager::new(0, GpuWorkerConfig::default(), registry());
+    m.begin_job(JOB);
+    for i in 0..5 {
+        m.submit_for(JOB, mk_work(i, false), SimTime::from_micros(i as u64));
+    }
+    m.end_job(JOB);
+    assert_eq!(m.fault_ledger().parked_abandoned, 5);
+    // Idempotent: a second close of the gone session adds nothing.
+    m.end_job(JOB);
+    assert_eq!(m.fault_ledger().parked_abandoned, 5);
+}
+
+/// The fabric-level version: a `JobHandle` dropped with submitted works
+/// never drained tears its session down with the pen and pending queue
+/// accounted in the worker's fault ledger.
+#[test]
+fn dropped_job_handle_accounts_parked_work() {
+    use gflink_core::{FabricConfig, GpuFabric};
+    let fabric = GpuFabric::new(1, FabricConfig::default());
+    fabric.register_kernel("scale2", |args: &mut KernelArgs<'_>| {
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    {
+        let handle = fabric.open_job().expect("admission");
+        for i in 0..4 {
+            handle.submit_to(0, mk_work(i, false), SimTime::from_micros(i as u64));
+        }
+        // Dropped here with all four works still pending.
+    }
+    let ledger = fabric.with_managers(|ms| ms[0].fault_ledger());
+    assert_eq!(ledger.parked_abandoned, 4);
 }
 
 proptest! {
@@ -137,6 +189,106 @@ proptest! {
             )
         };
         prop_assert_eq!(timeline(0), timeline(1));
+    }
+
+    /// Elastic chaos: joins, leaves and kills interleaved under one clock.
+    /// Every work still completes with output bytes identical to the
+    /// fixed-membership fault-free run, every applied change is ledgered,
+    /// and devices joined mid-run are real dispatch targets.
+    #[test]
+    fn elastic_chaos_byte_identical_and_ledgered(
+        seed in any::<u64>(),
+        gpus in 2usize..4,
+        n_faults in 0usize..5,
+        n_changes in 1usize..6,
+        n_works in 8u32..28,
+    ) {
+        let h = SimTime::from_millis(40);
+        let faults = FaultPlan::random(seed, gpus, h, n_faults);
+        let membership = MembershipPlan::random(seed, gpus, h, n_changes);
+        let (clean, _) = run_plan(FaultPlan::new(), gpus, n_works);
+        let (done, m) = run_elastic(faults, membership.clone(), &[], gpus, n_works);
+        prop_assert_eq!(done.len(), n_works as usize);
+        for (a, b) in done.iter().zip(&clean) {
+            prop_assert_eq!(a.tag, b.tag);
+            prop_assert_eq!(a.output.as_slice(), b.output.as_slice());
+        }
+        let joins = membership.events().iter()
+            .filter(|e| matches!(e.kind, gflink_sim::MembershipKind::Join))
+            .count() as u64;
+        let leaves = membership.events().len() as u64 - joins;
+        let ledger = m.fault_ledger();
+        prop_assert_eq!(ledger.members_joined, joins);
+        // A leave targeting a device the fault plan already killed is a
+        // no-op, so the ledger may undercount the script — never over.
+        prop_assert!(ledger.members_left <= leaves);
+        prop_assert_eq!(m.gpu_count(), gpus + joins as usize);
+        // Recovery and rebalancing leak nothing on any device, joined,
+        // retired or original.
+        let session = m.session(JOB).unwrap();
+        prop_assert!(session.failed().is_empty());
+        for g in 0..m.gpu_count() {
+            prop_assert_eq!(m.gpu(g).dmem.used(), session.region(g).used());
+        }
+    }
+
+    /// Elastic chaos is deterministic: the same seed replays the same
+    /// placements, instants and ledger — joins and leaves included.
+    #[test]
+    fn elastic_chaos_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n_faults in 0usize..5,
+        n_changes in 1usize..6,
+        n_works in 8u32..24,
+    ) {
+        let h = SimTime::from_millis(40);
+        let timeline = |_| {
+            let (done, m) = run_elastic(
+                FaultPlan::random(seed, 2, h, n_faults),
+                MembershipPlan::random(seed, 2, h, n_changes),
+                &[],
+                2,
+                n_works,
+            );
+            (
+                done.iter()
+                    .map(|d| (d.tag, d.gpu, d.stream, d.timing.completed))
+                    .collect::<Vec<_>>(),
+                m.fault_ledger(),
+            )
+        };
+        prop_assert_eq!(timeline(0), timeline(1));
+    }
+
+    /// Exactly-once across a restore boundary, under chaos: submissions
+    /// whose tags a snapshot covers are satisfied from it (never executed),
+    /// everything else executes once, and the double entry
+    /// `works_restored + completions == works submitted` balances.
+    #[test]
+    fn restore_covers_each_tag_exactly_once(
+        seed in any::<u64>(),
+        n_faults in 0usize..5,
+        n_works in 8u32..24,
+        covered_stride in 2u32..5,
+    ) {
+        let covered: Vec<(u32, u32)> =
+            (0..n_works).filter(|i| i % covered_stride == 0).map(|i| (0, i)).collect();
+        let (done, m) = run_elastic(
+            FaultPlan::random(seed, 2, SimTime::from_millis(40), n_faults),
+            MembershipPlan::new(),
+            &covered,
+            2,
+            n_works,
+        );
+        let ledger = m.fault_ledger();
+        prop_assert_eq!(ledger.works_restored, covered.len() as u64);
+        prop_assert_eq!(done.len() as u64 + ledger.works_restored, n_works as u64);
+        for d in &done {
+            prop_assert!(!covered.contains(&d.tag), "covered tag {:?} executed", d.tag);
+        }
+        let session = m.session(JOB).unwrap();
+        prop_assert!(session.failed().is_empty());
+        prop_assert!(session.covered_tags().is_empty(), "every covered tag consumed");
     }
 
     /// A fault-free chaos harness run is also identical to a run with no

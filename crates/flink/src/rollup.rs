@@ -104,6 +104,18 @@ pub struct GpuRollup {
     pub alpha_saved: SimTime,
     /// Batch-size histogram (works per fused batch).
     pub batch_size: Summary,
+    /// Checkpoints snapshotted to HDFS for this job.
+    pub checkpoints: u64,
+    /// Encoded snapshot bytes written across those checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Operator invocations that found a durable snapshot and restored it.
+    pub restores: u64,
+    /// Works satisfied from a restored snapshot instead of executing.
+    pub works_restored: u64,
+    /// Per restored operator: simulated time from the snapshot's restore
+    /// landing to the replayed delta's completion — what resuming actually
+    /// cost, versus re-running the whole operator.
+    pub recovery_delta: Summary,
     /// Per-device activity lanes, in (worker, gpu) order.
     pub lanes: Vec<GpuLane>,
 }
@@ -137,9 +149,11 @@ impl GpuRollup {
         }
     }
 
-    /// True when no work was recorded (CPU-only job).
+    /// True when no work was recorded (CPU-only job). A job fully covered
+    /// by a restored checkpoint executed nothing, but its rollup still
+    /// carries the restore accounting — not empty.
     pub fn is_empty(&self) -> bool {
-        self.works == 0 && self.cpu_works == 0
+        self.works == 0 && self.cpu_works == 0 && self.works_restored == 0
     }
 
     /// Pinned staging pool hit rate in `[0, 1]`; 0.0 when the pool was
@@ -228,6 +242,18 @@ impl fmt::Display for GpuRollup {
                 f,
                 "  backpressure: {} works parked (weight {}), pen delay {}",
                 self.parked_works, self.weight, self.park_delay
+            )?;
+        }
+        if self.checkpoints > 0 || self.restores > 0 {
+            writeln!(
+                f,
+                "  checkpointing: {} snapshots ({}), {} restores covering {} works, \
+                 replay delta mean {}",
+                self.checkpoints,
+                fmt_bytes(self.checkpoint_bytes),
+                self.restores,
+                self.works_restored,
+                fmt_ms(self.recovery_delta.mean()),
             )?;
         }
         writeln!(f, "  stage        mean        max        total")?;
@@ -330,6 +356,21 @@ mod tests {
         assert!(!text.contains("pinned pool"));
         assert!(!text.contains("batching"));
         assert!(!text.contains("backpressure"));
+        assert!(!text.contains("checkpointing"));
+    }
+
+    #[test]
+    fn display_renders_checkpointing_when_active() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.checkpoints = 3;
+        r.checkpoint_bytes = 2048;
+        r.restores = 1;
+        r.works_restored = 7;
+        r.recovery_delta.add(0.004);
+        let text = format!("{r}");
+        assert!(text.contains("checkpointing: 3 snapshots (2.0 KiB), 1 restores covering 7 works"));
+        assert!(text.contains("replay delta mean 4.000 ms"));
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl VirtualGpu {
         wiped
     }
 
+    /// Retire the device gracefully at instant `at`: it leaves the
+    /// worker's complement (an elastic-membership event, not a fault).
+    /// Terminally the same as [`VirtualGpu::mark_lost`] — no further
+    /// launches, device memory released — but traced as `"retired"` so
+    /// chaos audits can tell administrative departures from crashes.
+    /// Returns how many device allocations were released.
+    pub fn retire(&mut self, at: SimTime) -> usize {
+        self.health = DeviceHealth::Lost;
+        let released = self.dmem.wipe();
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(self.trace_pid, TID_DEVICE, Cat::Health, "retired", at)
+                    .with_arg("released_allocations", released),
+            );
+        }
+        released
+    }
+
     fn ensure_usable(&self) -> Result<(), DeviceError> {
         if self.health.is_lost() {
             Err(DeviceError::Lost { gpu: self.id })
@@ -538,6 +556,18 @@ mod tests {
             err.unwrap_err(),
             crate::health::DeviceError::Lost { gpu: 1 }
         );
+    }
+
+    #[test]
+    fn retired_device_behaves_like_lost_but_is_administrative() {
+        let mut gpu = VirtualGpu::new(2, GpuModel::TeslaC2050);
+        let a = gpu.dmem.alloc(16, 16).unwrap();
+        let host = HBuffer::zeroed(16);
+        assert_eq!(gpu.retire(SimTime::ZERO), 1);
+        assert!(gpu.health().is_lost());
+        assert_eq!(gpu.dmem.used(), 0);
+        let err = gpu.copy_h2d(SimTime::ZERO, 16, &host, a).unwrap_err();
+        assert_eq!(err, crate::health::DeviceError::Lost { gpu: 2 });
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub enum HdfsError {
         /// File whose block is unreadable.
         file: String,
     },
+    /// A snapshot's content no longer matches its manifest checksum.
+    Corrupt {
+        /// Snapshot whose CRC check failed.
+        file: String,
+    },
+    /// The file exists but has no snapshot manifest (it was written by
+    /// the plain write path, not [`Hdfs::snapshot_at`]).
+    NoManifest {
+        /// File without a manifest.
+        file: String,
+    },
 }
 
 impl fmt::Display for HdfsError {
@@ -74,6 +85,12 @@ impl fmt::Display for HdfsError {
                     f,
                     "hdfs: all replicas of a block of {file} are on failed nodes"
                 )
+            }
+            HdfsError::Corrupt { file } => {
+                write!(f, "hdfs: snapshot {file} fails its manifest CRC check")
+            }
+            HdfsError::NoManifest { file } => {
+                write!(f, "hdfs: {file} has no snapshot manifest")
             }
         }
     }
@@ -101,6 +118,36 @@ impl IoGrant {
     }
 }
 
+/// Namenode-side record of a durable snapshot: enough to detect both a
+/// missing snapshot (no manifest) and a rotted one (CRC mismatch) at
+/// restore time, plus the bookkeeping recovery wants (when it was taken
+/// and which write epoch it belongs to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// CRC-32 (IEEE) of the snapshot payload.
+    pub crc: u32,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Simulated instant the snapshot write completed.
+    pub taken_at: SimTime,
+    /// Monotone per-file write epoch (1 for the first snapshot).
+    pub epoch: u64,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — slow but
+/// dependency-free and only run over snapshot payloads.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 #[derive(Clone, Debug)]
 struct Block {
     /// Logical byte size of this block (last block may be short).
@@ -121,6 +168,7 @@ pub struct Hdfs {
     config: HdfsConfig,
     num_nodes: usize,
     files: HashMap<String, FileMeta>,
+    manifests: HashMap<String, SnapshotManifest>,
     disks: Vec<Timeline>,
     failed: Vec<bool>,
     next_block_start: usize,
@@ -134,6 +182,7 @@ impl Hdfs {
             config,
             num_nodes,
             files: HashMap::new(),
+            manifests: HashMap::new(),
             disks: vec![Timeline::new(); num_nodes],
             failed: vec![false; num_nodes],
             next_block_start: 0,
@@ -236,8 +285,10 @@ impl Hdfs {
         Ok(placed)
     }
 
-    /// Delete a file's metadata and content.
+    /// Delete a file's metadata and content (and its snapshot manifest,
+    /// if it has one).
     pub fn delete(&mut self, name: &str) -> Result<(), HdfsError> {
+        self.manifests.remove(name);
         self.files
             .remove(name)
             .map(|_| ())
@@ -465,6 +516,101 @@ impl Hdfs {
         })
     }
 
+    /// Durably snapshot `payload` to `name` from datanode `node`,
+    /// overwriting any previous epoch of the same snapshot.
+    ///
+    /// This is the checkpoint write path: the full replicated write
+    /// pipeline is charged (snapshots are not free), a CRC-32 of the
+    /// payload is recorded in the namenode-side [`SnapshotManifest`], and
+    /// the file's write epoch advances monotonically so a restore can
+    /// tell which checkpoint generation it got. Returns the I/O grant.
+    pub fn snapshot_at(
+        &mut self,
+        node: usize,
+        name: &str,
+        payload: Vec<u8>,
+        earliest: SimTime,
+    ) -> Result<IoGrant, HdfsError> {
+        if node >= self.num_nodes {
+            return Err(HdfsError::BadNode(node));
+        }
+        let epoch = self.manifests.get(name).map_or(0, |m| m.epoch) + 1;
+        if self.files.contains_key(name) {
+            self.delete(name)?;
+        }
+        let crc = crc32(&payload);
+        let len = payload.len() as u64;
+        // Snapshots carry their real content: logical size == payload
+        // size (no scale reduction — restores must be byte-exact).
+        self.create(name, len, payload)?;
+        let grant = self.charge_write(node, name, earliest)?;
+        self.manifests.insert(
+            name.to_string(),
+            SnapshotManifest {
+                crc,
+                len,
+                taken_at: grant.end,
+                epoch,
+            },
+        );
+        Ok(grant)
+    }
+
+    /// Restore a snapshot previously written with [`Hdfs::snapshot_at`]:
+    /// read every block back from `node` (charging disk and network as
+    /// usual), verify the payload against the manifest CRC, and return
+    /// the payload with the read grant.
+    ///
+    /// Fails with [`HdfsError::NoManifest`] for plain files and
+    /// [`HdfsError::Corrupt`] when the content no longer matches the
+    /// manifest — a corrupt checkpoint must never be silently replayed.
+    pub fn restore(
+        &mut self,
+        node: usize,
+        name: &str,
+        earliest: SimTime,
+    ) -> Result<(Arc<Vec<u8>>, IoGrant), HdfsError> {
+        let manifest = *self.manifests.get(name).ok_or_else(|| {
+            if self.files.contains_key(name) {
+                HdfsError::NoManifest {
+                    file: name.to_string(),
+                }
+            } else {
+                HdfsError::NotFound(name.to_string())
+            }
+        })?;
+        let grant = self.read(node, name, 0, manifest.len, earliest)?;
+        let data = self.data(name)?;
+        if data.len() as u64 != manifest.len || crc32(&data) != manifest.crc {
+            return Err(HdfsError::Corrupt {
+                file: name.to_string(),
+            });
+        }
+        Ok((data, grant))
+    }
+
+    /// The snapshot manifest for `name`, if it was written by
+    /// [`Hdfs::snapshot_at`].
+    pub fn manifest(&self, name: &str) -> Option<&SnapshotManifest> {
+        self.manifests.get(name)
+    }
+
+    /// Chaos injection: flip one bit of `name`'s stored content without
+    /// touching its manifest, simulating silent bit-rot between a
+    /// checkpoint write and its restore. Tests use this to prove the CRC
+    /// gate actually fires.
+    pub fn rot(&mut self, name: &str) -> Result<(), HdfsError> {
+        let meta = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| HdfsError::NotFound(name.to_string()))?;
+        let data = Arc::make_mut(&mut meta.data);
+        if let Some(b) = data.first_mut() {
+            *b ^= 0x01;
+        }
+        Ok(())
+    }
+
     /// Mark a datanode as failed: its disk serves no further I/O; reads
     /// fail over to surviving replicas (HDFS's standard behaviour).
     pub fn fail_node(&mut self, node: usize) {
@@ -654,6 +800,71 @@ mod tests {
         // global create starts at block 2.
         fs.create("b", 16 * MB, vec![]).unwrap();
         assert!(fs.is_local(2, "b", 0, MB).unwrap());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_manifest() {
+        let mut fs = Hdfs::new(4, small_cfg());
+        let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let w = fs
+            .snapshot_at(0, "ckpt/job/op0", payload.clone(), SimTime::ZERO)
+            .unwrap();
+        assert!(w.duration() > SimTime::ZERO, "snapshot writes are charged");
+        let m = *fs.manifest("ckpt/job/op0").unwrap();
+        assert_eq!(m.len, 1024);
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.crc, crc32(&payload));
+        assert_eq!(m.taken_at, w.end);
+        let (data, r) = fs.restore(1, "ckpt/job/op0", w.end).unwrap();
+        assert_eq!(*data, payload);
+        assert!(r.end > w.end, "restore reads are charged");
+    }
+
+    #[test]
+    fn snapshot_overwrites_bump_the_epoch() {
+        let mut fs = Hdfs::new(2, small_cfg());
+        fs.snapshot_at(0, "s", vec![1, 2, 3], SimTime::ZERO)
+            .unwrap();
+        fs.snapshot_at(0, "s", vec![4, 5], SimTime::ZERO).unwrap();
+        let m = fs.manifest("s").unwrap();
+        assert_eq!(m.epoch, 2);
+        assert_eq!(m.len, 2);
+        let (data, _) = fs.restore(0, "s", SimTime::ZERO).unwrap();
+        assert_eq!(*data, vec![4, 5]);
+        // Deleting drops the manifest; a fresh snapshot restarts epochs.
+        fs.delete("s").unwrap();
+        assert!(fs.manifest("s").is_none());
+        fs.snapshot_at(0, "s", vec![9], SimTime::ZERO).unwrap();
+        assert_eq!(fs.manifest("s").unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn restore_rejects_rot_and_plain_files() {
+        let mut fs = Hdfs::new(2, small_cfg());
+        fs.snapshot_at(0, "s", vec![7; 64], SimTime::ZERO).unwrap();
+        fs.rot("s").unwrap();
+        assert_eq!(
+            fs.restore(0, "s", SimTime::ZERO).unwrap_err(),
+            HdfsError::Corrupt { file: "s".into() }
+        );
+        fs.create("plain", 16, vec![0; 16]).unwrap();
+        assert_eq!(
+            fs.restore(0, "plain", SimTime::ZERO).unwrap_err(),
+            HdfsError::NoManifest {
+                file: "plain".into()
+            }
+        );
+        assert_eq!(
+            fs.restore(0, "ghost", SimTime::ZERO).unwrap_err(),
+            HdfsError::NotFound("ghost".into())
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -18,4 +18,4 @@
 
 pub mod fs;
 
-pub use fs::{Hdfs, HdfsConfig, HdfsError, IoGrant};
+pub use fs::{crc32, Hdfs, HdfsConfig, HdfsError, IoGrant, SnapshotManifest};

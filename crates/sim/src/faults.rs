@@ -154,6 +154,125 @@ impl FaultPlan {
     }
 }
 
+/// A membership change on a live worker: a device node joining the
+/// complement mid-run, or one leaving gracefully (drained, not killed).
+///
+/// Unlike a [`FaultKind::GpuLost`], a `Leave` is administrative: queued
+/// work migrates to the survivors without being counted as a fault, and
+/// the departing device's cache is released rather than wiped by an
+/// error path. A `Join` grows the dispatch and cache-budget state so
+/// Alg 5.1/5.2 start routing work to the newcomer immediately.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MembershipKind {
+    /// A new device node joins the worker's complement.
+    Join,
+    /// Device `gpu` leaves the complement gracefully.
+    Leave {
+        /// Device index within the worker.
+        gpu: usize,
+    },
+}
+
+/// A membership change scheduled at a simulated instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MembershipEvent {
+    /// When the change takes effect on the simulated clock.
+    pub at: SimTime,
+    /// What changes.
+    pub kind: MembershipKind,
+}
+
+/// A time-ordered script of membership changes for one worker, the
+/// elastic-cluster counterpart of a [`FaultPlan`]. Chaos tests interleave
+/// both plans to exercise joins, leaves, kills and checkpoints under one
+/// deterministic clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MembershipPlan {
+    events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// An empty plan (fixed membership — the common case).
+    pub fn new() -> Self {
+        MembershipPlan::default()
+    }
+
+    /// Add a change at `at`; keeps the plan time-ordered. Builder-style.
+    pub fn with(mut self, at: SimTime, kind: MembershipKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Add a change at `at`; keeps the plan time-ordered (stable for
+    /// ties, so simultaneous changes apply in insertion order).
+    pub fn push(&mut self, at: SimTime, kind: MembershipKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, MembershipEvent { at, kind });
+    }
+
+    /// The scripted events, soonest first.
+    pub fn events(&self) -> &[MembershipEvent] {
+        &self.events
+    }
+
+    /// True if nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Net membership delta (joins minus leaves) the plan applies.
+    pub fn net_joins(&self) -> i64 {
+        self.events.iter().fold(0i64, |n, e| match e.kind {
+            MembershipKind::Join => n + 1,
+            MembershipKind::Leave { .. } => n - 1,
+        })
+    }
+
+    /// A seed-reproducible elastic schedule: `n_events` changes spread
+    /// over `[0, horizon)` against a worker that starts with `gpus`
+    /// devices.
+    ///
+    /// Leaves only ever target devices beyond index 0 and never drop the
+    /// complement below one device, mirroring the survivor guarantee of
+    /// [`FaultPlan::random`]: an elastic chaos run always keeps somewhere
+    /// to drain onto.
+    pub fn random(seed: u64, gpus: usize, horizon: SimTime, n_events: usize) -> Self {
+        assert!(gpus > 0, "membership plan needs at least one device");
+        assert!(
+            !horizon.is_zero(),
+            "membership plan needs a nonzero horizon"
+        );
+        let mut rng = SimRng::new(seed ^ 0x3D91_C07A_52E8_66B4);
+        let mut plan = MembershipPlan::new();
+        // Track the complement as the plan would apply it in time order;
+        // events are generated in time order (sorted draws) so the count
+        // is exact, not an estimate.
+        let mut draws: Vec<u64> = (0..n_events)
+            .map(|_| rng.gen_range(horizon.as_nanos()))
+            .collect();
+        draws.sort_unstable();
+        let mut present: Vec<usize> = (0..gpus).collect();
+        let mut next_index = gpus;
+        for at in draws {
+            let join = present.len() <= 1 || rng.gen_range(2) == 0;
+            let kind = if join {
+                present.push(next_index);
+                next_index += 1;
+                MembershipKind::Join
+            } else {
+                // Never retire device 0: random FaultPlans may pick their
+                // survivor there, and tests want one stable anchor.
+                let pick = 1 + rng.gen_index(present.len() - 1);
+                MembershipKind::Leave {
+                    gpu: present.remove(pick),
+                }
+            };
+            plan.push(SimTime::from_nanos(at), kind);
+        }
+        plan
+    }
+}
+
 /// Counters for faults injected and recovery actions taken.
 ///
 /// Recorded by the `GStreamManager` as it reacts to a [`FaultPlan`] and
@@ -181,6 +300,19 @@ pub struct FaultLedger {
     pub cpu_fallbacks: u64,
     /// Works abandoned after retry exhaustion.
     pub works_failed: u64,
+    /// Works satisfied from a restored checkpoint instead of executing.
+    ///
+    /// Double-entry invariant across a restore boundary: for every job,
+    /// `works_restored + completions == works submitted` — nothing lost,
+    /// nothing executed twice.
+    pub works_restored: u64,
+    /// Device nodes that joined the complement mid-run.
+    pub members_joined: u64,
+    /// Device nodes that left the complement gracefully (not via fault).
+    pub members_left: u64,
+    /// Works still parked (penned or pending) when their job was torn
+    /// down — accounted here rather than silently leaked.
+    pub parked_abandoned: u64,
 }
 
 impl FaultLedger {
@@ -197,6 +329,10 @@ impl FaultLedger {
             cache_invalidations: self.cache_invalidations + other.cache_invalidations,
             cpu_fallbacks: self.cpu_fallbacks + other.cpu_fallbacks,
             works_failed: self.works_failed + other.works_failed,
+            works_restored: self.works_restored + other.works_restored,
+            members_joined: self.members_joined + other.members_joined,
+            members_left: self.members_left + other.members_left,
+            parked_abandoned: self.parked_abandoned + other.parked_abandoned,
         }
     }
 
@@ -239,6 +375,22 @@ impl FaultLedger {
             ),
             cpu_fallbacks: sub(self.cpu_fallbacks, earlier.cpu_fallbacks, "cpu_fallbacks"),
             works_failed: sub(self.works_failed, earlier.works_failed, "works_failed"),
+            works_restored: sub(
+                self.works_restored,
+                earlier.works_restored,
+                "works_restored",
+            ),
+            members_joined: sub(
+                self.members_joined,
+                earlier.members_joined,
+                "members_joined",
+            ),
+            members_left: sub(self.members_left, earlier.members_left, "members_left"),
+            parked_abandoned: sub(
+                self.parked_abandoned,
+                earlier.parked_abandoned,
+                "parked_abandoned",
+            ),
         }
     }
 
@@ -257,6 +409,7 @@ impl FaultLedger {
 /// counters accrued since the previous drain — no caller-side snapshot
 /// bookkeeping, and no way for one job's counters to bleed into another's.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "a LedgerWindow holds unread fault deltas; dropping it loses the accounting"]
 pub struct LedgerWindow {
     total: FaultLedger,
     mark: FaultLedger,
@@ -385,6 +538,57 @@ mod tests {
                     assert!(e.at < SimTime::from_secs(1));
                     if let FaultKind::GpuDegraded { throughput, .. } = e.kind {
                         assert!(throughput > 0.0 && throughput <= 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn membership_plan_stays_time_ordered() {
+        let plan = MembershipPlan::new()
+            .with(SimTime::from_millis(5), MembershipKind::Leave { gpu: 1 })
+            .with(SimTime::from_millis(1), MembershipKind::Join);
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(at, vec![1_000_000, 5_000_000]);
+        assert_eq!(plan.net_joins(), 0);
+        assert!(MembershipPlan::new().is_empty());
+    }
+
+    #[test]
+    fn random_membership_plans_are_seed_reproducible_and_safe() {
+        let h = SimTime::from_secs(1);
+        assert_eq!(
+            MembershipPlan::random(3, 2, h, 12),
+            MembershipPlan::random(3, 2, h, 12)
+        );
+        assert_ne!(
+            MembershipPlan::random(3, 2, h, 12),
+            MembershipPlan::random(4, 2, h, 12)
+        );
+        for seed in 0..64 {
+            for gpus in 1..=4 {
+                let plan = MembershipPlan::random(seed, gpus, h, 12);
+                // Replay the plan and check it is always applicable: a
+                // leave targets a present, non-zero device, and the
+                // complement never empties.
+                let mut present: Vec<usize> = (0..gpus).collect();
+                let mut next = gpus;
+                for e in plan.events() {
+                    match e.kind {
+                        MembershipKind::Join => {
+                            present.push(next);
+                            next += 1;
+                        }
+                        MembershipKind::Leave { gpu } => {
+                            assert_ne!(gpu, 0, "seed {seed}: device 0 must never leave");
+                            let pos = present
+                                .iter()
+                                .position(|&g| g == gpu)
+                                .unwrap_or_else(|| panic!("seed {seed}: leave of absent {gpu}"));
+                            present.remove(pos);
+                            assert!(!present.is_empty(), "seed {seed}: complement emptied");
+                        }
                     }
                 }
             }

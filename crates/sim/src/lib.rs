@@ -35,7 +35,10 @@ pub mod trace;
 pub use accounting::{Accounting, Phase};
 pub use cost::{BandwidthCost, ComputeCost, LatencyBandwidth};
 pub use events::EventQueue;
-pub use faults::{FaultEvent, FaultKind, FaultLedger, FaultPlan, LedgerWindow, RetryPolicy};
+pub use faults::{
+    FaultEvent, FaultKind, FaultLedger, FaultPlan, LedgerWindow, MembershipEvent, MembershipKind,
+    MembershipPlan, RetryPolicy,
+};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;

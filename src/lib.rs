@@ -68,9 +68,10 @@ pub mod prelude {
     };
     pub use crate::core::{
         run_cpu_stream, run_gpu_stream, AdmissionError, ArbitrationPolicy, BatchConfig,
-        CachePolicy, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec,
-        GpuWorkerConfig, JobHandle, JobId, SchedulerConfig, SchedulingPolicy, SpecError,
-        StreamSource, TransferConfig, CPU_FALLBACK_GPU,
+        CachePolicy, CheckpointConfig, CheckpointManager, FabricConfig, GDataSet, GRecord,
+        GflinkEnv, GpuFabric, GpuMapSpec, GpuWorkerConfig, JobHandle, JobId, JobSnapshot,
+        SchedulerConfig, SchedulingPolicy, SpecError, StreamSource, TransferConfig,
+        CPU_FALLBACK_GPU,
     };
     pub use crate::flink::{ClusterConfig, FlinkEnv, JobGate, JobReport, OpCost, SharedCluster};
     pub use crate::gpu::{GpuModel, KernelArgs, KernelProfile};
@@ -78,5 +79,5 @@ pub mod prelude {
         AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
     };
     pub use crate::sim::trace::PipelineProfile;
-    pub use crate::sim::{FaultKind, FaultPlan, Phase, SimTime};
+    pub use crate::sim::{FaultKind, FaultPlan, MembershipKind, MembershipPlan, Phase, SimTime};
 }
