@@ -132,7 +132,7 @@ impl Params {
 /// Register the message scatter+combine kernel.
 pub fn register_kernels(fabric: &GpuFabric) {
     fabric.register_kernel("cudaMinByKey", min_by_key_kernel);
-    fabric.register_kernel("cudaCcScatter", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaCcScatter", |args: &mut KernelArgs<'_, '_>| {
         use std::collections::BTreeMap;
         let def = LabelledPage::def();
         let out_def = AggMsg::def();
@@ -172,7 +172,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
 
 /// The GPU reducer kernel (the paper's gpuReduce): min-by-key over shuffled
 /// label messages within each block.
-fn min_by_key_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn min_by_key_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     use std::collections::BTreeMap;
     let def = AggMsg::def();
     let n = args.n_actual;

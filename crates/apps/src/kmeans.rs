@@ -139,7 +139,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
 /// The GPU kernel: nearest-center assignment with per-block partial sums.
 /// Inputs: `[points block (cached), centers (k·d f32)]`; output: `K`
 /// [`Partial`] records.
-fn kmeans_assign_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn kmeans_assign_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     let def = Point::def();
     let n = args.n_actual;
     let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

@@ -138,7 +138,7 @@ fn flops_per_sample() -> f64 {
     (4 * (D + 1)) as f64
 }
 
-fn linreg_grad_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn linreg_grad_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     let def = Sample::def();
     let n = args.n_actual;
     let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

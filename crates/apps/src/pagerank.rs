@@ -135,7 +135,7 @@ impl Params {
 /// Register the contribution scatter+combine kernel.
 pub fn register_kernels(fabric: &GpuFabric) {
     fabric.register_kernel("cudaSumByKey", sum_by_key_kernel);
-    fabric.register_kernel("cudaPagerankScatter", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaPagerankScatter", |args: &mut KernelArgs<'_, '_>| {
         use std::collections::BTreeMap;
         let def = RankedPage::def();
         let out_def = AggContrib::def();
@@ -173,7 +173,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
 
 /// Register-time extra: the GPU reducer kernel (the paper's gpuReduce),
 /// summing shuffled contribution pairs by key within each block.
-fn sum_by_key_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn sum_by_key_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     use std::collections::BTreeMap;
     let def = AggContrib::def();
     let n = args.n_actual;

@@ -148,7 +148,7 @@ pub fn register_kernels(fabric: &GpuFabric) {
     fabric.register_kernel("cudaSpmvEll", spmv_kernel);
 }
 
-fn spmv_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn spmv_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     let def = EllRow::def();
     let n = args.n_actual;
     let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

@@ -117,7 +117,7 @@ impl Params {
 
 /// Register the histogram kernel.
 pub fn register_kernels(fabric: &GpuFabric) {
-    fabric.register_kernel("cudaWordHistogram", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaWordHistogram", |args: &mut KernelArgs<'_, '_>| {
         let def = WordId::def();
         let n = args.n_actual;
         let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

@@ -17,7 +17,7 @@ use gflink_core::{
     ArbitrationPolicy, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulerConfig,
     SchedulingPolicy, WorkBuf,
 };
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
 use parking_lot::Mutex;
@@ -31,7 +31,7 @@ const LIGHT_WORKS: u32 = 32;
 
 fn registry() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();
-    reg.register("burn", |args: &mut KernelArgs<'_>| {
+    reg.register("burn", |args: &mut KernelArgs<'_, '_>| {
         KernelProfile::new(args.n_logical as f64 * 20.0, args.n_logical as f64 * 8.0)
     });
     Arc::new(Mutex::new(reg))
@@ -39,8 +39,9 @@ fn registry() -> Arc<Mutex<KernelRegistry>> {
 
 fn mk_work(job: u32, i: u32, logical: u64) -> GWork {
     GWork {
-        name: format!("j{job}-w{i}"),
+        name: format!("j{job}-w{i}").into(),
         execute_name: "burn".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/burn.ptx".into(),
         block_size: 256,
         grid_size: 64,
@@ -48,7 +49,7 @@ fn mk_work(job: u32, i: u32, logical: u64) -> GWork {
         out_actual_bytes: 64,
         out_logical_bytes: logical,
         out_records: 16,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 16,
         n_logical: logical / 4,
         coalescing: 1.0,

@@ -107,7 +107,7 @@ fn main() {
         let fabric = GpuFabric::new(1, FabricConfig::default());
         // The kernel reads only the f64 field: the AoS stride wastes
         // bandwidth, SoA/AoP coalesce.
-        fabric.register_kernel("scale_y", move |args: &mut KernelArgs<'_>| {
+        fabric.register_kernel("scale_y", move |args: &mut KernelArgs<'_, '_>| {
             let def = mixed_def();
             let n = args.n_actual;
             let reader = RecordReader::new(args.inputs[0], &def, layout, n);

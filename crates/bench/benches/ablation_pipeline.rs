@@ -14,7 +14,7 @@
 use gflink_bench::{header, jobj, row, write_results, Json};
 use gflink_core::{FabricConfig, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
 use gflink_flink::ClusterConfig;
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
 use parking_lot::Mutex;
@@ -25,7 +25,7 @@ fn registry() -> Arc<Mutex<KernelRegistry>> {
     // Balanced kernel: compute time comparable to its transfer time, the
     // regime where pipelining matters most (a C2050 moves 8 MB over PCIe in
     // ~2.7 ms; 2000 flops/element makes the kernel take about as long).
-    reg.register("stage", |args: &mut KernelArgs<'_>| {
+    reg.register("stage", |args: &mut KernelArgs<'_, '_>| {
         KernelProfile::new(args.n_logical as f64 * 2000.0, args.n_logical as f64 * 16.0)
     });
     Arc::new(Mutex::new(reg))
@@ -33,8 +33,9 @@ fn registry() -> Arc<Mutex<KernelRegistry>> {
 
 fn block_work(i: u32, logical_bytes: u64) -> GWork {
     GWork {
-        name: format!("blk-{i}"),
+        name: format!("blk-{i}").into(),
         execute_name: "stage".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/stage.ptx".into(),
         block_size: 256,
         grid_size: 128,
@@ -46,7 +47,7 @@ fn block_work(i: u32, logical_bytes: u64) -> GWork {
         out_actual_bytes: 64,
         out_logical_bytes: logical_bytes,
         out_records: 16,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 16,
         n_logical: logical_bytes / 16,
         coalescing: 1.0,

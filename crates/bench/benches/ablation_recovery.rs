@@ -70,7 +70,7 @@ fn make_fabric(interval: SimTime) -> GpuFabric {
         ..CpuFallback::default()
     };
     let fabric = GpuFabric::new(1, cfg);
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);

@@ -16,7 +16,7 @@ use gflink_core::{
     CacheKey, FabricConfig, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulingPolicy, WorkBuf,
 };
 use gflink_flink::ClusterConfig;
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::SimTime;
 use parking_lot::Mutex;
@@ -85,7 +85,7 @@ fn main() {
     ]);
     let registry = {
         let mut reg = KernelRegistry::new();
-        reg.register("burn", |args: &mut KernelArgs<'_>| {
+        reg.register("burn", |args: &mut KernelArgs<'_, '_>| {
             KernelProfile::new(args.n_logical as f64 * 100.0, args.n_logical as f64 * 8.0)
         });
         Arc::new(Mutex::new(reg))
@@ -152,7 +152,7 @@ fn affinity_experiment(results: &mut Vec<Json>) {
             },
             {
                 let mut reg = KernelRegistry::new();
-                reg.register("burn", |args: &mut KernelArgs<'_>| {
+                reg.register("burn", |args: &mut KernelArgs<'_, '_>| {
                     KernelProfile::new(args.n_logical as f64 * 100.0, args.n_logical as f64 * 8.0)
                 });
                 Arc::new(Mutex::new(reg))
@@ -207,8 +207,9 @@ fn cached_work(i: u32) -> GWork {
 
 fn burn_work(i: u32) -> GWork {
     GWork {
-        name: format!("burn-{i}"),
+        name: format!("burn-{i}").into(),
         execute_name: "burn".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/burn.ptx".into(),
         block_size: 256,
         grid_size: 64,
@@ -220,7 +221,7 @@ fn burn_work(i: u32) -> GWork {
         out_actual_bytes: 64,
         out_logical_bytes: 1 << 20,
         out_records: 16,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 16,
         n_logical: 1 << 22,
         coalescing: 1.0,

@@ -423,7 +423,7 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert_eq!(JobSnapshot::decode(&bad), None);
-        let mut long = bytes.clone();
+        let mut long = bytes;
         long.push(0);
         assert_eq!(JobSnapshot::decode(&long), None);
         assert_eq!(JobSnapshot::decode(&[]), None);

@@ -26,7 +26,7 @@ use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
 use crate::recovery::{FailReason, ManagerError};
 use crate::session::JobId;
 use gflink_gpu::DevBufId;
-use gflink_memory::{HBuffer, PinnedLease};
+use gflink_memory::{ArenaBuf, HBuffer, PinnedLease};
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent};
 use gflink_sim::{EventQueue, SimTime};
 
@@ -98,6 +98,9 @@ pub(crate) struct FusedMember {
 /// A dispatched batch in flight: one fused H2D, sequential member kernels
 /// on one stream, one fused D2H.
 pub(crate) struct FusedFlight {
+    /// Monotonic creation stamp; device-loss recovery re-submits flights in
+    /// `seq` order (slot ids are reused, seqs are not).
+    pub(crate) seq: u64,
     pub(crate) job: JobId,
     pub(crate) gpu: usize,
     pub(crate) stream: usize,
@@ -297,8 +300,14 @@ impl GStreamManager {
             let session = eng.sessions.get_mut(&job).expect("session open");
             for (i, sm) in staged.members.into_iter().enumerate() {
                 let out = out_devs.get(i).copied();
-                eng.gmem
-                    .reclaim(&mut session.regions[gpu], gpu, sm.transient, sm.pinned, out);
+                eng.gmem.reclaim(
+                    &mut session.regions[gpu],
+                    gpu,
+                    sm.dev_inputs,
+                    sm.transient,
+                    sm.pinned,
+                    out,
+                );
             }
             for (work, &(submitted, retries)) in works.into_iter().zip(&metas) {
                 eng.recovery.retry_or_fail(
@@ -316,7 +325,7 @@ impl GStreamManager {
         }
         // Occupy the stream until the fused D2H completes.
         self.stream_busy_until[gpu][stream] = SimTime::MAX;
-        let id = self.next_flight;
+        let seq = self.next_flight;
         self.next_flight += 1;
         let saved = eng
             .gmem
@@ -352,17 +361,15 @@ impl GStreamManager {
                 },
             )
             .collect();
-        self.fused_in_flight.insert(
-            id,
-            FusedFlight {
-                job,
-                gpu,
-                stream,
-                members: fmembers,
-                staging: staged.staging,
-                hung: false,
-            },
-        );
+        let id = self.fused_in_flight.insert(FusedFlight {
+            seq,
+            job,
+            gpu,
+            stream,
+            members: fmembers,
+            staging: staged.staging,
+            hung: false,
+        });
         q.schedule(staged.kernel_earliest, Ev::FusedKernelStage(id));
     }
 
@@ -377,7 +384,7 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
-        let Some(mut fl) = self.fused_in_flight.remove(&id) else {
+        let Some(mut fl) = self.fused_in_flight.remove(id) else {
             // The flight was recovered (device loss) before this fired.
             return;
         };
@@ -385,7 +392,11 @@ impl GStreamManager {
         eng.gmem.release_staging(std::mem::take(&mut fl.staging));
         let mut cursor = t;
         for i in 0..fl.members.len() {
-            let kernel = eng.registry.lock().get(&fl.members[i].work.execute_name);
+            let kernel = eng
+                .registry
+                .lock()
+                .get_by_id(fl.members[i].work.kernel)
+                .cloned();
             let Some(kernel) = kernel else {
                 self.recover_fused_flight(eng, fl, t, t, FailReason::RetriesExhausted, q);
                 return;
@@ -422,7 +433,7 @@ impl GStreamManager {
                 t.as_nanos()
                     .saturating_add(eng.recovery.hang_timeout().as_nanos()),
             );
-            self.fused_in_flight.insert(id, fl);
+            let id = self.fused_in_flight.insert(fl);
             q.schedule(deadline, Ev::FusedHangCheck(id));
             return;
         }
@@ -440,6 +451,7 @@ impl GStreamManager {
                 eng.gmem.reclaim(
                     &mut session.regions[fl.gpu],
                     fl.gpu,
+                    mb.dev_inputs,
                     mb.transient,
                     mb.pinned,
                     Some(mb.out_dev),
@@ -477,7 +489,7 @@ impl GStreamManager {
             .map(|mb| mb.kernel_end)
             .max()
             .expect("non-empty");
-        self.fused_in_flight.insert(id, fl);
+        let id = self.fused_in_flight.insert(fl);
         q.schedule(d2h_at, Ev::FusedD2hStage(id));
     }
 
@@ -491,7 +503,7 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
-        let Some(fl) = self.fused_in_flight.remove(&id) else {
+        let Some(fl) = self.fused_in_flight.remove(id) else {
             // The flight was recovered (device loss) before this fired.
             return;
         };
@@ -508,16 +520,19 @@ impl GStreamManager {
                 None => mb.work.out_logical_bytes,
             })
             .collect();
-        let mut outs: Vec<HBuffer> = fl
+        // Result buffers are arena leases, recycled from earlier flights of
+        // the same output size (zero-on-hit keeps the split bit-identical
+        // to per-work fresh allocations).
+        let mut outs: Vec<ArenaBuf> = fl
             .members
             .iter()
-            .map(|mb| HBuffer::zeroed(mb.work.out_actual_bytes))
+            .map(|mb| eng.gmem.lease_output(job.0, mb.work.out_actual_bytes))
             .collect();
         let mut items: Vec<(u64, DevBufId, &mut HBuffer)> = logicals
             .iter()
             .zip(&fl.members)
             .zip(outs.iter_mut())
-            .map(|((&l, mb), h)| (l, mb.out_dev, h))
+            .map(|((&l, mb), h)| (l, mb.out_dev, &mut **h))
             .collect();
         let copied = eng.gmem.gpu_mut(gpu).copy_d2h_batch(t, &mut items);
         drop(items);
@@ -550,6 +565,7 @@ impl GStreamManager {
             eng.gmem.reclaim(
                 &mut session.regions[gpu],
                 gpu,
+                mb.dev_inputs,
                 mb.transient,
                 mb.pinned,
                 Some(mb.out_dev),
@@ -580,14 +596,14 @@ impl GStreamManager {
     ) {
         let hung = self
             .fused_in_flight
-            .get(&id)
+            .get(id)
             .map(|fl| fl.hung)
             .unwrap_or(false);
         if !hung {
             // Completed normally, or already recovered by device loss.
             return;
         }
-        let fl = self.fused_in_flight.remove(&id).expect("checked above");
+        let fl = self.fused_in_flight.remove(id).expect("checked above");
         {
             let session = eng.sessions.get_mut(&fl.job).expect("session open");
             eng.recovery.note_hang_detected(session);
@@ -614,6 +630,7 @@ impl GStreamManager {
             eng.gmem.reclaim(
                 &mut session.regions[gpu],
                 gpu,
+                mb.dev_inputs,
                 mb.transient,
                 mb.pinned,
                 Some(mb.out_dev),

@@ -29,8 +29,8 @@ use crate::session::JobId;
 use gflink_flink::dataset::RawPart;
 use gflink_flink::graph::{PhaseKind, PhaseRecord};
 use gflink_flink::{DataSet, FlinkEnv, GpuLane, GpuWorkSample, JobReport, SharedCluster};
-use gflink_gpu::{KernelArgs, KernelProfile, KernelRegistry};
-use gflink_memory::{DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
+use gflink_gpu::{KernelArgs, KernelId, KernelProfile, KernelRegistry};
+use gflink_memory::{ArenaBuf, DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
 use gflink_sim::{MembershipPlan, Phase, SimTime, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -87,12 +87,16 @@ pub struct ExtraInput {
 /// `gpuMapBlock` implementation, Algorithm 3.1).
 #[derive(Clone)]
 pub struct GpuMapSpec {
-    /// Kernel `executeName` in the fabric registry.
-    pub kernel: String,
+    /// Kernel `executeName` in the fabric registry. Shared (`Arc`) so the
+    /// per-block producer clones a pointer, not a string.
+    pub kernel: Arc<str>,
+    /// Interned dispatch id for `kernel`, set by [`GpuMapSpec::build`];
+    /// `KernelId::UNRESOLVED` until then.
+    pub kernel_id: KernelId,
     /// Cosmetic `.ptx` provenance.
-    pub ptx_path: String,
-    /// Scalar kernel parameters.
-    pub params: Vec<f64>,
+    pub ptx_path: Arc<str>,
+    /// Scalar kernel parameters, shared across blocks.
+    pub params: Arc<[f64]>,
     /// Mark the input blocks `Cache` (§4.2.2) — essential for iterative
     /// workloads.
     pub cache_input: bool,
@@ -112,9 +116,10 @@ impl GpuMapSpec {
     /// A spec with defaults: cached input, per-record output, 256 threads.
     pub fn new(kernel: &str) -> Self {
         GpuMapSpec {
-            kernel: kernel.to_string(),
-            ptx_path: format!("/{kernel}.ptx"),
-            params: Vec::new(),
+            kernel: kernel.into(),
+            kernel_id: KernelId::UNRESOLVED,
+            ptx_path: format!("/{kernel}.ptx").into(),
+            params: Arc::from([]),
             cache_input: true,
             out_mode: OutMode::PerRecord,
             out_scale: None,
@@ -125,7 +130,7 @@ impl GpuMapSpec {
 
     /// Set scalar parameters.
     pub fn with_params(mut self, params: Vec<f64>) -> Self {
-        self.params = params;
+        self.params = params.into();
         self
     }
 
@@ -178,10 +183,17 @@ impl GpuMapSpec {
     /// inside dispatch with `KernelMissing` and burn its whole retry
     /// budget), and an attached extra input must carry non-degenerate byte
     /// accounting (zero logical or actual bytes silently models an empty
-    /// transfer). Returns the spec unchanged on success.
-    pub fn build(self, fabric: &GpuFabric) -> Result<GpuMapSpec, SpecError> {
-        if !fabric.registry.lock().contains(&self.kernel) {
-            return Err(SpecError::UnregisteredKernel { name: self.kernel });
+    /// transfer). On success, returns the spec with the kernel name
+    /// interned to its dispatch [`KernelId`] — blocks built from the spec
+    /// never hash the `executeName` again.
+    pub fn build(mut self, fabric: &GpuFabric) -> Result<GpuMapSpec, SpecError> {
+        match fabric.registry.lock().resolve(&self.kernel) {
+            Some(id) => self.kernel_id = id,
+            None => {
+                return Err(SpecError::UnregisteredKernel {
+                    name: self.kernel.to_string(),
+                })
+            }
         }
         if let Some(extra) = &self.extra_input {
             if extra.data.is_empty() || extra.logical_bytes == 0 {
@@ -267,7 +279,9 @@ impl Default for FabricConfig {
 pub struct GpuFabric {
     managers: Arc<Mutex<Vec<GpuManager>>>,
     registry: Arc<Mutex<KernelRegistry>>,
-    cfg: FabricConfig,
+    /// Shared, immutable after construction: per-operator and per-manager
+    /// paths clone the `Arc`, not the config.
+    cfg: Arc<FabricConfig>,
     next_dataset: Arc<AtomicU64>,
     next_job: Arc<AtomicU64>,
     live_jobs: Arc<Mutex<BTreeSet<JobId>>>,
@@ -279,10 +293,14 @@ impl GpuFabric {
     /// Build the fabric for `num_workers` workers.
     pub fn new(num_workers: usize, cfg: FabricConfig) -> Self {
         let registry = Arc::new(Mutex::new(KernelRegistry::new()));
+        // One shared worker config for every manager (the old path cloned
+        // the whole config per worker).
+        let worker_cfg = Arc::new(cfg.worker.clone());
         let managers = (0..num_workers)
-            .map(|w| GpuManager::new(w, cfg.worker.clone(), Arc::clone(&registry)))
+            .map(|w| GpuManager::new(w, Arc::clone(&worker_cfg), Arc::clone(&registry)))
             .collect();
         let ckpt = Arc::new(Mutex::new(CheckpointManager::new(cfg.checkpoint.clone())));
+        let cfg = Arc::new(cfg);
         GpuFabric {
             managers: Arc::new(Mutex::new(managers)),
             registry,
@@ -318,7 +336,7 @@ impl GpuFabric {
     /// Register a kernel under `name` (the analogue of deploying a `.ptx`).
     pub fn register_kernel<F>(&self, name: &str, f: F)
     where
-        F: Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync + 'static,
+        F: Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync + 'static,
     {
         self.registry.lock().register(name, f);
     }
@@ -717,7 +735,7 @@ impl<T: GRecord> GDataSet<T> {
         let def = T::def();
         let out_def = U::def();
         let flink = &self.env.flink;
-        let fabric_cfg = self.env.fabric.cfg.clone();
+        let fabric_cfg = Arc::clone(&self.env.fabric.cfg);
         let sched = flink.schedule_phase();
         let cluster = flink.cluster();
         let job = self.env.handle.id();
@@ -769,7 +787,9 @@ impl<T: GRecord> GDataSet<T> {
         }
 
         // Producer side: each partition's pinned slot assembles one GWork
-        // per block and submits it to the worker's GpuManager.
+        // per block and submits it to the worker's GpuManager. The
+        // operator name is interned once; every block shares it.
+        let op_name: Arc<str> = name.into();
         self.env.fabric.with_managers(|managers| {
             for (p, part) in self.ds.raw_parts().iter().enumerate() {
                 let n_act = part.data.len();
@@ -854,16 +874,17 @@ impl<T: GRecord> GDataSet<T> {
                         }
                     };
                     let work = GWork {
-                        name: name.to_string(),
-                        execute_name: spec.kernel.clone(),
-                        ptx_path: spec.ptx_path.clone(),
+                        name: Arc::clone(&op_name),
+                        execute_name: Arc::clone(&spec.kernel),
+                        kernel: spec.kernel_id,
+                        ptx_path: Arc::clone(&spec.ptx_path),
                         block_size: spec.block_size,
                         grid_size: (block_logical_elems as u32).div_ceil(spec.block_size.max(1)),
                         inputs,
                         out_actual_bytes,
                         out_logical_bytes,
                         out_records: out_rows,
-                        params: spec.params.clone(),
+                        params: Arc::clone(&spec.params),
                         n_actual: rows,
                         n_logical: block_logical_elems,
                         coalescing,
@@ -885,7 +906,7 @@ impl<T: GRecord> GDataSet<T> {
 
         // Consumer side: drain every worker's GpuManager.
         #[allow(clippy::type_complexity)]
-        let mut per_part_blocks: Vec<Vec<(u32, HBuffer, Option<usize>, SimTime)>> =
+        let mut per_part_blocks: Vec<Vec<(u32, ArenaBuf, Option<usize>, SimTime)>> =
             (0..self.ds.num_partitions()).map(|_| Vec::new()).collect();
         let mut kernel_sum = SimTime::ZERO;
         let mut h2d_sum = SimTime::ZERO;
@@ -950,7 +971,7 @@ impl<T: GRecord> GDataSet<T> {
                 wall_end = wall_end.max(rs.ready_at);
                 per_part_blocks[blk.tag.0 as usize].push((
                     blk.tag.1,
-                    HBuffer::from_bytes(&blk.payload),
+                    ArenaBuf::detached(HBuffer::from_bytes(&blk.payload)),
                     blk.emitted,
                     rs.ready_at,
                 ));
@@ -1118,7 +1139,7 @@ mod tests {
         }
     }
 
-    fn add_point_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+    fn add_point_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
         // The paper's addPoint: out.x = in.x + dx, out.y = in.y + dy.
         let def = Point::def();
         let n = args.n_actual;
@@ -1153,7 +1174,7 @@ mod tests {
                 y: -(i as f32),
             })
             .collect();
-        let ds = env.flink.parallelize("pts", pts.clone(), 4, 1000.0);
+        let ds = env.flink.parallelize("pts", pts, 4, 1000.0);
         let gdst = env.to_gdst(ds, DataLayout::Aos);
         let spec = GpuMapSpec::new("cudaAddPoint").with_params(vec![1.0, 2.0]);
         let out = gdst.gpu_map_partition::<Point>("addPoint", &spec);
@@ -1277,7 +1298,7 @@ mod tests {
     fn per_block_output_mode_aggregates() {
         let (cluster, fabric) = setup(1);
         // A kernel producing one summary Point per block.
-        fabric.register_kernel("blocksum", |args: &mut KernelArgs<'_>| {
+        fabric.register_kernel("blocksum", |args: &mut KernelArgs<'_, '_>| {
             let def = Point::def();
             let n = args.n_actual;
             let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
@@ -1310,7 +1331,7 @@ mod tests {
     #[test]
     fn soa_layout_roundtrips_through_gpu() {
         let (cluster, fabric) = setup(1);
-        fabric.register_kernel("soaAdd", |args: &mut KernelArgs<'_>| {
+        fabric.register_kernel("soaAdd", |args: &mut KernelArgs<'_, '_>| {
             let def = Point::def();
             let n = args.n_actual;
             let reader = RecordReader::new(args.inputs[0], &def, DataLayout::Soa, n);

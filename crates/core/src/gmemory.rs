@@ -22,7 +22,7 @@ use crate::recovery::ManagerError;
 use gflink_gpu::{
     DevBufId, DeviceError, DeviceMemoryOps, DmemError, GpuModel, TransferMode, VirtualGpu,
 };
-use gflink_memory::{HBuffer, PinnedLease, PinnedPool, PinnedStats};
+use gflink_memory::{ArenaBuf, BufferArena, HBuffer, PinnedLease, PinnedPool, PinnedStats};
 use gflink_sim::trace::{gpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{SimTime, Tracer};
 
@@ -87,6 +87,10 @@ pub(crate) fn pro_rata(dur: SimTime, logical: u64, total: u64) -> SimTime {
     SimTime::from_nanos((dur.as_nanos() as u128 * logical as u128 / total as u128) as u64)
 }
 
+/// Soft budget of pooled idle result bytes. Output blocks are a few KiB at
+/// harness scale; the budget only matters as a leak backstop.
+const RESULT_ARENA_SOFT_BYTES: u64 = 256 << 20;
+
 /// The device-memory half of the per-worker GPU manager.
 pub struct GMemoryManager {
     gpus: Vec<VirtualGpu>,
@@ -98,6 +102,16 @@ pub struct GMemoryManager {
     /// Reusable page-locked host staging buffers (§4.1.2: registration is
     /// paid once, recycled for the life of the worker).
     pinned_pool: PinnedPool,
+    /// Reusable host *result* buffers: every flight's D2H lands in an
+    /// arena lease instead of a fresh allocation (ISSUE 7). Recycling is
+    /// exact-size and zero-on-hit, so digests cannot observe it.
+    arena: BufferArena,
+    /// Recycled flight-bookkeeping `Vec` allocations (ISSUE 7): the
+    /// device-input, transient, pin, and staging lists of every flight
+    /// cycle through these pools instead of the host allocator.
+    dev_vecs: Vec<Vec<DevBufId>>,
+    key_vecs: Vec<Vec<CacheKey>>,
+    lease_vecs: Vec<Vec<PinnedLease>>,
     /// Host-side staging behaviour of the transfer channel.
     mode: TransferMode,
     /// Page-locking throughput (bytes/s) charged on a pool miss; `0.0`
@@ -136,6 +150,10 @@ impl GMemoryManager {
             cache_policy,
             retired_stats: vec![(0, 0, 0); n],
             pinned_pool: PinnedPool::new(transfer.pinned_pool_bytes),
+            arena: BufferArena::new(RESULT_ARENA_SOFT_BYTES),
+            dev_vecs: Vec::new(),
+            key_vecs: Vec::new(),
+            lease_vecs: Vec::new(),
             mode: transfer.mode,
             register_bps: transfer.register_bytes_per_sec,
             tracer: Tracer::disabled(),
@@ -436,16 +454,54 @@ impl GMemoryManager {
     }
 
     /// Return staging leases to the pinned pool for recycling (the copies
-    /// they backed have landed).
-    pub(crate) fn release_staging(&mut self, leases: Vec<PinnedLease>) {
-        for lease in leases {
+    /// they backed have landed). The list's own allocation is recycled too.
+    pub(crate) fn release_staging(&mut self, mut leases: Vec<PinnedLease>) {
+        for lease in leases.drain(..) {
             self.pinned_pool.release(lease);
         }
+        self.lease_vecs.push(leases);
+    }
+
+    fn take_dev_vec(&mut self) -> Vec<DevBufId> {
+        self.dev_vecs.pop().unwrap_or_default()
+    }
+
+    fn take_key_vec(&mut self) -> Vec<CacheKey> {
+        self.key_vecs.pop().unwrap_or_default()
+    }
+
+    fn take_lease_vec(&mut self) -> Vec<PinnedLease> {
+        self.lease_vecs.pop().unwrap_or_default()
+    }
+
+    fn put_dev_vec(&mut self, mut v: Vec<DevBufId>) {
+        v.clear();
+        self.dev_vecs.push(v);
+    }
+
+    fn put_key_vec(&mut self, mut v: Vec<CacheKey>) {
+        v.clear();
+        self.key_vecs.push(v);
     }
 
     /// Drop a departing job's pinned-pool accounting.
     pub(crate) fn retire_pool_owner(&mut self, owner: u64) {
         self.pinned_pool.retire_owner(owner);
+        self.arena.retire_owner(owner);
+    }
+
+    /// Lease a zeroed host result buffer for `owner` (a job id) from the
+    /// shared arena — the hot-path replacement for a per-flight
+    /// `HBuffer::zeroed`; in steady state the buffer is recycled from an
+    /// earlier flight of the same output size.
+    pub(crate) fn lease_output(&self, owner: u64, len: usize) -> ArenaBuf {
+        self.arena.acquire(owner, len)
+    }
+
+    /// The shared result-buffer arena (hit-rate and exact-bytes teardown
+    /// diagnostics).
+    pub fn result_arena(&self) -> &BufferArena {
+        &self.arena
     }
 
     /// Whole-worker pinned staging-pool accounting.
@@ -484,10 +540,10 @@ impl GMemoryManager {
         timing: &mut WorkTiming,
     ) -> StagedInputs {
         let mut staged = StagedInputs {
-            dev_inputs: Vec::with_capacity(work.inputs.len()),
-            transient: Vec::new(),
-            pinned: Vec::new(),
-            staging: Vec::new(),
+            dev_inputs: self.take_dev_vec(),
+            transient: self.take_dev_vec(),
+            pinned: self.take_key_vec(),
+            staging: self.take_lease_vec(),
             h2d_start: None,
             kernel_earliest: t,
             failure: None,
@@ -589,7 +645,7 @@ impl GMemoryManager {
     ) -> FusedStaged {
         let mut staged = FusedStaged {
             members: Vec::with_capacity(works.len()),
-            staging: Vec::new(),
+            staging: self.take_lease_vec(),
             h2d_start: None,
             kernel_earliest: t,
             upload_calls: 0,
@@ -606,9 +662,9 @@ impl GMemoryManager {
         let mut reg_total = SimTime::ZERO;
         'members: for (m, work) in works.iter().enumerate() {
             let mut member = StagedMember {
-                dev_inputs: Vec::with_capacity(work.inputs.len()),
-                transient: Vec::new(),
-                pinned: Vec::new(),
+                dev_inputs: self.take_dev_vec(),
+                transient: self.take_dev_vec(),
+                pinned: self.take_key_vec(),
             };
             for (j, inbuf) in work.inputs.iter().enumerate() {
                 if let Some(dev) = inbuf.cache_key.and_then(|key| region.lookup(key)) {
@@ -717,23 +773,29 @@ impl GMemoryManager {
     /// Release a recovered or finished flight's device buffers and cache
     /// pins (automatic deallocation, §4.2.1). A `None` `out_dev` means the
     /// output was never allocated. No-ops harmlessly after device loss
-    /// (handles are dead, pins were cleared).
+    /// (handles are dead, pins were cleared). The flight's bookkeeping
+    /// `Vec`s — including the input-handle list, whose buffers are either
+    /// transient or cache-owned — go back to the pools for the next flight.
     pub(crate) fn reclaim(
         &mut self,
         region: &mut GpuCache,
         gpu: usize,
-        transient: Vec<DevBufId>,
-        pinned: Vec<CacheKey>,
+        dev_inputs: Vec<DevBufId>,
+        mut transient: Vec<DevBufId>,
+        mut pinned: Vec<CacheKey>,
         out_dev: Option<DevBufId>,
     ) {
-        for d in transient {
+        for d in transient.drain(..) {
             let _ = self.dmem(gpu).release(d);
         }
-        for key in pinned {
+        for key in pinned.drain(..) {
             region.unpin(key);
         }
         if let Some(dev) = out_dev {
             let _ = self.dmem(gpu).release(dev);
         }
+        self.put_dev_vec(dev_inputs);
+        self.put_dev_vec(transient);
+        self.put_key_vec(pinned);
     }
 }

@@ -29,7 +29,7 @@ use crate::recovery::{FailReason, ManagerError, RecoveryManager};
 use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DevBufId, GpuModel, KernelRegistry};
-use gflink_memory::{HBuffer, PinnedLease};
+use gflink_memory::PinnedLease;
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{EventQueue, FaultKind, MembershipKind, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
@@ -38,8 +38,19 @@ use std::sync::Arc;
 
 /// The event vocabulary of one drain.
 pub(crate) enum Ev {
-    /// (owning job, original submit instant, retry count, work).
-    Submit(Box<(JobId, SimTime, u32, GWork)>),
+    /// A work enters Alg. 5.1 placement. Stored inline: the slab-backed
+    /// [`EventQueue`] keeps payloads out of its heap, so boxing here would
+    /// only add a pointer chase per submission.
+    Submit {
+        /// Owning job.
+        job: JobId,
+        /// Original submit instant (queueing-delay reporting).
+        submitted: SimTime,
+        /// Retry count so far.
+        retries: u32,
+        /// The work itself.
+        work: GWork,
+    },
     /// A stream came free; run Alg. 5.2.
     StreamFree {
         /// Device index.
@@ -74,6 +85,19 @@ pub(crate) enum Ev {
     Membership(MembershipKind),
 }
 
+impl Ev {
+    /// Build a [`Ev::Submit`] — every (re-)submission path funnels through
+    /// here so call sites stay one line.
+    pub(crate) fn submit(job: JobId, submitted: SimTime, retries: u32, work: GWork) -> Ev {
+        Ev::Submit {
+            job,
+            submitted,
+            retries,
+            work,
+        }
+    }
+}
+
 /// A parked work in a GPU's FIFO queue, with its owning job, original
 /// submit instant (for queueing-delay reporting) and retry count.
 pub(crate) struct QueuedWork {
@@ -83,8 +107,93 @@ pub(crate) struct QueuedWork {
     pub(crate) work: GWork,
 }
 
+/// Generation-tagged slab of flights keyed by the packed ids that ride in
+/// pipeline-stage events: `(gen << 32) | slot`. A stage event that fires
+/// after its flight was recovered (device loss) carries a stale generation
+/// and misses cleanly — exactly the semantics the old `HashMap<u64, _>`
+/// gave via never-reused keys, but lookups are now an array index with no
+/// hashing on the per-work hot path (ISSUE 7).
+pub(crate) struct FlightTable<T> {
+    slots: Vec<(u32, Option<T>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> FlightTable<T> {
+    pub(crate) fn new() -> Self {
+        FlightTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Park a flight, minting its event id. Re-inserting after a `remove`
+    /// mints a *new* id (the slot's generation advanced), so events armed
+    /// against the old id stay dead.
+    pub(crate) fn insert(&mut self, v: T) -> u64 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let e = &mut self.slots[slot as usize];
+                e.1 = Some(v);
+                ((e.0 as u64) << 32) | slot as u64
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("flight table overflow");
+                self.slots.push((0, Some(v)));
+                slot as u64
+            }
+        }
+    }
+
+    /// Take a flight out; `None` when the id's generation is stale (the
+    /// flight was already recovered) — callers treat that as "event no
+    /// longer applies".
+    pub(crate) fn remove(&mut self, id: u64) -> Option<T> {
+        let (slot, gen) = ((id & u32::MAX as u64) as usize, (id >> 32) as u32);
+        let e = self.slots.get_mut(slot)?;
+        if e.0 != gen {
+            return None;
+        }
+        let v = e.1.take()?;
+        e.0 = e.0.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(v)
+    }
+
+    /// Peek at a live flight (stale ids miss).
+    pub(crate) fn get(&self, id: u64) -> Option<&T> {
+        let (slot, gen) = ((id & u32::MAX as u64) as usize, (id >> 32) as u32);
+        let e = self.slots.get(slot)?;
+        if e.0 != gen {
+            return None;
+        }
+        e.1.as_ref()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Live flights with their current ids, in slot order. Callers that
+    /// need a deterministic *creation* order (device-loss recovery) sort by
+    /// the flights' own monotonic `seq`, not by id — slots are reused.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (g, v))| v.as_ref().map(|v| (((*g as u64) << 32) | i as u64, v)))
+    }
+}
+
 /// Per-work state carried between pipeline-stage events.
 struct InFlight {
+    /// Monotonic creation stamp: device-loss recovery re-submits flights in
+    /// `seq` order so the recovered event sequence is bit-identical to the
+    /// pre-slab (never-reused-id) behaviour.
+    seq: u64,
     job: JobId,
     work: GWork,
     retries: u32,
@@ -129,7 +238,7 @@ pub struct GStreamManager {
     rr_counter: usize,
     steals: u64,
     pub(crate) executed_per_gpu: Vec<u64>,
-    in_flight: std::collections::HashMap<u64, InFlight>,
+    in_flight: FlightTable<InFlight>,
     pub(crate) next_flight: u64,
     /// Small-GWork transfer batching policy.
     pub(crate) batch_cfg: BatchConfig,
@@ -141,7 +250,7 @@ pub struct GStreamManager {
     pub(crate) batch_epoch: u64,
     /// Fused flights, keyed like `in_flight` but driven by the Fused*
     /// events.
-    pub(crate) fused_in_flight: std::collections::HashMap<u64, FusedFlight>,
+    pub(crate) fused_in_flight: FlightTable<FusedFlight>,
     /// Fused batches dispatched.
     pub(crate) fused_batches: u64,
     /// Works that travelled inside fused batches.
@@ -168,12 +277,12 @@ impl GStreamManager {
             rr_counter: 0,
             steals: 0,
             executed_per_gpu: vec![0; n_gpus],
-            in_flight: std::collections::HashMap::new(),
+            in_flight: FlightTable::new(),
             next_flight: 1,
             batch_cfg,
             batchers: (0..n_gpus).map(|_| None).collect(),
             batch_epoch: 0,
-            fused_in_flight: std::collections::HashMap::new(),
+            fused_in_flight: FlightTable::new(),
             fused_batches: 0,
             fused_works: 0,
             alpha_saved: SimTime::ZERO,
@@ -321,12 +430,20 @@ impl GStreamManager {
         &mut self,
         eng: &mut Engine<'_>,
         job: JobId,
-        work: GWork,
+        mut work: GWork,
         submitted: SimTime,
         retries: u32,
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        // Intern the kernel name once at submission: spec-built works
+        // arrive pre-resolved; hand-built ones resolve here. Every later
+        // stage dispatches by id (an array index, no string hashing).
+        if !work.kernel.is_resolved() {
+            if let Some(id) = eng.registry.lock().resolve(&work.execute_name) {
+                work.kernel = id;
+            }
+        }
         if eng.gmem.usable_gpus() == 0 {
             let session = eng.sessions.get_mut(&job).expect("session open");
             eng.recovery.run_on_cpu_or_fail(
@@ -499,12 +616,7 @@ impl GStreamManager {
                 }
                 q.schedule(
                     t,
-                    Ev::Submit(Box::new((
-                        parked.job(),
-                        penned.submitted,
-                        penned.retries,
-                        penned.work,
-                    ))),
+                    Ev::submit(parked.job(), penned.submitted, penned.retries, penned.work),
                 );
             }
             if stolen {
@@ -598,8 +710,14 @@ impl GStreamManager {
             // Unwind the partial placement; the stream was never occupied.
             eng.gmem.release_staging(staging);
             let session = eng.sessions.get_mut(&job).expect("session open");
-            eng.gmem
-                .reclaim(&mut session.regions[gpu], gpu, transient, pinned, None);
+            eng.gmem.reclaim(
+                &mut session.regions[gpu],
+                gpu,
+                dev_inputs,
+                transient,
+                pinned,
+                None,
+            );
             eng.recovery.retry_or_fail(
                 session,
                 job,
@@ -615,9 +733,10 @@ impl GStreamManager {
         let out_dev = out_dev.expect("checked by failure branch");
         // Occupy the stream until the final stage completes.
         self.stream_busy_until[gpu][stream] = SimTime::MAX;
-        let id = self.next_flight;
+        let seq = self.next_flight;
         self.next_flight += 1;
         let fl = InFlight {
+            seq,
             job,
             work,
             retries,
@@ -637,7 +756,7 @@ impl GStreamManager {
         if let Some(start) = h2d_start {
             self.trace_stage(&fl, "h2d", start, kernel_earliest);
         }
-        self.in_flight.insert(id, fl);
+        let id = self.in_flight.insert(fl);
         q.schedule(kernel_earliest, Ev::KernelStage(id));
     }
 
@@ -649,18 +768,18 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
+        let Some(mut fl) = self.in_flight.remove(id) else {
             // The flight was recovered (device loss) before this fired.
             return;
         };
         // The H2D has landed: the staging buffers go back to the pool.
         eng.gmem.release_staging(std::mem::take(&mut fl.staging));
-        let kernel = eng.registry.lock().get(&fl.work.execute_name);
+        let kernel = eng.registry.lock().get_by_id(fl.work.kernel).cloned();
         let kernel = match kernel {
             Some(k) => k,
             None => {
                 let err = ManagerError::KernelMissing {
-                    name: fl.work.execute_name.clone(),
+                    name: fl.work.execute_name.to_string(),
                 };
                 self.recover_flight(eng, fl, t, t, FailReason::Fatal(err), q);
                 return;
@@ -709,7 +828,7 @@ impl GStreamManager {
                 t.as_nanos()
                     .saturating_add(eng.recovery.hang_timeout().as_nanos()),
             );
-            self.in_flight.insert(id, fl);
+            let id = self.in_flight.insert(fl);
             q.schedule(deadline, Ev::HangCheck(id));
             return;
         }
@@ -740,7 +859,7 @@ impl GStreamManager {
             self.recover_flight(eng, fl, end, end.max(t), FailReason::RetriesExhausted, q);
             return;
         }
-        self.in_flight.insert(id, fl);
+        let id = self.in_flight.insert(fl);
         q.schedule(end, Ev::D2hStage(id));
     }
 
@@ -752,7 +871,7 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
+        let Some(mut fl) = self.in_flight.remove(id) else {
             // The flight was recovered (device loss) before this fired.
             return;
         };
@@ -765,7 +884,7 @@ impl GStreamManager {
             }
             None => fl.work.out_logical_bytes,
         };
-        let mut out_host = HBuffer::zeroed(fl.work.out_actual_bytes);
+        let mut out_host = eng.gmem.lease_output(fl.job.0, fl.work.out_actual_bytes);
         let rd2h =
             match eng
                 .gmem
@@ -797,6 +916,7 @@ impl GStreamManager {
         eng.gmem.reclaim(
             &mut session.regions[fl.gpu],
             fl.gpu,
+            fl.dev_inputs,
             fl.transient,
             fl.pinned,
             Some(fl.out_dev),
@@ -893,17 +1013,18 @@ impl GStreamManager {
         for s in 0..self.streams_per_gpu {
             self.stream_busy_until[gpu][s] = SimTime::MAX;
         }
-        // Recover in-flight works. Sorted ids keep event order (and
-        // thus the timeline) independent of HashMap iteration order.
-        let mut ids: Vec<u64> = self
+        // Recover in-flight works in creation (`seq`) order so the
+        // re-submit event sequence — and thus the timeline — matches the
+        // pre-slab behaviour exactly (slot ids are reused; seqs are not).
+        let mut ids: Vec<(u64, u64)> = self
             .in_flight
             .iter()
             .filter(|(_, fl)| fl.gpu == gpu)
-            .map(|(&id, _)| id)
+            .map(|(id, fl)| (fl.seq, id))
             .collect();
         ids.sort_unstable();
-        for id in ids {
-            let mut fl = self.in_flight.remove(&id).expect("id collected above");
+        for (_, id) in ids {
+            let mut fl = self.in_flight.remove(id).expect("id collected above");
             // Device buffers died with the device; nothing to
             // reclaim. Host-side staging leases survive and go back
             // to the pool. Loss is not the work's fault: it
@@ -914,32 +1035,26 @@ impl GStreamManager {
             eng.recovery.note_retry(session);
             q.schedule(
                 t,
-                Ev::Submit(Box::new((fl.job, fl.timing.submitted, fl.retries, fl.work))),
+                Ev::submit(fl.job, fl.timing.submitted, fl.retries, fl.work),
             );
         }
         // Fused flights on the dead device recover the same way,
         // member by member.
-        let mut fids: Vec<u64> = self
+        let mut fids: Vec<(u64, u64)> = self
             .fused_in_flight
             .iter()
             .filter(|(_, fl)| fl.gpu == gpu)
-            .map(|(&id, _)| id)
+            .map(|(id, fl)| (fl.seq, id))
             .collect();
         fids.sort_unstable();
-        for id in fids {
-            let mut fl = self
-                .fused_in_flight
-                .remove(&id)
-                .expect("id collected above");
+        for (_, id) in fids {
+            let mut fl = self.fused_in_flight.remove(id).expect("id collected above");
             eng.gmem.release_staging(std::mem::take(&mut fl.staging));
             let job = fl.job;
             for mb in fl.members {
                 let session = eng.sessions.get_mut(&job).expect("session open");
                 eng.recovery.note_retry(session);
-                q.schedule(
-                    t,
-                    Ev::Submit(Box::new((job, mb.timing.submitted, mb.retries, mb.work))),
-                );
+                q.schedule(t, Ev::submit(job, mb.timing.submitted, mb.retries, mb.work));
             }
         }
         // Drain the dead device's queue — and its accumulating
@@ -952,10 +1067,7 @@ impl GStreamManager {
             for qw in parked.into_members() {
                 let session = eng.sessions.get_mut(&qw.job).expect("session open");
                 eng.recovery.note_steal_on_drain(session);
-                q.schedule(
-                    t,
-                    Ev::Submit(Box::new((qw.job, qw.submitted, qw.retries, qw.work))),
-                );
+                q.schedule(t, Ev::submit(qw.job, qw.submitted, qw.retries, qw.work));
             }
         }
     }
@@ -1055,10 +1167,7 @@ impl GStreamManager {
             if let Some(session) = eng.sessions.get_mut(&job) {
                 session.park_delay += t.saturating_sub(p.arrived);
             }
-            q.schedule(
-                t,
-                Ev::Submit(Box::new((job, p.submitted, p.retries, p.work))),
-            );
+            q.schedule(t, Ev::submit(job, p.submitted, p.retries, p.work));
         }
         true
     }
@@ -1072,12 +1181,12 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
-        let hung = self.in_flight.get(&id).map(|fl| fl.hung).unwrap_or(false);
+        let hung = self.in_flight.get(id).map(|fl| fl.hung).unwrap_or(false);
         if !hung {
             // Completed normally, or already recovered by device loss.
             return;
         }
-        let fl = self.in_flight.remove(&id).expect("checked above");
+        let fl = self.in_flight.remove(id).expect("checked above");
         {
             let session = eng.sessions.get_mut(&fl.job).expect("session open");
             eng.recovery.note_hang_detected(session);
@@ -1102,8 +1211,9 @@ impl GStreamManager {
         eng.gmem.reclaim(
             &mut session.regions[fl.gpu],
             fl.gpu,
-            fl.transient,
-            fl.pinned,
+            std::mem::take(&mut fl.dev_inputs),
+            std::mem::take(&mut fl.transient),
+            std::mem::take(&mut fl.pinned),
             Some(fl.out_dev),
         );
         self.stream_busy_until[fl.gpu][fl.stream] = stream_free_at;

@@ -7,7 +7,8 @@
 //! GStreamManager consumes it and returns a [`CompletedWork`] carrying the
 //! output buffer and the per-stage [`WorkTiming`].
 
-use gflink_memory::HBuffer;
+use gflink_gpu::KernelId;
+use gflink_memory::{ArenaBuf, HBuffer};
 use gflink_sim::SimTime;
 use std::sync::Arc;
 
@@ -56,15 +57,25 @@ impl WorkBuf {
 }
 
 /// A unit of GPU work (the paper's `GWork`).
+///
+/// The per-block producer clones one of these per block, so every field a
+/// spec shares across blocks is reference-counted (`Arc<str>` names,
+/// `Arc<[f64]>` params, an interned [`KernelId`]) — cloning a `GWork` in
+/// steady state allocates only the `inputs` vector.
 #[derive(Clone)]
 pub struct GWork {
-    /// Human-readable name for reports (e.g. `"kmeans-assign"`).
-    pub name: String,
+    /// Human-readable name for reports (e.g. `"kmeans-assign"`). Shared
+    /// across the blocks of an operator.
+    pub name: Arc<str>,
     /// Kernel name resolved against the registry (the paper's
     /// `executeName`, e.g. `"cudaAddPoint"`).
-    pub execute_name: String,
+    pub execute_name: Arc<str>,
+    /// Interned dispatch id for `execute_name`. `KernelId::UNRESOLVED`
+    /// works are interned once at submission; spec-built works arrive
+    /// pre-resolved.
+    pub kernel: KernelId,
     /// Cosmetic provenance, mirroring `sWork.ptxPath` in Algorithm 3.1.
-    pub ptx_path: String,
+    pub ptx_path: Arc<str>,
     /// CUDA launch geometry (informational; the cost model works from the
     /// kernel's reported profile).
     pub block_size: u32,
@@ -79,8 +90,8 @@ pub struct GWork {
     pub out_logical_bytes: u64,
     /// Output capacity in records (denominator for `emitted` scaling).
     pub out_records: usize,
-    /// Scalar kernel parameters.
-    pub params: Vec<f64>,
+    /// Scalar kernel parameters. Shared across the blocks of an operator.
+    pub params: Arc<[f64]>,
     /// Actual elements in the input block.
     pub n_actual: usize,
     /// Logical elements the block represents.
@@ -160,16 +171,18 @@ impl WorkTiming {
 
 /// A finished `GWork`: the output buffer plus where/when it ran.
 pub struct CompletedWork {
-    /// The originating work's name.
-    pub name: String,
+    /// The originating work's name (shared, not cloned per completion).
+    pub name: Arc<str>,
     /// The originating work's tag (partition, block).
     pub tag: (u32, u32),
     /// GPU index (within the worker) that executed it.
     pub gpu: usize,
     /// Stream index (within the GPU bulk) that carried it.
     pub stream: usize,
-    /// Output buffer with real results.
-    pub output: HBuffer,
+    /// Output buffer with real results, leased from the fabric's
+    /// [`gflink_memory::BufferArena`] — dropping the completion returns
+    /// the buffer for the next flight to reuse.
+    pub output: ArenaBuf,
     /// Valid output records when the kernel declared a data-dependent
     /// count; `None` means full capacity.
     pub emitted: Option<usize>,
@@ -197,6 +210,7 @@ mod tests {
         GWork {
             name: "w".into(),
             execute_name: "k".into(),
+            kernel: KernelId::UNRESOLVED,
             ptx_path: "/k.ptx".into(),
             block_size: 256,
             grid_size: 1,
@@ -204,7 +218,7 @@ mod tests {
             out_actual_bytes: 16,
             out_logical_bytes: 1024,
             out_records: 4,
-            params: vec![],
+            params: Arc::from([]),
             n_actual: 4,
             n_logical: 4000,
             coalescing: 1.0,

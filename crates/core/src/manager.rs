@@ -36,11 +36,10 @@ use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::RecoveryManager;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{KernelRegistry, VirtualGpu};
-use gflink_memory::PinnedStats;
+use gflink_memory::{BufferArena, PinnedStats};
 use gflink_sim::{EventQueue, FaultLedger, FaultPlan, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::{collections::BTreeMap, sync::Arc};
 
 pub use crate::config::{BatchConfig, GpuWorkerConfig, TransferConfig};
 pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU_FALLBACK_GPU};
@@ -49,7 +48,7 @@ pub use crate::recovery::{CpuFallback, FailReason, FailedWork, ManagerError, CPU
 /// recovery layers, with one [`JobSession`] per open job.
 pub struct GpuManager {
     pub(crate) worker_id: usize,
-    pub(crate) cfg: GpuWorkerConfig,
+    pub(crate) cfg: Arc<GpuWorkerConfig>,
     pub(crate) gmem: GMemoryManager,
     pub(crate) gstream: GStreamManager,
     pub(crate) recovery: RecoveryManager,
@@ -62,9 +61,10 @@ impl GpuManager {
     /// Build the manager for worker `worker_id`.
     pub fn new(
         worker_id: usize,
-        cfg: GpuWorkerConfig,
+        cfg: impl Into<Arc<GpuWorkerConfig>>,
         registry: Arc<Mutex<KernelRegistry>>,
     ) -> Self {
+        let cfg = cfg.into();
         assert!(!cfg.models.is_empty(), "worker needs at least one GPU");
         assert!(cfg.streams_per_gpu >= 1);
         let gmem = GMemoryManager::new(
@@ -122,14 +122,16 @@ impl GpuManager {
     /// Whole-worker (hits, misses, evictions) on GPU `gpu`: the sum over
     /// every open session's region plus regions retired by finished jobs.
     pub fn cache_stats(&self, gpu: usize) -> (u64, u64, u64) {
-        let (mut h, mut m, mut e) = self.gmem.retired_stats(gpu);
-        for s in self.sessions.values() {
+        let seed = self.gmem.retired_stats(gpu);
+        self.sessions.values().fold(seed, |(h, m, e), s| {
             let (sh, sm, se) = s.regions[gpu].stats();
-            h += sh;
-            m += sm;
-            e += se;
-        }
-        (h, m, e)
+            (h + sh, m + sm, e + se)
+        })
+    }
+
+    /// The shared host result-buffer arena (hit-rate and teardown stats).
+    pub fn result_arena(&self) -> &BufferArena {
+        self.gmem.result_arena()
     }
 
     /// Works executed per GPU (load-balance reporting). CPU-fallback works
@@ -336,8 +338,8 @@ impl GpuManager {
             pending.extend(s.pending.drain(..).map(|(t, w)| (j, t, w)));
         }
         pending.sort_by_key(|&(_, t, _)| t);
-        for (j, t, w) in pending {
-            q.schedule(t, Ev::Submit(Box::new((j, t, 0, w))));
+        for (job, t, work) in pending {
+            q.schedule(t, Ev::submit(job, t, 0, work));
         }
         let mut eng = Engine {
             gmem: &mut self.gmem,
@@ -353,10 +355,14 @@ impl GpuManager {
             while let Some((t, ev)) = q.pop() {
                 last_t = t;
                 match ev {
-                    Ev::Submit(b) => {
-                        let (j, submitted, retries, w) = *b;
+                    Ev::Submit {
+                        job,
+                        submitted,
+                        retries,
+                        work,
+                    } => {
                         self.gstream
-                            .dispatch(&mut eng, j, w, submitted, retries, t, &mut q);
+                            .dispatch(&mut eng, job, work, submitted, retries, t, &mut q);
                     }
                     Ev::StreamFree { gpu, stream } => self
                         .gstream
@@ -387,12 +393,7 @@ impl GpuManager {
             }
         }
         debug_assert!(self.gstream.is_idle(), "work left queued or in flight");
-        std::mem::take(
-            &mut self
-                .sessions
-                .get_mut(&job)
-                .expect("checked above")
-                .completed,
-        )
+        let session = self.sessions.get_mut(&job).expect("checked above");
+        std::mem::take(&mut session.completed)
     }
 }

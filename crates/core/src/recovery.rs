@@ -14,7 +14,7 @@
 use crate::gwork::{CompletedWork, GWork, WorkTiming};
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
-use gflink_memory::HBuffer;
+use gflink_memory::{ArenaBuf, HBuffer};
 use gflink_sim::trace::{cpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
     ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MembershipEvent, MembershipPlan,
@@ -423,10 +423,7 @@ impl RecoveryManager {
                     .with_arg("attempt", retries + 1),
                 );
             }
-            q.schedule(
-                at,
-                Ev::Submit(Box::new((job, submitted, retries + 1, work))),
-            );
+            q.schedule(at, Ev::submit(job, submitted, retries + 1, work));
         } else {
             let exhausted = if retries >= self.retry.max_retries {
                 FailReason::RetriesExhausted
@@ -462,7 +459,7 @@ impl RecoveryManager {
             );
         }
         session.failed.push(FailedWork {
-            name: work.name,
+            name: work.name.to_string(),
             tag: work.tag,
             retries,
             reason,
@@ -497,10 +494,17 @@ impl RecoveryManager {
             );
             return;
         }
-        let kernel = registry.lock().get(&work.execute_name);
+        let kernel = {
+            let reg = registry.lock();
+            // Works normally arrive interned; hand-built ones that never
+            // passed through a submission fall back to the name lookup.
+            reg.get_by_id(work.kernel)
+                .cloned()
+                .or_else(|| reg.get(&work.execute_name))
+        };
         let Some(kernel) = kernel else {
             let err = ManagerError::KernelMissing {
-                name: work.execute_name.clone(),
+                name: work.execute_name.to_string(),
             };
             self.fail_work(session, work, submitted, retries, t, FailReason::Fatal(err));
             return;
@@ -509,8 +513,8 @@ impl RecoveryManager {
         let profile = {
             let inputs: Vec<&HBuffer> = work.inputs.iter().map(|b| b.data.as_ref()).collect();
             let mut args = KernelArgs {
-                inputs,
-                outputs: vec![&mut out_host],
+                inputs: &inputs,
+                outputs: &mut [&mut out_host],
                 params: &work.params,
                 n_actual: work.n_actual,
                 n_logical: work.n_logical,
@@ -530,7 +534,7 @@ impl RecoveryManager {
                     cpu_pid(self.worker_id),
                     1 + slot as u32,
                     Cat::Cpu,
-                    work.name.clone(),
+                    &*work.name,
                     r.start,
                     r.end,
                 )
@@ -543,7 +547,7 @@ impl RecoveryManager {
             tag: work.tag,
             gpu: CPU_FALLBACK_GPU,
             stream: slot,
-            output: out_host,
+            output: ArenaBuf::detached(out_host),
             emitted: profile.emitted,
             timing: WorkTiming {
                 submitted,

@@ -149,16 +149,17 @@ pub fn run_gpu_stream<T: GRecord, U: GRecord>(
             let logical_bytes = source.batch_logical * def.size() as u64;
             let out_rows = rows;
             let work = GWork {
-                name: format!("stream-batch-{i}"),
-                execute_name: spec.kernel.clone(),
-                ptx_path: spec.ptx_path.clone(),
+                name: format!("stream-batch-{i}").into(),
+                execute_name: Arc::clone(&spec.kernel),
+                kernel: spec.kernel_id,
+                ptx_path: Arc::clone(&spec.ptx_path),
                 block_size: spec.block_size,
                 grid_size: (source.batch_logical as u32).div_ceil(spec.block_size.max(1)),
                 inputs: vec![WorkBuf::transient(Arc::new(buf), logical_bytes)],
                 out_actual_bytes: RecordView::required_bytes(&out_def, DataLayout::Aos, out_rows),
                 out_logical_bytes: source.batch_logical * out_def.size() as u64,
                 out_records: out_rows,
-                params: spec.params.clone(),
+                params: Arc::clone(&spec.params),
                 n_actual: rows,
                 n_logical: source.batch_logical,
                 coalescing: 1.0,
@@ -229,7 +230,7 @@ mod tests {
 
     fn fabric(workers: usize) -> GpuFabric {
         let f = GpuFabric::new(workers, FabricConfig::default());
-        f.register_kernel("streamDouble", |args: &mut KernelArgs<'_>| {
+        f.register_kernel("streamDouble", |args: &mut KernelArgs<'_, '_>| {
             let def = Sample::def();
             let n = args.n_actual;
             let input = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

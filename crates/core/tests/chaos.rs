@@ -4,7 +4,7 @@
 //! from the same seed produce identical timelines and ledgers.
 
 use gflink_core::{CacheKey, CompletedWork, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultPlan, MembershipPlan, RetryPolicy, SimTime};
 use parking_lot::Mutex;
@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 fn registry() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();
-    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+    reg.register("scale2", |args: &mut KernelArgs<'_, '_>| {
         let n = args.n_actual;
         for i in 0..n {
             let v = args.inputs[0].read_f32(i * 4);
@@ -36,8 +36,9 @@ fn mk_work(i: u32, cached: bool) -> GWork {
     };
     let logical = 1u64 << 22;
     GWork {
-        name: format!("w{i}"),
+        name: format!("w{i}").into(),
         execute_name: "scale2".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/scale2.ptx".into(),
         block_size: 256,
         grid_size: 1,
@@ -49,7 +50,7 @@ fn mk_work(i: u32, cached: bool) -> GWork {
         out_actual_bytes: 16,
         out_logical_bytes: logical,
         out_records: 4,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 4,
         n_logical: logical / 4,
         coalescing: 1.0,
@@ -126,7 +127,7 @@ fn end_job_accounts_undrained_work_as_abandoned() {
 fn dropped_job_handle_accounts_parked_work() {
     use gflink_core::{FabricConfig, GpuFabric};
     let fabric = GpuFabric::new(1, FabricConfig::default());
-    fabric.register_kernel("scale2", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("scale2", |args: &mut KernelArgs<'_, '_>| {
         KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
     });
     {

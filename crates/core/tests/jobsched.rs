@@ -7,7 +7,7 @@ use gflink_core::{
     AdmissionError, CacheKey, FabricConfig, GWork, GpuFabric, GpuManager, GpuMapSpec,
     GpuWorkerConfig, JobId, SchedulerConfig, SchedulingPolicy, SpecError, WorkBuf,
 };
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, SimTime};
 use parking_lot::Mutex;
@@ -17,7 +17,7 @@ const MIB: u64 = 1 << 20;
 const JOB_A: JobId = JobId(1);
 const JOB_B: JobId = JobId(2);
 
-fn scale2(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn scale2(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     let n = args.n_actual;
     let input = args.inputs[0];
     let out = &mut args.outputs[0];
@@ -41,8 +41,9 @@ fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
         block: tag.1,
     };
     GWork {
-        name: format!("w{}-{}", tag.0, tag.1),
+        name: format!("w{}-{}", tag.0, tag.1).into(),
         execute_name: "scale2".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/scale2.ptx".into(),
         block_size: 256,
         grid_size: 1,
@@ -54,7 +55,7 @@ fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
         out_actual_bytes: 16,
         out_logical_bytes: logical,
         out_records: 4,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 4,
         n_logical: logical / 4,
         coalescing: 1.0,

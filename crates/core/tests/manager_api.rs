@@ -10,7 +10,7 @@ use gflink_core::{
     CacheKey, CompletedWork, CpuFallback, FailReason, FailedWork, GWork, GpuCache, GpuManager,
     GpuWorkerConfig, JobId, ManagerError, SchedulingPolicy, WorkBuf, CPU_FALLBACK_GPU,
 };
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, RetryPolicy, SimTime};
 use parking_lot::Mutex;
@@ -52,7 +52,7 @@ impl SoloJob for GpuManager {
 
 fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();
-    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+    reg.register("scale2", |args: &mut KernelArgs<'_, '_>| {
         let n = args.n_actual;
         let input = args.inputs[0];
         let out = &mut args.outputs[0];
@@ -72,8 +72,9 @@ fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
         block: tag.1,
     };
     GWork {
-        name: format!("w{}-{}", tag.0, tag.1),
+        name: format!("w{}-{}", tag.0, tag.1).into(),
         execute_name: "scale2".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/scale2.ptx".into(),
         block_size: 256,
         grid_size: 1,
@@ -85,7 +86,7 @@ fn mk_work(tag: (u32, u32), logical: u64, cache: bool) -> GWork {
         out_actual_bytes: 16,
         out_logical_bytes: logical,
         out_records: 4,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 4,
         n_logical: logical / 4,
         coalescing: 1.0,

@@ -3,7 +3,7 @@
 //! completions, failures, or ledger deltas can bleed into another's.
 
 use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, JobId, SchedulingPolicy, WorkBuf};
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, SimTime};
 use parking_lot::Mutex;
@@ -13,7 +13,7 @@ const MIB: u64 = 1 << 20;
 
 fn registry_with_scale2() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();
-    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+    reg.register("scale2", |args: &mut KernelArgs<'_, '_>| {
         let n = args.n_actual;
         let input = args.inputs[0];
         let out = &mut args.outputs[0];
@@ -36,8 +36,9 @@ fn key(tag: (u32, u32)) -> CacheKey {
 fn mk_work(tag: (u32, u32), logical: u64) -> GWork {
     let data = Arc::new(HBuffer::from_f32s(&[1.0, 2.0, 3.0, 4.0]));
     GWork {
-        name: format!("w{}-{}", tag.0, tag.1),
+        name: format!("w{}-{}", tag.0, tag.1).into(),
         execute_name: "scale2".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/scale2.ptx".into(),
         block_size: 256,
         grid_size: 1,
@@ -45,7 +46,7 @@ fn mk_work(tag: (u32, u32), logical: u64) -> GWork {
         out_actual_bytes: 16,
         out_logical_bytes: logical,
         out_records: 4,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 4,
         n_logical: logical / 4,
         coalescing: 1.0,

@@ -4,7 +4,7 @@
 //! not a run like it — while a different seed produces a different trace.
 
 use gflink_core::{CacheKey, GWork, GpuManager, GpuWorkerConfig, JobId, WorkBuf};
-use gflink_gpu::{GpuModel, KernelArgs, KernelProfile, KernelRegistry};
+use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
 use gflink_sim::{FaultKind, FaultPlan, RetryPolicy, SimRng, SimTime, Tracer};
 use parking_lot::Mutex;
@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 fn registry() -> Arc<Mutex<KernelRegistry>> {
     let mut reg = KernelRegistry::new();
-    reg.register("scale2", |args: &mut KernelArgs<'_>| {
+    reg.register("scale2", |args: &mut KernelArgs<'_, '_>| {
         let n = args.n_actual;
         for i in 0..n {
             let v = args.inputs[0].read_f32(i * 4);
@@ -30,8 +30,9 @@ fn mk_work(i: u32, rng: &mut SimRng) -> GWork {
     let data = Arc::new(HBuffer::from_f32s(&[base, base + 0.5, -base, base * 3.0]));
     let logical = (1u64 << 21) + rng.gen_range(1 << 22);
     GWork {
-        name: format!("w{i}"),
+        name: format!("w{i}").into(),
         execute_name: "scale2".into(),
+        kernel: KernelId::UNRESOLVED,
         ptx_path: "/scale2.ptx".into(),
         block_size: 256,
         grid_size: 1,
@@ -51,7 +52,7 @@ fn mk_work(i: u32, rng: &mut SimRng) -> GWork {
         out_actual_bytes: 16,
         out_logical_bytes: logical,
         out_records: 4,
-        params: vec![],
+        params: Arc::from([]),
         n_actual: 4,
         n_logical: logical / 4,
         coalescing: 1.0,

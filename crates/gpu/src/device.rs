@@ -456,7 +456,7 @@ mod tests {
 
     fn scale_kernel_registry() -> KernelRegistry {
         let mut reg = KernelRegistry::new();
-        reg.register("scale2", |args: &mut KernelArgs<'_>| {
+        reg.register("scale2", |args: &mut KernelArgs<'_, '_>| {
             let n = args.n_actual;
             let input = args.inputs[0];
             let out = &mut args.outputs[0];

@@ -7,14 +7,34 @@
 //! the data kernels compute on. The split is what lets a 3 GB C2050 be
 //! modelled faithfully while the host process only materializes
 //! scale-reduced data (see DESIGN.md §2).
+//!
+//! Allocations live in a generation-tagged slab: a [`DevBufId`] encodes
+//! `(generation, slot)`, so every handle lookup is an array index (the
+//! per-flight path used to pay five-plus SipHash probes per work), and a
+//! stale handle — freed, reused, or wiped by device loss — still fails with
+//! [`DmemError::BadHandle`]. Freed backing buffers are recycled per exact
+//! size and re-zeroed on reuse, which keeps steady-state `alloc`/`release`
+//! cycles off the host allocator without perturbing kernel results.
 
 use gflink_memory::HBuffer;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Handle to a device allocation (an opaque `CUdeviceptr` analogue).
+/// Packs `(generation << 32) | slot`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DevBufId(u64);
+
+impl DevBufId {
+    fn new(slot: u32, gen: u32) -> Self {
+        DevBufId((gen as u64) << 32 | slot as u64)
+    }
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Device-memory errors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,15 +103,37 @@ struct Allocation {
     data: HBuffer,
 }
 
+/// One slab slot: its current generation plus the live allocation, if any.
+/// The generation advances every time the slot's allocation is destroyed,
+/// so handles minted for earlier tenants go stale.
+struct Slot {
+    gen: u32,
+    alloc: Option<Allocation>,
+}
+
+/// Soft cap on recycled backing bytes held for reuse. Steady-state flights
+/// cycle a handful of block-sized buffers, so the spare list stays tiny;
+/// the cap only bounds pathological size churn.
+const SPARE_SOFT_BYTES: usize = 64 << 20;
+
 /// A GPU's DRAM: logical capacity accounting + real backing buffers.
 pub struct DeviceMemory {
     capacity: u64,
     used: u64,
     peak: u64,
-    next_id: u64,
-    allocs: HashMap<u64, Allocation>,
+    live: usize,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// Freed backing buffers bucketed by exact byte size, re-zeroed on
+    /// reuse (few distinct sizes in practice — linear scan beats hashing).
+    spare: Vec<(usize, Vec<HBuffer>)>,
+    spare_bytes: usize,
     total_allocs: u64,
     total_frees: u64,
+    /// Reusable pointer scratch for [`DeviceMemory::with_buffers`] (stored
+    /// as `usize` so the type stays `Send`).
+    scratch_in: Vec<usize>,
+    scratch_out: Vec<usize>,
 }
 
 impl DeviceMemory {
@@ -101,10 +143,15 @@ impl DeviceMemory {
             capacity,
             used: 0,
             peak: 0,
-            next_id: 1,
-            allocs: HashMap::new(),
+            live: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            spare: Vec::new(),
+            spare_bytes: 0,
             total_allocs: 0,
             total_frees: 0,
+            scratch_in: Vec::new(),
+            scratch_out: Vec::new(),
         }
     }
 
@@ -134,6 +181,60 @@ impl DeviceMemory {
         (self.total_allocs, self.total_frees)
     }
 
+    /// A zeroed backing buffer of `actual_bytes`: recycled from the spare
+    /// list when a matching size is pooled (memset instead of malloc),
+    /// freshly allocated otherwise.
+    fn backing(&mut self, actual_bytes: usize) -> HBuffer {
+        for (sz, bufs) in &mut self.spare {
+            if *sz == actual_bytes {
+                if let Some(mut b) = bufs.pop() {
+                    self.spare_bytes -= actual_bytes;
+                    b.zero();
+                    return b;
+                }
+                break;
+            }
+        }
+        HBuffer::zeroed(actual_bytes)
+    }
+
+    /// Return a freed allocation's backing buffer to the spare list (or
+    /// drop it once the soft cap is reached).
+    fn recycle(&mut self, data: HBuffer) {
+        let len = data.len();
+        if len == 0 || self.spare_bytes + len > SPARE_SOFT_BYTES {
+            return;
+        }
+        self.spare_bytes += len;
+        for (sz, bufs) in &mut self.spare {
+            if *sz == len {
+                bufs.push(data);
+                return;
+            }
+        }
+        self.spare.push((len, vec![data]));
+    }
+
+    fn slot(&self, id: DevBufId) -> Result<&Allocation, DmemError> {
+        self.slots
+            .get(id.slot())
+            .filter(|s| s.gen == id.gen())
+            .and_then(|s| s.alloc.as_ref())
+            .ok_or(DmemError::BadHandle)
+    }
+
+    fn slot_mut(&mut self, id: DevBufId) -> Result<&mut Allocation, DmemError> {
+        self.slots
+            .get_mut(id.slot())
+            .filter(|s| s.gen == id.gen())
+            .and_then(|s| s.alloc.as_mut())
+            .ok_or(DmemError::BadHandle)
+    }
+
+    fn is_live(&self, id: DevBufId) -> bool {
+        self.slot(id).is_ok()
+    }
+
     /// Allocate `logical_bytes` of device memory backed by `actual_bytes`
     /// of zeroed real storage (`cudaMalloc` analogue).
     pub fn alloc(
@@ -147,51 +248,62 @@ impl DeviceMemory {
                 free: self.free_bytes(),
             });
         }
-        let id = self.next_id;
-        self.next_id += 1;
-        self.allocs.insert(
-            id,
-            Allocation {
-                logical_bytes,
-                data: HBuffer::zeroed(actual_bytes),
-            },
-        );
+        let alloc = Allocation {
+            logical_bytes,
+            data: self.backing(actual_bytes),
+        };
+        let (slot, gen) = match self.free_slots.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.alloc = Some(alloc);
+                (i, s.gen)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("device slab overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    alloc: Some(alloc),
+                });
+                (i, 0)
+            }
+        };
         self.used += logical_bytes;
         self.peak = self.peak.max(self.used);
+        self.live += 1;
         self.total_allocs += 1;
-        Ok(DevBufId(id))
+        Ok(DevBufId::new(slot, gen))
     }
 
     /// Free a device allocation (`cudaFree` analogue).
     pub fn release(&mut self, id: DevBufId) -> Result<(), DmemError> {
-        let a = self.allocs.remove(&id.0).ok_or(DmemError::BadHandle)?;
+        let s = self
+            .slots
+            .get_mut(id.slot())
+            .filter(|s| s.gen == id.gen() && s.alloc.is_some())
+            .ok_or(DmemError::BadHandle)?;
+        let a = s.alloc.take().expect("checked above");
+        s.gen = s.gen.wrapping_add(1);
+        self.free_slots.push(id.slot() as u32);
         self.used -= a.logical_bytes;
+        self.live -= 1;
         self.total_frees += 1;
+        self.recycle(a.data);
         Ok(())
     }
 
     /// Logical size of an allocation.
     pub fn logical_size(&self, id: DevBufId) -> Result<u64, DmemError> {
-        self.allocs
-            .get(&id.0)
-            .map(|a| a.logical_bytes)
-            .ok_or(DmemError::BadHandle)
+        self.slot(id).map(|a| a.logical_bytes)
     }
 
     /// Read access to an allocation's backing data.
     pub fn data(&self, id: DevBufId) -> Result<&HBuffer, DmemError> {
-        self.allocs
-            .get(&id.0)
-            .map(|a| &a.data)
-            .ok_or(DmemError::BadHandle)
+        self.slot(id).map(|a| &a.data)
     }
 
     /// Write access to an allocation's backing data.
     pub fn data_mut(&mut self, id: DevBufId) -> Result<&mut HBuffer, DmemError> {
-        self.allocs
-            .get_mut(&id.0)
-            .map(|a| &mut a.data)
-            .ok_or(DmemError::BadHandle)
+        self.slot_mut(id).map(|a| &mut a.data)
     }
 
     /// Mutable access to two distinct allocations at once (kernel in/out).
@@ -206,18 +318,19 @@ impl DeviceMemory {
         if a == b {
             return Err(DmemError::Aliased);
         }
-        if !self.allocs.contains_key(&a.0) || !self.allocs.contains_key(&b.0) {
+        if !self.is_live(a) || !self.is_live(b) {
             return Err(DmemError::BadHandle);
         }
-        // SAFETY: keys verified distinct and present; we hand out disjoint
-        // mutable borrows backed by different map entries.
-        let pa = self.allocs.get_mut(&a.0).unwrap() as *mut Allocation;
-        let pb = self.allocs.get_mut(&b.0).unwrap() as *mut Allocation;
+        // SAFETY: handles verified live and distinct (different slots, so
+        // different slab entries); the reborrows are disjoint.
+        let pa = self.slot_mut(a).unwrap() as *mut Allocation;
+        let pb = self.slot_mut(b).unwrap() as *mut Allocation;
         unsafe { Ok((&mut (*pa).data, &mut (*pb).data)) }
     }
 
     /// Borrow several allocations at once: `inputs` immutably and `outputs`
-    /// mutably, as a kernel launch needs.
+    /// mutably, as a kernel launch needs. The borrows are handed to `f` as
+    /// plain slices built in reusable scratch (no per-launch allocation).
     ///
     /// Outputs must be pairwise distinct and distinct from every input
     /// (kernels may read an input twice, but an aliased output is
@@ -226,7 +339,7 @@ impl DeviceMemory {
         &mut self,
         inputs: &[DevBufId],
         outputs: &[DevBufId],
-        f: impl FnOnce(Vec<&HBuffer>, Vec<&mut HBuffer>) -> R,
+        f: impl for<'x> FnOnce(&'x [&'x HBuffer], &'x mut [&'x mut HBuffer]) -> R,
     ) -> Result<R, DmemError> {
         for (i, o) in outputs.iter().enumerate() {
             if outputs[..i].contains(o) || inputs.contains(o) {
@@ -234,34 +347,41 @@ impl DeviceMemory {
             }
         }
         for id in inputs.iter().chain(outputs) {
-            if !self.allocs.contains_key(&id.0) {
+            if !self.is_live(*id) {
                 return Err(DmemError::BadHandle);
             }
         }
-        // Collect raw pointers one at a time (each short-lived borrow ends
-        // before the next begins), then reborrow.
-        let mut out_ptrs: Vec<*mut HBuffer> = Vec::with_capacity(outputs.len());
+        let mut ins = std::mem::take(&mut self.scratch_in);
+        let mut outs = std::mem::take(&mut self.scratch_out);
+        for id in inputs {
+            ins.push(&self.slot(*id).unwrap().data as *const HBuffer as usize);
+        }
         for id in outputs {
-            out_ptrs.push(&mut self.allocs.get_mut(&id.0).unwrap().data as *mut HBuffer);
+            outs.push(&mut self.slot_mut(*id).unwrap().data as *mut HBuffer as usize);
         }
-        let in_ptrs: Vec<*const HBuffer> = inputs
-            .iter()
-            .map(|id| &self.allocs.get(&id.0).unwrap().data as *const HBuffer)
-            .collect();
-        // SAFETY: all handles were verified present; outputs are pairwise
+        // SAFETY: all handles were verified live; outputs are pairwise
         // distinct and disjoint from inputs, so the mutable reborrows are
-        // unique and do not alias the shared ones. The HashMap is not
-        // mutated while the pointers are live.
-        unsafe {
-            let ins: Vec<&HBuffer> = in_ptrs.iter().map(|&p| &*p).collect();
-            let outs: Vec<&mut HBuffer> = out_ptrs.iter().map(|&p| &mut *p).collect();
-            Ok(f(ins, outs))
-        }
+        // unique and do not alias the shared ones. The slab is not mutated
+        // while the pointers are live, and `&HBuffer`/`&mut HBuffer` are
+        // thin pointers with `usize` layout.
+        let r = unsafe {
+            let ins_s = std::slice::from_raw_parts(ins.as_ptr().cast::<&HBuffer>(), ins.len());
+            let outs_s = std::slice::from_raw_parts_mut(
+                outs.as_mut_ptr().cast::<&mut HBuffer>(),
+                outs.len(),
+            );
+            f(ins_s, outs_s)
+        };
+        ins.clear();
+        outs.clear();
+        self.scratch_in = ins;
+        self.scratch_out = outs;
+        Ok(r)
     }
 
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
-        self.allocs.len()
+        self.live
     }
 
     /// Drop every allocation at once, as device loss does: the contents are
@@ -270,9 +390,15 @@ impl DeviceMemory {
     /// allocations were destroyed. Not counted as frees in `alloc_stats` —
     /// nothing was returned to the allocator.
     pub fn wipe(&mut self) -> usize {
-        let n = self.allocs.len();
-        self.allocs.clear();
+        let n = self.live;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.alloc.take().is_some() {
+                s.gen = s.gen.wrapping_add(1);
+                self.free_slots.push(i as u32);
+            }
+        }
         self.used = 0;
+        self.live = 0;
         n
     }
 
@@ -299,9 +425,7 @@ impl fmt::Debug for DeviceMemory {
         write!(
             f,
             "DeviceMemory({}/{} logical bytes, {} live allocs)",
-            self.used,
-            self.capacity,
-            self.allocs.len()
+            self.used, self.capacity, self.live
         )
     }
 }
@@ -355,6 +479,36 @@ mod tests {
         m.release(a).unwrap();
         assert_eq!(m.release(a), Err(DmemError::BadHandle));
         assert_eq!(m.logical_size(a), Err(DmemError::BadHandle));
+    }
+
+    #[test]
+    fn recycled_slot_does_not_resurrect_stale_handle() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(10, 8).unwrap();
+        m.data_mut(a).unwrap().write_u8(0, 9);
+        m.release(a).unwrap();
+        // The slot and its backing buffer are reused...
+        let b = m.alloc(10, 8).unwrap();
+        assert_ne!(a, b);
+        // ...zeroed for the new tenant, with the old handle still dead.
+        assert_eq!(m.data(b).unwrap().read_u8(0), 0);
+        assert_eq!(m.data(a), Err(DmemError::BadHandle));
+        assert_eq!(m.release(a), Err(DmemError::BadHandle));
+    }
+
+    #[test]
+    fn wipe_invalidates_all_handles() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(10, 8).unwrap();
+        let b = m.alloc(10, 8).unwrap();
+        assert_eq!(m.wipe(), 2);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.live_allocations(), 0);
+        assert_eq!(m.data(a), Err(DmemError::BadHandle));
+        assert_eq!(m.release(b), Err(DmemError::BadHandle));
+        // New allocations after a wipe mint fresh, live handles.
+        let c = m.alloc(10, 8).unwrap();
+        assert!(m.data(c).is_ok());
     }
 
     #[test]

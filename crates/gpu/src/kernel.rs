@@ -57,12 +57,15 @@ impl KernelProfile {
     }
 }
 
-/// Arguments handed to a kernel at launch.
-pub struct KernelArgs<'a> {
+/// Arguments handed to a kernel at launch. The buffer lists are borrowed
+/// slices — the launch path builds them in reusable scratch, so invoking a
+/// kernel allocates nothing (ISSUE 7). `'b` is the buffers' own borrow,
+/// `'a` the (possibly shorter) borrow of the lists and params.
+pub struct KernelArgs<'a, 'b> {
     /// Device-resident input buffers, in `GWork` declaration order.
-    pub inputs: Vec<&'a HBuffer>,
+    pub inputs: &'a [&'b HBuffer],
     /// Device-resident output buffers.
-    pub outputs: Vec<&'a mut HBuffer>,
+    pub outputs: &'a mut [&'b mut HBuffer],
     /// Scalar launch parameters (k, dimensions, damping factors, …).
     pub params: &'a [f64],
     /// Number of elements actually materialized in the buffers.
@@ -71,7 +74,7 @@ pub struct KernelArgs<'a> {
     pub n_logical: u64,
 }
 
-impl KernelArgs<'_> {
+impl KernelArgs<'_, '_> {
     /// Scale factor between logical and actual element counts.
     pub fn scale(&self) -> f64 {
         if self.n_actual == 0 {
@@ -83,12 +86,33 @@ impl KernelArgs<'_> {
 }
 
 /// A registered kernel function.
-pub type KernelFn = Arc<dyn Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync>;
+pub type KernelFn = Arc<dyn Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync>;
+
+/// Interned handle for a registered kernel: resolve the `executeName`
+/// string once (at spec build / first submission), then dispatch by index.
+/// The per-launch path used to hash and compare the `executeName` `String`
+/// on every kernel stage; with ids it is an array index (ISSUE 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelId(u32);
+
+impl KernelId {
+    /// Sentinel for a work whose name has not been interned yet; the
+    /// manager resolves it on first submission.
+    pub const UNRESOLVED: KernelId = KernelId(u32::MAX);
+
+    /// Whether this id has been interned.
+    pub fn is_resolved(self) -> bool {
+        self != KernelId::UNRESOLVED
+    }
+}
 
 /// Name → kernel map; the analogue of a directory of loaded `.ptx` modules.
+/// Ids are dense indices in registration order and stay stable across
+/// re-registration of the same name.
 #[derive(Clone, Default)]
 pub struct KernelRegistry {
-    kernels: HashMap<String, KernelFn>,
+    ids: HashMap<String, KernelId>,
+    by_id: Vec<(String, KernelFn)>,
 }
 
 impl KernelRegistry {
@@ -97,45 +121,71 @@ impl KernelRegistry {
         KernelRegistry::default()
     }
 
-    /// Register `f` under `name`, replacing any previous registration.
+    /// Register `f` under `name`, replacing any previous registration
+    /// (the name keeps its [`KernelId`]).
     pub fn register<F>(&mut self, name: &str, f: F)
     where
-        F: Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync + 'static,
+        F: Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync + 'static,
     {
-        self.kernels.insert(name.to_string(), Arc::new(f));
+        match self.ids.get(name) {
+            Some(&id) => self.by_id[id.0 as usize].1 = Arc::new(f),
+            None => {
+                let id = KernelId(u32::try_from(self.by_id.len()).expect("registry overflow"));
+                self.ids.insert(name.to_string(), id);
+                self.by_id.push((name.to_string(), Arc::new(f)));
+            }
+        }
+    }
+
+    /// Intern a kernel's `executeName`, returning its dispatch id.
+    pub fn resolve(&self, name: &str) -> Option<KernelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolve a kernel by interned id — the per-launch path: an array
+    /// index, no hashing, no string compare.
+    pub fn get_by_id(&self, id: KernelId) -> Option<&KernelFn> {
+        self.by_id.get(id.0 as usize).map(|(_, f)| f)
+    }
+
+    /// The `executeName` an id was interned from.
+    pub fn name_of(&self, id: KernelId) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(|(n, _)| n.as_str())
     }
 
     /// Resolve a kernel by its `executeName`.
     pub fn get(&self, name: &str) -> Option<KernelFn> {
-        self.kernels.get(name).cloned()
+        self.resolve(name)
+            .and_then(|id| self.get_by_id(id))
+            .cloned()
     }
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.kernels.contains_key(name)
+        self.ids.contains_key(name)
     }
 
     /// Registered kernel names, sorted (for deterministic listings).
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.kernels.keys().cloned().collect();
+        let mut v: Vec<String> = self.ids.keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered kernels.
     pub fn len(&self) -> usize {
-        self.kernels.len()
+        self.by_id.len()
     }
 
     /// True when no kernels are registered.
     pub fn is_empty(&self) -> bool {
-        self.kernels.is_empty()
+        self.by_id.is_empty()
     }
 }
 
 impl fmt::Debug for KernelRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KernelRegistry({} kernels)", self.kernels.len())
+        write!(f, "KernelRegistry({} kernels)", self.by_id.len())
     }
 }
 
@@ -143,8 +193,8 @@ impl fmt::Debug for KernelRegistry {
 mod tests {
     use super::*;
 
-    fn vector_add() -> impl Fn(&mut KernelArgs<'_>) -> KernelProfile + Send + Sync {
-        |args: &mut KernelArgs<'_>| {
+    fn vector_add() -> impl Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync {
+        |args: &mut KernelArgs<'_, '_>| {
             let n = args.n_actual;
             let (a, b) = (args.inputs[0], args.inputs[1]);
             let out = &mut args.outputs[0];
@@ -168,8 +218,8 @@ mod tests {
         let mut out = HBuffer::zeroed(12);
         let k = reg.get("cudaVecAdd").unwrap();
         let profile = k(&mut KernelArgs {
-            inputs: vec![&a, &b],
-            outputs: vec![&mut out],
+            inputs: &[&a, &b],
+            outputs: &mut [&mut out],
             params: &[],
             n_actual: 3,
             n_logical: 3000,
@@ -184,7 +234,34 @@ mod tests {
     fn unknown_kernel_is_none() {
         let reg = KernelRegistry::new();
         assert!(reg.get("nope").is_none());
+        assert!(reg.resolve("nope").is_none());
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_across_reregistration() {
+        let mut reg = KernelRegistry::new();
+        reg.register("a", |_| KernelProfile::new(1.0, 0.0));
+        reg.register("b", |_| KernelProfile::new(2.0, 0.0));
+        let a = reg.resolve("a").unwrap();
+        let b = reg.resolve("b").unwrap();
+        assert_ne!(a, b);
+        assert!(a.is_resolved() && b.is_resolved());
+        assert!(!KernelId::UNRESOLVED.is_resolved());
+        // Replacing "a" keeps its id and swaps the function.
+        reg.register("a", |_| KernelProfile::new(9.0, 0.0));
+        assert_eq!(reg.resolve("a").unwrap(), a);
+        assert_eq!(reg.len(), 2);
+        let mut args = KernelArgs {
+            inputs: &[],
+            outputs: &mut [],
+            params: &[],
+            n_actual: 0,
+            n_logical: 0,
+        };
+        assert_eq!(reg.get_by_id(a).unwrap()(&mut args).flops, 9.0);
+        assert_eq!(reg.name_of(b), Some("b"));
+        assert!(reg.get_by_id(KernelId::UNRESOLVED).is_none());
     }
 
     #[test]
@@ -198,8 +275,8 @@ mod tests {
     #[test]
     fn scale_factor() {
         let args = KernelArgs {
-            inputs: vec![],
-            outputs: vec![],
+            inputs: &[],
+            outputs: &mut [],
             params: &[],
             n_actual: 100,
             n_logical: 100_000,

@@ -36,5 +36,5 @@ pub use device::{CopyDirection, VirtualGpu};
 pub use dmem::{DevBufId, DeviceMemory, DeviceMemoryOps, DmemError};
 pub use event::CudaEvent;
 pub use health::{DeviceError, DeviceHealth};
-pub use kernel::{KernelArgs, KernelFn, KernelProfile, KernelRegistry};
+pub use kernel::{KernelArgs, KernelFn, KernelId, KernelProfile, KernelRegistry};
 pub use spec::{GpuModel, GpuSpec};

@@ -1,0 +1,343 @@
+//! `BufferArena`: reusable host result buffers, recycled across GWork
+//! flights.
+//!
+//! CrystalGPU's core idiom (see PAPERS.md) is to transparently reuse
+//! buffers across calls so steady-state execution never touches the
+//! allocator. [`crate::PinnedPool`] applies that to *staging* buffers; the
+//! arena applies it to the *result* buffers each flight's D2H stage lands
+//! in — previously a fresh `HBuffer::zeroed` per work, a measurable slice
+//! of per-GWork harness cost on the hot path (ISSUE 7).
+//!
+//! [`BufferArena::acquire`] hands out an [`ArenaBuf`] — an owned buffer
+//! that returns itself to the arena when dropped, wherever that happens
+//! (result decode on the driver thread included). Buffers are recycled by
+//! *exact* size, and a recycled buffer is zeroed before reuse, so a hit is
+//! bit-identical to a fresh zeroed allocation: digests cannot observe the
+//! arena. GWork output sizes repeat across blocks of an operator, so
+//! steady state is all hits — the arena's hit-rate stat is the
+//! "allocation-free steady state" acceptance metric.
+//!
+//! Accounting mirrors `PinnedPool`: hits/misses/bytes per owner (job), a
+//! soft byte budget beyond which released buffers are freed rather than
+//! pooled, and in-use/pooled gauges that make exact-bytes teardown
+//! assertable in tests.
+
+use crate::hbuffer::HBuffer;
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+
+/// Per-owner arena accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Acquisitions served by a recycled buffer.
+    pub hits: u64,
+    /// Acquisitions that had to allocate.
+    pub misses: u64,
+    /// Total bytes handed out.
+    pub bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Idle buffers keyed by exact length — outputs repeat sizes across
+    /// the blocks of an operator, so exact matching still converges to
+    /// all-hits while keeping a hit bit-identical to a fresh allocation.
+    free: BTreeMap<usize, Vec<HBuffer>>,
+    /// Soft budget of pooled idle bytes; beyond it, returned buffers are
+    /// freed instead of pooled.
+    capacity: u64,
+    pooled: u64,
+    in_use: u64,
+    peak_in_use: u64,
+    total: ArenaStats,
+    per_owner: BTreeMap<u64, ArenaStats>,
+}
+
+/// A pool of reusable host result buffers. Cheaply cloneable handle; all
+/// clones share one arena.
+#[derive(Clone)]
+pub struct BufferArena {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// An owned host buffer leased from a [`BufferArena`]. Dereferences to
+/// [`HBuffer`]; dropping it returns the buffer to its arena (or frees it,
+/// past the arena's soft budget). Detached buffers (no arena) just free.
+#[derive(Debug)]
+pub struct ArenaBuf {
+    buf: Option<HBuffer>,
+    home: Weak<Mutex<Inner>>,
+}
+
+impl BufferArena {
+    /// An arena with a soft budget of `capacity` pooled idle bytes.
+    pub fn new(capacity: u64) -> Self {
+        BufferArena {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned lock only means a panic elsewhere; the free list is
+        // still sound, so recover rather than double-panic.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A zeroed buffer of exactly `len` bytes for `owner`, recycled when
+    /// an idle buffer of that exact size exists (zeroed before handing
+    /// out, so a hit is indistinguishable from a fresh allocation).
+    pub fn acquire(&self, owner: u64, len: usize) -> ArenaBuf {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        // A size's entry stays in the map when its list drains: in steady
+        // state one size empties and refills every flight, and dropping
+        // the entry would re-allocate its backing `Vec` each cycle.
+        let recycled = inner.free.get_mut(&len).and_then(Vec::pop);
+        let stats = inner.per_owner.entry(owner).or_default();
+        stats.bytes += len as u64;
+        inner.total.bytes += len as u64;
+        let buf = match recycled {
+            Some(mut b) => {
+                stats.hits += 1;
+                inner.total.hits += 1;
+                inner.pooled -= len as u64;
+                b.zero();
+                b
+            }
+            None => {
+                stats.misses += 1;
+                inner.total.misses += 1;
+                HBuffer::zeroed(len)
+            }
+        };
+        inner.in_use += len as u64;
+        inner.peak_in_use = inner.peak_in_use.max(inner.in_use);
+        ArenaBuf {
+            buf: Some(buf),
+            home: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Whole-arena accounting (hits, misses, bytes handed out).
+    pub fn stats(&self) -> ArenaStats {
+        self.lock().total
+    }
+
+    /// `owner`'s accounting (zeros when the owner never acquired).
+    pub fn owner_stats(&self, owner: u64) -> ArenaStats {
+        self.lock()
+            .per_owner
+            .get(&owner)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Drop `owner`'s accounting (job teardown); returns the final stats.
+    pub fn retire_owner(&self, owner: u64) -> ArenaStats {
+        self.lock().per_owner.remove(&owner).unwrap_or_default()
+    }
+
+    /// Bytes currently leased out (exact-bytes teardown: zero once every
+    /// flight's result has been dropped).
+    pub fn in_use_bytes(&self) -> u64 {
+        self.lock().in_use
+    }
+
+    /// High-water mark of concurrently leased bytes.
+    pub fn peak_in_use_bytes(&self) -> u64 {
+        self.lock().peak_in_use
+    }
+
+    /// Bytes sitting idle on the free lists.
+    pub fn pooled_bytes(&self) -> u64 {
+        self.lock().pooled
+    }
+
+    /// Fraction of acquisitions served by recycling, in `[0, 1]`
+    /// (1.0 before the first acquisition).
+    pub fn hit_rate(&self) -> f64 {
+        let s = self.lock().total;
+        let n = s.hits + s.misses;
+        if n == 0 {
+            1.0
+        } else {
+            s.hits as f64 / n as f64
+        }
+    }
+
+    /// Free every pooled idle buffer (in-flight leases are unaffected and
+    /// will be freed on drop if the arena is gone by then).
+    pub fn purge(&self) {
+        let mut inner = self.lock();
+        inner.free.clear();
+        inner.pooled = 0;
+    }
+}
+
+impl std::fmt::Debug for BufferArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("BufferArena")
+            .field("capacity", &inner.capacity)
+            .field("pooled", &inner.pooled)
+            .field("in_use", &inner.in_use)
+            .field("stats", &inner.total)
+            .finish()
+    }
+}
+
+impl ArenaBuf {
+    /// Wrap a buffer with no arena: dropping it just frees. Used by paths
+    /// that produce results outside the flight pipeline (CPU fallback).
+    pub fn detached(buf: HBuffer) -> Self {
+        ArenaBuf {
+            buf: Some(buf),
+            home: Weak::new(),
+        }
+    }
+
+    /// Detach the buffer from its arena, leaking nothing: the arena's
+    /// in-use gauge is settled as if the buffer had been dropped.
+    pub fn into_inner(mut self) -> HBuffer {
+        let buf = self.buf.take().expect("buffer present until drop");
+        if let Some(home) = self.home.upgrade() {
+            let mut inner = home
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.in_use -= buf.len() as u64;
+        }
+        buf
+    }
+}
+
+impl Deref for ArenaBuf {
+    type Target = HBuffer;
+    fn deref(&self) -> &HBuffer {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl DerefMut for ArenaBuf {
+    fn deref_mut(&mut self) -> &mut HBuffer {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for ArenaBuf {
+    fn drop(&mut self) {
+        let Some(buf) = self.buf.take() else { return };
+        let Some(home) = self.home.upgrade() else {
+            return; // detached, or the arena is gone: just free
+        };
+        let mut inner = home
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let len = buf.len() as u64;
+        inner.in_use -= len;
+        if inner.pooled + len <= inner.capacity {
+            inner.pooled += len;
+            inner.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_exact_sizes_and_counts_hits() {
+        let arena = BufferArena::new(1 << 20);
+        let mut a = arena.acquire(1, 256);
+        a.write_u32(0, 77);
+        let addr = a.address();
+        drop(a);
+        let b = arena.acquire(1, 256);
+        assert_eq!(b.address(), addr, "same storage came back");
+        assert_eq!(b.read_u32(0), 0, "recycled buffer is zeroed");
+        let s = arena.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(arena.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn different_sizes_do_not_alias() {
+        let arena = BufferArena::new(1 << 20);
+        drop(arena.acquire(1, 128));
+        let b = arena.acquire(1, 64);
+        assert_eq!(b.len(), 64);
+        let s = arena.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(arena.pooled_bytes(), 128);
+    }
+
+    #[test]
+    fn in_use_settles_to_zero_on_drop_and_into_inner() {
+        let arena = BufferArena::new(1 << 20);
+        let a = arena.acquire(1, 100);
+        let b = arena.acquire(2, 50);
+        assert_eq!(arena.in_use_bytes(), 150);
+        assert_eq!(arena.peak_in_use_bytes(), 150);
+        drop(a);
+        let raw = b.into_inner();
+        assert_eq!(raw.len(), 50);
+        assert_eq!(arena.in_use_bytes(), 0, "exact-bytes teardown");
+        // The detached buffer never returns to the free lists.
+        assert_eq!(arena.pooled_bytes(), 100);
+    }
+
+    #[test]
+    fn soft_budget_frees_overflow() {
+        let arena = BufferArena::new(100);
+        drop(arena.acquire(1, 80));
+        drop(arena.acquire(1, 80));
+        assert_eq!(arena.pooled_bytes(), 80, "second release freed, not pooled");
+    }
+
+    #[test]
+    fn detached_buffers_skip_the_arena() {
+        let arena = BufferArena::new(1 << 20);
+        drop(ArenaBuf::detached(HBuffer::zeroed(64)));
+        assert_eq!(arena.pooled_bytes(), 0);
+        assert_eq!(arena.stats(), ArenaStats::default());
+    }
+
+    #[test]
+    fn outliving_the_arena_is_safe() {
+        let arena = BufferArena::new(1 << 20);
+        let a = arena.acquire(1, 32);
+        drop(arena);
+        drop(a); // arena gone: buffer just frees
+    }
+
+    #[test]
+    fn per_owner_accounting_is_isolated() {
+        let arena = BufferArena::new(1 << 20);
+        drop(arena.acquire(7, 128));
+        drop(arena.acquire(9, 128));
+        let seven = arena.retire_owner(7);
+        assert_eq!((seven.hits, seven.misses, seven.bytes), (0, 1, 128));
+        assert_eq!(arena.owner_stats(7), ArenaStats::default());
+        let nine = arena.owner_stats(9);
+        assert_eq!((nine.hits, nine.misses, nine.bytes), (1, 0, 128));
+    }
+
+    #[test]
+    fn steady_state_is_all_hits() {
+        let arena = BufferArena::new(1 << 20);
+        // Warmup round allocates; every later round recycles.
+        for _ in 0..4 {
+            drop(arena.acquire(1, 512));
+        }
+        let s = arena.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+        drop(arena.acquire(1, 512));
+        assert_eq!(arena.stats().hits, 4);
+    }
+}

@@ -114,6 +114,13 @@ impl HBuffer {
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
 
+    /// Zero the contents in place — recycling paths use this to make a
+    /// reused buffer bit-identical to a fresh `zeroed` allocation.
+    #[inline]
+    pub fn zero(&mut self) {
+        self.as_mut_slice().fill(0);
+    }
+
     /// Mutable view of the bytes.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [u8] {

@@ -14,6 +14,10 @@
 //!   handed to the virtual PCIe engine;
 //! * [`MemoryPool`] — a paged off-heap pool mirroring Flink's memory
 //!   segments; a GStruct never straddles a page (§5.1);
+//! * [`BufferArena`] — reusable host *result* buffers recycled across
+//!   GWork flights (CrystalGPU's buffer-reuse idiom): exact-size free
+//!   lists, zero-on-hit so recycling is digest-invisible, per-job
+//!   accounting with a hit-rate stat;
 //! * [`PinnedPool`] — reusable page-locked host staging buffers for the
 //!   transfer channel (§4.1.2): registration paid once, high-water
 //!   recycling, per-job accounting;
@@ -26,6 +30,7 @@
 //! * [`serialize`] — the *baseline* object-serialization path that GFlink
 //!   avoids, implemented so the contrast can be measured.
 
+pub mod arena;
 pub mod gstruct;
 pub mod hbuffer;
 pub mod layout;
@@ -33,6 +38,7 @@ pub mod pinned;
 pub mod pool;
 pub mod serialize;
 
+pub use arena::{ArenaBuf, ArenaStats, BufferArena};
 pub use gstruct::{AlignClass, FieldDef, GStructDef, PrimType};
 pub use hbuffer::HBuffer;
 pub use layout::{DataLayout, RecordReader, RecordView};

@@ -4,31 +4,40 @@
 //! time order, with FIFO order among events scheduled for the same instant
 //! (insertion sequence breaks ties). Used by the `GStreamManager` event loop
 //! to order stream completions, GWork submissions and stealing attempts.
+//!
+//! Payloads live in a slab with a free list; the binary heap orders small
+//! `Copy` keys (time, sequence, slot) only. Sift operations therefore move
+//! 24-byte keys instead of full payloads, and in steady state a
+//! schedule/pop cycle reuses slab slots and heap capacity without touching
+//! the allocator — the per-push entry allocation this queue replaced was a
+//! measurable slice of per-GWork harness cost (ISSUE 7).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-struct Entry<T> {
+/// Heap key: everything ordering needs, nothing else. `Copy`, 24 bytes.
+#[derive(Clone, Copy)]
+struct Key {
     time: SimTime,
     seq: u64,
-    payload: T,
+    slot: u32,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<T> Eq for Entry<T> {}
+impl Eq for Key {}
 
-impl<T> PartialOrd for Entry<T> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for Entry<T> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
@@ -41,7 +50,10 @@ impl<T> Ord for Entry<T> {
 
 /// A deterministic min-time event queue.
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    heap: BinaryHeap<Key>,
+    /// Payload slab; `None` marks a free slot (listed in `free`).
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
     seq: u64,
     now: SimTime,
 }
@@ -57,6 +69,8 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -69,25 +83,40 @@ impl<T> EventQueue<T> {
     /// insertion order) rather than rewinding the clock.
     pub fn schedule(&mut self, at: SimTime, payload: T) {
         let at = at.max(self.now);
-        self.heap.push(Entry {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab overflow");
+                self.slots.push(Some(payload));
+                slot
+            }
+        };
+        self.heap.push(Key {
             time: at,
             seq: self.seq,
-            payload,
+            slot,
         });
         self.seq += 1;
     }
 
     /// Pop the earliest event, advancing the clock to its instant.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.time >= self.now, "event queue time went backwards");
-        self.now = e.time;
-        Some((e.time, e.payload))
+        let k = self.heap.pop()?;
+        debug_assert!(k.time >= self.now, "event queue time went backwards");
+        self.now = k.time;
+        let payload = self.slots[k.slot as usize]
+            .take()
+            .expect("heap key points at a full slot");
+        self.free.push(k.slot);
+        Some((k.time, payload))
     }
 
     /// Instant of the earliest pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|k| k.time)
     }
 
     /// The current simulated instant (time of the last popped event).
@@ -160,5 +189,21 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..4 {
+                q.schedule(t(round * 100 + i), (round, i));
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some((t(round * 100 + i), (round, i))));
+            }
+        }
+        // Steady state: the slab never grew past the in-flight high water.
+        assert_eq!(q.slots.len(), 4);
+        assert_eq!(q.free.len(), 4);
     }
 }

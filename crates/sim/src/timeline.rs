@@ -98,6 +98,13 @@ impl Timeline {
 #[derive(Clone, Debug)]
 pub struct MultiTimeline {
     servers: Vec<Timeline>,
+    /// Running sum of per-server busy time, maintained on every reserve so
+    /// `busy_time`/`utilization` are O(1) queries instead of O(k) rebuilds
+    /// (they sit on per-work reporting paths).
+    busy_total: SimTime,
+    /// Running max of per-server `next_free` — monotone under reservation,
+    /// so the pool drain time is maintained incrementally.
+    drain_at: SimTime,
 }
 
 impl MultiTimeline {
@@ -106,6 +113,8 @@ impl MultiTimeline {
         assert!(k >= 1, "MultiTimeline needs at least one server");
         MultiTimeline {
             servers: vec![Timeline::new(); k],
+            busy_total: SimTime::ZERO,
+            drain_at: SimTime::ZERO,
         }
     }
 
@@ -133,6 +142,8 @@ impl MultiTimeline {
             }
         }
         let r = self.servers[best].reserve(earliest, duration);
+        self.busy_total += duration;
+        self.drain_at = self.drain_at.max(r.end);
         (best, r)
     }
 
@@ -143,7 +154,10 @@ impl MultiTimeline {
         earliest: SimTime,
         duration: SimTime,
     ) -> Reservation {
-        self.servers[server].reserve(earliest, duration)
+        let r = self.servers[server].reserve(earliest, duration);
+        self.busy_total += duration;
+        self.drain_at = self.drain_at.max(r.end);
+        r
     }
 
     /// The earliest instant at which *any* server is free.
@@ -156,12 +170,9 @@ impl MultiTimeline {
     }
 
     /// The instant at which *all* servers are free (pool drain time).
+    /// O(1): maintained incrementally on every reservation.
     pub fn all_free(&self) -> SimTime {
-        self.servers
-            .iter()
-            .map(Timeline::next_free)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.drain_at
     }
 
     /// Number of servers idle at instant `t`.
@@ -174,9 +185,10 @@ impl MultiTimeline {
         &self.servers
     }
 
-    /// Total busy time summed over all servers.
+    /// Total busy time summed over all servers. O(1): maintained
+    /// incrementally on every reservation.
     pub fn busy_time(&self) -> SimTime {
-        self.servers.iter().map(Timeline::busy_time).sum()
+        self.busy_total
     }
 
     /// Mean per-server utilization in `[0, 1]` over `[0, horizon]`.
@@ -196,6 +208,8 @@ impl MultiTimeline {
         for s in &mut self.servers {
             s.reset();
         }
+        self.busy_total = SimTime::ZERO;
+        self.drain_at = SimTime::ZERO;
     }
 }
 
@@ -290,5 +304,25 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_pool_rejected() {
         let _ = MultiTimeline::new(0);
+    }
+
+    #[test]
+    fn multi_incremental_aggregates_match_rescan() {
+        let mut pool = MultiTimeline::new(3);
+        pool.reserve(t(0), t(10));
+        pool.reserve_on(2, t(5), t(7));
+        pool.reserve(t(0), t(3));
+        let busy_rescan: SimTime = pool.servers().iter().map(Timeline::busy_time).sum();
+        let drain_rescan = pool
+            .servers()
+            .iter()
+            .map(Timeline::next_free)
+            .max()
+            .unwrap();
+        assert_eq!(pool.busy_time(), busy_rescan);
+        assert_eq!(pool.all_free(), drain_rescan);
+        pool.reset();
+        assert_eq!(pool.busy_time(), SimTime::ZERO);
+        assert_eq!(pool.all_free(), SimTime::ZERO);
     }
 }

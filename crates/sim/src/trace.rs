@@ -322,11 +322,32 @@ impl Tracer {
         }
     }
 
-    /// Snapshot of the retained events, in emission order.
-    pub fn events(&self) -> Vec<TraceEvent> {
+    /// Run `f` over the retained events, in emission order, without
+    /// copying them out of the ring. This is the export path: the old
+    /// `events()` snapshot cloned the entire ring buffer per call.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[TraceEvent]) -> R) -> R {
+        match self.buf() {
+            Some(mut b) => {
+                let slice = b.events.make_contiguous();
+                f(slice)
+            }
+            None => f(&[]),
+        }
+    }
+
+    /// Drain the retained events out of the ring, in emission order — an
+    /// export that transfers ownership instead of cloning. Names, capacity
+    /// and the dropped counter are kept.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
         self.buf()
-            .map(|b| b.events.iter().cloned().collect())
+            .map(|mut b| b.events.drain(..).collect())
             .unwrap_or_default()
+    }
+
+    /// Fold the retained engine spans into a [`PipelineProfile`] without
+    /// cloning the ring.
+    pub fn profile(&self) -> PipelineProfile {
+        self.with_events(PipelineProfile::from_events)
     }
 
     /// Number of retained events.
@@ -634,10 +655,15 @@ mod tests {
         let tr = Tracer::new(16);
         tr.record(TraceEvent::span(1, 2, Cat::Kernel, "k0", t(0), t(5)));
         tr.record(TraceEvent::instant(1, 0, Cat::Health, "lost", t(3)));
-        let evs = tr.events();
+        tr.with_events(|evs| {
+            assert_eq!(evs.len(), 2);
+            assert_eq!(evs[0].name, "k0");
+            assert_eq!(evs[1].cat, Cat::Health);
+        });
+        // Draining transfers ownership and empties the ring.
+        let evs = tr.take_events();
         assert_eq!(evs.len(), 2);
-        assert_eq!(evs[0].name, "k0");
-        assert_eq!(evs[1].cat, Cat::Health);
+        assert!(tr.is_empty());
     }
 
     #[test]
@@ -648,7 +674,7 @@ mod tests {
         }
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.dropped(), 3);
-        assert_eq!(tr.events()[0].name, "e3");
+        tr.with_events(|evs| assert_eq!(evs[0].name, "e3"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl GRecord for Point {
 
 fn fabric() -> GpuFabric {
     let fabric = GpuFabric::new(1, FabricConfig::default());
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);

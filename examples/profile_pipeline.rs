@@ -26,7 +26,7 @@ fn run(label: &str, streams_per_gpu: usize) -> (String, PipelineProfile, SimTime
     let app = kmeans::run_gpu(&setup, &params);
 
     let json = tracer.export_chrome_json();
-    let profile = PipelineProfile::from_events(&tracer.events());
+    let profile = tracer.profile();
     println!(
         "{label}: {} streams/GPU, job time {}, {} trace events",
         streams_per_gpu,

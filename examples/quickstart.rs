@@ -44,7 +44,7 @@ fn main() {
     let fabric = GpuFabric::new(2, FabricConfig::default());
 
     // Provide the CUDA kernel (a Rust closure standing in for addPoint.ptx).
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);

@@ -59,7 +59,7 @@ fn main() {
             |r| Reading { v: r.v * 2.0 },
         );
         let fabric = GpuFabric::new(workers, FabricConfig::default());
-        fabric.register_kernel("streamDouble", |args: &mut KernelArgs<'_>| {
+        fabric.register_kernel("streamDouble", |args: &mut KernelArgs<'_, '_>| {
             let def = Reading::def();
             let n = args.n_actual;
             let input = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);

@@ -58,7 +58,7 @@ fn fabric_cfg(interval: SimTime, fallback: bool) -> FabricConfig {
 
 fn make_fabric(cfg: FabricConfig) -> GpuFabric {
     let fabric = GpuFabric::new(1, cfg);
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);

@@ -42,7 +42,7 @@ impl GRecord for Cell {
     }
 }
 
-fn square_kernel(args: &mut KernelArgs<'_>) -> KernelProfile {
+fn square_kernel(args: &mut KernelArgs<'_, '_>) -> KernelProfile {
     let def = Cell::def();
     let n = args.n_actual;
     let input = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
@@ -219,7 +219,7 @@ fn bounded_output_mode_roundtrips_variable_cardinality() {
     let cluster = SharedCluster::new(ClusterConfig::standard(1));
     let fabric = GpuFabric::new(1, FabricConfig::default());
     // Deduplicate by id within a block, data-dependent output count.
-    fabric.register_kernel("dedup", |args: &mut KernelArgs<'_>| {
+    fabric.register_kernel("dedup", |args: &mut KernelArgs<'_, '_>| {
         use std::collections::BTreeMap;
         let def = Cell::def();
         let n = args.n_actual;
