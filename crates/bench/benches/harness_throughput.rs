@@ -36,7 +36,11 @@
 //!   baseline by at least 1.15x (measured speedup is ~1.5-1.8x; the gate
 //!   sits below the machine-noise band so CI does not flake);
 //! * regression: normalized throughput must not drop more than 20% below
-//!   the last committed `BENCH_throughput.json` entry.
+//!   the last committed `BENCH_throughput.json` entry;
+//! * metrics: both paths re-run with the live metrics plane attached must
+//!   stay inside the same allocation budgets and cost at most 5% of the
+//!   dark-path throughput. The dark runs themselves are the
+//!   disabled-is-zero-cost check — they never touch the plane.
 
 use gflink_bench::{header, jobj, row, write_results};
 use gflink_core::{
@@ -44,7 +48,7 @@ use gflink_core::{
 };
 use gflink_gpu::{GpuModel, KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::HBuffer;
-use gflink_sim::SimTime;
+use gflink_sim::{Metrics, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,6 +79,10 @@ mod gates {
     pub const MIN_SPEEDUP: f64 = 1.15;
     pub const MAX_SOLO_ALLOCS_PER_WORK: f64 = 2.0;
     pub const MAX_FUSED_ALLOCS_PER_WORK: f64 = 4.0;
+    /// The metrics plane may cost at most this fraction of throughput when
+    /// enabled — its hot path is interned atomic handles, so the steady
+    /// state should be within noise of the dark path.
+    pub const MAX_METRICS_OVERHEAD: f64 = 0.05;
 }
 
 /// Counting allocator: heap allocations are the cost the hot-path refactor
@@ -197,8 +205,11 @@ struct PathResult {
 
 /// Submit/drain rounds of tiny works until at least `min_elapsed` of wall
 /// clock has been timed (after one untimed warmup round), returning
-/// scheduled GWorks per wall-clock second.
-fn run_path(batch: BatchConfig, min_elapsed: f64) -> PathResult {
+/// scheduled GWorks per wall-clock second. With `metrics`, the manager
+/// runs with the live metrics plane attached — the enabled-overhead path
+/// the metrics gates measure; without, the plane stays dark (the default
+/// zero-cost configuration the solo/fused allocation gates certify).
+fn run_path(batch: BatchConfig, min_elapsed: f64, metrics: Option<&Metrics>) -> PathResult {
     let input = {
         let mut b = HBuffer::zeroed(N_FLOATS * 4);
         for i in 0..N_FLOATS {
@@ -207,6 +218,9 @@ fn run_path(batch: BatchConfig, min_elapsed: f64) -> PathResult {
         Arc::new(b)
     };
     let (mut m, kernel) = manager(batch);
+    if let Some(mx) = metrics {
+        m.set_metrics(mx);
+    }
     let spec = SharedSpec {
         name: "thr".into(),
         execute_name: "bumpScale".into(),
@@ -313,13 +327,32 @@ fn main() {
 
     let baseline_mode = std::env::var("GFLINK_BENCH_BASELINE").is_ok_and(|v| v == "1");
     let calib = calibrate();
-    let solo = run_path(BatchConfig::default(), 1.0);
-    let fused = run_path(BatchConfig::enabled(), 1.0);
+    let solo = run_path(BatchConfig::default(), 1.0, None);
+    let fused = run_path(BatchConfig::enabled(), 1.0, None);
     assert_eq!(
         solo.digest_per_work.to_bits(),
         fused.digest_per_work.to_bits(),
         "fused path must be digest-identical to solo"
     );
+
+    // The same two paths with the metrics plane live: counters, gauges and
+    // histograms feed on every work, so the delta against the dark runs is
+    // the plane's whole steady-state cost.
+    let m_solo_reg = Metrics::new(Metrics::DEFAULT_CADENCE);
+    let m_solo = run_path(BatchConfig::default(), 1.0, Some(&m_solo_reg));
+    let m_fused_reg = Metrics::new(Metrics::DEFAULT_CADENCE);
+    let m_fused = run_path(BatchConfig::enabled(), 1.0, Some(&m_fused_reg));
+    assert_eq!(
+        solo.digest_per_work.to_bits(),
+        m_solo.digest_per_work.to_bits(),
+        "the metrics plane must not change results"
+    );
+    assert!(
+        m_solo_reg.export_prometheus().contains("gflink_"),
+        "the enabled run must actually feed the registry"
+    );
+    let overhead_solo = 1.0 - m_solo.gworks_per_sec / solo.gworks_per_sec;
+    let overhead_fused = 1.0 - m_fused.gworks_per_sec / fused.gworks_per_sec;
 
     let norm_solo = solo.gworks_per_sec / calib;
     let norm_fused = fused.gworks_per_sec / calib;
@@ -363,6 +396,24 @@ fn main() {
         format!("{norm_fused:.4}"),
         format!("{speedup_fused:.2}x"),
     ]);
+    row(&[
+        "solo+metrics".into(),
+        format!("{:.0}", m_solo.gworks_per_sec),
+        format!("{}", m_solo.works),
+        format!("{}", m_solo.rounds),
+        format!("{:.2}", m_solo.allocs_per_work),
+        format!("{:.4}", m_solo.gworks_per_sec / calib),
+        format!("{:+.1}% cost", 100.0 * overhead_solo),
+    ]);
+    row(&[
+        "fused+metrics".into(),
+        format!("{:.0}", m_fused.gworks_per_sec),
+        format!("{}", m_fused.works),
+        format!("{}", m_fused.rounds),
+        format!("{:.2}", m_fused.allocs_per_work),
+        format!("{:.4}", m_fused.gworks_per_sec / calib),
+        format!("{:+.1}% cost", 100.0 * overhead_fused),
+    ]);
     println!("(calibration: {calib:.0} boxed-heap ops/s on this machine)");
 
     let entry = jobj! {
@@ -381,6 +432,12 @@ fn main() {
         "baseline_calib_ops_per_sec": baseline::CALIB_OPS_PER_SEC,
         "speedup_solo": speedup_solo,
         "speedup_fused": speedup_fused,
+        "metrics_solo_gworks_per_sec": m_solo.gworks_per_sec,
+        "metrics_fused_gworks_per_sec": m_fused.gworks_per_sec,
+        "metrics_solo_allocs_per_work": m_solo.allocs_per_work,
+        "metrics_fused_allocs_per_work": m_fused.allocs_per_work,
+        "metrics_overhead_solo": overhead_solo,
+        "metrics_overhead_fused": overhead_fused,
     };
     write_results("harness_throughput", &entry);
 
@@ -405,6 +462,37 @@ fn main() {
              GWork (gate: {:.1})",
             fused.allocs_per_work,
             gates::MAX_FUSED_ALLOCS_PER_WORK
+        );
+        // The metrics plane must stay inside the same allocation budget —
+        // its per-work feeds are interned atomic handles, not fresh heap —
+        // and within the overhead ceiling of the dark runs.
+        assert!(
+            m_solo.allocs_per_work <= gates::MAX_SOLO_ALLOCS_PER_WORK,
+            "metrics allocation gate: solo-with-metrics pays {:.2} allocs \
+             per scheduled GWork (gate: {:.1})",
+            m_solo.allocs_per_work,
+            gates::MAX_SOLO_ALLOCS_PER_WORK
+        );
+        assert!(
+            m_fused.allocs_per_work <= gates::MAX_FUSED_ALLOCS_PER_WORK,
+            "metrics allocation gate: fused-with-metrics pays {:.2} allocs \
+             per scheduled GWork (gate: {:.1})",
+            m_fused.allocs_per_work,
+            gates::MAX_FUSED_ALLOCS_PER_WORK
+        );
+        assert!(
+            overhead_solo <= gates::MAX_METRICS_OVERHEAD,
+            "metrics overhead gate: the enabled plane costs {:.1}% of solo \
+             throughput (gate: {:.0}%)",
+            100.0 * overhead_solo,
+            100.0 * gates::MAX_METRICS_OVERHEAD
+        );
+        assert!(
+            overhead_fused <= gates::MAX_METRICS_OVERHEAD,
+            "metrics overhead gate: the enabled plane costs {:.1}% of fused \
+             throughput (gate: {:.0}%)",
+            100.0 * overhead_fused,
+            100.0 * gates::MAX_METRICS_OVERHEAD
         );
         assert!(
             speedup_solo >= gates::MIN_SPEEDUP,

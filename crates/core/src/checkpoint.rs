@@ -316,6 +316,14 @@ impl CheckpointManager {
         ticks
     }
 
+    /// The snapshot-cadence cursor for `job`: the last instant a periodic
+    /// tick fired (or the seed instant if none has). `None` for jobs the
+    /// manager has never seen. Health snapshots use this to report
+    /// checkpoint lag.
+    pub fn last_tick(&self, job: u64) -> Option<SimTime> {
+        self.last_tick.get(&job).copied()
+    }
+
     /// Forget a finished job's cadence state.
     pub fn retire_job(&mut self, job: u64) {
         self.next_seq.remove(&job);

@@ -25,15 +25,18 @@ use crate::config::CheckpointConfig;
 use crate::gwork::{CacheKey, GWork, WorkBuf};
 use crate::jobsched::{AdmissionError, JobHandle};
 use crate::manager::{GpuManager, GpuWorkerConfig, CPU_FALLBACK_GPU};
+use crate::observe::Observer;
 use crate::session::JobId;
 use gflink_flink::dataset::RawPart;
 use gflink_flink::graph::{PhaseKind, PhaseRecord};
 use gflink_flink::{DataSet, FlinkEnv, GpuLane, GpuWorkSample, JobReport, SharedCluster};
 use gflink_gpu::{KernelArgs, KernelId, KernelProfile, KernelRegistry};
 use gflink_memory::{ArenaBuf, DataLayout, GStructDef, HBuffer, RecordReader, RecordView};
-use gflink_sim::{MembershipPlan, Phase, SimTime, Tracer};
+use gflink_sim::{
+    FaultLedger, MembershipPlan, Metrics, Phase, RecEvent, RecKind, SimTime, SloPolicy, Tracer,
+};
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -277,16 +280,18 @@ impl Default for FabricConfig {
 /// contend for the same devices.
 #[derive(Clone)]
 pub struct GpuFabric {
-    managers: Arc<Mutex<Vec<GpuManager>>>,
+    pub(crate) managers: Arc<Mutex<Vec<GpuManager>>>,
     registry: Arc<Mutex<KernelRegistry>>,
     /// Shared, immutable after construction: per-operator and per-manager
     /// paths clone the `Arc`, not the config.
     cfg: Arc<FabricConfig>,
     next_dataset: Arc<AtomicU64>,
     next_job: Arc<AtomicU64>,
-    live_jobs: Arc<Mutex<BTreeSet<JobId>>>,
+    pub(crate) live_jobs: Arc<Mutex<BTreeSet<JobId>>>,
     tracer: Arc<Mutex<Tracer>>,
-    ckpt: Arc<Mutex<CheckpointManager>>,
+    pub(crate) ckpt: Arc<Mutex<CheckpointManager>>,
+    pub(crate) metrics: Arc<Mutex<Metrics>>,
+    pub(crate) observer: Arc<Mutex<Observer>>,
 }
 
 impl GpuFabric {
@@ -310,6 +315,8 @@ impl GpuFabric {
             live_jobs: Arc::new(Mutex::new(BTreeSet::new())),
             tracer: Arc::new(Mutex::new(Tracer::disabled())),
             ckpt,
+            metrics: Arc::new(Mutex::new(Metrics::disabled())),
+            observer: Arc::new(Mutex::new(Observer::default())),
         }
     }
 
@@ -534,6 +541,7 @@ impl GflinkEnv {
         // utilization means there).
         let window = self.flink.frontier();
         let job = self.handle.id();
+        let trace_dropped = self.fabric.tracer().dropped();
         self.fabric.with_managers(|managers| {
             let mut steals = 0u64;
             let mut batches = 0u64;
@@ -543,6 +551,7 @@ impl GflinkEnv {
             let mut pinned = gflink_memory::PinnedStats::default();
             let mut parked_works = 0u64;
             let mut park_delay = SimTime::ZERO;
+            let mut pen_hist = gflink_sim::LogHistogram::new();
             for m in managers.iter() {
                 if let Some(s) = m.session(job) {
                     steals += s.steals();
@@ -552,6 +561,7 @@ impl GflinkEnv {
                     batch_size.merge(s.batch_sizes());
                     parked_works += s.parked_works();
                     park_delay += s.park_delay();
+                    pen_hist.merge(s.pen_histogram());
                 }
                 let p = m.job_pinned_stats(job);
                 pinned.hits += p.hits;
@@ -584,6 +594,8 @@ impl GflinkEnv {
                 r.weight = self.handle.weight();
                 r.parked_works += parked_works;
                 r.park_delay += park_delay;
+                r.slo.pen.merge(&pen_hist);
+                r.trace_dropped = trace_dropped;
                 if r.lanes.is_empty() && !r.is_empty() {
                     r.lanes = lanes;
                 }
@@ -904,6 +916,32 @@ impl<T: GRecord> GDataSet<T> {
         // through. No locks are held across this wait.
         gflink_flink::gate::checkpoint(last_submit);
 
+        // Observability pre-capture. Lock order: the fabric's bookkeeping
+        // locks (metrics, observer policy, live jobs, checkpoint cursors)
+        // are copied out *before* the managers are held, matching the
+        // admission path's live-jobs-then-managers order.
+        let metrics = self.env.fabric.metrics.lock().clone();
+        let (slo, snap_live, snap_ticks) = if metrics.enabled() {
+            let slo = self.env.fabric.observer.lock().slo;
+            let live: Vec<u64> = self
+                .env
+                .fabric
+                .live_jobs
+                .lock()
+                .iter()
+                .map(|j| j.0)
+                .collect();
+            let ticks: BTreeMap<u64, SimTime> = {
+                let ck = self.env.fabric.ckpt.lock();
+                live.iter()
+                    .filter_map(|&j| ck.last_tick(j).map(|t| (j, t)))
+                    .collect()
+            };
+            (slo, live, ticks)
+        } else {
+            (SloPolicy::default(), Vec::new(), BTreeMap::new())
+        };
+
         // Consumer side: drain every worker's GpuManager.
         #[allow(clippy::type_complexity)]
         let mut per_part_blocks: Vec<Vec<(u32, ArenaBuf, Option<usize>, SimTime)>> =
@@ -915,6 +953,8 @@ impl<T: GRecord> GDataSet<T> {
         // Earliest permanent failure this op suffered: the simulated crash
         // instant bounding how late the checkpointer could still run.
         let mut crashed_at: Option<SimTime> = None;
+        let mut slo_breaches = 0u64;
+        let mut fault_delta = FaultLedger::default();
         self.env.fabric.with_managers(|managers| {
             for m in managers.iter_mut() {
                 for done in m.drain_job(job) {
@@ -938,6 +978,19 @@ impl<T: GRecord> GDataSet<T> {
                         bytes_h2d: done.timing.bytes_h2d,
                         bytes_d2h: done.timing.bytes_d2h,
                     });
+                    if metrics.enabled() && slo.breached(done.timing.total()) {
+                        slo_breaches += 1;
+                        let mut ev = RecEvent::new(
+                            done.timing.completed,
+                            RecKind::SloBreach,
+                            m.worker_id() as u32,
+                        )
+                        .with_detail(done.timing.total().as_nanos());
+                        if done.gpu != CPU_FALLBACK_GPU {
+                            ev = ev.on_gpu(done.gpu);
+                        }
+                        m.record_job_event(job, ev);
+                    }
                     per_part_blocks[done.tag.0 as usize].push((
                         done.tag.1,
                         done.output,
@@ -951,13 +1004,57 @@ impl<T: GRecord> GDataSet<T> {
                 // (retry exhaustion) also count failure instants toward the
                 // phase's wall clock so a faulted job's makespan stays
                 // honest.
-                flink.record_faults(m.take_job_fault_delta(job));
+                let delta = m.take_job_fault_delta(job);
+                fault_delta = fault_delta.merge(&delta);
+                flink.record_faults(delta);
                 for failed in m.take_job_failed(job) {
                     wall_end = wall_end.max(failed.failed_at);
                     crashed_at = Some(match crashed_at {
                         Some(c) => c.min(failed.failed_at),
                         None => failed.failed_at,
                     });
+                }
+            }
+            // Flight-recorder postmortems: a non-quiet fault delta or an
+            // SLO breach dumps the job's recent structured events plus a
+            // health snapshot built over the managers already held (the
+            // observer mutex is a leaf lock — it never takes another).
+            if metrics.enabled() && (!fault_delta.is_quiet() || slo_breaches > 0) {
+                let mut events: Vec<RecEvent> = Vec::new();
+                for m in managers.iter() {
+                    if let Some(s) = m.session(job) {
+                        events.extend(s.flight_events());
+                    }
+                }
+                events.sort_by_key(|e| (e.at, e.worker));
+                let snap = crate::observe::build_cluster_snapshot(
+                    wall_end,
+                    &snap_live,
+                    &snap_ticks,
+                    ckpt_on,
+                    managers,
+                );
+                let snap_json = snap.to_json();
+                let mut obs = self.env.fabric.observer.lock();
+                if !fault_delta.is_quiet() {
+                    obs.dump(
+                        job.0,
+                        "fault-ledger",
+                        wall_end,
+                        fault_delta,
+                        events.clone(),
+                        snap_json.clone(),
+                    );
+                }
+                if slo_breaches > 0 {
+                    obs.dump(
+                        job.0,
+                        "slo-breach",
+                        wall_end,
+                        fault_delta,
+                        events,
+                        snap_json,
+                    );
                 }
             }
         });
@@ -1038,6 +1135,47 @@ impl<T: GRecord> GDataSet<T> {
                     r.works_restored += restored_works;
                     r.recovery_delta
                         .add_time(wall_end.saturating_sub(rs.ready_at));
+                }
+            });
+        }
+        // Checkpoint/restore on the metrics plane: lifetime counters plus
+        // flight-recorder entries on every worker's ring (a restore or a
+        // snapshot write is job-scoped, not device-scoped).
+        if metrics.enabled() && ckpt_on {
+            metrics
+                .counter("gflink_checkpoints_total", "Durable job snapshots written")
+                .add(checkpoints);
+            metrics
+                .counter(
+                    "gflink_checkpoint_bytes_total",
+                    "Bytes written to durable snapshots",
+                )
+                .add(checkpoint_bytes);
+            if restored.is_some() {
+                metrics
+                    .counter(
+                        "gflink_restores_total",
+                        "Jobs restored from a durable snapshot",
+                    )
+                    .inc();
+            }
+            self.env.fabric.with_managers(|managers| {
+                for m in managers.iter_mut() {
+                    let w = m.worker_id() as u32;
+                    if checkpoints > 0 {
+                        m.record_job_event(
+                            job,
+                            RecEvent::new(wall_end, RecKind::CheckpointWritten, w)
+                                .with_detail(checkpoints),
+                        );
+                    }
+                    if let Some(rs) = &restored {
+                        m.record_job_event(
+                            job,
+                            RecEvent::new(rs.ready_at, RecKind::SnapshotRestored, w)
+                                .with_detail(restored_works),
+                        );
+                    }
                 }
             });
         }

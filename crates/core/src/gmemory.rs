@@ -24,7 +24,7 @@ use gflink_gpu::{
 };
 use gflink_memory::{ArenaBuf, BufferArena, HBuffer, PinnedLease, PinnedPool, PinnedStats};
 use gflink_sim::trace::{gpu_pid, Cat, TraceEvent, TID_DEVICE};
-use gflink_sim::{SimTime, Tracer};
+use gflink_sim::{Counter, Metrics, SimTime, Tracer};
 
 /// Result of staging one work's inputs onto a device (stage 1, H2D).
 pub(crate) struct StagedInputs {
@@ -121,6 +121,11 @@ pub struct GMemoryManager {
     worker_id: usize,
     /// Cumulative (hits, misses) per GPU, sampled into trace counters.
     trace_cache: Vec<(u64, u64)>,
+    /// The live-metrics plane (disabled by default); kept so devices that
+    /// join later inherit it like they inherit the tracer.
+    metrics: Metrics,
+    /// Per-GPU live cache counters: (hits, misses, evictions).
+    m_cache: Vec<(Counter, Counter, Counter)>,
 }
 
 impl GMemoryManager {
@@ -159,7 +164,55 @@ impl GMemoryManager {
             tracer: Tracer::disabled(),
             worker_id: 0,
             trace_cache: vec![(0, 0); n],
+            metrics: Metrics::disabled(),
+            m_cache: vec![Default::default(); n],
         }
+    }
+
+    /// Attach the live-metrics plane: registers per-device cache and
+    /// engine counter series and hands each [`VirtualGpu`] its handles.
+    pub(crate) fn set_metrics(&mut self, metrics: &Metrics, worker_id: usize) {
+        self.metrics = metrics.clone();
+        self.worker_id = worker_id;
+        for i in 0..self.gpus.len() {
+            self.register_device_metrics(i);
+        }
+    }
+
+    /// Register the live-metrics series for device `gpu` (no-op handles
+    /// when the plane is disabled).
+    fn register_device_metrics(&mut self, gpu: usize) {
+        let w = self.worker_id;
+        let m = &self.metrics;
+        let labels = format!("{{worker=\"{w}\",gpu=\"{gpu}\"}}");
+        self.m_cache[gpu] = (
+            m.counter(
+                &format!("gflink_cache_hits_total{labels}"),
+                "GPU cache region hits",
+            ),
+            m.counter(
+                &format!("gflink_cache_misses_total{labels}"),
+                "GPU cache region misses",
+            ),
+            m.counter(
+                &format!("gflink_cache_evictions_total{labels}"),
+                "GPU cache region evictions",
+            ),
+        );
+        self.gpus[gpu].set_metrics(
+            m.counter(
+                &format!("gflink_kernel_launches_total{labels}"),
+                "Kernels launched on the device",
+            ),
+            m.counter(
+                &format!("gflink_bytes_h2d_total{labels}"),
+                "Bytes copied host-to-device",
+            ),
+            m.counter(
+                &format!("gflink_bytes_d2h_total{labels}"),
+                "Bytes copied device-to-host",
+            ),
+        );
     }
 
     /// Attach a tracer: names one trace process per device and hands each
@@ -181,6 +234,11 @@ impl GMemoryManager {
 
     /// Emit a cache hit/miss instant plus the GPU's cumulative counters.
     fn trace_cache_event(&mut self, gpu: usize, hit: bool, key: CacheKey, t: SimTime) {
+        if hit {
+            self.m_cache[gpu].0.inc();
+        } else {
+            self.m_cache[gpu].1.inc();
+        }
         if !self.tracer.enabled() {
             return;
         }
@@ -223,6 +281,7 @@ impl GMemoryManager {
 
     /// Emit a cache-eviction instant.
     fn trace_eviction(&self, gpu: usize, t: SimTime) {
+        self.m_cache[gpu].2.inc();
         if self.tracer.enabled() {
             self.tracer.record(TraceEvent::instant(
                 gpu_pid(self.worker_id, gpu),
@@ -258,6 +317,10 @@ impl GMemoryManager {
         self.gpus.push(gpu);
         self.retired_stats.push((0, 0, 0));
         self.trace_cache.push((0, 0));
+        self.m_cache.push(Default::default());
+        if self.metrics.enabled() {
+            self.register_device_metrics(i);
+        }
         i
     }
 

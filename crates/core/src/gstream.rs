@@ -31,7 +31,10 @@ use crate::session::{JobId, JobSession};
 use gflink_gpu::{DevBufId, GpuModel, KernelRegistry};
 use gflink_memory::PinnedLease;
 use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
-use gflink_sim::{EventQueue, FaultKind, MembershipKind, SimRng, SimTime, Tracer};
+use gflink_sim::{
+    Counter, EventQueue, FaultKind, Gauge, Histogram, MembershipKind, Metrics, RecEvent, RecKind,
+    SimRng, SimTime, Tracer,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -259,6 +262,15 @@ pub struct GStreamManager {
     pub(crate) alpha_saved: SimTime,
     pub(crate) tracer: Tracer,
     pub(crate) worker_id: usize,
+    /// The live-metrics plane (gates flight-recorder pushes and drives
+    /// time-series sampling from the dispatch/completion hot path).
+    pub(crate) metrics: Metrics,
+    m_dispatched: Counter,
+    m_completed: Counter,
+    m_steals: Counter,
+    m_penned: Counter,
+    m_pen_depth: Gauge,
+    m_pen_delay: Histogram,
 }
 
 impl GStreamManager {
@@ -288,7 +300,47 @@ impl GStreamManager {
             alpha_saved: SimTime::ZERO,
             tracer: Tracer::disabled(),
             worker_id: 0,
+            metrics: Metrics::disabled(),
+            m_dispatched: Counter::disabled(),
+            m_completed: Counter::disabled(),
+            m_steals: Counter::disabled(),
+            m_penned: Counter::disabled(),
+            m_pen_depth: Gauge::disabled(),
+            m_pen_delay: Histogram::disabled(),
         }
+    }
+
+    /// Attach the live-metrics plane: registers this worker's scheduling
+    /// series (dispatch/completion counters, steal and pen counters, the
+    /// pen-depth gauge and the pen-delay histogram).
+    pub(crate) fn set_metrics(&mut self, metrics: &Metrics, worker_id: usize) {
+        self.metrics = metrics.clone();
+        self.worker_id = worker_id;
+        let l = format!("{{worker=\"{worker_id}\"}}");
+        self.m_dispatched = metrics.counter(
+            &format!("gflink_works_dispatched_total{l}"),
+            "Works entering Alg. 5.1 placement (including retries)",
+        );
+        self.m_completed = metrics.counter(
+            &format!("gflink_works_completed_total{l}"),
+            "Works whose D2H landed",
+        );
+        self.m_steals = metrics.counter(
+            &format!("gflink_steals_total{l}"),
+            "Alg. 5.2 steals from foreign queues",
+        );
+        self.m_penned = metrics.counter(
+            &format!("gflink_works_penned_total{l}"),
+            "Submissions parked in the backpressure pen",
+        );
+        self.m_pen_depth = metrics.gauge(
+            &format!("gflink_pen_depth{l}"),
+            "Works currently parked in backpressure pens",
+        );
+        self.m_pen_delay = metrics.histogram(
+            &format!("gflink_pen_delay{l}"),
+            "Pen residency before release",
+        );
     }
 
     /// Attach a tracer and name one trace thread per CUDA stream. Stage
@@ -436,6 +488,8 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        self.m_dispatched.inc();
+        self.metrics.maybe_sample(t);
         // Intern the kernel name once at submission: spec-built works
         // arrive pre-resolved; hand-built ones resolve here. Every later
         // stage dispatches by id (an array index, no string hashing).
@@ -465,6 +519,13 @@ impl GStreamManager {
         if retries == 0 && self.sched.should_pen(job) {
             if let Some(session) = eng.sessions.get_mut(&job) {
                 session.parked_works += 1;
+                if self.metrics.enabled() {
+                    session.recorder.push(RecEvent::new(
+                        t,
+                        RecKind::WorkPenned,
+                        self.worker_id as u32,
+                    ));
+                }
             }
             self.sched.pen_work(
                 job,
@@ -475,6 +536,8 @@ impl GStreamManager {
                     work,
                 },
             );
+            self.m_penned.inc();
+            self.m_pen_depth.set(self.sched.pen_depth_total() as u64);
             return;
         }
         match self.policy {
@@ -611,15 +674,20 @@ impl GStreamManager {
             // One dequeue of a job's work may free room under its
             // queued-bytes cap: release one penned work back into the loop.
             if let Some(penned) = self.sched.try_release(parked.job()) {
+                let delay = t.saturating_sub(penned.arrived);
                 if let Some(session) = eng.sessions.get_mut(&parked.job()) {
-                    session.park_delay += t.saturating_sub(penned.arrived);
+                    session.park_delay += delay;
+                    session.pen_hist.record(delay);
                 }
+                self.m_pen_delay.record(delay);
+                self.m_pen_depth.set(self.sched.pen_depth_total() as u64);
                 q.schedule(
                     t,
                     Ev::submit(parked.job(), penned.submitted, penned.retries, penned.work),
                 );
             }
             if stolen {
+                self.m_steals.inc();
                 if let Some(session) = eng.sessions.get_mut(&parked.job()) {
                     session.steals += 1;
                 }
@@ -841,6 +909,12 @@ impl GStreamManager {
             {
                 let session = eng.sessions.get_mut(&fl.job).expect("session open");
                 eng.recovery.note_transient_fault(session);
+                if self.metrics.enabled() {
+                    session.recorder.push(
+                        RecEvent::new(t, RecKind::TransientFault, self.worker_id as u32)
+                            .on_gpu(fl.gpu),
+                    );
+                }
             }
             if self.tracer.enabled() {
                 self.tracer.record(
@@ -923,6 +997,8 @@ impl GStreamManager {
         );
         self.stream_busy_until[fl.gpu][fl.stream] = rd2h.end;
         self.executed_per_gpu[fl.gpu] += 1;
+        self.m_completed.inc();
+        self.metrics.maybe_sample(rd2h.end);
         q.schedule(
             rd2h.end,
             Ev::StreamFree {
@@ -941,6 +1017,19 @@ impl GStreamManager {
         });
     }
 
+    /// Push a device-scoped flight-recorder event into every open session
+    /// (a dead device is every tenant's problem). No-op when the metrics
+    /// plane is off.
+    fn record_all(&self, eng: &mut Engine<'_>, t: SimTime, kind: RecKind, gpu: usize) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        let w = self.worker_id as u32;
+        for session in eng.sessions.values_mut() {
+            session.recorder.push(RecEvent::new(t, kind, w).on_gpu(gpu));
+        }
+    }
+
     /// A scripted fault fires.
     pub(crate) fn on_fault(
         &mut self,
@@ -955,6 +1044,7 @@ impl GStreamManager {
             gpu < eng.gmem.gpu_count(),
             "fault targets unknown device {gpu}"
         );
+        self.record_all(eng, t, RecKind::FaultInjected, gpu);
         if self.tracer.enabled() {
             self.tracer.record(
                 TraceEvent::instant(
@@ -973,6 +1063,7 @@ impl GStreamManager {
                     return; // already gone; nothing more to lose
                 }
                 eng.recovery.note_gpu_lost(&mut *eng.sessions);
+                self.record_all(eng, t, RecKind::DeviceLost, gpu);
                 eng.gmem.gpu_mut(gpu).mark_lost(t);
                 // Every open session loses its region on the dead device;
                 // each tenant's ledger records its own invalidations.
@@ -987,6 +1078,7 @@ impl GStreamManager {
                     return;
                 }
                 eng.recovery.note_gpu_degraded(&mut *eng.sessions);
+                self.record_all(eng, t, RecKind::DeviceDegraded, gpu);
                 eng.gmem.gpu_mut(gpu).degrade(t, throughput);
             }
             FaultKind::KernelTransient { .. } => {
@@ -1067,6 +1159,11 @@ impl GStreamManager {
             for qw in parked.into_members() {
                 let session = eng.sessions.get_mut(&qw.job).expect("session open");
                 eng.recovery.note_steal_on_drain(session);
+                if self.metrics.enabled() {
+                    session.recorder.push(
+                        RecEvent::new(t, RecKind::StealOnDrain, self.worker_id as u32).on_gpu(gpu),
+                    );
+                }
                 q.schedule(t, Ev::submit(qw.job, qw.submitted, qw.retries, qw.work));
             }
         }
@@ -1096,6 +1193,7 @@ impl GStreamManager {
                 let g = eng.gmem.join_device(model);
                 eng.recovery.grow_device();
                 eng.recovery.note_member_joined(&mut *eng.sessions);
+                self.record_all(eng, t, RecKind::MemberJoined, g);
                 self.stream_busy_until
                     .push(vec![SimTime::ZERO; self.streams_per_gpu]);
                 self.executed_per_gpu.push(0);
@@ -1133,6 +1231,7 @@ impl GStreamManager {
                     return; // never joined, already lost, or already retired
                 }
                 eng.recovery.note_member_left(&mut *eng.sessions);
+                self.record_all(eng, t, RecKind::MemberLeft, gpu);
                 eng.gmem.retire_device(gpu, t);
                 // Every open session loses its region on the retiring
                 // device; graceful or not, the blocks are gone.
@@ -1164,11 +1263,15 @@ impl GStreamManager {
             return false;
         }
         for (job, p) in flushed {
+            let delay = t.saturating_sub(p.arrived);
             if let Some(session) = eng.sessions.get_mut(&job) {
-                session.park_delay += t.saturating_sub(p.arrived);
+                session.park_delay += delay;
+                session.pen_hist.record(delay);
             }
+            self.m_pen_delay.record(delay);
             q.schedule(t, Ev::submit(job, p.submitted, p.retries, p.work));
         }
+        self.m_pen_depth.set(self.sched.pen_depth_total() as u64);
         true
     }
 
@@ -1190,6 +1293,11 @@ impl GStreamManager {
         {
             let session = eng.sessions.get_mut(&fl.job).expect("session open");
             eng.recovery.note_hang_detected(session);
+            if self.metrics.enabled() {
+                session.recorder.push(
+                    RecEvent::new(t, RecKind::HangDetected, self.worker_id as u32).on_gpu(fl.gpu),
+                );
+            }
         }
         self.recover_flight(eng, fl, t, t, FailReason::RetriesExhausted, q);
     }

@@ -326,6 +326,22 @@ impl JobScheduler {
     pub(crate) fn push_queue(&mut self) {
         self.queues.push(WorkQueue::new(self.cfg.arbitration));
     }
+
+    /// Works currently penned for `job` (health-snapshot accessor).
+    pub(crate) fn pen_depth(&self, job: JobId) -> usize {
+        self.pens.get(&job).map_or(0, VecDeque::len)
+    }
+
+    /// Works currently penned across all jobs (health-snapshot accessor).
+    pub(crate) fn pen_depth_total(&self) -> usize {
+        self.pens.values().map(VecDeque::len).sum()
+    }
+
+    /// Bytes `job` holds in the queues right now — its WFQ virtual-queue
+    /// level against the backpressure cap (health-snapshot accessor).
+    pub(crate) fn queued_bytes_of(&self, job: JobId) -> u64 {
+        self.queued_bytes.get(&job).copied().unwrap_or(0)
+    }
 }
 
 /// RAII handle to one live job on the fabric — the redesigned face of the

@@ -39,6 +39,7 @@ pub mod gwork;
 pub mod jobsched;
 pub mod manager;
 pub mod model;
+mod observe;
 pub mod recovery;
 pub mod scheduling;
 pub mod session;

@@ -17,8 +17,8 @@ use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
 use gflink_memory::{ArenaBuf, HBuffer};
 use gflink_sim::trace::{cpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
-    ComputeCost, EventQueue, FaultEvent, FaultLedger, FaultPlan, MembershipEvent, MembershipPlan,
-    MultiTimeline, RetryPolicy, SimTime, Tracer,
+    ComputeCost, Counter, EventQueue, FaultEvent, FaultLedger, FaultPlan, MembershipEvent,
+    MembershipPlan, Metrics, MultiTimeline, RecEvent, RecKind, RetryPolicy, SimTime, Tracer,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -142,6 +142,26 @@ impl Default for CpuFallback {
     }
 }
 
+/// Live-metrics counter handles mirroring the fault ledger, all disabled
+/// (free) until the metrics plane is attached.
+#[derive(Clone, Default)]
+struct RecCounters {
+    retries: Counter,
+    transients: Counter,
+    hangs: Counter,
+    steals_on_drain: Counter,
+    invalidations: Counter,
+    faults_injected: Counter,
+    gpus_lost: Counter,
+    gpus_degraded: Counter,
+    members_joined: Counter,
+    members_left: Counter,
+    works_restored: Counter,
+    works_failed: Counter,
+    cpu_fallbacks: Counter,
+    parked_abandoned: Counter,
+}
+
 /// The recovery half of the per-worker GPU manager.
 pub struct RecoveryManager {
     retry: RetryPolicy,
@@ -167,6 +187,9 @@ pub struct RecoveryManager {
     cpu_slots: MultiTimeline,
     tracer: Tracer,
     worker_id: usize,
+    /// The live-metrics plane (gates flight-recorder pushes).
+    metrics: Metrics,
+    m: RecCounters,
 }
 
 impl RecoveryManager {
@@ -194,7 +217,52 @@ impl RecoveryManager {
             cpu_slots,
             tracer: Tracer::disabled(),
             worker_id: 0,
+            metrics: Metrics::disabled(),
+            m: RecCounters::default(),
         }
+    }
+
+    /// Attach the live-metrics plane: registers this worker's
+    /// fault/recovery counter series (the live mirror of the ledger).
+    pub(crate) fn set_metrics(&mut self, metrics: &Metrics, worker_id: usize) {
+        self.metrics = metrics.clone();
+        self.worker_id = worker_id;
+        let l = format!("{{worker=\"{worker_id}\"}}");
+        let c = |name: &str, help: &str| metrics.counter(&format!("{name}{l}"), help);
+        self.m = RecCounters {
+            retries: c("gflink_retries_total", "Work retries scheduled"),
+            transients: c(
+                "gflink_transient_faults_total",
+                "Transient kernel faults recovered",
+            ),
+            hangs: c("gflink_hangs_detected_total", "Hung kernels detected"),
+            steals_on_drain: c(
+                "gflink_steals_on_drain_total",
+                "Works stolen off a dying device",
+            ),
+            invalidations: c(
+                "gflink_cache_invalidations_total",
+                "Cache entries invalidated by device loss",
+            ),
+            faults_injected: c("gflink_faults_injected_total", "Faults injected"),
+            gpus_lost: c("gflink_gpus_lost_total", "Devices lost"),
+            gpus_degraded: c("gflink_gpus_degraded_total", "Devices degraded"),
+            members_joined: c("gflink_members_joined_total", "Elastic joins applied"),
+            members_left: c("gflink_members_left_total", "Elastic leaves applied"),
+            works_restored: c(
+                "gflink_works_restored_total",
+                "Works satisfied from a restored checkpoint",
+            ),
+            works_failed: c("gflink_works_failed_total", "Works abandoned"),
+            cpu_fallbacks: c(
+                "gflink_cpu_fallbacks_total",
+                "Works executed on the host CPU",
+            ),
+            parked_abandoned: c(
+                "gflink_parked_abandoned_total",
+                "Parked works abandoned at job teardown",
+            ),
+        };
     }
 
     /// Attach a tracer: the worker's CPU-fallback pool gets its own trace
@@ -303,27 +371,32 @@ impl RecoveryManager {
     pub(crate) fn note_retry(&mut self, session: &mut JobSession) {
         self.ledger.retries += 1;
         session.ledger_mut().retries += 1;
+        self.m.retries.inc();
     }
 
     pub(crate) fn note_transient_fault(&mut self, session: &mut JobSession) {
         self.failures += 1;
         self.ledger.transient_faults += 1;
         session.ledger_mut().transient_faults += 1;
+        self.m.transients.inc();
     }
 
     pub(crate) fn note_hang_detected(&mut self, session: &mut JobSession) {
         self.ledger.hangs_detected += 1;
         session.ledger_mut().hangs_detected += 1;
+        self.m.hangs.inc();
     }
 
     pub(crate) fn note_steal_on_drain(&mut self, session: &mut JobSession) {
         self.ledger.steals_on_drain += 1;
         session.ledger_mut().steals_on_drain += 1;
+        self.m.steals_on_drain.inc();
     }
 
     pub(crate) fn note_invalidations(&mut self, session: &mut JobSession, n: u64) {
         self.ledger.cache_invalidations += n;
         session.ledger_mut().cache_invalidations += n;
+        self.m.invalidations.add(n);
     }
 
     /// Device-scoped: a fault was injected. Charged to every open session.
@@ -332,6 +405,7 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().faults_injected += 1;
         }
+        self.m.faults_injected.inc();
     }
 
     /// Device-scoped: a GPU was lost. Charged to every open session.
@@ -340,6 +414,7 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().gpus_lost += 1;
         }
+        self.m.gpus_lost.inc();
     }
 
     /// Device-scoped: a GPU was degraded. Charged to every open session.
@@ -348,6 +423,7 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().gpus_degraded += 1;
         }
+        self.m.gpus_degraded.inc();
     }
 
     /// Device-scoped: a node joined the complement. Charged to every open
@@ -357,6 +433,7 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().members_joined += 1;
         }
+        self.m.members_joined.inc();
     }
 
     /// Device-scoped: a node left the complement gracefully.
@@ -365,6 +442,7 @@ impl RecoveryManager {
         for s in sessions.values_mut() {
             s.ledger_mut().members_left += 1;
         }
+        self.m.members_left.inc();
     }
 
     /// Work-scoped: a submission was satisfied from a restored checkpoint
@@ -372,6 +450,7 @@ impl RecoveryManager {
     pub(crate) fn note_work_restored(&mut self, session: &mut JobSession) {
         self.ledger.works_restored += 1;
         session.ledger_mut().works_restored += 1;
+        self.m.works_restored.inc();
     }
 
     /// Work-scoped: `n` of the job's works were still parked (penned or
@@ -379,6 +458,7 @@ impl RecoveryManager {
     pub(crate) fn note_parked_abandoned(&mut self, session: &mut JobSession, n: u64) {
         self.ledger.parked_abandoned += n;
         session.ledger_mut().parked_abandoned += n;
+        self.m.parked_abandoned.add(n);
     }
 
     // --- retry / fail / CPU fallback -----------------------------------
@@ -407,6 +487,12 @@ impl RecoveryManager {
         let spent = now.saturating_sub(submitted);
         if self.retry.allows(retries, spent) {
             self.note_retry(session);
+            if self.metrics.enabled() {
+                session.recorder.push(
+                    RecEvent::new(now, RecKind::Retry, self.worker_id as u32)
+                        .with_detail(u64::from(retries + 1)),
+                );
+            }
             let delay = self.retry.backoff(retries);
             let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
             if self.tracer.enabled() {
@@ -445,6 +531,13 @@ impl RecoveryManager {
     ) {
         self.ledger.works_failed += 1;
         session.ledger_mut().works_failed += 1;
+        self.m.works_failed.inc();
+        if self.metrics.enabled() {
+            session.recorder.push(
+                RecEvent::new(now, RecKind::WorkFailed, self.worker_id as u32)
+                    .with_detail(u64::from(retries)),
+            );
+        }
         if self.tracer.enabled() {
             self.tracer.record(
                 TraceEvent::instant(
@@ -528,6 +621,14 @@ impl RecoveryManager {
         let (slot, r) = self.cpu_slots.reserve(t, dur);
         self.ledger.cpu_fallbacks += 1;
         session.ledger_mut().cpu_fallbacks += 1;
+        self.m.cpu_fallbacks.inc();
+        if self.metrics.enabled() {
+            session.recorder.push(RecEvent::new(
+                t,
+                RecKind::CpuFallback,
+                self.worker_id as u32,
+            ));
+        }
         if self.tracer.enabled() {
             self.tracer.record(
                 TraceEvent::span(

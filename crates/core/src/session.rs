@@ -12,7 +12,9 @@
 use crate::cache::GpuCache;
 use crate::gwork::{CompletedWork, GWork};
 use crate::recovery::FailedWork;
-use gflink_sim::{FaultLedger, LedgerWindow, SimTime, Summary};
+use gflink_sim::{
+    FaultLedger, FlightRecorder, LedgerWindow, LogHistogram, RecEvent, SimTime, Summary,
+};
 use std::collections::BTreeSet;
 
 /// Identity of one submitted job on a worker's GPU manager.
@@ -60,6 +62,13 @@ pub struct JobSession {
     /// `works_restored`) instead of executing — the exactly-once dedup
     /// across the restore boundary.
     pub(crate) covered: BTreeSet<(u32, u32)>,
+    /// The job's flight recorder: a bounded ring of recent structured
+    /// fault/recovery events. Only fed while the metrics plane is
+    /// enabled, so the default path allocates and pays nothing.
+    pub(crate) recorder: FlightRecorder,
+    /// Pen-delay histogram (per release, not the cumulative `park_delay`),
+    /// merged into the job's SLO rollup at teardown.
+    pub(crate) pen_hist: LogHistogram,
 }
 
 impl JobSession {
@@ -79,7 +88,20 @@ impl JobSession {
             parked_works: 0,
             park_delay: SimTime::ZERO,
             covered: BTreeSet::new(),
+            recorder: FlightRecorder::default(),
+            pen_hist: LogHistogram::new(),
         }
+    }
+
+    /// The job's recent flight-recorder events, oldest first (empty when
+    /// the metrics plane is off).
+    pub fn flight_events(&self) -> Vec<RecEvent> {
+        self.recorder.events()
+    }
+
+    /// Pen-delay histogram over this job's released penned works.
+    pub fn pen_histogram(&self) -> &LogHistogram {
+        &self.pen_hist
     }
 
     /// Tags this session will satisfy from a restored checkpoint.

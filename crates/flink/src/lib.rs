@@ -27,6 +27,7 @@ pub mod dataset;
 pub mod env;
 pub mod gate;
 pub mod graph;
+pub mod observe;
 pub mod rollup;
 pub mod topology;
 
@@ -35,5 +36,8 @@ pub use dataset::{DataSet, KeyedOps};
 pub use env::{FlinkEnv, JobReport};
 pub use gate::JobGate;
 pub use graph::{JobGraph, PhaseRecord};
+pub use observe::{
+    ClusterSnapshot, DeviceSnapshot, DeviceState, JobHealth, SloRollup, WorkerSnapshot,
+};
 pub use rollup::{GpuLane, GpuRollup, GpuWorkSample};
 pub use topology::{Cluster, ClusterConfig, NetworkModel, SharedCluster, Worker};

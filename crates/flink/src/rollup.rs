@@ -9,6 +9,7 @@
 //! feeds one [`GpuWorkSample`] per completed `GWork` as it drains the
 //! managers, plus one [`GpuLane`] per device at job teardown.
 
+use crate::observe::SloRollup;
 use gflink_sim::{SimTime, Summary};
 use std::fmt;
 
@@ -116,6 +117,13 @@ pub struct GpuRollup {
     /// landing to the replayed delta's completion — what resuming actually
     /// cost, versus re-running the whole operator.
     pub recovery_delta: Summary,
+    /// Per-job SLO histograms with exact deterministic p50/p95/p99 for
+    /// end-to-end latency and every stage (pen delay is merged in at
+    /// teardown from the session's backpressure histogram).
+    pub slo: SloRollup,
+    /// Trace events the tracer's ring dropped during the job — nonzero
+    /// means the Chrome timeline is incomplete.
+    pub trace_dropped: u64,
     /// Per-device activity lanes, in (worker, gpu) order.
     pub lanes: Vec<GpuLane>,
 }
@@ -132,6 +140,11 @@ impl GpuRollup {
         self.kernel.add_time(s.kernel);
         self.d2h.add_time(s.d2h);
         self.total.add_time(s.total);
+        self.slo.total.record(s.total);
+        self.slo.queued.record(s.queued);
+        self.slo.h2d.record(s.h2d);
+        self.slo.kernel.record(s.kernel);
+        self.slo.d2h.record(s.d2h);
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
         self.bytes_h2d += s.bytes_h2d;
@@ -244,16 +257,28 @@ impl fmt::Display for GpuRollup {
                 self.parked_works, self.weight, self.park_delay
             )?;
         }
-        if self.checkpoints > 0 || self.restores > 0 {
+        if self.checkpoints > 0 {
             writeln!(
                 f,
-                "  checkpointing: {} snapshots ({}), {} restores covering {} works, \
-                 replay delta mean {}",
+                "  checkpointing: {} snapshots ({})",
                 self.checkpoints,
                 fmt_bytes(self.checkpoint_bytes),
+            )?;
+        }
+        if self.restores > 0 {
+            writeln!(
+                f,
+                "  restores: {} covering {} works, replay delta mean {}",
                 self.restores,
                 self.works_restored,
                 fmt_ms(self.recovery_delta.mean()),
+            )?;
+        }
+        if self.trace_dropped > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} trace events dropped (timeline incomplete)",
+                self.trace_dropped
             )?;
         }
         writeln!(f, "  stage        mean        max        total")?;
@@ -272,6 +297,21 @@ impl fmt::Display for GpuRollup {
                 fmt_ms(max),
                 fmt_ms(s.sum()),
             )?;
+        }
+        if self.slo.total.count() > 0 {
+            writeln!(f, "  slo          p50         p95         p99")?;
+            for (name, h) in self.slo.stages() {
+                if h.count() == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {name:<8} {:>11} {:>11} {:>11}",
+                    fmt_ms(h.p50().as_secs_f64()),
+                    fmt_ms(h.p95().as_secs_f64()),
+                    fmt_ms(h.p99().as_secs_f64()),
+                )?;
+            }
         }
         for lane in &self.lanes {
             writeln!(
@@ -357,6 +397,55 @@ mod tests {
         assert!(!text.contains("batching"));
         assert!(!text.contains("backpressure"));
         assert!(!text.contains("checkpointing"));
+        assert!(!text.contains("restores:"));
+        assert!(!text.contains("WARNING"));
+        // SLO percentiles render whenever works were recorded.
+        assert!(text.contains("slo"));
+        assert!(text.contains("p95"));
+    }
+
+    #[test]
+    fn display_gates_checkpoints_and_restores_independently() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.checkpoints = 2;
+        r.checkpoint_bytes = 1024;
+        let text = format!("{r}");
+        assert!(text.contains("checkpointing: 2 snapshots (1.0 KiB)"));
+        // No restore happened: no restore line, no zero-filled fields.
+        assert!(!text.contains("restores:"));
+        assert!(!text.contains("0 restores"));
+
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.restores = 1;
+        r.works_restored = 7;
+        r.recovery_delta.add(0.004);
+        let text = format!("{r}");
+        assert!(!text.contains("checkpointing"));
+        assert!(text.contains("restores: 1 covering 7 works, replay delta mean 4.000 ms"));
+    }
+
+    #[test]
+    fn display_warns_on_dropped_trace_events() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.trace_dropped = 12;
+        let text = format!("{r}");
+        assert!(text.contains("WARNING: 12 trace events dropped"));
+    }
+
+    #[test]
+    fn record_feeds_slo_histograms() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 1, 0));
+        r.record(&sample(Some(1), 1, 0));
+        assert_eq!(r.slo.total.count(), 2);
+        assert_eq!(r.slo.kernel.count(), 2);
+        // Deterministic exact percentile on identical samples: the p99
+        // equals the recorded value's bucket upper clamped to the max.
+        assert_eq!(r.slo.total.p99(), r.slo.total.max());
+        assert_eq!(r.slo.total.max().as_nanos(), 360_000);
     }
 
     #[test]
@@ -369,7 +458,8 @@ mod tests {
         r.works_restored = 7;
         r.recovery_delta.add(0.004);
         let text = format!("{r}");
-        assert!(text.contains("checkpointing: 3 snapshots (2.0 KiB), 1 restores covering 7 works"));
+        assert!(text.contains("checkpointing: 3 snapshots (2.0 KiB)"));
+        assert!(text.contains("restores: 1 covering 7 works"));
         assert!(text.contains("replay delta mean 4.000 ms"));
     }
 

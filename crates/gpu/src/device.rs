@@ -16,7 +16,7 @@ use crate::spec::{GpuModel, GpuSpec};
 use gflink_memory::HBuffer;
 use gflink_sim::timeline::Reservation;
 use gflink_sim::trace::{copy_engine_tid, Cat, TraceEvent, TID_DEVICE, TID_KERNEL_ENGINE};
-use gflink_sim::{SimTime, Timeline, Tracer};
+use gflink_sim::{Counter, SimTime, Timeline, Tracer};
 
 /// Direction of a PCIe copy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +42,11 @@ pub struct VirtualGpu {
     bytes_d2h: u64,
     tracer: Tracer,
     trace_pid: u64,
+    /// Live-metrics mirrors of the lifetime counters (no-ops when the
+    /// metrics plane is off): kernel launches, H2D bytes, D2H bytes.
+    m_launches: Counter,
+    m_bytes_h2d: Counter,
+    m_bytes_d2h: Counter,
 }
 
 impl VirtualGpu {
@@ -63,7 +68,19 @@ impl VirtualGpu {
             bytes_d2h: 0,
             tracer: Tracer::disabled(),
             trace_pid: 0,
+            m_launches: Counter::disabled(),
+            m_bytes_h2d: Counter::disabled(),
+            m_bytes_d2h: Counter::disabled(),
         }
+    }
+
+    /// Attach live-metrics counters: kernel launches and copied bytes per
+    /// direction. The device feeds them alongside its lifetime counters;
+    /// disabled handles cost one branch per feed.
+    pub fn set_metrics(&mut self, launches: Counter, bytes_h2d: Counter, bytes_d2h: Counter) {
+        self.m_launches = launches;
+        self.m_bytes_h2d = bytes_h2d;
+        self.m_bytes_d2h = bytes_d2h;
     }
 
     /// Attach a tracer; the device emits engine-occupancy spans and health
@@ -210,6 +227,7 @@ impl VirtualGpu {
         self.dmem.upload(dst, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_h2d += logical_bytes;
+        self.m_bytes_h2d.add(logical_bytes);
         let engine = self.copy_engine_index(CopyDirection::H2D);
         let r = self.copy_engines[engine].reserve(earliest, dur);
         if self.tracer.enabled() {
@@ -245,6 +263,7 @@ impl VirtualGpu {
         let total: u64 = items.iter().map(|&(b, _, _)| b).sum();
         let dur = self.scale_by_health(self.transfer.time_for_fused(total, items.len()));
         self.bytes_h2d += total;
+        self.m_bytes_h2d.add(total);
         let engine = self.copy_engine_index(CopyDirection::H2D);
         let r = self.copy_engines[engine].reserve(earliest, dur);
         if self.tracer.enabled() {
@@ -278,6 +297,7 @@ impl VirtualGpu {
         let total: u64 = items.iter().map(|&(b, _, _)| b).sum();
         let dur = self.scale_by_health(self.transfer.time_for_fused(total, items.len()));
         self.bytes_d2h += total;
+        self.m_bytes_d2h.add(total);
         let engine = self.copy_engine_index(CopyDirection::D2H);
         let r = self.copy_engines[engine].reserve(earliest, dur);
         if self.tracer.enabled() {
@@ -309,6 +329,7 @@ impl VirtualGpu {
         self.dmem.download(src, host)?;
         let dur = self.copy_time(logical_bytes);
         self.bytes_d2h += logical_bytes;
+        self.m_bytes_d2h.add(logical_bytes);
         let engine = self.copy_engine_index(CopyDirection::D2H);
         let r = self.copy_engines[engine].reserve(earliest, dur);
         if self.tracer.enabled() {
@@ -374,6 +395,7 @@ impl VirtualGpu {
         profile.coalescing = (profile.coalescing * coalescing_scale).clamp(1.0 / 32.0, 1.0);
         let dur = self.kernel_time(&profile);
         self.kernels_launched += 1;
+        self.m_launches.inc();
         let r = self.kernel_engine.reserve(earliest, dur);
         if self.tracer.enabled() {
             self.tracer.record(

@@ -398,6 +398,29 @@ impl FaultLedger {
     pub fn is_quiet(&self) -> bool {
         *self == FaultLedger::default()
     }
+
+    /// Every entry as a stable `(name, value)` list, in declaration order.
+    /// The single source of truth for ledger serialization (postmortem
+    /// bundles, cluster snapshots): a new counter added here shows up in
+    /// every export automatically.
+    pub fn entries(&self) -> [(&'static str, u64); 14] {
+        [
+            ("faults_injected", self.faults_injected),
+            ("gpus_lost", self.gpus_lost),
+            ("gpus_degraded", self.gpus_degraded),
+            ("transient_faults", self.transient_faults),
+            ("hangs_detected", self.hangs_detected),
+            ("retries", self.retries),
+            ("steals_on_drain", self.steals_on_drain),
+            ("cache_invalidations", self.cache_invalidations),
+            ("cpu_fallbacks", self.cpu_fallbacks),
+            ("works_failed", self.works_failed),
+            ("works_restored", self.works_restored),
+            ("members_joined", self.members_joined),
+            ("members_left", self.members_left),
+            ("parked_abandoned", self.parked_abandoned),
+        ]
+    }
 }
 
 /// A [`FaultLedger`] plus a movable mark: cumulative counters with cheap

@@ -26,6 +26,7 @@ pub mod accounting;
 pub mod cost;
 pub mod events;
 pub mod faults;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -38,6 +39,10 @@ pub use events::EventQueue;
 pub use faults::{
     FaultEvent, FaultKind, FaultLedger, FaultPlan, LedgerWindow, MembershipEvent, MembershipKind,
     MembershipPlan, RetryPolicy,
+};
+pub use metrics::{
+    write_postmortem, Counter, FlightRecorder, Gauge, Histogram, LogHistogram, MetricId,
+    MetricKind, Metrics, PostmortemBundle, RecEvent, RecKind, SloPolicy, REC_NO_GPU,
 };
 pub use rng::SimRng;
 pub use stats::Summary;

@@ -408,9 +408,18 @@ impl Tracer {
         }
         let _ = write!(
             out,
-            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":\"{}\"}}}}",
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":\"{}\"",
             b.dropped
         );
+        if b.dropped > 0 {
+            let _ = write!(
+                out,
+                ",\"warning\":\"{} trace events dropped by ring overflow; \
+                 the timeline is incomplete — raise Tracer capacity\"",
+                b.dropped
+            );
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -675,6 +684,21 @@ mod tests {
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.dropped(), 3);
         tr.with_events(|evs| assert_eq!(evs[0].name, "e3"));
+    }
+
+    #[test]
+    fn chrome_export_warns_on_dropped_events() {
+        let tr = Tracer::new(2);
+        for i in 0..5u64 {
+            tr.record(TraceEvent::instant(0, 0, Cat::Cache, format!("e{i}"), t(i)));
+        }
+        let json = tr.export_chrome_json();
+        assert!(json.contains("\"droppedEvents\":\"3\""));
+        assert!(json.contains("\"warning\":\"3 trace events dropped"));
+        // A quiet ring exports no warning field.
+        let quiet = Tracer::new(8);
+        quiet.record(TraceEvent::instant(0, 0, Cat::Cache, "e", t(0)));
+        assert!(!quiet.export_chrome_json().contains("warning"));
     }
 
     #[test]

@@ -163,6 +163,9 @@ fn main() {
         .map(|g| g.checkpoints)
         .unwrap_or(0);
     println!("  attempt 1: {crashed} works lost to the crash, {written} snapshots written");
+    // Phase boundary: the post-crash health view — both devices lost, the
+    // ledger carrying the fault history the resume must recover from.
+    print!("{}", fabric1.cluster_snapshot(crash_report.finished_at));
 
     // Relaunch against the SAME cluster (same durable HDFS) under the
     // same job name: the new fabric finds the snapshot and resumes.
@@ -260,6 +263,9 @@ fn main() {
         "the joined device must pick up rebalanced blocks: {per_gpu:?}"
     );
     println!("  join : works per GPU {per_gpu:?} (device 2 joined at {join_at})");
+    // Phase boundary: the post-join health view carries the grown
+    // membership — three device lanes, the joined one with real work.
+    print!("{}", f.cluster_snapshot(rep.finished_at));
 
     let cl = SharedCluster::new(ClusterConfig::standard(1));
     let f = make_fabric(fabric_cfg(SimTime::from_millis(1)));

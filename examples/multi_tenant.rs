@@ -98,5 +98,9 @@ fn main() {
         "\nconcurrent makespan: {makespan} (all jobs share slots, NICs, disks and GPUs \
          under weighted-fair arbitration)"
     );
+    // Phase boundary: the shared fabric's health view once every tenant
+    // drained — per-device busy time, works executed, and a quiet ledger.
+    println!("\ncluster health after the concurrent phase:");
+    print!("{}", shared.fabric.cluster_snapshot(makespan));
     println!("results bit-identical to exclusive runs: true");
 }

@@ -73,11 +73,15 @@ pub mod prelude {
         SchedulerConfig, SchedulingPolicy, SpecError, StreamSource, TransferConfig,
         CPU_FALLBACK_GPU,
     };
-    pub use crate::flink::{ClusterConfig, FlinkEnv, JobGate, JobReport, OpCost, SharedCluster};
+    pub use crate::flink::{
+        ClusterConfig, ClusterSnapshot, FlinkEnv, JobGate, JobReport, OpCost, SharedCluster,
+    };
     pub use crate::gpu::{GpuModel, KernelArgs, KernelProfile};
     pub use crate::memory::{
         AlignClass, DataLayout, FieldDef, GStructDef, PrimType, RecordReader, RecordView,
     };
     pub use crate::sim::trace::PipelineProfile;
-    pub use crate::sim::{FaultKind, FaultPlan, MembershipKind, MembershipPlan, Phase, SimTime};
+    pub use crate::sim::{
+        FaultKind, FaultPlan, MembershipKind, MembershipPlan, Metrics, Phase, SimTime, SloPolicy,
+    };
 }
