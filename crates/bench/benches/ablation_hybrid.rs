@@ -1,0 +1,167 @@
+//! Ablation: hybrid CPU+GPU placement with the online cost model (ISSUE 9).
+//!
+//! Two operators bracket the arithmetic-intensity spectrum:
+//!
+//! * **pointadd** (low intensity: 2 flops per 16 logical bytes) is
+//!   PCIe-bound on the GPU — every pass re-pays H2D+D2H for almost no
+//!   compute. The cost model predicts the host finishes first and routes
+//!   blocks there, skipping the bus entirely. Gate: hybrid must be at
+//!   least **1.2x** faster than GPU-only locality-aware scheduling.
+//! * **kmeans** (high intensity: heavy per-point compute over cached
+//!   inputs) genuinely earns its transfers, so the model keeps the bulk
+//!   on-device and only offloads spillover when every stream is backed
+//!   up. Gate: hybrid may never be more than **2%** slower than GPU-only.
+//!
+//! Both gates sit on top of the transparency invariant: digests must stay
+//! bit-identical across policies, placement only moves *when/where*, never
+//! *what*.
+
+use gflink_apps::{kmeans, pointadd, AppRun, Setup};
+use gflink_bench::{header, jobj, row, write_results, Json};
+use gflink_core::{FabricConfig, SchedulingPolicy};
+use gflink_flink::ClusterConfig;
+
+const WORKERS: usize = 2;
+
+fn setup(policy: SchedulingPolicy) -> Setup {
+    let mut fabric = FabricConfig::default();
+    fabric.worker.scheduling = policy;
+    Setup::with_configs(ClusterConfig::standard(WORKERS), fabric)
+}
+
+struct Contrast {
+    base: AppRun,
+    hybrid: AppRun,
+    hybrid_gpu: u64,
+    hybrid_cpu: u64,
+    hybrid_splits: u64,
+}
+
+fn contrast(run: impl Fn(&Setup) -> AppRun) -> Contrast {
+    let base = run(&setup(SchedulingPolicy::LocalityAware));
+    let s = setup(SchedulingPolicy::HybridCostModel);
+    let hybrid = run(&s);
+    assert_eq!(
+        hybrid.digest.to_bits(),
+        base.digest.to_bits(),
+        "hybrid placement drifted the digest"
+    );
+    let g = hybrid.report.gpu.as_ref().expect("gpu rollup");
+    Contrast {
+        hybrid_gpu: g.hybrid_gpu,
+        hybrid_cpu: g.hybrid_cpu,
+        hybrid_splits: g.hybrid_splits,
+        base,
+        hybrid,
+    }
+}
+
+fn main() {
+    header(
+        "Ablation: hybrid CPU+GPU placement vs GPU-only",
+        "2 workers x 2 C2050 + 8-slot host pool; locality-aware vs hybrid cost model",
+    );
+    row(&[
+        "operator".into(),
+        "gpu-only (s)".into(),
+        "hybrid (s)".into(),
+        "speedup".into(),
+        "gpu/cpu/split".into(),
+    ]);
+
+    // Low intensity: transfer-bound pointadd, enough passes that the PCIe
+    // tax (or its absence) dominates the fixed driver costs.
+    let low = contrast(|s| {
+        pointadd::run_gpu(
+            s,
+            &pointadd::Params {
+                iterations: 15,
+                ..pointadd::Params::standard(s)
+            },
+        )
+    });
+    let low_speedup = low.base.total_secs() / low.hybrid.total_secs();
+    row(&[
+        "pointadd (low)".into(),
+        format!("{:.3}", low.base.total_secs()),
+        format!("{:.3}", low.hybrid.total_secs()),
+        format!("{low_speedup:.2}x"),
+        format!(
+            "{}/{}/{}",
+            low.hybrid_gpu, low.hybrid_cpu, low.hybrid_splits
+        ),
+    ]);
+
+    // High intensity: kmeans, where the GPU earns its transfers and the
+    // model keeps the bulk on-device (host gets queue spillover at most).
+    let high = contrast(|s| kmeans::run_gpu(s, &kmeans::Params::paper(150, s)));
+    let high_speedup = high.base.total_secs() / high.hybrid.total_secs();
+    row(&[
+        "kmeans (high)".into(),
+        format!("{:.3}", high.base.total_secs()),
+        format!("{:.3}", high.hybrid.total_secs()),
+        format!("{high_speedup:.2}x"),
+        format!(
+            "{}/{}/{}",
+            high.hybrid_gpu, high.hybrid_cpu, high.hybrid_splits
+        ),
+    ]);
+
+    // --- gates -----------------------------------------------------------
+    assert!(
+        low.hybrid_cpu > 0,
+        "hybrid routed nothing to the host on the transfer-bound operator"
+    );
+    assert!(
+        low_speedup >= 1.2,
+        "hybrid placement must win >=1.2x on the low-intensity operator, got {low_speedup:.3}x"
+    );
+    assert!(
+        high.hybrid.total_secs() <= high.base.total_secs() * 1.02,
+        "hybrid placement lost more than 2% on the high-intensity operator: \
+         {:.3}s vs {:.3}s",
+        high.hybrid.total_secs(),
+        high.base.total_secs()
+    );
+    println!(
+        "(gates: low-intensity speedup {low_speedup:.2}x >= 1.2x; high-intensity \
+         {high_speedup:.2}x within 2%)"
+    );
+
+    let results = Json::Arr(vec![
+        jobj! {
+            "experiment": "low_intensity",
+            "operator": "pointadd",
+            "gpu_only_secs": low.base.total_secs(),
+            "hybrid_secs": low.hybrid.total_secs(),
+            "speedup": low_speedup,
+            "hybrid_gpu": low.hybrid_gpu,
+            "hybrid_cpu": low.hybrid_cpu,
+            "hybrid_splits": low.hybrid_splits,
+        },
+        jobj! {
+            "experiment": "high_intensity",
+            "operator": "kmeans",
+            "gpu_only_secs": high.base.total_secs(),
+            "hybrid_secs": high.hybrid.total_secs(),
+            "speedup": high_speedup,
+            "hybrid_gpu": high.hybrid_gpu,
+            "hybrid_cpu": high.hybrid_cpu,
+            "hybrid_splits": high.hybrid_splits,
+        },
+    ]);
+    write_results("ablation_hybrid", &results);
+
+    // BENCH trajectory anchor at the workspace root, for future re-anchors
+    // to diff and gate hybrid-placement regressions against.
+    let bench = jobj! {
+        "bench": "hybrid",
+        "scenario": "pointadd_low_vs_kmeans_high_2workers",
+        "gates": jobj! { "low_min_speedup": 1.2, "high_max_loss": 0.02 },
+        "rows": results,
+    };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut text = bench.render();
+    text.push('\n');
+    let _ = std::fs::write(format!("{root}/BENCH_hybrid.json"), text);
+}

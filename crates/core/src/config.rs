@@ -176,6 +176,45 @@ impl CheckpointConfig {
     }
 }
 
+/// Knobs for the hybrid CPU+GPU cost-model placement policy
+/// ([`crate::scheduling::SchedulingPolicy::HybridCostModel`]).
+///
+/// There is no master switch here: selecting the policy *is* the opt-in.
+/// Under every other policy these knobs are inert, so default timelines
+/// stay byte-for-byte identical.
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// EWMA smoothing factor for the online estimators, in `(0, 1]`.
+    /// Higher = adapt faster, forget priors sooner.
+    pub ewma_alpha: f64,
+    /// Safety margin the host prediction must beat every GPU route by
+    /// before work leaves the GPUs (`predict_cpu * cpu_margin <
+    /// best_gpu`). Guards against thrashing on near-ties.
+    pub cpu_margin: f64,
+    /// Adaptive sizing: never split a block into pieces smaller than this
+    /// many elements (a block below `2 *` this is never split).
+    pub min_split_elems: usize,
+    /// Split only when the CPU/GPU predicted-time ratio is within this
+    /// factor of parity in either direction — beyond it, one device is so
+    /// dominant that splitting just adds launch overheads.
+    pub split_balance: f64,
+    /// Shrink the slower side's share of a split when the model's relative
+    /// prediction error (EWMA) exceeds this threshold.
+    pub split_error_threshold: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            ewma_alpha: 0.25,
+            cpu_margin: 1.2,
+            min_split_elems: 8_192,
+            split_balance: 3.0,
+            split_error_threshold: 0.25,
+        }
+    }
+}
+
 /// Configuration of one worker's GPU complement.
 #[derive(Clone, Debug)]
 pub struct GpuWorkerConfig {
@@ -211,6 +250,9 @@ pub struct GpuWorkerConfig {
     /// Multi-job scheduling: cross-job arbitration, admission control, and
     /// cache-budget partitioning.
     pub scheduler: SchedulerConfig,
+    /// Hybrid cost-model placement knobs (inert unless `scheduling` is
+    /// [`crate::scheduling::SchedulingPolicy::HybridCostModel`]).
+    pub hybrid: HybridConfig,
 }
 
 impl Default for GpuWorkerConfig {
@@ -227,6 +269,7 @@ impl Default for GpuWorkerConfig {
             cpu_fallback: CpuFallback::default(),
             transfer: TransferConfig::default(),
             scheduler: SchedulerConfig::default(),
+            hybrid: HybridConfig::default(),
         }
     }
 }

@@ -123,6 +123,9 @@ impl GStreamManager {
     pub(crate) fn batchable(&self, retries: u32, work: &GWork) -> bool {
         self.batch_cfg.enabled
             && retries == 0
+            // Split children complete through the merge table, which the
+            // fused completion path bypasses — they always run solo.
+            && !crate::gstream::is_split_child(work.tag)
             && work_bytes(work) <= self.batch_cfg.small_work_bytes
     }
 

@@ -552,6 +552,10 @@ impl GflinkEnv {
             let mut parked_works = 0u64;
             let mut park_delay = SimTime::ZERO;
             let mut pen_hist = gflink_sim::LogHistogram::new();
+            let mut hybrid_gpu = 0u64;
+            let mut hybrid_cpu = 0u64;
+            let mut hybrid_splits = 0u64;
+            let mut hybrid_err = gflink_sim::LogHistogram::new();
             for m in managers.iter() {
                 if let Some(s) = m.session(job) {
                     steals += s.steals();
@@ -562,6 +566,10 @@ impl GflinkEnv {
                     parked_works += s.parked_works();
                     park_delay += s.park_delay();
                     pen_hist.merge(s.pen_histogram());
+                    hybrid_gpu += s.hybrid_gpu();
+                    hybrid_cpu += s.hybrid_cpu();
+                    hybrid_splits += s.hybrid_splits();
+                    hybrid_err.merge(s.hybrid_err());
                 }
                 let p = m.job_pinned_stats(job);
                 pinned.hits += p.hits;
@@ -595,6 +603,10 @@ impl GflinkEnv {
                 r.parked_works += parked_works;
                 r.park_delay += park_delay;
                 r.slo.pen.merge(&pen_hist);
+                r.hybrid_gpu += hybrid_gpu;
+                r.hybrid_cpu += hybrid_cpu;
+                r.hybrid_splits += hybrid_splits;
+                r.hybrid_err.merge(&hybrid_err);
                 r.trace_dropped = trace_dropped;
                 if r.lanes.is_empty() && !r.is_empty() {
                     r.lanes = lanes;

@@ -20,17 +20,18 @@
 //! coordinator's other halves — so each event can touch the memory
 //! manager, the recovery manager, and the owning job's session at once.
 
-use crate::config::{BatchConfig, GpuWorkerConfig, SchedulerConfig};
+use crate::config::{BatchConfig, GpuWorkerConfig, HybridConfig};
+use crate::costmodel::{decide, CostModel, HybridRoute};
 use crate::fused::{FusedFlight, Parked, PendingBatch};
 use crate::gmemory::{GMemoryManager, StagedInputs};
-use crate::gwork::{CacheKey, CompletedWork, GWork, WorkTiming};
+use crate::gwork::{CacheKey, CompletedWork, GWork, WorkBuf, WorkTiming};
 use crate::jobsched::{JobScheduler, PennedWork};
-use crate::recovery::{FailReason, ManagerError, RecoveryManager};
+use crate::recovery::{FailReason, ManagerError, RecoveryManager, CPU_FALLBACK_GPU};
 use crate::scheduling::SchedulingPolicy;
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DevBufId, GpuModel, KernelRegistry};
-use gflink_memory::PinnedLease;
-use gflink_sim::trace::{gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
+use gflink_memory::{ArenaBuf, HBuffer, PinnedLease};
+use gflink_sim::trace::{cpu_pid, gpu_pid, stream_tid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
     Counter, EventQueue, FaultKind, Gauge, Histogram, MembershipKind, Metrics, RecEvent, RecKind,
     SimRng, SimTime, Tracer,
@@ -176,6 +177,16 @@ impl<T> FlightTable<T> {
         e.1.as_ref()
     }
 
+    /// Mutable peek at a live flight (stale ids miss).
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (slot, gen) = ((id & u32::MAX as u64) as usize, (id >> 32) as u32);
+        let e = self.slots.get_mut(slot)?;
+        if e.0 != gen {
+            return None;
+        }
+        e.1.as_mut()
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         self.live == 0
     }
@@ -215,6 +226,42 @@ struct InFlight {
     /// An injected hang wedged this flight's kernel; only the watchdog
     /// recovers it.
     hung: bool,
+}
+
+/// Synthetic block-index floor for split children: adaptive block sizing
+/// mints child tags descending from `u32::MAX`, so any tag at or above this
+/// is a child. A real fabric would need ~4 billion blocks in one partition
+/// to collide with the reserved range.
+pub(crate) const SPLIT_TAG_MIN: u32 = u32::MAX - (1 << 20);
+
+/// Whether a tag names a synthetic split child rather than a caller block.
+pub(crate) fn is_split_child(tag: (u32, u32)) -> bool {
+    tag.1 >= SPLIT_TAG_MIN
+}
+
+/// Reassembly state for one split block: children write their output
+/// slices here; when the last lands, a single parent [`CompletedWork`] is
+/// emitted so consumers never see the split.
+struct MergeEntry {
+    name: std::sync::Arc<str>,
+    tag: (u32, u32),
+    out: Vec<u8>,
+    remaining: usize,
+    /// Accumulated parent timing: stage times/bytes sum, `started` is the
+    /// earliest child start, `completed` the latest child landing.
+    timing: WorkTiming,
+    /// Device attribution: the GPU child's placement when one ran there,
+    /// else [`CPU_FALLBACK_GPU`].
+    gpu: usize,
+    stream: usize,
+    emitted: Option<usize>,
+}
+
+/// Where a split child's completion folds back in.
+struct ChildRoute {
+    merge: u64,
+    /// Byte offset of the child's output slice in the parent output.
+    offset: usize,
 }
 
 /// Borrow-split view of the coordinator handed to every event handler:
@@ -271,27 +318,39 @@ pub struct GStreamManager {
     m_penned: Counter,
     m_pen_depth: Gauge,
     m_pen_delay: Histogram,
+    /// The online cost model; `Some` only under
+    /// [`SchedulingPolicy::HybridCostModel`], so every other policy pays
+    /// nothing on the hot path.
+    cost_model: Option<CostModel>,
+    hybrid_cfg: HybridConfig,
+    /// Split blocks awaiting child completions.
+    merges: FlightTable<MergeEntry>,
+    /// `(job, child tag)` → merge routing.
+    split_children: BTreeMap<(JobId, (u32, u32)), ChildRoute>,
+    /// Next synthetic child block index, descending from `u32::MAX`.
+    next_child_tag: u32,
+    m_hybrid_gpu: Counter,
+    m_hybrid_cpu: Counter,
+    m_hybrid_splits: Counter,
+    m_model_err: Gauge,
 }
 
 impl GStreamManager {
-    pub(crate) fn new(
-        n_gpus: usize,
-        streams_per_gpu: usize,
-        policy: SchedulingPolicy,
-        batch_cfg: BatchConfig,
-        sched_cfg: SchedulerConfig,
-    ) -> Self {
+    pub(crate) fn new(cfg: &GpuWorkerConfig) -> Self {
+        let n_gpus = cfg.models.len();
+        let streams_per_gpu = cfg.streams_per_gpu;
+        let policy = cfg.scheduling;
         GStreamManager {
             streams_per_gpu,
             policy,
             stream_busy_until: vec![vec![SimTime::ZERO; streams_per_gpu]; n_gpus],
-            sched: JobScheduler::new(n_gpus, sched_cfg),
+            sched: JobScheduler::new(n_gpus, cfg.scheduler.clone()),
             rr_counter: 0,
             steals: 0,
             executed_per_gpu: vec![0; n_gpus],
             in_flight: FlightTable::new(),
             next_flight: 1,
-            batch_cfg,
+            batch_cfg: cfg.transfer.batch.clone(),
             batchers: (0..n_gpus).map(|_| None).collect(),
             batch_epoch: 0,
             fused_in_flight: FlightTable::new(),
@@ -307,6 +366,15 @@ impl GStreamManager {
             m_penned: Counter::disabled(),
             m_pen_depth: Gauge::disabled(),
             m_pen_delay: Histogram::disabled(),
+            cost_model: (policy == SchedulingPolicy::HybridCostModel).then(|| CostModel::new(cfg)),
+            hybrid_cfg: cfg.hybrid.clone(),
+            merges: FlightTable::new(),
+            split_children: BTreeMap::new(),
+            next_child_tag: u32::MAX,
+            m_hybrid_gpu: Counter::disabled(),
+            m_hybrid_cpu: Counter::disabled(),
+            m_hybrid_splits: Counter::disabled(),
+            m_model_err: Gauge::disabled(),
         }
     }
 
@@ -340,6 +408,22 @@ impl GStreamManager {
         self.m_pen_delay = metrics.histogram(
             &format!("gflink_pen_delay{l}"),
             "Pen residency before release",
+        );
+        self.m_hybrid_gpu = metrics.counter(
+            &format!("gflink_hybrid_gpu_total{l}"),
+            "Works the hybrid cost model placed on a GPU",
+        );
+        self.m_hybrid_cpu = metrics.counter(
+            &format!("gflink_hybrid_cpu_total{l}"),
+            "Works the hybrid cost model placed on the host CPU",
+        );
+        self.m_hybrid_splits = metrics.counter(
+            &format!("gflink_hybrid_splits_total{l}"),
+            "Blocks the hybrid cost model split across CPU and GPU",
+        );
+        self.m_model_err = metrics.gauge(
+            &format!("gflink_hybrid_model_error_permille{l}"),
+            "Relative prediction error of the last hybrid completion (permille)",
         );
     }
 
@@ -422,6 +506,7 @@ impl GStreamManager {
         self.sched.is_idle()
             && self.in_flight.is_empty()
             && self.fused_in_flight.is_empty()
+            && self.merges.is_empty()
             && self.batchers.iter().all(Option::is_none)
     }
 
@@ -500,7 +585,7 @@ impl GStreamManager {
         }
         if eng.gmem.usable_gpus() == 0 {
             let session = eng.sessions.get_mut(&job).expect("session open");
-            eng.recovery.run_on_cpu_or_fail(
+            let done = eng.recovery.run_on_cpu_or_fail(
                 session,
                 job,
                 eng.registry,
@@ -509,6 +594,9 @@ impl GStreamManager {
                 retries,
                 t,
             );
+            if let Some(done) = done {
+                self.deliver(eng, job, done);
+            }
             return;
         }
         // Backpressure: a job already holding its queued-bytes cap parks
@@ -540,8 +628,37 @@ impl GStreamManager {
             self.m_pen_depth.set(self.sched.pen_depth_total() as u64);
             return;
         }
+        // Hybrid placement (ISSUE 9): the cost model compares the best GPU
+        // route against the host CPU pool. GPU wins fall straight through
+        // into Alg. 5.1 below — code-identical placement, so when the GPUs
+        // win every prediction the timeline matches `LocalityAware` bit for
+        // bit. Retries and split children always stay on the GPU path.
+        if self.cost_model.is_some()
+            && retries == 0
+            && !is_split_child(work.tag)
+            && eng.recovery.host_enabled()
+        {
+            match self.hybrid_route(eng, job, &work, t) {
+                HybridRoute::Gpu => {
+                    self.m_hybrid_gpu.inc();
+                    if let Some(session) = eng.sessions.get_mut(&job) {
+                        session.hybrid_gpu += 1;
+                    }
+                }
+                HybridRoute::Cpu => {
+                    self.run_hybrid_cpu(eng, job, work, submitted, retries, t, q);
+                    return;
+                }
+                HybridRoute::Split { cpu_n } => {
+                    self.split_and_dispatch(eng, job, work, submitted, cpu_n, t, q);
+                    return;
+                }
+            }
+        }
         match self.policy {
-            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal => {
+            SchedulingPolicy::LocalityAware
+            | SchedulingPolicy::LocalityNoSteal
+            | SchedulingPolicy::HybridCostModel => {
                 let gid = {
                     let session = eng.sessions.get(&job).expect("session open");
                     Self::locality_gpu(eng.gmem, session, &work)
@@ -1006,7 +1123,26 @@ impl GStreamManager {
                 stream: fl.stream,
             },
         );
-        session.completed.push(CompletedWork {
+        if let Some(cm) = self.cost_model.as_mut() {
+            // Score the prediction against this completion first (the error
+            // gauges the model as it stood), then fold the observation in.
+            let kbytes = fl.work.input_logical_bytes() + fl.work.out_logical_bytes;
+            let pred = cm.h2d_time(fl.gpu, fl.timing.bytes_h2d)
+                + cm.gpu_kernel_time(fl.gpu, fl.work.kernel, kbytes)
+                + cm.d2h_time(fl.gpu, fl.timing.bytes_d2h);
+            let obs = fl.timing.h2d + fl.timing.kernel + fl.timing.d2h;
+            if !obs.is_zero() {
+                let rel = crate::model::prediction_error(pred, obs);
+                cm.observe_error(fl.work.kernel, rel);
+                session.hybrid_err.record_nanos((rel * 10_000.0) as u64);
+                self.m_model_err.set((rel * 1_000.0) as u64);
+            }
+            cm.observe_gpu_kernel(fl.gpu, fl.work.kernel, kbytes, fl.timing.kernel);
+            cm.observe_h2d(fl.gpu, fl.timing.bytes_h2d, fl.timing.h2d);
+            cm.observe_d2h(fl.gpu, fl.timing.bytes_d2h, fl.timing.d2h);
+        }
+        let job = fl.job;
+        let done = CompletedWork {
             name: fl.work.name,
             tag: fl.work.tag,
             gpu: fl.gpu,
@@ -1014,7 +1150,8 @@ impl GStreamManager {
             output: out_host,
             emitted: fl.emitted,
             timing: fl.timing,
-        });
+        };
+        self.deliver(eng, job, done);
     }
 
     /// Push a device-scoped flight-recorder event into every open session
@@ -1192,6 +1329,9 @@ impl GStreamManager {
                 let model: GpuModel = cfg.models[eng.gmem.gpu_count() % cfg.models.len()];
                 let g = eng.gmem.join_device(model);
                 eng.recovery.grow_device();
+                if let Some(cm) = self.cost_model.as_mut() {
+                    cm.grow(model);
+                }
                 eng.recovery.note_member_joined(&mut *eng.sessions);
                 self.record_all(eng, t, RecKind::MemberJoined, g);
                 self.stream_busy_until
@@ -1342,5 +1482,287 @@ impl GStreamManager {
             reason,
             q,
         );
+    }
+}
+
+/// Hybrid CPU+GPU placement (ISSUE 9): the cost-model routing, the host
+/// execution path, and split-block reassembly.
+impl GStreamManager {
+    /// Decide where the cost model sends `work`: the best GPU route (Alg.
+    /// 5.1 then picks the concrete device), the host CPU pool, or a split
+    /// across both.
+    fn hybrid_route(&self, eng: &Engine<'_>, job: JobId, work: &GWork, t: SimTime) -> HybridRoute {
+        let cm = self.cost_model.as_ref().expect("hybrid policy active");
+        let session = eng.sessions.get(&job).expect("session open");
+        let kbytes = work.input_logical_bytes() + work.out_logical_bytes;
+        let keys: Vec<CacheKey> = work.inputs.iter().filter_map(|b| b.cache_key).collect();
+        let mut best: Option<SimTime> = None;
+        for g in 0..self.stream_busy_until.len() {
+            if !eng.gmem.usable(g) {
+                continue;
+            }
+            // Cache-hit discount: resident input bytes skip the H2D.
+            let resident = if keys.is_empty() {
+                0
+            } else {
+                session.regions[g].resident_bytes(&keys)
+            };
+            let miss = work.input_logical_bytes().saturating_sub(resident);
+            let kest = cm.gpu_kernel_time(g, work.kernel, kbytes);
+            // Queue term of Eq. (1): an idle stream starts now; otherwise
+            // the queued backlog shares the bulk's streams.
+            let queue_wait = if self.first_idle_stream(g, t).is_some() {
+                SimTime::ZERO
+            } else {
+                let depth = self.sched.queue_len(g) as u64 + 1;
+                SimTime::from_nanos(
+                    kest.as_nanos().saturating_mul(depth) / self.streams_per_gpu.max(1) as u64,
+                )
+            };
+            let pred =
+                queue_wait + cm.h2d_time(g, miss) + kest + cm.d2h_time(g, work.out_logical_bytes);
+            if best.map(|b| pred < b).unwrap_or(true) {
+                best = Some(pred);
+            }
+        }
+        let Some(gpu_pred) = best else {
+            return HybridRoute::Gpu; // no usable GPU: handled upstream
+        };
+        let cpu_pred = eng.recovery.host().backlog(t) + cm.host_kernel_time(work.kernel, kbytes);
+        let splittable = self.split_eligible(work).then_some(work.n_actual);
+        decide(
+            &self.hybrid_cfg,
+            gpu_pred,
+            cpu_pred,
+            cm.error(work.kernel),
+            splittable,
+        )
+    }
+
+    /// Whether a block can be split element-wise: a resolved kernel, one
+    /// output record per element, every input and the output dividing
+    /// evenly by the element count, and both halves clearing the minimum
+    /// split size. This deliberately excludes operators with indivisible
+    /// side inputs (k-means centroids, SpMV row pointers) and aggregating
+    /// outputs (wordcount) — splitting those would change their results.
+    fn split_eligible(&self, work: &GWork) -> bool {
+        let n = work.n_actual;
+        work.kernel.is_resolved()
+            && n >= 2 * self.hybrid_cfg.min_split_elems.max(1)
+            && work.out_records == n
+            && work.out_actual_bytes.is_multiple_of(n)
+            && work.out_logical_bytes.is_multiple_of(n as u64)
+            && work.n_logical.is_multiple_of(n as u64)
+            && work
+                .inputs
+                .iter()
+                .all(|b| b.data.len().is_multiple_of(n) && b.logical_bytes.is_multiple_of(n as u64))
+    }
+
+    /// Mint a synthetic child tag under `parent`'s partition, descending
+    /// from `u32::MAX` (see [`SPLIT_TAG_MIN`]).
+    fn alloc_child_tag(&mut self, parent: (u32, u32)) -> (u32, u32) {
+        assert!(
+            self.next_child_tag >= SPLIT_TAG_MIN,
+            "split child tag space exhausted"
+        );
+        let tag = (parent.0, self.next_child_tag);
+        self.next_child_tag -= 1;
+        tag
+    }
+
+    /// Build the child `GWork` covering elements `[start, start + count)`
+    /// of `parent`. Child inputs are transient copies of the parent's
+    /// slices — a child must not alias the parent's cache identity, or the
+    /// partial block would poison later full-block cache hits.
+    fn slice_work(parent: &GWork, start: usize, count: usize, tag: (u32, u32)) -> GWork {
+        let n = parent.n_actual;
+        let inputs = parent
+            .inputs
+            .iter()
+            .map(|b| {
+                let bpe = b.data.len() / n;
+                let slice = &b.data.as_slice()[start * bpe..(start + count) * bpe];
+                WorkBuf::transient(
+                    Arc::new(HBuffer::from_bytes(slice)),
+                    b.logical_bytes / n as u64 * count as u64,
+                )
+            })
+            .collect();
+        GWork {
+            name: parent.name.clone(),
+            execute_name: parent.execute_name.clone(),
+            kernel: parent.kernel,
+            ptx_path: parent.ptx_path.clone(),
+            block_size: parent.block_size,
+            grid_size: parent.grid_size,
+            inputs,
+            out_actual_bytes: parent.out_actual_bytes / n * count,
+            out_logical_bytes: parent.out_logical_bytes / n as u64 * count as u64,
+            out_records: count,
+            params: parent.params.clone(),
+            n_actual: count,
+            n_logical: parent.n_logical / n as u64 * count as u64,
+            coalescing: parent.coalescing,
+            tag,
+        }
+    }
+
+    /// Split `work` into a host child and a GPU child, register the merge
+    /// entry, and dispatch both. Consumers only ever see the reassembled
+    /// parent completion.
+    #[allow(clippy::too_many_arguments)]
+    fn split_and_dispatch(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        cpu_n: usize,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        self.m_hybrid_splits.inc();
+        if let Some(session) = eng.sessions.get_mut(&job) {
+            session.hybrid_splits += 1;
+        }
+        let n = work.n_actual;
+        let out_per_elem = work.out_actual_bytes / n;
+        let cpu_tag = self.alloc_child_tag(work.tag);
+        let gpu_tag = self.alloc_child_tag(work.tag);
+        let cpu_work = Self::slice_work(&work, 0, cpu_n, cpu_tag);
+        let gpu_work = Self::slice_work(&work, cpu_n, n - cpu_n, gpu_tag);
+        let merge = self.merges.insert(MergeEntry {
+            name: work.name.clone(),
+            tag: work.tag,
+            out: vec![0u8; work.out_actual_bytes],
+            remaining: 2,
+            timing: WorkTiming {
+                submitted,
+                started: SimTime::MAX,
+                ..WorkTiming::default()
+            },
+            gpu: CPU_FALLBACK_GPU,
+            stream: 0,
+            emitted: None,
+        });
+        self.split_children
+            .insert((job, cpu_tag), ChildRoute { merge, offset: 0 });
+        self.split_children.insert(
+            (job, gpu_tag),
+            ChildRoute {
+                merge,
+                offset: cpu_n * out_per_elem,
+            },
+        );
+        self.run_hybrid_cpu(eng, job, cpu_work, submitted, 0, t, q);
+        self.dispatch(eng, job, gpu_work, submitted, 0, t, q);
+    }
+
+    /// Execute one work on the host CPU pool by cost-model choice: the same
+    /// engine (and slot timelines) as the recovery fallback, but ledgered
+    /// as a hybrid placement, not a fault.
+    #[allow(clippy::too_many_arguments)]
+    fn run_hybrid_cpu(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        t: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        match eng.recovery.exec_on_host(eng.registry, &work, t) {
+            Ok(he) => {
+                self.m_hybrid_cpu.inc();
+                let session = eng.sessions.get_mut(&job).expect("session open");
+                session.hybrid_cpu += 1;
+                if self.metrics.enabled() {
+                    session.recorder.push(RecEvent::new(
+                        t,
+                        RecKind::HybridCpu,
+                        self.worker_id as u32,
+                    ));
+                }
+                if self.tracer.enabled() {
+                    self.tracer.record(
+                        TraceEvent::span(
+                            cpu_pid(self.worker_id),
+                            1 + he.slot as u32,
+                            Cat::Cpu,
+                            &*work.name,
+                            he.start,
+                            he.end,
+                        )
+                        .with_job(job.0)
+                        .with_arg("placement", "hybrid"),
+                    );
+                }
+                if let Some(cm) = self.cost_model.as_mut() {
+                    let kbytes = work.input_logical_bytes() + work.out_logical_bytes;
+                    cm.observe_host_kernel(work.kernel, kbytes, he.end.saturating_sub(he.start));
+                }
+                let done = he.into_completed(work, submitted);
+                self.deliver(eng, job, done);
+            }
+            Err(err) => {
+                let session = eng.sessions.get_mut(&job).expect("session open");
+                eng.recovery.retry_or_fail(
+                    session,
+                    job,
+                    work,
+                    submitted,
+                    retries,
+                    t,
+                    FailReason::Fatal(err),
+                    q,
+                );
+            }
+        }
+    }
+
+    /// Route a completion to its consumer: ordinary works land in the
+    /// session; split children fold into their merge entry, which emits the
+    /// reassembled parent completion when the last child lands.
+    fn deliver(&mut self, eng: &mut Engine<'_>, job: JobId, done: CompletedWork) {
+        let session = eng.sessions.get_mut(&job).expect("session open");
+        let Some(route) = self.split_children.remove(&(job, done.tag)) else {
+            session.completed.push(done);
+            return;
+        };
+        let entry = self.merges.get_mut(route.merge).expect("merge entry live");
+        let bytes = done.output.as_slice();
+        entry.out[route.offset..route.offset + bytes.len()].copy_from_slice(bytes);
+        let mt = &mut entry.timing;
+        mt.started = mt.started.min(done.timing.started);
+        mt.completed = mt.completed.max(done.timing.completed);
+        mt.h2d += done.timing.h2d;
+        mt.kernel += done.timing.kernel;
+        mt.d2h += done.timing.d2h;
+        mt.cache_hits += done.timing.cache_hits;
+        mt.cache_misses += done.timing.cache_misses;
+        mt.bytes_h2d += done.timing.bytes_h2d;
+        mt.bytes_d2h += done.timing.bytes_d2h;
+        if let Some(e) = done.emitted {
+            entry.emitted = Some(entry.emitted.unwrap_or(0) + e);
+        }
+        if done.gpu != CPU_FALLBACK_GPU {
+            entry.gpu = done.gpu;
+            entry.stream = done.stream;
+        }
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            let entry = self.merges.remove(route.merge).expect("entry checked");
+            session.completed.push(CompletedWork {
+                name: entry.name,
+                tag: entry.tag,
+                gpu: entry.gpu,
+                stream: entry.stream,
+                output: ArenaBuf::detached(HBuffer::from_bytes(&entry.out)),
+                emitted: entry.emitted,
+                timing: entry.timing,
+            });
+        }
     }
 }

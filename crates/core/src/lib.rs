@@ -30,6 +30,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod commpath;
 pub mod config;
+pub(crate) mod costmodel;
 mod elastic;
 pub mod fused;
 pub mod gdst;
@@ -50,7 +51,7 @@ pub use checkpoint::{
     CacheManifestEntry, CheckpointManager, CheckpointToken, JobSnapshot, RestoredSnapshot,
     SnapshotBlock,
 };
-pub use config::{BatchConfig, CheckpointConfig, SchedulerConfig, TransferConfig};
+pub use config::{BatchConfig, CheckpointConfig, HybridConfig, SchedulerConfig, TransferConfig};
 pub use gdst::{
     ExtraInput, FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuReduceCosts,
     OutMode, SpecError,

@@ -73,20 +73,8 @@ impl GpuManager {
             cfg.cache_policy,
             &cfg.transfer,
         );
-        let gstream = GStreamManager::new(
-            cfg.models.len(),
-            cfg.streams_per_gpu,
-            cfg.scheduling,
-            cfg.transfer.batch.clone(),
-            cfg.scheduler.clone(),
-        );
-        let recovery = RecoveryManager::new(
-            cfg.models.len(),
-            cfg.retry,
-            cfg.hang_timeout,
-            cfg.failure_rate,
-            cfg.cpu_fallback.clone(),
-        );
+        let gstream = GStreamManager::new(&cfg);
+        let recovery = RecoveryManager::new(&cfg);
         GpuManager {
             worker_id,
             gmem,

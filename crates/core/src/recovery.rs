@@ -11,14 +11,15 @@
 //! (injections, loss, degradation) charge every open session — a dead
 //! device is every tenant's problem.
 
+use crate::config::GpuWorkerConfig;
 use crate::gwork::{CompletedWork, GWork, WorkTiming};
 use crate::session::{JobId, JobSession};
 use gflink_gpu::{DeviceError, KernelArgs, KernelRegistry};
 use gflink_memory::{ArenaBuf, HBuffer};
 use gflink_sim::trace::{cpu_pid, Cat, TraceEvent, TID_DEVICE};
 use gflink_sim::{
-    ComputeCost, Counter, EventQueue, FaultEvent, FaultLedger, FaultPlan, MembershipEvent,
-    MembershipPlan, Metrics, MultiTimeline, RecEvent, RecKind, RetryPolicy, SimTime, Tracer,
+    ComputeCost, Counter, EventQueue, FaultEvent, FaultLedger, FaultPlan, HostEngine,
+    MembershipEvent, MembershipPlan, Metrics, RecEvent, RecKind, RetryPolicy, SimTime, Tracer,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -184,7 +185,10 @@ pub struct RecoveryManager {
     /// work-scoped counters, single-entry for device-scoped ones.
     ledger: FaultLedger,
     failures: u64,
-    cpu_slots: MultiTimeline,
+    /// The host CPU execution engine — shared by the last-resort fallback
+    /// and the hybrid cost-model placement, so both account against the
+    /// same slot timelines.
+    host: HostEngine,
     tracer: Tracer,
     worker_id: usize,
     /// The live-metrics plane (gates flight-recorder pushes).
@@ -193,28 +197,23 @@ pub struct RecoveryManager {
 }
 
 impl RecoveryManager {
-    pub(crate) fn new(
-        n_gpus: usize,
-        retry: RetryPolicy,
-        hang_timeout: SimTime,
-        failure_rate: f64,
-        cpu_fallback: CpuFallback,
-    ) -> Self {
-        let cpu_slots = MultiTimeline::new(cpu_fallback.slots.max(1));
+    pub(crate) fn new(cfg: &GpuWorkerConfig) -> Self {
+        let cpu_fallback = cfg.cpu_fallback.clone();
+        let host = HostEngine::new(cpu_fallback.cost, cpu_fallback.slots);
         RecoveryManager {
-            retry,
-            hang_timeout,
-            failure_rate,
+            retry: cfg.retry,
+            hang_timeout: cfg.hang_timeout,
+            failure_rate: cfg.failure_rate,
             cpu_fallback,
             fault_plan: FaultPlan::new(),
             fault_cursor: 0,
             membership_plan: MembershipPlan::new(),
             membership_cursor: 0,
-            pending_transient: vec![0; n_gpus],
-            pending_hang: vec![0; n_gpus],
+            pending_transient: vec![0; cfg.models.len()],
+            pending_hang: vec![0; cfg.models.len()],
             ledger: FaultLedger::default(),
             failures: 0,
-            cpu_slots,
+            host,
             tracer: Tracer::disabled(),
             worker_id: 0,
             metrics: Metrics::disabled(),
@@ -273,7 +272,7 @@ impl RecoveryManager {
             let pid = cpu_pid(worker_id);
             tracer.name_process(pid, &format!("worker{worker_id}/cpu"));
             tracer.name_thread(pid, TID_DEVICE, "recovery");
-            for s in 0..self.cpu_slots.len() {
+            for s in 0..self.host.slots() {
                 tracer.name_thread(pid, 1 + s as u32, &format!("cpu slot {s}"));
             }
         }
@@ -561,32 +560,27 @@ impl RecoveryManager {
         });
     }
 
-    /// Last-resort execution on the host CPU: every GPU is lost. The kernel
-    /// really runs over the host buffers; time comes from the CPU roofline
-    /// model over a bounded slot pool. No H2D/D2H is charged — the data
-    /// never leaves host memory.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_on_cpu_or_fail(
+    /// The host CPU engine (slot pool + roofline), shared by the fallback
+    /// path and the hybrid cost-model placement.
+    pub(crate) fn host(&self) -> &HostEngine {
+        &self.host
+    }
+
+    /// Whether the host CPU execution path may be used at all.
+    pub(crate) fn host_enabled(&self) -> bool {
+        self.cpu_fallback.enabled
+    }
+
+    /// Really execute `work`'s kernel over its host buffers and reserve a
+    /// host slot for the modelled duration. No H2D/D2H is charged — the
+    /// data never leaves host memory. Pure execution + accounting: the
+    /// caller owns ledgers, traces, and completion routing.
+    pub(crate) fn exec_on_host(
         &mut self,
-        session: &mut JobSession,
-        job: JobId,
         registry: &Arc<Mutex<KernelRegistry>>,
-        work: GWork,
-        submitted: SimTime,
-        retries: u32,
+        work: &GWork,
         t: SimTime,
-    ) {
-        if !self.cpu_fallback.enabled {
-            self.fail_work(
-                session,
-                work,
-                submitted,
-                retries,
-                t,
-                FailReason::NoUsableDevice,
-            );
-            return;
-        }
+    ) -> Result<HostExec, ManagerError> {
         let kernel = {
             let reg = registry.lock();
             // Works normally arrive interned; hand-built ones that never
@@ -596,11 +590,9 @@ impl RecoveryManager {
                 .or_else(|| reg.get(&work.execute_name))
         };
         let Some(kernel) = kernel else {
-            let err = ManagerError::KernelMissing {
+            return Err(ManagerError::KernelMissing {
                 name: work.execute_name.to_string(),
-            };
-            self.fail_work(session, work, submitted, retries, t, FailReason::Fatal(err));
-            return;
+            });
         };
         let mut out_host = HBuffer::zeroed(work.out_actual_bytes);
         let profile = {
@@ -614,11 +606,48 @@ impl RecoveryManager {
             };
             kernel(&mut args)
         };
-        let dur = self
-            .cpu_fallback
-            .cost
-            .time_for(profile.flops, profile.bytes, 1.0);
-        let (slot, r) = self.cpu_slots.reserve(t, dur);
+        let (slot, r) = self.host.run(t, profile.flops, profile.bytes);
+        Ok(HostExec {
+            slot,
+            start: r.start,
+            end: r.end,
+            out: out_host,
+            emitted: profile.emitted,
+        })
+    }
+
+    /// Last-resort execution on the host CPU: every GPU is lost. Returns
+    /// the completion for the caller to route (split children merge rather
+    /// than complete directly); `None` means the work was failed instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_on_cpu_or_fail(
+        &mut self,
+        session: &mut JobSession,
+        job: JobId,
+        registry: &Arc<Mutex<KernelRegistry>>,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        t: SimTime,
+    ) -> Option<CompletedWork> {
+        if !self.cpu_fallback.enabled {
+            self.fail_work(
+                session,
+                work,
+                submitted,
+                retries,
+                t,
+                FailReason::NoUsableDevice,
+            );
+            return None;
+        }
+        let he = match self.exec_on_host(registry, &work, t) {
+            Ok(he) => he,
+            Err(err) => {
+                self.fail_work(session, work, submitted, retries, t, FailReason::Fatal(err));
+                return None;
+            }
+        };
         self.ledger.cpu_fallbacks += 1;
         session.ledger_mut().cpu_fallbacks += 1;
         self.m.cpu_fallbacks.inc();
@@ -633,35 +662,58 @@ impl RecoveryManager {
             self.tracer.record(
                 TraceEvent::span(
                     cpu_pid(self.worker_id),
-                    1 + slot as u32,
+                    1 + he.slot as u32,
                     Cat::Cpu,
                     &*work.name,
-                    r.start,
-                    r.end,
+                    he.start,
+                    he.end,
                 )
                 .with_job(job.0)
                 .with_arg("fallback", "all GPUs lost"),
             );
         }
-        session.completed.push(CompletedWork {
+        Some(he.into_completed(work, submitted))
+    }
+}
+
+/// One kernel execution on the host slot pool, before it is accounted:
+/// where it ran, when, and what it produced.
+pub(crate) struct HostExec {
+    /// Host slot index the reservation landed on.
+    pub(crate) slot: usize,
+    /// Reservation start (queueing behind busy slots included).
+    pub(crate) start: SimTime,
+    /// Reservation end.
+    pub(crate) end: SimTime,
+    /// The real output buffer the kernel wrote.
+    pub(crate) out: HBuffer,
+    /// Records emitted, when the kernel reported them.
+    pub(crate) emitted: Option<usize>,
+}
+
+impl HostExec {
+    /// Package the execution as a [`CompletedWork`] (host executions charge
+    /// no transfer time: the data never left host memory).
+    pub(crate) fn into_completed(self, work: GWork, submitted: SimTime) -> CompletedWork {
+        CompletedWork {
             name: work.name,
             tag: work.tag,
             gpu: CPU_FALLBACK_GPU,
-            stream: slot,
-            output: ArenaBuf::detached(out_host),
-            emitted: profile.emitted,
+            stream: self.slot,
+            output: ArenaBuf::detached(self.out),
+            emitted: self.emitted,
             timing: WorkTiming {
                 submitted,
-                started: r.start,
+                started: self.start,
                 h2d: SimTime::ZERO,
-                kernel: r.duration(),
+                kernel: self.end.saturating_sub(self.start),
                 d2h: SimTime::ZERO,
-                completed: r.end,
+                completed: self.end,
                 cache_hits: 0,
                 cache_misses: 0,
                 bytes_h2d: 0,
                 bytes_d2h: 0,
             },
-        });
+        }
     }
 }

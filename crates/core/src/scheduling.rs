@@ -22,6 +22,13 @@ pub enum SchedulingPolicy {
     /// LocalityAware placement but stealing disabled (Alg. 5.2 off) — for
     /// the work-stealing ablation.
     LocalityNoSteal,
+    /// Hybrid CPU+GPU placement (ISSUE 9): an online cost model predicts
+    /// completion time per device class (queue + transfer + kernel) and
+    /// routes each GWork to the winner — the host CPU pool included — and
+    /// may split large blocks across both. GPU-side placement is
+    /// Alg. 5.1 with Alg. 5.2 stealing, so when the GPUs win every
+    /// prediction this degenerates to `LocalityAware` exactly.
+    HybridCostModel,
 }
 
 impl SchedulingPolicy {
@@ -32,6 +39,7 @@ impl SchedulingPolicy {
             SchedulingPolicy::RoundRobin => "round-robin",
             SchedulingPolicy::Random { .. } => "random",
             SchedulingPolicy::LocalityNoSteal => "locality-no-steal",
+            SchedulingPolicy::HybridCostModel => "hybrid-cost-model",
         }
     }
 
@@ -44,7 +52,9 @@ impl SchedulingPolicy {
     pub fn locality_aware(self) -> bool {
         matches!(
             self,
-            SchedulingPolicy::LocalityAware | SchedulingPolicy::LocalityNoSteal
+            SchedulingPolicy::LocalityAware
+                | SchedulingPolicy::LocalityNoSteal
+                | SchedulingPolicy::HybridCostModel
         )
     }
 }
@@ -107,5 +117,11 @@ mod tests {
         assert!(!SchedulingPolicy::LocalityNoSteal.steals());
         assert!(SchedulingPolicy::LocalityNoSteal.locality_aware());
         assert_eq!(SchedulingPolicy::Random { seed: 1 }.label(), "random");
+        assert_eq!(
+            SchedulingPolicy::HybridCostModel.label(),
+            "hybrid-cost-model"
+        );
+        assert!(SchedulingPolicy::HybridCostModel.steals());
+        assert!(SchedulingPolicy::HybridCostModel.locality_aware());
     }
 }

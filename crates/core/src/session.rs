@@ -69,6 +69,17 @@ pub struct JobSession {
     /// Pen-delay histogram (per release, not the cumulative `park_delay`),
     /// merged into the job's SLO rollup at teardown.
     pub(crate) pen_hist: LogHistogram,
+    /// Works the hybrid cost model routed to a GPU (it would have chosen
+    /// the host otherwise; Alg. 5.1 picked the device).
+    pub(crate) hybrid_gpu: u64,
+    /// Works the hybrid cost model routed to the host CPU pool by choice
+    /// (distinct from `cpu_fallbacks`, the no-GPU-left path).
+    pub(crate) hybrid_cpu: u64,
+    /// Blocks the hybrid cost model split across CPU and GPU.
+    pub(crate) hybrid_splits: u64,
+    /// Relative prediction error per hybrid-placed completion, in basis
+    /// points (1/100 of a percent) — the observed-vs-predicted gauge.
+    pub(crate) hybrid_err: LogHistogram,
 }
 
 impl JobSession {
@@ -90,6 +101,10 @@ impl JobSession {
             covered: BTreeSet::new(),
             recorder: FlightRecorder::default(),
             pen_hist: LogHistogram::new(),
+            hybrid_gpu: 0,
+            hybrid_cpu: 0,
+            hybrid_splits: 0,
+            hybrid_err: LogHistogram::new(),
         }
     }
 
@@ -102,6 +117,27 @@ impl JobSession {
     /// Pen-delay histogram over this job's released penned works.
     pub fn pen_histogram(&self) -> &LogHistogram {
         &self.pen_hist
+    }
+
+    /// Works the hybrid cost model placed on a GPU.
+    pub fn hybrid_gpu(&self) -> u64 {
+        self.hybrid_gpu
+    }
+
+    /// Works the hybrid cost model placed on the host CPU pool by choice.
+    pub fn hybrid_cpu(&self) -> u64 {
+        self.hybrid_cpu
+    }
+
+    /// Blocks the hybrid cost model split across CPU and GPU.
+    pub fn hybrid_splits(&self) -> u64 {
+        self.hybrid_splits
+    }
+
+    /// Relative prediction-error histogram (basis points) over this job's
+    /// hybrid-placed completions.
+    pub fn hybrid_err(&self) -> &LogHistogram {
+        &self.hybrid_err
     }
 
     /// Tags this session will satisfy from a restored checkpoint.

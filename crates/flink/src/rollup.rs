@@ -62,7 +62,8 @@ pub struct GpuLane {
 pub struct GpuRollup {
     /// Works completed on a GPU.
     pub works: u64,
-    /// Works completed on the CPU fallback path (all GPUs lost).
+    /// Works completed on the host CPU pool — the all-GPUs-lost fallback
+    /// path or a hybrid cost-model placement (see `hybrid_cpu`).
     pub cpu_works: u64,
     /// Queueing-time histogram.
     pub queue: Summary,
@@ -121,6 +122,17 @@ pub struct GpuRollup {
     /// end-to-end latency and every stage (pen delay is merged in at
     /// teardown from the session's backpressure histogram).
     pub slo: SloRollup,
+    /// Works the hybrid cost model placed on a GPU (host was a live
+    /// candidate but predicted slower).
+    pub hybrid_gpu: u64,
+    /// Works the hybrid cost model placed on the host CPU pool by choice
+    /// (distinct from `cpu_works`, the all-GPUs-lost fallback).
+    pub hybrid_cpu: u64,
+    /// Blocks the hybrid cost model split across CPU and GPU near parity.
+    pub hybrid_splits: u64,
+    /// Predicted-vs-observed relative error per hybrid completion, in
+    /// basis points (1/100 of a percent).
+    pub hybrid_err: gflink_sim::LogHistogram,
     /// Trace events the tracer's ring dropped during the job — nonzero
     /// means the Chrome timeline is incomplete.
     pub trace_dropped: u64,
@@ -183,7 +195,7 @@ impl GpuRollup {
     /// Single-line digest for compact logs.
     pub fn one_line(&self) -> String {
         format!(
-            "{} works ({} cpu-fallback), cache {:.0}% hit, {} H2D / {} D2H, {} steals",
+            "{} works ({} on cpu), cache {:.0}% hit, {} H2D / {} D2H, {} steals",
             self.works,
             self.cpu_works,
             self.hit_rate() * 100.0,
@@ -214,7 +226,7 @@ impl fmt::Display for GpuRollup {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "gpu rollup: {} works on GPU, {} on CPU fallback, {} steals",
+            "gpu rollup: {} works on GPU, {} on CPU, {} steals",
             self.works, self.cpu_works, self.steals
         )?;
         writeln!(
@@ -273,6 +285,22 @@ impl fmt::Display for GpuRollup {
                 self.works_restored,
                 fmt_ms(self.recovery_delta.mean()),
             )?;
+        }
+        if self.hybrid_gpu + self.hybrid_cpu + self.hybrid_splits > 0 {
+            write!(
+                f,
+                "  hybrid placement: {} gpu, {} cpu, {} split",
+                self.hybrid_gpu, self.hybrid_cpu, self.hybrid_splits
+            )?;
+            if self.hybrid_err.count() > 0 {
+                write!(
+                    f,
+                    ", model error p50 {:.2}% p95 {:.2}%",
+                    self.hybrid_err.p50().as_nanos() as f64 / 100.0,
+                    self.hybrid_err.p95().as_nanos() as f64 / 100.0
+                )?;
+            }
+            writeln!(f)?;
         }
         if self.trace_dropped > 0 {
             writeln!(
@@ -398,6 +426,7 @@ mod tests {
         assert!(!text.contains("backpressure"));
         assert!(!text.contains("checkpointing"));
         assert!(!text.contains("restores:"));
+        assert!(!text.contains("hybrid placement"));
         assert!(!text.contains("WARNING"));
         // SLO percentiles render whenever works were recorded.
         assert!(text.contains("slo"));
@@ -490,6 +519,30 @@ mod tests {
         assert!(text.contains("pinned pool: 3 hits / 1 misses (75.0% hit rate)"));
         assert!(text.contains("6 works fused into 2 batches (mean 3.0/batch)"));
         assert!((r.pinned_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_hybrid_placement_when_active() {
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.hybrid_gpu = 5;
+        r.hybrid_cpu = 3;
+        r.hybrid_splits = 1;
+        // 250 bp = 2.50%, recorded twice so p50 and p95 land on the
+        // same bucket upper bound.
+        r.hybrid_err.record_nanos(250);
+        r.hybrid_err.record_nanos(250);
+        let text = format!("{r}");
+        assert!(text.contains("hybrid placement: 5 gpu, 3 cpu, 1 split"));
+        assert!(text.contains("model error p50"));
+
+        // Counters without error samples still render the counts line.
+        let mut r = GpuRollup::default();
+        r.record(&sample(Some(0), 0, 1));
+        r.hybrid_gpu = 2;
+        let text = format!("{r}");
+        assert!(text.contains("hybrid placement: 2 gpu, 0 cpu, 0 split"));
+        assert!(!text.contains("model error"));
     }
 
     #[test]

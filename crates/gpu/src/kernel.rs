@@ -104,6 +104,13 @@ impl KernelId {
     pub fn is_resolved(self) -> bool {
         self != KernelId::UNRESOLVED
     }
+
+    /// The dense registry index this id was interned at, or `None` for
+    /// [`KernelId::UNRESOLVED`]. Lets per-kernel side tables (e.g. the
+    /// hybrid cost model's throughput estimators) index by id.
+    pub fn index(self) -> Option<usize> {
+        self.is_resolved().then_some(self.0 as usize)
+    }
 }
 
 /// Name → kernel map; the analogue of a directory of loaded `.ptx` modules.

@@ -21,6 +21,7 @@
 //! from which the roofline cost model derives simulated kernel time.
 
 pub mod channel;
+pub mod class;
 pub mod device;
 pub mod dmem;
 pub mod event;
@@ -32,6 +33,7 @@ pub use channel::{
     TransferMode, TransferPath, GFLINK_CALL_OVERHEAD_NS, HOST_STAGING_BYTES_PER_SEC,
     NATIVE_CALL_OVERHEAD_NS,
 };
+pub use class::{ClassPriors, DeviceClass};
 pub use device::{CopyDirection, VirtualGpu};
 pub use dmem::{DevBufId, DeviceMemory, DeviceMemoryOps, DmemError};
 pub use event::CudaEvent;

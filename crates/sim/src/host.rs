@@ -1,0 +1,133 @@
+//! Host-side compute engine.
+//!
+//! Models the worker's CPU task-slot pool as a first-class sibling device:
+//! `k` identical slots ([`MultiTimeline`]) driven by a roofline
+//! [`ComputeCost`]. Two consumers share this engine:
+//!
+//! * fault-driven CPU fallback (`recovery.rs`) — when every GPU on a worker
+//!   is lost, work replays here;
+//! * the `HybridCostModel` scheduling policy — low-arithmetic-intensity
+//!   blocks whose predicted host completion beats every GPU route here by
+//!   choice, not necessity.
+//!
+//! Both paths reserving on the *same* timelines is what makes their ledgers
+//! and rollups account identically: a slot busy serving a hybrid placement
+//! delays a later fallback exactly as real contention would.
+
+use crate::cost::ComputeCost;
+use crate::time::SimTime;
+use crate::timeline::{MultiTimeline, Reservation};
+
+/// A pool of host CPU slots with a shared roofline cost model.
+#[derive(Clone, Debug)]
+pub struct HostEngine {
+    cost: ComputeCost,
+    slots: MultiTimeline,
+}
+
+impl HostEngine {
+    /// Create a host engine with `slots` CPU task slots (clamped to ≥ 1).
+    pub fn new(cost: ComputeCost, slots: usize) -> Self {
+        HostEngine {
+            cost,
+            slots: MultiTimeline::new(slots.max(1)),
+        }
+    }
+
+    /// Service time for a region of `flops` arithmetic over `bytes` of
+    /// memory traffic. Host access is modelled at full efficiency — there is
+    /// no coalescing penalty on a cache-line-granular memory system.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> SimTime {
+        self.cost.time_for(flops, bytes, 1.0)
+    }
+
+    /// Reserve the earliest-available slot for a region starting no earlier
+    /// than `earliest`. Returns `(slot index, granted interval)`.
+    pub fn run(&mut self, earliest: SimTime, flops: f64, bytes: f64) -> (usize, Reservation) {
+        let dur = self.kernel_time(flops, bytes);
+        self.slots.reserve(earliest, dur)
+    }
+
+    /// The roofline cost model backing this engine.
+    pub fn cost(&self) -> ComputeCost {
+        self.cost
+    }
+
+    /// The earliest instant at which any slot is free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.slots.earliest_free()
+    }
+
+    /// Queue backlog seen by a request arriving at `t`: how long it would
+    /// wait before any slot frees up (zero if a slot is idle).
+    pub fn backlog(&self, t: SimTime) -> SimTime {
+        self.earliest_free().saturating_sub(t)
+    }
+
+    /// Number of slots in the pool.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots idle at instant `t`.
+    pub fn idle_at(&self, t: SimTime) -> usize {
+        self.slots.idle_at(t)
+    }
+
+    /// Total busy time summed over all slots.
+    pub fn busy_time(&self) -> SimTime {
+        self.slots.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(slots: usize) -> HostEngine {
+        // 1 GFLOP/s, 1 GB/s, no launch overhead: times are easy to hand-check.
+        HostEngine::new(ComputeCost::new(SimTime::ZERO, 1e9, 1e9), slots)
+    }
+
+    #[test]
+    fn slot_count_clamped_to_one() {
+        assert_eq!(engine(0).slots(), 1);
+        assert_eq!(engine(4).slots(), 4);
+    }
+
+    #[test]
+    fn run_uses_earliest_slot_and_roofline_duration() {
+        let mut e = engine(2);
+        // Memory-bound: 2 GB at 1 GB/s = 2 s.
+        let (s0, r0) = e.run(SimTime::ZERO, 1e6, 2e9);
+        assert_eq!(s0, 0);
+        assert_eq!(r0.duration(), SimTime::from_secs(2));
+        // Second request lands on the idle slot.
+        let (s1, r1) = e.run(SimTime::ZERO, 1e9, 0.0);
+        assert_eq!(s1, 1);
+        assert_eq!(r1.start, SimTime::ZERO);
+        // Third queues behind the shorter reservation.
+        let (s2, r2) = e.run(SimTime::ZERO, 1e9, 0.0);
+        assert_eq!(s2, 1);
+        assert_eq!(r2.start, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn backlog_reflects_queue_depth() {
+        let mut e = engine(1);
+        assert_eq!(e.backlog(SimTime::ZERO), SimTime::ZERO);
+        e.run(SimTime::ZERO, 3e9, 0.0); // busy until t=3s
+        assert_eq!(e.backlog(SimTime::from_secs(1)), SimTime::from_secs(2));
+        // After the slot frees, an arrival sees no backlog.
+        assert_eq!(e.backlog(SimTime::from_secs(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn busy_and_idle_accounting() {
+        let mut e = engine(2);
+        e.run(SimTime::ZERO, 1e9, 0.0);
+        assert_eq!(e.busy_time(), SimTime::from_secs(1));
+        assert_eq!(e.idle_at(SimTime::ZERO), 1);
+        assert_eq!(e.idle_at(SimTime::from_secs(2)), 2);
+    }
+}

@@ -26,6 +26,7 @@ pub mod accounting;
 pub mod cost;
 pub mod events;
 pub mod faults;
+pub mod host;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
@@ -40,6 +41,7 @@ pub use faults::{
     FaultEvent, FaultKind, FaultLedger, FaultPlan, LedgerWindow, MembershipEvent, MembershipKind,
     MembershipPlan, RetryPolicy,
 };
+pub use host::HostEngine;
 pub use metrics::{
     write_postmortem, Counter, FlightRecorder, Gauge, Histogram, LogHistogram, MetricId,
     MetricKind, Metrics, PostmortemBundle, RecEvent, RecKind, SloPolicy, REC_NO_GPU,
@@ -47,5 +49,5 @@ pub use metrics::{
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;
-pub use timeline::{MultiTimeline, Timeline};
+pub use timeline::{MultiTimeline, Reservation, Timeline};
 pub use trace::{Cat, EventKind, LaneProfile, PipelineProfile, TraceEvent, Tracer};

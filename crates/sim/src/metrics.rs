@@ -699,6 +699,8 @@ pub enum RecKind {
     WorkFailed,
     /// A work ran on the host CPU because no GPU was usable.
     CpuFallback,
+    /// The cost model placed a work on the host CPU by choice.
+    HybridCpu,
     /// A submission was parked by queued-bytes backpressure.
     WorkPenned,
     /// A durable snapshot of the job's progress was written.
@@ -724,6 +726,7 @@ impl RecKind {
             RecKind::MemberLeft => "member-left",
             RecKind::WorkFailed => "work-failed",
             RecKind::CpuFallback => "cpu-fallback",
+            RecKind::HybridCpu => "hybrid-cpu",
             RecKind::WorkPenned => "work-penned",
             RecKind::CheckpointWritten => "checkpoint-written",
             RecKind::SnapshotRestored => "snapshot-restored",

@@ -8,6 +8,22 @@
 
 use gflink::prelude::*;
 
+/// The quickstart kernel, shared by the default and hybrid fabrics.
+fn register_add_point(fabric: &GpuFabric) {
+    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
+        let def = Point::def();
+        let n = args.n_actual;
+        let (dx, dy) = (args.params[0], args.params[1]);
+        let input = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
+        let mut out = RecordView::new(args.outputs[0], &def, DataLayout::Aos, n);
+        for i in 0..n {
+            out.set_f64(i, 0, 0, input.get_f64(i, 0, 0) + dx);
+            out.set_f64(i, 1, 0, input.get_f64(i, 1, 0) + dy);
+        }
+        KernelProfile::new(args.n_logical as f64 * 2.0, args.n_logical as f64 * 16.0)
+    });
+}
+
 /// The paper's §3.5.1 `Point`, as a GStruct-backed record.
 #[derive(Clone, Debug, PartialEq)]
 struct Point {
@@ -44,18 +60,7 @@ fn main() {
     let fabric = GpuFabric::new(2, FabricConfig::default());
 
     // Provide the CUDA kernel (a Rust closure standing in for addPoint.ptx).
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
-        let def = Point::def();
-        let n = args.n_actual;
-        let (dx, dy) = (args.params[0], args.params[1]);
-        let input = RecordReader::new(args.inputs[0], &def, DataLayout::Aos, n);
-        let mut out = RecordView::new(args.outputs[0], &def, DataLayout::Aos, n);
-        for i in 0..n {
-            out.set_f64(i, 0, 0, input.get_f64(i, 0, 0) + dx);
-            out.set_f64(i, 1, 0, input.get_f64(i, 1, 0) + dy);
-        }
-        KernelProfile::new(args.n_logical as f64 * 2.0, args.n_logical as f64 * 16.0)
-    });
+    register_add_point(&fabric);
 
     // ---- GFlink driver (Algorithm 3.1) ----
     let genv = GflinkEnv::submit(&cluster, &fabric, "quickstart-gpu", SimTime::ZERO);
@@ -126,4 +131,49 @@ fn main() {
         gpu.batches,
         gpu.batch_size.mean(),
     );
+
+    // ---- the same program under hybrid CPU+GPU placement ----
+    // addPoint is transfer-bound (2 flops per 16 bytes), so the online
+    // cost model routes blocks to the host CPU pool when PCIe would cost
+    // more than just computing in place — same results, less wall clock.
+    let cluster3 = SharedCluster::new(ClusterConfig::standard(2));
+    let fabric3 = GpuFabric::new(
+        2,
+        FabricConfig {
+            worker: GpuWorkerConfig {
+                scheduling: SchedulingPolicy::HybridCostModel,
+                ..GpuWorkerConfig::default()
+            },
+            ..FabricConfig::default()
+        },
+    );
+    register_add_point(&fabric3);
+    let henv = GflinkEnv::submit(&cluster3, &fabric3, "quickstart-hybrid", SimTime::ZERO);
+    let points = henv
+        .flink
+        .read_hdfs("points", "/input/points", 50_000_000, 10_000, 8.0, 8, |i| {
+            Point {
+                x: (i % 97) as f32,
+                y: 0.0,
+            }
+        });
+    let gdst: GDataSet<Point> = henv.to_gdst(points, DataLayout::Aos);
+    let spec = GpuMapSpec::new("cudaAddPoint")
+        .with_params(vec![1.0, 2.0])
+        .build(&fabric3)
+        .expect("valid spec");
+    let moved = gdst.gpu_map_partition::<Point>("addPoint", &spec);
+    let sample_hybrid = moved.inner().collect("sample", 8.0);
+    let hybrid_report = henv.finish();
+    assert_eq!(sample, sample_hybrid, "hybrid placement changed results!");
+    let hgpu = hybrid_report.gpu.as_ref().expect("hybrid rollup");
+    println!(
+        "\nHybrid: {}   ({:.2}x vs GPU-only; {} works on gpu / {} on cpu / {} split)",
+        hybrid_report.total,
+        gpu_report.total.as_secs_f64() / hybrid_report.total.as_secs_f64(),
+        hgpu.hybrid_gpu,
+        hgpu.hybrid_cpu,
+        hgpu.hybrid_splits,
+    );
+    println!("{hgpu}");
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! gflink run <app> [--mode cpu|gpu|both] [--workers N] [--size S]
 //!            [--iterations N] [--gpus MODEL,MODEL] [--cache fifo|stop|off]
-//!            [--sched locality|rr|random|nosteal] [--verbose]
+//!            [--sched locality|rr|random|nosteal|hybrid] [--verbose]
 //! gflink list
 //! ```
 //!
@@ -43,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  gflink run <app> [--mode cpu|gpu|both] [--workers N] [--size S]\n\
          \x20            [--iterations N] [--gpus c2050,k20,...] [--cache fifo|stop|off]\n\
-         \x20            [--sched locality|rr|random|nosteal] [--verbose]\n  gflink list\n\n\
+         \x20            [--sched locality|rr|random|nosteal|hybrid] [--verbose]\n  gflink list\n\n\
          apps: {}",
         APPS.join(", ")
     );
@@ -127,6 +127,7 @@ fn parse(mut args: Vec<String>) -> Opts {
                     "rr" => SchedulingPolicy::RoundRobin,
                     "random" => SchedulingPolicy::Random { seed: 7 },
                     "nosteal" => SchedulingPolicy::LocalityNoSteal,
+                    "hybrid" => SchedulingPolicy::HybridCostModel,
                     _ => usage(),
                 }
             }
