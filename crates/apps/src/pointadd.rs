@@ -83,7 +83,7 @@ impl Params {
 
 /// Register the `cudaAddPoint` kernel.
 pub fn register_kernels(fabric: &GpuFabric) {
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
+    fabric.register_elementwise_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point2::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);

@@ -348,6 +348,17 @@ impl GpuFabric {
         self.registry.lock().register(name, f);
     }
 
+    /// Register an **element-wise** kernel under `name`: output record `i`
+    /// depends only on element `i` of every input. The declaration makes
+    /// this kernel's blocks eligible for hybrid CPU/GPU splitting
+    /// ([`gflink_gpu::KernelRegistry::register_elementwise`]).
+    pub fn register_elementwise_kernel<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync + 'static,
+    {
+        self.registry.lock().register_elementwise(name, f);
+    }
+
     /// The fabric configuration.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg

@@ -248,13 +248,24 @@ struct MergeEntry {
     out: Vec<u8>,
     remaining: usize,
     /// Accumulated parent timing: stage times/bytes sum, `started` is the
-    /// earliest child start, `completed` the latest child landing.
+    /// earliest child start, `completed` the latest child landing (or
+    /// failure instant).
     timing: WorkTiming,
     /// Device attribution: the GPU child's placement when one ran there,
     /// else [`CPU_FALLBACK_GPU`].
     gpu: usize,
     stream: usize,
     emitted: Option<usize>,
+    /// First terminal child failure: the parent block fails as a unit
+    /// (under its own tag) once the sibling also lands; any completed
+    /// sibling output is discarded.
+    failed: Option<FailReason>,
+    /// Highest retry count either child reached (parent failure
+    /// attribution).
+    retries: u32,
+    /// The two reserved child block indices, returned to the free list
+    /// when the merge closes.
+    child_tags: [u32; 2],
 }
 
 /// Where a split child's completion folds back in.
@@ -329,6 +340,10 @@ pub struct GStreamManager {
     split_children: BTreeMap<(JobId, (u32, u32)), ChildRoute>,
     /// Next synthetic child block index, descending from `u32::MAX`.
     next_child_tag: u32,
+    /// Child block indices reclaimed from closed merges, reused before
+    /// `next_child_tag` descends further — a long-lived worker cycles a
+    /// handful of indices instead of exhausting the reserved range.
+    free_child_tags: Vec<u32>,
     m_hybrid_gpu: Counter,
     m_hybrid_cpu: Counter,
     m_hybrid_splits: Counter,
@@ -371,6 +386,7 @@ impl GStreamManager {
             merges: FlightTable::new(),
             split_children: BTreeMap::new(),
             next_child_tag: u32::MAX,
+            free_child_tags: Vec::new(),
             m_hybrid_gpu: Counter::disabled(),
             m_hybrid_cpu: Counter::disabled(),
             m_hybrid_splits: Counter::disabled(),
@@ -585,17 +601,14 @@ impl GStreamManager {
         }
         if eng.gmem.usable_gpus() == 0 {
             let session = eng.sessions.get_mut(&job).expect("session open");
-            let done = eng.recovery.run_on_cpu_or_fail(
-                session,
-                job,
-                eng.registry,
-                work,
-                submitted,
-                retries,
-                t,
-            );
-            if let Some(done) = done {
-                self.deliver(eng, job, done);
+            let run = eng
+                .recovery
+                .run_on_cpu(session, job, eng.registry, work, submitted, t);
+            match run {
+                Ok(done) => self.deliver(eng, job, done),
+                Err((work, reason)) => {
+                    self.fail_terminal(eng, job, work, submitted, retries, t, reason)
+                }
             }
             return;
         }
@@ -604,7 +617,10 @@ impl GStreamManager {
         // as the job's backlog drains (see `on_stream_free`) or at drain
         // quiescence (`flush_parked`). Retries bypass the pen: they were
         // admitted once and recovery must not deadlock behind admission.
-        if retries == 0 && self.sched.should_pen(job) {
+        // Split children bypass it too: their parent block was already
+        // admitted, and penning half a split would leave its merge entry
+        // hostage to admission.
+        if retries == 0 && !is_split_child(work.tag) && self.sched.should_pen(job) {
             if let Some(session) = eng.sessions.get_mut(&job) {
                 session.parked_works += 1;
                 if self.metrics.enabled() {
@@ -903,8 +919,8 @@ impl GStreamManager {
                 pinned,
                 None,
             );
-            eng.recovery.retry_or_fail(
-                session,
+            self.route_retry_or_fail(
+                eng,
                 job,
                 work,
                 submitted,
@@ -1455,15 +1471,17 @@ impl GStreamManager {
         q: &mut EventQueue<Ev>,
     ) {
         eng.gmem.release_staging(std::mem::take(&mut fl.staging));
-        let session = eng.sessions.get_mut(&fl.job).expect("session open");
-        eng.gmem.reclaim(
-            &mut session.regions[fl.gpu],
-            fl.gpu,
-            std::mem::take(&mut fl.dev_inputs),
-            std::mem::take(&mut fl.transient),
-            std::mem::take(&mut fl.pinned),
-            Some(fl.out_dev),
-        );
+        {
+            let session = eng.sessions.get_mut(&fl.job).expect("session open");
+            eng.gmem.reclaim(
+                &mut session.regions[fl.gpu],
+                fl.gpu,
+                std::mem::take(&mut fl.dev_inputs),
+                std::mem::take(&mut fl.transient),
+                std::mem::take(&mut fl.pinned),
+                Some(fl.out_dev),
+            );
+        }
         self.stream_busy_until[fl.gpu][fl.stream] = stream_free_at;
         q.schedule(
             stream_free_at,
@@ -1472,8 +1490,8 @@ impl GStreamManager {
                 stream: fl.stream,
             },
         );
-        eng.recovery.retry_or_fail(
-            session,
+        self.route_retry_or_fail(
+            eng,
             fl.job,
             fl.work,
             fl.timing.submitted,
@@ -1529,7 +1547,7 @@ impl GStreamManager {
             return HybridRoute::Gpu; // no usable GPU: handled upstream
         };
         let cpu_pred = eng.recovery.host().backlog(t) + cm.host_kernel_time(work.kernel, kbytes);
-        let splittable = self.split_eligible(work).then_some(work.n_actual);
+        let splittable = self.split_eligible(eng, work).then_some(work.n_actual);
         decide(
             &self.hybrid_cfg,
             gpu_pred,
@@ -1539,13 +1557,15 @@ impl GStreamManager {
         )
     }
 
-    /// Whether a block can be split element-wise: a resolved kernel, one
-    /// output record per element, every input and the output dividing
-    /// evenly by the element count, and both halves clearing the minimum
-    /// split size. This deliberately excludes operators with indivisible
-    /// side inputs (k-means centroids, SpMV row pointers) and aggregating
-    /// outputs (wordcount) — splitting those would change their results.
-    fn split_eligible(&self, work: &GWork) -> bool {
+    /// Whether a block can be split element-wise: a kernel *declared*
+    /// element-wise at registration, one output record per element, every
+    /// input and the output dividing evenly by the element count, and both
+    /// halves clearing the minimum split size. The registry declaration is
+    /// load-bearing: shape divisibility alone cannot tell a true map from
+    /// an operator whose shared side input (k-means centroids, SpMV row
+    /// pointers) is coincidentally divisible — slicing those per-element
+    /// would silently compute wrong results.
+    fn split_eligible(&self, eng: &Engine<'_>, work: &GWork) -> bool {
         let n = work.n_actual;
         work.kernel.is_resolved()
             && n >= 2 * self.hybrid_cfg.min_split_elems.max(1)
@@ -1557,18 +1577,26 @@ impl GStreamManager {
                 .inputs
                 .iter()
                 .all(|b| b.data.len().is_multiple_of(n) && b.logical_bytes.is_multiple_of(n as u64))
+            && eng.registry.lock().is_elementwise(work.kernel)
     }
 
-    /// Mint a synthetic child tag under `parent`'s partition, descending
-    /// from `u32::MAX` (see [`SPLIT_TAG_MIN`]).
+    /// Mint a synthetic child tag under `parent`'s partition: indices
+    /// reclaimed from closed merges are reused first, then fresh ones
+    /// descend from `u32::MAX` (see [`SPLIT_TAG_MIN`]).
     fn alloc_child_tag(&mut self, parent: (u32, u32)) -> (u32, u32) {
-        assert!(
-            self.next_child_tag >= SPLIT_TAG_MIN,
-            "split child tag space exhausted"
-        );
-        let tag = (parent.0, self.next_child_tag);
-        self.next_child_tag -= 1;
-        tag
+        let idx = match self.free_child_tags.pop() {
+            Some(idx) => idx,
+            None => {
+                assert!(
+                    self.next_child_tag >= SPLIT_TAG_MIN,
+                    "split child tag space exhausted"
+                );
+                let idx = self.next_child_tag;
+                self.next_child_tag -= 1;
+                idx
+            }
+        };
+        (parent.0, idx)
     }
 
     /// Build the child `GWork` covering elements `[start, start + count)`
@@ -1645,6 +1673,9 @@ impl GStreamManager {
             gpu: CPU_FALLBACK_GPU,
             stream: 0,
             emitted: None,
+            failed: None,
+            retries: 0,
+            child_tags: [cpu_tag.1, gpu_tag.1],
         });
         self.split_children
             .insert((job, cpu_tag), ChildRoute { merge, offset: 0 });
@@ -1673,6 +1704,14 @@ impl GStreamManager {
         t: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        // Predict before reserving the slot (the reservation moves the
+        // backlog): execution-only, matching the GPU completion path where
+        // queueing is excluded from both sides of the error.
+        let kbytes = work.input_logical_bytes() + work.out_logical_bytes;
+        let pred = self
+            .cost_model
+            .as_ref()
+            .map(|cm| cm.host_kernel_time(work.kernel, kbytes));
         match eng.recovery.exec_on_host(eng.registry, &work, t) {
             Ok(he) => {
                 self.m_hybrid_cpu.inc();
@@ -1700,16 +1739,28 @@ impl GStreamManager {
                     );
                 }
                 if let Some(cm) = self.cost_model.as_mut() {
-                    let kbytes = work.input_logical_bytes() + work.out_logical_bytes;
-                    cm.observe_host_kernel(work.kernel, kbytes, he.end.saturating_sub(he.start));
+                    // Score the prediction against this execution first
+                    // (the error gauges the model as it stood), then fold
+                    // the observation in — the same discipline as the GPU
+                    // completion path, so CPU-dominated workloads feed the
+                    // error EWMA that shrinks risky split shares too.
+                    let obs = he.end.saturating_sub(he.start);
+                    if let Some(pred) = pred {
+                        if !obs.is_zero() {
+                            let rel = crate::model::prediction_error(pred, obs);
+                            cm.observe_error(work.kernel, rel);
+                            session.hybrid_err.record_nanos((rel * 10_000.0) as u64);
+                            self.m_model_err.set((rel * 1_000.0) as u64);
+                        }
+                    }
+                    cm.observe_host_kernel(work.kernel, kbytes, obs);
                 }
                 let done = he.into_completed(work, submitted);
                 self.deliver(eng, job, done);
             }
             Err(err) => {
-                let session = eng.sessions.get_mut(&job).expect("session open");
-                eng.recovery.retry_or_fail(
-                    session,
+                self.route_retry_or_fail(
+                    eng,
                     job,
                     work,
                     submitted,
@@ -1724,10 +1775,11 @@ impl GStreamManager {
 
     /// Route a completion to its consumer: ordinary works land in the
     /// session; split children fold into their merge entry, which emits the
-    /// reassembled parent completion when the last child lands.
+    /// reassembled parent completion (or a single parent failure, if a
+    /// sibling failed terminally) when the last child lands.
     fn deliver(&mut self, eng: &mut Engine<'_>, job: JobId, done: CompletedWork) {
-        let session = eng.sessions.get_mut(&job).expect("session open");
         let Some(route) = self.split_children.remove(&(job, done.tag)) else {
+            let session = eng.sessions.get_mut(&job).expect("session open");
             session.completed.push(done);
             return;
         };
@@ -1753,8 +1805,31 @@ impl GStreamManager {
         }
         entry.remaining -= 1;
         if entry.remaining == 0 {
-            let entry = self.merges.remove(route.merge).expect("entry checked");
-            session.completed.push(CompletedWork {
+            self.finish_merge(eng, job, route.merge);
+        }
+    }
+
+    /// Close a merge entry once both children have landed: emit the
+    /// reassembled parent completion, or — when any child failed terminally
+    /// — one parent failure under the parent's original tag (the block is
+    /// lost as a unit, exactly like an unsplit failure; any completed
+    /// sibling output is discarded). Either way the children's reserved
+    /// tag indices return to the free list.
+    fn finish_merge(&mut self, eng: &mut Engine<'_>, job: JobId, merge: u64) {
+        let entry = self.merges.remove(merge).expect("merge entry live");
+        self.free_child_tags.extend(entry.child_tags);
+        let session = eng.sessions.get_mut(&job).expect("session open");
+        match entry.failed {
+            Some(reason) => eng.recovery.fail_named(
+                session,
+                &entry.name,
+                entry.tag,
+                entry.retries,
+                entry.timing.submitted,
+                entry.timing.completed,
+                reason,
+            ),
+            None => session.completed.push(CompletedWork {
                 name: entry.name,
                 tag: entry.tag,
                 gpu: entry.gpu,
@@ -1762,7 +1837,110 @@ impl GStreamManager {
                 output: ArenaBuf::detached(HBuffer::from_bytes(&entry.out)),
                 emitted: entry.emitted,
                 timing: entry.timing,
-            });
+            }),
         }
+    }
+
+    /// A split child failed terminally: fold the failure into its merge
+    /// entry instead of surfacing the synthetic tag. The parent fails once
+    /// the sibling also lands (see [`GStreamManager::finish_merge`]).
+    fn fail_split_child(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        tag: (u32, u32),
+        retries: u32,
+        now: SimTime,
+        reason: FailReason,
+    ) {
+        let route = self
+            .split_children
+            .remove(&(job, tag))
+            .expect("split child routed");
+        let entry = self.merges.get_mut(route.merge).expect("merge entry live");
+        entry.retries = entry.retries.max(retries);
+        entry.timing.completed = entry.timing.completed.max(now);
+        if entry.failed.is_none() {
+            entry.failed = Some(reason);
+        }
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            self.finish_merge(eng, job, route.merge);
+        }
+    }
+
+    /// Record a terminal failure: split children fold into their parent's
+    /// merge entry; everything else fails directly.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_terminal(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        now: SimTime,
+        reason: FailReason,
+    ) {
+        if is_split_child(work.tag) {
+            self.fail_split_child(eng, job, work.tag, retries, now, reason);
+        } else {
+            let session = eng.sessions.get_mut(&job).expect("session open");
+            eng.recovery
+                .fail_work(session, work, submitted, retries, now, reason);
+        }
+    }
+
+    /// [`RecoveryManager::retry_or_fail`] with split-child awareness: a
+    /// child whose failure is terminal under the retry policy must fail its
+    /// *parent* block — removing its route and releasing the merge entry —
+    /// never strand the merge by recording a failure under a synthetic tag
+    /// the consumer never submitted.
+    #[allow(clippy::too_many_arguments)]
+    fn route_retry_or_fail(
+        &mut self,
+        eng: &mut Engine<'_>,
+        job: JobId,
+        work: GWork,
+        submitted: SimTime,
+        retries: u32,
+        now: SimTime,
+        reason: FailReason,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if is_split_child(work.tag) {
+            let spent = now.saturating_sub(submitted);
+            if let Some(terminal) = eng.recovery.terminal_reason(&reason, retries, spent) {
+                self.fail_split_child(eng, job, work.tag, retries, now, terminal);
+                return;
+            }
+        }
+        let session = eng.sessions.get_mut(&job).expect("session open");
+        eng.recovery
+            .retry_or_fail(session, job, work, submitted, retries, now, reason, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuWorkerConfig;
+
+    #[test]
+    fn child_tags_recycle_through_free_list() {
+        let mut g = GStreamManager::new(&GpuWorkerConfig::default());
+        let a = g.alloc_child_tag((7, 0));
+        let b = g.alloc_child_tag((7, 0));
+        assert_eq!(a, (7, u32::MAX));
+        assert_eq!(b, (7, u32::MAX - 1));
+        assert!(is_split_child(a) && is_split_child(b));
+        // finish_merge returns both indices through the free list…
+        g.free_child_tags.extend([a.1, b.1]);
+        // …and later splits drain it LIFO before minting fresh indices,
+        // so cumulative split count never exhausts the reserved range.
+        assert_eq!(g.alloc_child_tag((3, 9)), (3, b.1));
+        assert_eq!(g.alloc_child_tag((3, 9)), (3, a.1));
+        assert_eq!(g.next_child_tag, u32::MAX - 2);
+        assert_eq!(g.alloc_child_tag((3, 9)), (3, u32::MAX - 2));
     }
 }

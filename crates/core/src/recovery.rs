@@ -462,11 +462,34 @@ impl RecoveryManager {
 
     // --- retry / fail / CPU fallback -----------------------------------
 
+    /// The terminal [`FailReason`] `retry_or_fail` would record for a work
+    /// in this state, or `None` while the policy still allows a retry. A
+    /// [`FailReason::Fatal`] wrapping [`ManagerError::KernelMissing`] is
+    /// always terminal (no later attempt can succeed). Callers that must
+    /// intercept a permanent failure (split children fail their *parent*
+    /// block, never their synthetic tag) consult this before handing the
+    /// work to [`RecoveryManager::retry_or_fail`].
+    pub(crate) fn terminal_reason(
+        &self,
+        reason: &FailReason,
+        retries: u32,
+        spent: SimTime,
+    ) -> Option<FailReason> {
+        if let FailReason::Fatal(ManagerError::KernelMissing { .. }) = reason {
+            return Some(reason.clone());
+        }
+        if self.retry.allows(retries, spent) {
+            None
+        } else if retries >= self.retry.max_retries {
+            Some(FailReason::RetriesExhausted)
+        } else {
+            Some(FailReason::DeadlineExceeded)
+        }
+    }
+
     /// Route a recovered work back through Alg. 5.1 after its policy
-    /// backoff, or give up with a structured [`FailedWork`]. `reason` is
-    /// recorded when the work cannot be retried; a [`FailReason::Fatal`]
-    /// wrapping [`ManagerError::KernelMissing`] is never retried (no later
-    /// attempt can succeed).
+    /// backoff, or give up with a structured [`FailedWork`] carrying the
+    /// terminal reason from [`RecoveryManager::terminal_reason`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn retry_or_fail(
         &mut self,
@@ -479,44 +502,35 @@ impl RecoveryManager {
         reason: FailReason,
         q: &mut EventQueue<Ev>,
     ) {
-        if let FailReason::Fatal(ManagerError::KernelMissing { .. }) = reason {
-            self.fail_work(session, work, submitted, retries, now, reason);
+        let spent = now.saturating_sub(submitted);
+        if let Some(terminal) = self.terminal_reason(&reason, retries, spent) {
+            self.fail_work(session, work, submitted, retries, now, terminal);
             return;
         }
-        let spent = now.saturating_sub(submitted);
-        if self.retry.allows(retries, spent) {
-            self.note_retry(session);
-            if self.metrics.enabled() {
-                session.recorder.push(
-                    RecEvent::new(now, RecKind::Retry, self.worker_id as u32)
-                        .with_detail(u64::from(retries + 1)),
-                );
-            }
-            let delay = self.retry.backoff(retries);
-            let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
-            if self.tracer.enabled() {
-                self.tracer.record(
-                    TraceEvent::instant(
-                        cpu_pid(self.worker_id),
-                        TID_DEVICE,
-                        Cat::Recovery,
-                        "retry",
-                        now,
-                    )
-                    .with_job(job.0)
-                    .with_arg("op", &work.name)
-                    .with_arg("attempt", retries + 1),
-                );
-            }
-            q.schedule(at, Ev::submit(job, submitted, retries + 1, work));
-        } else {
-            let exhausted = if retries >= self.retry.max_retries {
-                FailReason::RetriesExhausted
-            } else {
-                FailReason::DeadlineExceeded
-            };
-            self.fail_work(session, work, submitted, retries, now, exhausted);
+        self.note_retry(session);
+        if self.metrics.enabled() {
+            session.recorder.push(
+                RecEvent::new(now, RecKind::Retry, self.worker_id as u32)
+                    .with_detail(u64::from(retries + 1)),
+            );
         }
+        let delay = self.retry.backoff(retries);
+        let at = SimTime::from_nanos(now.as_nanos().saturating_add(delay.as_nanos()));
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::instant(
+                    cpu_pid(self.worker_id),
+                    TID_DEVICE,
+                    Cat::Recovery,
+                    "retry",
+                    now,
+                )
+                .with_job(job.0)
+                .with_arg("op", &work.name)
+                .with_arg("attempt", retries + 1),
+            );
+        }
+        q.schedule(at, Ev::submit(job, submitted, retries + 1, work));
     }
 
     pub(crate) fn fail_work(
@@ -525,6 +539,23 @@ impl RecoveryManager {
         work: GWork,
         submitted: SimTime,
         retries: u32,
+        now: SimTime,
+        reason: FailReason,
+    ) {
+        self.fail_named(session, &work.name, work.tag, retries, submitted, now, reason);
+    }
+
+    /// [`RecoveryManager::fail_work`] by identity rather than by `GWork`:
+    /// lets split-block reassembly fail a *parent* whose `GWork` no longer
+    /// exists (only its sliced children do).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fail_named(
+        &mut self,
+        session: &mut JobSession,
+        name: &str,
+        tag: (u32, u32),
+        retries: u32,
+        submitted: SimTime,
         now: SimTime,
         reason: FailReason,
     ) {
@@ -546,13 +577,13 @@ impl RecoveryManager {
                     "work-failed",
                     now,
                 )
-                .with_arg("op", &work.name)
+                .with_arg("op", name)
                 .with_arg("reason", format!("{reason:?}")),
             );
         }
         session.failed.push(FailedWork {
-            name: work.name.to_string(),
-            tag: work.tag,
+            name: name.to_string(),
+            tag,
             retries,
             reason,
             submitted,
@@ -618,35 +649,27 @@ impl RecoveryManager {
 
     /// Last-resort execution on the host CPU: every GPU is lost. Returns
     /// the completion for the caller to route (split children merge rather
-    /// than complete directly); `None` means the work was failed instead.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_on_cpu_or_fail(
+    /// than complete directly). `Err` hands the work back with its terminal
+    /// failure reason — the caller owns failure routing too, because a
+    /// split child must fail its *parent* block, not its synthetic tag.
+    /// (`Err` carries the `GWork` back by value on purpose — the caller
+    /// re-routes it — so the variant is as large as a work descriptor.)
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn run_on_cpu(
         &mut self,
         session: &mut JobSession,
         job: JobId,
         registry: &Arc<Mutex<KernelRegistry>>,
         work: GWork,
         submitted: SimTime,
-        retries: u32,
         t: SimTime,
-    ) -> Option<CompletedWork> {
+    ) -> Result<CompletedWork, (GWork, FailReason)> {
         if !self.cpu_fallback.enabled {
-            self.fail_work(
-                session,
-                work,
-                submitted,
-                retries,
-                t,
-                FailReason::NoUsableDevice,
-            );
-            return None;
+            return Err((work, FailReason::NoUsableDevice));
         }
         let he = match self.exec_on_host(registry, &work, t) {
             Ok(he) => he,
-            Err(err) => {
-                self.fail_work(session, work, submitted, retries, t, FailReason::Fatal(err));
-                return None;
-            }
+            Err(err) => return Err((work, FailReason::Fatal(err))),
         };
         self.ledger.cpu_fallbacks += 1;
         session.ledger_mut().cpu_fallbacks += 1;
@@ -672,7 +695,7 @@ impl RecoveryManager {
                 .with_arg("fallback", "all GPUs lost"),
             );
         }
-        Some(he.into_completed(work, submitted))
+        Ok(he.into_completed(work, submitted))
     }
 }
 

@@ -570,6 +570,168 @@ fn retry_backoff_defers_resubmission() {
     );
 }
 
+// ------------------------------------------------------------------
+// Hybrid split-block failure routing & host-side model feedback
+// ------------------------------------------------------------------
+
+/// Like [`registry_with_scale2`], but with the kernel *declared*
+/// element-wise — the opt-in that makes its blocks eligible for hybrid
+/// splitting.
+fn registry_with_elementwise_scale2() -> Arc<Mutex<KernelRegistry>> {
+    let mut reg = KernelRegistry::new();
+    reg.register_elementwise("scale2", |args: &mut KernelArgs<'_, '_>| {
+        let n = args.n_actual;
+        let input = args.inputs[0];
+        let out = &mut args.outputs[0];
+        for i in 0..n {
+            out.write_f32(i * 4, input.read_f32(i * 4) * 2.0);
+        }
+        KernelProfile::new(args.n_logical as f64, args.n_logical as f64 * 8.0)
+    });
+    Arc::new(Mutex::new(reg))
+}
+
+/// Hybrid policy tuned so every 4-element `mk_work` block splits: the
+/// minimum piece is one element and the balance window accepts any
+/// CPU/GPU prediction ratio.
+fn hybrid_split_config() -> GpuWorkerConfig {
+    GpuWorkerConfig {
+        models: vec![GpuModel::TeslaC2050],
+        scheduling: SchedulingPolicy::HybridCostModel,
+        hybrid: gflink_core::HybridConfig {
+            min_split_elems: 1,
+            split_balance: 1e12,
+            ..gflink_core::HybridConfig::default()
+        },
+        ..GpuWorkerConfig::default()
+    }
+}
+
+#[test]
+fn split_child_terminal_failure_fails_parent_under_original_tag() {
+    // Every GPU launch fails and the retry budget is zero, so the split's
+    // GPU child fails terminally on its first attempt while the CPU child
+    // (the host path injects no faults) completes. The *parent* block must
+    // fail exactly once under the tag the consumer submitted — never under
+    // a synthetic child tag — and the drain must reach quiescence (the
+    // merge entry and child routes are released, `is_idle` holds).
+    let mut m = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            failure_rate: 1.0,
+            retry: RetryPolicy {
+                base: SimTime::from_micros(10),
+                factor: 2,
+                max_retries: 0,
+                deadline: SimTime::MAX,
+            },
+            ..hybrid_split_config()
+        },
+        registry_with_elementwise_scale2(),
+    );
+    m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
+    let done = m.drain();
+    assert!(done.is_empty(), "a half-failed split must not complete");
+    let session = m.session(JOB).expect("solo session open");
+    assert_eq!(session.hybrid_splits(), 1, "the block must have split");
+    assert_eq!(m.failed().len(), 1, "one parent failure, no child failures");
+    let f = &m.failed()[0];
+    assert_eq!(f.tag, (0, 0), "failure carries the submitted tag");
+    assert_eq!(f.name, "w0-0");
+    assert_eq!(f.reason, FailReason::RetriesExhausted);
+    assert!(f.failed_at >= f.submitted);
+    assert_eq!(m.fault_ledger().works_failed, 1);
+    assert_eq!(m.gpu(0).dmem.used(), 0);
+}
+
+#[test]
+fn split_child_transient_failure_retries_and_merges() {
+    // A scripted transient hits the split's GPU child; the retry stays a
+    // split child (bypassing admission), re-executes, and the merge still
+    // reassembles the byte-exact parent block.
+    let mut m = GpuManager::new(0, hybrid_split_config(), registry_with_elementwise_scale2());
+    m.set_fault_plan(FaultPlan::new().with(SimTime::ZERO, FaultKind::KernelTransient { gpu: 0 }));
+    m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
+    let done = m.drain();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].tag, (0, 0));
+    assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    assert!(m.failed().is_empty());
+    let session = m.session(JOB).expect("solo session open");
+    assert_eq!(session.hybrid_splits(), 1);
+    assert_eq!(m.fault_ledger().transient_faults, 1);
+    assert!(m.fault_ledger().retries >= 1);
+}
+
+#[test]
+fn repeated_splits_recycle_tags_and_stay_correct() {
+    // Sequential rounds of splits exercise child-tag reclamation: closed
+    // merges return their synthetic indices to the free list, so long-lived
+    // workers never walk off the reserved tag range.
+    let mut m = GpuManager::new(0, hybrid_split_config(), registry_with_elementwise_scale2());
+    let mut at = SimTime::ZERO;
+    for round in 0..8 {
+        m.submit(mk_work((0, round), 1 << 20, false), at);
+        let done = m.drain();
+        assert_eq!(done.len(), 1, "round {round}");
+        assert_eq!(done[0].tag, (0, round));
+        assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        at = done[0].timing.completed;
+    }
+    let session = m.session(JOB).expect("solo session open");
+    assert_eq!(session.hybrid_splits(), 8);
+    assert!(m.failed().is_empty());
+}
+
+#[test]
+fn undeclared_kernel_never_splits() {
+    // Same shapes, same policy — but the kernel was registered without the
+    // element-wise declaration, so divisibility alone must not trigger a
+    // split (a coincidentally divisible side input would be sliced wrong).
+    let mut m = GpuManager::new(0, hybrid_split_config(), registry_with_scale2());
+    m.submit(mk_work((0, 0), 1 << 20, false), SimTime::ZERO);
+    let done = m.drain();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].output.to_f32_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    let session = m.session(JOB).expect("solo session open");
+    assert_eq!(session.hybrid_splits(), 0);
+}
+
+#[test]
+fn host_routed_work_feeds_prediction_error() {
+    // Transfer-heavy blocks route to the host outright (no GPU completions
+    // at all for them), and every host execution must still score the
+    // model: the prediction-error histogram cannot stay empty.
+    let mut m = GpuManager::new(
+        0,
+        GpuWorkerConfig {
+            models: vec![GpuModel::TeslaC2050],
+            scheduling: SchedulingPolicy::HybridCostModel,
+            ..GpuWorkerConfig::default()
+        },
+        registry_with_scale2(),
+    );
+    for i in 0..8 {
+        m.submit(mk_work((0, i), 1 << 24, false), SimTime::ZERO);
+    }
+    let done = m.drain();
+    assert_eq!(done.len(), 8);
+    let session = m.session(JOB).expect("solo session open");
+    assert!(
+        session.hybrid_cpu() > 0,
+        "PCIe-bound blocks must win the host route"
+    );
+    assert!(
+        session.hybrid_err().count() >= session.hybrid_cpu(),
+        "each host execution scores the model: {} errors for {} host runs",
+        session.hybrid_err().count(),
+        session.hybrid_cpu()
+    );
+    assert!(done
+        .iter()
+        .any(|d| d.gpu == CPU_FALLBACK_GPU && d.output.to_f32_vec() == vec![2.0, 4.0, 6.0, 8.0]));
+}
+
 #[test]
 fn chaos_drain_is_deterministic_per_seed() {
     let run = |seed: u64| {

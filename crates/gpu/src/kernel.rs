@@ -120,6 +120,12 @@ impl KernelId {
 pub struct KernelRegistry {
     ids: HashMap<String, KernelId>,
     by_id: Vec<(String, KernelFn)>,
+    /// Per-kernel element-wise declaration, indexed like `by_id`. Only
+    /// kernels registered through [`KernelRegistry::register_elementwise`]
+    /// are eligible for hybrid block splitting — shape divisibility alone
+    /// cannot distinguish a true map from an operator with a coincidentally
+    /// divisible side input.
+    elementwise: Vec<bool>,
 }
 
 impl KernelRegistry {
@@ -135,13 +141,43 @@ impl KernelRegistry {
         F: Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync + 'static,
     {
         match self.ids.get(name) {
-            Some(&id) => self.by_id[id.0 as usize].1 = Arc::new(f),
+            Some(&id) => {
+                self.by_id[id.0 as usize].1 = Arc::new(f);
+                // Conservative: a replacement registered without the
+                // element-wise declaration loses the eligibility.
+                self.elementwise[id.0 as usize] = false;
+            }
             None => {
                 let id = KernelId(u32::try_from(self.by_id.len()).expect("registry overflow"));
                 self.ids.insert(name.to_string(), id);
                 self.by_id.push((name.to_string(), Arc::new(f)));
+                self.elementwise.push(false);
             }
         }
+    }
+
+    /// Register `f` under `name` and declare it **element-wise**: output
+    /// record `i` depends only on element `i` of every input buffer — no
+    /// shared side inputs (k-means centroids, SpMV row pointers), no
+    /// cross-element aggregation (wordcount histograms). Only kernels
+    /// registered this way may have their blocks split by the hybrid
+    /// cost-model placement; slicing anything else per-element would
+    /// silently compute wrong results.
+    pub fn register_elementwise<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut KernelArgs<'_, '_>) -> KernelProfile + Send + Sync + 'static,
+    {
+        self.register(name, f);
+        let id = self.ids[name];
+        self.elementwise[id.0 as usize] = true;
+    }
+
+    /// Whether `id` was declared element-wise at registration (see
+    /// [`KernelRegistry::register_elementwise`]).
+    pub fn is_elementwise(&self, id: KernelId) -> bool {
+        id.index()
+            .and_then(|i| self.elementwise.get(i).copied())
+            .unwrap_or(false)
     }
 
     /// Intern a kernel's `executeName`, returning its dispatch id.

@@ -10,7 +10,7 @@ use gflink::prelude::*;
 
 /// The quickstart kernel, shared by the default and hybrid fabrics.
 fn register_add_point(fabric: &GpuFabric) {
-    fabric.register_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
+    fabric.register_elementwise_kernel("cudaAddPoint", |args: &mut KernelArgs<'_, '_>| {
         let def = Point::def();
         let n = args.n_actual;
         let (dx, dy) = (args.params[0], args.params[1]);
