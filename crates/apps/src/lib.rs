@@ -16,7 +16,9 @@
 //! | [`linreg`] | 150–270 M points | iterative, compute-bound |
 //! | [`spmv`] | 2–32 GB matrix | iterative, memory-bound |
 //!
-//! Plus [`pointadd`], the PointAdd microkernel used by Fig. 8b/8c.
+//! Plus [`pointadd`], the PointAdd microkernel used by Fig. 8b/8c, and
+//! [`nexmark`] — the Nexmark auction queries (q3/q6/q13) ported onto the
+//! DataStream builder as first-class streaming workloads.
 //!
 //! Every app returns an [`common::AppRun`] with the job report and a result
 //! digest; CPU and GPU runs of the same workload must agree on the digest
@@ -27,6 +29,7 @@ pub mod concomp;
 pub mod generators;
 pub mod kmeans;
 pub mod linreg;
+pub mod nexmark;
 pub mod pagerank;
 pub mod pointadd;
 pub mod spmv;

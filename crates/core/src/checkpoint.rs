@@ -382,6 +382,129 @@ impl CheckpointManager {
     }
 }
 
+/// Magic prefix of an encoded stream operator state ("GFlink Stream State").
+const STREAM_MAGIC: &[u8; 4] = b"GFSS";
+/// Stream-state encoding version; bumped on any layout change.
+const STREAM_VERSION: u32 = 1;
+
+/// One open keyed window pane captured in a stream-state snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenPane {
+    /// Inclusive event-time start of the pane's window.
+    pub start: SimTime,
+    /// Exclusive event-time end (for sessions: last event + gap).
+    pub end: SimTime,
+    /// The pane's key.
+    pub key: u64,
+    /// Accumulated logical weight (paper-scale record count).
+    pub logical: f64,
+    /// Buffered values, in insertion order.
+    pub values: Vec<f64>,
+}
+
+/// The DataStream layer's keyed operator state at a snapshot tick — what
+/// goes into [`JobSnapshot::state`] for windowed streaming jobs
+/// (DESIGN.md §17). Ingestion is a pure function of the seed, so a restore
+/// *replays* it and uses this record to **validate** that the replayed
+/// state at the snapshot frontier matches what the crashed run had; a
+/// mismatch refuses the snapshot rather than resuming from divergent state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamState {
+    /// Micro-batches ingested (merged across sources, arrival order).
+    pub batches: u64,
+    /// The watermark, or `None` before the first batch.
+    pub watermark: Option<SimTime>,
+    /// Maximum event timestamp seen.
+    pub max_event_ts: SimTime,
+    /// Records routed to the late counter so far.
+    pub late_records: u64,
+    /// Windows fired so far (the fire-sequence frontier).
+    pub fired: u64,
+    /// Open panes, in `(start, end, key)` order.
+    pub open: Vec<OpenPane>,
+}
+
+impl StreamState {
+    /// Deterministic byte encoding (little-endian, length-prefixed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STREAM_MAGIC);
+        put_u32(&mut out, STREAM_VERSION);
+        put_u64(&mut out, self.batches);
+        match self.watermark {
+            Some(wm) => {
+                out.push(1);
+                put_u64(&mut out, wm.as_nanos());
+            }
+            None => {
+                out.push(0);
+                put_u64(&mut out, 0);
+            }
+        }
+        put_u64(&mut out, self.max_event_ts.as_nanos());
+        put_u64(&mut out, self.late_records);
+        put_u64(&mut out, self.fired);
+        put_u64(&mut out, self.open.len() as u64);
+        for p in &self.open {
+            put_u64(&mut out, p.start.as_nanos());
+            put_u64(&mut out, p.end.as_nanos());
+            put_u64(&mut out, p.key);
+            put_u64(&mut out, p.logical.to_bits());
+            put_u64(&mut out, p.values.len() as u64);
+            for v in &p.values {
+                put_u64(&mut out, v.to_bits());
+            }
+        }
+        out
+    }
+
+    /// Decode an encoded stream state; `None` on any structural mismatch.
+    pub fn decode(data: &[u8]) -> Option<StreamState> {
+        let mut r = Reader { data, pos: 0 };
+        if r.take(4)? != STREAM_MAGIC.as_slice() || r.u32()? != STREAM_VERSION {
+            return None;
+        }
+        let batches = r.u64()?;
+        let has_wm = r.take(1)?[0] == 1;
+        let wm_raw = r.u64()?;
+        let watermark = has_wm.then_some(SimTime::from_nanos(wm_raw));
+        let max_event_ts = SimTime::from_nanos(r.u64()?);
+        let late_records = r.u64()?;
+        let fired = r.u64()?;
+        let n_open = r.u64()? as usize;
+        let mut open = Vec::with_capacity(n_open.min(1 << 20));
+        for _ in 0..n_open {
+            let start = SimTime::from_nanos(r.u64()?);
+            let end = SimTime::from_nanos(r.u64()?);
+            let key = r.u64()?;
+            let logical = f64::from_bits(r.u64()?);
+            let n_values = r.u64()? as usize;
+            let mut values = Vec::with_capacity(n_values.min(1 << 20));
+            for _ in 0..n_values {
+                values.push(f64::from_bits(r.u64()?));
+            }
+            open.push(OpenPane {
+                start,
+                end,
+                key,
+                logical,
+                values,
+            });
+        }
+        if r.pos != data.len() {
+            return None; // trailing garbage
+        }
+        Some(StreamState {
+            batches,
+            watermark,
+            max_event_ts,
+            late_records,
+            fired,
+            open,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +589,46 @@ mod tests {
         assert_eq!(cm.next_seq(1), 1);
         assert_eq!(cm.next_seq(2), 0);
         assert_eq!(cm.file_name("kmeans", 1), "ckpt/kmeans/op1");
+    }
+
+    #[test]
+    fn stream_state_roundtrip() {
+        let state = StreamState {
+            batches: 12,
+            watermark: Some(SimTime::from_millis(340)),
+            max_event_ts: SimTime::from_millis(380),
+            late_records: 2,
+            fired: 5,
+            open: vec![
+                OpenPane {
+                    start: SimTime::from_millis(300),
+                    end: SimTime::from_millis(400),
+                    key: 7,
+                    logical: 1.5e6,
+                    values: vec![1.0, 2.5, -3.25],
+                },
+                OpenPane {
+                    start: SimTime::from_millis(300),
+                    end: SimTime::from_millis(400),
+                    key: 9,
+                    logical: 0.5e6,
+                    values: vec![],
+                },
+            ],
+        };
+        let bytes = state.encode();
+        assert_eq!(StreamState::decode(&bytes), Some(state));
+        // None watermark survives the roundtrip too.
+        let fresh = StreamState::default();
+        assert_eq!(StreamState::decode(&fresh.encode()), Some(fresh));
+        // Structural guards.
+        assert_eq!(StreamState::decode(&bytes[..bytes.len() - 1]), None);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(StreamState::decode(&bad), None);
+        let mut long = bytes;
+        long.push(0);
+        assert_eq!(StreamState::decode(&long), None);
     }
 
     #[test]

@@ -402,6 +402,21 @@ impl JobHandle {
         })
     }
 
+    /// A point-in-time view of this job's backpressure backlog across
+    /// every worker: how many submissions sit parked in admission pens and
+    /// how many bytes it has queued toward the per-job cap. Streaming
+    /// drivers poll this between submissions to observe pen pressure.
+    pub fn backlog(&self) -> JobBacklog {
+        self.fabric.with_managers(|ms| {
+            let mut b = JobBacklog::default();
+            for m in ms.iter() {
+                b.penned += m.gstream.sched.pen_depth(self.job);
+                b.queued_bytes += m.gstream.sched.queued_bytes_of(self.job);
+            }
+            b
+        })
+    }
+
     /// This job's cumulative fault/recovery counters across all workers.
     pub fn faults(&self) -> FaultLedger {
         self.fabric.with_managers(|ms| {
@@ -419,6 +434,16 @@ impl JobHandle {
             self.fabric.close_job(self.job);
         }
     }
+}
+
+/// A job's fabric-wide backpressure backlog at one instant (see
+/// [`JobHandle::backlog`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobBacklog {
+    /// Submissions parked in backpressure pens across all workers.
+    pub penned: usize,
+    /// Bytes queued toward the per-job admission cap across all workers.
+    pub queued_bytes: u64,
 }
 
 impl Drop for JobHandle {

@@ -48,8 +48,8 @@ pub mod stream;
 
 pub use cache::{CachePolicy, GpuCache};
 pub use checkpoint::{
-    CacheManifestEntry, CheckpointManager, CheckpointToken, JobSnapshot, RestoredSnapshot,
-    SnapshotBlock,
+    CacheManifestEntry, CheckpointManager, CheckpointToken, JobSnapshot, OpenPane,
+    RestoredSnapshot, SnapshotBlock, StreamState,
 };
 pub use config::{BatchConfig, CheckpointConfig, HybridConfig, SchedulerConfig, TransferConfig};
 pub use gdst::{
@@ -57,11 +57,18 @@ pub use gdst::{
     OutMode, SpecError,
 };
 pub use gwork::{CacheKey, CompletedWork, GWork, WorkBuf, WorkTiming};
-pub use jobsched::{AdmissionError, JobHandle};
+pub use jobsched::{AdmissionError, JobBacklog, JobHandle};
 pub use manager::{
     CpuFallback, FailReason, FailedWork, GpuManager, GpuWorkerConfig, ManagerError,
     CPU_FALLBACK_GPU,
 };
 pub use scheduling::{ArbitrationPolicy, SchedulingPolicy};
 pub use session::{JobId, JobSession};
-pub use stream::{run_cpu_stream, run_gpu_stream, StreamReport, StreamSource};
+pub use stream::{
+    output_digest, watermark_digest, AggOp, AggResult, AggSpec, CpuMapPipeline, DataStream,
+    KeyedStream, LostBatch, MapPipeline, Session, Sliding, StreamEnv, StreamError, StreamReport,
+    StreamSource, Tumbling, WatermarkStamp, WatermarkStrategy, WindowAssigner, WindowOutput,
+    WindowPipeline, WindowSpan, WindowedRun, WindowedStream,
+};
+#[allow(deprecated)]
+pub use stream::{run_cpu_stream, run_gpu_stream};

@@ -542,7 +542,9 @@ impl RecoveryManager {
         now: SimTime,
         reason: FailReason,
     ) {
-        self.fail_named(session, &work.name, work.tag, retries, submitted, now, reason);
+        self.fail_named(
+            session, &work.name, work.tag, retries, submitted, now, reason,
+        );
     }
 
     /// [`RecoveryManager::fail_work`] by identity rather than by `GWork`:

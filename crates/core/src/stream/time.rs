@@ -1,0 +1,103 @@
+//! Event time: per-record timestamps and watermark generation.
+//!
+//! Processing time is when a batch *arrives* at the fabric; event time is
+//! when each record *happened* at the source. The two drift apart under
+//! out-of-order delivery, so window semantics are anchored to a
+//! **watermark**: a monotone lower bound on future event timestamps. This
+//! module implements the classic bounded-out-of-orderness generator —
+//! `watermark = max(event time seen) − bound` — advanced once per
+//! micro-batch, which is the granularity records enter the engine at.
+
+use gflink_sim::SimTime;
+
+/// How watermarks are generated for an event-time stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatermarkStrategy {
+    bound: SimTime,
+}
+
+impl WatermarkStrategy {
+    /// Bounded out-of-orderness: the watermark trails the maximum event
+    /// timestamp seen by `max_lag`. Records more than `max_lag` behind the
+    /// stream's head are late.
+    pub fn bounded(max_lag: SimTime) -> WatermarkStrategy {
+        WatermarkStrategy { bound: max_lag }
+    }
+
+    /// Timestamps are monotonically ascending: the watermark rides the
+    /// maximum event timestamp directly (a zero bound).
+    pub fn ascending() -> WatermarkStrategy {
+        WatermarkStrategy {
+            bound: SimTime::ZERO,
+        }
+    }
+
+    /// The configured out-of-orderness bound.
+    pub fn bound(&self) -> SimTime {
+        self.bound
+    }
+}
+
+/// One point of the watermark timeline: at processing instant `at` the
+/// watermark stood at `watermark`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatermarkStamp {
+    /// Processing instant (the micro-batch arrival that advanced it).
+    pub at: SimTime,
+    /// The watermark after that batch was absorbed.
+    pub watermark: SimTime,
+}
+
+/// Fold `bytes` into a running FNV-1a hash — the digest primitive for
+/// window outputs and watermark timelines (value-only, timing-free, so it
+/// is invariant across placement policies and fault plans).
+pub(crate) fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    const PRIME: u64 = 0x100_0000_01b3;
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(PRIME);
+    }
+}
+
+/// FNV-1a offset basis — the digest seed.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Digest of a watermark timeline: folds every `(at, watermark)` pair in
+/// order. Byte-identical timelines ⇔ equal digests.
+pub fn watermark_digest(stamps: &[WatermarkStamp]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for s in stamps {
+        fnv1a(&mut h, &s.at.as_nanos().to_le_bytes());
+        fnv1a(&mut h, &s.watermark.as_nanos().to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_expose_their_bound() {
+        assert_eq!(
+            WatermarkStrategy::bounded(SimTime::from_millis(40)).bound(),
+            SimTime::from_millis(40)
+        );
+        assert_eq!(WatermarkStrategy::ascending().bound(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timeline_digest_is_order_sensitive() {
+        let a = WatermarkStamp {
+            at: SimTime::from_millis(1),
+            watermark: SimTime::from_millis(1),
+        };
+        let b = WatermarkStamp {
+            at: SimTime::from_millis(2),
+            watermark: SimTime::from_millis(2),
+        };
+        assert_eq!(watermark_digest(&[a, b]), watermark_digest(&[a, b]));
+        assert_ne!(watermark_digest(&[a, b]), watermark_digest(&[b, a]));
+        assert_ne!(watermark_digest(&[a]), watermark_digest(&[a, b]));
+    }
+}

@@ -1,0 +1,579 @@
+//! Keyed windows over event time: assigners, merge logic, aggregation.
+//!
+//! A window assigner maps a record's event timestamp to one or more
+//! [`WindowSpan`]s; per `(span, key)` the engine keeps a **pane** of
+//! buffered values. Panes fire when the watermark passes the span's end
+//! plus any allowed lateness; records whose every window already fired are
+//! **late** and are routed to the late counter instead of silently
+//! reopening state. Session windows have no static spans — panes merge as
+//! records bridge the inactivity gap, exactly once, keyed deterministically.
+//!
+//! Everything here is `BTreeMap`-ordered and folds values in insertion
+//! order, so the CPU aggregation path and the GPU windowed-aggregation
+//! kernel produce bit-identical floating-point results: the GPU work packs
+//! panes in this module's iteration order and the kernel folds them with
+//! the same [`AggResult::fold`].
+
+use super::time::{fnv1a, WatermarkStamp, FNV_OFFSET};
+use gflink_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// One window's event-time extent: `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WindowSpan {
+    /// Inclusive event-time start.
+    pub start: SimTime,
+    /// Exclusive event-time end (for sessions: last event + gap).
+    pub end: SimTime,
+}
+
+/// How records map to windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowAssigner {
+    /// Fixed, non-overlapping windows of `size`.
+    Tumbling {
+        /// Window length.
+        size: SimTime,
+    },
+    /// Overlapping windows of `size` starting every `slide`.
+    Sliding {
+        /// Window length.
+        size: SimTime,
+        /// Start-to-start distance between consecutive windows.
+        slide: SimTime,
+    },
+    /// Per-key activity sessions separated by at least `gap` of silence.
+    Session {
+        /// Inactivity gap that closes a session.
+        gap: SimTime,
+    },
+}
+
+/// Fluent constructor for tumbling windows: `Tumbling::of(size)`.
+pub struct Tumbling;
+
+impl Tumbling {
+    /// Fixed windows of `size`, aligned to the epoch.
+    pub fn of(size: SimTime) -> WindowAssigner {
+        WindowAssigner::Tumbling { size }
+    }
+}
+
+/// Fluent constructor for sliding windows: `Sliding::of(size, slide)`.
+pub struct Sliding;
+
+impl Sliding {
+    /// Windows of `size` starting every `slide`.
+    pub fn of(size: SimTime, slide: SimTime) -> WindowAssigner {
+        WindowAssigner::Sliding { size, slide }
+    }
+}
+
+/// Fluent constructor for session windows: `Session::with_gap(gap)`.
+pub struct Session;
+
+impl Session {
+    /// Per-key sessions closed by `gap` of inactivity.
+    pub fn with_gap(gap: SimTime) -> WindowAssigner {
+        WindowAssigner::Session { gap }
+    }
+}
+
+impl WindowAssigner {
+    /// Static spans containing event time `ts` (tumbling/sliding only;
+    /// session spans are dynamic and grow by merging).
+    pub fn assign(&self, ts: SimTime) -> Vec<WindowSpan> {
+        match *self {
+            WindowAssigner::Tumbling { size } => {
+                let size_n = size.as_nanos().max(1);
+                let start = ts.as_nanos() / size_n * size_n;
+                vec![WindowSpan {
+                    start: SimTime::from_nanos(start),
+                    end: SimTime::from_nanos(start + size_n),
+                }]
+            }
+            WindowAssigner::Sliding { size, slide } => {
+                let size_n = size.as_nanos().max(1);
+                let slide_n = slide.as_nanos().max(1);
+                let ts_n = ts.as_nanos();
+                let mut starts = Vec::new();
+                let mut s = ts_n / slide_n * slide_n;
+                loop {
+                    if s + size_n > ts_n {
+                        starts.push(s);
+                    } else {
+                        break;
+                    }
+                    if s < slide_n {
+                        break;
+                    }
+                    s -= slide_n;
+                }
+                starts.reverse(); // ascending start order
+                starts
+                    .into_iter()
+                    .map(|start| WindowSpan {
+                        start: SimTime::from_nanos(start),
+                        end: SimTime::from_nanos(start + size_n),
+                    })
+                    .collect()
+            }
+            WindowAssigner::Session { .. } => Vec::new(),
+        }
+    }
+}
+
+/// The aggregation applied to each fired pane's values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Number of records.
+    Count,
+    /// Sum of the extracted values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Arithmetic mean (`sum / count`).
+    Avg,
+}
+
+/// A windowed aggregation: the operation plus its per-logical-record cost
+/// profile (what the CPU slots and the GPU kernel charge per element).
+#[derive(Clone, Copy, Debug)]
+pub struct AggSpec {
+    /// The aggregation operator.
+    pub op: AggOp,
+    /// Floating-point operations per logical record.
+    pub flops_per_record: f64,
+    /// Bytes touched per logical record.
+    pub bytes_per_record: f64,
+}
+
+impl AggSpec {
+    /// An aggregation with the default streaming-analytics cost profile
+    /// (a few hundred ops per record, one 16-byte key/value pair).
+    pub fn of(op: AggOp) -> AggSpec {
+        AggSpec {
+            op,
+            flops_per_record: 200.0,
+            bytes_per_record: 16.0,
+        }
+    }
+
+    /// Windowed average — the Nexmark q6 shape.
+    pub fn avg() -> AggSpec {
+        AggSpec::of(AggOp::Avg)
+    }
+
+    /// Override the per-logical-record cost profile.
+    pub fn with_cost(mut self, flops_per_record: f64, bytes_per_record: f64) -> AggSpec {
+        self.flops_per_record = flops_per_record;
+        self.bytes_per_record = bytes_per_record;
+        self
+    }
+}
+
+/// The full fold of one pane: every downstream value (`count`, `sum`,
+/// `min`, `max`, `avg`) derives from it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggResult {
+    /// Records folded.
+    pub count: u64,
+    /// Sequential sum in insertion order.
+    pub sum: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl AggResult {
+    /// Fold `values` sequentially, in slice order. Both the CPU path and
+    /// the GPU kernel call exactly this, so results are bit-identical.
+    pub fn fold(values: &[f64]) -> AggResult {
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        AggResult {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The scalar the configured [`AggOp`] extracts.
+    pub fn value(&self, op: AggOp) -> f64 {
+        match op {
+            AggOp::Count => self.count as f64,
+            AggOp::Sum => self.sum,
+            AggOp::Min => self.min,
+            AggOp::Max => self.max,
+            AggOp::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+/// One emitted window result: a `(span, key)` pane's aggregate plus when
+/// and how fast the engine produced it.
+#[derive(Clone, Debug)]
+pub struct WindowOutput {
+    /// The window's event-time extent.
+    pub span: WindowSpan,
+    /// The pane's key.
+    pub key: u64,
+    /// The fold over the pane's values.
+    pub agg: AggResult,
+    /// Engine completion instant (processing time).
+    pub fired_at: SimTime,
+    /// Completion minus fire eligibility (the watermark passing the span).
+    pub latency: SimTime,
+    /// Satisfied from a durable checkpoint instead of executing.
+    pub restored: bool,
+}
+
+/// Digest of window outputs: folds `(span, key, count, sum, min, max)` in
+/// slice order — value-only, so it is invariant across engines, placement
+/// policies and fault plans. Sort by `(span, key)` before calling for a
+/// canonical digest.
+pub fn output_digest(outputs: &[WindowOutput]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for o in outputs {
+        fnv1a(&mut h, &o.span.start.as_nanos().to_le_bytes());
+        fnv1a(&mut h, &o.span.end.as_nanos().to_le_bytes());
+        fnv1a(&mut h, &o.key.to_le_bytes());
+        fnv1a(&mut h, &o.agg.count.to_le_bytes());
+        fnv1a(&mut h, &o.agg.sum.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.agg.min.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.agg.max.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// One open `(span, key)` pane: buffered values in insertion order plus
+/// the accumulated logical weight (paper-scale record count).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Pane {
+    pub(crate) span: WindowSpan,
+    pub(crate) key: u64,
+    pub(crate) values: Vec<f64>,
+    pub(crate) logical: f64,
+}
+
+/// A window the watermark released: every pane of one span, keys
+/// ascending, ready to execute as one unit of work.
+#[derive(Clone, Debug)]
+pub(crate) struct FiredWindow {
+    /// Fire order — the GPU work tag and checkpoint block identity.
+    pub(crate) seq: u32,
+    pub(crate) span: WindowSpan,
+    /// The arrival instant whose watermark advance released the window.
+    pub(crate) fire_at: SimTime,
+    pub(crate) panes: Vec<Pane>,
+}
+
+impl FiredWindow {
+    pub(crate) fn rows(&self) -> usize {
+        self.panes.iter().map(|p| p.values.len()).sum()
+    }
+
+    pub(crate) fn logical(&self) -> u64 {
+        (self.panes.iter().map(|p| p.logical).sum::<f64>()).round() as u64
+    }
+}
+
+/// The keyed event-time state machine: open panes, the watermark, the
+/// late-record counter, and the fire sequence. Driven batch-by-batch by
+/// the engines; identical inputs produce identical fire sequences on
+/// every engine.
+pub(crate) struct KeyedWindows {
+    assigner: WindowAssigner,
+    lateness: SimTime,
+    bound: SimTime,
+    pub(crate) max_ts: Option<SimTime>,
+    pub(crate) watermark: Option<SimTime>,
+    /// Keyed `(start ns, end ns, key)` for deterministic iteration.
+    pub(crate) open: BTreeMap<(u64, u64, u64), Pane>,
+    pub(crate) late_records: u64,
+    pub(crate) fire_seq: u32,
+    pub(crate) stamps: Vec<WatermarkStamp>,
+}
+
+impl KeyedWindows {
+    pub(crate) fn new(assigner: WindowAssigner, lateness: SimTime, bound: SimTime) -> KeyedWindows {
+        KeyedWindows {
+            assigner,
+            lateness,
+            bound,
+            max_ts: None,
+            watermark: None,
+            open: BTreeMap::new(),
+            late_records: 0,
+            fire_seq: 0,
+            stamps: Vec::new(),
+        }
+    }
+
+    /// Whether a span has already been released by the watermark (its end
+    /// plus allowed lateness is at or behind it).
+    fn closed(&self, end: SimTime) -> bool {
+        match self.watermark {
+            Some(wm) => end + self.lateness <= wm,
+            None => false,
+        }
+    }
+
+    /// Route one record into its pane(s); counts it late when every
+    /// assigned window already fired.
+    pub(crate) fn insert(&mut self, ts: SimTime, key: u64, value: f64, logical: f64) {
+        self.max_ts = Some(self.max_ts.map_or(ts, |m| m.max(ts)));
+        match self.assigner {
+            WindowAssigner::Session { gap } => self.insert_session(ts, key, value, logical, gap),
+            _ => {
+                let spans = self.assigner.assign(ts);
+                let mut landed = false;
+                for span in spans {
+                    if self.closed(span.end) {
+                        continue;
+                    }
+                    landed = true;
+                    let k = (span.start.as_nanos(), span.end.as_nanos(), key);
+                    let pane = self.open.entry(k).or_insert_with(|| Pane {
+                        span,
+                        key,
+                        values: Vec::new(),
+                        logical: 0.0,
+                    });
+                    pane.values.push(value);
+                    pane.logical += logical;
+                }
+                if !landed {
+                    self.late_records += 1;
+                }
+            }
+        }
+    }
+
+    /// Session insertion: merge every same-key pane whose gap-extended
+    /// interval touches the record's, earliest-first, then absorb the
+    /// record. A record whose own session would fire instantly is late.
+    fn insert_session(&mut self, ts: SimTime, key: u64, value: f64, logical: f64, gap: SimTime) {
+        if self.closed(ts + gap) {
+            self.late_records += 1;
+            return;
+        }
+        let touching: Vec<(u64, u64, u64)> = self
+            .open
+            .iter()
+            .filter(|((_, _, k), pane)| {
+                *k == key && ts <= pane.span.end && pane.span.start <= ts + gap
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        let mut span = WindowSpan {
+            start: ts,
+            end: ts + gap,
+        };
+        let mut values = Vec::new();
+        let mut weight = 0.0;
+        for k in touching {
+            let pane = self.open.remove(&k).expect("touching pane exists");
+            span.start = span.start.min(pane.span.start);
+            span.end = span.end.max(pane.span.end);
+            values.extend(pane.values);
+            weight += pane.logical;
+        }
+        values.push(value);
+        weight += logical;
+        self.open.insert(
+            (span.start.as_nanos(), span.end.as_nanos(), key),
+            Pane {
+                span,
+                key,
+                values,
+                logical: weight,
+            },
+        );
+    }
+
+    /// Advance the watermark after a batch arriving at `arrival` was
+    /// absorbed, record the timeline stamp, and fire released windows.
+    pub(crate) fn advance(&mut self, arrival: SimTime) -> Vec<FiredWindow> {
+        let head = match self.max_ts {
+            Some(m) => m,
+            None => return Vec::new(),
+        };
+        let wm = head.saturating_sub(self.bound);
+        let wm = self.watermark.map_or(wm, |old| old.max(wm));
+        self.watermark = Some(wm);
+        self.stamps.push(WatermarkStamp {
+            at: arrival,
+            watermark: wm,
+        });
+        self.fire(arrival, false)
+    }
+
+    /// End of stream: fire everything still open at `at` and stamp the
+    /// terminal watermark (the bound collapses — no more data can come).
+    pub(crate) fn flush(&mut self, at: SimTime) -> Vec<FiredWindow> {
+        if let Some(head) = self.max_ts {
+            self.watermark = Some(self.watermark.map_or(head, |old| old.max(head)));
+            self.stamps.push(WatermarkStamp {
+                at,
+                watermark: head.max(self.watermark.unwrap_or(head)),
+            });
+        }
+        self.fire(at, true)
+    }
+
+    /// Release eligible panes grouped per span, in `(end, start, key)`
+    /// order — the deterministic fire sequence.
+    fn fire(&mut self, at: SimTime, all: bool) -> Vec<FiredWindow> {
+        let mut eligible: Vec<(u64, u64, u64)> = self
+            .open
+            .iter()
+            .filter(|(_, pane)| all || self.closed(pane.span.end))
+            .map(|(k, _)| *k)
+            .collect();
+        eligible.sort_by_key(|&(start, end, key)| (end, start, key));
+        let mut fired: Vec<FiredWindow> = Vec::new();
+        for k in eligible {
+            let pane = self.open.remove(&k).expect("eligible pane exists");
+            match fired.last_mut() {
+                Some(fw) if fw.span == pane.span => fw.panes.push(pane),
+                _ => {
+                    let seq = self.fire_seq;
+                    self.fire_seq += 1;
+                    fired.push(FiredWindow {
+                        seq,
+                        span: pane.span,
+                        fire_at: at,
+                        panes: vec![pane],
+                    });
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn tumbling_assignment_aligns_to_epoch() {
+        let w = Tumbling::of(ms(100));
+        assert_eq!(
+            w.assign(ms(250)),
+            vec![WindowSpan {
+                start: ms(200),
+                end: ms(300)
+            }]
+        );
+        assert_eq!(w.assign(ms(200))[0].start, ms(200));
+        assert_eq!(w.assign(SimTime::ZERO)[0].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sliding_assignment_covers_every_overlapping_window() {
+        let w = Sliding::of(ms(100), ms(25));
+        let spans = w.assign(ms(130));
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].start, ms(50));
+        assert_eq!(spans[3].start, ms(125));
+        for s in &spans {
+            assert!(s.start <= ms(130) && ms(130) < s.end);
+        }
+        // Near the epoch only the in-range windows exist.
+        assert_eq!(w.assign(ms(10)).len(), 1);
+    }
+
+    #[test]
+    fn watermark_fires_tumbling_windows_and_routes_late_records() {
+        let mut kw = KeyedWindows::new(Tumbling::of(ms(100)), SimTime::ZERO, ms(20));
+        kw.insert(ms(50), 1, 1.0, 10.0);
+        kw.insert(ms(90), 1, 2.0, 10.0);
+        assert!(kw.advance(ms(100)).is_empty(), "watermark 70 < end 100");
+        kw.insert(ms(130), 2, 5.0, 10.0);
+        let fired = kw.advance(ms(200));
+        assert_eq!(fired.len(), 1, "watermark 110 releases [0,100)");
+        assert_eq!(fired[0].span.start, SimTime::ZERO);
+        assert_eq!(fired[0].panes.len(), 1);
+        assert_eq!(AggResult::fold(&fired[0].panes[0].values).sum, 3.0);
+        assert_eq!(fired[0].logical(), 20);
+        // A record for the fired window is late, not silently reopened.
+        kw.insert(ms(60), 1, 9.0, 10.0);
+        assert_eq!(kw.late_records, 1);
+        // Flush releases the rest and the fire sequence advances.
+        let rest = kw.flush(ms(300));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].seq, 1);
+        assert_eq!(rest[0].panes[0].key, 2);
+    }
+
+    #[test]
+    fn allowed_lateness_keeps_windows_open_longer() {
+        let mut kw = KeyedWindows::new(Tumbling::of(ms(100)), ms(50), SimTime::ZERO);
+        kw.insert(ms(10), 1, 1.0, 1.0);
+        kw.insert(ms(120), 1, 2.0, 1.0);
+        assert!(
+            kw.advance(ms(120)).is_empty(),
+            "end 100 + lateness 50 > watermark 120"
+        );
+        kw.insert(ms(20), 1, 3.0, 1.0); // within lateness: not late
+        assert_eq!(kw.late_records, 0);
+        kw.insert(ms(160), 1, 4.0, 1.0);
+        let fired = kw.advance(ms(160));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(AggResult::fold(&fired[0].panes[0].values).count, 2);
+    }
+
+    #[test]
+    fn sessions_merge_on_bridging_records() {
+        let mut kw = KeyedWindows::new(Session::with_gap(ms(50)), SimTime::ZERO, SimTime::ZERO);
+        kw.insert(ms(0), 7, 1.0, 1.0);
+        kw.insert(ms(100), 7, 2.0, 1.0);
+        assert_eq!(kw.open.len(), 2, "two separate sessions");
+        kw.insert(ms(25), 7, 3.0, 1.0); // touches the first session only
+        assert_eq!(kw.open.len(), 2);
+        kw.insert(ms(60), 7, 4.0, 1.0); // bridges [0,75) and [100,150)
+        assert_eq!(kw.open.len(), 1, "bridging record merges the sessions");
+        let pane = kw.open.values().next().unwrap();
+        assert_eq!(pane.span.start, SimTime::ZERO);
+        assert_eq!(pane.span.end, ms(150));
+        assert_eq!(pane.values, vec![1.0, 3.0, 2.0, 4.0]);
+        // A different key never merges.
+        kw.insert(ms(60), 8, 9.0, 1.0);
+        assert_eq!(kw.open.len(), 2);
+    }
+
+    #[test]
+    fn agg_results_cover_every_op() {
+        let r = AggResult::fold(&[3.0, 1.0, 2.0]);
+        assert_eq!(r.value(AggOp::Count), 3.0);
+        assert_eq!(r.value(AggOp::Sum), 6.0);
+        assert_eq!(r.value(AggOp::Min), 1.0);
+        assert_eq!(r.value(AggOp::Max), 3.0);
+        assert_eq!(r.value(AggOp::Avg), 2.0);
+        assert_eq!(AggResult::fold(&[]).value(AggOp::Avg), 0.0);
+    }
+}

@@ -67,12 +67,15 @@ pub mod prelude {
         wordcount, AppRun, ConcurrentJob, ExecMode, Setup,
     };
     pub use crate::core::{
-        run_cpu_stream, run_gpu_stream, AdmissionError, ArbitrationPolicy, BatchConfig,
-        CachePolicy, CheckpointConfig, CheckpointManager, FabricConfig, GDataSet, GRecord,
-        GflinkEnv, GpuFabric, GpuMapSpec, GpuWorkerConfig, JobHandle, JobId, JobSnapshot,
-        SchedulerConfig, SchedulingPolicy, SpecError, StreamSource, TransferConfig,
-        CPU_FALLBACK_GPU,
+        output_digest, watermark_digest, AdmissionError, AggOp, AggResult, AggSpec,
+        ArbitrationPolicy, BatchConfig, CachePolicy, CheckpointConfig, CheckpointManager,
+        FabricConfig, GDataSet, GRecord, GflinkEnv, GpuFabric, GpuMapSpec, GpuWorkerConfig,
+        JobBacklog, JobHandle, JobId, JobSnapshot, SchedulerConfig, SchedulingPolicy, Session,
+        Sliding, SpecError, StreamEnv, StreamError, StreamReport, StreamSource, TransferConfig,
+        Tumbling, WatermarkStrategy, WindowAssigner, WindowOutput, WindowedRun, CPU_FALLBACK_GPU,
     };
+    #[allow(deprecated)]
+    pub use crate::core::{run_cpu_stream, run_gpu_stream};
     pub use crate::flink::{
         ClusterConfig, ClusterSnapshot, FlinkEnv, JobGate, JobReport, OpCost, SharedCluster,
     };
